@@ -1,0 +1,86 @@
+// E8: integrity-checking cost (Sec 2.5, 3.5): scanning the closure for
+// contradictory fact pairs and arithmetic-violating comparisons, with
+// and without planted violations, as the organization grows.
+//
+// Expected shape: the scan is linear in closure size; planted
+// violations add detection-report cost but do not change the asymptote.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "core/loose_db.h"
+#include "rules/contradiction.h"
+#include "workload/org_domain.h"
+
+namespace {
+
+struct IntegrityWorld {
+  std::unique_ptr<lsd::LooseDb> db;
+  const lsd::ClosureView* view = nullptr;
+};
+
+IntegrityWorld* BuildWorld(int employees, bool violate) {
+  static auto* cache =
+      new std::map<std::pair<int, bool>, std::unique_ptr<IntegrityWorld>>();
+  auto key = std::pair(employees, violate);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second.get();
+  auto w = std::make_unique<IntegrityWorld>();
+  w->db = std::make_unique<lsd::LooseDb>();
+  lsd::workload::OrgOptions options;
+  options.num_employees = employees;
+  options.violate_salaries = violate;
+  lsd::workload::BuildOrgDomain(w->db.get(), options);
+  // Also declare a linguistic contradiction pair with some facts.
+  w->db->Assert("LOVES", "CONTRA", "HATES");
+  w->db->Assert("EMP-0", "LOVES", "DEPT-0");
+  if (violate) w->db->Assert("EMP-0", "HATES", "DEPT-0");
+  auto view = w->db->View();
+  w->view = view.ok() ? *view : nullptr;
+  IntegrityWorld* out = w.get();
+  (*cache)[key] = std::move(w);
+  return out;
+}
+
+void RunFindViolations(benchmark::State& state, bool violate) {
+  IntegrityWorld* w =
+      BuildWorld(static_cast<int>(state.range(0)), violate);
+  if (w->view == nullptr) {
+    state.SkipWithError("closure unavailable");
+    return;
+  }
+  size_t violations = 0;
+  size_t closure_size = 0;
+  w->view->ForEach(lsd::Pattern(), [&](const lsd::Fact&) {
+    ++closure_size;
+    return true;
+  });
+  for (auto _ : state) {
+    violations = lsd::FindViolations(*w->view).size();
+    benchmark::DoNotOptimize(violations);
+  }
+  state.counters["closure_facts"] = static_cast<double>(closure_size);
+  state.counters["violations"] = static_cast<double>(violations);
+}
+
+void BM_IntegrityClean(benchmark::State& state) {
+  RunFindViolations(state, false);
+}
+
+void BM_IntegrityWithViolations(benchmark::State& state) {
+  RunFindViolations(state, true);
+}
+
+}  // namespace
+
+BENCHMARK(BM_IntegrityClean)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IntegrityWithViolations)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,100 @@
+// E11 (ablation): conjunct ordering in the matcher. The same query is
+// evaluated with three policies:
+//   kFixed          left-to-right as written (no optimizer);
+//   kBoundCount     greedy on bound positions (the default);
+//   kEstimatedCost  greedy on match-count estimates (better orders,
+//                   pays estimation per step).
+// The test query is written selectivity-hostile: its first conjunct is
+// a full wildcard scan.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "core/loose_db.h"
+#include "workload/org_domain.h"
+
+namespace {
+
+struct World {
+  std::unique_ptr<lsd::LooseDb> db;
+  lsd::Query hostile;   // worst written order
+  lsd::Query friendly;  // best written order
+};
+
+World* BuildWorld(int employees) {
+  static auto* cache = new std::map<int, std::unique_ptr<World>>();
+  auto it = cache->find(employees);
+  if (it != cache->end()) return it->second.get();
+  auto w = std::make_unique<World>();
+  w->db = std::make_unique<lsd::LooseDb>();
+  lsd::workload::OrgOptions options;
+  options.num_employees = employees;
+  options.salary_integrity_rule = false;
+  lsd::workload::BuildOrgDomain(w->db.get(), options);
+  // "salaries of employees working for DEPT-0", written so the first
+  // conjunct is a wildcard join and the selective conjunct comes last.
+  auto hostile = w->db->Parse(
+      "(?X, ?R, ?S) and (?S, IN, SALARY) and (?X, WORKS-FOR, DEPT-0) "
+      "and (?R, =, EARNS)");
+  auto friendly = w->db->Parse(
+      "(?X, WORKS-FOR, DEPT-0) and (?X, ?R, ?S) and (?R, =, EARNS) "
+      "and (?S, IN, SALARY)");
+  w->hostile = std::move(*hostile);
+  w->friendly = std::move(*friendly);
+  (void)w->db->View();  // closure outside the timed region
+  World* out = w.get();
+  (*cache)[employees] = std::move(w);
+  return out;
+}
+
+void RunPolicy(benchmark::State& state, lsd::Query World::* which,
+               lsd::JoinOrder order) {
+  World* w = BuildWorld(static_cast<int>(state.range(0)));
+  lsd::EvalOptions options;
+  options.join_order = order;
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto r = w->db->Run(w->*which, options);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    rows = r->rows.size();
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_HostileFixed(benchmark::State& state) {
+  RunPolicy(state, &World::hostile, lsd::JoinOrder::kFixed);
+}
+void BM_HostileBoundCount(benchmark::State& state) {
+  RunPolicy(state, &World::hostile, lsd::JoinOrder::kBoundCount);
+}
+void BM_HostileEstimatedCost(benchmark::State& state) {
+  RunPolicy(state, &World::hostile, lsd::JoinOrder::kEstimatedCost);
+}
+void BM_FriendlyFixed(benchmark::State& state) {
+  RunPolicy(state, &World::friendly, lsd::JoinOrder::kFixed);
+}
+void BM_FriendlyBoundCount(benchmark::State& state) {
+  RunPolicy(state, &World::friendly, lsd::JoinOrder::kBoundCount);
+}
+void BM_FriendlyEstimatedCost(benchmark::State& state) {
+  RunPolicy(state, &World::friendly, lsd::JoinOrder::kEstimatedCost);
+}
+
+}  // namespace
+
+#define LSD_E11_SIZES ->Arg(200)->Arg(1000)->Arg(4000)
+
+BENCHMARK(BM_HostileFixed) LSD_E11_SIZES->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HostileBoundCount)
+LSD_E11_SIZES->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HostileEstimatedCost)
+LSD_E11_SIZES->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FriendlyFixed) LSD_E11_SIZES->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FriendlyBoundCount)
+LSD_E11_SIZES->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FriendlyEstimatedCost)
+LSD_E11_SIZES->Unit(benchmark::kMillisecond);

@@ -1,0 +1,97 @@
+// E4: cost of automatic retraction (Sec 5.2) as the generalization
+// hierarchy changes shape. A probe whose success is planted g waves
+// above the query explores a frontier whose width is governed by the
+// taxonomy fanout and whose depth is g.
+//
+// Expected shape: retraction queries attempted grow with fanout x
+// number of query constants per wave, and multiplicatively with wave
+// depth.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "core/loose_db.h"
+#include "workload/random_graph.h"
+
+namespace {
+
+struct ProbeWorld {
+  std::unique_ptr<lsd::LooseDb> db;
+  lsd::Query query;
+};
+
+// Builds a taxonomy and a query (X, TOUCHES, <leaf>) whose only
+// success sits `gap` generalization steps above the leaf. `dag_percent`
+// controls how many nodes have a second parent: a tree gives every
+// entity exactly one minimal generalization, so only DAG-ness widens
+// the retraction frontier.
+ProbeWorld* BuildWorld(int depth, int fanout, int gap, int dag_percent) {
+  static auto* cache = new std::map<std::tuple<int, int, int, int>,
+                                    std::unique_ptr<ProbeWorld>>();
+  auto key = std::tuple(depth, fanout, gap, dag_percent);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second.get();
+
+  auto w = std::make_unique<ProbeWorld>();
+  w->db = std::make_unique<lsd::LooseDb>();
+  lsd::workload::TaxonomyOptions tax;
+  tax.depth = depth;
+  tax.fanout = fanout;
+  tax.extra_parent_prob = dag_percent / 100.0;
+  auto taxonomy = lsd::workload::BuildRandomTaxonomy(w->db.get(), tax);
+  const std::string& leaf = taxonomy.levels.back().front();
+  const std::string& target = taxonomy.levels[depth - gap].front();
+  w->db->Assert("X", "TOUCHES", target);
+  auto q = w->db->Parse("(X, TOUCHES, " + leaf + ")");
+  w->query = std::move(*q);
+  // Warm the closure and the lattice outside the timed region.
+  (void)w->db->Probe(w->query, lsd::ProbeOptions{.max_waves = 1});
+
+  ProbeWorld* out = w.get();
+  (*cache)[key] = std::move(w);
+  return out;
+}
+
+void BM_Probe(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const int fanout = static_cast<int>(state.range(1));
+  const int gap = static_cast<int>(state.range(2));
+  const int dag_percent = static_cast<int>(state.range(3));
+  ProbeWorld* w = BuildWorld(depth, fanout, gap, dag_percent);
+
+  lsd::ProbeOptions options;
+  options.max_waves = gap + 1;
+  size_t attempted = 0, waves = 0, successes = 0;
+  for (auto _ : state) {
+    auto probe = w->db->Probe(w->query, options);
+    if (!probe.ok()) {
+      state.SkipWithError(probe.status().ToString().c_str());
+      return;
+    }
+    attempted = probe->queries_attempted;
+    waves = static_cast<size_t>(probe->waves);
+    successes = probe->successes.size();
+  }
+  state.counters["queries_attempted"] = static_cast<double>(attempted);
+  state.counters["waves"] = static_cast<double>(waves);
+  state.counters["successes"] = static_cast<double>(successes);
+}
+
+}  // namespace
+
+// depth, fanout, gap (waves to success), dag density (percent of nodes
+// with a second parent).
+BENCHMARK(BM_Probe)
+    ->Args({4, 2, 1, 0})
+    ->Args({4, 2, 2, 0})
+    ->Args({4, 2, 3, 0})
+    ->Args({4, 4, 2, 0})
+    ->Args({6, 2, 2, 0})
+    ->Args({8, 2, 2, 0})
+    ->Args({4, 4, 1, 50})
+    ->Args({4, 4, 2, 50})
+    ->Args({4, 4, 3, 50})
+    ->Args({4, 4, 2, 100})
+    ->Args({6, 4, 3, 100})
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,176 @@
+// E9: storage strategies — the Sec 6.2 open problem. Compares the
+// dynamic set-backed TripleIndex against the frozen sorted-array index
+// on inserts and scans, and measures snapshot/WAL durability throughput.
+//
+// Expected shape: the frozen index scans faster (contiguous memory) but
+// cannot mutate; snapshot I/O is linear in store size; WAL appends are
+// constant-time per record.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+
+#include "store/frozen_index.h"
+#include "util/random.h"
+#include "store/persistence.h"
+#include "workload/random_graph.h"
+
+namespace {
+
+lsd::FactStore* BuildStore(size_t num_facts) {
+  static auto* cache =
+      new std::map<size_t, std::unique_ptr<lsd::FactStore>>();
+  auto it = cache->find(num_facts);
+  if (it != cache->end()) return it->second.get();
+  auto store = std::make_unique<lsd::FactStore>();
+  lsd::workload::GraphOptions options;
+  options.num_facts = num_facts;
+  options.num_entities = std::max<size_t>(100, num_facts / 10);
+  lsd::workload::BuildZipfGraph(store.get(), options);
+  lsd::FactStore* out = store.get();
+  (*cache)[num_facts] = std::move(store);
+  return out;
+}
+
+void BM_TripleIndexInsert(benchmark::State& state) {
+  lsd::Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    lsd::TripleIndex idx;
+    const size_t n = static_cast<size_t>(state.range(0));
+    state.ResumeTiming();
+    for (size_t i = 0; i < n; ++i) {
+      idx.Insert(lsd::Fact(static_cast<lsd::EntityId>(rng.Uniform(n / 4)),
+                           static_cast<lsd::EntityId>(rng.Uniform(16)),
+                           static_cast<lsd::EntityId>(rng.Uniform(n / 4))));
+    }
+    benchmark::DoNotOptimize(idx.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_FrozenIndexBuild(benchmark::State& state) {
+  lsd::FactStore* store = BuildStore(static_cast<size_t>(state.range(0)));
+  std::vector<lsd::Fact> facts = store->base().Match(lsd::Pattern());
+  for (auto _ : state) {
+    lsd::FrozenIndex frozen(facts);
+    benchmark::DoNotOptimize(frozen.size());
+  }
+  state.SetItemsProcessed(state.iterations() * facts.size());
+}
+
+void RunScan(benchmark::State& state, bool frozen_mode) {
+  lsd::FactStore* store = BuildStore(static_cast<size_t>(state.range(0)));
+  lsd::EntityId rel = *store->entities().Lookup("R0");
+  lsd::Pattern p(lsd::kAnyEntity, rel, lsd::kAnyEntity);
+  std::unique_ptr<lsd::FrozenIndex> frozen;
+  if (frozen_mode) {
+    frozen = std::make_unique<lsd::FrozenIndex>(
+        lsd::FrozenIndex::FromTripleIndex(store->base()));
+  }
+  size_t n = 0;
+  for (auto _ : state) {
+    n = 0;
+    auto count = [&](const lsd::Fact&) {
+      ++n;
+      return true;
+    };
+    if (frozen_mode) {
+      frozen->ForEach(p, count);
+    } else {
+      store->base().ForEach(p, count);
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["matches"] = static_cast<double>(n);
+}
+
+void BM_DynamicIndexScan(benchmark::State& state) { RunScan(state, false); }
+void BM_FrozenIndexScan(benchmark::State& state) { RunScan(state, true); }
+
+void BM_SnapshotSave(benchmark::State& state) {
+  lsd::FactStore* store = BuildStore(static_cast<size_t>(state.range(0)));
+  std::string path =
+      (std::filesystem::temp_directory_path() / "lsd_bench.snap").string();
+  for (auto _ : state) {
+    lsd::Status s = lsd::SaveSnapshot(path, *store, {});
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * store->size());
+  std::remove(path.c_str());
+}
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  lsd::FactStore* store = BuildStore(static_cast<size_t>(state.range(0)));
+  std::string path =
+      (std::filesystem::temp_directory_path() / "lsd_bench_load.snap")
+          .string();
+  lsd::Status saved = lsd::SaveSnapshot(path, *store, {});
+  if (!saved.ok()) {
+    state.SkipWithError(saved.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    lsd::FactStore loaded;
+    lsd::Status s = lsd::LoadSnapshot(path, &loaded, nullptr);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(loaded.size());
+  }
+  state.SetItemsProcessed(state.iterations() * store->size());
+  std::remove(path.c_str());
+}
+
+void BM_WalAppend(benchmark::State& state) {
+  lsd::FactStore store;
+  lsd::Fact f = store.Assert("A", "R", "B");
+  std::string path =
+      (std::filesystem::temp_directory_path() / "lsd_bench.wal").string();
+  std::remove(path.c_str());
+  lsd::Wal wal;
+  lsd::Status opened = wal.Open(path);
+  if (!opened.ok()) {
+    state.SkipWithError(opened.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    lsd::Status s = wal.AppendAssert(store, f);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  wal.Close();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+
+BENCHMARK(BM_TripleIndexInsert)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FrozenIndexBuild)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DynamicIndexScan)->Arg(10000)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_FrozenIndexScan)->Arg(10000)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_SnapshotSave)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SnapshotLoad)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WalAppend);

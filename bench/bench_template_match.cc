@@ -1,0 +1,112 @@
+// E2: template (primitive query) latency per binding pattern (Sec 2.7).
+// The triple index serves every one of the 8 patterns from one of its
+// three permutations; this measures each against Zipf fact graphs of
+// growing size.
+//
+// Expected shape: bound patterns are orders of magnitude faster than the
+// full scan, and latency tracks result cardinality, not store size.
+#include <benchmark/benchmark.h>
+
+#include "store/fact_store.h"
+#include "workload/random_graph.h"
+
+namespace {
+
+using lsd::EntityId;
+using lsd::FactStore;
+using lsd::kAnyEntity;
+using lsd::Pattern;
+
+struct Graph {
+  FactStore store;
+  EntityId hub;
+  EntityId rel;
+  EntityId tail;
+};
+
+Graph* BuildGraph(size_t num_facts) {
+  static std::map<size_t, std::unique_ptr<Graph>>* cache =
+      new std::map<size_t, std::unique_ptr<Graph>>();
+  auto it = cache->find(num_facts);
+  if (it != cache->end()) return it->second.get();
+  auto g = std::make_unique<Graph>();
+  lsd::workload::GraphOptions options;
+  options.num_facts = num_facts;
+  options.num_entities = std::max<size_t>(100, num_facts / 10);
+  std::string hub = lsd::workload::BuildZipfGraph(&g->store, options);
+  g->hub = *g->store.entities().Lookup(hub);
+  g->rel = *g->store.entities().Lookup("R0");
+  g->tail = g->store.entities().Intern("E1");
+  Graph* out = g.get();
+  (*cache)[num_facts] = std::move(g);
+  return out;
+}
+
+void RunPattern(benchmark::State& state,
+                Pattern (*make)(const Graph&)) {
+  Graph* g = BuildGraph(static_cast<size_t>(state.range(0)));
+  Pattern p = make(*g);
+  size_t matches = 0;
+  for (auto _ : state) {
+    matches = 0;
+    g->store.base().ForEach(p, [&](const lsd::Fact&) {
+      ++matches;
+      return true;
+    });
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["facts"] = static_cast<double>(g->store.size());
+}
+
+void BM_MatchSourceBound(benchmark::State& state) {
+  RunPattern(state, +[](const Graph& g) {
+    return Pattern(g.hub, kAnyEntity, kAnyEntity);
+  });
+}
+void BM_MatchSourceRelBound(benchmark::State& state) {
+  RunPattern(state, +[](const Graph& g) {
+    return Pattern(g.hub, g.rel, kAnyEntity);
+  });
+}
+void BM_MatchRelBound(benchmark::State& state) {
+  RunPattern(state, +[](const Graph& g) {
+    return Pattern(kAnyEntity, g.rel, kAnyEntity);
+  });
+}
+void BM_MatchTargetBound(benchmark::State& state) {
+  RunPattern(state, +[](const Graph& g) {
+    return Pattern(kAnyEntity, kAnyEntity, g.hub);
+  });
+}
+void BM_MatchSourceTargetBound(benchmark::State& state) {
+  RunPattern(state, +[](const Graph& g) {
+    return Pattern(g.hub, kAnyEntity, g.tail);
+  });
+}
+void BM_MatchRelTargetBound(benchmark::State& state) {
+  RunPattern(state, +[](const Graph& g) {
+    return Pattern(kAnyEntity, g.rel, g.hub);
+  });
+}
+void BM_MatchFullyBound(benchmark::State& state) {
+  RunPattern(state, +[](const Graph& g) {
+    return Pattern(g.hub, g.rel, g.tail);
+  });
+}
+void BM_MatchFullScan(benchmark::State& state) {
+  RunPattern(state, +[](const Graph&) { return Pattern(); });
+}
+
+}  // namespace
+
+#define LSD_E2_SIZES ->Arg(10000)->Arg(100000)->Arg(1000000)
+
+BENCHMARK(BM_MatchSourceBound) LSD_E2_SIZES;
+BENCHMARK(BM_MatchSourceRelBound) LSD_E2_SIZES;
+BENCHMARK(BM_MatchRelBound) LSD_E2_SIZES;
+BENCHMARK(BM_MatchTargetBound) LSD_E2_SIZES;
+BENCHMARK(BM_MatchSourceTargetBound) LSD_E2_SIZES;
+BENCHMARK(BM_MatchRelTargetBound) LSD_E2_SIZES;
+BENCHMARK(BM_MatchFullyBound) LSD_E2_SIZES;
+BENCHMARK(BM_MatchFullScan) LSD_E2_SIZES;

@@ -1,0 +1,155 @@
+// E6: the organization/retrieval trade-off of the paper's introduction,
+// measured. A schema-bound relational engine against the loose store on
+// the same organization data:
+//
+//   (a) schema-known point query ("EMP-i's department"): the relational
+//       engine should win — this is the efficiency the paper concedes;
+//   (b) organization-free lookup ("where does EMP-i appear?"): the
+//       loose store answers with three range scans, the relational
+//       engine must scan every column of every table;
+//   (c) structural evolution (a new attribute appears): one Assert in
+//       the loose store vs a column addition rewriting every row.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "browse/operators.h"
+#include "core/loose_db.h"
+#include "workload/org_domain.h"
+
+namespace {
+
+struct OrgWorld {
+  std::unique_ptr<lsd::LooseDb> db;
+  lsd::workload::OrgDomain domain;
+  lsd::baseline::Catalog catalog;
+  const lsd::ClosureView* view = nullptr;
+};
+
+OrgWorld* BuildWorld(int employees) {
+  static auto* cache = new std::map<int, std::unique_ptr<OrgWorld>>();
+  auto it = cache->find(employees);
+  if (it != cache->end()) return it->second.get();
+  auto w = std::make_unique<OrgWorld>();
+  w->db = std::make_unique<lsd::LooseDb>();
+  lsd::workload::OrgOptions options;
+  options.num_employees = employees;
+  options.num_departments = std::max(2, employees / 50);
+  options.salary_integrity_rule = false;  // E8 measures integrity
+  w->domain = lsd::workload::BuildOrgDomain(w->db.get(), options);
+  lsd::workload::BuildOrgRelational(w->domain, options,
+                                    &w->db->entities(), &w->catalog);
+  auto view = w->db->View();  // materialize the closure once, untimed
+  w->view = view.ok() ? *view : nullptr;
+  OrgWorld* out = w.get();
+  (*cache)[employees] = std::move(w);
+  return out;
+}
+
+void BM_PointQueryLoose(benchmark::State& state) {
+  OrgWorld* w = BuildWorld(static_cast<int>(state.range(0)));
+  lsd::EntityId emp = *w->db->entities().Lookup("EMP-0");
+  lsd::EntityId works = *w->db->entities().Lookup("WORKS-FOR");
+  size_t n = 0;
+  for (auto _ : state) {
+    n = 0;
+    w->view->ForEach(lsd::Pattern(emp, works, lsd::kAnyEntity),
+                     [&](const lsd::Fact&) {
+                       ++n;
+                       return true;
+                     });
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["results"] = static_cast<double>(n);
+}
+
+void BM_PointQueryRelational(benchmark::State& state) {
+  OrgWorld* w = BuildWorld(static_cast<int>(state.range(0)));
+  auto emp = w->catalog.Get("EMP");
+  if (!emp.ok()) {
+    state.SkipWithError("no EMP relation");
+    return;
+  }
+  lsd::EntityId name = *w->db->entities().Lookup("EMP-0");
+  size_t n = 0;
+  for (auto _ : state) {
+    auto rows = lsd::baseline::Select(**emp, "NAME", name, {"DEPT"});
+    n = rows.ok() ? rows->size() : 0;
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["results"] = static_cast<double>(n);
+}
+
+void BM_WhereDoesEntityAppearLoose(benchmark::State& state) {
+  OrgWorld* w = BuildWorld(static_cast<int>(state.range(0)));
+  lsd::EntityId emp = *w->db->entities().Lookup("EMP-0");
+  size_t n = 0;
+  for (auto _ : state) {
+    n = lsd::TryEntity(*w->view, emp).size();
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["mentions"] = static_cast<double>(n);
+}
+
+void BM_WhereDoesEntityAppearRelational(benchmark::State& state) {
+  // Without knowing the schema, the relational user must scan every
+  // column of every relation (the paper's "extensive scan").
+  OrgWorld* w = BuildWorld(static_cast<int>(state.range(0)));
+  lsd::EntityId target = *w->db->entities().Lookup("EMP-0");
+  const char* names[] = {"EMP", "DEPT"};
+  size_t n = 0;
+  for (auto _ : state) {
+    n = 0;
+    for (const char* rel_name : names) {
+      auto rel = w->catalog.Get(rel_name);
+      if (!rel.ok()) continue;
+      for (const auto& row : (*rel)->rows()) {
+        for (lsd::EntityId v : row) {
+          if (v == target) ++n;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["mentions"] = static_cast<double>(n);
+}
+
+void BM_EvolutionLoose(benchmark::State& state) {
+  // A new attribute appears in the world: assert one fact.
+  OrgWorld* w = BuildWorld(static_cast<int>(state.range(0)));
+  int i = 0;
+  for (auto _ : state) {
+    w->db->Assert("EMP-0", "BADGE-" + std::to_string(i++), "ISSUED");
+  }
+  state.counters["store_facts"] =
+      static_cast<double>(w->db->store().size());
+}
+
+void BM_EvolutionRelational(benchmark::State& state) {
+  // The same change needs a schema alteration touching every row.
+  OrgWorld* w = BuildWorld(static_cast<int>(state.range(0)));
+  auto emp = w->catalog.Get("EMP");
+  if (!emp.ok()) {
+    state.SkipWithError("no EMP relation");
+    return;
+  }
+  lsd::EntityId fill = w->db->entities().Intern("UNKNOWN");
+  int i = 0;
+  for (auto _ : state) {
+    std::string col = "BADGE-" + std::to_string(i++);
+    benchmark::DoNotOptimize((*emp)->AddColumn(col, fill));
+  }
+  state.counters["rows_rewritten"] = static_cast<double>((*emp)->size());
+}
+
+}  // namespace
+
+#define LSD_E6_SIZES ->Arg(100)->Arg(1000)->Arg(10000)
+
+BENCHMARK(BM_PointQueryLoose) LSD_E6_SIZES;
+BENCHMARK(BM_PointQueryRelational) LSD_E6_SIZES;
+BENCHMARK(BM_WhereDoesEntityAppearLoose) LSD_E6_SIZES;
+BENCHMARK(BM_WhereDoesEntityAppearRelational) LSD_E6_SIZES;
+BENCHMARK(BM_EvolutionLoose) LSD_E6_SIZES;
+BENCHMARK(BM_EvolutionRelational) LSD_E6_SIZES;

@@ -1,0 +1,42 @@
+// Reproduces the navigation session of Sec 4.1 (tables F1-F3 in
+// DESIGN.md): John's neighborhood, the concerto's neighborhood, and the
+// associations between Leopold/John and Mozart, including the composed
+// relationship FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY.
+#include <cstdio>
+
+#include "core/loose_db.h"
+#include "workload/music_domain.h"
+
+int main() {
+  lsd::LooseDb db;
+  lsd::workload::BuildMusicDomain(&db);
+
+  std::printf("== (JOHN, *, *) ==\n");
+  auto john = db.Navigate("JOHN");
+  if (!john.ok()) {
+    std::fprintf(stderr, "%s\n", john.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", john->Render(db.entities()).c_str());
+
+  std::printf("== (PC#9-WAM, *, *) ==\n");
+  auto concerto = db.Navigate("PC#9-WAM");
+  if (!concerto.ok()) return 1;
+  std::printf("%s\n", concerto->Render(db.entities()).c_str());
+
+  std::printf("== (LEOPOLD, *, MOZART) ==\n");
+  auto leopold = db.RenderAssociations("LEOPOLD", "MOZART");
+  if (!leopold.ok()) return 1;
+  std::printf("%s\n", leopold->c_str());
+
+  std::printf("== (JOHN, *, MOZART) — composition as a browsing tool ==\n");
+  auto paths = db.RenderAssociations("JOHN", "MOZART");
+  if (!paths.ok()) return 1;
+  std::printf("%s\n", paths->c_str());
+
+  std::printf("== try(MOZART) — the navigation start-up aid ==\n");
+  auto t = db.Try("MOZART");
+  if (!t.ok()) return 1;
+  std::printf("%s", t->c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Quickstart: the LooseDb public API in ~60 lines.
+//
+//   $ ./quickstart
+//
+// Builds a tiny loosely structured database, runs a standard query, a
+// navigation step and a probe, and checks integrity.
+#include <cstdio>
+
+#include "core/loose_db.h"
+#include "query/table_formatter.h"
+
+int main() {
+  lsd::LooseDb db;
+
+  // A database is just a heap of facts — no schema to design first.
+  db.Assert("JOHN", "IN", "EMPLOYEE");
+  db.Assert("EMPLOYEE", "ISA", "PERSON");
+  db.Assert("EMPLOYEE", "EARNS", "SALARY");
+  db.Assert("JOHN", "WORKS-FOR", "SHIPPING");
+  db.Assert("SHIPPING", "IN", "DEPARTMENT");
+  db.Assert("JOHN", "EARNS", "$25000");
+
+  // Standard query language (predicate logic over templates).
+  auto result = db.Query("(JOHN, ?R, ?X)");
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("All facts about JOHN (including inferred ones):\n%s\n",
+              lsd::FormatResult(*result, db.entities()).c_str());
+
+  // Browsing by navigation: the neighborhood of an entity.
+  auto hood = db.Navigate("JOHN");
+  if (hood.ok()) {
+    std::printf("%s\n", hood->Render(db.entities()).c_str());
+  }
+
+  // Browsing by probing: failed queries retract automatically. Nobody
+  // MANAGES shipping, but MANAGES ≺ WORKS-FOR rescues the query.
+  db.Assert("MANAGES", "ISA", "WORKS-FOR");
+  auto probe = db.Probe("(JOHN, MANAGES, SHIPPING)");
+  if (probe.ok()) {
+    std::printf("%s\n", probe->Menu(db.entities()).c_str());
+  }
+
+  // Integrity: contradiction-free closures are the definition of a
+  // valid loosely structured database.
+  lsd::Status integrity = db.CheckIntegrity();
+  std::printf("integrity: %s\n", integrity.ToString().c_str());
+  return integrity.ok() ? 0 : 1;
+}

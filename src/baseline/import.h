@@ -1,0 +1,60 @@
+// Importing structured (relational) databases into a loose store — the
+// introduction's second motivation: "unified access to multiple
+// databases is much simpler with databases whose architecture does not
+// emphasize structure".
+//
+// Each relation row becomes facts. Two shapes, chosen per relation:
+//
+//   kKeyed      the first column is treated as the row's identity:
+//                 EMP(NAME, DEPT, SALARY) row (JOHN, SHIPPING, $26k) ->
+//                   (JOHN, IN, EMP)
+//                   (JOHN, DEPT, SHIPPING)
+//                   (JOHN, SALARY, $26000)
+//
+//   kReified    rows with no natural key are reified exactly like the
+//               paper's enrollment example (Sec 2.6): a fresh entity
+//               names the row:
+//                 ENROLL(STUDENT, COURSE, GRADE) row (TOM, CS100, A) ->
+//                   (ENROLL-1, IN, ENROLL)
+//                   (ENROLL-1, STUDENT, TOM)
+//                   (ENROLL-1, COURSE, CS100)
+//                   (ENROLL-1, GRADE, A)
+//
+// Column names become relationship entities; importing two databases
+// that disagree on naming is then reconciled with synonym facts
+// (Sec 3.3) instead of schema surgery.
+#ifndef LSD_BASELINE_IMPORT_H_
+#define LSD_BASELINE_IMPORT_H_
+
+#include <string>
+
+#include "baseline/relational.h"
+#include "core/loose_db.h"
+#include "util/status.h"
+
+namespace lsd::baseline {
+
+enum class ImportShape : uint8_t {
+  kKeyed = 0,
+  kReified,
+};
+
+struct ImportStats {
+  size_t rows = 0;
+  size_t facts_asserted = 0;
+  size_t row_entities_minted = 0;  // kReified only
+};
+
+// Imports one relation. The relation's values must be entity ids from
+// db->entities() (as produced by e.g. BuildOrgRelational); names are
+// resolved through that shared table.
+StatusOr<ImportStats> ImportRelation(const Relation& relation,
+                                     ImportShape shape, LooseDb* db);
+
+// Imports every relation of a catalog with the given shape.
+StatusOr<ImportStats> ImportCatalog(Catalog* catalog, ImportShape shape,
+                                    LooseDb* db);
+
+}  // namespace lsd::baseline
+
+#endif  // LSD_BASELINE_IMPORT_H_

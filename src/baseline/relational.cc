@@ -1,0 +1,180 @@
+#include "baseline/relational.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace lsd::baseline {
+
+int Relation::ColumnIndex(std::string_view column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Relation::Insert(Row row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity mismatch for " + name_);
+  }
+  size_t idx = rows_.size();
+  for (auto& [col, index] : indexes_) {
+    index[row[col]].push_back(idx);
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Relation::CreateIndex(std::string_view column) {
+  int col = ColumnIndex(column);
+  if (col < 0) {
+    return Status::NotFound("no column " + std::string(column) + " in " +
+                            name_);
+  }
+  auto& index = indexes_[col];
+  index.clear();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    index[rows_[i][col]].push_back(i);
+  }
+  return Status::OK();
+}
+
+bool Relation::HasIndex(std::string_view column) const {
+  int col = ColumnIndex(column);
+  return col >= 0 && indexes_.count(col) > 0;
+}
+
+std::vector<size_t> Relation::Lookup(std::string_view column,
+                                     EntityId value) const {
+  int col = ColumnIndex(column);
+  if (col < 0) return {};
+  auto it = indexes_.find(col);
+  if (it != indexes_.end()) {
+    auto vit = it->second.find(value);
+    if (vit == it->second.end()) return {};
+    return vit->second;
+  }
+  std::vector<size_t> out;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i][col] == value) out.push_back(i);
+  }
+  return out;
+}
+
+Status Relation::AddColumn(std::string name, EntityId fill) {
+  if (ColumnIndex(name) >= 0) {
+    return Status::AlreadyExists("column " + name + " exists in " + name_);
+  }
+  columns_.push_back(std::move(name));
+  for (Row& row : rows_) row.push_back(fill);
+  return Status::OK();
+}
+
+Status Relation::DropColumn(std::string_view column) {
+  int col = ColumnIndex(column);
+  if (col < 0) {
+    return Status::NotFound("no column " + std::string(column) + " in " +
+                            name_);
+  }
+  columns_.erase(columns_.begin() + col);
+  for (Row& row : rows_) row.erase(row.begin() + col);
+  // Indexes reference column positions; rebuild them all.
+  std::vector<int> indexed;
+  for (const auto& [c, _] : indexes_) {
+    if (c != col) indexed.push_back(c < col ? c : c - 1);
+  }
+  indexes_.clear();
+  for (int c : indexed) {
+    auto& index = indexes_[c];
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      index[rows_[i][c]].push_back(i);
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<Relation*> Catalog::CreateRelation(
+    std::string name, std::vector<std::string> columns) {
+  for (const auto& r : relations_) {
+    if (r->name() == name) {
+      return Status::AlreadyExists("relation " + name + " exists");
+    }
+  }
+  relations_.push_back(
+      std::make_unique<Relation>(std::move(name), std::move(columns)));
+  return relations_.back().get();
+}
+
+StatusOr<Relation*> Catalog::Get(std::string_view name) {
+  for (const auto& r : relations_) {
+    if (r->name() == name) return r.get();
+  }
+  return Status::NotFound("no relation " + std::string(name));
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& r : relations_) out.push_back(r->name());
+  return out;
+}
+
+Status Catalog::Drop(std::string_view name) {
+  auto it = std::find_if(relations_.begin(), relations_.end(),
+                         [&](const auto& r) { return r->name() == name; });
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation " + std::string(name));
+  }
+  relations_.erase(it);
+  return Status::OK();
+}
+
+StatusOr<std::vector<Row>> Select(const Relation& rel,
+                                  std::string_view column, EntityId value,
+                                  const std::vector<std::string>& projection) {
+  std::vector<int> proj_cols;
+  for (const std::string& p : projection) {
+    int c = rel.ColumnIndex(p);
+    if (c < 0) {
+      return Status::NotFound("no column " + p + " in " + rel.name());
+    }
+    proj_cols.push_back(c);
+  }
+  if (rel.ColumnIndex(column) < 0) {
+    return Status::NotFound("no column " + std::string(column) + " in " +
+                            rel.name());
+  }
+  std::vector<Row> out;
+  for (size_t i : rel.Lookup(column, value)) {
+    Row row;
+    row.reserve(proj_cols.size());
+    for (int c : proj_cols) row.push_back(rel.rows()[i][c]);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::pair<Row, Row>>> HashJoin(const Relation& a,
+                                                    std::string_view col_a,
+                                                    const Relation& b,
+                                                    std::string_view col_b) {
+  int ca = a.ColumnIndex(col_a);
+  int cb = b.ColumnIndex(col_b);
+  if (ca < 0 || cb < 0) {
+    return Status::NotFound("join column missing");
+  }
+  std::unordered_map<EntityId, std::vector<size_t>> build;
+  for (size_t i = 0; i < a.rows().size(); ++i) {
+    build[a.rows()[i][ca]].push_back(i);
+  }
+  std::vector<std::pair<Row, Row>> out;
+  for (const Row& row_b : b.rows()) {
+    auto it = build.find(row_b[cb]);
+    if (it == build.end()) continue;
+    for (size_t i : it->second) {
+      out.emplace_back(a.rows()[i], row_b);
+    }
+  }
+  return out;
+}
+
+}  // namespace lsd::baseline

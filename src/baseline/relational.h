@@ -1,0 +1,92 @@
+// A minimal schema-bound relational engine: the "structured" comparator
+// for experiment E6 (DESIGN.md). It plays the role of the conventional
+// DBMS the paper's introduction contrasts against: retrieval is fast
+// when you know the schema, but the schema must be designed up front and
+// restructured when the modeled environment evolves.
+//
+// Values are interned entity ids from the same EntityTable the loose
+// store uses, so E6 compares engines, not string handling.
+#ifndef LSD_BASELINE_RELATIONAL_H_
+#define LSD_BASELINE_RELATIONAL_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/entity_table.h"
+#include "util/status.h"
+
+namespace lsd::baseline {
+
+using Row = std::vector<EntityId>;
+
+class Relation {
+ public:
+  Relation(std::string name, std::vector<std::string> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  size_t arity() const { return columns_.size(); }
+  size_t size() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  // Column index by name; -1 if absent.
+  int ColumnIndex(std::string_view column) const;
+
+  Status Insert(Row row);
+
+  // Builds (or rebuilds) a hash index on one column.
+  Status CreateIndex(std::string_view column);
+  bool HasIndex(std::string_view column) const;
+
+  // Row indices with rows[col] == value; uses the index when present,
+  // otherwise scans.
+  std::vector<size_t> Lookup(std::string_view column, EntityId value) const;
+
+  // Schema evolution (the restructuring the paper calls "very difficult
+  // and costly" — E6 measures it): adds a column filled with `fill`,
+  // invalidating nothing but costing O(rows); drops a column, which
+  // rebuilds every row and every index.
+  Status AddColumn(std::string name, EntityId fill);
+  Status DropColumn(std::string_view column);
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+  // column index -> (value -> row indices)
+  std::unordered_map<int, std::unordered_map<EntityId, std::vector<size_t>>>
+      indexes_;
+};
+
+class Catalog {
+ public:
+  StatusOr<Relation*> CreateRelation(std::string name,
+                                     std::vector<std::string> columns);
+  StatusOr<Relation*> Get(std::string_view name);
+  Status Drop(std::string_view name);
+  std::vector<std::string> Names() const;
+  size_t size() const { return relations_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Relation>> relations_;
+};
+
+// select: rows of `rel` where column == value, projected onto
+// `projection` (column names).
+StatusOr<std::vector<Row>> Select(const Relation& rel,
+                                  std::string_view column, EntityId value,
+                                  const std::vector<std::string>& projection);
+
+// Hash equi-join of a.col_a == b.col_b, projecting (a columns..,
+// b columns..) pairs of the matching rows.
+StatusOr<std::vector<std::pair<Row, Row>>> HashJoin(const Relation& a,
+                                                    std::string_view col_a,
+                                                    const Relation& b,
+                                                    std::string_view col_b);
+
+}  // namespace lsd::baseline
+
+#endif  // LSD_BASELINE_RELATIONAL_H_

@@ -1,0 +1,103 @@
+#include "browse/dot_export.h"
+
+#include <unordered_set>
+
+#include "browse/proximity.h"
+#include "rules/math_provider.h"
+
+namespace lsd {
+
+namespace {
+
+bool Exportable(const ClosureView& view, const Fact& f,
+                const DotOptions& options) {
+  EntityId r = f.relationship;
+  if (MathProvider::IsComparator(r)) return false;
+  if (r == kEntSyn || r == kEntInv || r == kEntContra ||
+      r == kEntClassRel) {
+    return false;
+  }
+  if ((r == kEntIsa || r == kEntIn) && !options.include_taxonomy) {
+    return false;
+  }
+  if (!options.include_derived && !view.store().Contains(f)) return false;
+  return true;
+}
+
+// DOT identifiers: quote names and escape quotes/backslashes.
+std::string Quote(const std::string& name) {
+  std::string out = "\"";
+  for (char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string EdgeLine(const ClosureView& view, const Fact& f) {
+  const EntityTable& entities = view.store().entities();
+  std::string line = "  " + Quote(entities.Name(f.source)) + " -> " +
+                     Quote(entities.Name(f.target));
+  std::string attrs;
+  if (f.relationship == kEntIsa) {
+    attrs = "style=dashed, label=\"isa\"";
+  } else if (f.relationship == kEntIn) {
+    attrs = "style=dotted, label=\"in\"";
+  } else {
+    attrs = "label=" + Quote(entities.Name(f.relationship));
+  }
+  if (!view.store().Contains(f)) {
+    attrs += ", color=gray, fontcolor=gray";  // derived fact
+  }
+  return line + " [" + attrs + "];\n";
+}
+
+StatusOr<std::string> Render(const ClosureView& view,
+                             const std::vector<Fact>& facts,
+                             const DotOptions& options) {
+  if (facts.size() > options.max_facts) {
+    return Status::OutOfRange("DOT export exceeds max_facts (" +
+                              std::to_string(options.max_facts) + ")");
+  }
+  std::string out = "digraph lsd {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (const Fact& f : facts) out += EdgeLine(view, f);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::string> ExportDot(const ClosureView& view,
+                                const DotOptions& options) {
+  std::vector<Fact> facts;
+  view.ForEach(Pattern(), [&](const Fact& f) {
+    if (Exportable(view, f, options)) facts.push_back(f);
+    return true;
+  });
+  return Render(view, facts, options);
+}
+
+StatusOr<std::string> ExportNeighborhoodDot(const ClosureView& view,
+                                            EntityId center, int radius,
+                                            const DotOptions& options) {
+  ProximityOptions prox;
+  prox.include_meta_relationships = options.include_taxonomy;
+  LSD_ASSIGN_OR_RETURN(std::vector<NearbyEntity> nearby,
+                       Nearby(view, center, radius, prox));
+  std::unordered_set<EntityId> in_scope{center};
+  for (const NearbyEntity& n : nearby) in_scope.insert(n.entity);
+
+  std::vector<Fact> facts;
+  for (EntityId e : in_scope) {
+    view.ForEach(Pattern(e, kAnyEntity, kAnyEntity), [&](const Fact& f) {
+      if (in_scope.count(f.target) && Exportable(view, f, options)) {
+        facts.push_back(f);
+      }
+      return true;
+    });
+  }
+  return Render(view, facts, options);
+}
+
+}  // namespace lsd

@@ -1,0 +1,38 @@
+// Graphviz DOT export of the fact graph — a visualization aid for
+// browsing ("strolling along the aisles" with a map). Generalization
+// and membership edges are styled distinctly so the taxonomy reads at a
+// glance.
+#ifndef LSD_BROWSE_DOT_EXPORT_H_
+#define LSD_BROWSE_DOT_EXPORT_H_
+
+#include <string>
+
+#include "rules/closure_view.h"
+#include "util/status.h"
+
+namespace lsd {
+
+struct DotOptions {
+  // Include ISA/IN edges (dashed/dotted); SYN/INV/CONTRA and
+  // comparators are never exported.
+  bool include_taxonomy = true;
+  // Export asserted facts only (false) or the whole stored closure
+  // (true). Derived facts render gray.
+  bool include_derived = false;
+  // Safety valve.
+  size_t max_facts = 10'000;
+};
+
+// The whole database as a directed graph.
+StatusOr<std::string> ExportDot(const ClosureView& view,
+                                const DotOptions& options = {});
+
+// Only the fact subgraph within `radius` associations of `center`
+// (undirected reachability, like browse/proximity.h).
+StatusOr<std::string> ExportNeighborhoodDot(const ClosureView& view,
+                                            EntityId center, int radius,
+                                            const DotOptions& options = {});
+
+}  // namespace lsd
+
+#endif  // LSD_BROWSE_DOT_EXPORT_H_

@@ -1,0 +1,133 @@
+// Browsing by probing (Sec 5): every failure of a query is interpreted
+// as overqualification, and a set of minimally broader "retraction"
+// queries is attempted automatically.
+//
+// Broadness follows the inference rules (1) of Sec 3.1:
+//   - an entity in a *source* position is replaced by a minimal
+//     specialization (facts about a class hold of its subclasses, so the
+//     narrower class makes a weaker claim: "all freshmen love z" is
+//     broader than "all students love z");
+//   - an entity in a *relationship* or *target* position is replaced by
+//     a minimal generalization ("likes" is broader than "loves").
+// Terminal substitutions reach NONE resp. ANY; a template whose every
+// position is a variable, ANY or NONE is deleted outright (Sec 5.2).
+//
+// Retraction proceeds in waves: wave k holds the queries k substitutions
+// away from the original. The first wave containing a successful query
+// stops the search, and the successes are presented as the paper's menu.
+#ifndef LSD_BROWSE_PROBING_H_
+#define LSD_BROWSE_PROBING_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+#include "query/evaluator.h"
+#include "rules/closure_view.h"
+#include "util/status.h"
+
+namespace lsd {
+
+// The covering relation ("minimal generalization", Sec 5.1) of the
+// closure's generalization order, restricted to regular entities.
+// Hierarchy roots cover to ANY; leaves specialize to NONE.
+class GeneralizationLattice {
+ public:
+  static GeneralizationLattice Build(const ClosureView& view);
+
+  // Minimal generalizations of e. Never empty for a regular entity
+  // (falls back to {ANY}); empty for ANY itself and for builtins.
+  std::vector<EntityId> MinimalGeneralizations(EntityId e) const;
+
+  // Minimal specializations of e. Falls back to {NONE}; empty for NONE
+  // itself and for builtins other than ANY.
+  std::vector<EntityId> MinimalSpecializations(EntityId e) const;
+
+  // True if the entity participates in any stored fact — probing reports
+  // entities that do not as "no such database entities".
+  bool IsKnown(EntityId e) const;
+
+ private:
+  struct Node {
+    std::vector<EntityId> parents;   // covers above
+    std::vector<EntityId> children;  // covers below
+  };
+  std::vector<Node> nodes_;       // indexed by EntityId
+  std::vector<bool> known_;       // appears in some stored fact
+  size_t num_entities_ = 0;
+};
+
+// One substitution step on the way from the original query to a
+// retraction query.
+struct Substitution {
+  enum class Kind : uint8_t {
+    kGeneralize,      // relationship/target: entity -> broader entity
+    kSpecialize,      // source: entity -> narrower entity
+    kDeleteTemplate,  // a fully weakened template was dropped
+  };
+  Kind kind = Kind::kGeneralize;
+  EntityId from = 0;
+  EntityId to = 0;           // unused for kDeleteTemplate
+  std::string deleted_text;  // rendered template, kDeleteTemplate only
+
+  // "FRESHMAN instead of STUDENT" / "without (?Z, ANY, FREE)".
+  std::string Describe(const EntityTable& entities) const;
+};
+
+struct ProbeOptions {
+  int max_waves = 4;
+  size_t max_queries = 20'000;  // total retraction queries attempted
+  size_t max_rows_per_result = 1'000;
+};
+
+struct ProbeSuccess {
+  Query query;
+  std::vector<Substitution> substitutions;
+  ResultSet result;
+};
+
+struct ProbeResult {
+  bool original_succeeded = false;
+  ResultSet original_result;
+
+  int waves = 0;                 // waves explored (0 if original succeeded)
+  size_t queries_attempted = 0;  // retraction queries evaluated
+  std::vector<ProbeSuccess> successes;  // of the first successful wave
+  bool exhausted = false;  // search space emptied with no success
+
+  // Entities of the original query that appear in no stored fact — the
+  // paper's "no such database entities" diagnosis.
+  std::vector<EntityId> unknown_entities;
+
+  // Renders the paper's menu:
+  //   Query failed. Retrying...
+  //   1. Success with FRESHMAN instead of STUDENT
+  //   ...
+  std::string Menu(const EntityTable& entities) const;
+};
+
+class Prober {
+ public:
+  // All borrowed; the lattice must match the view's closure.
+  Prober(const ClosureView* view, const GeneralizationLattice* lattice,
+         const EntityTable* entities)
+      : view_(view), lattice_(lattice), entities_(entities) {}
+
+  // The retraction set of `query`: all minimally broader queries, each
+  // tagged with the substitution that produced it.
+  std::vector<std::pair<Query, Substitution>> RetractionSet(
+      const Query& query) const;
+
+  // Full automatic retraction (Sec 5.2).
+  StatusOr<ProbeResult> Probe(const Query& query,
+                              const ProbeOptions& options = {}) const;
+
+ private:
+  const ClosureView* view_;
+  const GeneralizationLattice* lattice_;
+  const EntityTable* entities_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_BROWSE_PROBING_H_

@@ -1,0 +1,103 @@
+#include "browse/proximity.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "rules/math_provider.h"
+
+namespace lsd {
+
+namespace {
+
+bool IsMetaRelationship(EntityId r) {
+  return r == kEntIsa || r == kEntIn || r == kEntSyn || r == kEntInv ||
+         r == kEntContra || r == kEntClassRel;
+}
+
+bool EdgeAllowed(const ClosureView& view, EntityId r,
+                 const ProximityOptions& options) {
+  if (MathProvider::IsComparator(r)) return false;
+  if (!options.include_meta_relationships && IsMetaRelationship(r)) {
+    return false;
+  }
+  return view.store().entities().Kind(r) != EntityKind::kComposed;
+}
+
+// Breadth-first search; calls visit(entity, distance) for every newly
+// reached entity. Stops when visit returns false, the radius is
+// exhausted, or max_visited trips (returning OutOfRange).
+Status Bfs(const ClosureView& view, EntityId center, int radius,
+           const ProximityOptions& options,
+           const std::function<bool(EntityId, int)>& visit) {
+  std::unordered_map<EntityId, int> dist{{center, 0}};
+  std::deque<EntityId> queue{center};
+  bool stopped = false;
+  while (!queue.empty() && !stopped) {
+    EntityId at = queue.front();
+    queue.pop_front();
+    int d = dist[at];
+    if (d >= radius) continue;
+    auto expand = [&](EntityId next, EntityId rel) {
+      if (stopped) return false;
+      if (!EdgeAllowed(view, rel, options)) return true;
+      if (dist.count(next)) return true;
+      dist[next] = d + 1;
+      if (dist.size() > options.max_visited) {
+        stopped = true;
+        return false;
+      }
+      queue.push_back(next);
+      if (!visit(next, d + 1)) {
+        stopped = true;
+        return false;
+      }
+      return true;
+    };
+    view.ForEach(Pattern(at, kAnyEntity, kAnyEntity), [&](const Fact& f) {
+      return expand(f.target, f.relationship);
+    });
+    if (stopped) break;
+    if (options.undirected) {
+      view.ForEach(Pattern(kAnyEntity, kAnyEntity, at),
+                   [&](const Fact& f) {
+                     return expand(f.source, f.relationship);
+                   });
+    }
+  }
+  if (dist.size() > options.max_visited) {
+    return Status::OutOfRange("proximity search exceeded max_visited");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::optional<int>> SemanticDistance(
+    const ClosureView& view, EntityId a, EntityId b, int max_radius,
+    const ProximityOptions& options) {
+  if (a == b) return std::optional<int>(0);
+  std::optional<int> found;
+  LSD_RETURN_IF_ERROR(Bfs(view, a, max_radius, options,
+                          [&](EntityId e, int d) {
+                            if (e == b) {
+                              found = d;
+                              return false;
+                            }
+                            return true;
+                          }));
+  return found;
+}
+
+StatusOr<std::vector<NearbyEntity>> Nearby(const ClosureView& view,
+                                           EntityId center, int radius,
+                                           const ProximityOptions& options) {
+  std::vector<NearbyEntity> out;
+  LSD_RETURN_IF_ERROR(Bfs(view, center, radius, options,
+                          [&](EntityId e, int d) {
+                            out.push_back(NearbyEntity{e, d});
+                            return true;
+                          }));
+  return out;
+}
+
+}  // namespace lsd

@@ -1,0 +1,54 @@
+// Semantic distance (Sec 6.1): the paper observes that "as the chain of
+// compositions gets longer, the relationship between its two end
+// entities becomes less significant (the length of such a path is
+// sometimes called the semantic distance between these entities)".
+//
+// This module makes the notion operational for browsing:
+//   SemanticDistance(a, b)  length of the shortest fact chain relating
+//                           a and b (1 = directly related);
+//   Nearby(center, radius)  every entity within a given semantic
+//                           distance, BFS order — a "what is around
+//                           here?" browsing aid complementing try(e).
+#ifndef LSD_BROWSE_PROXIMITY_H_
+#define LSD_BROWSE_PROXIMITY_H_
+
+#include <optional>
+#include <vector>
+
+#include "rules/closure_view.h"
+#include "util/status.h"
+
+namespace lsd {
+
+struct ProximityOptions {
+  // Follow facts in both directions (a relationship and its inverse are
+  // the same association, Sec 3.4).
+  bool undirected = true;
+  // Meta relationships (ISA, IN, SYN, INV, CONTRA) and comparators do
+  // not count as associations by default, matching the composition
+  // engine.
+  bool include_meta_relationships = false;
+  // Safety valve on BFS size.
+  size_t max_visited = 1'000'000;
+};
+
+// Shortest chain length between two entities, or nullopt if they are
+// not connected within `max_radius`.
+StatusOr<std::optional<int>> SemanticDistance(
+    const ClosureView& view, EntityId a, EntityId b, int max_radius,
+    const ProximityOptions& options = {});
+
+struct NearbyEntity {
+  EntityId entity;
+  int distance;
+};
+
+// All entities within `radius` of `center`, closest first (BFS layers;
+// ties in id order). The center itself is excluded.
+StatusOr<std::vector<NearbyEntity>> Nearby(
+    const ClosureView& view, EntityId center, int radius,
+    const ProximityOptions& options = {});
+
+}  // namespace lsd
+
+#endif  // LSD_BROWSE_PROXIMITY_H_

@@ -1,0 +1,49 @@
+#include "browse/session.h"
+
+namespace lsd {
+
+StatusOr<NeighborhoodView> BrowseSession::NeighborhoodOfCurrent() {
+  return db_->Navigate(db_->entities().Name(trail_[position_]));
+}
+
+StatusOr<NeighborhoodView> BrowseSession::Visit(std::string_view entity) {
+  auto id = db_->entities().Lookup(entity);
+  if (!id.has_value()) {
+    return Status::NotFound("unknown entity: " + std::string(entity));
+  }
+  if (!trail_.empty()) {
+    trail_.resize(position_ + 1);  // drop forward history
+  }
+  trail_.push_back(*id);
+  position_ = trail_.size() - 1;
+  return NeighborhoodOfCurrent();
+}
+
+StatusOr<NeighborhoodView> BrowseSession::Back() {
+  if (!CanGoBack()) {
+    return Status::FailedPrecondition("nothing to go back to");
+  }
+  --position_;
+  return NeighborhoodOfCurrent();
+}
+
+StatusOr<NeighborhoodView> BrowseSession::Forward() {
+  if (!CanGoForward()) {
+    return Status::FailedPrecondition("nothing to go forward to");
+  }
+  ++position_;
+  return NeighborhoodOfCurrent();
+}
+
+std::string BrowseSession::Breadcrumbs() const {
+  std::string out;
+  for (size_t i = 0; i < trail_.size(); ++i) {
+    if (i > 0) out += " > ";
+    if (i == position_) out += "[";
+    out += db_->entities().Name(trail_[i]);
+    if (i == position_) out += "]";
+  }
+  return out;
+}
+
+}  // namespace lsd

@@ -1,0 +1,57 @@
+// An interactive browsing session (Sec 4.1): "examine the neighborhood
+// of a fact, pick a fact from this neighborhood, examine its
+// neighborhood, and so on". BrowseSession tracks the trail so a browser
+// can back out of a dead end and resume — the aisles metaphor made
+// stateful.
+#ifndef LSD_BROWSE_SESSION_H_
+#define LSD_BROWSE_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/loose_db.h"
+#include "util/status.h"
+
+namespace lsd {
+
+class BrowseSession {
+ public:
+  // `db` is borrowed and must outlive the session.
+  explicit BrowseSession(LooseDb* db) : db_(db) {}
+
+  // Moves the session to `entity` and returns its neighborhood. Visiting
+  // truncates any forward history (like a web browser).
+  StatusOr<NeighborhoodView> Visit(std::string_view entity);
+
+  // Re-visit the previous / next entity in the trail. FailedPrecondition
+  // when there is nothing to go back/forward to.
+  StatusOr<NeighborhoodView> Back();
+  StatusOr<NeighborhoodView> Forward();
+
+  bool CanGoBack() const { return position_ > 0; }
+  bool CanGoForward() const {
+    return !trail_.empty() && position_ + 1 < trail_.size();
+  }
+
+  // The entity currently visited; kAnyEntity before the first Visit.
+  EntityId current() const {
+    return trail_.empty() ? kAnyEntity : trail_[position_];
+  }
+
+  // The full trail, oldest first.
+  const std::vector<EntityId>& trail() const { return trail_; }
+
+  // "JOHN > PC#9-WAM > MOZART" with the current position bracketed.
+  std::string Breadcrumbs() const;
+
+ private:
+  StatusOr<NeighborhoodView> NeighborhoodOfCurrent();
+
+  LooseDb* db_;
+  std::vector<EntityId> trail_;
+  size_t position_ = 0;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_BROWSE_SESSION_H_

@@ -1,0 +1,387 @@
+#include "core/loose_db.h"
+
+#include "rules/builtin_rules.h"
+#include "store/text_format.h"
+
+namespace lsd {
+
+LooseDb::LooseDb(const LooseDbOptions& options)
+    : options_(options),
+      composition_limit_(options.composition_limit),
+      math_(&store_.entities()),
+      engine_(&store_, &math_) {
+  if (options_.standard_rules) {
+    for (const Fact& f : StandardSeedFacts()) store_.Assert(f);
+    for (Rule& r : StandardRules()) rules_.push_back(std::move(r));
+    ++rules_version_;
+  }
+}
+
+void LooseDb::Invalidate() {
+  // The closure cache is keyed on versions; nothing else to do. Kept as
+  // an explicit hook for future cache layers.
+}
+
+void LooseDb::MaintainIncremental(const Fact& f, bool asserted) {
+  if (!options_.incremental_maintenance || incremental_ == nullptr) return;
+  // Only a live, up-to-date incremental closure can absorb a point
+  // update; otherwise let View() rebuild it lazily.
+  if (inc_rules_version_ != rules_version_ ||
+      inc_store_version_ + 1 != store_.version()) {
+    incremental_ = nullptr;
+    return;
+  }
+  Status s = asserted ? incremental_->OnAssert(f)
+                      : incremental_->OnRetract(f);
+  if (!s.ok()) {
+    incremental_ = nullptr;  // fall back to a rebuild
+    return;
+  }
+  inc_store_version_ = store_.version();
+  lattice_ = nullptr;  // contents changed under the stable view pointer
+}
+
+Status LooseDb::LogAssert(const Fact& f) {
+  if (!wal_.is_open()) return Status::OK();
+  return wal_.AppendAssert(store_, f);
+}
+
+Status LooseDb::LogRetract(const Fact& f) {
+  if (!wal_.is_open()) return Status::OK();
+  return wal_.AppendRetract(store_, f);
+}
+
+Fact LooseDb::Assert(std::string_view source, std::string_view relationship,
+                     std::string_view target) {
+  Fact f(store_.entities().Intern(source),
+         store_.entities().Intern(relationship),
+         store_.entities().Intern(target));
+  Assert(f);
+  return f;
+}
+
+bool LooseDb::Assert(const Fact& f) {
+  bool inserted = store_.Assert(f);
+  if (inserted) {
+    LogAssert(f);
+    MaintainIncremental(f, /*asserted=*/true);
+  }
+  return inserted;
+}
+
+bool LooseDb::Retract(const Fact& f) {
+  bool erased = store_.Retract(f);
+  if (erased) {
+    LogRetract(f);
+    MaintainIncremental(f, /*asserted=*/false);
+  }
+  return erased;
+}
+
+EntityId LooseDb::MustLookup(std::string_view name, Status* status) const {
+  auto id = store_.entities().Lookup(name);
+  if (!id.has_value()) {
+    *status = Status::NotFound("unknown entity: " + std::string(name));
+    return kAnyEntity;
+  }
+  return *id;
+}
+
+Status LooseDb::Retract(std::string_view source,
+                        std::string_view relationship,
+                        std::string_view target) {
+  Status status;
+  EntityId s = MustLookup(source, &status);
+  EntityId r = MustLookup(relationship, &status);
+  EntityId t = MustLookup(target, &status);
+  if (!status.ok()) return status;
+  if (!Retract(Fact(s, r, t))) {
+    return Status::NotFound("fact not asserted");
+  }
+  return Status::OK();
+}
+
+void LooseDb::MarkClassRelationship(std::string_view relationship) {
+  store_.MarkClassRelationship(store_.entities().Intern(relationship));
+}
+
+Status LooseDb::DefineRule(std::string_view text, RuleKind kind) {
+  LSD_ASSIGN_OR_RETURN(Rule rule,
+                       ParseRuleLine(text, kind, &store_.entities()));
+  return AddRule(std::move(rule));
+}
+
+Status LooseDb::AddRule(Rule rule) {
+  LSD_RETURN_IF_ERROR(rule.Validate());
+  for (const Rule& r : rules_) {
+    if (r.name == rule.name) {
+      return Status::AlreadyExists("rule '" + rule.name +
+                                   "' already defined");
+    }
+  }
+  if (wal_.is_open()) {
+    LSD_RETURN_IF_ERROR(wal_.AppendRule(rule, store_.entities()));
+  }
+  rules_.push_back(std::move(rule));
+  ++rules_version_;
+  return Status::OK();
+}
+
+Status LooseDb::SetRuleEnabled(std::string_view name, bool enabled) {
+  for (Rule& r : rules_) {
+    if (r.name == name) {
+      if (r.enabled != enabled) {
+        r.enabled = enabled;
+        ++rules_version_;
+        if (wal_.is_open()) {
+          LSD_RETURN_IF_ERROR(
+              wal_.AppendSetRuleEnabled(r.name, enabled));
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no rule named '" + std::string(name) + "'");
+}
+
+bool LooseDb::IsRuleEnabled(std::string_view name) const {
+  for (const Rule& r : rules_) {
+    if (r.name == name) return r.enabled;
+  }
+  return false;
+}
+
+StatusOr<const ClosureView*> LooseDb::View() const {
+  if (options_.incremental_maintenance) {
+    if (incremental_ == nullptr ||
+        inc_rules_version_ != rules_version_ ||
+        inc_store_version_ != store_.version()) {
+      incremental_ =
+          std::make_unique<IncrementalClosure>(&store_, &math_, rules_);
+      Status s = incremental_->Initialize();
+      if (!s.ok()) {
+        incremental_ = nullptr;
+        return s;
+      }
+      inc_store_version_ = store_.version();
+      inc_rules_version_ = rules_version_;
+      lattice_ = nullptr;
+    }
+    return &incremental_->view();
+  }
+  if (closure_ == nullptr || closure_store_version_ != store_.version() ||
+      closure_rules_version_ != rules_version_) {
+    auto closure = engine_.ComputeClosure(rules_, options_.closure);
+    if (!closure.ok()) return closure.status();
+    closure_ = std::move(*closure);
+    lattice_ = nullptr;
+    closure_store_version_ = store_.version();
+    closure_rules_version_ = rules_version_;
+  }
+  return &closure_->view();
+}
+
+const ClosureStats* LooseDb::closure_stats() const {
+  return closure_ == nullptr ? nullptr : &closure_->stats();
+}
+
+StatusOr<const GeneralizationLattice*> LooseDb::Lattice() const {
+  LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
+  if (lattice_ == nullptr) {
+    lattice_ = std::make_unique<GeneralizationLattice>(
+        GeneralizationLattice::Build(*view));
+  }
+  return lattice_.get();
+}
+
+Status LooseDb::CheckIntegrity() const {
+  LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
+  return lsd::CheckIntegrity(*view);
+}
+
+StatusOr<std::vector<IntegrityViolation>>
+LooseDb::FindIntegrityViolations() const {
+  LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
+  return FindViolations(*view);
+}
+
+StatusOr<lsd::Query> LooseDb::Parse(std::string_view text) {
+  return ParseQuery(text, &store_.entities());
+}
+
+StatusOr<ResultSet> LooseDb::Run(const lsd::Query& query,
+                                 const EvalOptions& options) const {
+  LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
+  Evaluator evaluator(view, &store_.entities());
+  return evaluator.Evaluate(query, options);
+}
+
+StatusOr<ResultSet> LooseDb::Query(std::string_view text,
+                                   const EvalOptions& options) {
+  LSD_ASSIGN_OR_RETURN(lsd::Query query, Parse(text));
+  return Run(query, options);
+}
+
+Status LooseDb::DefineOperator(std::string_view text) {
+  return definitions_.Define(text, &store_.entities());
+}
+
+StatusOr<ResultSet> LooseDb::Call(std::string_view call_text,
+                                  const EvalOptions& options) {
+  LSD_ASSIGN_OR_RETURN(
+      lsd::Query query,
+      definitions_.ParseCall(call_text, &store_.entities()));
+  return Run(query, options);
+}
+
+StatusOr<NeighborhoodView> LooseDb::Navigate(std::string_view entity) const {
+  auto id = store_.entities().Lookup(entity);
+  if (!id.has_value()) {
+    return Status::NotFound("unknown entity: " + std::string(entity));
+  }
+  LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
+  Navigator navigator(view, const_cast<EntityTable*>(&store_.entities()));
+  return navigator.Neighborhood(*id);
+}
+
+StatusOr<std::vector<Association>> LooseDb::Associations(
+    std::string_view source, std::string_view target) {
+  Status status;
+  EntityId s = MustLookup(source, &status);
+  EntityId t = MustLookup(target, &status);
+  if (!status.ok()) return status;
+  LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
+  Navigator navigator(view, &store_.entities());
+  CompositionOptions options;
+  options.limit = composition_limit_;
+  return navigator.Associations(s, t, options);
+}
+
+StatusOr<std::string> LooseDb::RenderAssociations(std::string_view source,
+                                                  std::string_view target) {
+  Status status;
+  EntityId s = MustLookup(source, &status);
+  EntityId t = MustLookup(target, &status);
+  if (!status.ok()) return status;
+  LSD_ASSIGN_OR_RETURN(std::vector<Association> assocs,
+                       Associations(source, target));
+  LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
+  Navigator navigator(view, &store_.entities());
+  return navigator.RenderAssociations(s, t, assocs);
+}
+
+StatusOr<ProbeResult> LooseDb::Probe(std::string_view query_text,
+                                     const ProbeOptions& options) {
+  LSD_ASSIGN_OR_RETURN(lsd::Query query, Parse(query_text));
+  return Probe(query, options);
+}
+
+StatusOr<ProbeResult> LooseDb::Probe(const lsd::Query& query,
+                                     const ProbeOptions& options) const {
+  LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
+  LSD_ASSIGN_OR_RETURN(const GeneralizationLattice* lattice, Lattice());
+  Prober prober(view, lattice, &store_.entities());
+  return prober.Probe(query, options);
+}
+
+StatusOr<std::optional<int>> LooseDb::SemanticDistance(
+    std::string_view a, std::string_view b, int max_radius) const {
+  Status status;
+  EntityId ea = MustLookup(a, &status);
+  EntityId eb = MustLookup(b, &status);
+  if (!status.ok()) return status;
+  LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
+  return lsd::SemanticDistance(*view, ea, eb, max_radius);
+}
+
+StatusOr<std::vector<NearbyEntity>> LooseDb::Nearby(
+    std::string_view entity, int radius) const {
+  Status status;
+  EntityId e = MustLookup(entity, &status);
+  if (!status.ok()) return status;
+  LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
+  return lsd::Nearby(*view, e, radius);
+}
+
+StatusOr<std::string> LooseDb::Try(std::string_view entity) const {
+  auto id = store_.entities().Lookup(entity);
+  if (!id.has_value()) {
+    return Status::NotFound("unknown entity: " + std::string(entity));
+  }
+  LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
+  return RenderTry(*view, *id);
+}
+
+StatusOr<RelationTable> LooseDb::Relation(
+    std::string_view klass,
+    const std::vector<std::pair<std::string, std::string>>& columns) const {
+  Status status;
+  EntityId k = MustLookup(klass, &status);
+  std::vector<RelationColumnSpec> specs;
+  for (const auto& [rel, target_class] : columns) {
+    RelationColumnSpec spec;
+    spec.relationship = MustLookup(rel, &status);
+    spec.target_class = MustLookup(target_class, &status);
+    specs.push_back(spec);
+  }
+  if (!status.ok()) return status;
+  LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
+  return RelationOp(*view, k, std::move(specs));
+}
+
+Status LooseDb::LoadText(std::string_view text) {
+  std::vector<Rule> new_rules;
+  LSD_RETURN_IF_ERROR(
+      ParseText(text, &store_, &new_rules, &definitions_));
+  for (Rule& r : new_rules) {
+    LSD_RETURN_IF_ERROR(AddRule(std::move(r)));
+  }
+  return Status::OK();
+}
+
+Status LooseDb::LoadTextFile(const std::string& path) {
+  std::vector<Rule> new_rules;
+  LSD_RETURN_IF_ERROR(
+      lsd::LoadTextFile(path, &store_, &new_rules, &definitions_));
+  for (Rule& r : new_rules) {
+    LSD_RETURN_IF_ERROR(AddRule(std::move(r)));
+  }
+  return Status::OK();
+}
+
+Status LooseDb::Save(const std::string& path_prefix) {
+  LSD_RETURN_IF_ERROR(SaveSnapshot(path_prefix + ".snap", store_, rules_));
+  // The snapshot captures everything; restart the log.
+  wal_.Close();
+  std::remove((path_prefix + ".wal").c_str());
+  wal_path_ = path_prefix + ".wal";
+  return wal_.Open(wal_path_);
+}
+
+Status LooseDb::Open(const std::string& path_prefix) {
+  if (store_.size() != StandardSeedFacts().size() &&
+      store_.size() != 0) {
+    return Status::FailedPrecondition(
+        "Open() requires a freshly constructed LooseDb");
+  }
+  const std::string snap_path = path_prefix + ".snap";
+  std::FILE* probe = std::fopen(snap_path.c_str(), "rb");
+  if (probe != nullptr) {
+    std::fclose(probe);
+    // The snapshot contains the seed facts and the standard rules too:
+    // load into clean containers.
+    if (options_.standard_rules) {
+      for (const Fact& f : StandardSeedFacts()) store_.Retract(f);
+      rules_.clear();
+      ++rules_version_;
+    }
+    LSD_RETURN_IF_ERROR(LoadSnapshot(snap_path, &store_, &rules_));
+    ++rules_version_;
+  }
+  LSD_RETURN_IF_ERROR(Wal::Replay(path_prefix + ".wal", &store_, &rules_));
+  ++rules_version_;
+  wal_path_ = path_prefix + ".wal";
+  return wal_.Open(wal_path_);
+}
+
+}  // namespace lsd

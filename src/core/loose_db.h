@@ -1,0 +1,209 @@
+// LooseDb: the public facade of the library — a loosely structured
+// database (Sec 2.6): a set of facts and a set of rules whose closure is
+// expected to be contradiction-free, with the standard query language
+// and both browsing styles on top.
+//
+// Typical use:
+//
+//   lsd::LooseDb db;
+//   db.Assert("JOHN", "WORKS-FOR", "SHIPPING");
+//   db.Assert("SHIPPING", "IN", "DEPARTMENT");
+//   auto result = db.Query("(JOHN, WORKS-FOR, ?X)");   // -> SHIPPING,
+//                                                      //    DEPARTMENT
+//   auto hood = db.Navigate("JOHN");                   // browsing
+//   auto probe = db.Probe("(JOHN, MANAGES, ?X)");      // retraction
+//
+// The closure is computed lazily and cached; any mutation (facts or
+// rules) invalidates it. All operations are Status-based; the library
+// never throws.
+#ifndef LSD_CORE_LOOSE_DB_H_
+#define LSD_CORE_LOOSE_DB_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "browse/navigation.h"
+#include "browse/operators.h"
+#include "browse/probing.h"
+#include "browse/proximity.h"
+#include "query/definitions.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "rules/composition.h"
+#include "rules/contradiction.h"
+#include "rules/incremental.h"
+#include "rules/rule_engine.h"
+#include "store/persistence.h"
+#include "util/status.h"
+
+namespace lsd {
+
+struct LooseDbOptions {
+  // Install the paper's Sec 3 standard rule set and seed facts.
+  bool standard_rules = true;
+  ClosureOptions closure;
+  // Default composition bound; the limit(n) operator (Sec 6.1).
+  int composition_limit = 3;
+  // Maintain the closure incrementally across Assert/Retract instead of
+  // recomputing it (Sec 6.2's "update of data"; see rules/incremental.h).
+  // Point updates become cheap; rule changes still trigger a rebuild.
+  bool incremental_maintenance = false;
+};
+
+class LooseDb {
+ public:
+  explicit LooseDb(const LooseDbOptions& options = LooseDbOptions());
+
+  LooseDb(const LooseDb&) = delete;
+  LooseDb& operator=(const LooseDb&) = delete;
+
+  // ---- Facts -----------------------------------------------------------
+
+  // Asserts a fact by entity names (interned as needed).
+  Fact Assert(std::string_view source, std::string_view relationship,
+              std::string_view target);
+  bool Assert(const Fact& f);
+  bool Retract(const Fact& f);
+  // Retracts by names; NotFound if any name is unknown or the fact is
+  // not asserted.
+  Status Retract(std::string_view source, std::string_view relationship,
+                 std::string_view target);
+
+  // Marks a relationship as a class relationship (Sec 2.2).
+  void MarkClassRelationship(std::string_view relationship);
+
+  FactStore& store() { return store_; }
+  const FactStore& store() const { return store_; }
+  EntityTable& entities() { return store_.entities(); }
+  const EntityTable& entities() const { return store_.entities(); }
+
+  // ---- Rules -----------------------------------------------------------
+
+  // Parses and installs "name: (body...) => (head...) [where ...]".
+  Status DefineRule(std::string_view text,
+                    RuleKind kind = RuleKind::kInference);
+  Status AddRule(Rule rule);
+
+  // include(rule)/exclude(rule) (Sec 6.1). NotFound for unknown names.
+  Status SetRuleEnabled(std::string_view name, bool enabled);
+  bool IsRuleEnabled(std::string_view name) const;
+
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  // limit(n) (Sec 6.1): bound on composition chain length; 1 disables.
+  void SetCompositionLimit(int n) { composition_limit_ = n; }
+  int composition_limit() const { return composition_limit_; }
+
+  // ---- Closure & integrity ----------------------------------------------
+
+  // The queryable closure; recomputed if facts or rules changed.
+  StatusOr<const ClosureView*> View() const;
+  // Stats of the last computed closure (null before the first View()).
+  const ClosureStats* closure_stats() const;
+
+  // Sec 2.6: valid databases have contradiction-free closures.
+  Status CheckIntegrity() const;
+  StatusOr<std::vector<IntegrityViolation>> FindIntegrityViolations() const;
+
+  // ---- Query -----------------------------------------------------------
+
+  StatusOr<lsd::Query> Parse(std::string_view text);
+  StatusOr<ResultSet> Run(const lsd::Query& query,
+                          const EvalOptions& options = {}) const;
+  StatusOr<ResultSet> Query(std::string_view text,
+                            const EvalOptions& options = {});
+
+  // The Sec 6.1 definition facility: named retrieval operators defined
+  // in the standard query language.
+  //   DefineOperator("author-of(?B, ?A) := (?B, AUTHOR, ?A)");
+  //   Call("author-of(B-LOGIC, ?WHO)");
+  Status DefineOperator(std::string_view text);
+  StatusOr<ResultSet> Call(std::string_view call_text,
+                           const EvalOptions& options = {});
+  const DefinitionRegistry& definitions() const { return definitions_; }
+
+  // ---- Browsing ----------------------------------------------------------
+
+  // Navigation (Sec 4.1).
+  StatusOr<NeighborhoodView> Navigate(std::string_view entity) const;
+  // Non-const: composed relationship entities are interned on demand.
+  StatusOr<std::vector<Association>> Associations(std::string_view source,
+                                                  std::string_view target);
+  StatusOr<std::string> RenderAssociations(std::string_view source,
+                                           std::string_view target);
+
+  // Probing (Sec 5).
+  StatusOr<ProbeResult> Probe(std::string_view query_text,
+                              const ProbeOptions& options = {});
+  StatusOr<ProbeResult> Probe(const lsd::Query& query,
+                              const ProbeOptions& options = {}) const;
+
+  // Semantic distance (Sec 6.1): shortest fact-chain length between two
+  // entities within `max_radius`, or nullopt if unconnected.
+  StatusOr<std::optional<int>> SemanticDistance(std::string_view a,
+                                                std::string_view b,
+                                                int max_radius = 4) const;
+  // All entities within `radius` associations of `entity`.
+  StatusOr<std::vector<NearbyEntity>> Nearby(std::string_view entity,
+                                             int radius = 2) const;
+
+  // Operators (Sec 6.1).
+  StatusOr<std::string> Try(std::string_view entity) const;
+  StatusOr<RelationTable> Relation(
+      std::string_view klass,
+      const std::vector<std::pair<std::string, std::string>>& columns)
+      const;
+
+  // ---- Persistence -------------------------------------------------------
+
+  // Loads .lsd text (facts, rules, @class marks) into this database.
+  Status LoadText(std::string_view text);
+  Status LoadTextFile(const std::string& path);
+
+  // Snapshot + WAL durability. Save() writes <prefix>.snap and truncates
+  // the WAL; Open() loads <prefix>.snap (if present), replays
+  // <prefix>.wal, and attaches the WAL so subsequent mutations are
+  // logged. Known limitation: operator definitions (Sec 6.1) are not
+  // persisted — keep them in a .lsd file loaded at startup.
+  Status Save(const std::string& path_prefix);
+  Status Open(const std::string& path_prefix);
+
+ private:
+  EntityId MustLookup(std::string_view name, Status* status) const;
+  void Invalidate();
+  Status LogAssert(const Fact& f);
+  Status LogRetract(const Fact& f);
+
+  LooseDbOptions options_;
+  FactStore store_;
+  DefinitionRegistry definitions_;
+  std::vector<Rule> rules_;
+  uint64_t rules_version_ = 0;
+  int composition_limit_;
+
+  MathProvider math_;
+  RuleEngine engine_;
+  Wal wal_;
+  std::string wal_path_;
+
+  // Closure cache, keyed by (store version, rules version).
+  mutable std::unique_ptr<Closure> closure_;
+  mutable std::unique_ptr<GeneralizationLattice> lattice_;
+  mutable uint64_t closure_store_version_ = 0;
+  mutable uint64_t closure_rules_version_ = 0;
+
+  // Incremental mode state (options_.incremental_maintenance).
+  mutable std::unique_ptr<IncrementalClosure> incremental_;
+  mutable uint64_t inc_store_version_ = 0;
+  mutable uint64_t inc_rules_version_ = 0;
+
+  StatusOr<const GeneralizationLattice*> Lattice() const;
+  // Applies a point mutation to the incremental closure if it is live.
+  void MaintainIncremental(const Fact& f, bool asserted);
+};
+
+}  // namespace lsd
+
+#endif  // LSD_CORE_LOOSE_DB_H_

@@ -1,0 +1,143 @@
+#include "query/ast.h"
+
+#include <algorithm>
+
+#include "store/entity_table.h"
+
+namespace lsd {
+
+std::unique_ptr<AstNode> AstNode::Atom(Template t) {
+  auto node = std::make_unique<AstNode>();
+  node->kind = NodeKind::kAtom;
+  node->atom = t;
+  return node;
+}
+
+std::unique_ptr<AstNode> AstNode::And(
+    std::vector<std::unique_ptr<AstNode>> children) {
+  auto node = std::make_unique<AstNode>();
+  node->kind = NodeKind::kAnd;
+  node->children = std::move(children);
+  return node;
+}
+
+std::unique_ptr<AstNode> AstNode::Or(
+    std::vector<std::unique_ptr<AstNode>> children) {
+  auto node = std::make_unique<AstNode>();
+  node->kind = NodeKind::kOr;
+  node->children = std::move(children);
+  return node;
+}
+
+std::unique_ptr<AstNode> AstNode::Exists(VarId var,
+                                         std::unique_ptr<AstNode> child) {
+  auto node = std::make_unique<AstNode>();
+  node->kind = NodeKind::kExists;
+  node->quantified_var = var;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<AstNode> AstNode::Forall(VarId var,
+                                         std::unique_ptr<AstNode> child) {
+  auto node = std::make_unique<AstNode>();
+  node->kind = NodeKind::kForall;
+  node->quantified_var = var;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<AstNode> AstNode::Clone() const {
+  auto node = std::make_unique<AstNode>();
+  node->kind = kind;
+  node->atom = atom;
+  node->quantified_var = quantified_var;
+  node->children.reserve(children.size());
+  for (const auto& c : children) node->children.push_back(c->Clone());
+  return node;
+}
+
+namespace {
+
+void CollectFreeVars(const AstNode& node, std::vector<VarId>& bound,
+                     std::vector<VarId>& out) {
+  switch (node.kind) {
+    case NodeKind::kAtom: {
+      std::vector<VarId> vars;
+      node.atom.CollectVars(&vars);
+      for (VarId v : vars) {
+        if (std::find(bound.begin(), bound.end(), v) != bound.end()) {
+          continue;
+        }
+        if (std::find(out.begin(), out.end(), v) == out.end()) {
+          out.push_back(v);
+        }
+      }
+      break;
+    }
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      for (const auto& c : node.children) {
+        CollectFreeVars(*c, bound, out);
+      }
+      break;
+    case NodeKind::kExists:
+    case NodeKind::kForall:
+      bound.push_back(node.quantified_var);
+      CollectFreeVars(*node.children[0], bound, out);
+      bound.pop_back();
+      break;
+  }
+}
+
+std::string NodeString(const AstNode& node, const EntityTable& entities,
+                       const std::vector<std::string>& var_names) {
+  switch (node.kind) {
+    case NodeKind::kAtom:
+      return node.atom.DebugString(entities, var_names);
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      std::string sep = node.kind == NodeKind::kAnd ? " and " : " or ";
+      std::string out;
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) out += sep;
+        const AstNode& c = *node.children[i];
+        bool paren = c.kind == NodeKind::kOr || c.kind == NodeKind::kAnd;
+        if (paren) out += "(";
+        out += NodeString(c, entities, var_names);
+        if (paren) out += ")";
+      }
+      return out;
+    }
+    case NodeKind::kExists:
+    case NodeKind::kForall: {
+      std::string kw = node.kind == NodeKind::kExists ? "exists" : "forall";
+      std::string var = node.quantified_var < var_names.size()
+                            ? var_names[node.quantified_var]
+                            : "v" + std::to_string(node.quantified_var);
+      return kw + " ?" + var + " (" +
+             NodeString(*node.children[0], entities, var_names) + ")";
+    }
+  }
+  return "<bad node>";
+}
+
+}  // namespace
+
+std::vector<VarId> AstNode::FreeVars() const {
+  std::vector<VarId> bound;
+  std::vector<VarId> out;
+  CollectFreeVars(*this, bound, out);
+  return out;
+}
+
+Query Query::Clone() const {
+  return Query(root_->Clone(), var_names_);
+}
+
+std::string Query::DebugString(const EntityTable& entities) const {
+  if (root_ == nullptr) return "<empty>";
+  return NodeString(*root_, entities, var_names_);
+}
+
+}  // namespace lsd

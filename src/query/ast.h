@@ -1,0 +1,86 @@
+// Abstract syntax for the paper's retrieval language (Sec 2.7):
+// templates are the atomic formulas; formulas are closed under
+// conjunction, disjunction, and existential/universal quantification.
+// A query is a formula; its value is the set of tuples of entities that
+// satisfy it when substituted for its free variables. A formula with no
+// free variables is a proposition.
+#ifndef LSD_QUERY_AST_H_
+#define LSD_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rules/template.h"
+#include "util/status.h"
+
+namespace lsd {
+
+class EntityTable;
+
+enum class NodeKind : uint8_t {
+  kAtom,    // a template
+  kAnd,     // conjunction of children
+  kOr,      // disjunction of children
+  kExists,  // (∃ var) child
+  kForall,  // (∀ var) child
+};
+
+struct AstNode {
+  NodeKind kind = NodeKind::kAtom;
+  Template atom;  // kAtom only
+  std::vector<std::unique_ptr<AstNode>> children;
+  VarId quantified_var = 0;  // kExists / kForall; child is children[0]
+
+  static std::unique_ptr<AstNode> Atom(Template t);
+  static std::unique_ptr<AstNode> And(
+      std::vector<std::unique_ptr<AstNode>> children);
+  static std::unique_ptr<AstNode> Or(
+      std::vector<std::unique_ptr<AstNode>> children);
+  static std::unique_ptr<AstNode> Exists(VarId var,
+                                         std::unique_ptr<AstNode> child);
+  static std::unique_ptr<AstNode> Forall(VarId var,
+                                         std::unique_ptr<AstNode> child);
+
+  std::unique_ptr<AstNode> Clone() const;
+
+  // Variables free in this node (not bound by a quantifier within it),
+  // deduplicated, in first-occurrence order.
+  std::vector<VarId> FreeVars() const;
+};
+
+// A parsed query: AST plus the variable name table. Variable ids index
+// var_names.
+class Query {
+ public:
+  Query() = default;
+  Query(std::unique_ptr<AstNode> root, std::vector<std::string> var_names)
+      : root_(std::move(root)), var_names_(std::move(var_names)) {}
+
+  Query(Query&&) = default;
+  Query& operator=(Query&&) = default;
+
+  const AstNode* root() const { return root_.get(); }
+  AstNode* mutable_root() { return root_.get(); }
+  void set_root(std::unique_ptr<AstNode> root) { root_ = std::move(root); }
+
+  const std::vector<std::string>& var_names() const { return var_names_; }
+  size_t num_vars() const { return var_names_.size(); }
+
+  std::vector<VarId> FreeVars() const { return root_->FreeVars(); }
+  bool IsProposition() const { return FreeVars().empty(); }
+
+  Query Clone() const;
+
+  // Renders the formula, e.g.
+  // "(?X, IN, BOOK) and exists ?Y ((?X, AUTHOR, ?Y))".
+  std::string DebugString(const EntityTable& entities) const;
+
+ private:
+  std::unique_ptr<AstNode> root_;
+  std::vector<std::string> var_names_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_QUERY_AST_H_

@@ -1,0 +1,212 @@
+#include "query/definitions.h"
+
+#include <algorithm>
+
+#include "query/parser.h"
+#include "util/string_util.h"
+
+namespace lsd {
+
+namespace {
+
+// Splits "name(a, b, c)" into the name and raw argument tokens.
+Status SplitCall(std::string_view text, std::string* name,
+                 std::vector<std::string>* args) {
+  text = StripWhitespace(text);
+  size_t open = text.find('(');
+  if (open == std::string_view::npos || text.back() != ')') {
+    return Status::ParseError("expected name(arg, ...): " +
+                              std::string(text));
+  }
+  *name = AsciiToLower(StripWhitespace(text.substr(0, open)));
+  if (name->empty()) {
+    return Status::ParseError("missing definition name");
+  }
+  std::string_view inner = text.substr(open + 1, text.size() - open - 2);
+  if (!StripWhitespace(inner).empty()) {
+    for (std::string_view piece : Split(inner, ',')) {
+      piece = StripWhitespace(piece);
+      if (piece.empty()) {
+        return Status::ParseError("empty argument in call: " +
+                                  std::string(text));
+      }
+      args->push_back(std::string(piece));
+    }
+  }
+  return Status::OK();
+}
+
+// Replaces occurrences of the variable `from` with `to` in a subtree.
+void SubstituteVar(AstNode* node, VarId from, Term to) {
+  switch (node->kind) {
+    case NodeKind::kAtom:
+      for (int i = 0; i < 3; ++i) {
+        Term& term = node->atom.at(i);
+        if (term.is_variable() && term.var() == from) term = to;
+      }
+      break;
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      for (auto& c : node->children) SubstituteVar(c.get(), from, to);
+      break;
+    case NodeKind::kExists:
+    case NodeKind::kForall:
+      // A quantifier shadowing the parameter stops the substitution.
+      if (node->quantified_var == from) return;
+      SubstituteVar(node->children[0].get(), from, to);
+      break;
+  }
+}
+
+}  // namespace
+
+Status DefinitionRegistry::Define(std::string_view text,
+                                  EntityTable* entities) {
+  size_t sep = text.find(":=");
+  if (sep == std::string_view::npos) {
+    return Status::ParseError(
+        "definition needs ':=' between head and body");
+  }
+  std::string name;
+  std::vector<std::string> raw_params;
+  LSD_RETURN_IF_ERROR(
+      SplitCall(text.substr(0, sep), &name, &raw_params));
+
+  Definition definition;
+  definition.name = std::move(name);
+  for (const std::string& p : raw_params) {
+    if (p.empty() || p[0] != '?') {
+      return Status::ParseError("definition parameters must be "
+                                "?variables, got: " +
+                                p);
+    }
+    definition.params.push_back(AsciiToUpper(p.substr(1)));
+  }
+  LSD_ASSIGN_OR_RETURN(definition.body,
+                       ParseQuery(text.substr(sep + 2), entities));
+
+  // Every parameter must occur free in the body; extra free variables
+  // are allowed (they become output columns of every invocation).
+  std::vector<VarId> free = definition.body.FreeVars();
+  for (const std::string& p : definition.params) {
+    bool found = false;
+    for (VarId v : free) {
+      if (definition.body.var_names()[v] == p) found = true;
+    }
+    if (!found) {
+      return Status::ParseError("parameter ?" + p +
+                                " does not occur free in the body");
+    }
+  }
+  return Add(std::move(definition));
+}
+
+Status DefinitionRegistry::Add(Definition definition) {
+  if (Has(definition.name)) {
+    return Status::AlreadyExists("definition '" + definition.name +
+                                 "' already exists");
+  }
+  definitions_.push_back(std::move(definition));
+  return Status::OK();
+}
+
+bool DefinitionRegistry::Has(std::string_view name) const {
+  return Find(name) != nullptr;
+}
+
+const Definition* DefinitionRegistry::Find(std::string_view name) const {
+  std::string lower = AsciiToLower(name);
+  for (const Definition& d : definitions_) {
+    if (d.name == lower) return &d;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> DefinitionRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(definitions_.size());
+  for (const Definition& d : definitions_) out.push_back(d.name);
+  return out;
+}
+
+StatusOr<Query> DefinitionRegistry::ParseCall(std::string_view text,
+                                              EntityTable* entities) const {
+  std::string name;
+  std::vector<std::string> args;
+  LSD_RETURN_IF_ERROR(SplitCall(text, &name, &args));
+  return Instantiate(name, args, entities);
+}
+
+StatusOr<Query> DefinitionRegistry::Instantiate(
+    std::string_view name, const std::vector<std::string>& args,
+    EntityTable* entities) const {
+  const Definition* definition = Find(name);
+  if (definition == nullptr) {
+    return Status::NotFound("no definition named '" + std::string(name) +
+                            "'");
+  }
+  if (args.size() != definition->params.size()) {
+    return Status::InvalidArgument(
+        "'" + definition->name + "' takes " +
+        std::to_string(definition->params.size()) + " argument(s), got " +
+        std::to_string(args.size()));
+  }
+
+  Query query = definition->body.Clone();
+  std::vector<std::string> var_names = query.var_names();
+
+  int anon = 0;
+  for (size_t i = 0; i < args.size(); ++i) {
+    // Locate the parameter's variable id in the body's table.
+    VarId param = 0;
+    bool found = false;
+    for (size_t v = 0; v < var_names.size(); ++v) {
+      if (var_names[v] == definition->params[i]) {
+        param = static_cast<VarId>(v);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::Internal("definition parameter vanished");
+    }
+    const std::string& arg = args[i];
+    Term replacement;
+    if (arg == "*") {
+      var_names.push_back("_CALL" + std::to_string(++anon));
+      replacement =
+          Term::Var(static_cast<VarId>(var_names.size() - 1));
+    } else if (arg[0] == '?') {
+      std::string requested = AsciiToUpper(arg.substr(1));
+      if (requested.empty()) {
+        return Status::ParseError("'?' needs a variable name");
+      }
+      // Reuse an argument variable if two parameters are bound to the
+      // same name; otherwise mint it.
+      VarId id = kAnyEntity;
+      for (size_t v = 0; v < var_names.size(); ++v) {
+        if (var_names[v] == requested &&
+            (v >= definition->body.var_names().size() ||
+             requested == definition->params[i])) {
+          // Only merge with variables we minted for this call, never
+          // with the body's internal variables.
+          if (v >= definition->body.var_names().size()) {
+            id = static_cast<VarId>(v);
+          }
+        }
+      }
+      if (id == kAnyEntity) {
+        var_names.push_back(requested);
+        id = static_cast<VarId>(var_names.size() - 1);
+      }
+      replacement = Term::Var(id);
+    } else {
+      replacement = Term::Entity(entities->Intern(arg));
+    }
+    SubstituteVar(query.mutable_root(), param, replacement);
+  }
+
+  return Query(query.mutable_root()->Clone(), std::move(var_names));
+}
+
+}  // namespace lsd

@@ -1,0 +1,71 @@
+// Query evaluation over a closure view (Sec 2.7).
+//
+// Semantics: the value of a query Q(x1..xn) is the set of entity tuples
+// that satisfy it; a closed formula is a proposition with a truth value.
+// Per the paper, a template predicate is satisfied when it matches a
+// non-empty set of facts in the database closure.
+//
+// Safety restrictions (reported as InvalidArgument):
+//   - every disjunct of an 'or' must have the same free variables;
+//   - a 'forall' may only be checked once its other free variables are
+//     bound (place it after the atoms that bind them);
+//   - comparison atoms need at least one bound operand.
+// Universal quantification ranges over the active domain: all regular
+// (non-builtin, non-composed) interned entities.
+#ifndef LSD_QUERY_EVALUATOR_H_
+#define LSD_QUERY_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+#include "rules/matcher.h"
+#include "store/entity_table.h"
+#include "store/fact_store.h"
+#include "util/status.h"
+
+namespace lsd {
+
+struct EvalOptions {
+  // Stops enumeration after this many result rows; the result is marked
+  // truncated rather than failing.
+  size_t max_rows = 1'000'000;
+
+  // Probing only needs to know whether a query succeeds; stop at the
+  // first satisfying row.
+  bool first_row_only = false;
+
+  // Conjunct ordering policy (ablation E11).
+  JoinOrder join_order = JoinOrder::kBoundCount;
+};
+
+struct ResultSet {
+  std::vector<std::string> columns;   // free variable names, query order
+  std::vector<VarId> column_vars;
+  std::vector<std::vector<EntityId>> rows;  // sorted, duplicate-free
+  bool is_proposition = false;
+  bool truth = false;  // propositions only
+  bool truncated = false;
+
+  // The paper's success criterion (Sec 5): non-empty answer / true
+  // proposition.
+  bool Success() const { return is_proposition ? truth : !rows.empty(); }
+};
+
+class Evaluator {
+ public:
+  // Both borrowed; must outlive the evaluator.
+  Evaluator(const FactSource* view, const EntityTable* entities)
+      : view_(view), entities_(entities) {}
+
+  StatusOr<ResultSet> Evaluate(const Query& query,
+                               const EvalOptions& options = {}) const;
+
+ private:
+  const FactSource* view_;
+  const EntityTable* entities_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_QUERY_EVALUATOR_H_

@@ -1,0 +1,77 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace lsd {
+
+namespace {
+
+bool IsDelimiter(char c) {
+  return c == '(' || c == ')' || c == ',' || c == '*' || c == '?' ||
+         std::isspace(static_cast<unsigned char>(c));
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        tokens.push_back({TokenKind::kLParen, "(", i++});
+        continue;
+      case ')':
+        tokens.push_back({TokenKind::kRParen, ")", i++});
+        continue;
+      case ',':
+        tokens.push_back({TokenKind::kComma, ",", i++});
+        continue;
+      case '*':
+        tokens.push_back({TokenKind::kStar, "*", i++});
+        continue;
+      case '?': {
+        size_t start = ++i;
+        while (i < input.size() && !IsDelimiter(input[i])) ++i;
+        if (i == start) {
+          return Status::ParseError(
+              "'?' must be followed by a variable name (offset " +
+              std::to_string(start - 1) + ")");
+        }
+        tokens.push_back({TokenKind::kVariable,
+                          std::string(input.substr(start, i - start)),
+                          start - 1});
+        continue;
+      }
+      default: {
+        size_t start = i;
+        while (i < input.size() && !IsDelimiter(input[i])) ++i;
+        std::string word(input.substr(start, i - start));
+        std::string lower = AsciiToLower(word);
+        TokenKind kind = TokenKind::kEntity;
+        if (lower == "and") {
+          kind = TokenKind::kAnd;
+        } else if (lower == "or") {
+          kind = TokenKind::kOr;
+        } else if (lower == "exists") {
+          kind = TokenKind::kExists;
+        } else if (lower == "forall") {
+          kind = TokenKind::kForall;
+        }
+        tokens.push_back({kind, std::move(word), start});
+        continue;
+      }
+    }
+  }
+  tokens.push_back({TokenKind::kEnd, "", input.size()});
+  return tokens;
+}
+
+}  // namespace lsd

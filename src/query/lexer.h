@@ -1,0 +1,45 @@
+// Tokenizer for the concrete query syntax:
+//
+//   (?X, IN, BOOK) and exists ?Y ((?X, AUTHOR, ?Y) or (?X, EDITOR, ?Y))
+//   (JOHN, *, *)                       -- '*' is an anonymous variable
+//
+// Keywords (case-insensitive, reserved): and, or, exists, forall.
+// Entity tokens may contain any characters except whitespace, '(', ')',
+// ',', '?' and '*'; '?' introduces a named variable.
+#ifndef LSD_QUERY_LEXER_H_
+#define LSD_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lsd {
+
+enum class TokenKind : uint8_t {
+  kLParen,
+  kRParen,
+  kComma,
+  kStar,
+  kVariable,  // text = name without '?'
+  kEntity,    // text = raw entity token
+  kAnd,
+  kOr,
+  kExists,
+  kForall,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t offset = 0;  // byte offset in the input, for error messages
+};
+
+// Tokenizes the whole input. The last token is always kEnd.
+StatusOr<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace lsd
+
+#endif  // LSD_QUERY_LEXER_H_

@@ -1,0 +1,176 @@
+#include "query/parser.h"
+
+#include "query/lexer.h"
+#include "util/string_util.h"
+
+namespace lsd {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, EntityTable* entities)
+      : tokens_(std::move(tokens)), entities_(entities) {}
+
+  StatusOr<Query> Run() {
+    auto root = ParseFormula();
+    if (!root.ok()) return root.status();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return Query(std::move(*root), std::move(var_names_));
+  }
+
+ private:
+  using NodeResult = StatusOr<std::unique_ptr<AstNode>>;
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Take() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " (offset " +
+                              std::to_string(Peek().offset) + ")");
+  }
+
+  VarId InternVar(std::string_view name) {
+    std::string upper = AsciiToUpper(name);
+    for (size_t i = 0; i < var_names_.size(); ++i) {
+      if (var_names_[i] == upper) return static_cast<VarId>(i);
+    }
+    var_names_.push_back(std::move(upper));
+    return static_cast<VarId>(var_names_.size() - 1);
+  }
+
+  VarId FreshAnonymousVar() {
+    var_names_.push_back("_" + std::to_string(++anon_counter_));
+    return static_cast<VarId>(var_names_.size() - 1);
+  }
+
+  NodeResult ParseFormula() {
+    auto first = ParseAndExpr();
+    if (!first.ok()) return first;
+    if (Peek().kind != TokenKind::kOr) return first;
+    std::vector<std::unique_ptr<AstNode>> children;
+    children.push_back(std::move(*first));
+    while (Peek().kind == TokenKind::kOr) {
+      Take();
+      auto next = ParseAndExpr();
+      if (!next.ok()) return next;
+      children.push_back(std::move(*next));
+    }
+    return AstNode::Or(std::move(children));
+  }
+
+  NodeResult ParseAndExpr() {
+    auto first = ParseUnary();
+    if (!first.ok()) return first;
+    if (Peek().kind != TokenKind::kAnd) return first;
+    std::vector<std::unique_ptr<AstNode>> children;
+    children.push_back(std::move(*first));
+    while (Peek().kind == TokenKind::kAnd) {
+      Take();
+      auto next = ParseUnary();
+      if (!next.ok()) return next;
+      children.push_back(std::move(*next));
+    }
+    return AstNode::And(std::move(children));
+  }
+
+  NodeResult ParseUnary() {
+    const Token& tok = Peek();
+    if (tok.kind == TokenKind::kExists || tok.kind == TokenKind::kForall) {
+      bool exists = tok.kind == TokenKind::kExists;
+      Take();
+      std::vector<VarId> vars;
+      while (Peek().kind == TokenKind::kVariable) {
+        vars.push_back(InternVar(Take().text));
+      }
+      if (vars.empty()) {
+        return Error("quantifier needs at least one ?variable");
+      }
+      auto child = ParseUnary();
+      if (!child.ok()) return child;
+      std::unique_ptr<AstNode> node = std::move(*child);
+      // Innermost variable binds closest.
+      for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+        node = exists ? AstNode::Exists(*it, std::move(node))
+                      : AstNode::Forall(*it, std::move(node));
+      }
+      return node;
+    }
+    if (tok.kind != TokenKind::kLParen) {
+      return Error("expected '(', 'exists' or 'forall'");
+    }
+    // '(' starts either an atom or a parenthesized formula: a formula
+    // begins with '(', 'exists' or 'forall'; an atom's first position is
+    // a term.
+    const Token& next = tokens_[pos_ + 1];
+    if (next.kind == TokenKind::kLParen || next.kind == TokenKind::kExists ||
+        next.kind == TokenKind::kForall) {
+      Take();  // '('
+      auto inner = ParseFormula();
+      if (!inner.ok()) return inner;
+      if (Peek().kind != TokenKind::kRParen) {
+        return Error("expected ')'");
+      }
+      Take();
+      return inner;
+    }
+    return ParseAtom();
+  }
+
+  NodeResult ParseAtom() {
+    if (Take().kind != TokenKind::kLParen) {
+      return Error("expected '(' to start a template");
+    }
+    Term terms[3];
+    for (int i = 0; i < 3; ++i) {
+      auto term = ParseTerm();
+      if (!term.ok()) return term.status();
+      terms[i] = *term;
+      if (i < 2) {
+        if (Peek().kind != TokenKind::kComma) {
+          return Error("expected ',' in template");
+        }
+        Take();
+      }
+    }
+    if (Peek().kind != TokenKind::kRParen) {
+      return Error("expected ')' to close template");
+    }
+    Take();
+    return AstNode::Atom(Template(terms[0], terms[1], terms[2]));
+  }
+
+  StatusOr<Term> ParseTerm() {
+    Token tok = Take();
+    switch (tok.kind) {
+      case TokenKind::kStar:
+        return Term::Var(FreshAnonymousVar());
+      case TokenKind::kVariable:
+        return Term::Var(InternVar(tok.text));
+      case TokenKind::kEntity:
+        return Term::Entity(entities_->Intern(tok.text));
+      default:
+        return Status::ParseError("expected a term (entity, ?var or *) at "
+                                  "offset " +
+                                  std::to_string(tok.offset));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  EntityTable* entities_;
+  std::vector<std::string> var_names_;
+  int anon_counter_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Query> ParseQuery(std::string_view text, EntityTable* entities) {
+  LSD_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), entities);
+  return parser.Run();
+}
+
+}  // namespace lsd

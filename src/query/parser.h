@@ -1,0 +1,29 @@
+// Recursive-descent parser for the query language.
+//
+//   formula  := and_expr ('or' and_expr)*
+//   and_expr := unary ('and' unary)*
+//   unary    := ('exists'|'forall') variable+ unary
+//             | '(' formula ')'          (when not an atom)
+//             | atom
+//   atom     := '(' term ',' term ',' term ')'
+//   term     := entity | '?'name | '*'
+//
+// '*' mints a fresh anonymous free variable per occurrence (the paper's
+// navigation shorthand, Sec 4.1). Entity names are interned into the
+// supplied table.
+#ifndef LSD_QUERY_PARSER_H_
+#define LSD_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/ast.h"
+#include "store/entity_table.h"
+#include "util/status.h"
+
+namespace lsd {
+
+StatusOr<Query> ParseQuery(std::string_view text, EntityTable* entities);
+
+}  // namespace lsd
+
+#endif  // LSD_QUERY_PARSER_H_

@@ -1,0 +1,88 @@
+#include "query/table_formatter.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace lsd {
+
+void TableFormatter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableFormatter::Render() const {
+  const size_t ncols = headers_.size();
+  std::vector<size_t> widths(ncols);
+  auto cell_width = [](const std::string& s) {
+    size_t w = 0;
+    for (std::string_view line : Split(s, '\n')) w = std::max(w, line.size());
+    return w;
+  };
+  for (size_t c = 0; c < ncols; ++c) widths[c] = cell_width(headers_[c]);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < ncols; ++c) {
+      widths[c] = std::max(widths[c], cell_width(row[c]));
+    }
+  }
+
+  auto rule_line = [&] {
+    std::string out = "+";
+    for (size_t c = 0; c < ncols; ++c) {
+      out += std::string(widths[c] + 2, '-');
+      out += "+";
+    }
+    out += "\n";
+    return out;
+  };
+  auto render_cells = [&](const std::vector<std::string>& cells) {
+    // Explode multi-line cells into stacked physical lines.
+    std::vector<std::vector<std::string_view>> parts(ncols);
+    size_t height = 1;
+    for (size_t c = 0; c < ncols; ++c) {
+      for (std::string_view line : Split(cells[c], '\n')) {
+        parts[c].push_back(line);
+      }
+      height = std::max(height, parts[c].size());
+    }
+    std::string out;
+    for (size_t h = 0; h < height; ++h) {
+      out += "|";
+      for (size_t c = 0; c < ncols; ++c) {
+        std::string_view text = h < parts[c].size() ? parts[c][h] : "";
+        out += " ";
+        out += text;
+        out += std::string(widths[c] - text.size() + 1, ' ');
+        out += "|";
+      }
+      out += "\n";
+    }
+    return out;
+  };
+
+  std::string out = rule_line();
+  out += render_cells(headers_);
+  out += rule_line();
+  for (const auto& row : rows_) out += render_cells(row);
+  if (!rows_.empty()) out += rule_line();
+  return out;
+}
+
+std::string FormatResult(const ResultSet& result,
+                         const EntityTable& entities) {
+  if (result.is_proposition) {
+    return result.truth ? "true\n" : "false\n";
+  }
+  TableFormatter table(result.columns);
+  for (const auto& row : result.rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (EntityId e : row) cells.push_back(entities.Name(e));
+    table.AddRow(std::move(cells));
+  }
+  std::string out = table.Render();
+  if (result.truncated) out += "(truncated)\n";
+  return out;
+}
+
+}  // namespace lsd

@@ -1,0 +1,39 @@
+// ASCII table rendering for query results and browsing views, in the
+// spirit of the paper's example tables (Sec 4.1, 6.1).
+#ifndef LSD_QUERY_TABLE_FORMATTER_H_
+#define LSD_QUERY_TABLE_FORMATTER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/evaluator.h"
+#include "store/entity_table.h"
+
+namespace lsd {
+
+// Generic fixed-width table. Cells may be multi-line (embedded '\n'),
+// which renders as stacked values in one row — the paper's non-first-
+// normal-form relation() output (Sec 6.1).
+class TableFormatter {
+ public:
+  explicit TableFormatter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells);
+
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Renders a ResultSet: single free variable -> one column; otherwise a
+// table with one column per free variable. Propositions render as
+// "true"/"false".
+std::string FormatResult(const ResultSet& result,
+                         const EntityTable& entities);
+
+}  // namespace lsd
+
+#endif  // LSD_QUERY_TABLE_FORMATTER_H_

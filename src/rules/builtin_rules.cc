@@ -1,0 +1,144 @@
+#include "rules/builtin_rules.h"
+
+#include "store/entity.h"
+
+namespace lsd {
+
+namespace {
+
+Term Ent(EntityId e) { return Term::Entity(e); }
+
+// (s, r, t), (s', ISA, s) => (s', r, t)        for r in R_i
+Rule GenSource() {
+  RuleBuilder b(kRuleGenSource);
+  Term s = b.Var("S"), t = b.Var("T"), s2 = b.Var("S2");
+  Term r = b.Var("R", VarConstraint::kIndividualRelationship);
+  b.Body(s, r, t).Body(s2, Ent(kEntIsa), s).Head(s2, r, t);
+  return std::move(b).Build();
+}
+
+// (s, r, t), (r, ISA, r') => (s, r', t)        for r in R_i
+Rule GenRelationship() {
+  RuleBuilder b(kRuleGenRelationship);
+  Term s = b.Var("S"), t = b.Var("T"), r2 = b.Var("R2");
+  Term r = b.Var("R", VarConstraint::kIndividualRelationship);
+  b.Body(s, r, t).Body(r, Ent(kEntIsa), r2).Head(s, r2, t);
+  return std::move(b).Build();
+}
+
+// (s, r, t), (t, ISA, t') => (s, r, t')        for r in R_i
+Rule GenTarget() {
+  RuleBuilder b(kRuleGenTarget);
+  Term s = b.Var("S"), t = b.Var("T"), t2 = b.Var("T2");
+  Term r = b.Var("R", VarConstraint::kIndividualRelationship);
+  b.Body(s, r, t).Body(t, Ent(kEntIsa), t2).Head(s, r, t2);
+  return std::move(b).Build();
+}
+
+// (s, r, t), (s', IN, s) => (s', r, t)         for r in R_i
+Rule MemSource() {
+  RuleBuilder b(kRuleMemSource);
+  Term s = b.Var("S"), t = b.Var("T"), s2 = b.Var("S2");
+  Term r = b.Var("R", VarConstraint::kIndividualRelationship);
+  b.Body(s, r, t).Body(s2, Ent(kEntIn), s).Head(s2, r, t);
+  return std::move(b).Build();
+}
+
+// (s, r, t), (t, IN, t') => (s, r, t')         for r in R_i
+Rule MemTarget() {
+  RuleBuilder b(kRuleMemTarget);
+  Term s = b.Var("S"), t = b.Var("T"), t2 = b.Var("T2");
+  Term r = b.Var("R", VarConstraint::kIndividualRelationship);
+  b.Body(s, r, t).Body(t, Ent(kEntIn), t2).Head(s, r, t2);
+  return std::move(b).Build();
+}
+
+// (x, IN, y), (y, ISA, z) => (x, IN, z)
+// "an instance of an entity is an instance of every more general entity"
+Rule MemUp() {
+  RuleBuilder b(kRuleMemUp);
+  Term x = b.Var("X"), y = b.Var("Y"), z = b.Var("Z");
+  b.Body(x, Ent(kEntIn), y).Body(y, Ent(kEntIsa), z).Head(x, Ent(kEntIn), z);
+  return std::move(b).Build();
+}
+
+// (s, SYN, t) => (s, ISA, t), (t, ISA, s)   — the definition of synonymy
+Rule SynIsa() {
+  RuleBuilder b(kRuleSynIsa);
+  Term s = b.Var("S"), t = b.Var("T");
+  b.Body(s, Ent(kEntSyn), t)
+      .Head(s, Ent(kEntIsa), t)
+      .Head(t, Ent(kEntIsa), s);
+  return std::move(b).Build();
+}
+
+// (s, ISA, t), (t, ISA, s) => (s, SYN, t) — mutual generalization is
+// synonymy; together with SynIsa this yields symmetry and transitivity.
+Rule SynIntro() {
+  RuleBuilder b(kRuleSynIntro);
+  Term s = b.Var("S"), t = b.Var("T");
+  b.Body(s, Ent(kEntIsa), t)
+      .Body(t, Ent(kEntIsa), s)
+      .Head(s, Ent(kEntSyn), t);
+  return std::move(b).Build();
+}
+
+// Substitution (Sec 3.3: "r may be replaced with r' in every fact").
+// Unlike the generalization rules these carry no R_i condition, so
+// synonyms substitute into class-relationship facts too.
+Rule SynSource() {
+  RuleBuilder b(kRuleSynSource);
+  Term s = b.Var("S"), r = b.Var("R"), t = b.Var("T"), s2 = b.Var("S2");
+  b.Body(s, r, t).Body(s, Ent(kEntSyn), s2).Head(s2, r, t);
+  return std::move(b).Build();
+}
+
+Rule SynRelationship() {
+  RuleBuilder b(kRuleSynRelationship);
+  Term s = b.Var("S"), r = b.Var("R"), t = b.Var("T"), r2 = b.Var("R2");
+  b.Body(s, r, t).Body(r, Ent(kEntSyn), r2).Head(s, r2, t);
+  return std::move(b).Build();
+}
+
+Rule SynTarget() {
+  RuleBuilder b(kRuleSynTarget);
+  Term s = b.Var("S"), r = b.Var("R"), t = b.Var("T"), t2 = b.Var("T2");
+  b.Body(s, r, t).Body(t, Ent(kEntSyn), t2).Head(s, r, t2);
+  return std::move(b).Build();
+}
+
+// (s, r, t), (r, INV, r') => (t, r', s)
+Rule Inversion() {
+  RuleBuilder b(kRuleInversion);
+  Term s = b.Var("S"), r = b.Var("R"), t = b.Var("T"), r2 = b.Var("R2");
+  b.Body(s, r, t).Body(r, Ent(kEntInv), r2).Head(t, r2, s);
+  return std::move(b).Build();
+}
+
+}  // namespace
+
+std::vector<Rule> StandardRules() {
+  std::vector<Rule> rules;
+  rules.push_back(GenSource());
+  rules.push_back(GenRelationship());
+  rules.push_back(GenTarget());
+  rules.push_back(MemSource());
+  rules.push_back(MemTarget());
+  rules.push_back(MemUp());
+  rules.push_back(SynIsa());
+  rules.push_back(SynIntro());
+  rules.push_back(SynSource());
+  rules.push_back(SynRelationship());
+  rules.push_back(SynTarget());
+  rules.push_back(Inversion());
+  return rules;
+}
+
+std::vector<Fact> StandardSeedFacts() {
+  return {
+      Fact(kEntInv, kEntInv, kEntInv),        // ↔ is its own inverse
+      Fact(kEntContra, kEntInv, kEntContra),  // ⊥ is its own inverse
+  };
+}
+
+}  // namespace lsd

@@ -1,0 +1,39 @@
+// The paper's standard inference rules (Sec 3) expressed as ordinary
+// conjunctive rules, plus the seed facts that make inversion and
+// contradiction self-describing. Each rule is named so the Sec 6.1
+// operators include(rule)/exclude(rule) can toggle it.
+#ifndef LSD_RULES_BUILTIN_RULES_H_
+#define LSD_RULES_BUILTIN_RULES_H_
+
+#include <vector>
+
+#include "rules/rule.h"
+#include "store/fact.h"
+
+namespace lsd {
+
+// Rule names (stable identifiers for include/exclude and tests).
+inline constexpr char kRuleGenSource[] = "gen-source";      // Sec 3.1 (1a)
+inline constexpr char kRuleGenRelationship[] = "gen-rel";   // Sec 3.1 (1b)
+inline constexpr char kRuleGenTarget[] = "gen-target";      // Sec 3.1 (1c)
+inline constexpr char kRuleMemSource[] = "mem-source";      // Sec 3.2 (2a)
+inline constexpr char kRuleMemTarget[] = "mem-target";      // Sec 3.2 (2b)
+inline constexpr char kRuleMemUp[] = "mem-up";              // Sec 3.2 derived
+inline constexpr char kRuleSynIsa[] = "syn-isa";            // Sec 3.3 def
+inline constexpr char kRuleSynIntro[] = "syn-intro";        // Sec 3.3 def
+inline constexpr char kRuleSynSource[] = "syn-source";      // Sec 3.3 subst
+inline constexpr char kRuleSynRelationship[] = "syn-rel";   // Sec 3.3 subst
+inline constexpr char kRuleSynTarget[] = "syn-target";      // Sec 3.3 subst
+inline constexpr char kRuleInversion[] = "inversion";       // Sec 3.4
+
+// Returns the full standard rule set, all enabled.
+std::vector<Rule> StandardRules();
+
+// Seed facts (Sec 3.4-3.5): (INV, INV, INV) makes inversion self-inverse
+// so inversion facts come in pairs; (CONTRA, INV, CONTRA) does the same
+// for contradiction facts.
+std::vector<Fact> StandardSeedFacts();
+
+}  // namespace lsd
+
+#endif  // LSD_RULES_BUILTIN_RULES_H_

@@ -1,0 +1,178 @@
+#include "rules/closure_view.h"
+
+#include <unordered_set>
+
+namespace lsd {
+
+ClosureView::ClosureView(const FactStore* store, const TripleIndex* derived,
+                         const MathProvider* math)
+    : store_(store), derived_(derived), math_(math) {}
+
+bool ClosureView::StoredContains(const Fact& f) const {
+  if (store_->Contains(f)) return true;
+  return derived_ != nullptr && derived_->Contains(f);
+}
+
+bool ClosureView::ForEachStored(const Pattern& p,
+                                const FactVisitor& visit) const {
+  // Base and derived are disjoint by construction (the rule engine never
+  // re-derives an asserted fact), so plain concatenation is duplicate
+  // free.
+  if (!store_->base().ForEach(p, visit)) return false;
+  if (derived_ != nullptr && !derived_->ForEach(p, visit)) return false;
+  return true;
+}
+
+bool ClosureView::IsaAxiomHolds(const Fact& f) const {
+  if (f.relationship != kEntIsa) return false;
+  if (f.source == f.target) return true;       // reflexivity
+  if (f.target == kEntTop) return true;        // (E, ISA, ANY)
+  if (f.source == kEntBottom) return true;     // (NONE, ISA, E)
+  return false;
+}
+
+bool ClosureView::ForEachIsaAxiom(const Pattern& p,
+                                  const FactVisitor& visit) const {
+  // Only called with relationship bound to ISA. Emits axiom facts not
+  // already stored. The unbounded families ((E,ISA,E) etc.) are swept
+  // over the interned universe, which is finite.
+  auto emit = [&](const Fact& f) {
+    if (StoredContains(f)) return true;  // dedup against layer 1-2
+    return visit(f);
+  };
+  const size_t n = store_->entities().size();
+  if (p.SourceBound() && p.TargetBound()) {
+    Fact f(p.source, kEntIsa, p.target);
+    if (IsaAxiomHolds(f)) return emit(f);
+    return true;
+  }
+  if (p.SourceBound()) {
+    if (!emit(Fact(p.source, kEntIsa, p.source))) return false;
+    if (p.source != kEntTop) {
+      if (!emit(Fact(p.source, kEntIsa, kEntTop))) return false;
+    }
+    if (p.source == kEntBottom) {
+      for (EntityId e = 0; e < n; ++e) {
+        if (e == kEntBottom || e == kEntTop) continue;
+        if (!emit(Fact(kEntBottom, kEntIsa, e))) return false;
+      }
+    }
+    return true;
+  }
+  if (p.TargetBound()) {
+    if (!emit(Fact(p.target, kEntIsa, p.target))) return false;
+    if (p.target != kEntBottom) {
+      if (!emit(Fact(kEntBottom, kEntIsa, p.target))) return false;
+    }
+    if (p.target == kEntTop) {
+      for (EntityId e = 0; e < n; ++e) {
+        if (e == kEntBottom || e == kEntTop) continue;
+        if (!emit(Fact(e, kEntIsa, kEntTop))) return false;
+      }
+    }
+    return true;
+  }
+  // Fully unbounded (?, ISA, ?): reflexivity plus top/bottom families.
+  for (EntityId e = 0; e < n; ++e) {
+    if (!emit(Fact(e, kEntIsa, e))) return false;
+    if (e != kEntTop) {
+      if (!emit(Fact(e, kEntIsa, kEntTop))) return false;
+    }
+    if (e != kEntBottom) {
+      if (!emit(Fact(kEntBottom, kEntIsa, e))) return false;
+    }
+  }
+  return true;
+}
+
+bool ClosureView::AnyRewriteForEach(const Pattern& p,
+                                    const FactVisitor& visit) const {
+  // Positions holding the constant ANY (or NONE in the source) are
+  // "generalized away": they match any stored value there, and matches
+  // are re-projected onto the constant. Which positions may generalize
+  // follows the direction of the inference rules (Sec 3.1): rules 1b/1c
+  // generalize the relationship/target upward (to ANY), rule 1a
+  // specializes the source downward (to NONE). All three rules carry the
+  // "r ∈ R_i" side condition, so facts with class relationships do not
+  // participate.
+  const bool mask_source = (p.source == kEntBottom);
+  const bool mask_rel = (p.relationship == kEntTop);
+  const bool mask_target = (p.target == kEntTop);
+  Pattern scan = p;
+  if (mask_source) scan.source = kAnyEntity;
+  if (mask_rel) scan.relationship = kAnyEntity;
+  if (mask_target) scan.target = kAnyEntity;
+
+  std::unordered_set<Fact, FactHash> emitted;
+  return ForEachStored(scan, [&](const Fact& f) {
+    // All three rewrite rules carry the r ∈ R_i side condition.
+    if (store_->IsClassRelationship(f.relationship)) return true;
+    Fact projected = f;
+    if (mask_source) projected.source = p.source;
+    if (mask_rel) projected.relationship = kEntTop;
+    if (mask_target) projected.target = kEntTop;
+    if (!emitted.insert(projected).second) return true;
+    if (StoredContains(projected) && projected != f) return true;
+    return visit(projected);
+  });
+}
+
+bool ClosureView::ForEach(const Pattern& p, const FactVisitor& visit) const {
+  const bool any_in_position = (p.source == kEntBottom) ||
+                               (p.relationship == kEntTop) ||
+                               (p.target == kEntTop);
+  if (p.RelationshipBound()) {
+    if (p.relationship == kEntIsa) {
+      if (!ForEachStored(p, visit)) return false;
+      return ForEachIsaAxiom(p, visit);
+    }
+    if (MathProvider::IsComparator(p.relationship)) {
+      if (!ForEachStored(p, visit)) return false;
+      // Dedup virtual math facts against stored ones.
+      return math_->ForEach(p, [&](const Fact& f) {
+        if (StoredContains(f)) return true;
+        return visit(f);
+      });
+    }
+    if (any_in_position) return AnyRewriteForEach(p, visit);
+    return ForEachStored(p, visit);
+  }
+  // Relationship unbound: virtual layers stay silent; ANY constants in
+  // source/target still rewrite.
+  if (any_in_position) return AnyRewriteForEach(p, visit);
+  return ForEachStored(p, visit);
+}
+
+bool ClosureView::Contains(const Fact& f) const {
+  Pattern p(f.source, f.relationship, f.target);
+  // Found iff enumeration is stopped by an equal fact.
+  bool found = false;
+  ForEach(p, [&](const Fact& g) {
+    if (g == f) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+bool ClosureView::Enumerable(const Pattern& p) const {
+  if (p.RelationshipBound() && MathProvider::IsComparator(p.relationship)) {
+    return math_->Enumerable(p);
+  }
+  return true;
+}
+
+size_t ClosureView::EstimateMatches(const Pattern& p) const {
+  size_t n = store_->base().CountMatches(p);
+  if (derived_ != nullptr) n += derived_->CountMatches(p);
+  if (p.RelationshipBound() && MathProvider::IsComparator(p.relationship)) {
+    n += math_->EstimateMatches(p);
+  } else if (p.RelationshipBound() && p.relationship == kEntIsa) {
+    n += 2;  // reflexive + top axiom, order-of-magnitude only
+  }
+  return n;
+}
+
+}  // namespace lsd

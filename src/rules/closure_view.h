@@ -1,0 +1,62 @@
+// ClosureView: the queryable database closure (Sec 2.6) as a FactSource.
+//
+// Layers, deduplicated:
+//   1. asserted facts (FactStore base);
+//   2. derived facts (rule engine output);
+//   3. virtual mathematical relations (MathProvider, Sec 3.6);
+//   4. generalization axioms (Sec 2.3): (E, ISA, E) reflexivity,
+//      (E, ISA, ANY) and (NONE, ISA, E) for the top/bottom entities;
+//   5. Δ-generalization semantics: a pattern position holding the
+//      constant ANY matches "related somehow". E.g. (?Z, ANY, FREE)
+//      holds iff some fact (z, r, FREE) exists — exactly what rule (1)
+//      implies, since every relationship r satisfies (r, ISA, ANY).
+//      Matches are emitted with ANY in that position so unification with
+//      the ANY constant succeeds.
+//
+// Virtual layers (3)-(4) only respond when the pattern's relationship is
+// bound (to a comparator resp. ISA): browsing with an unbound
+// relationship shows stored information only, matching the paper's
+// treatment of mathematical facts as non-ordinary.
+#ifndef LSD_RULES_CLOSURE_VIEW_H_
+#define LSD_RULES_CLOSURE_VIEW_H_
+
+#include "rules/math_provider.h"
+#include "store/fact_store.h"
+#include "store/triple_index.h"
+
+namespace lsd {
+
+class ClosureView final : public FactSource {
+ public:
+  // All pointers are borrowed and must outlive the view. `derived` may be
+  // null (no rules applied).
+  ClosureView(const FactStore* store, const TripleIndex* derived,
+              const MathProvider* math);
+
+  bool Contains(const Fact& f) const override;
+  bool ForEach(const Pattern& p, const FactVisitor& visit) const override;
+  bool Enumerable(const Pattern& p) const override;
+  size_t EstimateMatches(const Pattern& p) const override;
+
+  const FactStore& store() const { return *store_; }
+
+ private:
+  // Enumerates stored (base ∪ derived) matches only.
+  bool ForEachStored(const Pattern& p, const FactVisitor& visit) const;
+  bool StoredContains(const Fact& f) const;
+
+  // ISA axiom handling (layer 4).
+  bool IsaAxiomHolds(const Fact& f) const;
+  bool ForEachIsaAxiom(const Pattern& p, const FactVisitor& visit) const;
+
+  // ANY-rewrite handling (layer 5).
+  bool AnyRewriteForEach(const Pattern& p, const FactVisitor& visit) const;
+
+  const FactStore* store_;
+  const TripleIndex* derived_;
+  const MathProvider* math_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_RULES_CLOSURE_VIEW_H_

@@ -1,0 +1,139 @@
+#include "rules/composition.h"
+
+#include <unordered_set>
+
+#include "rules/math_provider.h"
+
+namespace lsd {
+
+namespace {
+
+bool IsMetaRelationship(EntityId r) {
+  return r == kEntIsa || r == kEntIn || r == kEntSyn || r == kEntInv ||
+         r == kEntContra || r == kEntClassRel;
+}
+
+}  // namespace
+
+bool CompositionEngine::LinkAllowed(const Fact& f,
+                                    const CompositionOptions& options) const {
+  if (MathProvider::IsComparator(f.relationship)) return false;
+  if (!options.include_meta_relationships &&
+      IsMetaRelationship(f.relationship)) {
+    return false;
+  }
+  // Never compose through previously minted composition entities: chains
+  // are built from elementary facts, and limit(n) already controls depth.
+  if (entities_->Kind(f.relationship) == EntityKind::kComposed) return false;
+  return f.source != f.target;  // self-loops never extend a simple path
+}
+
+std::string CompositionEngine::ComposedName(
+    const std::vector<Fact>& chain) const {
+  std::string name;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (i > 0) {
+      name += ".";
+      name += entities_->Name(chain[i].source);
+      name += ".";
+    }
+    name += entities_->Name(chain[i].relationship);
+  }
+  return name;
+}
+
+StatusOr<std::vector<ComposedFact>> CompositionEngine::PathsBetween(
+    const FactSource& view, EntityId source, EntityId target,
+    const CompositionOptions& options) const {
+  std::vector<ComposedFact> out;
+  if (options.limit < 2 || source == target) return out;
+
+  std::vector<Fact> chain;
+  std::unordered_set<EntityId> visited{source};
+
+  // Depth-first enumeration of simple paths source -> target.
+  std::function<void(EntityId)> dfs = [&](EntityId at) {
+    if (static_cast<int>(chain.size()) >= options.limit) return;
+    view.ForEach(Pattern(at, kAnyEntity, kAnyEntity), [&](const Fact& f) {
+      if (!LinkAllowed(f, options)) return true;
+      if (f.target == target) {
+        if (chain.size() + 1 >= 2) {
+          chain.push_back(f);
+          ComposedFact cf;
+          cf.chain = chain;
+          cf.fact = Fact(source, entities_->InternComposed(
+                                     ComposedName(chain)),
+                         target);
+          out.push_back(std::move(cf));
+          chain.pop_back();
+        }
+        return true;
+      }
+      if (visited.count(f.target)) return true;
+      chain.push_back(f);
+      visited.insert(f.target);
+      dfs(f.target);
+      visited.erase(f.target);
+      chain.pop_back();
+      return true;
+    });
+  };
+  dfs(source);
+  return out;
+}
+
+StatusOr<std::vector<ComposedFact>> CompositionEngine::MaterializeAll(
+    const FactSource& view, const CompositionOptions& options) const {
+  std::vector<ComposedFact> out;
+  if (options.limit < 2) return out;
+
+  // Collect the distinct sources present in the view, then run a simple-
+  // path DFS from each, emitting every prefix of length >= 2.
+  std::unordered_set<EntityId> sources;
+  view.ForEach(Pattern(), [&](const Fact& f) {
+    sources.insert(f.source);
+    return true;
+  });
+
+  Status overflow = Status::OK();
+  for (EntityId start : sources) {
+    std::vector<Fact> chain;
+    std::unordered_set<EntityId> visited{start};
+    std::function<bool(EntityId)> dfs = [&](EntityId at) -> bool {
+      if (static_cast<int>(chain.size()) >= options.limit) return true;
+      return view.ForEach(
+          Pattern(at, kAnyEntity, kAnyEntity), [&](const Fact& f) {
+            if (!LinkAllowed(f, options)) return true;
+            if (visited.count(f.target)) return true;
+            chain.push_back(f);
+            visited.insert(f.target);
+            bool keep_going = true;
+            if (chain.size() >= 2) {
+              if (out.size() >= options.max_results) {
+                overflow = Status::OutOfRange(
+                    "composition exceeded max_results (" +
+                    std::to_string(options.max_results) + ")");
+                keep_going = false;
+              } else {
+                ComposedFact cf;
+                cf.chain = chain;
+                cf.fact =
+                    Fact(start,
+                         entities_->InternComposed(ComposedName(chain)),
+                         f.target);
+                out.push_back(std::move(cf));
+              }
+            }
+            if (keep_going) keep_going = dfs(f.target);
+            visited.erase(f.target);
+            chain.pop_back();
+            return keep_going;
+          });
+    };
+    if (!dfs(start)) break;
+  }
+  if (!overflow.ok()) return overflow;
+  return out;
+}
+
+}  // namespace lsd

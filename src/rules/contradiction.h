@@ -1,0 +1,38 @@
+// Integrity checking (Sec 2.5, 3.5): a loosely structured database is a
+// set of facts and rules whose closure is free of contradictions. Two
+// facts (x, r, y) and (x, r', y) contradict when (r, CONTRA, r') is in
+// the closure; a stored comparison fact that disagrees with the built-in
+// arithmetic (e.g. a derived (-5, >, 0)) contradicts a virtual fact.
+#ifndef LSD_RULES_CONTRADICTION_H_
+#define LSD_RULES_CONTRADICTION_H_
+
+#include <string>
+#include <vector>
+
+#include "rules/closure_view.h"
+#include "store/fact.h"
+#include "util/status.h"
+
+namespace lsd {
+
+struct IntegrityViolation {
+  Fact fact;         // the offending stored fact
+  Fact conflicting;  // the fact it contradicts (stored or virtual)
+  std::string description;
+};
+
+// Scans the closure for contradictions. Detects:
+//   - pairs (x, r, y), (x, r', y) with (r, CONTRA, r') in the closure
+//     (each unordered pair reported once);
+//   - stored comparator facts whose truth value is decidable and false
+//     (false (a,=,b)//(a,/=,b) for any entities; false (a,<,b) etc. for
+//     numeric operands).
+std::vector<IntegrityViolation> FindViolations(const ClosureView& view);
+
+// OK if the closure is contradiction-free, otherwise an
+// IntegrityViolation status naming the first few conflicts.
+Status CheckIntegrity(const ClosureView& view);
+
+}  // namespace lsd
+
+#endif  // LSD_RULES_CONTRADICTION_H_

@@ -1,0 +1,81 @@
+// Incremental closure maintenance — the "update of data" problem the
+// paper leaves open (Sec 6.2). Instead of recomputing the closure after
+// every mutation, the derived fact set is maintained:
+//
+//   - OnAssert(f): a semi-naive continuation seeded with {f} derives
+//     exactly the new consequences;
+//   - OnRetract(f): delete-and-rederive (DRed). First over-approximate
+//     the derived facts whose derivations may involve f (transitively),
+//     delete them, then put back every deleted fact that still has a
+//     derivation from the remaining closure.
+//
+// The maintained state is equivalent to a full recomputation after each
+// mutation (tested property), at a fraction of the cost for point
+// updates (experiment E10).
+#ifndef LSD_RULES_INCREMENTAL_H_
+#define LSD_RULES_INCREMENTAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "rules/closure_view.h"
+#include "rules/math_provider.h"
+#include "rules/rule.h"
+#include "store/fact_store.h"
+#include "store/triple_index.h"
+#include "util/status.h"
+
+namespace lsd {
+
+struct IncrementalStats {
+  size_t assert_derivations = 0;   // facts added by OnAssert calls
+  size_t retract_deleted = 0;      // overestimate removed by OnRetract
+  size_t retract_rederived = 0;    // facts put back by rederivation
+  size_t rule_applications = 0;    // candidate head instantiations
+};
+
+class IncrementalClosure {
+ public:
+  // `store` and `math` are borrowed. `rules` is copied; disabled rules
+  // are skipped. Call Initialize() before use.
+  IncrementalClosure(const FactStore* store, const MathProvider* math,
+                     std::vector<Rule> rules);
+
+  IncrementalClosure(const IncrementalClosure&) = delete;
+  IncrementalClosure& operator=(const IncrementalClosure&) = delete;
+
+  // Full semi-naive computation of the initial closure.
+  Status Initialize();
+
+  // Maintains the closure after `f` was asserted into the store. The
+  // fact must already be present in the base store.
+  Status OnAssert(const Fact& f);
+
+  // Maintains the closure after `f` was retracted from the store.
+  Status OnRetract(const Fact& f);
+
+  const ClosureView& view() const { return *view_; }
+  const TripleIndex& derived() const { return derived_; }
+  const IncrementalStats& stats() const { return stats_; }
+
+ private:
+  // Runs semi-naive rounds starting from `delta` (facts assumed already
+  // inserted into base or derived), inserting new conclusions into
+  // derived_. Stops at fixpoint.
+  Status Propagate(TripleIndex delta);
+
+  // True if `f` has at least one derivation whose body is satisfied by
+  // the current view (or is asserted).
+  StatusOr<bool> Derivable(const Fact& f) const;
+
+  const FactStore* store_;
+  const MathProvider* math_;
+  std::vector<Rule> rules_;
+  TripleIndex derived_;
+  std::unique_ptr<ClosureView> view_;
+  IncrementalStats stats_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_RULES_INCREMENTAL_H_

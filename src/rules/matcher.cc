@@ -1,0 +1,118 @@
+#include "rules/matcher.h"
+
+#include <cassert>
+
+namespace lsd {
+
+namespace {
+
+// Recursive backtracking join. `done` marks atoms already matched.
+Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
+                size_t remaining, Binding& binding,
+                const VarFilter& var_filter, const BindingVisitor& visit,
+                JoinOrder order, bool& stopped) {
+  if (remaining == 0) {
+    if (!visit(binding)) stopped = true;
+    return Status::OK();
+  }
+
+  // Pick the next atom per the ordering policy. Atoms that are not
+  // enumerable under the current binding (virtual relations with
+  // unbound operands) are always deferred.
+  int best = -1;
+  double best_score = 0;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (done[i]) continue;
+    Pattern p = atoms[i].tmpl.Bind(binding);
+    const bool enumerable =
+        p.BoundCount() == 3 || atoms[i].source->Enumerable(p);
+    if (!enumerable) continue;
+    double score = 0;
+    switch (order) {
+      case JoinOrder::kBoundCount:
+        // Maximize bound positions; ground atoms win outright.
+        score = -static_cast<double>(p.BoundCount());
+        break;
+      case JoinOrder::kEstimatedCost:
+        score = static_cast<double>(
+            atoms[i].source->EstimateMatches(p));
+        break;
+      case JoinOrder::kFixed:
+        score = static_cast<double>(i);
+        break;
+    }
+    if (best < 0 || score < best_score) {
+      best_score = score;
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) {
+    return Status::InvalidArgument(
+        "unsafe conjunction: remaining atoms have unbound operands of a "
+        "non-enumerable (virtual) relation");
+  }
+
+  const AtomSpec& atom = atoms[best];
+  done[best] = true;
+
+  // Variables this atom can newly bind; used both for the filter hook and
+  // for rollback.
+  std::vector<VarId> atom_vars;
+  atom.tmpl.CollectVars(&atom_vars);
+
+  Status status = Status::OK();
+  atom.source->ForEach(atom.tmpl.Bind(binding), [&](const Fact& f) {
+    // Remember which vars were unbound before unification.
+    std::vector<VarId> newly_bound;
+    for (VarId v : atom_vars) {
+      if (!binding.IsBound(v)) newly_bound.push_back(v);
+    }
+    if (!atom.tmpl.Unify(f, binding)) return true;  // shared-var clash
+    bool admissible = true;
+    if (var_filter) {
+      for (VarId v : newly_bound) {
+        if (binding.IsBound(v) && !var_filter(v, binding.Get(v))) {
+          admissible = false;
+          break;
+        }
+      }
+    }
+    if (admissible) {
+      status = MatchRec(atoms, done, remaining - 1, binding, var_filter,
+                        visit, order, stopped);
+    }
+    for (VarId v : newly_bound) binding.Unset(v);
+    return status.ok() && !stopped;
+  });
+
+  done[best] = false;
+  return status;
+}
+
+}  // namespace
+
+Status MatchConjunction(std::vector<AtomSpec> atoms, Binding& binding,
+                        const VarFilter& var_filter,
+                        const BindingVisitor& visit, JoinOrder order) {
+  for (const AtomSpec& a : atoms) {
+    assert(a.source != nullptr);
+    (void)a;
+  }
+  std::vector<bool> done(atoms.size(), false);
+  bool stopped = false;
+  return MatchRec(atoms, done, atoms.size(), binding, var_filter, visit,
+                  order, stopped);
+}
+
+Status MatchConjunction(const FactSource& source,
+                        const std::vector<Template>& atoms,
+                        Binding& binding, const VarFilter& var_filter,
+                        const BindingVisitor& visit, JoinOrder order) {
+  std::vector<AtomSpec> specs;
+  specs.reserve(atoms.size());
+  for (const Template& t : atoms) specs.push_back(AtomSpec{t, &source});
+  return MatchConjunction(std::move(specs), binding, var_filter, visit,
+                          order);
+}
+
+}  // namespace lsd

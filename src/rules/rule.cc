@@ -1,0 +1,90 @@
+#include "rules/rule.h"
+
+#include <algorithm>
+
+#include "store/entity_table.h"
+
+namespace lsd {
+
+std::string Rule::DebugString(const EntityTable& entities) const {
+  std::string out;
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += body[i].DebugString(entities, var_names);
+  }
+  out += " => ";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += head[i].DebugString(entities, var_names);
+  }
+  return out;
+}
+
+Status Rule::Validate() const {
+  if (body.empty()) {
+    return Status::InvalidArgument("rule '" + name + "' has empty body");
+  }
+  if (head.empty()) {
+    return Status::InvalidArgument("rule '" + name + "' has empty head");
+  }
+  if (var_constraints.size() != var_names.size()) {
+    return Status::Internal("rule '" + name +
+                            "' constraint table size mismatch");
+  }
+  std::vector<VarId> body_vars;
+  for (const Template& t : body) t.CollectVars(&body_vars);
+  std::vector<VarId> head_vars;
+  for (const Template& t : head) t.CollectVars(&head_vars);
+  for (VarId v : body_vars) {
+    if (v >= var_names.size()) {
+      return Status::Internal("rule '" + name + "' variable out of range");
+    }
+  }
+  for (VarId v : head_vars) {
+    if (v >= var_names.size()) {
+      return Status::Internal("rule '" + name + "' variable out of range");
+    }
+    if (std::find(body_vars.begin(), body_vars.end(), v) ==
+        body_vars.end()) {
+      return Status::InvalidArgument(
+          "rule '" + name + "' is unsafe: head variable ?" + var_names[v] +
+          " does not appear in the body");
+    }
+  }
+  return Status::OK();
+}
+
+RuleBuilder::RuleBuilder(std::string name) { rule_.name = std::move(name); }
+
+Term RuleBuilder::Var(std::string_view name, VarConstraint constraint) {
+  for (size_t i = 0; i < rule_.var_names.size(); ++i) {
+    if (rule_.var_names[i] == name) {
+      if (constraint != VarConstraint::kNone) {
+        rule_.var_constraints[i] = constraint;
+      }
+      return Term::Var(static_cast<VarId>(i));
+    }
+  }
+  rule_.var_names.emplace_back(name);
+  rule_.var_constraints.push_back(constraint);
+  return Term::Var(static_cast<VarId>(rule_.var_names.size() - 1));
+}
+
+RuleBuilder& RuleBuilder::Body(Term s, Term r, Term t) {
+  rule_.body.emplace_back(s, r, t);
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::Head(Term s, Term r, Term t) {
+  rule_.head.emplace_back(s, r, t);
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::SetKind(RuleKind kind) {
+  rule_.kind = kind;
+  return *this;
+}
+
+Rule RuleBuilder::Build() && { return std::move(rule_); }
+
+}  // namespace lsd

@@ -1,0 +1,77 @@
+// Conjunctive rules <L, R> (Sec 2.6): one set of templates implies
+// another. Inference rules and integrity constraints share this single
+// representation — exactly the paper's "single mechanism" (feature 3 of
+// its conclusion). A variable may carry a relationship-class constraint
+// to express the paper's "∀ r ∈ R_i" side conditions.
+#ifndef LSD_RULES_RULE_H_
+#define LSD_RULES_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "rules/template.h"
+#include "util/status.h"
+
+namespace lsd {
+
+class EntityTable;
+class FactStore;
+
+// Side condition on a rule variable (Sec 2.2 / 3.1-3.2).
+enum class VarConstraint : uint8_t {
+  kNone = 0,
+  kIndividualRelationship,  // must be in R_i
+  kClassRelationship,       // must be in R_c
+};
+
+// Distinguishes how a rule participates in closure/integrity processing.
+// The paper treats both uniformly ("integrity constraints are identical
+// to inference rules"); the kind only tags provenance for reporting.
+enum class RuleKind : uint8_t {
+  kInference = 0,
+  kIntegrity,
+};
+
+struct Rule {
+  std::string name;  // for include()/exclude() and diagnostics
+  RuleKind kind = RuleKind::kInference;
+  std::vector<Template> body;  // L: antecedent templates (conjunction)
+  std::vector<Template> head;  // R: consequent templates (conjunction)
+  std::vector<std::string> var_names;
+  std::vector<VarConstraint> var_constraints;  // parallel to var_names
+  bool enabled = true;
+
+  size_t num_vars() const { return var_names.size(); }
+
+  // Renders "(?X, IN, EMPLOYEE) => (?X, EARNS, SALARY)".
+  std::string DebugString(const EntityTable& entities) const;
+
+  // Structural validation: variable ids in range, head variables all
+  // appear in the body (safety: rules must not invent bindings),
+  // constraints sized correctly.
+  Status Validate() const;
+};
+
+// Helper for building rules programmatically (used heavily by
+// builtin_rules.cc and tests).
+class RuleBuilder {
+ public:
+  explicit RuleBuilder(std::string name);
+
+  // Declares (or reuses) a variable by name; returns a Term for it.
+  Term Var(std::string_view name,
+           VarConstraint constraint = VarConstraint::kNone);
+
+  RuleBuilder& Body(Term s, Term r, Term t);
+  RuleBuilder& Head(Term s, Term r, Term t);
+  RuleBuilder& SetKind(RuleKind kind);
+
+  Rule Build() &&;
+
+ private:
+  Rule rule_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_RULES_RULE_H_

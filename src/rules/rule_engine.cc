@@ -1,0 +1,137 @@
+#include "rules/rule_engine.h"
+
+#include "rules/matcher.h"
+
+namespace lsd {
+
+namespace {
+
+// True if this body atom addresses a virtual relation: such atoms are
+// never new between rounds, so semi-naive evaluation must not pin them
+// to the delta.
+bool IsVirtualAtom(const Template& t) {
+  return t.relationship.is_entity() &&
+         MathProvider::IsComparator(t.relationship.entity());
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Closure>> RuleEngine::ComputeClosure(
+    const std::vector<Rule>& rules, const ClosureOptions& options) const {
+  for (const Rule& rule : rules) {
+    if (!rule.enabled) continue;
+    LSD_RETURN_IF_ERROR(rule.Validate());
+  }
+
+  TripleIndex derived;
+  IndexSource derived_source(&derived);
+  TripleIndex delta;
+  IndexSource delta_source(&delta);
+
+  // Stored facts known so far, plus the virtual math layer for rule
+  // bodies that test comparisons.
+  UnionSource full({&store_->base_source(), &derived_source, math_});
+
+  ClosureStats stats;
+  const bool semi_naive =
+      options.strategy == ClosureOptions::Strategy::kSemiNaive;
+
+  bool first_round = true;
+  for (;;) {
+    if (++stats.rounds > options.max_rounds) {
+      return Status::FailedPrecondition(
+          "closure did not converge within max_rounds");
+    }
+
+    TripleIndex next;
+    auto derive = [&](const Rule& rule, const Binding& binding) {
+      for (const Template& head : rule.head) {
+        ++stats.candidate_facts;
+        Fact f = head.Substitute(binding);
+        // A derived comparison that already holds virtually adds nothing;
+        // one that does not hold is stored so the integrity checker can
+        // report the contradiction.
+        if (MathProvider::IsComparator(f.relationship) && math_->Holds(f)) {
+          continue;
+        }
+        if (store_->Contains(f) || derived.Contains(f)) continue;
+        next.Insert(f);
+      }
+      return true;
+    };
+
+    for (const Rule& rule : rules) {
+      if (!rule.enabled) continue;
+      auto filter = [this, &rule](VarId v, EntityId e) {
+        switch (rule.var_constraints[v]) {
+          case VarConstraint::kIndividualRelationship:
+            return !store_->IsClassRelationship(e);
+          case VarConstraint::kClassRelationship:
+            return store_->IsClassRelationship(e);
+          case VarConstraint::kNone:
+            return true;
+        }
+        return true;
+      };
+      auto on_match = [&](const Binding& b) { return derive(rule, b); };
+
+      if (!semi_naive) {
+        // Naive: every atom against everything, every round.
+        Binding binding(rule.num_vars());
+        LSD_RETURN_IF_ERROR(
+            MatchConjunction(full, rule.body, binding, filter, on_match));
+        continue;
+      }
+
+      // Semi-naive: require at least one body atom to match a fact that
+      // is new since the last round (round 1: any asserted fact).
+      size_t pinnable = 0;
+      for (const Template& t : rule.body) {
+        if (!IsVirtualAtom(t)) ++pinnable;
+      }
+      if (pinnable == 0) {
+        // Purely virtual body: fires (at most) once, in round 1.
+        if (first_round) {
+          Binding binding(rule.num_vars());
+          LSD_RETURN_IF_ERROR(
+              MatchConjunction(full, rule.body, binding, filter, on_match));
+        }
+        continue;
+      }
+      const FactSource* pin_source =
+          first_round ? static_cast<const FactSource*>(&store_->base_source())
+                      : &delta_source;
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (IsVirtualAtom(rule.body[i])) continue;
+        std::vector<AtomSpec> specs;
+        specs.reserve(rule.body.size());
+        for (size_t j = 0; j < rule.body.size(); ++j) {
+          specs.push_back(
+              AtomSpec{rule.body[j], j == i ? pin_source : &full});
+        }
+        Binding binding(rule.num_vars());
+        LSD_RETURN_IF_ERROR(
+            MatchConjunction(std::move(specs), binding, filter, on_match));
+      }
+    }
+
+    if (next.empty()) break;
+    for (const Fact& f : next.Match(Pattern())) {
+      derived.Insert(f);
+    }
+    if (derived.size() > options.max_derived_facts) {
+      return Status::OutOfRange(
+          "closure exceeded max_derived_facts (" +
+          std::to_string(options.max_derived_facts) +
+          "); consider excluding rules or raising the limit");
+    }
+    delta = std::move(next);
+    first_round = false;
+  }
+
+  stats.derived_facts = derived.size();
+  return std::make_unique<Closure>(store_, math_, std::move(derived),
+                                   stats);
+}
+
+}  // namespace lsd

@@ -1,0 +1,88 @@
+// Fixpoint computation of the database closure (Sec 2.6): "the set of
+// facts that may be obtained by repeated application of the rules".
+//
+// The default strategy is semi-naive evaluation: each round only matches
+// rule bodies against derivations that are new since the previous round,
+// which avoids re-deriving the same facts quadratically. The naive
+// strategy (re-match everything each round) is kept as the experiment E1
+// baseline.
+//
+// Facts whose relationship is a virtual comparator are special-cased on
+// derivation: if the comparison already holds virtually it is not stored;
+// otherwise it is stored so the integrity checker can flag it (e.g. an
+// integrity rule deriving (-5, >, 0)).
+#ifndef LSD_RULES_RULE_ENGINE_H_
+#define LSD_RULES_RULE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "rules/closure_view.h"
+#include "rules/math_provider.h"
+#include "rules/rule.h"
+#include "store/fact_store.h"
+#include "store/triple_index.h"
+#include "util/status.h"
+
+namespace lsd {
+
+struct ClosureOptions {
+  enum class Strategy { kSemiNaive, kNaive };
+  Strategy strategy = Strategy::kSemiNaive;
+
+  // Safety valves: computing a closure never runs away silently.
+  size_t max_derived_facts = 10'000'000;
+  size_t max_rounds = 100'000;
+};
+
+struct ClosureStats {
+  size_t rounds = 0;
+  size_t derived_facts = 0;
+  // Number of head instantiations attempted (including duplicates).
+  size_t candidate_facts = 0;
+};
+
+// The materialized closure. Owns the derived fact index and exposes the
+// queryable view (base ∪ derived ∪ virtual layers).
+class Closure {
+ public:
+  Closure(const FactStore* store, const MathProvider* math,
+          TripleIndex derived, ClosureStats stats)
+      : derived_(std::move(derived)),
+        stats_(stats),
+        view_(store, &derived_, math) {}
+
+  Closure(const Closure&) = delete;
+  Closure& operator=(const Closure&) = delete;
+
+  const TripleIndex& derived() const { return derived_; }
+  const ClosureView& view() const { return view_; }
+  const ClosureStats& stats() const { return stats_; }
+
+ private:
+  TripleIndex derived_;
+  ClosureStats stats_;
+  ClosureView view_;
+};
+
+class RuleEngine {
+ public:
+  // Both pointers are borrowed and must outlive the engine.
+  RuleEngine(const FactStore* store, const MathProvider* math)
+      : store_(store), math_(math) {}
+
+  // Computes the closure of the store's facts under the enabled rules.
+  // Disabled rules (rule.enabled == false) are skipped — this implements
+  // the include()/exclude() operators of Sec 6.1.
+  StatusOr<std::unique_ptr<Closure>> ComputeClosure(
+      const std::vector<Rule>& rules,
+      const ClosureOptions& options = ClosureOptions()) const;
+
+ private:
+  const FactStore* store_;
+  const MathProvider* math_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_RULES_RULE_ENGINE_H_

@@ -1,0 +1,122 @@
+// Templates: facts whose positions may hold variables (Sec 2.4, 2.7).
+// Templates are both the bodies/heads of rules and the atomic predicates
+// of the query language.
+#ifndef LSD_RULES_TEMPLATE_H_
+#define LSD_RULES_TEMPLATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/entity.h"
+#include "store/fact.h"
+
+namespace lsd {
+
+class EntityTable;
+
+using VarId = uint32_t;
+
+// One position of a template: either a concrete entity or a variable.
+class Term {
+ public:
+  Term() : is_var_(false), id_(kAnyEntity) {}
+
+  static Term Entity(EntityId e) { return Term(false, e); }
+  static Term Var(VarId v) { return Term(true, v); }
+
+  bool is_variable() const { return is_var_; }
+  bool is_entity() const { return !is_var_; }
+
+  EntityId entity() const { return id_; }
+  VarId var() const { return id_; }
+
+  friend bool operator==(const Term& a, const Term& b) = default;
+
+ private:
+  Term(bool is_var, uint32_t id) : is_var_(is_var), id_(id) {}
+
+  bool is_var_;
+  uint32_t id_;  // EntityId or VarId depending on is_var_
+};
+
+// A partial assignment of variables to entities. Indexed by VarId;
+// kAnyEntity means unbound.
+class Binding {
+ public:
+  explicit Binding(size_t num_vars)
+      : values_(num_vars, kAnyEntity) {}
+
+  bool IsBound(VarId v) const { return values_[v] != kAnyEntity; }
+  EntityId Get(VarId v) const { return values_[v]; }
+  void Set(VarId v, EntityId e) { values_[v] = e; }
+  void Unset(VarId v) { values_[v] = kAnyEntity; }
+
+  size_t num_vars() const { return values_.size(); }
+
+  // Entities bound to the given variables, in order. All must be bound.
+  std::vector<EntityId> Project(const std::vector<VarId>& vars) const;
+
+  friend bool operator==(const Binding& a, const Binding& b) = default;
+
+ private:
+  std::vector<EntityId> values_;
+};
+
+// A template triple. Variables are indices into a surrounding scope's
+// variable table (a Rule or a Query owns the names).
+struct Template {
+  Term source;
+  Term relationship;
+  Term target;
+
+  Template() = default;
+  Template(Term s, Term r, Term t)
+      : source(s), relationship(r), target(t) {}
+
+  // Builds an entity-only template (a ground fact as a template).
+  static Template Ground(const Fact& f) {
+    return Template(Term::Entity(f.source), Term::Entity(f.relationship),
+                    Term::Entity(f.target));
+  }
+
+  const Term& at(int pos) const {
+    return pos == 0 ? source : (pos == 1 ? relationship : target);
+  }
+  Term& at(int pos) {
+    return pos == 0 ? source : (pos == 1 ? relationship : target);
+  }
+
+  // The match pattern under a (possibly partial) binding: bound variables
+  // and entities become concrete, unbound variables become wildcards.
+  Pattern Bind(const Binding& b) const;
+
+  // True if all three positions are entities or bound variables.
+  bool IsGroundUnder(const Binding& b) const;
+
+  // The ground fact under a binding; requires IsGroundUnder(b).
+  Fact Substitute(const Binding& b) const;
+
+  // Attempts to unify this template with a concrete fact, extending `b`.
+  // On success returns true with `b` extended; on failure leaves `b`
+  // unchanged and returns false.
+  bool Unify(const Fact& f, Binding& b) const;
+
+  // All variables mentioned, without duplicates, in position order.
+  void CollectVars(std::vector<VarId>* out) const;
+
+  bool HasVariables() const {
+    return source.is_variable() || relationship.is_variable() ||
+           target.is_variable();
+  }
+
+  friend bool operator==(const Template& a, const Template& b) = default;
+
+  // Renders "(?X, ISA, PERSON)" given names for variables.
+  std::string DebugString(const EntityTable& entities,
+                          const std::vector<std::string>& var_names) const;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_RULES_TEMPLATE_H_

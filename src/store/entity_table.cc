@@ -1,0 +1,108 @@
+#include "store/entity_table.h"
+
+#include <array>
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace lsd {
+
+namespace {
+
+struct BuiltinSpec {
+  EntityId id;
+  const char* name;
+};
+
+constexpr std::array<BuiltinSpec, kNumBuiltinEntities> kBuiltins = {{
+    {kEntTop, "ANY"},
+    {kEntBottom, "NONE"},
+    {kEntIsa, "ISA"},
+    {kEntIn, "IN"},
+    {kEntSyn, "SYN"},
+    {kEntInv, "INV"},
+    {kEntContra, "CONTRA"},
+    {kEntLess, "<"},
+    {kEntGreater, ">"},
+    {kEntEq, "="},
+    {kEntNeq, "/="},
+    {kEntLessEq, "<="},
+    {kEntGreaterEq, ">="},
+    {kEntClassRel, "CLASS-REL"},
+}};
+
+// Unicode spellings from the paper, mapped to canonical names.
+struct AliasSpec {
+  const char* alias;
+  const char* canonical;
+};
+
+constexpr AliasSpec kAliases[] = {
+    {"≺", "ISA"},     // ≺
+    {"∈", "IN"},      // ∈
+    {"≈", "SYN"},     // ≈
+    {"↔", "INV"},     // ↔
+    {"⊥", "CONTRA"},  // ⊥
+    {"≠", "/="},      // ≠
+    {"≤", "<="},      // ≤
+    {"≥", ">="},      // ≥
+    {"Δ", "ANY"},     // Δ
+    {"∇", "NONE"},    // ∇
+};
+
+}  // namespace
+
+EntityTable::EntityTable() {
+  for (const auto& b : kBuiltins) {
+    EntityId id = InternWithKind(b.name, EntityKind::kBuiltin);
+    (void)id;
+    assert(id == b.id);
+  }
+}
+
+std::string EntityTable::Normalize(std::string_view name) const {
+  std::string upper = AsciiToUpper(StripWhitespace(name));
+  for (const auto& a : kAliases) {
+    if (upper == a.alias) return a.canonical;
+  }
+  return upper;
+}
+
+EntityId EntityTable::InternWithKind(std::string_view normalized,
+                                     EntityKind kind) {
+  auto it = by_name_.find(std::string(normalized));
+  if (it != by_name_.end()) return it->second;
+  Row row;
+  row.name = std::string(normalized);
+  row.kind = kind;
+  if (auto num = ParseNumericEntity(normalized)) {
+    row.is_numeric = true;
+    row.numeric_value = *num;
+  }
+  EntityId id = static_cast<EntityId>(rows_.size());
+  by_name_.emplace(row.name, id);
+  rows_.push_back(std::move(row));
+  return id;
+}
+
+EntityId EntityTable::Intern(std::string_view name) {
+  return InternWithKind(Normalize(name), EntityKind::kRegular);
+}
+
+EntityId EntityTable::InternComposed(std::string_view name) {
+  return InternWithKind(Normalize(name), EntityKind::kComposed);
+}
+
+std::optional<EntityId> EntityTable::Lookup(std::string_view name) const {
+  auto it = by_name_.find(Normalize(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> EntityTable::NumericValue(EntityId id) const {
+  const Row& row = rows_[id];
+  if (!row.is_numeric) return std::nullopt;
+  return row.numeric_value;
+}
+
+}  // namespace lsd

@@ -1,0 +1,73 @@
+// String-interning table mapping entity names <-> dense EntityIds.
+//
+// Names are case-normalized to upper ASCII (the paper writes all entities
+// uppercase). Numeric names ("25000", "$25000", "2.6") are recognized at
+// intern time and carry a double value so the math provider (Sec 3.6) can
+// answer comparison facts without storing them.
+#ifndef LSD_STORE_ENTITY_TABLE_H_
+#define LSD_STORE_ENTITY_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "store/entity.h"
+#include "util/status.h"
+
+namespace lsd {
+
+class EntityTable {
+ public:
+  EntityTable();
+
+  EntityTable(const EntityTable&) = delete;
+  EntityTable& operator=(const EntityTable&) = delete;
+
+  // Returns the id for `name`, interning it if new. Normalizes case and
+  // resolves the unicode aliases the paper uses (≺, ∈, ≈, ↔, ⊥, ≠, ≤, ≥).
+  EntityId Intern(std::string_view name);
+
+  // Interns a composition-minted entity (Sec 3.7), e.g.
+  // "ENROLLED-IN.CS100.TAUGHT-BY". Kind is kComposed.
+  EntityId InternComposed(std::string_view name);
+
+  // Returns the id for `name` without interning, or nullopt if unknown.
+  std::optional<EntityId> Lookup(std::string_view name) const;
+
+  // Name of an entity. id must be valid.
+  const std::string& Name(EntityId id) const { return rows_[id].name; }
+
+  EntityKind Kind(EntityId id) const { return rows_[id].kind; }
+
+  // Numeric value if the entity is a number (Sec 3.6), else nullopt.
+  std::optional<double> NumericValue(EntityId id) const;
+
+  bool IsNumeric(EntityId id) const { return rows_[id].is_numeric; }
+
+  bool IsValid(EntityId id) const { return id < rows_.size(); }
+
+  // Number of interned entities (including builtins).
+  size_t size() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::string name;
+    EntityKind kind = EntityKind::kRegular;
+    bool is_numeric = false;
+    double numeric_value = 0;
+  };
+
+  EntityId InternWithKind(std::string_view normalized, EntityKind kind);
+
+  // Canonicalizes case and unicode aliases.
+  std::string Normalize(std::string_view name) const;
+
+  std::vector<Row> rows_;
+  std::unordered_map<std::string, EntityId> by_name_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_STORE_ENTITY_TABLE_H_

@@ -1,0 +1,27 @@
+#include "store/fact.h"
+
+#include "store/entity_table.h"
+
+namespace lsd {
+
+namespace {
+std::string PositionString(const EntityTable& entities, EntityId id) {
+  if (id == kAnyEntity) return "*";
+  if (!entities.IsValid(id)) return "<invalid>";
+  return entities.Name(id);
+}
+}  // namespace
+
+std::string Fact::DebugString(const EntityTable& entities) const {
+  return "(" + PositionString(entities, source) + ", " +
+         PositionString(entities, relationship) + ", " +
+         PositionString(entities, target) + ")";
+}
+
+std::string Pattern::DebugString(const EntityTable& entities) const {
+  return "(" + PositionString(entities, source) + ", " +
+         PositionString(entities, relationship) + ", " +
+         PositionString(entities, target) + ")";
+}
+
+}  // namespace lsd

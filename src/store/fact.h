@@ -1,0 +1,109 @@
+// The atomic unit of information (Sec 2.1): a named pair of entities
+// (source, relationship, target), plus the pattern type used to match
+// facts with some positions unconstrained.
+#ifndef LSD_STORE_FACT_H_
+#define LSD_STORE_FACT_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "store/entity.h"
+
+namespace lsd {
+
+class EntityTable;
+
+struct Fact {
+  EntityId source = 0;
+  EntityId relationship = 0;
+  EntityId target = 0;
+
+  Fact() = default;
+  Fact(EntityId s, EntityId r, EntityId t)
+      : source(s), relationship(r), target(t) {}
+
+  friend bool operator==(const Fact& a, const Fact& b) = default;
+
+  // Renders "(JOHN, WORKS-FOR, SHIPPING)".
+  std::string DebugString(const EntityTable& entities) const;
+};
+
+// Lexicographic orders used by the index permutations.
+struct OrderSrt {
+  bool operator()(const Fact& a, const Fact& b) const {
+    if (a.source != b.source) return a.source < b.source;
+    if (a.relationship != b.relationship)
+      return a.relationship < b.relationship;
+    return a.target < b.target;
+  }
+};
+
+struct OrderRts {
+  bool operator()(const Fact& a, const Fact& b) const {
+    if (a.relationship != b.relationship)
+      return a.relationship < b.relationship;
+    if (a.target != b.target) return a.target < b.target;
+    return a.source < b.source;
+  }
+};
+
+struct OrderTsr {
+  bool operator()(const Fact& a, const Fact& b) const {
+    if (a.target != b.target) return a.target < b.target;
+    if (a.source != b.source) return a.source < b.source;
+    return a.relationship < b.relationship;
+  }
+};
+
+struct FactHash {
+  size_t operator()(const Fact& f) const {
+    // 64-bit mix of the three 32-bit components.
+    uint64_t h = f.source;
+    h = h * 0x9e3779b97f4a7c15ULL + f.relationship;
+    h = h * 0x9e3779b97f4a7c15ULL + f.target;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    return static_cast<size_t>(h);
+  }
+};
+
+// A match pattern: each position is either a bound EntityId or kAnyEntity
+// (the paper's "*", Sec 4.1).
+struct Pattern {
+  EntityId source = kAnyEntity;
+  EntityId relationship = kAnyEntity;
+  EntityId target = kAnyEntity;
+
+  Pattern() = default;
+  Pattern(EntityId s, EntityId r, EntityId t)
+      : source(s), relationship(r), target(t) {}
+
+  bool SourceBound() const { return source != kAnyEntity; }
+  bool RelationshipBound() const { return relationship != kAnyEntity; }
+  bool TargetBound() const { return target != kAnyEntity; }
+
+  bool Matches(const Fact& f) const {
+    return (!SourceBound() || source == f.source) &&
+           (!RelationshipBound() || relationship == f.relationship) &&
+           (!TargetBound() || target == f.target);
+  }
+
+  // Number of bound positions (0..3).
+  int BoundCount() const {
+    return (SourceBound() ? 1 : 0) + (RelationshipBound() ? 1 : 0) +
+           (TargetBound() ? 1 : 0);
+  }
+
+  friend bool operator==(const Pattern& a, const Pattern& b) = default;
+
+  std::string DebugString(const EntityTable& entities) const;
+};
+
+// Callback for streaming matches. Return false to stop iteration.
+using FactVisitor = std::function<bool(const Fact&)>;
+
+}  // namespace lsd
+
+#endif  // LSD_STORE_FACT_H_

@@ -1,0 +1,102 @@
+#include "store/fact_store.h"
+
+namespace lsd {
+
+size_t FactSource::EstimateMatches(const Pattern& p) const {
+  size_t n = 0;
+  ForEach(p, [&n](const Fact&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+std::vector<Fact> FactSource::Match(const Pattern& p) const {
+  std::vector<Fact> out;
+  ForEach(p, [&out](const Fact& f) {
+    out.push_back(f);
+    return true;
+  });
+  return out;
+}
+
+bool UnionSource::ForEach(const Pattern& p, const FactVisitor& visit) const {
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    bool keep_going = sources_[i]->ForEach(p, [&](const Fact& f) {
+      // Skip facts already produced by an earlier layer.
+      for (size_t j = 0; j < i; ++j) {
+        if (sources_[j]->Contains(f)) return true;
+      }
+      return visit(f);
+    });
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+bool UnionSource::Contains(const Fact& f) const {
+  for (const FactSource* s : sources_) {
+    if (s->Contains(f)) return true;
+  }
+  return false;
+}
+
+bool UnionSource::Enumerable(const Pattern& p) const {
+  for (const FactSource* s : sources_) {
+    if (!s->Enumerable(p)) return false;
+  }
+  return true;
+}
+
+size_t UnionSource::EstimateMatches(const Pattern& p) const {
+  size_t n = 0;
+  for (const FactSource* s : sources_) n += s->EstimateMatches(p);
+  return n;
+}
+
+bool FactStore::Assert(const Fact& f) {
+  bool inserted = base_.Insert(f);
+  if (inserted) ++version_;
+  return inserted;
+}
+
+Fact FactStore::Assert(std::string_view source,
+                       std::string_view relationship,
+                       std::string_view target) {
+  Fact f(entities_.Intern(source), entities_.Intern(relationship),
+         entities_.Intern(target));
+  Assert(f);
+  return f;
+}
+
+bool FactStore::Retract(const Fact& f) {
+  bool erased = base_.Erase(f);
+  if (erased) ++version_;
+  return erased;
+}
+
+bool FactStore::IsClassRelationship(EntityId r) const {
+  // Sec 2.2-2.3: membership is a class relationship, generalization is
+  // individual. The meta-relationships SYN/INV/CONTRA characterize the
+  // related entities as wholes — they are not inherited by instances or
+  // specializations — so they are class relationships too (otherwise
+  // rule (1a) would derive nonsense like (BONUS, SYN, WAGE) from
+  // (SALARY, SYN, WAGE) and (BONUS, ISA, SALARY)).
+  switch (r) {
+    case kEntIn:
+    case kEntSyn:
+    case kEntInv:
+    case kEntContra:
+      return true;
+    case kEntIsa:
+      return false;
+    default:
+      return base_.Contains(Fact(r, kEntIn, kEntClassRel));
+  }
+}
+
+void FactStore::MarkClassRelationship(EntityId r) {
+  Assert(Fact(r, kEntIn, kEntClassRel));
+}
+
+}  // namespace lsd

@@ -1,0 +1,130 @@
+// FactStore: the explicitly asserted fact set (the paper's P, Sec 2.6)
+// plus the entity table. Derived facts (closure) and virtual facts (math,
+// ISA axioms) are layered on top via the FactSource interface, so query
+// evaluation is uniform over "P ∪ derived ∪ virtual".
+#ifndef LSD_STORE_FACT_STORE_H_
+#define LSD_STORE_FACT_STORE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "store/entity_table.h"
+#include "store/fact.h"
+#include "store/triple_index.h"
+#include "util/status.h"
+
+namespace lsd {
+
+// Read-only stream of facts matching a pattern. Implementations:
+// IndexSource (a TripleIndex), UnionSource (layering), the rule engine's
+// ClosureView, MathProvider, IsaAxiomSource.
+class FactSource {
+ public:
+  virtual ~FactSource() = default;
+
+  // Streams matches; stops early (returning false) if `visit` returns
+  // false. Matches may be produced in any order but without duplicates.
+  virtual bool ForEach(const Pattern& p, const FactVisitor& visit) const = 0;
+
+  virtual bool Contains(const Fact& f) const = 0;
+
+  // Whether ForEach can produce a finite, meaningful stream for this
+  // pattern. Virtual relations (Sec 3.6 mathematical facts) are not
+  // enumerable with unbound operands; everything stored is always
+  // enumerable.
+  virtual bool Enumerable(const Pattern& p) const {
+    (void)p;
+    return true;
+  }
+
+  // Upper-bound estimate of matches, used for join ordering. Defaults to
+  // full enumeration.
+  virtual size_t EstimateMatches(const Pattern& p) const;
+
+  std::vector<Fact> Match(const Pattern& p) const;
+};
+
+// FactSource over a TripleIndex it does not own.
+class IndexSource final : public FactSource {
+ public:
+  explicit IndexSource(const TripleIndex* index) : index_(index) {}
+
+  bool ForEach(const Pattern& p, const FactVisitor& visit) const override {
+    return index_->ForEach(p, visit);
+  }
+  bool Contains(const Fact& f) const override {
+    return index_->Contains(f);
+  }
+  size_t EstimateMatches(const Pattern& p) const override {
+    return index_->CountMatches(p);
+  }
+
+ private:
+  const TripleIndex* index_;
+};
+
+// Union of sources. Later sources are deduplicated against earlier ones
+// via Contains, so the stream stays duplicate-free even when layers
+// overlap.
+class UnionSource final : public FactSource {
+ public:
+  explicit UnionSource(std::vector<const FactSource*> sources)
+      : sources_(std::move(sources)) {}
+
+  bool ForEach(const Pattern& p, const FactVisitor& visit) const override;
+  bool Contains(const Fact& f) const override;
+  bool Enumerable(const Pattern& p) const override;
+  size_t EstimateMatches(const Pattern& p) const override;
+
+ private:
+  std::vector<const FactSource*> sources_;
+};
+
+class FactStore {
+ public:
+  FactStore() = default;
+
+  FactStore(const FactStore&) = delete;
+  FactStore& operator=(const FactStore&) = delete;
+
+  EntityTable& entities() { return entities_; }
+  const EntityTable& entities() const { return entities_; }
+
+  // Asserts a fact by ids. Returns true if new.
+  bool Assert(const Fact& f);
+  // Asserts by names, interning as needed.
+  Fact Assert(std::string_view source, std::string_view relationship,
+              std::string_view target);
+
+  // Retracts an asserted fact. Returns true if it was present.
+  bool Retract(const Fact& f);
+
+  bool Contains(const Fact& f) const { return base_.Contains(f); }
+
+  const TripleIndex& base() const { return base_; }
+  size_t size() const { return base_.size(); }
+
+  // A FactSource over the asserted facts only.
+  const FactSource& base_source() const { return base_source_; }
+
+  // Relationship classes (Sec 2.2). A relationship is a class
+  // relationship iff (r, IN, CLASS-REL) is asserted; membership IN itself
+  // is a class relationship by definition (Sec 2.3) and generalization
+  // ISA is individual.
+  bool IsClassRelationship(EntityId r) const;
+  void MarkClassRelationship(EntityId r);
+
+  // Monotonically increasing counter bumped on every Assert/Retract;
+  // closures cache against it.
+  uint64_t version() const { return version_; }
+
+ private:
+  EntityTable entities_;
+  TripleIndex base_;
+  IndexSource base_source_{&base_};
+  uint64_t version_ = 0;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_STORE_FACT_STORE_H_

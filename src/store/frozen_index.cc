@@ -1,0 +1,87 @@
+#include "store/frozen_index.h"
+
+#include <algorithm>
+
+#include "store/triple_index.h"
+
+namespace lsd {
+
+namespace {
+
+template <typename Order>
+bool ScanSorted(const std::vector<Fact>& v, const Fact& lo, const Fact& hi,
+                const Pattern& p, const FactVisitor& visit) {
+  Order less;
+  auto it = std::lower_bound(v.begin(), v.end(), lo, less);
+  for (; it != v.end() && !less(hi, *it); ++it) {
+    if (!p.Matches(*it)) continue;
+    if (!visit(*it)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FrozenIndex::FrozenIndex(std::vector<Fact> facts) {
+  std::sort(facts.begin(), facts.end(), OrderSrt());
+  facts.erase(std::unique(facts.begin(), facts.end()), facts.end());
+  srt_ = facts;
+  rts_ = facts;
+  std::sort(rts_.begin(), rts_.end(), OrderRts());
+  tsr_ = std::move(facts);
+  std::sort(tsr_.begin(), tsr_.end(), OrderTsr());
+}
+
+FrozenIndex FrozenIndex::FromTripleIndex(const TripleIndex& index) {
+  return FrozenIndex(index.Match(Pattern()));
+}
+
+bool FrozenIndex::Contains(const Fact& f) const {
+  return std::binary_search(srt_.begin(), srt_.end(), f, OrderSrt());
+}
+
+bool FrozenIndex::ForEach(const Pattern& p, const FactVisitor& visit) const {
+  if (p.BoundCount() == 3) {
+    Fact f(p.source, p.relationship, p.target);
+    if (Contains(f)) return visit(f);
+    return true;
+  }
+  const EntityId s_lo = p.SourceBound() ? p.source : 0;
+  const EntityId s_hi = p.SourceBound() ? p.source : kAnyEntity;
+  const EntityId r_lo = p.RelationshipBound() ? p.relationship : 0;
+  const EntityId r_hi = p.RelationshipBound() ? p.relationship : kAnyEntity;
+  const EntityId t_lo = p.TargetBound() ? p.target : 0;
+  const EntityId t_hi = p.TargetBound() ? p.target : kAnyEntity;
+
+  if (p.SourceBound() && (!p.TargetBound() || p.RelationshipBound())) {
+    return ScanSorted<OrderSrt>(srt_, Fact(s_lo, r_lo, t_lo),
+                                Fact(s_hi, r_hi, t_hi), p, visit);
+  }
+  if (p.SourceBound() && p.TargetBound()) {
+    return ScanSorted<OrderTsr>(tsr_, Fact(s_lo, r_lo, t_lo),
+                                Fact(s_hi, r_hi, t_hi), p, visit);
+  }
+  if (p.RelationshipBound()) {
+    return ScanSorted<OrderRts>(rts_, Fact(s_lo, r_lo, t_lo),
+                                Fact(s_hi, r_hi, t_hi), p, visit);
+  }
+  if (p.TargetBound()) {
+    return ScanSorted<OrderTsr>(tsr_, Fact(s_lo, r_lo, t_lo),
+                                Fact(s_hi, r_hi, t_hi), p, visit);
+  }
+  for (const Fact& f : srt_) {
+    if (!visit(f)) return false;
+  }
+  return true;
+}
+
+std::vector<Fact> FrozenIndex::Match(const Pattern& p) const {
+  std::vector<Fact> out;
+  ForEach(p, [&out](const Fact& f) {
+    out.push_back(f);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace lsd

@@ -1,0 +1,39 @@
+// Read-only sorted-array triple index: the "frozen" storage strategy of
+// experiment E9 (DESIGN.md). Built once from a fact set; answers the same
+// 8 binding patterns as TripleIndex via binary search over three sorted
+// vectors. Denser and faster to scan than the node-based TripleIndex, but
+// immutable.
+#ifndef LSD_STORE_FROZEN_INDEX_H_
+#define LSD_STORE_FROZEN_INDEX_H_
+
+#include <vector>
+
+#include "store/fact.h"
+
+namespace lsd {
+
+class TripleIndex;
+
+class FrozenIndex {
+ public:
+  // Builds from an arbitrary fact list; duplicates are removed.
+  explicit FrozenIndex(std::vector<Fact> facts);
+
+  // Convenience: freezes the contents of a dynamic index.
+  static FrozenIndex FromTripleIndex(const TripleIndex& index);
+
+  bool Contains(const Fact& f) const;
+  bool ForEach(const Pattern& p, const FactVisitor& visit) const;
+  std::vector<Fact> Match(const Pattern& p) const;
+
+  size_t size() const { return srt_.size(); }
+
+ private:
+  std::vector<Fact> srt_;
+  std::vector<Fact> rts_;
+  std::vector<Fact> tsr_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_STORE_FROZEN_INDEX_H_

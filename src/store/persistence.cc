@@ -1,0 +1,332 @@
+#include "store/persistence.h"
+
+#include <cstring>
+#include <memory>
+
+#include "store/text_format.h"
+
+namespace lsd {
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'L', 'S', 'D', 'S', 'N', 'A', 'P', '1'};
+constexpr char kWalMagic[8] = {'L', 'S', 'D', 'W', 'A', 'L', '0', '1'};
+
+// WAL / snapshot record opcodes.
+enum WalOp : uint8_t {
+  kOpAssert = 1,
+  kOpRetract = 2,
+  kOpRule = 3,
+  kOpEnableRule = 4,
+  kOpDisableRule = 5,
+};
+
+class Writer {
+ public:
+  explicit Writer(std::FILE* f) : f_(f) {}
+
+  void U8(uint8_t v) { Raw(&v, 1); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void Raw(const void* data, size_t n) {
+    if (ok_ && std::fwrite(data, 1, n, f_) != n) ok_ = false;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* f) : f_(f) {}
+
+  bool U8(uint8_t* v) { return Raw(v, 1); }
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool Str(std::string* s) {
+    uint32_t n;
+    if (!U32(&n)) return false;
+    if (n > (1u << 28)) return false;  // corrupt length guard
+    s->resize(n);
+    return n == 0 || Raw(s->data(), n);
+  }
+  bool Raw(void* data, size_t n) {
+    return std::fread(data, 1, n, f_) == n;
+  }
+  bool AtEof() {
+    int c = std::fgetc(f_);
+    if (c == EOF) return true;
+    std::ungetc(c, f_);
+    return false;
+  }
+
+ private:
+  std::FILE* f_;
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status SaveSnapshot(const std::string& path, const FactStore& store,
+                    const std::vector<Rule>& rules) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  Writer w(f.get());
+  w.Raw(kSnapshotMagic, sizeof(kSnapshotMagic));
+
+  const EntityTable& entities = store.entities();
+  w.U32(static_cast<uint32_t>(entities.size()));
+  for (EntityId id = 0; id < entities.size(); ++id) {
+    w.U8(static_cast<uint8_t>(entities.Kind(id)));
+    w.Str(entities.Name(id));
+  }
+
+  w.U64(store.size());
+  store.base().ForEach(Pattern(), [&](const Fact& fact) {
+    w.U32(fact.source);
+    w.U32(fact.relationship);
+    w.U32(fact.target);
+    return true;
+  });
+
+  w.U32(static_cast<uint32_t>(rules.size()));
+  for (const Rule& r : rules) {
+    w.Str(SerializeRule(r, entities));
+    w.U8(r.enabled ? 1 : 0);
+  }
+  if (!w.ok()) return Status::IoError("write to " + path + " failed");
+  if (std::fflush(f.get()) != 0) {
+    return Status::IoError("flush of " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Status LoadSnapshot(const std::string& path, FactStore* store,
+                    std::vector<Rule>* rules) {
+  if (store->size() != 0 ||
+      store->entities().size() != kNumBuiltinEntities) {
+    return Status::FailedPrecondition(
+        "LoadSnapshot requires a freshly constructed store");
+  }
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path);
+  }
+  Reader r(f.get());
+  char magic[8];
+  if (!r.Raw(magic, sizeof(magic)) ||
+      std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+    return Status::DataLoss(path + " is not an lsd snapshot");
+  }
+
+  uint32_t entity_count;
+  if (!r.U32(&entity_count)) return Status::DataLoss("truncated snapshot");
+  EntityTable& entities = store->entities();
+  for (uint32_t i = 0; i < entity_count; ++i) {
+    uint8_t kind;
+    std::string name;
+    if (!r.U8(&kind) || !r.Str(&name)) {
+      return Status::DataLoss("truncated snapshot entity table");
+    }
+    EntityId id =
+        static_cast<EntityKind>(kind) == EntityKind::kComposed
+            ? entities.InternComposed(name)
+            : entities.Intern(name);
+    if (id != i) {
+      return Status::DataLoss("snapshot entity order mismatch at id " +
+                              std::to_string(i) + " ('" + name + "')");
+    }
+  }
+
+  uint64_t fact_count;
+  if (!r.U64(&fact_count)) return Status::DataLoss("truncated snapshot");
+  for (uint64_t i = 0; i < fact_count; ++i) {
+    Fact fact;
+    if (!r.U32(&fact.source) || !r.U32(&fact.relationship) ||
+        !r.U32(&fact.target)) {
+      return Status::DataLoss("truncated snapshot facts");
+    }
+    store->Assert(fact);
+  }
+
+  uint32_t rule_count;
+  if (!r.U32(&rule_count)) return Status::DataLoss("truncated snapshot");
+  for (uint32_t i = 0; i < rule_count; ++i) {
+    std::string text;
+    uint8_t enabled;
+    if (!r.Str(&text) || !r.U8(&enabled)) {
+      return Status::DataLoss("truncated snapshot rules");
+    }
+    // Rules are stored in .lsd text; strip the keyword and re-parse.
+    RuleKind kind = RuleKind::kInference;
+    std::string_view body = text;
+    if (body.rfind("integrity ", 0) == 0) {
+      kind = RuleKind::kIntegrity;
+      body = body.substr(10);
+    } else if (body.rfind("rule ", 0) == 0) {
+      body = body.substr(5);
+    }
+    LSD_ASSIGN_OR_RETURN(Rule rule, ParseRuleLine(body, kind, &entities));
+    rule.enabled = (enabled != 0);
+    if (rules != nullptr) rules->push_back(std::move(rule));
+  }
+  return Status::OK();
+}
+
+Wal::~Wal() { Close(); }
+
+Status Wal::Open(const std::string& path) {
+  Close();
+  bool fresh = false;
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  if (probe == nullptr) {
+    fresh = true;
+  } else {
+    std::fseek(probe, 0, SEEK_END);
+    fresh = std::ftell(probe) == 0;
+    std::fclose(probe);
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open WAL " + path);
+  }
+  path_ = path;
+  if (fresh) {
+    Writer w(file_);
+    w.Raw(kWalMagic, sizeof(kWalMagic));
+    if (!w.ok() || std::fflush(file_) != 0) {
+      return Status::IoError("cannot initialize WAL " + path);
+    }
+  }
+  return Status::OK();
+}
+
+void Wal::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status Wal::AppendRecord(uint8_t op,
+                         const std::vector<std::string>& fields) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("WAL is not open");
+  }
+  Writer w(file_);
+  w.U8(op);
+  w.U8(static_cast<uint8_t>(fields.size()));
+  for (const std::string& s : fields) w.Str(s);
+  if (!w.ok() || std::fflush(file_) != 0) {
+    return Status::IoError("WAL append to " + path_ + " failed");
+  }
+  return Status::OK();
+}
+
+Status Wal::AppendAssert(const FactStore& store, const Fact& f) {
+  const EntityTable& e = store.entities();
+  return AppendRecord(
+      kOpAssert, {e.Name(f.source), e.Name(f.relationship), e.Name(f.target)});
+}
+
+Status Wal::AppendRetract(const FactStore& store, const Fact& f) {
+  const EntityTable& e = store.entities();
+  return AppendRecord(
+      kOpRetract,
+      {e.Name(f.source), e.Name(f.relationship), e.Name(f.target)});
+}
+
+Status Wal::AppendRule(const Rule& rule, const EntityTable& entities) {
+  return AppendRecord(kOpRule, {SerializeRule(rule, entities)});
+}
+
+Status Wal::AppendSetRuleEnabled(const std::string& rule_name,
+                                 bool enabled) {
+  return AppendRecord(enabled ? kOpEnableRule : kOpDisableRule, {rule_name});
+}
+
+Status Wal::Replay(const std::string& path, FactStore* store,
+                   std::vector<Rule>* rules) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::OK();  // no log yet
+  Reader r(f.get());
+  char magic[8];
+  if (r.AtEof()) return Status::OK();
+  if (!r.Raw(magic, sizeof(magic)) ||
+      std::memcmp(magic, kWalMagic, sizeof(magic)) != 0) {
+    return Status::DataLoss(path + " is not an lsd WAL");
+  }
+  while (!r.AtEof()) {
+    uint8_t op, nfields;
+    if (!r.U8(&op) || !r.U8(&nfields)) {
+      return Status::DataLoss("truncated WAL record in " + path);
+    }
+    std::vector<std::string> fields(nfields);
+    for (auto& s : fields) {
+      if (!r.Str(&s)) {
+        return Status::DataLoss("truncated WAL record in " + path);
+      }
+    }
+    switch (op) {
+      case kOpAssert:
+      case kOpRetract: {
+        if (nfields != 3) return Status::DataLoss("bad WAL fact record");
+        EntityTable& e = store->entities();
+        Fact fact(e.Intern(fields[0]), e.Intern(fields[1]),
+                  e.Intern(fields[2]));
+        if (op == kOpAssert) {
+          store->Assert(fact);
+        } else {
+          store->Retract(fact);
+        }
+        break;
+      }
+      case kOpRule: {
+        if (nfields != 1) return Status::DataLoss("bad WAL rule record");
+        RuleKind kind = RuleKind::kInference;
+        std::string_view body = fields[0];
+        if (body.rfind("integrity ", 0) == 0) {
+          kind = RuleKind::kIntegrity;
+          body = body.substr(10);
+        } else if (body.rfind("rule ", 0) == 0) {
+          body = body.substr(5);
+        }
+        LSD_ASSIGN_OR_RETURN(
+            Rule rule, ParseRuleLine(body, kind, &store->entities()));
+        if (rules != nullptr) rules->push_back(std::move(rule));
+        break;
+      }
+      case kOpEnableRule:
+      case kOpDisableRule: {
+        if (nfields != 1) return Status::DataLoss("bad WAL toggle record");
+        if (rules != nullptr) {
+          for (Rule& rule : *rules) {
+            if (rule.name == fields[0]) {
+              rule.enabled = (op == kOpEnableRule);
+            }
+          }
+        }
+        break;
+      }
+      default:
+        return Status::DataLoss("unknown WAL opcode " + std::to_string(op));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lsd

@@ -1,0 +1,67 @@
+// Durability for loosely structured databases: binary snapshots plus an
+// append-only write-ahead log. The paper leaves storage strategies as an
+// open problem (Sec 6.2); this is the simplest strategy that makes the
+// library adoptable: snapshot the whole store, log subsequent mutations,
+// recover by replaying the log over the snapshot.
+//
+// WAL records are self-contained (they carry entity names, not ids), so
+// a log remains valid regardless of interning order.
+#ifndef LSD_STORE_PERSISTENCE_H_
+#define LSD_STORE_PERSISTENCE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rules/rule.h"
+#include "store/fact_store.h"
+#include "util/status.h"
+
+namespace lsd {
+
+// Writes a full snapshot (entities, facts, rules) to `path`.
+Status SaveSnapshot(const std::string& path, const FactStore& store,
+                    const std::vector<Rule>& rules);
+
+// Loads a snapshot into an empty FactStore. `store` must be freshly
+// constructed (only builtins interned); rules are appended.
+Status LoadSnapshot(const std::string& path, FactStore* store,
+                    std::vector<Rule>* rules);
+
+// Append-only mutation log.
+class Wal {
+ public:
+  Wal() = default;
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Opens (creating if needed) a log file for appending.
+  Status Open(const std::string& path);
+  void Close();
+
+  bool is_open() const { return file_ != nullptr; }
+
+  // Mutation records. Each call appends and flushes one record.
+  Status AppendAssert(const FactStore& store, const Fact& f);
+  Status AppendRetract(const FactStore& store, const Fact& f);
+  Status AppendRule(const Rule& rule, const EntityTable& entities);
+  Status AppendSetRuleEnabled(const std::string& rule_name, bool enabled);
+
+  // Replays a log over a store: asserts/retracts facts, appends rules,
+  // and toggles matching rule names in `rules`. Missing file is OK (an
+  // empty log).
+  static Status Replay(const std::string& path, FactStore* store,
+                       std::vector<Rule>* rules);
+
+ private:
+  Status AppendRecord(uint8_t op, const std::vector<std::string>& fields);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_STORE_PERSISTENCE_H_

@@ -1,0 +1,135 @@
+#include "store/triple_index.h"
+
+namespace lsd {
+
+namespace {
+
+// Range bounds for a prefix scan. For a prefix (a, b?) of an ordering,
+// the range is [ (a, b, 0), (a, b, MAX) ] with unbound trailing
+// components saturated to 0 / kAnyEntity (kAnyEntity is UINT32_MAX, the
+// maximum id, so it is a safe upper sentinel: real ids never reach it).
+struct Bounds {
+  Fact lo;
+  Fact hi;
+};
+
+Bounds SrtBounds(const Pattern& p) {
+  Bounds b;
+  b.lo = Fact(p.SourceBound() ? p.source : 0,
+              p.RelationshipBound() ? p.relationship : 0, 0);
+  b.hi = Fact(p.SourceBound() ? p.source : kAnyEntity,
+              p.RelationshipBound() ? p.relationship : kAnyEntity,
+              kAnyEntity);
+  return b;
+}
+
+Bounds RtsBounds(const Pattern& p) {
+  Bounds b;
+  b.lo = Fact(0, p.relationship, p.TargetBound() ? p.target : 0);
+  b.hi = Fact(kAnyEntity, p.relationship,
+              p.TargetBound() ? p.target : kAnyEntity);
+  return b;
+}
+
+Bounds TsrBounds(const Pattern& p) {
+  Bounds b;
+  b.lo = Fact(p.SourceBound() ? p.source : 0, 0, p.target);
+  b.hi = Fact(p.SourceBound() ? p.source : kAnyEntity, kAnyEntity,
+              p.target);
+  return b;
+}
+
+template <typename Set>
+bool ScanRange(const Set& set, const Fact& lo, const Fact& hi,
+               const Pattern& p, const FactVisitor& visit) {
+  auto it = set.lower_bound(lo);
+  auto end = set.upper_bound(hi);
+  for (; it != end; ++it) {
+    if (!p.Matches(*it)) continue;  // defensive; ranges are exact here
+    if (!visit(*it)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool TripleIndex::Insert(const Fact& f) {
+  bool inserted = srt_.insert(f).second;
+  if (inserted) {
+    rts_.insert(f);
+    tsr_.insert(f);
+  }
+  return inserted;
+}
+
+bool TripleIndex::Erase(const Fact& f) {
+  bool erased = srt_.erase(f) > 0;
+  if (erased) {
+    rts_.erase(f);
+    tsr_.erase(f);
+  }
+  return erased;
+}
+
+bool TripleIndex::Contains(const Fact& f) const {
+  return srt_.count(f) > 0;
+}
+
+bool TripleIndex::ForEach(const Pattern& p, const FactVisitor& visit) const {
+  if (p.BoundCount() == 3) {
+    Fact f(p.source, p.relationship, p.target);
+    if (srt_.count(f)) return visit(f);
+    return true;
+  }
+  if (p.SourceBound()) {
+    // SRT serves (s), (s,r). (s,t) is better served by TSR.
+    if (!p.TargetBound() || p.RelationshipBound()) {
+      Bounds b = SrtBounds(p);
+      return ScanRange(srt_, b.lo, b.hi, p, visit);
+    }
+    Bounds b = TsrBounds(p);
+    return ScanRange(tsr_, b.lo, b.hi, p, visit);
+  }
+  if (p.RelationshipBound()) {
+    Bounds b = RtsBounds(p);
+    return ScanRange(rts_, b.lo, b.hi, p, visit);
+  }
+  if (p.TargetBound()) {
+    Bounds b = TsrBounds(p);
+    return ScanRange(tsr_, b.lo, b.hi, p, visit);
+  }
+  for (const Fact& f : srt_) {
+    if (!visit(f)) return false;
+  }
+  return true;
+}
+
+std::vector<Fact> TripleIndex::Match(const Pattern& p) const {
+  std::vector<Fact> out;
+  ForEach(p, [&out](const Fact& f) {
+    out.push_back(f);
+    return true;
+  });
+  return out;
+}
+
+size_t TripleIndex::CountMatches(const Pattern& p) const {
+  if (p.BoundCount() == 0) return size();
+  if (p.BoundCount() == 3) {
+    return Contains(Fact(p.source, p.relationship, p.target)) ? 1 : 0;
+  }
+  size_t n = 0;
+  ForEach(p, [&n](const Fact&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+void TripleIndex::Clear() {
+  srt_.clear();
+  rts_.clear();
+  tsr_.clear();
+}
+
+}  // namespace lsd

@@ -1,0 +1,67 @@
+// Dynamic triple index over facts.
+//
+// Keeps three ordered permutations (SRT, RTS, TSR) so that every one of
+// the 8 binding patterns of a (source, relationship, target) pattern is
+// answered by a contiguous range scan of one permutation:
+//
+//   bound positions        index   prefix
+//   s r t (containment)    SRT     exact
+//   s r                    SRT     (s, r)
+//   s                      SRT     (s)
+//   r t                    RTS     (r, t)
+//   r                      RTS     (r)
+//   t                      TSR     (t)
+//   s t                    TSR     (t, s)
+//   (none)                 SRT     full scan
+#ifndef LSD_STORE_TRIPLE_INDEX_H_
+#define LSD_STORE_TRIPLE_INDEX_H_
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "store/fact.h"
+
+namespace lsd {
+
+class TripleIndex {
+ public:
+  TripleIndex() = default;
+
+  TripleIndex(const TripleIndex&) = delete;
+  TripleIndex& operator=(const TripleIndex&) = delete;
+  TripleIndex(TripleIndex&&) = default;
+  TripleIndex& operator=(TripleIndex&&) = default;
+
+  // Inserts a fact. Returns true if it was new.
+  bool Insert(const Fact& f);
+
+  // Removes a fact. Returns true if it was present.
+  bool Erase(const Fact& f);
+
+  bool Contains(const Fact& f) const;
+
+  // Streams all facts matching `p` in the order of the chosen permutation.
+  // Stops early (and returns false) if the visitor returns false.
+  bool ForEach(const Pattern& p, const FactVisitor& visit) const;
+
+  // Convenience: collects matches into a vector.
+  std::vector<Fact> Match(const Pattern& p) const;
+
+  // Number of facts matching `p` (full enumeration except for cheap
+  // cases). Used by the evaluator's selectivity heuristic.
+  size_t CountMatches(const Pattern& p) const;
+
+  size_t size() const { return srt_.size(); }
+  bool empty() const { return srt_.empty(); }
+  void Clear();
+
+ private:
+  std::set<Fact, OrderSrt> srt_;
+  std::set<Fact, OrderRts> rts_;
+  std::set<Fact, OrderTsr> tsr_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_STORE_TRIPLE_INDEX_H_

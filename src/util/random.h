@@ -1,0 +1,52 @@
+// Deterministic pseudo-random utilities for workload generation.
+// All lsd generators are seeded explicitly so experiments reproduce.
+#ifndef LSD_UTIL_RANDOM_H_
+#define LSD_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lsd {
+
+// xoshiro256** — small, fast, good-quality; independent of libstdc++'s
+// distribution implementations so streams are stable across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Samples from a Zipf(s) distribution over {0, .., n-1}. Precomputes the
+// CDF once; sampling is a binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double exponent);
+
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_UTIL_RANDOM_H_

@@ -1,0 +1,160 @@
+// Exception-free error handling for lsd, in the spirit of
+// absl::Status / rocksdb::Status. A Status is either OK or carries an
+// error code plus a human-readable message. StatusOr<T> couples a Status
+// with a value that is present exactly when the status is OK.
+#ifndef LSD_UTIL_STATUS_H_
+#define LSD_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lsd {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kDataLoss,
+  kIntegrityViolation,  // closure contains contradictory facts
+  kParseError,          // query / fact-file syntax error
+  kIoError,
+};
+
+// Returns the canonical name for a code, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+class Status {
+ public:
+  // An OK status. Cheap: no allocation.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status IntegrityViolation(std::string msg) {
+    return Status(StatusCode::kIntegrityViolation, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsIntegrityViolation() const {
+    return code_ == StatusCode::kIntegrityViolation;
+  }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so `return MakeThing();` and
+  // `return Status::NotFound(...)` both work, mirroring absl::StatusOr.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+  StatusOr(T value) : status_(), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status out of the current function.
+#define LSD_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::lsd::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+// Evaluates a StatusOr expression; on error returns the status, otherwise
+// moves the value into `lhs`.
+#define LSD_ASSIGN_OR_RETURN(lhs, expr)      \
+  LSD_ASSIGN_OR_RETURN_IMPL(                 \
+      LSD_STATUS_CONCAT(_statusor_, __LINE__), lhs, expr)
+#define LSD_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                              \
+  if (!var.ok()) return var.status();             \
+  lhs = std::move(var).value()
+#define LSD_STATUS_CONCAT(a, b) LSD_STATUS_CONCAT_IMPL(a, b)
+#define LSD_STATUS_CONCAT_IMPL(a, b) a##b
+
+}  // namespace lsd
+
+#endif  // LSD_UTIL_STATUS_H_

@@ -1,0 +1,37 @@
+// Small string helpers shared across lsd modules.
+#ifndef LSD_UTIL_STRING_UTIL_H_
+#define LSD_UTIL_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lsd {
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// Splits on `sep`, keeping empty pieces.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+// Uppercases ASCII letters. Entity names in lsd are case-preserving but
+// the paper's examples are uppercase; loaders normalize with this.
+std::string AsciiToUpper(std::string_view s);
+std::string AsciiToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Parses a string as a finite double. Accepts optional leading '$' (the
+// paper writes salaries as $25000) and optional thousands-free integer or
+// decimal forms. Returns nullopt for anything else.
+std::optional<double> ParseNumericEntity(std::string_view s);
+
+// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+}  // namespace lsd
+
+#endif  // LSD_UTIL_STRING_UTIL_H_

@@ -1,0 +1,60 @@
+#include "workload/music_domain.h"
+
+namespace lsd::workload {
+
+void BuildMusicDomain(LooseDb* db) {
+  // John's classes (Sec 4.1 first column: PERSON, EMPLOYEE, PET-OWNER,
+  // MUSIC-LOVER — PERSON arrives by inference from EMPLOYEE ISA PERSON).
+  db->Assert("JOHN", "IN", "EMPLOYEE");
+  db->Assert("JOHN", "IN", "PET-OWNER");
+  db->Assert("JOHN", "IN", "MUSIC-LOVER");
+  db->Assert("EMPLOYEE", "ISA", "PERSON");
+
+  // John's likes: the class CAT, his cats, a composer, a person.
+  db->Assert("JOHN", "LIKES", "CAT");
+  db->Assert("JOHN", "LIKES", "FELIX");
+  db->Assert("JOHN", "LIKES", "HEATHCLIFF");
+  db->Assert("JOHN", "LIKES", "MOZART");
+  db->Assert("JOHN", "LIKES", "MARY");
+  db->Assert("FELIX", "IN", "CAT");
+  db->Assert("HEATHCLIFF", "IN", "CAT");
+
+  // Work: SHIPPING is a department, so WORKS-FOR DEPARTMENT is inferred.
+  db->Assert("JOHN", "WORKS-FOR", "SHIPPING");
+  db->Assert("SHIPPING", "IN", "DEPARTMENT");
+  db->Assert("JOHN", "BOSS", "PETER");
+
+  // Favorite music (PC = piano concerto; WAM / PIT / LVB are composer
+  // monograms as in the paper's table).
+  db->Assert("JOHN", "FAVORITE-MUSIC", "PC#9-WAM");
+  db->Assert("JOHN", "FAVORITE-MUSIC", "PC#2-PIT");
+  db->Assert("JOHN", "FAVORITE-MUSIC", "S#5-LVB");
+
+  // The concerto's neighborhood (second navigation table).
+  db->Assert("PC#9-WAM", "IN", "CONCERTO");
+  db->Assert("CONCERTO", "ISA", "CLASSICAL-COMPOSITION");
+  db->Assert("CLASSICAL-COMPOSITION", "ISA", "COMPOSITION");
+  db->Assert("PC#9-WAM", "COMPOSED-BY", "MOZART");
+  db->Assert("PC#9-WAM", "PERFORMED-BY", "SERKIN");
+  db->Assert("PC#9-WAM", "PERFORMED-BY", "BARENBOIM");
+  db->Assert("PC#2-PIT", "IN", "CONCERTO");
+  db->Assert("PC#2-PIT", "COMPOSED-BY", "TCHAIKOVSKY");
+  db->Assert("S#5-LVB", "IN", "SYMPHONY");
+  db->Assert("SYMPHONY", "ISA", "CLASSICAL-COMPOSITION");
+  db->Assert("S#5-LVB", "COMPOSED-BY", "BEETHOVEN");
+
+  // FAVORITE-OF is the inverse of FAVORITE-MUSIC, so the concerto's
+  // table shows FAVORITE-OF: JOHN by inference (Sec 3.4).
+  db->Assert("FAVORITE-MUSIC", "INV", "FAVORITE-OF");
+
+  // Leopold, for the third navigation table: both a direct association
+  // and (from John's side) the composed path
+  // FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY.
+  db->Assert("LEOPOLD", "FATHER-OF", "MOZART");
+  db->Assert("LEOPOLD", "TAUGHT", "MOZART");
+
+  // Mutual affection between John and Felix (Sec 2.7's proposition).
+  db->Assert("FELIX", "LIKES", "JOHN");
+}
+
+}  // namespace lsd::workload

@@ -1,0 +1,18 @@
+// The paper's running example domain (Sec 4.1): John the music-loving
+// employee, Mozart's Piano Concerto No. 9, Leopold Mozart. Built to
+// reproduce the three navigation tables (F1-F3 in DESIGN.md).
+#ifndef LSD_WORKLOAD_MUSIC_DOMAIN_H_
+#define LSD_WORKLOAD_MUSIC_DOMAIN_H_
+
+#include "core/loose_db.h"
+
+namespace lsd::workload {
+
+// Populates `db` with the music browsing scenario. Key entities:
+// JOHN, FELIX, HEATHCLIFF (cats), MOZART, PC#9-WAM, PC#2-PIT, S#5-LVB,
+// LEOPOLD, SHIPPING, PETER.
+void BuildMusicDomain(LooseDb* db);
+
+}  // namespace lsd::workload
+
+#endif  // LSD_WORKLOAD_MUSIC_DOMAIN_H_

@@ -1,0 +1,58 @@
+// A parameterized organization domain (Sec 2.5, 3.1-3.2 examples):
+// employees, managers, departments, numeric salaries, the WORKS-FOR ≺
+// IS-PAID-BY generalization, synonym and inversion facts, the
+// TOTAL-NUMBER class relationship, and the salary integrity constraint.
+// Scales for experiments E6-E8 and doubles as the relation() operator
+// demo (Sec 6.1).
+#ifndef LSD_WORKLOAD_ORG_DOMAIN_H_
+#define LSD_WORKLOAD_ORG_DOMAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/relational.h"
+#include "core/loose_db.h"
+
+namespace lsd::workload {
+
+struct OrgOptions {
+  int num_employees = 30;
+  int num_departments = 4;
+  // Fraction of relationship mentions that go through a synonym name
+  // (E7 sweeps this).
+  double synonym_density = 0.0;
+  // Add the integrity rule "an employee never out-earns their manager"
+  // and, if violate_salaries, plant one violation.
+  bool salary_integrity_rule = true;
+  bool violate_salaries = false;
+  uint64_t seed = 42;
+};
+
+struct OrgRecord {
+  std::string name;
+  std::string department;
+  int salary = 0;
+  std::string manager;  // empty for department managers themselves
+};
+
+struct OrgDomain {
+  std::vector<OrgRecord> records;        // one per employee
+  std::vector<std::string> employees;    // entity names
+  std::vector<std::string> departments;  // entity names
+};
+
+// Populates a LooseDb; returns the generated entity names so benchmarks
+// can issue point queries.
+OrgDomain BuildOrgDomain(LooseDb* db, const OrgOptions& options);
+
+// Loads the *same* generated organization into the relational baseline
+// (EMP(name, dept, salary, manager), DEPT(name)) with indexes on the
+// usual access paths — the E6 comparator. Entity names are interned in
+// `entities` so values match the loose store's ids.
+void BuildOrgRelational(const OrgDomain& domain, const OrgOptions& options,
+                        EntityTable* entities,
+                        baseline::Catalog* catalog);
+
+}  // namespace lsd::workload
+
+#endif  // LSD_WORKLOAD_ORG_DOMAIN_H_

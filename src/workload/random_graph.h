@@ -1,0 +1,56 @@
+// Parameterized synthetic workloads: random generalization taxonomies
+// (probing/closure experiments E1, E4) and Zipf-distributed fact graphs
+// (index/navigation experiments E2, E5, E9).
+#ifndef LSD_WORKLOAD_RANDOM_GRAPH_H_
+#define LSD_WORKLOAD_RANDOM_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/loose_db.h"
+#include "store/fact_store.h"
+
+namespace lsd::workload {
+
+struct TaxonomyOptions {
+  int depth = 4;   // levels below the roots
+  int fanout = 3;  // children per node
+  int num_roots = 1;
+  // Probability that a node gets a second ISA parent from the level
+  // above (turns the tree into a DAG; widens probing retraction sets,
+  // since entities then have several minimal generalizations).
+  double extra_parent_prob = 0.0;
+  uint64_t seed = 7;
+};
+
+// A generated taxonomy: levels[0] are roots, levels[d] the nodes d ISA
+// steps below them. Node names encode their path ("T0", "T0.2", ...).
+struct Taxonomy {
+  std::vector<std::vector<std::string>> levels;
+
+  const std::string& Root() const { return levels[0][0]; }
+  const std::string& SomeLeaf() const { return levels.back().front(); }
+  size_t NumNodes() const;
+};
+
+// Asserts the ISA tree into `db` and returns the node names.
+Taxonomy BuildRandomTaxonomy(LooseDb* db, const TaxonomyOptions& options);
+
+struct GraphOptions {
+  size_t num_entities = 1'000;
+  size_t num_relationships = 20;
+  size_t num_facts = 10'000;
+  double zipf_exponent = 1.1;  // skew of entity popularity
+  uint64_t seed = 11;
+};
+
+// Asserts num_facts random facts (E<i>, R<j>, E<k>) with Zipf-skewed
+// entity popularity (so some entities have high degree, most low).
+// Returns the name of the most popular entity (highest expected degree).
+std::string BuildZipfGraph(FactStore* store, const GraphOptions& options);
+std::string BuildZipfGraph(LooseDb* db, const GraphOptions& options);
+
+}  // namespace lsd::workload
+
+#endif  // LSD_WORKLOAD_RANDOM_GRAPH_H_

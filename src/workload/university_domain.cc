@@ -1,0 +1,62 @@
+#include "workload/university_domain.h"
+
+namespace lsd::workload {
+
+void BuildCampusDomain(LooseDb* db) {
+  // Generalization hierarchy used by the probing examples (Sec 5.2):
+  // FRESHMAN ≺ STUDENT, LOVE ≺ LIKE, FREE ≺ CHEAP, OPERA ≺ MUSIC and
+  // OPERA ≺ THEATER, LOVES≡LOVE ≺ ENJOY.
+  db->Assert("FRESHMAN", "ISA", "STUDENT");
+  db->Assert("SENIOR", "ISA", "STUDENT");
+  db->Assert("LOVE", "ISA", "LIKE");
+  db->Assert("LIKE", "ISA", "ENJOY");
+  db->Assert("FREE", "ISA", "CHEAP");
+  db->Assert("OPERA", "ISA", "MUSIC");
+  db->Assert("OPERA", "ISA", "THEATER");
+
+  // Facts arranged so the paper's menu comes out with exactly two
+  // successes: freshmen love something free; students love something
+  // cheap; but nothing students love is free, and nothing students
+  // (merely) like is free either.
+  db->Assert("FRESHMAN", "LOVE", "MOVIE-NIGHT");
+  db->Assert("MOVIE-NIGHT", "COSTS", "FREE");
+  db->Assert("STUDENT", "LOVE", "CONCERT-PASS");
+  db->Assert("CONCERT-PASS", "COSTS", "CHEAP");
+
+  // The USC probe (Sec 5.1): no quarterback graduated from USC, and the
+  // database only records football players having *attended*.
+  db->Assert("QUARTERBACK", "ISA", "FOOTBALL-PLAYER");
+  db->Assert("FOOTBALL-PLAYER", "ISA", "ATHLETE");
+  db->Assert("GRADUATE-OF", "ISA", "ATTENDED");
+  db->Assert("BOB", "IN", "QUARTERBACK");
+  db->Assert("BOB", "ATTENDED", "USC");
+  db->Assert("DAN", "IN", "FOOTBALL-PLAYER");
+  db->Assert("DAN", "GRADUATE-OF", "UCLA");
+
+  // Tom's enrollment, reified per Sec 2.6.
+  db->Assert("E123", "ENROLL-STUDENT", "TOM");
+  db->Assert("E123", "ENROLL-COURSE", "CS100");
+  db->Assert("E123", "ENROLL-GRADE", "A");
+  db->Assert("TOM", "ENROLLED-IN", "CS100");
+  db->Assert("TOM", "ENROLLED-IN", "MATH101");
+  db->Assert("SUE", "ENROLLED-IN", "MATH101");
+  db->Assert("CS100", "TAUGHT-BY", "HARRY");
+  db->Assert("TEACHES", "INV", "TAUGHT-BY");
+}
+
+void BuildBooksDomain(LooseDb* db) {
+  db->Assert("B-LOGIC", "IN", "BOOK");
+  db->Assert("B-DATA", "IN", "BOOK");
+  db->Assert("B-SETS", "IN", "BOOK");
+  db->Assert("ALICE", "IN", "PERSON");
+  db->Assert("CAROL", "IN", "PERSON");
+  db->Assert("B-LOGIC", "AUTHOR", "ALICE");
+  db->Assert("B-DATA", "AUTHOR", "ALICE");
+  db->Assert("B-SETS", "AUTHOR", "CAROL");
+  // B-LOGIC cites itself: Alice is a self-citing author (Sec 2.7).
+  db->Assert("B-LOGIC", "CITES", "B-LOGIC");
+  db->Assert("B-DATA", "CITES", "B-LOGIC");
+  db->Assert("B-SETS", "CITES", "B-DATA");
+}
+
+}  // namespace lsd::workload

@@ -1,0 +1,23 @@
+// The campus scenarios of Sections 5.1-5.2: the USC quarterbacks probe,
+// the "free things all students love" retraction example, books and
+// self-citing authors (Sec 2.7), and Tom's reified enrollment (Sec 2.6).
+#ifndef LSD_WORKLOAD_UNIVERSITY_DOMAIN_H_
+#define LSD_WORKLOAD_UNIVERSITY_DOMAIN_H_
+
+#include "core/loose_db.h"
+
+namespace lsd::workload {
+
+// Builds the probing scenario so that, exactly as in the paper's menu
+// (Sec 5.2), the query (STUDENT, LOVE, ?Z) and (?Z, COSTS, FREE) fails
+// while its retractions with FRESHMAN-for-STUDENT and CHEAP-for-FREE
+// succeed.
+void BuildCampusDomain(LooseDb* db);
+
+// Adds the Sec 2.7 books scenario (citations, authorship) including one
+// self-citing author.
+void BuildBooksDomain(LooseDb* db);
+
+}  // namespace lsd::workload
+
+#endif  // LSD_WORKLOAD_UNIVERSITY_DOMAIN_H_

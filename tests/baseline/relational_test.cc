@@ -1,0 +1,114 @@
+#include "baseline/relational.h"
+
+#include <gtest/gtest.h>
+
+namespace lsd {
+namespace {
+
+using baseline::Catalog;
+using baseline::HashJoin;
+using baseline::Relation;
+using baseline::Row;
+using baseline::Select;
+
+class RelationalTest : public ::testing::Test {
+ protected:
+  EntityId E(const char* name) { return entities_.Intern(name); }
+
+  EntityTable entities_;
+};
+
+TEST_F(RelationalTest, CatalogLifecycle) {
+  Catalog catalog;
+  auto r = catalog.CreateRelation("EMP", {"NAME", "DEPT"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(catalog.CreateRelation("EMP", {"X"}).status().code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(catalog.Get("EMP").ok());
+  EXPECT_TRUE(catalog.Get("NOPE").status().IsNotFound());
+  ASSERT_TRUE(catalog.Drop("EMP").ok());
+  EXPECT_TRUE(catalog.Get("EMP").status().IsNotFound());
+}
+
+TEST_F(RelationalTest, InsertValidatesArity) {
+  Relation rel("EMP", {"NAME", "DEPT"});
+  EXPECT_TRUE(rel.Insert({E("JOHN"), E("SHIPPING")}).ok());
+  EXPECT_FALSE(rel.Insert({E("JOHN")}).ok());
+  EXPECT_EQ(rel.size(), 1u);
+}
+
+TEST_F(RelationalTest, IndexedAndScannedLookupAgree) {
+  Relation rel("EMP", {"NAME", "DEPT"});
+  rel.Insert({E("JOHN"), E("SHIPPING")});
+  rel.Insert({E("TOM"), E("SHIPPING")});
+  rel.Insert({E("MARY"), E("RECEIVING")});
+  auto scanned = rel.Lookup("DEPT", E("SHIPPING"));
+  ASSERT_TRUE(rel.CreateIndex("DEPT").ok());
+  EXPECT_TRUE(rel.HasIndex("DEPT"));
+  auto indexed = rel.Lookup("DEPT", E("SHIPPING"));
+  EXPECT_EQ(scanned, indexed);
+  EXPECT_EQ(indexed.size(), 2u);
+}
+
+TEST_F(RelationalTest, IndexMaintainedOnInsert) {
+  Relation rel("EMP", {"NAME"});
+  ASSERT_TRUE(rel.CreateIndex("NAME").ok());
+  rel.Insert({E("JOHN")});
+  EXPECT_EQ(rel.Lookup("NAME", E("JOHN")).size(), 1u);
+}
+
+TEST_F(RelationalTest, SelectProjects) {
+  Relation rel("EMP", {"NAME", "DEPT", "SALARY"});
+  rel.Insert({E("JOHN"), E("SHIPPING"), E("$26000")});
+  rel.Insert({E("TOM"), E("ACCOUNTING"), E("$27000")});
+  auto rows = Select(rel, "NAME", E("JOHN"), {"SALARY"});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], Row{E("$26000")});
+  EXPECT_TRUE(Select(rel, "NOPE", E("JOHN"), {}).status().IsNotFound());
+  EXPECT_TRUE(
+      Select(rel, "NAME", E("JOHN"), {"NOPE"}).status().IsNotFound());
+}
+
+TEST_F(RelationalTest, HashJoinMatchesPairs) {
+  Relation emp("EMP", {"NAME", "DEPT"});
+  emp.Insert({E("JOHN"), E("SHIPPING")});
+  emp.Insert({E("TOM"), E("ACCOUNTING")});
+  Relation dept("DEPT", {"NAME", "FLOOR"});
+  dept.Insert({E("SHIPPING"), E("1")});
+  dept.Insert({E("RECEIVING"), E("2")});
+  auto joined = HashJoin(emp, "DEPT", dept, "NAME");
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined->size(), 1u);
+  EXPECT_EQ((*joined)[0].first[0], E("JOHN"));
+  EXPECT_EQ((*joined)[0].second[1], E("1"));
+}
+
+TEST_F(RelationalTest, SchemaEvolution) {
+  Relation rel("EMP", {"NAME"});
+  rel.Insert({E("JOHN")});
+  ASSERT_TRUE(rel.CreateIndex("NAME").ok());
+  ASSERT_TRUE(rel.AddColumn("PHONE", E("UNKNOWN")).ok());
+  EXPECT_EQ(rel.arity(), 2u);
+  EXPECT_EQ(rel.rows()[0][1], E("UNKNOWN"));
+  EXPECT_EQ(rel.AddColumn("PHONE", E("X")).code(),
+            StatusCode::kAlreadyExists);
+
+  ASSERT_TRUE(rel.DropColumn("PHONE").ok());
+  EXPECT_EQ(rel.arity(), 1u);
+  // The NAME index survives the rebuild.
+  EXPECT_EQ(rel.Lookup("NAME", E("JOHN")).size(), 1u);
+  EXPECT_TRUE(rel.DropColumn("PHONE").IsNotFound());
+}
+
+TEST_F(RelationalTest, DropColumnShiftsIndexPositions) {
+  Relation rel("EMP", {"A", "B", "C"});
+  rel.Insert({E("1"), E("2"), E("3")});
+  ASSERT_TRUE(rel.CreateIndex("C").ok());
+  ASSERT_TRUE(rel.DropColumn("A").ok());
+  EXPECT_EQ(rel.Lookup("C", E("3")).size(), 1u);
+  EXPECT_EQ(rel.Lookup("B", E("2")).size(), 1u);
+}
+
+}  // namespace
+}  // namespace lsd

@@ -1,0 +1,90 @@
+// Property test for the paper's central probing theorem (Sec 5.1):
+// if Q' is minimally broader than Q then Q => Q' — every answer of Q is
+// an answer of Q', so when Q succeeds all its retraction queries
+// succeed, and their answer sets contain Q's.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "browse/probing.h"
+#include "core/loose_db.h"
+#include "workload/music_domain.h"
+#include "workload/org_domain.h"
+#include "workload/university_domain.h"
+
+namespace lsd {
+namespace {
+
+class BroadnessPropertyTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    workload::BuildCampusDomain(&db_);
+    workload::BuildMusicDomain(&db_);
+    workload::BuildBooksDomain(&db_);
+  }
+
+  using Rows = std::set<std::vector<EntityId>>;
+
+  StatusOr<Rows> Evaluate(const Query& q) {
+    auto r = db_.Run(q);
+    if (!r.ok()) return r.status();
+    Rows rows(r->rows.begin(), r->rows.end());
+    if (r->is_proposition && r->truth) {
+      rows.insert(std::vector<EntityId>{});
+    }
+    return rows;
+  }
+
+  LooseDb db_;
+};
+
+TEST_P(BroadnessPropertyTest, RetractionsContainOriginalAnswers) {
+  auto query = db_.Parse(GetParam());
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  auto original = Evaluate(*query);
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+  ASSERT_FALSE(original->empty())
+      << "seed query must succeed for the property to bite: "
+      << GetParam();
+
+  auto view = db_.View();
+  ASSERT_TRUE(view.ok());
+  GeneralizationLattice lattice = GeneralizationLattice::Build(**view);
+  Prober prober(*view, &lattice, &db_.entities());
+
+  std::vector<VarId> original_free = query->FreeVars();
+  int checked = 0;
+  for (auto& [broader, sub] : prober.RetractionSet(*query)) {
+    // Template deletion can drop free variables; the containment
+    // property is only well-typed when the answer schema is unchanged.
+    if (broader.FreeVars() != original_free) continue;
+    auto rows = Evaluate(broader);
+    if (!rows.ok()) continue;  // a variant may be unsafe; that's fine
+    ++checked;
+    for (const auto& row : *original) {
+      EXPECT_TRUE(rows->count(row))
+          << "broader query lost an answer.\n  original: "
+          << query->DebugString(db_.entities())
+          << "\n  broader:  " << broader.DebugString(db_.entities())
+          << "\n  via " << sub.Describe(db_.entities());
+    }
+  }
+  EXPECT_GT(checked, 0) << "no retraction queries were checkable";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedQueries, BroadnessPropertyTest,
+    ::testing::Values(
+        "(FRESHMAN, LOVE, ?Z)",
+        "(FRESHMAN, LOVE, ?Z) and (?Z, COSTS, FREE)",
+        "(STUDENT, LOVE, ?Z) and (?Z, COSTS, CHEAP)",
+        "(JOHN, LIKES, ?X)",
+        "(JOHN, WORKS-FOR, SHIPPING)",
+        "(?Z, IN, QUARTERBACK) and (?Z, ATTENDED, USC)",
+        "(PC#9-WAM, COMPOSED-BY, MOZART)",
+        "(?B, CITES, ?B)",
+        "exists ?C ((?S, ENROLLED-IN, ?C) and (?C, TAUGHT-BY, HARRY))"));
+
+}  // namespace
+}  // namespace lsd

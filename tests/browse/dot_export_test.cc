@@ -1,0 +1,88 @@
+#include "browse/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include "core/loose_db.h"
+#include "workload/music_domain.h"
+
+namespace lsd {
+namespace {
+
+class DotExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override { workload::BuildMusicDomain(&db_); }
+
+  const ClosureView& View() {
+    auto v = db_.View();
+    EXPECT_TRUE(v.ok());
+    return **v;
+  }
+
+  LooseDb db_;
+};
+
+TEST_F(DotExportTest, WholeGraphHasDigraphShell) {
+  auto dot = ExportDot(View());
+  ASSERT_TRUE(dot.ok());
+  EXPECT_EQ(dot->rfind("digraph lsd {", 0), 0u);
+  EXPECT_EQ(dot->back(), '\n');
+  EXPECT_NE(dot->find("\"JOHN\" -> \"FELIX\" [label=\"LIKES\"];"),
+            std::string::npos);
+}
+
+TEST_F(DotExportTest, TaxonomyEdgesAreStyled) {
+  auto dot = ExportDot(View());
+  ASSERT_TRUE(dot.ok());
+  EXPECT_NE(dot->find("style=dashed, label=\"isa\""), std::string::npos);
+  EXPECT_NE(dot->find("style=dotted, label=\"in\""), std::string::npos);
+}
+
+TEST_F(DotExportTest, TaxonomyCanBeExcluded) {
+  DotOptions options;
+  options.include_taxonomy = false;
+  auto dot = ExportDot(View(), options);
+  ASSERT_TRUE(dot.ok());
+  EXPECT_EQ(dot->find("isa"), std::string::npos);
+  EXPECT_EQ(dot->find("dotted"), std::string::npos);
+}
+
+TEST_F(DotExportTest, DerivedFactsRenderGrayWhenIncluded) {
+  DotOptions options;
+  options.include_derived = true;
+  auto dot = ExportDot(View(), options);
+  ASSERT_TRUE(dot.ok());
+  EXPECT_NE(dot->find("color=gray"), std::string::npos);
+  // Without the flag, no gray edges appear.
+  auto base_only = ExportDot(View());
+  ASSERT_TRUE(base_only.ok());
+  EXPECT_EQ(base_only->find("color=gray"), std::string::npos);
+}
+
+TEST_F(DotExportTest, NeighborhoodScopesTheGraph) {
+  auto dot = ExportNeighborhoodDot(View(),
+                                   *db_.entities().Lookup("LEOPOLD"), 1);
+  ASSERT_TRUE(dot.ok());
+  EXPECT_NE(dot->find("LEOPOLD"), std::string::npos);
+  EXPECT_NE(dot->find("MOZART"), std::string::npos);
+  // SERKIN is 3 hops away: out of scope.
+  EXPECT_EQ(dot->find("SERKIN"), std::string::npos);
+}
+
+TEST_F(DotExportTest, MaxFactsGuard) {
+  DotOptions options;
+  options.max_facts = 2;
+  auto dot = ExportDot(View(), options);
+  ASSERT_FALSE(dot.ok());
+  EXPECT_EQ(dot.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(DotExportTest, QuotingEscapesSpecialCharacters) {
+  db_.Assert("HE-SAID-\"HI\"", "QUOTES", "BACK\\SLASH");
+  auto dot = ExportDot(View());
+  ASSERT_TRUE(dot.ok());
+  EXPECT_NE(dot->find("\\\""), std::string::npos);
+  EXPECT_NE(dot->find("\\\\"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsd

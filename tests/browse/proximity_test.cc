@@ -1,0 +1,116 @@
+#include "browse/proximity.h"
+
+#include <gtest/gtest.h>
+
+#include "core/loose_db.h"
+#include "workload/music_domain.h"
+
+namespace lsd {
+namespace {
+
+class ProximityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { workload::BuildMusicDomain(&db_); }
+
+  LooseDb db_;
+};
+
+TEST_F(ProximityTest, DirectAssociationIsDistanceOne) {
+  auto d = db_.SemanticDistance("JOHN", "FELIX");
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(d->has_value());
+  EXPECT_EQ(**d, 1);
+}
+
+TEST_F(ProximityTest, SelfDistanceIsZero) {
+  auto d = db_.SemanticDistance("JOHN", "JOHN");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(**d, 0);
+}
+
+TEST_F(ProximityTest, CompositionPathGivesDistanceTwo) {
+  // LEOPOLD -> MOZART (direct), MOZART <- PC#9-WAM <- JOHN: Leopold to
+  // Serkin goes LEOPOLD-MOZART-PC#9-WAM-SERKIN = 3 undirected hops.
+  auto d = db_.SemanticDistance("LEOPOLD", "SERKIN");
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(d->has_value());
+  EXPECT_EQ(**d, 3);
+}
+
+TEST_F(ProximityTest, RadiusBoundsSearch) {
+  auto d = db_.SemanticDistance("LEOPOLD", "SERKIN", 2);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->has_value());  // needs 3 hops
+}
+
+TEST_F(ProximityTest, UnconnectedEntities) {
+  db_.Assert("HERMIT", "LIVES-IN", "CAVE");
+  auto d = db_.SemanticDistance("JOHN", "HERMIT", 6);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->has_value());
+}
+
+TEST_F(ProximityTest, MetaEdgesDoNotCount) {
+  // Membership/generalization links are not associations. (Isolated db:
+  // in the music domain, inference materializes class-level facts like
+  // (FELIX, LIKES, EMPLOYEE) that create genuine associations.)
+  LooseDb db;
+  db.Assert("A", "IN", "B");
+  db.Assert("B", "ISA", "C");
+  auto d = db.SemanticDistance("A", "C", 4);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->has_value());
+  ProximityOptions options;
+  options.include_meta_relationships = true;
+  auto view = db.View();
+  ASSERT_TRUE(view.ok());
+  auto d2 = SemanticDistance(**view, *db.entities().Lookup("A"),
+                             *db.entities().Lookup("C"), 4, options);
+  ASSERT_TRUE(d2.ok());
+  // Distance 1, not 2: the closure already contains (A, IN, C) by the
+  // membership-up rule.
+  EXPECT_EQ(**d2, 1);
+}
+
+TEST_F(ProximityTest, NearbyReturnsLayeredNeighbors) {
+  auto nearby = db_.Nearby("LEOPOLD", 2);
+  ASSERT_TRUE(nearby.ok());
+  ASSERT_FALSE(nearby->empty());
+  // First layer contains Mozart; second layer his works/admirers.
+  bool mozart_at_1 = false, pc9_at_2 = false;
+  int last = 0;
+  for (const NearbyEntity& n : *nearby) {
+    EXPECT_GE(n.distance, last);  // BFS order: closest first
+    last = n.distance;
+    const std::string& name = db_.entities().Name(n.entity);
+    if (name == "MOZART") mozart_at_1 = (n.distance == 1);
+    if (name == "PC#9-WAM") pc9_at_2 = (n.distance == 2);
+  }
+  EXPECT_TRUE(mozart_at_1);
+  EXPECT_TRUE(pc9_at_2);
+}
+
+TEST_F(ProximityTest, DirectedSearchMissesIncomingEdges) {
+  ProximityOptions options;
+  options.undirected = false;
+  auto view = db_.View();
+  ASSERT_TRUE(view.ok());
+  EntityId mozart = *db_.entities().Lookup("MOZART");
+  EntityId leopold = *db_.entities().Lookup("LEOPOLD");
+  // Outgoing only: MOZART has no outgoing association facts at all.
+  auto d = SemanticDistance(**view, mozart, leopold, 4, options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->has_value());
+  // The other direction works: LEOPOLD FATHER-OF MOZART.
+  auto d2 = SemanticDistance(**view, leopold, mozart, 4, options);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(**d2, 1);
+}
+
+TEST_F(ProximityTest, UnknownEntityIsNotFound) {
+  EXPECT_TRUE(db_.Nearby("NOBODY", 2).status().IsNotFound());
+  EXPECT_TRUE(db_.SemanticDistance("JOHN", "NOBODY").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace lsd

@@ -1,0 +1,87 @@
+#include "browse/session.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/music_domain.h"
+
+namespace lsd {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { workload::BuildMusicDomain(&db_); }
+
+  LooseDb db_;
+};
+
+TEST_F(SessionTest, VisitBackForward) {
+  BrowseSession session(&db_);
+  EXPECT_FALSE(session.CanGoBack());
+  EXPECT_FALSE(session.CanGoForward());
+
+  ASSERT_TRUE(session.Visit("JOHN").ok());
+  ASSERT_TRUE(session.Visit("PC#9-WAM").ok());
+  ASSERT_TRUE(session.Visit("MOZART").ok());
+  EXPECT_EQ(db_.entities().Name(session.current()), "MOZART");
+  EXPECT_TRUE(session.CanGoBack());
+
+  auto back = session.Back();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(db_.entities().Name(session.current()), "PC#9-WAM");
+  EXPECT_TRUE(session.CanGoForward());
+
+  auto fwd = session.Forward();
+  ASSERT_TRUE(fwd.ok());
+  EXPECT_EQ(db_.entities().Name(session.current()), "MOZART");
+  EXPECT_FALSE(session.CanGoForward());
+}
+
+TEST_F(SessionTest, VisitTruncatesForwardHistory) {
+  BrowseSession session(&db_);
+  ASSERT_TRUE(session.Visit("JOHN").ok());
+  ASSERT_TRUE(session.Visit("PC#9-WAM").ok());
+  ASSERT_TRUE(session.Back().ok());
+  ASSERT_TRUE(session.Visit("FELIX").ok());
+  EXPECT_FALSE(session.CanGoForward());
+  EXPECT_EQ(session.trail().size(), 2u);  // JOHN, FELIX
+}
+
+TEST_F(SessionTest, ErrorsAtTheEnds) {
+  BrowseSession session(&db_);
+  EXPECT_EQ(session.Back().status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(session.Visit("JOHN").ok());
+  EXPECT_EQ(session.Back().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.Forward().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SessionTest, UnknownEntityDoesNotDisturbTrail) {
+  BrowseSession session(&db_);
+  ASSERT_TRUE(session.Visit("JOHN").ok());
+  EXPECT_TRUE(session.Visit("NOBODY").status().IsNotFound());
+  EXPECT_EQ(db_.entities().Name(session.current()), "JOHN");
+  EXPECT_EQ(session.trail().size(), 1u);
+}
+
+TEST_F(SessionTest, Breadcrumbs) {
+  BrowseSession session(&db_);
+  ASSERT_TRUE(session.Visit("JOHN").ok());
+  ASSERT_TRUE(session.Visit("MOZART").ok());
+  ASSERT_TRUE(session.Back().ok());
+  EXPECT_EQ(session.Breadcrumbs(), "[JOHN] > MOZART");
+}
+
+TEST_F(SessionTest, VisitedNeighborhoodMatchesNavigate) {
+  BrowseSession session(&db_);
+  auto via_session = session.Visit("JOHN");
+  auto via_db = db_.Navigate("JOHN");
+  ASSERT_TRUE(via_session.ok());
+  ASSERT_TRUE(via_db.ok());
+  EXPECT_EQ(via_session->classes, via_db->classes);
+  EXPECT_EQ(via_session->outgoing.size(), via_db->outgoing.size());
+}
+
+}  // namespace
+}  // namespace lsd

@@ -1,0 +1,57 @@
+// The shipped sample .lsd files must load cleanly and behave as their
+// comments promise.
+#include <gtest/gtest.h>
+
+#include "core/loose_db.h"
+
+#ifndef LSD_SOURCE_DIR
+#define LSD_SOURCE_DIR "."
+#endif
+
+namespace lsd {
+namespace {
+
+std::string DataPath(const char* name) {
+  return std::string(LSD_SOURCE_DIR) + "/data/" + name;
+}
+
+TEST(DataFilesTest, MusicLoadsAndBrowses) {
+  LooseDb db;
+  Status s = db.LoadTextFile(DataPath("music.lsd"));
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  auto hood = db.Navigate("JOHN");
+  ASSERT_TRUE(hood.ok());
+  EXPECT_FALSE(hood->classes.empty());
+  // The defined operator from the file works.
+  auto r = db.Call("composer-of(PC#9-WAM, ?C)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(db.entities().Name(r->rows[0][0]), "MOZART");
+}
+
+TEST(DataFilesTest, CampusProbesToThePaperMenu) {
+  LooseDb db;
+  ASSERT_TRUE(db.LoadTextFile(DataPath("campus.lsd")).ok());
+  auto probe = db.Probe("(STUDENT, LOVE, ?Z) and (?Z, COSTS, FREE)");
+  ASSERT_TRUE(probe.ok());
+  EXPECT_FALSE(probe->original_succeeded);
+  EXPECT_EQ(probe->successes.size(), 2u);
+}
+
+TEST(DataFilesTest, OrgHasExactlyThePlantedViolation) {
+  LooseDb db;
+  ASSERT_TRUE(db.LoadTextFile(DataPath("org.lsd")).ok());
+  auto violations = db.FindIntegrityViolations();
+  ASSERT_TRUE(violations.ok()) << violations.status().ToString();
+  ASSERT_EQ(violations->size(), 1u);
+  EXPECT_NE(violations->front().description.find("$120000"),
+            std::string::npos);
+  // Synonym substitution: wages are queryable even though facts say
+  // EARNS/SALARY.
+  auto r = db.Query("(ADAM, EARNS, ?W) and (?W, IN, WAGE)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Success());
+}
+
+}  // namespace
+}  // namespace lsd

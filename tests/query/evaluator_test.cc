@@ -1,0 +1,205 @@
+#include "query/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/loose_db.h"
+#include "workload/university_domain.h"
+
+namespace lsd {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  ResultSet Eval(const std::string& text, EvalOptions options = {}) {
+    auto r = db_.Query(text, options);
+    EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+    return r.ok() ? std::move(*r) : ResultSet{};
+  }
+
+  Status EvalStatus(const std::string& text) {
+    return db_.Query(text).ok() ? Status::OK()
+                                : db_.Query(text).status();
+  }
+
+  std::set<std::string> Column(const ResultSet& r, size_t col = 0) {
+    std::set<std::string> out;
+    for (const auto& row : r.rows) {
+      out.insert(db_.entities().Name(row[col]));
+    }
+    return out;
+  }
+
+  LooseDb db_;
+};
+
+TEST_F(EvaluatorTest, SingleTemplateQuery) {
+  db_.Assert("JOHN", "LIKES", "FELIX");
+  db_.Assert("JOHN", "LIKES", "MARY");
+  ResultSet r = Eval("(JOHN, LIKES, ?X)");
+  EXPECT_EQ(Column(r), (std::set<std::string>{"FELIX", "MARY"}));
+}
+
+TEST_F(EvaluatorTest, TemplateSeesInferredFacts) {
+  db_.Assert("JOHN", "IN", "EMPLOYEE");
+  db_.Assert("EMPLOYEE", "WORKS-FOR", "DEPARTMENT");
+  ResultSet r = Eval("(JOHN, WORKS-FOR, ?X)");
+  EXPECT_EQ(Column(r), (std::set<std::string>{"DEPARTMENT"}));
+}
+
+// Sec 2.7: the self-citing authors query Q1.
+TEST_F(EvaluatorTest, SelfCitingAuthors) {
+  workload::BuildBooksDomain(&db_);
+  ResultSet r = Eval(
+      "exists ?X ((?X, IN, BOOK) and (?Y, IN, PERSON) and "
+      "(?X, CITES, ?X) and (?X, AUTHOR, ?Y))");
+  EXPECT_EQ(Column(r), (std::set<std::string>{"ALICE"}));
+}
+
+// Sec 3.6: employees who earn more than 20000 (query Q2).
+TEST_F(EvaluatorTest, EarnersOverThreshold) {
+  db_.Assert("JOHN", "IN", "EMPLOYEE");
+  db_.Assert("JOHN", "EARNS", "25000");
+  db_.Assert("TOM", "IN", "EMPLOYEE");
+  db_.Assert("TOM", "EARNS", "15000");
+  ResultSet r = Eval(
+      "exists ?Y ((?Z, IN, EMPLOYEE) and (?Z, EARNS, ?Y) and "
+      "(?Y, >, 20000))");
+  EXPECT_EQ(Column(r), (std::set<std::string>{"JOHN"}));
+}
+
+// Sec 2.7: propositions — "John and Felix like each other".
+TEST_F(EvaluatorTest, TruePropositon) {
+  db_.Assert("JOHN", "LIKES", "FELIX");
+  db_.Assert("FELIX", "LIKES", "JOHN");
+  ResultSet r = Eval("(JOHN, LIKES, FELIX) and (FELIX, LIKES, JOHN)");
+  EXPECT_TRUE(r.is_proposition);
+  EXPECT_TRUE(r.truth);
+  EXPECT_TRUE(r.Success());
+}
+
+TEST_F(EvaluatorTest, FalseProposition) {
+  db_.Assert("JOHN", "LIKES", "FELIX");
+  ResultSet r = Eval("(JOHN, LIKES, FELIX) and (FELIX, LIKES, JOHN)");
+  EXPECT_TRUE(r.is_proposition);
+  EXPECT_FALSE(r.truth);
+  EXPECT_FALSE(r.Success());
+}
+
+// Sec 2.7: negation via complementary relationship — books whose author
+// is not John.
+TEST_F(EvaluatorTest, NegationViaInequality) {
+  db_.Assert("B1", "IN", "BOOK");
+  db_.Assert("B2", "IN", "BOOK");
+  db_.Assert("B1", "AUTHOR", "JOHN");
+  db_.Assert("B2", "AUTHOR", "MARY");
+  ResultSet r = Eval(
+      "(?X, IN, BOOK) and exists ?A ((?X, AUTHOR, ?A) and "
+      "(?A, /=, JOHN))");
+  EXPECT_EQ(Column(r), (std::set<std::string>{"B2"}));
+}
+
+TEST_F(EvaluatorTest, Disjunction) {
+  db_.Assert("A", "LOVES", "X");
+  db_.Assert("B", "HATES", "X");
+  ResultSet r = Eval("(?P, LOVES, X) or (?P, HATES, X)");
+  EXPECT_EQ(Column(r), (std::set<std::string>{"A", "B"}));
+}
+
+TEST_F(EvaluatorTest, DisjunctionDeduplicates) {
+  db_.Assert("A", "LOVES", "X");
+  db_.Assert("A", "HATES", "X");
+  ResultSet r = Eval("(?P, LOVES, X) or (?P, HATES, X)");
+  EXPECT_EQ(r.rows.size(), 1u);
+}
+
+TEST_F(EvaluatorTest, UnsafeDisjunctionRejected) {
+  db_.Assert("A", "R", "B");
+  auto r = db_.Query("(?P, R, B) or (?Q, R, B)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EvaluatorTest, ExistsProjectsAndDeduplicates) {
+  db_.Assert("TOM", "ENROLLED-IN", "CS100");
+  db_.Assert("TOM", "ENROLLED-IN", "MATH101");
+  ResultSet r = Eval("exists ?C (?S, ENROLLED-IN, ?C)");
+  EXPECT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(Column(r), (std::set<std::string>{"TOM"}));
+}
+
+TEST_F(EvaluatorTest, ForallTrueOverActiveDomain) {
+  db_.Assert("A", "HAS", "P");
+  db_.Assert("A", "HAS", "Q");
+  // (?X, =, ?X) holds for every entity, so the forall gate is open and
+  // the result is exactly A's HAS targets.
+  ResultSet r = Eval("(A, HAS, ?Z) and forall ?X (?X, =, ?X)");
+  EXPECT_EQ(Column(r), (std::set<std::string>{"P", "Q"}));
+}
+
+TEST_F(EvaluatorTest, ForallFalseOverActiveDomain) {
+  db_.Assert("A", "HAS", "P");
+  // Not every regular entity HAS P (P itself does not), so the forall
+  // gate is closed; active-domain semantics (see evaluator.h).
+  ResultSet r = Eval("(A, HAS, ?Z) and forall ?X (?X, HAS, P)");
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(EvaluatorTest, UnsafeForallRejected) {
+  db_.Assert("A", "R", "B");
+  auto r = db_.Query("forall ?X (?X, R, ?Y)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EvaluatorTest, TwoFreeVariablesGiveTuples) {
+  db_.Assert("A", "R", "B");
+  db_.Assert("C", "R", "D");
+  ResultSet r = Eval("(?X, R, ?Y)");
+  ASSERT_EQ(r.columns.size(), 2u);
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(EvaluatorTest, FirstRowOnlyStopsEarly) {
+  for (int i = 0; i < 100; ++i) {
+    db_.Assert("A", "R", ("B" + std::to_string(i)).c_str());
+  }
+  EvalOptions options;
+  options.first_row_only = true;
+  ResultSet r = Eval("(A, R, ?X)", options);
+  EXPECT_EQ(r.rows.size(), 1u);
+  EXPECT_TRUE(r.Success());
+}
+
+TEST_F(EvaluatorTest, MaxRowsTruncates) {
+  for (int i = 0; i < 50; ++i) {
+    db_.Assert("A", "R", ("B" + std::to_string(i)).c_str());
+  }
+  EvalOptions options;
+  options.max_rows = 10;
+  ResultSet r = Eval("(A, R, ?X)", options);
+  EXPECT_EQ(r.rows.size(), 10u);
+  EXPECT_TRUE(r.truncated);
+}
+
+TEST_F(EvaluatorTest, StarNavigationQuery) {
+  db_.Assert("JOHN", "LIKES", "FELIX");
+  db_.Assert("JOHN", "WORKS-FOR", "SHIPPING");
+  ResultSet r = Eval("(JOHN, *, *)");
+  EXPECT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.columns.size(), 2u);
+}
+
+// Sec 4.1: (*, E, *) differs from (?X, E, ?X) — the paper calls this
+// out explicitly for self-citations.
+TEST_F(EvaluatorTest, StarVersusRepeatedVariable) {
+  db_.Assert("B1", "CITES", "B1");
+  db_.Assert("B1", "CITES", "B2");
+  ResultSet star = Eval("(*, CITES, *)");
+  EXPECT_EQ(star.rows.size(), 2u);
+  ResultSet self = Eval("(?X, CITES, ?X)");
+  EXPECT_EQ(self.rows.size(), 1u);
+  EXPECT_EQ(Column(self), (std::set<std::string>{"B1"}));
+}
+
+}  // namespace
+}  // namespace lsd

@@ -1,0 +1,65 @@
+#include "query/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace lsd {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokens) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, TokenizesTemplate) {
+  auto tokens = Tokenize("(JOHN, *, ?X)");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Kinds(*tokens),
+            (std::vector<TokenKind>{
+                TokenKind::kLParen, TokenKind::kEntity, TokenKind::kComma,
+                TokenKind::kStar, TokenKind::kComma, TokenKind::kVariable,
+                TokenKind::kRParen, TokenKind::kEnd}));
+  EXPECT_EQ((*tokens)[1].text, "JOHN");
+  EXPECT_EQ((*tokens)[5].text, "X");
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("AND Or exists FORALL");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Kinds(*tokens),
+            (std::vector<TokenKind>{TokenKind::kAnd, TokenKind::kOr,
+                                    TokenKind::kExists, TokenKind::kForall,
+                                    TokenKind::kEnd}));
+}
+
+TEST(LexerTest, EntityTokensKeepSpecialCharacters) {
+  auto tokens = Tokenize("PC#9-WAM $25000 /=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "PC#9-WAM");
+  EXPECT_EQ((*tokens)[1].text, "$25000");
+  EXPECT_EQ((*tokens)[2].text, "/=");
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Tokenize("   ");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, BareQuestionMarkErrors) {
+  auto tokens = Tokenize("(?, A, B)");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_TRUE(tokens.status().IsParseError());
+}
+
+TEST(LexerTest, OffsetsPointIntoInput) {
+  auto tokens = Tokenize("(A, B, C)");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].offset, 0u);
+  EXPECT_EQ((*tokens)[1].offset, 1u);
+  EXPECT_EQ((*tokens)[3].offset, 4u);
+}
+
+}  // namespace
+}  // namespace lsd

@@ -1,0 +1,118 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace lsd {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  Query Parse(const std::string& text) {
+    auto q = ParseQuery(text, &entities_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(*q);
+  }
+
+  EntityTable entities_;
+};
+
+TEST_F(ParserTest, SingleAtom) {
+  Query q = Parse("(JOHN, LIKES, ?X)");
+  ASSERT_EQ(q.root()->kind, NodeKind::kAtom);
+  EXPECT_EQ(q.FreeVars().size(), 1u);
+  EXPECT_EQ(q.var_names()[0], "X");
+  EXPECT_EQ(q.DebugString(entities_), "(JOHN, LIKES, ?X)");
+}
+
+TEST_F(ParserTest, StarMintsAnonymousVariables) {
+  Query q = Parse("(JOHN, *, *)");
+  EXPECT_EQ(q.FreeVars().size(), 2u);
+  // Two distinct variables: (JOHN, *, *) must NOT be (JOHN, ?x, ?x).
+  const Template& t = q.root()->atom;
+  EXPECT_NE(t.relationship.var(), t.target.var());
+}
+
+TEST_F(ParserTest, ConjunctionFlattens) {
+  Query q = Parse("(A, R, ?X) and (?X, S, B) and (?X, T, C)");
+  ASSERT_EQ(q.root()->kind, NodeKind::kAnd);
+  EXPECT_EQ(q.root()->children.size(), 3u);
+}
+
+TEST_F(ParserTest, PrecedenceAndBindsTighterThanOr) {
+  Query q = Parse("(A, R, ?X) and (B, S, ?X) or (C, T, ?X)");
+  ASSERT_EQ(q.root()->kind, NodeKind::kOr);
+  ASSERT_EQ(q.root()->children.size(), 2u);
+  EXPECT_EQ(q.root()->children[0]->kind, NodeKind::kAnd);
+  EXPECT_EQ(q.root()->children[1]->kind, NodeKind::kAtom);
+}
+
+TEST_F(ParserTest, ParenthesizedGrouping) {
+  Query q = Parse("((A, R, ?X) or (B, S, ?X)) and (C, T, ?X)");
+  ASSERT_EQ(q.root()->kind, NodeKind::kAnd);
+  EXPECT_EQ(q.root()->children[0]->kind, NodeKind::kOr);
+}
+
+TEST_F(ParserTest, ExistsBindsVariable) {
+  Query q = Parse("exists ?Y ((?Y, IN, BOOK) and (?Y, AUTHOR, ?X))");
+  ASSERT_EQ(q.root()->kind, NodeKind::kExists);
+  auto free = q.FreeVars();
+  ASSERT_EQ(free.size(), 1u);
+  EXPECT_EQ(q.var_names()[free[0]], "X");
+}
+
+TEST_F(ParserTest, MultiVariableQuantifier) {
+  Query q = Parse("exists ?A ?B (?A, LIKES, ?B)");
+  ASSERT_EQ(q.root()->kind, NodeKind::kExists);
+  ASSERT_EQ(q.root()->children[0]->kind, NodeKind::kExists);
+  EXPECT_TRUE(q.FreeVars().empty());
+  EXPECT_TRUE(q.IsProposition());
+}
+
+TEST_F(ParserTest, ForallParses) {
+  Query q = Parse("forall ?S ((?S, IN, STUDENT) and (?S, LOVES, ?Z))");
+  EXPECT_EQ(q.root()->kind, NodeKind::kForall);
+  EXPECT_EQ(q.FreeVars().size(), 1u);
+}
+
+TEST_F(ParserTest, PaperSelfCitationQuery) {
+  // Sec 2.7: all authors who cite themselves.
+  Query q = Parse(
+      "exists ?X ((?X, IN, BOOK) and (?Y, IN, PERSON) and "
+      "(?X, CITES, ?X) and (?X, AUTHOR, ?Y))");
+  EXPECT_EQ(q.FreeVars().size(), 1u);
+  EXPECT_EQ(q.var_names()[q.FreeVars()[0]], "Y");
+}
+
+TEST_F(ParserTest, CloneIsDeepAndEqualText) {
+  Query q = Parse("(A, R, ?X) and exists ?Y (?X, S, ?Y)");
+  Query c = q.Clone();
+  EXPECT_EQ(q.DebugString(entities_), c.DebugString(entities_));
+  // Mutating the clone leaves the original intact.
+  c.mutable_root()->children[0]->atom.source =
+      Term::Entity(entities_.Intern("Z"));
+  EXPECT_NE(q.DebugString(entities_), c.DebugString(entities_));
+}
+
+TEST_F(ParserTest, ErrorsOnMalformedInput) {
+  EXPECT_FALSE(ParseQuery("(A, B)", &entities_).ok());
+  EXPECT_FALSE(ParseQuery("(A, B, C,)", &entities_).ok());
+  EXPECT_FALSE(ParseQuery("(A, B, C) and", &entities_).ok());
+  EXPECT_FALSE(ParseQuery("exists (A, B, C)", &entities_).ok());
+  EXPECT_FALSE(ParseQuery("(A, B, C) (D, E, F)", &entities_).ok());
+  EXPECT_FALSE(ParseQuery("", &entities_).ok());
+  EXPECT_FALSE(ParseQuery("((A, B, C)", &entities_).ok());
+}
+
+TEST_F(ParserTest, VariableNamesAreCaseInsensitive) {
+  Query q = Parse("(?x, R, ?X)");
+  const Template& t = q.root()->atom;
+  EXPECT_EQ(t.source.var(), t.target.var());
+}
+
+TEST_F(ParserTest, UnicodeRelationsInQueries) {
+  Query q = Parse("(?X, ∈, BOOK)");
+  EXPECT_EQ(q.root()->atom.relationship.entity(), kEntIn);
+}
+
+}  // namespace
+}  // namespace lsd

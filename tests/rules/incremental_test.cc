@@ -1,0 +1,277 @@
+// Incremental closure maintenance (rules/incremental.h): point asserts
+// propagate, retracts delete-and-rederive, and the maintained state is
+// always equivalent to a full recomputation.
+#include "rules/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "core/loose_db.h"
+#include "rules/builtin_rules.h"
+#include "rules/rule_engine.h"
+#include "util/random.h"
+
+namespace lsd {
+namespace {
+
+class IncrementalTest : public ::testing::Test {
+ protected:
+  IncrementalTest()
+      : math_(&store_.entities()),
+        engine_(&store_, &math_),
+        inc_(&store_, &math_, StandardRules()) {
+    for (const Fact& f : StandardSeedFacts()) store_.Assert(f);
+  }
+
+  EntityId E(const char* name) { return store_.entities().Intern(name); }
+
+  Fact Assert(const char* s, const char* r, const char* t) {
+    Fact f = store_.Assert(s, r, t);
+    EXPECT_TRUE(inc_.OnAssert(f).ok());
+    return f;
+  }
+
+  void Retract(const Fact& f) {
+    ASSERT_TRUE(store_.Retract(f));
+    ASSERT_TRUE(inc_.OnRetract(f).ok());
+  }
+
+  // Compares the incremental derived set against a fresh recomputation.
+  void ExpectEquivalentToRecompute() {
+    auto fresh = engine_.ComputeClosure(StandardRules());
+    ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+    EXPECT_EQ(inc_.derived().size(), (*fresh)->derived().size());
+    bool equal = true;
+    (*fresh)->derived().ForEach(Pattern(), [&](const Fact& f) {
+      if (!inc_.derived().Contains(f)) equal = false;
+      return equal;
+    });
+    EXPECT_TRUE(equal) << "incremental and recomputed closures differ";
+  }
+
+  FactStore store_;
+  MathProvider math_;
+  RuleEngine engine_;
+  IncrementalClosure inc_;
+};
+
+TEST_F(IncrementalTest, AssertPropagatesConsequences) {
+  ASSERT_TRUE(inc_.Initialize().ok());
+  Assert("EMPLOYEE", "WORKS-FOR", "DEPARTMENT");
+  Assert("JOHN", "IN", "EMPLOYEE");
+  EXPECT_TRUE(inc_.view().Contains(
+      Fact(E("JOHN"), E("WORKS-FOR"), E("DEPARTMENT"))));
+  ExpectEquivalentToRecompute();
+}
+
+TEST_F(IncrementalTest, AssertRequiresFactInBase) {
+  ASSERT_TRUE(inc_.Initialize().ok());
+  Status s = inc_.OnAssert(Fact(E("A"), E("R"), E("B")));
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(IncrementalTest, AssertingADerivedFactKeepsLayersDisjoint) {
+  ASSERT_TRUE(inc_.Initialize().ok());
+  Assert("A", "ISA", "B");
+  Assert("B", "ISA", "C");
+  Fact transitive(E("A"), kEntIsa, E("C"));
+  EXPECT_TRUE(inc_.derived().Contains(transitive));
+  // Now assert the derived fact explicitly.
+  store_.Assert(transitive);
+  ASSERT_TRUE(inc_.OnAssert(transitive).ok());
+  EXPECT_FALSE(inc_.derived().Contains(transitive));  // moved to base
+  EXPECT_TRUE(inc_.view().Contains(transitive));
+  ExpectEquivalentToRecompute();
+}
+
+TEST_F(IncrementalTest, RetractDeletesConsequences) {
+  ASSERT_TRUE(inc_.Initialize().ok());
+  Fact isa = Assert("A", "ISA", "B");
+  Assert("B", "ISA", "C");
+  EXPECT_TRUE(inc_.view().Contains(Fact(E("A"), kEntIsa, E("C"))));
+  Retract(isa);
+  EXPECT_FALSE(inc_.view().Contains(Fact(E("A"), kEntIsa, E("C"))));
+  ExpectEquivalentToRecompute();
+}
+
+TEST_F(IncrementalTest, RetractRederivesAlternativeSupport) {
+  ASSERT_TRUE(inc_.Initialize().ok());
+  // Diamond: (A ISA C) derivable through B and through B2.
+  Fact through_b = Assert("A", "ISA", "B");
+  Assert("B", "ISA", "C");
+  Assert("A", "ISA", "B2");
+  Assert("B2", "ISA", "C");
+  EXPECT_TRUE(inc_.view().Contains(Fact(E("A"), kEntIsa, E("C"))));
+  Retract(through_b);
+  // Still supported via B2.
+  EXPECT_TRUE(inc_.view().Contains(Fact(E("A"), kEntIsa, E("C"))));
+  EXPECT_GT(inc_.stats().retract_rederived, 0u);
+  ExpectEquivalentToRecompute();
+}
+
+TEST_F(IncrementalTest, RetractedBaseFactMayBeRederivable) {
+  ASSERT_TRUE(inc_.Initialize().ok());
+  Assert("A", "ISA", "B");
+  Assert("B", "ISA", "C");
+  // Assert the transitive fact as a base fact too, then retract it: it
+  // must survive as a derived fact.
+  Fact transitive(E("A"), kEntIsa, E("C"));
+  store_.Assert(transitive);
+  ASSERT_TRUE(inc_.OnAssert(transitive).ok());
+  Retract(transitive);
+  EXPECT_TRUE(inc_.view().Contains(transitive));
+  EXPECT_TRUE(inc_.derived().Contains(transitive));
+  ExpectEquivalentToRecompute();
+}
+
+TEST_F(IncrementalTest, RetractRequiresFactGoneFromBase) {
+  ASSERT_TRUE(inc_.Initialize().ok());
+  Fact f = Assert("A", "R", "B");
+  Status s = inc_.OnRetract(f);  // still in base
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(IncrementalTest, InversionChainMaintained) {
+  ASSERT_TRUE(inc_.Initialize().ok());
+  Fact inv = Assert("TEACHES", "INV", "TAUGHT-BY");
+  Assert("HARRY", "TEACHES", "CS100");
+  EXPECT_TRUE(
+      inc_.view().Contains(Fact(E("CS100"), E("TAUGHT-BY"), E("HARRY"))));
+  Retract(inv);
+  EXPECT_FALSE(
+      inc_.view().Contains(Fact(E("CS100"), E("TAUGHT-BY"), E("HARRY"))));
+  ExpectEquivalentToRecompute();
+}
+
+// Randomized equivalence: a run of interleaved asserts/retracts over a
+// pool of taxonomy and data facts always matches full recomputation.
+class IncrementalRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalRandomTest, AlwaysEquivalentToRecompute) {
+  FactStore store;
+  MathProvider math(&store.entities());
+  RuleEngine engine(&store, &math);
+  IncrementalClosure inc(&store, &math, StandardRules());
+  for (const Fact& f : StandardSeedFacts()) store.Assert(f);
+  ASSERT_TRUE(inc.Initialize().ok());
+
+  Rng rng(GetParam());
+  // Candidate fact pool: a small taxonomy + memberships + data facts.
+  std::vector<Fact> pool;
+  auto add = [&](const char* s, const char* r, const char* t) {
+    pool.push_back(Fact(store.entities().Intern(s),
+                        store.entities().Intern(r),
+                        store.entities().Intern(t)));
+  };
+  add("C1", "ISA", "C2");
+  add("C2", "ISA", "C3");
+  add("C3", "ISA", "C4");
+  add("C1B", "ISA", "C2");
+  add("M1", "IN", "C1");
+  add("M2", "IN", "C1B");
+  add("C2", "HAS", "X");
+  add("HAS", "INV", "OWNED-BY");
+  add("HAS", "SYN", "POSSESSES");
+  add("C1", "SYN", "C1B");
+
+  std::vector<bool> present(pool.size(), false);
+  for (int step = 0; step < 60; ++step) {
+    size_t i = rng.Uniform(pool.size());
+    if (!present[i]) {
+      store.Assert(pool[i]);
+      ASSERT_TRUE(inc.OnAssert(pool[i]).ok());
+      present[i] = true;
+    } else {
+      ASSERT_TRUE(store.Retract(pool[i]));
+      ASSERT_TRUE(inc.OnRetract(pool[i]).ok());
+      present[i] = false;
+    }
+    auto fresh = engine.ComputeClosure(StandardRules());
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_EQ(inc.derived().size(), (*fresh)->derived().size())
+        << "divergence at step " << step << " seed " << GetParam();
+    bool equal = true;
+    (*fresh)->derived().ForEach(Pattern(), [&](const Fact& f) {
+      if (!inc.derived().Contains(f)) equal = false;
+      return equal;
+    });
+    ASSERT_TRUE(equal) << "content divergence at step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(LooseDbIncrementalTest, BrowsingWorksUnderIncrementalMode) {
+  LooseDbOptions options;
+  options.incremental_maintenance = true;
+  LooseDb db(options);
+  db.Assert("JOHN", "IN", "EMPLOYEE");
+  db.Assert("EMPLOYEE", "ISA", "PERSON");
+  db.Assert("JOHN", "LIKES", "FELIX");
+  ASSERT_TRUE(db.View().ok());
+  db.Assert("FELIX", "IN", "CAT");  // maintained incrementally
+
+  auto hood = db.Navigate("JOHN");
+  ASSERT_TRUE(hood.ok());
+  bool person = false;
+  for (EntityId c : hood->classes) {
+    if (db.entities().Name(c) == "PERSON") person = true;
+  }
+  EXPECT_TRUE(person);
+
+  // Probing rebuilds the lattice against the maintained closure.
+  db.Assert("INTERN", "ISA", "EMPLOYEE");
+  db.Assert("MANAGES", "ISA", "WORKS-FOR");
+  db.Assert("JOHN", "WORKS-FOR", "SHIPPING");
+  auto probe = db.Probe("(JOHN, MANAGES, SHIPPING)");
+  ASSERT_TRUE(probe.ok());
+  ASSERT_EQ(probe->successes.size(), 1u);
+  EXPECT_EQ(probe->successes[0].substitutions[0].Describe(db.entities()),
+            "WORKS-FOR instead of MANAGES");
+}
+
+TEST(LooseDbIncrementalTest, FacadeModeMatchesRecomputeMode) {
+  LooseDbOptions inc_options;
+  inc_options.incremental_maintenance = true;
+  LooseDb inc_db(inc_options);
+  LooseDb full_db;
+
+  auto mutate = [&](auto&& fn) {
+    fn(inc_db);
+    fn(full_db);
+  };
+  mutate([](LooseDb& db) { db.Assert("JOHN", "IN", "EMPLOYEE"); });
+  ASSERT_TRUE(inc_db.View().ok());  // initialize incremental state
+  mutate([](LooseDb& db) {
+    db.Assert("EMPLOYEE", "WORKS-FOR", "DEPARTMENT");
+  });
+  mutate([](LooseDb& db) { db.Assert("EMPLOYEE", "ISA", "PERSON"); });
+
+  auto q1 = inc_db.Query("(JOHN, ?R, ?X)");
+  auto q2 = full_db.Query("(JOHN, ?R, ?X)");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q1->rows, q2->rows);
+
+  mutate([](LooseDb& db) {
+    db.Retract("EMPLOYEE", "WORKS-FOR", "DEPARTMENT");
+  });
+  q1 = inc_db.Query("(JOHN, ?R, ?X)");
+  q2 = full_db.Query("(JOHN, ?R, ?X)");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q1->rows, q2->rows);
+
+  // Rule toggles force a rebuild but stay correct.
+  mutate([](LooseDb& db) {
+    (void)db.SetRuleEnabled("mem-source", false);
+  });
+  q1 = inc_db.Query("(JOHN, ?R, ?X)");
+  q2 = full_db.Query("(JOHN, ?R, ?X)");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q1->rows, q2->rows);
+}
+
+}  // namespace
+}  // namespace lsd

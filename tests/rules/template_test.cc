@@ -1,0 +1,107 @@
+#include "rules/template.h"
+
+#include <gtest/gtest.h>
+
+#include "store/entity_table.h"
+
+namespace lsd {
+namespace {
+
+TEST(TermTest, EntityAndVariable) {
+  Term e = Term::Entity(5);
+  Term v = Term::Var(2);
+  EXPECT_TRUE(e.is_entity());
+  EXPECT_FALSE(e.is_variable());
+  EXPECT_EQ(e.entity(), 5u);
+  EXPECT_TRUE(v.is_variable());
+  EXPECT_EQ(v.var(), 2u);
+  EXPECT_NE(e, v);
+  EXPECT_EQ(Term::Entity(5), Term::Entity(5));
+}
+
+TEST(BindingTest, SetGetUnsetProject) {
+  Binding b(3);
+  EXPECT_FALSE(b.IsBound(0));
+  b.Set(0, 7);
+  b.Set(2, 9);
+  EXPECT_TRUE(b.IsBound(0));
+  EXPECT_EQ(b.Get(0), 7u);
+  EXPECT_EQ(b.Project({2, 0}), (std::vector<EntityId>{9, 7}));
+  b.Unset(0);
+  EXPECT_FALSE(b.IsBound(0));
+}
+
+TEST(TemplateTest, BindProducesPattern) {
+  Template t(Term::Var(0), Term::Entity(3), Term::Var(1));
+  Binding b(2);
+  Pattern p0 = t.Bind(b);
+  EXPECT_FALSE(p0.SourceBound());
+  EXPECT_EQ(p0.relationship, 3u);
+  EXPECT_FALSE(p0.TargetBound());
+  b.Set(0, 8);
+  Pattern p1 = t.Bind(b);
+  EXPECT_EQ(p1.source, 8u);
+}
+
+TEST(TemplateTest, UnifyBindsVariables) {
+  Template t(Term::Var(0), Term::Entity(3), Term::Var(1));
+  Binding b(2);
+  EXPECT_TRUE(t.Unify(Fact(7, 3, 9), b));
+  EXPECT_EQ(b.Get(0), 7u);
+  EXPECT_EQ(b.Get(1), 9u);
+}
+
+TEST(TemplateTest, UnifyRejectsMismatchedEntity) {
+  Template t(Term::Var(0), Term::Entity(3), Term::Var(1));
+  Binding b(2);
+  EXPECT_FALSE(t.Unify(Fact(7, 4, 9), b));
+  EXPECT_FALSE(b.IsBound(0));  // rolled back
+}
+
+TEST(TemplateTest, UnifyEnforcesRepeatedVariable) {
+  // (?X, CITES, ?X) — the paper's self-citation pattern (Sec 2.7).
+  Template t(Term::Var(0), Term::Entity(3), Term::Var(0));
+  Binding b(1);
+  EXPECT_FALSE(t.Unify(Fact(7, 3, 9), b));
+  EXPECT_FALSE(b.IsBound(0));  // rollback across positions
+  EXPECT_TRUE(t.Unify(Fact(7, 3, 7), b));
+  EXPECT_EQ(b.Get(0), 7u);
+}
+
+TEST(TemplateTest, UnifyRespectsExistingBinding) {
+  Template t(Term::Var(0), Term::Entity(3), Term::Var(1));
+  Binding b(2);
+  b.Set(0, 100);
+  EXPECT_FALSE(t.Unify(Fact(7, 3, 9), b));
+  EXPECT_TRUE(b.IsBound(0));
+  EXPECT_EQ(b.Get(0), 100u);   // untouched
+  EXPECT_FALSE(b.IsBound(1));  // rolled back
+  EXPECT_TRUE(t.Unify(Fact(100, 3, 9), b));
+  EXPECT_EQ(b.Get(1), 9u);
+}
+
+TEST(TemplateTest, SubstituteAndGroundness) {
+  Template t(Term::Var(0), Term::Entity(3), Term::Entity(4));
+  Binding b(1);
+  EXPECT_FALSE(t.IsGroundUnder(b));
+  b.Set(0, 2);
+  ASSERT_TRUE(t.IsGroundUnder(b));
+  EXPECT_EQ(t.Substitute(b), Fact(2, 3, 4));
+}
+
+TEST(TemplateTest, CollectVarsDeduplicates) {
+  Template t(Term::Var(1), Term::Var(0), Term::Var(1));
+  std::vector<VarId> vars;
+  t.CollectVars(&vars);
+  EXPECT_EQ(vars, (std::vector<VarId>{1, 0}));
+}
+
+TEST(TemplateTest, DebugString) {
+  EntityTable entities;
+  EntityId person = entities.Intern("PERSON");
+  Template t(Term::Var(0), Term::Entity(kEntIsa), Term::Entity(person));
+  EXPECT_EQ(t.DebugString(entities, {"X"}), "(?X, ISA, PERSON)");
+}
+
+}  // namespace
+}  // namespace lsd

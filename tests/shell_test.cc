@@ -1,0 +1,102 @@
+// End-to-end smoke test of the interactive shell: drives lsd_shell via
+// a pipe and checks the rendered output.
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef LSD_BINARY_DIR
+#define LSD_BINARY_DIR "."
+#endif
+#ifndef LSD_SOURCE_DIR
+#define LSD_SOURCE_DIR "."
+#endif
+
+namespace {
+
+std::string RunShell(const std::string& script) {
+  std::string cmd = "printf '" + script + "' | " + LSD_BINARY_DIR +
+                    "/tools/lsd_shell 2>&1";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return "<popen failed>";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    out.append(buf, n);
+  }
+  pclose(pipe);
+  return out;
+}
+
+TEST(ShellTest, AssertQueryRoundTrip) {
+  std::string out = RunShell(
+      "assert (JOHN, LIKES, FELIX)\\n"
+      "query (JOHN, LIKES, ?X)\\n"
+      "quit\\n");
+  EXPECT_NE(out.find("added"), std::string::npos);
+  EXPECT_NE(out.find("FELIX"), std::string::npos);
+}
+
+TEST(ShellTest, LoadDataFileAndProbe) {
+  std::string out = RunShell(
+      std::string("load ") + LSD_SOURCE_DIR + "/data/campus.lsd\\n" +
+      "probe (STUDENT, LOVE, ?Z) and (?Z, COSTS, FREE)\\n"
+      "quit\\n");
+  EXPECT_NE(out.find("Query failed. Retrying..."), std::string::npos);
+  EXPECT_NE(out.find("FRESHMAN instead of STUDENT"), std::string::npos);
+  EXPECT_NE(out.find("CHEAP instead of FREE"), std::string::npos);
+}
+
+TEST(ShellTest, NavigationAndOperators) {
+  std::string out = RunShell(
+      std::string("load ") + LSD_SOURCE_DIR + "/data/music.lsd\\n" +
+      "nav JOHN\\n"
+      "try MOZART\\n"
+      "assoc JOHN MOZART\\n"
+      "dist LEOPOLD SERKIN\\n"
+      "call composer-of(PC#9-WAM, ?C)\\n"
+      "stats\\n"
+      "quit\\n");
+  EXPECT_NE(out.find("JOHN **"), std::string::npos);
+  EXPECT_NE(out.find("try(MOZART):"), std::string::npos);
+  EXPECT_NE(out.find("FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY"),
+            std::string::npos);
+  EXPECT_NE(out.find("semantic distance 3"), std::string::npos);
+  EXPECT_NE(out.find("MOZART"), std::string::npos);
+  EXPECT_NE(out.find("asserted facts:"), std::string::npos);
+}
+
+TEST(ShellTest, RulesAndIntegrity) {
+  std::string out = RunShell(
+      std::string("load ") + LSD_SOURCE_DIR + "/data/org.lsd\\n" +
+      "check\\n"
+      "exclude mem-source\\n"
+      "rules\\n"
+      "quit\\n");
+  EXPECT_NE(out.find("contradicts built-in arithmetic"),
+            std::string::npos);
+  EXPECT_NE(out.find("[ ] rule mem-source"), std::string::npos);
+}
+
+TEST(ShellTest, SessionNavigationAndDot) {
+  std::string out = RunShell(
+      std::string("load ") + LSD_SOURCE_DIR + "/data/music.lsd\\n" +
+      "visit JOHN\\n"
+      "visit MOZART\\n"
+      "back\\n"
+      "forward\\n"
+      "dot LEOPOLD\\n"
+      "quit\\n");
+  EXPECT_NE(out.find("[JOHN] > MOZART"), std::string::npos);
+  EXPECT_NE(out.find("JOHN > [MOZART]"), std::string::npos);
+  EXPECT_NE(out.find("digraph lsd {"), std::string::npos);
+  EXPECT_NE(out.find("\"LEOPOLD\" -> \"MOZART\""), std::string::npos);
+}
+
+TEST(ShellTest, UnknownCommandIsReported) {
+  std::string out = RunShell("frobnicate\\nquit\\n");
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+#include "store/entity_table.h"
+
+#include <gtest/gtest.h>
+
+namespace lsd {
+namespace {
+
+TEST(EntityTableTest, BuiltinsOccupyFixedIds) {
+  EntityTable t;
+  EXPECT_EQ(t.size(), static_cast<size_t>(kNumBuiltinEntities));
+  EXPECT_EQ(*t.Lookup("ANY"), kEntTop);
+  EXPECT_EQ(*t.Lookup("NONE"), kEntBottom);
+  EXPECT_EQ(*t.Lookup("ISA"), kEntIsa);
+  EXPECT_EQ(*t.Lookup("IN"), kEntIn);
+  EXPECT_EQ(*t.Lookup("SYN"), kEntSyn);
+  EXPECT_EQ(*t.Lookup("INV"), kEntInv);
+  EXPECT_EQ(*t.Lookup("CONTRA"), kEntContra);
+  EXPECT_EQ(*t.Lookup("<"), kEntLess);
+  EXPECT_EQ(*t.Lookup(">"), kEntGreater);
+  EXPECT_EQ(*t.Lookup("="), kEntEq);
+  EXPECT_EQ(*t.Lookup("/="), kEntNeq);
+  EXPECT_EQ(t.Kind(kEntTop), EntityKind::kBuiltin);
+}
+
+TEST(EntityTableTest, InternIsIdempotent) {
+  EntityTable t;
+  EntityId a = t.Intern("JOHN");
+  EntityId b = t.Intern("JOHN");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.Name(a), "JOHN");
+  EXPECT_EQ(t.Kind(a), EntityKind::kRegular);
+}
+
+TEST(EntityTableTest, NamesAreCaseNormalized) {
+  EntityTable t;
+  EXPECT_EQ(t.Intern("john"), t.Intern("JOHN"));
+  EXPECT_EQ(t.Intern("Works-For"), t.Intern("WORKS-FOR"));
+  EXPECT_EQ(*t.Lookup("  john  "), t.Intern("JOHN"));
+}
+
+TEST(EntityTableTest, UnicodeAliasesResolveToBuiltins) {
+  EntityTable t;
+  EXPECT_EQ(t.Intern("≺"), kEntIsa);
+  EXPECT_EQ(t.Intern("∈"), kEntIn);
+  EXPECT_EQ(t.Intern("≈"), kEntSyn);
+  EXPECT_EQ(t.Intern("↔"), kEntInv);
+  EXPECT_EQ(t.Intern("⊥"), kEntContra);
+  EXPECT_EQ(t.Intern("≠"), kEntNeq);
+  EXPECT_EQ(t.Intern("≤"), kEntLessEq);
+  EXPECT_EQ(t.Intern("≥"), kEntGreaterEq);
+  EXPECT_EQ(t.Intern("Δ"), kEntTop);
+  EXPECT_EQ(t.Intern("∇"), kEntBottom);
+}
+
+TEST(EntityTableTest, NumericEntities) {
+  EntityTable t;
+  EntityId n = t.Intern("25000");
+  EXPECT_TRUE(t.IsNumeric(n));
+  EXPECT_DOUBLE_EQ(*t.NumericValue(n), 25000.0);
+  EntityId dollars = t.Intern("$25000");
+  EXPECT_NE(n, dollars);  // distinct entities...
+  EXPECT_DOUBLE_EQ(*t.NumericValue(dollars), 25000.0);  // ...same value
+  EXPECT_FALSE(t.NumericValue(t.Intern("JOHN")).has_value());
+}
+
+TEST(EntityTableTest, LookupOfUnknownReturnsNullopt) {
+  EntityTable t;
+  EXPECT_FALSE(t.Lookup("NOBODY").has_value());
+  EXPECT_EQ(t.size(), static_cast<size_t>(kNumBuiltinEntities));
+}
+
+TEST(EntityTableTest, ComposedKind) {
+  EntityTable t;
+  EntityId c = t.InternComposed("A.B.C");
+  EXPECT_EQ(t.Kind(c), EntityKind::kComposed);
+  // Re-interning the same name (even plainly) keeps one id.
+  EXPECT_EQ(t.Intern("A.B.C"), c);
+}
+
+TEST(EntityTableTest, IdsAreDense) {
+  EntityTable t;
+  EntityId a = t.Intern("A");
+  EntityId b = t.Intern("B");
+  EXPECT_EQ(b, a + 1);
+  EXPECT_TRUE(t.IsValid(a));
+  EXPECT_TRUE(t.IsValid(b));
+  EXPECT_FALSE(t.IsValid(b + 1));
+}
+
+}  // namespace
+}  // namespace lsd

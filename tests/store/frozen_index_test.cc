@@ -1,0 +1,80 @@
+#include "store/frozen_index.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "store/triple_index.h"
+#include "util/random.h"
+
+namespace lsd {
+namespace {
+
+TEST(FrozenIndexTest, DeduplicatesInput) {
+  FrozenIndex idx({Fact(1, 2, 3), Fact(1, 2, 3), Fact(4, 5, 6)});
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_TRUE(idx.Contains(Fact(1, 2, 3)));
+  EXPECT_TRUE(idx.Contains(Fact(4, 5, 6)));
+  EXPECT_FALSE(idx.Contains(Fact(1, 2, 4)));
+}
+
+TEST(FrozenIndexTest, FromTripleIndex) {
+  TripleIndex dynamic;
+  dynamic.Insert(Fact(1, 2, 3));
+  dynamic.Insert(Fact(7, 8, 9));
+  FrozenIndex frozen = FrozenIndex::FromTripleIndex(dynamic);
+  EXPECT_EQ(frozen.size(), 2u);
+  EXPECT_TRUE(frozen.Contains(Fact(7, 8, 9)));
+}
+
+// The frozen index must answer all 8 patterns identically to the
+// dynamic one.
+class FrozenIndexPatternTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrozenIndexPatternTest, AgreesWithDynamicIndex) {
+  const int mask = GetParam();
+  Rng rng(7);
+  TripleIndex dynamic;
+  for (int i = 0; i < 400; ++i) {
+    dynamic.Insert(Fact(static_cast<EntityId>(rng.Uniform(10)),
+                        static_cast<EntityId>(rng.Uniform(5)),
+                        static_cast<EntityId>(rng.Uniform(10))));
+  }
+  FrozenIndex frozen = FrozenIndex::FromTripleIndex(dynamic);
+  ASSERT_EQ(frozen.size(), dynamic.size());
+
+  auto by_key = [](const Fact& a, const Fact& b) {
+    return std::tuple(a.source, a.relationship, a.target) <
+           std::tuple(b.source, b.relationship, b.target);
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    Pattern p;
+    if (mask & 1) p.source = static_cast<EntityId>(rng.Uniform(10));
+    if (mask & 2) p.relationship = static_cast<EntityId>(rng.Uniform(5));
+    if (mask & 4) p.target = static_cast<EntityId>(rng.Uniform(10));
+    std::vector<Fact> want = dynamic.Match(p);
+    std::vector<Fact> got = frozen.Match(p);
+    std::sort(want.begin(), want.end(), by_key);
+    std::sort(got.begin(), got.end(), by_key);
+    EXPECT_EQ(got, want) << "mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBindingPatterns, FrozenIndexPatternTest,
+                         ::testing::Range(0, 8));
+
+TEST(FrozenIndexTest, EarlyStop) {
+  std::vector<Fact> facts;
+  for (EntityId i = 0; i < 10; ++i) facts.push_back(Fact(1, 2, i));
+  FrozenIndex idx(std::move(facts));
+  int seen = 0;
+  bool completed =
+      idx.ForEach(Pattern(1, kAnyEntity, kAnyEntity), [&](const Fact&) {
+        return ++seen < 4;
+      });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(seen, 4);
+}
+
+}  // namespace
+}  // namespace lsd

@@ -1,0 +1,152 @@
+#include "store/persistence.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "store/text_format.h"
+
+namespace lsd {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lsd_persist_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PersistenceTest, SnapshotRoundTrip) {
+  FactStore store;
+  std::vector<Rule> rules;
+  store.Assert("JOHN", "WORKS-FOR", "SHIPPING");
+  store.Assert("SHIPPING", "IN", "DEPARTMENT");
+  ASSERT_TRUE(ParseText("rule pay: (?X, IN, EMPLOYEE) => (?X, EARNS, "
+                        "SALARY)\n",
+                        &store, &rules)
+                  .ok());
+  rules[0].enabled = false;
+
+  ASSERT_TRUE(SaveSnapshot(Path("db.snap"), store, rules).ok());
+
+  FactStore loaded;
+  std::vector<Rule> loaded_rules;
+  Status s = LoadSnapshot(Path("db.snap"), &loaded, &loaded_rules);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(loaded.size(), store.size());
+  EXPECT_EQ(loaded.entities().size(), store.entities().size());
+  EXPECT_TRUE(loaded.Contains(Fact(*loaded.entities().Lookup("JOHN"),
+                                   *loaded.entities().Lookup("WORKS-FOR"),
+                                   *loaded.entities().Lookup("SHIPPING"))));
+  ASSERT_EQ(loaded_rules.size(), 1u);
+  EXPECT_EQ(loaded_rules[0].name, "pay");
+  EXPECT_FALSE(loaded_rules[0].enabled);
+}
+
+TEST_F(PersistenceTest, SnapshotPreservesEntityIds) {
+  FactStore store;
+  store.Assert("A", "R", "B");
+  EntityId a = *store.entities().Lookup("A");
+
+  ASSERT_TRUE(SaveSnapshot(Path("ids.snap"), store, {}).ok());
+  FactStore loaded;
+  ASSERT_TRUE(LoadSnapshot(Path("ids.snap"), &loaded, nullptr).ok());
+  EXPECT_EQ(*loaded.entities().Lookup("A"), a);
+}
+
+TEST_F(PersistenceTest, LoadSnapshotRequiresFreshStore) {
+  FactStore store;
+  store.Assert("A", "R", "B");
+  ASSERT_TRUE(SaveSnapshot(Path("x.snap"), store, {}).ok());
+  Status s = LoadSnapshot(Path("x.snap"), &store, nullptr);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PersistenceTest, LoadRejectsGarbage) {
+  std::FILE* f = std::fopen(Path("junk.snap").c_str(), "wb");
+  std::fputs("not a snapshot", f);
+  std::fclose(f);
+  FactStore store;
+  Status s = LoadSnapshot(Path("junk.snap"), &store, nullptr);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+}
+
+TEST_F(PersistenceTest, WalReplayAppliesMutations) {
+  {
+    FactStore store;
+    Fact f1 = store.Assert("A", "R", "B");
+    Fact f2 = store.Assert("C", "R", "D");
+    Wal wal;
+    ASSERT_TRUE(wal.Open(Path("db.wal")).ok());
+    ASSERT_TRUE(wal.AppendAssert(store, f1).ok());
+    ASSERT_TRUE(wal.AppendAssert(store, f2).ok());
+    ASSERT_TRUE(wal.AppendRetract(store, f1).ok());
+  }
+  FactStore replayed;
+  std::vector<Rule> rules;
+  Status s = Wal::Replay(Path("db.wal"), &replayed, &rules);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(replayed.size(), 1u);
+  EXPECT_TRUE(replayed.Contains(Fact(*replayed.entities().Lookup("C"),
+                                     *replayed.entities().Lookup("R"),
+                                     *replayed.entities().Lookup("D"))));
+}
+
+TEST_F(PersistenceTest, WalReplayHandlesRulesAndToggles) {
+  FactStore store;
+  std::vector<Rule> rules;
+  ASSERT_TRUE(ParseText("rule pay: (?X, IN, EMPLOYEE) => (?X, EARNS, "
+                        "SALARY)\n",
+                        &store, &rules)
+                  .ok());
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.Open(Path("rules.wal")).ok());
+    ASSERT_TRUE(wal.AppendRule(rules[0], store.entities()).ok());
+    ASSERT_TRUE(wal.AppendSetRuleEnabled("pay", false).ok());
+  }
+  FactStore replayed;
+  std::vector<Rule> replayed_rules;
+  ASSERT_TRUE(
+      Wal::Replay(Path("rules.wal"), &replayed, &replayed_rules).ok());
+  ASSERT_EQ(replayed_rules.size(), 1u);
+  EXPECT_EQ(replayed_rules[0].name, "pay");
+  EXPECT_FALSE(replayed_rules[0].enabled);
+}
+
+TEST_F(PersistenceTest, MissingWalIsEmpty) {
+  FactStore store;
+  EXPECT_TRUE(Wal::Replay(Path("nope.wal"), &store, nullptr).ok());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST_F(PersistenceTest, WalSurvivesReopen) {
+  FactStore store;
+  Fact f1 = store.Assert("A", "R", "B");
+  Fact f2 = store.Assert("C", "R", "D");
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.Open(Path("re.wal")).ok());
+    ASSERT_TRUE(wal.AppendAssert(store, f1).ok());
+  }
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.Open(Path("re.wal")).ok());  // append mode
+    ASSERT_TRUE(wal.AppendAssert(store, f2).ok());
+  }
+  FactStore replayed;
+  ASSERT_TRUE(Wal::Replay(Path("re.wal"), &replayed, nullptr).ok());
+  EXPECT_EQ(replayed.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lsd

@@ -1,0 +1,106 @@
+#include "store/triple_index.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace lsd {
+namespace {
+
+TEST(TripleIndexTest, InsertEraseContains) {
+  TripleIndex idx;
+  Fact f(1, 2, 3);
+  EXPECT_TRUE(idx.Insert(f));
+  EXPECT_FALSE(idx.Insert(f));  // duplicate
+  EXPECT_TRUE(idx.Contains(f));
+  EXPECT_EQ(idx.size(), 1u);
+  EXPECT_TRUE(idx.Erase(f));
+  EXPECT_FALSE(idx.Erase(f));
+  EXPECT_FALSE(idx.Contains(f));
+  EXPECT_TRUE(idx.empty());
+}
+
+TEST(TripleIndexTest, MatchByEachPattern) {
+  TripleIndex idx;
+  idx.Insert(Fact(1, 10, 100));
+  idx.Insert(Fact(1, 10, 101));
+  idx.Insert(Fact(1, 11, 100));
+  idx.Insert(Fact(2, 10, 100));
+
+  EXPECT_EQ(idx.Match(Pattern()).size(), 4u);
+  EXPECT_EQ(idx.Match(Pattern(1, kAnyEntity, kAnyEntity)).size(), 3u);
+  EXPECT_EQ(idx.Match(Pattern(kAnyEntity, 10, kAnyEntity)).size(), 3u);
+  EXPECT_EQ(idx.Match(Pattern(kAnyEntity, kAnyEntity, 100)).size(), 3u);
+  EXPECT_EQ(idx.Match(Pattern(1, 10, kAnyEntity)).size(), 2u);
+  EXPECT_EQ(idx.Match(Pattern(1, kAnyEntity, 100)).size(), 2u);
+  EXPECT_EQ(idx.Match(Pattern(kAnyEntity, 10, 100)).size(), 2u);
+  EXPECT_EQ(idx.Match(Pattern(1, 10, 100)).size(), 1u);
+  EXPECT_EQ(idx.Match(Pattern(9, kAnyEntity, kAnyEntity)).size(), 0u);
+}
+
+TEST(TripleIndexTest, EarlyStop) {
+  TripleIndex idx;
+  for (EntityId i = 0; i < 10; ++i) idx.Insert(Fact(1, 2, i));
+  int seen = 0;
+  bool completed = idx.ForEach(Pattern(1, 2, kAnyEntity), [&](const Fact&) {
+    return ++seen < 3;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(TripleIndexTest, CountMatches) {
+  TripleIndex idx;
+  idx.Insert(Fact(1, 2, 3));
+  idx.Insert(Fact(1, 2, 4));
+  EXPECT_EQ(idx.CountMatches(Pattern()), 2u);
+  EXPECT_EQ(idx.CountMatches(Pattern(1, 2, kAnyEntity)), 2u);
+  EXPECT_EQ(idx.CountMatches(Pattern(1, 2, 3)), 1u);
+  EXPECT_EQ(idx.CountMatches(Pattern(1, 2, 9)), 0u);
+}
+
+// Property sweep: every one of the 8 binding patterns must agree with a
+// brute-force filter over a random fact set.
+class TripleIndexPatternTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TripleIndexPatternTest, AgreesWithBruteForce) {
+  const int mask = GetParam();  // bit 0: source, 1: relationship, 2: target
+  Rng rng(99);
+  TripleIndex idx;
+  std::vector<Fact> all;
+  for (int i = 0; i < 500; ++i) {
+    Fact f(static_cast<EntityId>(rng.Uniform(12)),
+           static_cast<EntityId>(rng.Uniform(6)),
+           static_cast<EntityId>(rng.Uniform(12)));
+    if (idx.Insert(f)) all.push_back(f);
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    Pattern p;
+    if (mask & 1) p.source = static_cast<EntityId>(rng.Uniform(12));
+    if (mask & 2) p.relationship = static_cast<EntityId>(rng.Uniform(6));
+    if (mask & 4) p.target = static_cast<EntityId>(rng.Uniform(12));
+
+    std::vector<Fact> expected;
+    for (const Fact& f : all) {
+      if (p.Matches(f)) expected.push_back(f);
+    }
+    std::vector<Fact> got = idx.Match(p);
+    auto key = [](const Fact& f) {
+      return std::tuple(f.source, f.relationship, f.target);
+    };
+    auto by_key = [&](const Fact& a, const Fact& b) {
+      return key(a) < key(b);
+    };
+    std::sort(expected.begin(), expected.end(), by_key);
+    std::sort(got.begin(), got.end(), by_key);
+    EXPECT_EQ(got, expected) << "mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBindingPatterns, TripleIndexPatternTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace lsd

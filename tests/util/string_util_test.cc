@@ -1,0 +1,59 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace lsd {
+namespace {
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \n "), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(AsciiToUpper("works-for"), "WORKS-FOR");
+  EXPECT_EQ(AsciiToLower("PC#9-WAM"), "pc#9-wam");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("rule pay:", "rule "));
+  EXPECT_FALSE(StartsWith("rul", "rule"));
+  EXPECT_TRUE(EndsWith("db.snap", ".snap"));
+  EXPECT_FALSE(EndsWith("snap", "db.snap"));
+}
+
+TEST(StringUtilTest, ParseNumericEntityAcceptsNumbers) {
+  EXPECT_DOUBLE_EQ(*ParseNumericEntity("25000"), 25000.0);
+  EXPECT_DOUBLE_EQ(*ParseNumericEntity("$25000"), 25000.0);
+  EXPECT_DOUBLE_EQ(*ParseNumericEntity("2.6"), 2.6);
+  EXPECT_DOUBLE_EQ(*ParseNumericEntity("-5"), -5.0);
+}
+
+TEST(StringUtilTest, ParseNumericEntityRejectsNonNumbers) {
+  EXPECT_FALSE(ParseNumericEntity("JOHN").has_value());
+  EXPECT_FALSE(ParseNumericEntity("25000X").has_value());
+  EXPECT_FALSE(ParseNumericEntity("$").has_value());
+  EXPECT_FALSE(ParseNumericEntity("").has_value());
+  EXPECT_FALSE(ParseNumericEntity("inf").has_value());
+  EXPECT_FALSE(ParseNumericEntity("nan").has_value());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"only"}, "."), "only");
+}
+
+}  // namespace
+}  // namespace lsd

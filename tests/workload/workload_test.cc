@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "workload/music_domain.h"
+#include "workload/org_domain.h"
+#include "workload/random_graph.h"
+#include "workload/university_domain.h"
+
+namespace lsd {
+namespace {
+
+TEST(MusicDomainTest, BuildsCleanDatabase) {
+  LooseDb db;
+  workload::BuildMusicDomain(&db);
+  EXPECT_GT(db.store().size(), 20u);
+  EXPECT_TRUE(db.CheckIntegrity().ok());
+}
+
+TEST(CampusDomainTest, PaperProbePreconditions) {
+  LooseDb db;
+  workload::BuildCampusDomain(&db);
+  // The original query must fail...
+  EXPECT_FALSE(
+      db.Query("(STUDENT, LOVE, ?Z) and (?Z, COSTS, FREE)")->Success());
+  // ...while its two paper retractions succeed.
+  EXPECT_TRUE(
+      db.Query("(FRESHMAN, LOVE, ?Z) and (?Z, COSTS, FREE)")->Success());
+  EXPECT_TRUE(
+      db.Query("(STUDENT, LOVE, ?Z) and (?Z, COSTS, CHEAP)")->Success());
+  // ...and the other two fail.
+  EXPECT_FALSE(
+      db.Query("(STUDENT, LIKE, ?Z) and (?Z, COSTS, FREE)")->Success());
+  EXPECT_FALSE(
+      db.Query("(STUDENT, LOVE, ?Z) and (?Z, ANY, FREE)")->Success());
+}
+
+TEST(BooksDomainTest, ExactlyOneSelfCitingAuthor) {
+  LooseDb db;
+  workload::BuildBooksDomain(&db);
+  auto r = db.Query("(?X, CITES, ?X)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
+TEST(OrgDomainTest, ScalesWithOptions) {
+  LooseDb db;
+  workload::OrgOptions options;
+  options.num_employees = 10;
+  options.num_departments = 2;
+  auto domain = workload::BuildOrgDomain(&db, options);
+  EXPECT_EQ(domain.records.size(), 12u);  // 10 + 2 managers
+  EXPECT_EQ(domain.departments.size(), 2u);
+  EXPECT_TRUE(db.CheckIntegrity().ok());
+}
+
+TEST(OrgDomainTest, ViolationIsPlantedWhenRequested) {
+  LooseDb db;
+  workload::OrgOptions options;
+  options.num_employees = 10;
+  options.violate_salaries = true;
+  workload::BuildOrgDomain(&db, options);
+  EXPECT_TRUE(db.CheckIntegrity().IsIntegrityViolation());
+}
+
+TEST(OrgDomainTest, RelationalMirrorsLooseStore) {
+  LooseDb db;
+  workload::OrgOptions options;
+  options.num_employees = 10;
+  auto domain = workload::BuildOrgDomain(&db, options);
+  baseline::Catalog catalog;
+  workload::BuildOrgRelational(domain, options, &db.entities(), &catalog);
+  auto emp = catalog.Get("EMP");
+  ASSERT_TRUE(emp.ok());
+  EXPECT_EQ((*emp)->size(), domain.records.size());
+  // Point query agrees between engines: EMP-0's department.
+  EntityId name = *db.entities().Lookup("EMP-0");
+  auto rows = baseline::Select(**emp, "NAME", name, {"DEPT"});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  std::string dept = db.entities().Name((*rows)[0][0]);
+  auto loose = db.Query("(EMP-0, WORKS-FOR, ?D)");
+  ASSERT_TRUE(loose.ok());
+  bool found = false;
+  for (const auto& row : loose->rows) {
+    if (db.entities().Name(row[0]) == dept) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RandomTaxonomyTest, ShapeMatchesParameters) {
+  LooseDb db;
+  workload::TaxonomyOptions options;
+  options.depth = 3;
+  options.fanout = 2;
+  options.num_roots = 2;
+  auto tax = workload::BuildRandomTaxonomy(&db, options);
+  ASSERT_EQ(tax.levels.size(), 4u);
+  EXPECT_EQ(tax.levels[0].size(), 2u);
+  EXPECT_EQ(tax.levels[3].size(), 16u);
+  EXPECT_EQ(tax.NumNodes(), 2u + 4 + 8 + 16);
+  // Leaf ISA root holds in the closure (transitivity).
+  auto r = db.Query("(" + tax.levels[3][0] + ", ISA, " + tax.Root() + ")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->truth);
+}
+
+TEST(ZipfGraphTest, DeterministicAndSkewed) {
+  FactStore a, b;
+  workload::GraphOptions options;
+  options.num_facts = 2000;
+  options.num_entities = 100;
+  std::string hub_a = workload::BuildZipfGraph(&a, options);
+  std::string hub_b = workload::BuildZipfGraph(&b, options);
+  EXPECT_EQ(hub_a, hub_b);
+  EXPECT_EQ(a.size(), b.size());
+  // The hub has far higher degree than the uniform average (20 facts
+  // per entity as source).
+  EntityId hub = *a.entities().Lookup(hub_a);
+  size_t hub_degree =
+      a.base().CountMatches(Pattern(hub, kAnyEntity, kAnyEntity));
+  EXPECT_GT(hub_degree, 100u);
+}
+
+}  // namespace
+}  // namespace lsd

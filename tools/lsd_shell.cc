@@ -1,0 +1,324 @@
+// lsd_shell: an interactive browser for loosely structured databases —
+// the user-facing surface the paper describes: standard queries,
+// navigation, probing with retraction menus, and the Sec 6.1 operators.
+//
+//   $ ./lsd_shell [path-prefix]       # optional snapshot+WAL to open
+//
+// Commands:
+//   assert (S, R, T)                  add a fact
+//   retract (S, R, T)                 remove a fact
+//   rule NAME: (..) => (..)           define an inference rule
+//   integrity NAME: (..) => (..)      define an integrity rule
+//   query FORMULA                     evaluate; prints a table
+//   probe FORMULA                     evaluate with automatic retraction
+//   nav ENTITY                        neighborhood table
+//   assoc S T                         associations (incl. compositions)
+//   try ENTITY                        all facts mentioning ENTITY
+//   relation CLASS R1 T1 [R2 T2 ...]  structured view
+//   limit N                           composition chain bound
+//   include NAME | exclude NAME       toggle a rule
+//   rules                             list rules
+//   check                             integrity check
+//   load FILE                         load .lsd text file
+//   save PREFIX                       snapshot + attach WAL
+//   stats                             store/closure statistics
+//   help, quit
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "browse/dot_export.h"
+#include "browse/session.h"
+#include "core/loose_db.h"
+#include "query/table_formatter.h"
+#include "store/text_format.h"
+#include "util/string_util.h"
+
+namespace {
+
+using lsd::LooseDb;
+using lsd::Status;
+
+void PrintStatus(const Status& s) {
+  if (!s.ok()) std::printf("! %s\n", s.ToString().c_str());
+}
+
+// Parses "(S, R, T)" into a ground fact, interning entities.
+lsd::StatusOr<lsd::Fact> ParseGroundFact(LooseDb& db,
+                                         std::string_view text) {
+  auto q = lsd::ParseQuery(text, &db.entities());
+  if (!q.ok()) return q.status();
+  if (q->root()->kind != lsd::NodeKind::kAtom ||
+      q->root()->atom.HasVariables()) {
+    return Status::InvalidArgument("expected a ground template (S, R, T)");
+  }
+  return q->root()->atom.Substitute(lsd::Binding(0));
+}
+
+void DoQuery(LooseDb& db, const std::string& text) {
+  auto r = db.Query(text);
+  if (!r.ok()) {
+    PrintStatus(r.status());
+    return;
+  }
+  std::printf("%s", lsd::FormatResult(*r, db.entities()).c_str());
+}
+
+void DoProbe(LooseDb& db, const std::string& text) {
+  auto probe = db.Probe(text);
+  if (!probe.ok()) {
+    PrintStatus(probe.status());
+    return;
+  }
+  if (probe->original_succeeded) {
+    std::printf("%s", lsd::FormatResult(probe->original_result,
+                                        db.entities())
+                          .c_str());
+    return;
+  }
+  std::printf("%s", probe->Menu(db.entities()).c_str());
+  for (size_t i = 0; i < probe->successes.size(); ++i) {
+    std::printf("%zu) %s\n%s", i + 1,
+                probe->successes[i].query.DebugString(db.entities())
+                    .c_str(),
+                lsd::FormatResult(probe->successes[i].result,
+                                  db.entities())
+                    .c_str());
+  }
+}
+
+void DoRelation(LooseDb& db, std::istringstream& args) {
+  std::string klass;
+  args >> klass;
+  std::vector<std::pair<std::string, std::string>> columns;
+  std::string rel, target;
+  while (args >> rel >> target) columns.emplace_back(rel, target);
+  if (klass.empty() || columns.empty()) {
+    std::printf("usage: relation CLASS R1 T1 [R2 T2 ...]\n");
+    return;
+  }
+  auto table = db.Relation(klass, columns);
+  if (!table.ok()) {
+    PrintStatus(table.status());
+    return;
+  }
+  std::printf("%s", table->Render(db.entities()).c_str());
+}
+
+void DoStats(LooseDb& db) {
+  std::printf("entities:       %zu\n", db.entities().size());
+  std::printf("asserted facts: %zu\n", db.store().size());
+  auto view = db.View();
+  if (view.ok() && db.closure_stats() != nullptr) {
+    std::printf("derived facts:  %zu (in %zu rounds)\n",
+                db.closure_stats()->derived_facts,
+                db.closure_stats()->rounds);
+  }
+  std::printf("rules:          %zu\n", db.rules().size());
+  std::printf("limit(n):       %d\n", db.composition_limit());
+}
+
+void Help() {
+  std::printf(
+      "commands: assert|retract (S,R,T) · rule/integrity NAME: b => h\n"
+      "          define NAME(?P..) := F · call NAME(args..)\n"
+      "          query F · probe F · nav E · visit E · back · forward\n"
+      "          assoc S T · try E · near E [r] · dist A B · dot [E]\n"
+      "          relation CLASS R T [R T..] · limit N · include/exclude"
+      " NAME\n"
+      "          rules · check · load FILE · save PREFIX · stats · quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LooseDb db;
+  if (argc > 1) {
+    Status s = db.Open(argv[1]);
+    if (!s.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", argv[1],
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("opened %s (%zu facts)\n", argv[1], db.store().size());
+  }
+  std::printf("lsd shell — type 'help' for commands\n");
+  lsd::BrowseSession session(&db);
+
+  std::string line;
+  while (std::printf("lsd> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::string_view stripped = lsd::StripWhitespace(line);
+    if (stripped.empty()) continue;
+    std::istringstream in{std::string(stripped)};
+    std::string cmd;
+    in >> cmd;
+    cmd = lsd::AsciiToLower(cmd);
+    std::string rest;
+    std::getline(in, rest);
+    rest = std::string(lsd::StripWhitespace(rest));
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      Help();
+    } else if (cmd == "assert") {
+      auto f = ParseGroundFact(db, rest);
+      if (!f.ok()) {
+        PrintStatus(f.status());
+      } else {
+        std::printf(db.Assert(*f) ? "added\n" : "already present\n");
+      }
+    } else if (cmd == "retract") {
+      auto f = ParseGroundFact(db, rest);
+      if (!f.ok()) {
+        PrintStatus(f.status());
+      } else {
+        std::printf(db.Retract(*f) ? "removed\n" : "not asserted\n");
+      }
+    } else if (cmd == "rule" || cmd == "integrity") {
+      PrintStatus(db.DefineRule(rest, cmd == "rule"
+                                          ? lsd::RuleKind::kInference
+                                          : lsd::RuleKind::kIntegrity));
+    } else if (cmd == "query") {
+      DoQuery(db, rest);
+    } else if (cmd == "define") {
+      PrintStatus(db.DefineOperator(rest));
+    } else if (cmd == "call") {
+      auto r = db.Call(rest);
+      if (!r.ok()) {
+        PrintStatus(r.status());
+      } else {
+        std::printf("%s", lsd::FormatResult(*r, db.entities()).c_str());
+      }
+    } else if (cmd == "probe") {
+      DoProbe(db, rest);
+    } else if (cmd == "nav" || cmd == "visit") {
+      // visit/back/forward keep a browsing trail (Sec 4.1's iterative
+      // process); nav is the stateless variant.
+      auto hood = cmd == "nav" ? db.Navigate(rest) : session.Visit(rest);
+      if (!hood.ok()) {
+        PrintStatus(hood.status());
+      } else {
+        if (cmd == "visit") {
+          std::printf("%s\n", session.Breadcrumbs().c_str());
+        }
+        std::printf("%s", hood->Render(db.entities()).c_str());
+      }
+    } else if (cmd == "back" || cmd == "forward") {
+      auto hood = cmd == "back" ? session.Back() : session.Forward();
+      if (!hood.ok()) {
+        PrintStatus(hood.status());
+      } else {
+        std::printf("%s\n%s", session.Breadcrumbs().c_str(),
+                    hood->Render(db.entities()).c_str());
+      }
+    } else if (cmd == "dot") {
+      auto view = db.View();
+      if (!view.ok()) {
+        PrintStatus(view.status());
+      } else if (rest.empty()) {
+        auto dot = lsd::ExportDot(**view);
+        if (!dot.ok()) {
+          PrintStatus(dot.status());
+        } else {
+          std::printf("%s", dot->c_str());
+        }
+      } else {
+        auto id = db.entities().Lookup(rest);
+        if (!id.has_value()) {
+          std::printf("! unknown entity: %s\n", rest.c_str());
+        } else {
+          auto dot = lsd::ExportNeighborhoodDot(**view, *id, 2);
+          if (!dot.ok()) {
+            PrintStatus(dot.status());
+          } else {
+            std::printf("%s", dot->c_str());
+          }
+        }
+      }
+    } else if (cmd == "assoc") {
+      std::istringstream args(rest);
+      std::string s, t;
+      args >> s >> t;
+      auto table = db.RenderAssociations(s, t);
+      if (!table.ok()) {
+        PrintStatus(table.status());
+      } else {
+        std::printf("%s", table->c_str());
+      }
+    } else if (cmd == "near") {
+      std::istringstream args(rest);
+      std::string entity;
+      int radius = 2;
+      args >> entity >> radius;
+      auto nearby = db.Nearby(entity, radius);
+      if (!nearby.ok()) {
+        PrintStatus(nearby.status());
+      } else {
+        for (const lsd::NearbyEntity& n : *nearby) {
+          std::printf("  %d  %s\n", n.distance,
+                      db.entities().Name(n.entity).c_str());
+        }
+      }
+    } else if (cmd == "dist") {
+      std::istringstream args(rest);
+      std::string a, b;
+      args >> a >> b;
+      auto d = db.SemanticDistance(a, b);
+      if (!d.ok()) {
+        PrintStatus(d.status());
+      } else if (d->has_value()) {
+        std::printf("semantic distance %d\n", **d);
+      } else {
+        std::printf("not connected within the search radius\n");
+      }
+    } else if (cmd == "try") {
+      auto out = db.Try(rest);
+      if (!out.ok()) {
+        PrintStatus(out.status());
+      } else {
+        std::printf("%s", out->c_str());
+      }
+    } else if (cmd == "relation") {
+      std::istringstream args(rest);
+      DoRelation(db, args);
+    } else if (cmd == "limit") {
+      int n = 0;
+      if (std::istringstream(rest) >> n) {
+        db.SetCompositionLimit(n);
+        std::printf("limit(%d)\n", n);
+      } else {
+        std::printf("usage: limit N\n");
+      }
+    } else if (cmd == "include" || cmd == "exclude") {
+      PrintStatus(
+          db.SetRuleEnabled(lsd::AsciiToLower(rest), cmd == "include"));
+    } else if (cmd == "rules") {
+      for (const lsd::Rule& r : db.rules()) {
+        std::printf("  [%c] %s\n", r.enabled ? 'x' : ' ',
+                    lsd::SerializeRule(r, db.entities()).c_str());
+      }
+    } else if (cmd == "check") {
+      auto violations = db.FindIntegrityViolations();
+      if (!violations.ok()) {
+        PrintStatus(violations.status());
+      } else if (violations->empty()) {
+        std::printf("closure is contradiction-free\n");
+      } else {
+        for (const auto& v : *violations) {
+          std::printf("  %s\n", v.description.c_str());
+        }
+      }
+    } else if (cmd == "load") {
+      PrintStatus(db.LoadTextFile(rest));
+    } else if (cmd == "save") {
+      PrintStatus(db.Save(rest));
+    } else if (cmd == "stats") {
+      DoStats(db);
+    } else {
+      std::printf("unknown command '%s'; try 'help'\n", cmd.c_str());
+    }
+  }
+  return 0;
+}
