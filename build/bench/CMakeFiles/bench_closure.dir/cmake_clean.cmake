@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_closure.dir/bench_closure.cc.o"
+  "CMakeFiles/bench_closure.dir/bench_closure.cc.o.d"
+  "bench_closure"
+  "bench_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

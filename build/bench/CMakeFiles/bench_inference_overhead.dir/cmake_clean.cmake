@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inference_overhead.dir/bench_inference_overhead.cc.o"
+  "CMakeFiles/bench_inference_overhead.dir/bench_inference_overhead.cc.o.d"
+  "bench_inference_overhead"
+  "bench_inference_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inference_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

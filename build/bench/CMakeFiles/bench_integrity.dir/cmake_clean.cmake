@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_integrity.dir/bench_integrity.cc.o"
+  "CMakeFiles/bench_integrity.dir/bench_integrity.cc.o.d"
+  "bench_integrity"
+  "bench_integrity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_navigation.dir/bench_navigation.cc.o"
+  "CMakeFiles/bench_navigation.dir/bench_navigation.cc.o.d"
+  "bench_navigation"
+  "bench_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_probing.dir/bench_probing.cc.o"
+  "CMakeFiles/bench_probing.dir/bench_probing.cc.o.d"
+  "bench_probing"
+  "bench_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

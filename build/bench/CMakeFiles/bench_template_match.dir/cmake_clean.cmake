@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_template_match.dir/bench_template_match.cc.o"
+  "CMakeFiles/bench_template_match.dir/bench_template_match.cc.o.d"
+  "bench_template_match"
+  "bench_template_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_template_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

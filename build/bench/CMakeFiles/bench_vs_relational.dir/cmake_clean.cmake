@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_relational.dir/bench_vs_relational.cc.o"
+  "CMakeFiles/bench_vs_relational.dir/bench_vs_relational.cc.o.d"
+  "bench_vs_relational"
+  "bench_vs_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

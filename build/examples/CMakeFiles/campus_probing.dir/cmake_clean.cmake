@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_probing.dir/campus_probing.cpp.o"
+  "CMakeFiles/campus_probing.dir/campus_probing.cpp.o.d"
+  "campus_probing"
+  "campus_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_source.dir/multi_source.cpp.o"
+  "CMakeFiles/multi_source.dir/multi_source.cpp.o.d"
+  "multi_source"
+  "multi_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/music_browser.dir/music_browser.cpp.o"
+  "CMakeFiles/music_browser.dir/music_browser.cpp.o.d"
+  "music_browser"
+  "music_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/music_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

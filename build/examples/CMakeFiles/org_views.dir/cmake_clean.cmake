@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/org_views.dir/org_views.cpp.o"
+  "CMakeFiles/org_views.dir/org_views.cpp.o.d"
+  "org_views"
+  "org_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/org_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

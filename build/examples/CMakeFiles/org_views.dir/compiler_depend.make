@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for org_views.
+# This may be replaced when dependencies are built.

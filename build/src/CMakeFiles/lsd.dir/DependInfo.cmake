@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/import.cc" "src/CMakeFiles/lsd.dir/baseline/import.cc.o" "gcc" "src/CMakeFiles/lsd.dir/baseline/import.cc.o.d"
+  "/root/repo/src/baseline/relational.cc" "src/CMakeFiles/lsd.dir/baseline/relational.cc.o" "gcc" "src/CMakeFiles/lsd.dir/baseline/relational.cc.o.d"
+  "/root/repo/src/browse/dot_export.cc" "src/CMakeFiles/lsd.dir/browse/dot_export.cc.o" "gcc" "src/CMakeFiles/lsd.dir/browse/dot_export.cc.o.d"
+  "/root/repo/src/browse/navigation.cc" "src/CMakeFiles/lsd.dir/browse/navigation.cc.o" "gcc" "src/CMakeFiles/lsd.dir/browse/navigation.cc.o.d"
+  "/root/repo/src/browse/operators.cc" "src/CMakeFiles/lsd.dir/browse/operators.cc.o" "gcc" "src/CMakeFiles/lsd.dir/browse/operators.cc.o.d"
+  "/root/repo/src/browse/probing.cc" "src/CMakeFiles/lsd.dir/browse/probing.cc.o" "gcc" "src/CMakeFiles/lsd.dir/browse/probing.cc.o.d"
+  "/root/repo/src/browse/proximity.cc" "src/CMakeFiles/lsd.dir/browse/proximity.cc.o" "gcc" "src/CMakeFiles/lsd.dir/browse/proximity.cc.o.d"
+  "/root/repo/src/browse/session.cc" "src/CMakeFiles/lsd.dir/browse/session.cc.o" "gcc" "src/CMakeFiles/lsd.dir/browse/session.cc.o.d"
+  "/root/repo/src/core/loose_db.cc" "src/CMakeFiles/lsd.dir/core/loose_db.cc.o" "gcc" "src/CMakeFiles/lsd.dir/core/loose_db.cc.o.d"
+  "/root/repo/src/query/ast.cc" "src/CMakeFiles/lsd.dir/query/ast.cc.o" "gcc" "src/CMakeFiles/lsd.dir/query/ast.cc.o.d"
+  "/root/repo/src/query/definitions.cc" "src/CMakeFiles/lsd.dir/query/definitions.cc.o" "gcc" "src/CMakeFiles/lsd.dir/query/definitions.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "src/CMakeFiles/lsd.dir/query/evaluator.cc.o" "gcc" "src/CMakeFiles/lsd.dir/query/evaluator.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/lsd.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/lsd.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/lsd.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/lsd.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/table_formatter.cc" "src/CMakeFiles/lsd.dir/query/table_formatter.cc.o" "gcc" "src/CMakeFiles/lsd.dir/query/table_formatter.cc.o.d"
+  "/root/repo/src/rules/builtin_rules.cc" "src/CMakeFiles/lsd.dir/rules/builtin_rules.cc.o" "gcc" "src/CMakeFiles/lsd.dir/rules/builtin_rules.cc.o.d"
+  "/root/repo/src/rules/closure_view.cc" "src/CMakeFiles/lsd.dir/rules/closure_view.cc.o" "gcc" "src/CMakeFiles/lsd.dir/rules/closure_view.cc.o.d"
+  "/root/repo/src/rules/composition.cc" "src/CMakeFiles/lsd.dir/rules/composition.cc.o" "gcc" "src/CMakeFiles/lsd.dir/rules/composition.cc.o.d"
+  "/root/repo/src/rules/contradiction.cc" "src/CMakeFiles/lsd.dir/rules/contradiction.cc.o" "gcc" "src/CMakeFiles/lsd.dir/rules/contradiction.cc.o.d"
+  "/root/repo/src/rules/incremental.cc" "src/CMakeFiles/lsd.dir/rules/incremental.cc.o" "gcc" "src/CMakeFiles/lsd.dir/rules/incremental.cc.o.d"
+  "/root/repo/src/rules/matcher.cc" "src/CMakeFiles/lsd.dir/rules/matcher.cc.o" "gcc" "src/CMakeFiles/lsd.dir/rules/matcher.cc.o.d"
+  "/root/repo/src/rules/math_provider.cc" "src/CMakeFiles/lsd.dir/rules/math_provider.cc.o" "gcc" "src/CMakeFiles/lsd.dir/rules/math_provider.cc.o.d"
+  "/root/repo/src/rules/rule.cc" "src/CMakeFiles/lsd.dir/rules/rule.cc.o" "gcc" "src/CMakeFiles/lsd.dir/rules/rule.cc.o.d"
+  "/root/repo/src/rules/rule_engine.cc" "src/CMakeFiles/lsd.dir/rules/rule_engine.cc.o" "gcc" "src/CMakeFiles/lsd.dir/rules/rule_engine.cc.o.d"
+  "/root/repo/src/rules/template.cc" "src/CMakeFiles/lsd.dir/rules/template.cc.o" "gcc" "src/CMakeFiles/lsd.dir/rules/template.cc.o.d"
+  "/root/repo/src/store/entity_table.cc" "src/CMakeFiles/lsd.dir/store/entity_table.cc.o" "gcc" "src/CMakeFiles/lsd.dir/store/entity_table.cc.o.d"
+  "/root/repo/src/store/fact.cc" "src/CMakeFiles/lsd.dir/store/fact.cc.o" "gcc" "src/CMakeFiles/lsd.dir/store/fact.cc.o.d"
+  "/root/repo/src/store/fact_store.cc" "src/CMakeFiles/lsd.dir/store/fact_store.cc.o" "gcc" "src/CMakeFiles/lsd.dir/store/fact_store.cc.o.d"
+  "/root/repo/src/store/frozen_index.cc" "src/CMakeFiles/lsd.dir/store/frozen_index.cc.o" "gcc" "src/CMakeFiles/lsd.dir/store/frozen_index.cc.o.d"
+  "/root/repo/src/store/persistence.cc" "src/CMakeFiles/lsd.dir/store/persistence.cc.o" "gcc" "src/CMakeFiles/lsd.dir/store/persistence.cc.o.d"
+  "/root/repo/src/store/text_format.cc" "src/CMakeFiles/lsd.dir/store/text_format.cc.o" "gcc" "src/CMakeFiles/lsd.dir/store/text_format.cc.o.d"
+  "/root/repo/src/store/triple_index.cc" "src/CMakeFiles/lsd.dir/store/triple_index.cc.o" "gcc" "src/CMakeFiles/lsd.dir/store/triple_index.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/lsd.dir/util/random.cc.o" "gcc" "src/CMakeFiles/lsd.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/lsd.dir/util/status.cc.o" "gcc" "src/CMakeFiles/lsd.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/lsd.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/lsd.dir/util/string_util.cc.o.d"
+  "/root/repo/src/workload/music_domain.cc" "src/CMakeFiles/lsd.dir/workload/music_domain.cc.o" "gcc" "src/CMakeFiles/lsd.dir/workload/music_domain.cc.o.d"
+  "/root/repo/src/workload/org_domain.cc" "src/CMakeFiles/lsd.dir/workload/org_domain.cc.o" "gcc" "src/CMakeFiles/lsd.dir/workload/org_domain.cc.o.d"
+  "/root/repo/src/workload/random_graph.cc" "src/CMakeFiles/lsd.dir/workload/random_graph.cc.o" "gcc" "src/CMakeFiles/lsd.dir/workload/random_graph.cc.o.d"
+  "/root/repo/src/workload/university_domain.cc" "src/CMakeFiles/lsd.dir/workload/university_domain.cc.o" "gcc" "src/CMakeFiles/lsd.dir/workload/university_domain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

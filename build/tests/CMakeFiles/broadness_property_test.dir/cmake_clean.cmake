@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadness_property_test.dir/browse/broadness_property_test.cc.o"
+  "CMakeFiles/broadness_property_test.dir/browse/broadness_property_test.cc.o.d"
+  "broadness_property_test"
+  "broadness_property_test.pdb"
+  "broadness_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadness_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

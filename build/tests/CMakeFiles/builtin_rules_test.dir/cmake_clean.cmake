@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builtin_rules_test.dir/rules/builtin_rules_test.cc.o"
+  "CMakeFiles/builtin_rules_test.dir/rules/builtin_rules_test.cc.o.d"
+  "builtin_rules_test"
+  "builtin_rules_test.pdb"
+  "builtin_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builtin_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closure_view_test.dir/rules/closure_view_test.cc.o"
+  "CMakeFiles/closure_view_test.dir/rules/closure_view_test.cc.o.d"
+  "closure_view_test"
+  "closure_view_test.pdb"
+  "closure_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closure_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

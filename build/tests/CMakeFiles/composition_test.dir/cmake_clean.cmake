@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composition_test.dir/rules/composition_test.cc.o"
+  "CMakeFiles/composition_test.dir/rules/composition_test.cc.o.d"
+  "composition_test"
+  "composition_test.pdb"
+  "composition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contradiction_test.dir/rules/contradiction_test.cc.o"
+  "CMakeFiles/contradiction_test.dir/rules/contradiction_test.cc.o.d"
+  "contradiction_test"
+  "contradiction_test.pdb"
+  "contradiction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contradiction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_files_test.dir/data_files_test.cc.o"
+  "CMakeFiles/data_files_test.dir/data_files_test.cc.o.d"
+  "data_files_test"
+  "data_files_test.pdb"
+  "data_files_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

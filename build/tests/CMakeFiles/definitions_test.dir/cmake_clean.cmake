@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/definitions_test.dir/query/definitions_test.cc.o"
+  "CMakeFiles/definitions_test.dir/query/definitions_test.cc.o.d"
+  "definitions_test"
+  "definitions_test.pdb"
+  "definitions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/definitions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_export_test.dir/browse/dot_export_test.cc.o"
+  "CMakeFiles/dot_export_test.dir/browse/dot_export_test.cc.o.d"
+  "dot_export_test"
+  "dot_export_test.pdb"
+  "dot_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

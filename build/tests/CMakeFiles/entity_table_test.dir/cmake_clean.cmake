@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entity_table_test.dir/store/entity_table_test.cc.o"
+  "CMakeFiles/entity_table_test.dir/store/entity_table_test.cc.o.d"
+  "entity_table_test"
+  "entity_table_test.pdb"
+  "entity_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entity_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

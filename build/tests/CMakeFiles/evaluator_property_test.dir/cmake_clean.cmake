@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluator_property_test.dir/query/evaluator_property_test.cc.o"
+  "CMakeFiles/evaluator_property_test.dir/query/evaluator_property_test.cc.o.d"
+  "evaluator_property_test"
+  "evaluator_property_test.pdb"
+  "evaluator_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluator_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

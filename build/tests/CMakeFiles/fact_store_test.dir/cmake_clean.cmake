@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_store_test.dir/store/fact_store_test.cc.o"
+  "CMakeFiles/fact_store_test.dir/store/fact_store_test.cc.o.d"
+  "fact_store_test"
+  "fact_store_test.pdb"
+  "fact_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

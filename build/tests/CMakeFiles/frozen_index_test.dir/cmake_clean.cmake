@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frozen_index_test.dir/store/frozen_index_test.cc.o"
+  "CMakeFiles/frozen_index_test.dir/store/frozen_index_test.cc.o.d"
+  "frozen_index_test"
+  "frozen_index_test.pdb"
+  "frozen_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frozen_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/import_test.dir/baseline/import_test.cc.o"
+  "CMakeFiles/import_test.dir/baseline/import_test.cc.o.d"
+  "import_test"
+  "import_test.pdb"
+  "import_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/import_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

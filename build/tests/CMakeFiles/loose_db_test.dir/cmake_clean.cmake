@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loose_db_test.dir/core/loose_db_test.cc.o"
+  "CMakeFiles/loose_db_test.dir/core/loose_db_test.cc.o.d"
+  "loose_db_test"
+  "loose_db_test.pdb"
+  "loose_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loose_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

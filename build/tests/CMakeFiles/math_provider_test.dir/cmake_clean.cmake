@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_provider_test.dir/rules/math_provider_test.cc.o"
+  "CMakeFiles/math_provider_test.dir/rules/math_provider_test.cc.o.d"
+  "math_provider_test"
+  "math_provider_test.pdb"
+  "math_provider_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_provider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

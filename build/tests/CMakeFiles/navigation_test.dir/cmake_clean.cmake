@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navigation_test.dir/browse/navigation_test.cc.o"
+  "CMakeFiles/navigation_test.dir/browse/navigation_test.cc.o.d"
+  "navigation_test"
+  "navigation_test.pdb"
+  "navigation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navigation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

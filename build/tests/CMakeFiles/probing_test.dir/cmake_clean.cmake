@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probing_test.dir/browse/probing_test.cc.o"
+  "CMakeFiles/probing_test.dir/browse/probing_test.cc.o.d"
+  "probing_test"
+  "probing_test.pdb"
+  "probing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_test.dir/browse/proximity_test.cc.o"
+  "CMakeFiles/proximity_test.dir/browse/proximity_test.cc.o.d"
+  "proximity_test"
+  "proximity_test.pdb"
+  "proximity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_engine_test.dir/rules/rule_engine_test.cc.o"
+  "CMakeFiles/rule_engine_test.dir/rules/rule_engine_test.cc.o.d"
+  "rule_engine_test"
+  "rule_engine_test.pdb"
+  "rule_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

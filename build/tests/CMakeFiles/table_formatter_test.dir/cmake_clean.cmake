@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_formatter_test.dir/query/table_formatter_test.cc.o"
+  "CMakeFiles/table_formatter_test.dir/query/table_formatter_test.cc.o.d"
+  "table_formatter_test"
+  "table_formatter_test.pdb"
+  "table_formatter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_formatter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_test.dir/rules/template_test.cc.o"
+  "CMakeFiles/template_test.dir/rules/template_test.cc.o.d"
+  "template_test"
+  "template_test.pdb"
+  "template_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

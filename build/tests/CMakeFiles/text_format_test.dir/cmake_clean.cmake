@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_format_test.dir/store/text_format_test.cc.o"
+  "CMakeFiles/text_format_test.dir/store/text_format_test.cc.o.d"
+  "text_format_test"
+  "text_format_test.pdb"
+  "text_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

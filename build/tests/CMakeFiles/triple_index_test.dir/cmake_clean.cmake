@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triple_index_test.dir/store/triple_index_test.cc.o"
+  "CMakeFiles/triple_index_test.dir/store/triple_index_test.cc.o.d"
+  "triple_index_test"
+  "triple_index_test.pdb"
+  "triple_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triple_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

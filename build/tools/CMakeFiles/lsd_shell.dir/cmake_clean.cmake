@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsd_shell.dir/lsd_shell.cc.o"
+  "CMakeFiles/lsd_shell.dir/lsd_shell.cc.o.d"
+  "lsd_shell"
+  "lsd_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsd_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
