@@ -17,7 +17,8 @@ using lsd::LooseDb;
 using lsd::MathProvider;
 using lsd::RuleEngine;
 
-void RunClosure(benchmark::State& state, ClosureOptions::Strategy strategy) {
+void RunClosure(benchmark::State& state, ClosureOptions::Strategy strategy,
+                unsigned num_threads = 1) {
   const int depth = static_cast<int>(state.range(0));
   const int fanout = static_cast<int>(state.range(1));
 
@@ -37,6 +38,7 @@ void RunClosure(benchmark::State& state, ClosureOptions::Strategy strategy) {
   RuleEngine engine(&db.store(), &math);
   ClosureOptions options;
   options.strategy = strategy;
+  options.num_threads = num_threads;
 
   size_t derived = 0, candidates = 0, rounds = 0;
   for (auto _ : state) {
@@ -56,8 +58,15 @@ void RunClosure(benchmark::State& state, ClosureOptions::Strategy strategy) {
   state.counters["rounds"] = static_cast<double>(rounds);
 }
 
+// Pinned to one thread so the numbers stay comparable across machines
+// (and with historic BENCH_closure.json entries).
 void BM_ClosureSemiNaive(benchmark::State& state) {
-  RunClosure(state, ClosureOptions::Strategy::kSemiNaive);
+  RunClosure(state, ClosureOptions::Strategy::kSemiNaive, 1);
+}
+
+// num_threads = 0 resolves to hardware_concurrency.
+void BM_ClosureSemiNaiveParallel(benchmark::State& state) {
+  RunClosure(state, ClosureOptions::Strategy::kSemiNaive, 0);
 }
 
 void BM_ClosureNaive(benchmark::State& state) {
@@ -75,6 +84,12 @@ BENCHMARK(BM_ClosureSemiNaive)
     ->Args({5, 3})
     ->Args({3, 6})
     ->Args({32, 1})
+    ->Args({64, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ClosureSemiNaiveParallel)
+    ->Args({4, 3})
+    ->Args({5, 3})
+    ->Args({3, 6})
     ->Args({64, 1})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ClosureNaive)

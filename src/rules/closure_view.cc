@@ -4,7 +4,7 @@
 
 namespace lsd {
 
-ClosureView::ClosureView(const FactStore* store, const TripleIndex* derived,
+ClosureView::ClosureView(const FactStore* store, const FactSource* derived,
                          const MathProvider* math)
     : store_(store), derived_(derived), math_(math) {}
 
@@ -166,7 +166,7 @@ bool ClosureView::Enumerable(const Pattern& p) const {
 
 size_t ClosureView::EstimateMatches(const Pattern& p) const {
   size_t n = store_->base().CountMatches(p);
-  if (derived_ != nullptr) n += derived_->CountMatches(p);
+  if (derived_ != nullptr) n += derived_->EstimateMatches(p);
   if (p.RelationshipBound() && MathProvider::IsComparator(p.relationship)) {
     n += math_->EstimateMatches(p);
   } else if (p.RelationshipBound() && p.relationship == kEntIsa) {

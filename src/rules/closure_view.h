@@ -28,9 +28,11 @@ namespace lsd {
 
 class ClosureView final : public FactSource {
  public:
-  // All pointers are borrowed and must outlive the view. `derived` may be
-  // null (no rules applied).
-  ClosureView(const FactStore* store, const TripleIndex* derived,
+  // All pointers are borrowed and must outlive the view. `derived` is any
+  // FactSource holding the rule engine's output (the two-tier DeltaIndex
+  // for batch closures, an IndexSource for the incremental engine); it
+  // may be null (no rules applied).
+  ClosureView(const FactStore* store, const FactSource* derived,
               const MathProvider* math);
 
   bool Contains(const Fact& f) const override;
@@ -53,7 +55,7 @@ class ClosureView final : public FactSource {
   bool AnyRewriteForEach(const Pattern& p, const FactVisitor& visit) const;
 
   const FactStore* store_;
-  const TripleIndex* derived_;
+  const FactSource* derived_;
   const MathProvider* math_;
 };
 

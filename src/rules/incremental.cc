@@ -17,7 +17,7 @@ IncrementalClosure::IncrementalClosure(const FactStore* store,
                                        const MathProvider* math,
                                        std::vector<Rule> rules)
     : store_(store), math_(math), rules_(std::move(rules)) {
-  view_ = std::make_unique<ClosureView>(store_, &derived_, math_);
+  view_ = std::make_unique<ClosureView>(store_, &derived_source_, math_);
 }
 
 Status IncrementalClosure::Initialize() {

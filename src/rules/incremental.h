@@ -72,6 +72,7 @@ class IncrementalClosure {
   const MathProvider* math_;
   std::vector<Rule> rules_;
   TripleIndex derived_;
+  IndexSource derived_source_{&derived_};
   std::unique_ptr<ClosureView> view_;
   IncrementalStats stats_;
 };

@@ -56,21 +56,26 @@ Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
   done[best] = true;
 
   // Variables this atom can newly bind; used both for the filter hook and
-  // for rollback.
-  std::vector<VarId> atom_vars;
-  atom.tmpl.CollectVars(&atom_vars);
+  // for rollback. A template mentions at most 3 variables, so fixed
+  // arrays keep this recursion allocation-free.
+  VarId atom_vars[3];
+  const size_t num_atom_vars = atom.tmpl.CollectVars(atom_vars);
 
   Status status = Status::OK();
   atom.source->ForEach(atom.tmpl.Bind(binding), [&](const Fact& f) {
     // Remember which vars were unbound before unification.
-    std::vector<VarId> newly_bound;
-    for (VarId v : atom_vars) {
-      if (!binding.IsBound(v)) newly_bound.push_back(v);
+    VarId newly_bound[3];
+    size_t num_newly_bound = 0;
+    for (size_t i = 0; i < num_atom_vars; ++i) {
+      if (!binding.IsBound(atom_vars[i])) {
+        newly_bound[num_newly_bound++] = atom_vars[i];
+      }
     }
     if (!atom.tmpl.Unify(f, binding)) return true;  // shared-var clash
     bool admissible = true;
     if (var_filter) {
-      for (VarId v : newly_bound) {
+      for (size_t i = 0; i < num_newly_bound; ++i) {
+        const VarId v = newly_bound[i];
         if (binding.IsBound(v) && !var_filter(v, binding.Get(v))) {
           admissible = false;
           break;
@@ -81,7 +86,9 @@ Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
       status = MatchRec(atoms, done, remaining - 1, binding, var_filter,
                         visit, order, stopped);
     }
-    for (VarId v : newly_bound) binding.Unset(v);
+    for (size_t i = 0; i < num_newly_bound; ++i) {
+      binding.Unset(newly_bound[i]);
+    }
     return status.ok() && !stopped;
   });
 
@@ -91,7 +98,7 @@ Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
 
 }  // namespace
 
-Status MatchConjunction(std::vector<AtomSpec> atoms, Binding& binding,
+Status MatchConjunction(const std::vector<AtomSpec>& atoms, Binding& binding,
                         const VarFilter& var_filter,
                         const BindingVisitor& visit, JoinOrder order) {
   for (const AtomSpec& a : atoms) {

@@ -8,6 +8,14 @@
 // under the current binding (e.g. (?X, <, ?Y) with both operands unbound)
 // are deferred; if only such atoms remain, matching fails with an
 // "unsafe" error rather than attempting an infinite enumeration.
+//
+// Thread safety: MatchConjunction keeps all search state (the done set,
+// the binding, the stopped flag) on the caller's stack, so concurrent
+// calls with distinct Binding instances are safe as long as every
+// FactSource involved is only read during the match. The parallel rule
+// engine relies on this: all stored indexes are immutable for the
+// duration of a round, and MathProvider is stateless over a const
+// EntityTable.
 #ifndef LSD_RULES_MATCHER_H_
 #define LSD_RULES_MATCHER_H_
 
@@ -52,8 +60,9 @@ enum class JoinOrder : uint8_t {
 // Enumerates bindings extending `binding` (modified during the search,
 // restored on return) that satisfy all atoms. Visits each satisfying
 // binding exactly once per derivation path (callers needing set semantics
-// deduplicate on projected variables).
-Status MatchConjunction(std::vector<AtomSpec> atoms, Binding& binding,
+// deduplicate on projected variables). `atoms` is borrowed for the call
+// only, so hot loops can prebuild the spec list and reuse it.
+Status MatchConjunction(const std::vector<AtomSpec>& atoms, Binding& binding,
                         const VarFilter& var_filter,
                         const BindingVisitor& visit,
                         JoinOrder order = JoinOrder::kBoundCount);

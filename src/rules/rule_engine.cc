@@ -1,6 +1,12 @@
 #include "rules/rule_engine.h"
 
+#include <algorithm>
+#include <thread>
+#include <utility>
+#include <vector>
+
 #include "rules/matcher.h"
+#include "store/frozen_index.h"
 
 namespace lsd {
 
@@ -14,6 +20,230 @@ bool IsVirtualAtom(const Template& t) {
          MathProvider::IsComparator(t.relationship.entity());
 }
 
+// Below this many delta facts per worker a round stays on the calling
+// thread: spawning would cost more than the match work it distributes.
+constexpr size_t kMinFactsPerWorker = 64;
+
+// One rule prepared for seed-first matching: for every non-virtual
+// ("pinnable") body atom, the prebuilt specs of the remaining atoms,
+// each joined against the full snapshot once a delta fact has been
+// unified into the pinned atom.
+struct PinnedRule {
+  const Rule* rule = nullptr;
+  std::vector<size_t> pins;
+  std::vector<std::vector<AtomSpec>> rest;
+  // rest_enumerable[k]: the k-th rest conjunction is enumerable under any
+  // binding (single atom with a concrete, non-comparator relationship),
+  // so the per-seed Enumerable probe can be skipped.
+  std::vector<uint8_t> rest_enumerable;
+};
+
+// Everything a round's match reads. All pointees are immutable while
+// workers run; mutation (installing the merged round output) happens
+// single-threaded between rounds.
+struct RoundContext {
+  const std::vector<PinnedRule>* prules;
+  const FactStore* store;
+  const MathProvider* math;
+  const FrozenIndex* base;
+  const DeltaIndex* derived;
+  // class_rel[e] caches store->IsClassRelationship(e) for every interned
+  // entity: the var filter probes it per candidate binding, and a flat
+  // array beats a tree lookup into the store's node-based index. No new
+  // entities are interned during a fixpoint, so the snapshot stays valid.
+  const std::vector<uint8_t>* class_rel;
+};
+
+// Output buffer of one worker (or of the sequential path). Candidates
+// may repeat within and across workers; the round merge deduplicates.
+struct WorkerResult {
+  std::vector<Fact> candidates;
+  size_t candidate_facts = 0;
+  Status status;
+};
+
+// Per-variable admissibility check against the rule's VarConstraints.
+// A concrete functor (not std::function) so the hot loops inline it;
+// `active` is false for the common unconstrained rule, letting callers
+// skip the check entirely.
+struct FilterFn {
+  const std::vector<uint8_t>* class_rel = nullptr;
+  const Rule* rule = nullptr;
+  bool active = false;
+
+  bool operator()(VarId v, EntityId e) const {
+    const bool is_class = e < class_rel->size() && (*class_rel)[e] != 0;
+    switch (rule->var_constraints[v]) {
+      case VarConstraint::kIndividualRelationship:
+        return !is_class;
+      case VarConstraint::kClassRelationship:
+        return is_class;
+      case VarConstraint::kNone:
+        return true;
+    }
+    return true;
+  }
+};
+
+FilterFn MakeFilterFn(const RoundContext& ctx, const Rule& rule) {
+  FilterFn f{ctx.class_rel, &rule, false};
+  for (VarConstraint c : rule.var_constraints) {
+    if (c != VarConstraint::kNone) {
+      f.active = true;
+      break;
+    }
+  }
+  return f;
+}
+
+// Instantiates the rule heads for one admissible body binding. Concrete
+// for the same reason as FilterFn: this runs once per candidate binding,
+// and the Substitute/Contains chain inlines into the join loops.
+struct DeriveFn {
+  const MathProvider* math;
+  const FrozenIndex* base;
+  const DeltaIndex* derived;
+  const Rule* rule;
+  WorkerResult* out;
+
+  bool operator()(const Binding& binding) const {
+    for (const Template& head : rule->head) {
+      ++out->candidate_facts;
+      Fact f = head.Substitute(binding);
+      // A derived comparison that already holds virtually adds nothing;
+      // one that does not hold is stored so the integrity checker can
+      // report the contradiction.
+      if (MathProvider::IsComparator(f.relationship) && math->Holds(f)) {
+        continue;
+      }
+      if (base->Contains(f) || derived->Contains(f)) continue;
+      out->candidates.push_back(f);
+    }
+    return true;
+  }
+};
+
+DeriveFn MakeDerive(const RoundContext& ctx, const Rule& rule,
+                    WorkerResult* out) {
+  return DeriveFn{ctx.math, ctx.base, ctx.derived, &rule, out};
+}
+
+// Matches every body atom of `rule` against the full snapshot. Used by
+// the naive strategy and, in round 1 of semi-naive, by rules whose body
+// is purely virtual (they fire at most once).
+Status MatchFullRule(const RoundContext& ctx, const Rule& rule,
+                     const FactSource& full, WorkerResult* out) {
+  FilterFn filter = MakeFilterFn(ctx, rule);
+  VarFilter vf = filter.active ? VarFilter(filter) : VarFilter();
+  BindingVisitor derive = MakeDerive(ctx, rule, out);
+  Binding binding(rule.num_vars());
+  return MatchConjunction(full, rule.body, binding, vf, derive);
+}
+
+// Joins the single remaining body atom against its source under the
+// seed binding, calling `derive` for every admissible extension. This is
+// the dominant shape (every standard rule has a body of one or two
+// atoms), so it bypasses MatchRec's atom-selection scan and runs
+// allocation-free per seed.
+Status MatchSingleRest(const AtomSpec& atom, bool always_enumerable,
+                       Binding& binding, const FilterFn& filter,
+                       const DeriveFn& derive) {
+  const Pattern p = atom.tmpl.Bind(binding);
+  if (!always_enumerable && p.BoundCount() < 3 &&
+      !atom.source->Enumerable(p)) {
+    return Status::InvalidArgument(
+        "unsafe conjunction: remaining atoms have unbound operands of a "
+        "non-enumerable (virtual) relation");
+  }
+  VarId atom_vars[3];
+  const size_t num_atom_vars = atom.tmpl.CollectVars(atom_vars);
+  atom.source->ForEach(p, [&](const Fact& g) {
+    VarId newly_bound[3];
+    size_t num_newly_bound = 0;
+    for (size_t i = 0; i < num_atom_vars; ++i) {
+      if (!binding.IsBound(atom_vars[i])) {
+        newly_bound[num_newly_bound++] = atom_vars[i];
+      }
+    }
+    if (!atom.tmpl.Unify(g, binding)) return true;  // shared-var clash
+    bool admissible = true;
+    if (filter.active) {
+      for (size_t i = 0; i < num_newly_bound; ++i) {
+        const VarId v = newly_bound[i];
+        if (!filter(v, binding.Get(v))) {
+          admissible = false;
+          break;
+        }
+      }
+    }
+    if (admissible) derive(binding);
+    for (size_t i = 0; i < num_newly_bound; ++i) {
+      binding.Unset(newly_bound[i]);
+    }
+    return true;
+  });
+  return Status::OK();
+}
+
+// Seed-first semi-naive match of one contiguous slice of the round's
+// delta: each delta fact is unified into each pinnable atom, then the
+// remaining atoms join against the snapshot. Reads only the RoundContext
+// snapshot; writes only into `out`, so slices run concurrently.
+void MatchDeltaSlice(const RoundContext& ctx, const Fact* facts, size_t n,
+                     WorkerResult* out) {
+  for (const PinnedRule& pr : *ctx.prules) {
+    const Rule& rule = *pr.rule;
+    FilterFn filter = MakeFilterFn(ctx, rule);
+    DeriveFn derive = MakeDerive(ctx, rule, out);
+    // Type-erased wrappers, needed only by the general (>= 2 rest atoms)
+    // path; built lazily since no standard rule takes it.
+    VarFilter vf;
+    BindingVisitor bv;
+    for (size_t k = 0; k < pr.pins.size(); ++k) {
+      const Template& pin = rule.body[pr.pins[k]];
+      const std::vector<AtomSpec>& rest = pr.rest[k];
+      VarId pin_vars[3];
+      const size_t num_pin_vars = pin.CollectVars(pin_vars);
+      Binding binding(rule.num_vars());
+      for (size_t fi = 0; fi < n; ++fi) {
+        if (!pin.Unify(facts[fi], binding)) continue;
+        bool admissible = true;
+        if (filter.active) {
+          for (size_t i = 0; i < num_pin_vars; ++i) {
+            const VarId v = pin_vars[i];
+            if (!filter(v, binding.Get(v))) {
+              admissible = false;
+              break;
+            }
+          }
+        }
+        if (admissible) {
+          Status s;
+          if (rest.empty()) {
+            derive(binding);
+          } else if (rest.size() == 1) {
+            s = MatchSingleRest(rest[0], pr.rest_enumerable[k] != 0,
+                                binding, filter, derive);
+          } else {
+            if (!bv) {
+              bv = BindingVisitor(derive);
+              if (filter.active) vf = VarFilter(filter);
+            }
+            s = MatchConjunction(rest, binding, vf, bv);
+          }
+          if (!s.ok()) {
+            out->status = s;
+            return;
+          }
+        }
+        for (size_t i = 0; i < num_pin_vars; ++i) {
+          binding.Unset(pin_vars[i]);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<Closure>> RuleEngine::ComputeClosure(
@@ -23,18 +253,62 @@ StatusOr<std::unique_ptr<Closure>> RuleEngine::ComputeClosure(
     LSD_RETURN_IF_ERROR(rule.Validate());
   }
 
-  TripleIndex derived;
-  IndexSource derived_source(&derived);
-  TripleIndex delta;
-  IndexSource delta_source(&delta);
-
-  // Stored facts known so far, plus the virtual math layer for rule
-  // bodies that test comparisons.
-  UnionSource full({&store_->base_source(), &derived_source, math_});
-
-  ClosureStats stats;
   const bool semi_naive =
       options.strategy == ClosureOptions::Strategy::kSemiNaive;
+  size_t num_threads = options.num_threads;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  // Read-only snapshot of the asserted facts: the store cannot change
+  // during the fixpoint, and a frozen run is much faster to probe than
+  // the store's node-based index. Derived facts accumulate in a
+  // two-tier index that is compacted into frozen runs as it grows.
+  FrozenIndex base = FrozenIndex::FromTripleIndex(store_->base());
+  DeltaIndex derived;
+  UnionSource full({&base, &derived, math_});
+  std::vector<uint8_t> class_rel(store_->entities().size());
+  for (EntityId e = 0; e < class_rel.size(); ++e) {
+    class_rel[e] = store_->IsClassRelationship(e) ? 1 : 0;
+  }
+  RoundContext ctx{nullptr, store_, math_, &base, &derived, &class_rel};
+
+  // Prepare the seed-first plans; rules with no pinnable atom fire (at
+  // most) once, in round 1.
+  std::vector<PinnedRule> prules;
+  std::vector<const Rule*> virtual_only;
+  if (semi_naive) {
+    for (const Rule& rule : rules) {
+      if (!rule.enabled) continue;
+      PinnedRule pr;
+      pr.rule = &rule;
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (IsVirtualAtom(rule.body[i])) continue;
+        pr.pins.push_back(i);
+        std::vector<AtomSpec> rest;
+        rest.reserve(rule.body.size() - 1);
+        for (size_t j = 0; j < rule.body.size(); ++j) {
+          if (j != i) rest.push_back(AtomSpec{rule.body[j], &full});
+        }
+        const bool enumerable =
+            rest.size() == 1 && !IsVirtualAtom(rest[0].tmpl) &&
+            rest[0].tmpl.relationship.is_entity();
+        pr.rest_enumerable.push_back(enumerable ? 1 : 0);
+        pr.rest.push_back(std::move(rest));
+      }
+      if (pr.pins.empty()) {
+        virtual_only.push_back(&rule);
+      } else {
+        prules.push_back(std::move(pr));
+      }
+    }
+  }
+  ctx.prules = &prules;
+
+  ClosureStats stats;
+  // Round 1 treats every asserted fact as new.
+  std::vector<Fact> delta_facts =
+      semi_naive ? base.facts() : std::vector<Fact>();
 
   bool first_round = true;
   for (;;) {
@@ -43,89 +317,71 @@ StatusOr<std::unique_ptr<Closure>> RuleEngine::ComputeClosure(
           "closure did not converge within max_rounds");
     }
 
-    TripleIndex next;
-    auto derive = [&](const Rule& rule, const Binding& binding) {
-      for (const Template& head : rule.head) {
-        ++stats.candidate_facts;
-        Fact f = head.Substitute(binding);
-        // A derived comparison that already holds virtually adds nothing;
-        // one that does not hold is stored so the integrity checker can
-        // report the contradiction.
-        if (MathProvider::IsComparator(f.relationship) && math_->Holds(f)) {
-          continue;
-        }
-        if (store_->Contains(f) || derived.Contains(f)) continue;
-        next.Insert(f);
+    WorkerResult seq;
+    std::vector<Fact> merged;
+    if (!semi_naive) {
+      for (const Rule& rule : rules) {
+        if (!rule.enabled) continue;
+        LSD_RETURN_IF_ERROR(MatchFullRule(ctx, rule, full, &seq));
       }
-      return true;
-    };
+      stats.candidate_facts += seq.candidate_facts;
+      merged = std::move(seq.candidates);
+    } else {
+      if (first_round) {
+        for (const Rule* rule : virtual_only) {
+          LSD_RETURN_IF_ERROR(MatchFullRule(ctx, *rule, full, &seq));
+        }
+      }
+      const size_t n = delta_facts.size();
+      const size_t workers = std::max<size_t>(
+          1, std::min(num_threads, n / kMinFactsPerWorker));
+      if (workers == 1) {
+        MatchDeltaSlice(ctx, delta_facts.data(), n, &seq);
+        LSD_RETURN_IF_ERROR(seq.status);
+        stats.candidate_facts += seq.candidate_facts;
+        merged = std::move(seq.candidates);
+      } else {
+        std::vector<WorkerResult> results(workers);
+        std::vector<std::thread> threads;
+        threads.reserve(workers - 1);
+        const size_t chunk = (n + workers - 1) / workers;
+        const Fact* facts = delta_facts.data();
+        for (size_t w = 1; w < workers; ++w) {
+          const size_t begin = std::min(n, w * chunk);
+          const size_t count = std::min(n - begin, chunk);
+          threads.emplace_back([&ctx, &results, facts, begin, count, w] {
+            MatchDeltaSlice(ctx, facts + begin, count, &results[w]);
+          });
+        }
+        MatchDeltaSlice(ctx, facts, std::min(n, chunk), &results[0]);
+        for (std::thread& t : threads) t.join();
 
-    for (const Rule& rule : rules) {
-      if (!rule.enabled) continue;
-      auto filter = [this, &rule](VarId v, EntityId e) {
-        switch (rule.var_constraints[v]) {
-          case VarConstraint::kIndividualRelationship:
-            return !store_->IsClassRelationship(e);
-          case VarConstraint::kClassRelationship:
-            return store_->IsClassRelationship(e);
-          case VarConstraint::kNone:
-            return true;
+        // Deterministic single-threaded merge, in worker order.
+        stats.candidate_facts += seq.candidate_facts;
+        merged = std::move(seq.candidates);
+        for (WorkerResult& r : results) {
+          LSD_RETURN_IF_ERROR(r.status);
+          stats.candidate_facts += r.candidate_facts;
+          merged.insert(merged.end(), r.candidates.begin(),
+                        r.candidates.end());
         }
-        return true;
-      };
-      auto on_match = [&](const Binding& b) { return derive(rule, b); };
-
-      if (!semi_naive) {
-        // Naive: every atom against everything, every round.
-        Binding binding(rule.num_vars());
-        LSD_RETURN_IF_ERROR(
-            MatchConjunction(full, rule.body, binding, filter, on_match));
-        continue;
-      }
-
-      // Semi-naive: require at least one body atom to match a fact that
-      // is new since the last round (round 1: any asserted fact).
-      size_t pinnable = 0;
-      for (const Template& t : rule.body) {
-        if (!IsVirtualAtom(t)) ++pinnable;
-      }
-      if (pinnable == 0) {
-        // Purely virtual body: fires (at most) once, in round 1.
-        if (first_round) {
-          Binding binding(rule.num_vars());
-          LSD_RETURN_IF_ERROR(
-              MatchConjunction(full, rule.body, binding, filter, on_match));
-        }
-        continue;
-      }
-      const FactSource* pin_source =
-          first_round ? static_cast<const FactSource*>(&store_->base_source())
-                      : &delta_source;
-      for (size_t i = 0; i < rule.body.size(); ++i) {
-        if (IsVirtualAtom(rule.body[i])) continue;
-        std::vector<AtomSpec> specs;
-        specs.reserve(rule.body.size());
-        for (size_t j = 0; j < rule.body.size(); ++j) {
-          specs.push_back(
-              AtomSpec{rule.body[j], j == i ? pin_source : &full});
-        }
-        Binding binding(rule.num_vars());
-        LSD_RETURN_IF_ERROR(
-            MatchConjunction(std::move(specs), binding, filter, on_match));
       }
     }
 
-    if (next.empty()) break;
-    for (const Fact& f : next.Match(Pattern())) {
-      derived.Insert(f);
-    }
+    // Dedup candidates (the same fact may be derived along several
+    // paths, possibly in different workers) and install the round.
+    std::sort(merged.begin(), merged.end(), OrderSrt());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    if (merged.empty()) break;
+    derived.InsertRun(merged);
     if (derived.size() > options.max_derived_facts) {
       return Status::OutOfRange(
           "closure exceeded max_derived_facts (" +
           std::to_string(options.max_derived_facts) +
           "); consider excluding rules or raising the limit");
     }
-    delta = std::move(next);
+    derived.MaybeCompact();
+    delta_facts = std::move(merged);
     first_round = false;
   }
 

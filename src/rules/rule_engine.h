@@ -7,6 +7,14 @@
 // strategy (re-match everything each round) is kept as the experiment E1
 // baseline.
 //
+// The semi-naive round is seed-first and parallel: the round's delta
+// facts are partitioned across worker threads, each worker unifies every
+// delta fact with every pinnable body atom and joins the remaining atoms
+// against a read-only snapshot (frozen base run + two-tier derived
+// index), accumulating candidates in a thread-local buffer; a
+// single-threaded merge then deduplicates and installs the new facts.
+// The derived set is identical for every thread count, including 1.
+//
 // Facts whose relationship is a virtual comparator are special-cased on
 // derivation: if the comparison already holds virtually it is not stored;
 // otherwise it is stored so the integrity checker can flag it (e.g. an
@@ -20,8 +28,8 @@
 #include "rules/closure_view.h"
 #include "rules/math_provider.h"
 #include "rules/rule.h"
+#include "store/delta_index.h"
 #include "store/fact_store.h"
-#include "store/triple_index.h"
 #include "util/status.h"
 
 namespace lsd {
@@ -33,6 +41,11 @@ struct ClosureOptions {
   // Safety valves: computing a closure never runs away silently.
   size_t max_derived_facts = 10'000'000;
   size_t max_rounds = 100'000;
+
+  // Worker threads for the semi-naive delta match; 0 means
+  // hardware_concurrency. The result is the same for any value; small
+  // rounds stay on the calling thread regardless.
+  unsigned num_threads = 0;
 };
 
 struct ClosureStats {
@@ -47,7 +60,7 @@ struct ClosureStats {
 class Closure {
  public:
   Closure(const FactStore* store, const MathProvider* math,
-          TripleIndex derived, ClosureStats stats)
+          DeltaIndex derived, ClosureStats stats)
       : derived_(std::move(derived)),
         stats_(stats),
         view_(store, &derived_, math) {}
@@ -55,12 +68,12 @@ class Closure {
   Closure(const Closure&) = delete;
   Closure& operator=(const Closure&) = delete;
 
-  const TripleIndex& derived() const { return derived_; }
+  const DeltaIndex& derived() const { return derived_; }
   const ClosureView& view() const { return view_; }
   const ClosureStats& stats() const { return stats_; }
 
  private:
-  TripleIndex derived_;
+  DeltaIndex derived_;
   ClosureStats stats_;
   ClosureView view_;
 };

@@ -17,58 +17,6 @@ std::vector<EntityId> Binding::Project(const std::vector<VarId>& vars) const {
   return out;
 }
 
-namespace {
-EntityId ResolveTerm(const Term& t, const Binding& b) {
-  if (t.is_entity()) return t.entity();
-  return b.IsBound(t.var()) ? b.Get(t.var()) : kAnyEntity;
-}
-}  // namespace
-
-Pattern Template::Bind(const Binding& b) const {
-  return Pattern(ResolveTerm(source, b), ResolveTerm(relationship, b),
-                 ResolveTerm(target, b));
-}
-
-bool Template::IsGroundUnder(const Binding& b) const {
-  Pattern p = Bind(b);
-  return p.BoundCount() == 3;
-}
-
-Fact Template::Substitute(const Binding& b) const {
-  Pattern p = Bind(b);
-  assert(p.BoundCount() == 3);
-  return Fact(p.source, p.relationship, p.target);
-}
-
-bool Template::Unify(const Fact& f, Binding& b) const {
-  // Record which variables this unification newly binds, so we can roll
-  // back on failure (a variable may occur in several positions).
-  VarId touched[3];
-  int num_touched = 0;
-  const EntityId fact_pos[3] = {f.source, f.relationship, f.target};
-  for (int i = 0; i < 3; ++i) {
-    const Term& term = at(i);
-    if (term.is_entity()) {
-      if (term.entity() != fact_pos[i]) {
-        for (int j = 0; j < num_touched; ++j) b.Unset(touched[j]);
-        return false;
-      }
-      continue;
-    }
-    VarId v = term.var();
-    if (b.IsBound(v)) {
-      if (b.Get(v) != fact_pos[i]) {
-        for (int j = 0; j < num_touched; ++j) b.Unset(touched[j]);
-        return false;
-      }
-    } else {
-      b.Set(v, fact_pos[i]);
-      touched[num_touched++] = v;
-    }
-  }
-  return true;
-}
-
 void Template::CollectVars(std::vector<VarId>* out) const {
   for (int i = 0; i < 3; ++i) {
     const Term& term = at(i);

@@ -89,6 +89,8 @@ struct Template {
 
   // The match pattern under a (possibly partial) binding: bound variables
   // and entities become concrete, unbound variables become wildcards.
+  // Defined inline below: Bind/Unify/Substitute run millions of times per
+  // closure and are too small to carry a cross-TU call each.
   Pattern Bind(const Binding& b) const;
 
   // True if all three positions are entities or bound variables.
@@ -105,6 +107,10 @@ struct Template {
   // All variables mentioned, without duplicates, in position order.
   void CollectVars(std::vector<VarId>* out) const;
 
+  // Allocation-free variant for the match hot path: writes into a
+  // caller-provided array of capacity >= 3 and returns the count.
+  size_t CollectVars(VarId out[3]) const;
+
   bool HasVariables() const {
     return source.is_variable() || relationship.is_variable() ||
            target.is_variable();
@@ -116,6 +122,75 @@ struct Template {
   std::string DebugString(const EntityTable& entities,
                           const std::vector<std::string>& var_names) const;
 };
+
+namespace internal {
+inline EntityId ResolveTerm(const Term& t, const Binding& b) {
+  if (t.is_entity()) return t.entity();
+  return b.IsBound(t.var()) ? b.Get(t.var()) : kAnyEntity;
+}
+}  // namespace internal
+
+inline Pattern Template::Bind(const Binding& b) const {
+  return Pattern(internal::ResolveTerm(source, b),
+                 internal::ResolveTerm(relationship, b),
+                 internal::ResolveTerm(target, b));
+}
+
+inline bool Template::IsGroundUnder(const Binding& b) const {
+  return Bind(b).BoundCount() == 3;
+}
+
+inline Fact Template::Substitute(const Binding& b) const {
+  Pattern p = Bind(b);
+  return Fact(p.source, p.relationship, p.target);
+}
+
+inline bool Template::Unify(const Fact& f, Binding& b) const {
+  // Record which variables this unification newly binds, so we can roll
+  // back on failure (a variable may occur in several positions).
+  VarId touched[3];
+  int num_touched = 0;
+  const EntityId fact_pos[3] = {f.source, f.relationship, f.target};
+  for (int i = 0; i < 3; ++i) {
+    const Term& term = at(i);
+    if (term.is_entity()) {
+      if (term.entity() != fact_pos[i]) {
+        for (int j = 0; j < num_touched; ++j) b.Unset(touched[j]);
+        return false;
+      }
+      continue;
+    }
+    VarId v = term.var();
+    if (b.IsBound(v)) {
+      if (b.Get(v) != fact_pos[i]) {
+        for (int j = 0; j < num_touched; ++j) b.Unset(touched[j]);
+        return false;
+      }
+    } else {
+      b.Set(v, fact_pos[i]);
+      touched[num_touched++] = v;
+    }
+  }
+  return true;
+}
+
+inline size_t Template::CollectVars(VarId out[3]) const {
+  size_t n = 0;
+  for (int i = 0; i < 3; ++i) {
+    const Term& term = at(i);
+    if (!term.is_variable()) continue;
+    const VarId v = term.var();
+    bool seen = false;
+    for (size_t j = 0; j < n; ++j) {
+      if (out[j] == v) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out[n++] = v;
+  }
+  return n;
+}
 
 }  // namespace lsd
 

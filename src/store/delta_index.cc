@@ -1,0 +1,75 @@
+#include "store/delta_index.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace lsd {
+
+bool DeltaIndex::Insert(const Fact& f) {
+  if (frozen_.Contains(f)) return false;
+  if (!overlay_.Insert(f)) return false;
+  overlay_hash_.insert(f);
+  return true;
+}
+
+size_t DeltaIndex::InsertRun(const std::vector<Fact>& run) {
+  std::vector<Fact> fresh;
+  fresh.reserve(run.size());
+  for (const Fact& f : run) {
+    if (!Contains(f)) fresh.push_back(f);
+  }
+  if (fresh.empty()) return 0;
+  const size_t added = fresh.size();
+  if (added < kCompactMinOverlay) {
+    for (const Fact& f : fresh) {
+      overlay_.Insert(f);
+      overlay_hash_.insert(f);
+    }
+  } else {
+    // Fold any overlay first so the frozen tier stays the single sorted
+    // run; then merge the round in linearly.
+    if (!overlay_.empty()) Compact();
+    frozen_ = FrozenIndex::Merged(frozen_, std::move(fresh));
+  }
+  return added;
+}
+
+bool DeltaIndex::ForEach(const Pattern& p, const FactVisitor& visit) const {
+  if (!frozen_.ForEach(p, visit)) return false;
+  return overlay_.ForEach(p, visit);
+}
+
+size_t DeltaIndex::CountMatches(const Pattern& p) const {
+  return frozen_.CountMatches(p) + overlay_.CountMatches(p);
+}
+
+void DeltaIndex::Compact() {
+  if (overlay_.empty()) return;
+  // Both tiers stream in SRT order, so the concatenation is two sorted
+  // runs; the rebuild's sort is nearly free on such input.
+  std::vector<Fact> all;
+  all.reserve(size());
+  frozen_.ForEach(Pattern(), [&all](const Fact& f) {
+    all.push_back(f);
+    return true;
+  });
+  const auto mid = all.size();
+  overlay_.ForEach(Pattern(), [&all](const Fact& f) {
+    all.push_back(f);
+    return true;
+  });
+  std::inplace_merge(all.begin(), all.begin() + mid, all.end(), OrderSrt());
+  frozen_ = FrozenIndex(std::move(all));
+  overlay_.Clear();
+  overlay_hash_.clear();
+}
+
+bool DeltaIndex::MaybeCompact() {
+  if (overlay_.size() < kCompactMinOverlay) return false;
+  if (overlay_.size() * 4 < frozen_.size()) return false;
+  Compact();
+  return true;
+}
+
+}  // namespace lsd

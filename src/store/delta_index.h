@@ -1,0 +1,100 @@
+// Two-tier triple index: an immutable FrozenIndex run (sorted arrays,
+// binary-search ranges) plus a small mutable TripleIndex overlay, in the
+// spirit of an LSM tree's frozen-memtable/active-memtable split. Inserts
+// go to the overlay; reads fan out to both tiers. The tiers are kept
+// disjoint at Insert time, so concatenating their streams is
+// duplicate-free. Compact() folds the overlay into a new frozen run.
+//
+// This is the rule engine's "all derived facts" container: a closure
+// fixpoint is read-mostly (every round probes the accumulated closure
+// while writing only the per-round delta), so with periodic compaction
+// almost all probes hit the cache-friendly sorted arrays instead of a
+// large node-based std::set.
+//
+// Erase is intentionally absent: the closure is monotone, and removing
+// from the frozen tier would need tombstones this use case never pays
+// for.
+#ifndef LSD_STORE_DELTA_INDEX_H_
+#define LSD_STORE_DELTA_INDEX_H_
+
+#include <cstddef>
+#include <unordered_set>
+
+#include "store/fact.h"
+#include "store/fact_store.h"
+#include "store/frozen_index.h"
+#include "store/triple_index.h"
+
+namespace lsd {
+
+class DeltaIndex final : public FactSource {
+ public:
+  // Starts with both tiers empty.
+  DeltaIndex() = default;
+
+  // Starts from an existing frozen run.
+  explicit DeltaIndex(FrozenIndex base) : frozen_(std::move(base)) {}
+
+  DeltaIndex(DeltaIndex&&) = default;
+  DeltaIndex& operator=(DeltaIndex&&) = default;
+
+  // Inserts into the overlay. Returns true if the fact was in neither
+  // tier.
+  bool Insert(const Fact& f);
+
+  // Bulk-inserts an SRT-sorted, duplicate-free run (facts already present
+  // are skipped). Small runs go to the overlay like Insert; runs of at
+  // least kCompactMinOverlay new facts fold straight into the frozen tier
+  // with a linear merge, bypassing the overlay's tree inserts — this is
+  // how the rule engine installs a whole closure round. Returns the
+  // number of facts actually added.
+  size_t InsertRun(const std::vector<Fact>& run);
+
+  // O(log frozen) + O(1): overlay membership is answered by a hash set
+  // shadowing the overlay, not by walking its tree nodes. Contains is the
+  // engine's per-candidate dedup probe, so this path stays flat.
+  bool Contains(const Fact& f) const override {
+    return frozen_.Contains(f) || overlay_hash_.count(f) != 0;
+  }
+
+  // Streams the frozen tier, then the overlay. Within each tier the
+  // permutation order applies, but there is no global order across tiers
+  // (the FactSource contract promises no order anyway).
+  bool ForEach(const Pattern& p, const FactVisitor& visit) const override;
+
+  // Exact: the tiers are disjoint, so counts add. O(log frozen) plus the
+  // overlay's range walk, which compaction keeps small.
+  size_t CountMatches(const Pattern& p) const;
+  size_t EstimateMatches(const Pattern& p) const override {
+    return CountMatches(p);
+  }
+
+  // Merges the overlay into a new frozen run; the overlay becomes empty.
+  void Compact();
+
+  // Compacts when the overlay has outgrown the frozen tier enough that
+  // rebuilding the run amortizes (geometric policy: overlay at least
+  // kCompactMinOverlay facts and at least a quarter of the frozen size).
+  // Returns true if it compacted.
+  bool MaybeCompact();
+
+  size_t size() const { return frozen_.size() + overlay_.size(); }
+  bool empty() const { return size() == 0; }
+  size_t frozen_size() const { return frozen_.size(); }
+  size_t overlay_size() const { return overlay_.size(); }
+
+  const FrozenIndex& frozen() const { return frozen_; }
+  const TripleIndex& overlay() const { return overlay_; }
+
+  static constexpr size_t kCompactMinOverlay = 256;
+
+ private:
+  FrozenIndex frozen_;
+  TripleIndex overlay_;
+  // Mirrors the overlay's contents for O(1) membership probes.
+  std::unordered_set<Fact, FactHash> overlay_hash_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_STORE_DELTA_INDEX_H_

@@ -6,7 +6,9 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
+#include <type_traits>
 
 #include "store/entity.h"
 
@@ -102,7 +104,31 @@ struct Pattern {
 };
 
 // Callback for streaming matches. Return false to stop iteration.
-using FactVisitor = std::function<bool(const Fact&)>;
+//
+// This is a non-owning function reference (one pointer to the callable
+// plus one call thunk), not a std::function: ForEach sits on the match
+// hot path and is invoked millions of times per closure, and
+// constructing a std::function from a capturing lambda heap-allocates
+// once the captures exceed the small-buffer size. Sources must never
+// store a FactVisitor beyond the ForEach call — the referenced callable
+// lives on the caller's stack.
+class FactVisitor {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FactVisitor>>>
+  FactVisitor(F&& f)  // NOLINT: implicit from any bool(const Fact&)
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, const Fact& fact) -> bool {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(fact);
+        }) {}
+
+  bool operator()(const Fact& f) const { return call_(obj_, f); }
+
+ private:
+  void* obj_;
+  bool (*call_)(void*, const Fact&);
+};
 
 }  // namespace lsd
 

@@ -8,16 +8,57 @@ namespace lsd {
 
 namespace {
 
+// Which permutation serves a pattern with an exact contiguous range.
+// Mirrors TripleIndex::ForEach: SRT for (s), (s,r), full scans; TSR for
+// (t), (s,t); RTS for (r), (r,t).
+enum class Perm { kSrt, kRts, kTsr };
+
+Perm PickPerm(const Pattern& p) {
+  if (p.SourceBound()) {
+    return (!p.TargetBound() || p.RelationshipBound()) ? Perm::kSrt
+                                                       : Perm::kTsr;
+  }
+  if (p.RelationshipBound()) return Perm::kRts;
+  if (p.TargetBound()) return Perm::kTsr;
+  return Perm::kSrt;
+}
+
+// Range endpoints: bound positions pinned, unbound positions saturated to
+// 0 / kAnyEntity (a safe upper sentinel; real ids never reach it).
+struct Bounds {
+  Fact lo;
+  Fact hi;
+};
+
+Bounds PatternBounds(const Pattern& p) {
+  Bounds b;
+  b.lo = Fact(p.SourceBound() ? p.source : 0,
+              p.RelationshipBound() ? p.relationship : 0,
+              p.TargetBound() ? p.target : 0);
+  b.hi = Fact(p.SourceBound() ? p.source : kAnyEntity,
+              p.RelationshipBound() ? p.relationship : kAnyEntity,
+              p.TargetBound() ? p.target : kAnyEntity);
+  return b;
+}
+
 template <typename Order>
 bool ScanSorted(const std::vector<Fact>& v, const Fact& lo, const Fact& hi,
-                const Pattern& p, const FactVisitor& visit) {
+                const FactVisitor& visit) {
   Order less;
   auto it = std::lower_bound(v.begin(), v.end(), lo, less);
   for (; it != v.end() && !less(hi, *it); ++it) {
-    if (!p.Matches(*it)) continue;
     if (!visit(*it)) return false;
   }
   return true;
+}
+
+template <typename Order>
+size_t CountSorted(const std::vector<Fact>& v, const Fact& lo,
+                   const Fact& hi) {
+  Order less;
+  auto first = std::lower_bound(v.begin(), v.end(), lo, less);
+  auto last = std::upper_bound(first, v.end(), hi, less);
+  return static_cast<size_t>(last - first);
 }
 
 }  // namespace
@@ -36,8 +77,27 @@ FrozenIndex FrozenIndex::FromTripleIndex(const TripleIndex& index) {
   return FrozenIndex(index.Match(Pattern()));
 }
 
-bool FrozenIndex::Contains(const Fact& f) const {
-  return std::binary_search(srt_.begin(), srt_.end(), f, OrderSrt());
+namespace {
+
+template <typename Order>
+std::vector<Fact> MergeSorted(const std::vector<Fact>& a,
+                              const std::vector<Fact>& b) {
+  std::vector<Fact> out(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin(), Order());
+  return out;
+}
+
+}  // namespace
+
+FrozenIndex FrozenIndex::Merged(const FrozenIndex& base,
+                                std::vector<Fact> run) {
+  FrozenIndex out;
+  out.srt_ = MergeSorted<OrderSrt>(base.srt_, run);
+  std::sort(run.begin(), run.end(), OrderRts());
+  out.rts_ = MergeSorted<OrderRts>(base.rts_, run);
+  std::sort(run.begin(), run.end(), OrderTsr());
+  out.tsr_ = MergeSorted<OrderTsr>(base.tsr_, run);
+  return out;
 }
 
 bool FrozenIndex::ForEach(const Pattern& p, const FactVisitor& visit) const {
@@ -46,42 +106,39 @@ bool FrozenIndex::ForEach(const Pattern& p, const FactVisitor& visit) const {
     if (Contains(f)) return visit(f);
     return true;
   }
-  const EntityId s_lo = p.SourceBound() ? p.source : 0;
-  const EntityId s_hi = p.SourceBound() ? p.source : kAnyEntity;
-  const EntityId r_lo = p.RelationshipBound() ? p.relationship : 0;
-  const EntityId r_hi = p.RelationshipBound() ? p.relationship : kAnyEntity;
-  const EntityId t_lo = p.TargetBound() ? p.target : 0;
-  const EntityId t_hi = p.TargetBound() ? p.target : kAnyEntity;
-
-  if (p.SourceBound() && (!p.TargetBound() || p.RelationshipBound())) {
-    return ScanSorted<OrderSrt>(srt_, Fact(s_lo, r_lo, t_lo),
-                                Fact(s_hi, r_hi, t_hi), p, visit);
+  if (p.BoundCount() == 0) {
+    for (const Fact& f : srt_) {
+      if (!visit(f)) return false;
+    }
+    return true;
   }
-  if (p.SourceBound() && p.TargetBound()) {
-    return ScanSorted<OrderTsr>(tsr_, Fact(s_lo, r_lo, t_lo),
-                                Fact(s_hi, r_hi, t_hi), p, visit);
-  }
-  if (p.RelationshipBound()) {
-    return ScanSorted<OrderRts>(rts_, Fact(s_lo, r_lo, t_lo),
-                                Fact(s_hi, r_hi, t_hi), p, visit);
-  }
-  if (p.TargetBound()) {
-    return ScanSorted<OrderTsr>(tsr_, Fact(s_lo, r_lo, t_lo),
-                                Fact(s_hi, r_hi, t_hi), p, visit);
-  }
-  for (const Fact& f : srt_) {
-    if (!visit(f)) return false;
+  Bounds b = PatternBounds(p);
+  switch (PickPerm(p)) {
+    case Perm::kSrt:
+      return ScanSorted<OrderSrt>(srt_, b.lo, b.hi, visit);
+    case Perm::kRts:
+      return ScanSorted<OrderRts>(rts_, b.lo, b.hi, visit);
+    case Perm::kTsr:
+      return ScanSorted<OrderTsr>(tsr_, b.lo, b.hi, visit);
   }
   return true;
 }
 
-std::vector<Fact> FrozenIndex::Match(const Pattern& p) const {
-  std::vector<Fact> out;
-  ForEach(p, [&out](const Fact& f) {
-    out.push_back(f);
-    return true;
-  });
-  return out;
+size_t FrozenIndex::CountMatches(const Pattern& p) const {
+  if (p.BoundCount() == 0) return srt_.size();
+  if (p.BoundCount() == 3) {
+    return Contains(Fact(p.source, p.relationship, p.target)) ? 1 : 0;
+  }
+  Bounds b = PatternBounds(p);
+  switch (PickPerm(p)) {
+    case Perm::kSrt:
+      return CountSorted<OrderSrt>(srt_, b.lo, b.hi);
+    case Perm::kRts:
+      return CountSorted<OrderRts>(rts_, b.lo, b.hi);
+    case Perm::kTsr:
+      return CountSorted<OrderTsr>(tsr_, b.lo, b.hi);
+  }
+  return 0;
 }
 
 }  // namespace lsd

@@ -3,28 +3,62 @@
 // 8 binding patterns as TripleIndex via binary search over three sorted
 // vectors. Denser and faster to scan than the node-based TripleIndex, but
 // immutable.
+//
+// FrozenIndex is a FactSource, so frozen runs can be spliced directly
+// into match pipelines (the rule engine snapshots the asserted facts
+// into a frozen run for the duration of a closure fixpoint, and the
+// two-tier DeltaIndex keeps its base tier frozen). CountMatches is exact
+// and O(log n): every binding pattern is a contiguous range of one
+// permutation, so the count is a distance between two binary searches —
+// this is what makes the matcher's kEstimatedCost join order affordable
+// over this tier.
 #ifndef LSD_STORE_FROZEN_INDEX_H_
 #define LSD_STORE_FROZEN_INDEX_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "store/fact.h"
+#include "store/fact_store.h"
 
 namespace lsd {
 
 class TripleIndex;
 
-class FrozenIndex {
+class FrozenIndex : public FactSource {
  public:
+  // An empty run.
+  FrozenIndex() = default;
+
   // Builds from an arbitrary fact list; duplicates are removed.
   explicit FrozenIndex(std::vector<Fact> facts);
 
   // Convenience: freezes the contents of a dynamic index.
   static FrozenIndex FromTripleIndex(const TripleIndex& index);
 
-  bool Contains(const Fact& f) const;
-  bool ForEach(const Pattern& p, const FactVisitor& visit) const;
-  std::vector<Fact> Match(const Pattern& p) const;
+  // Builds base ∪ run in linear time (plus sorting the run, which is
+  // assumed small): each permutation is a two-way merge of the base's
+  // sorted array with the sorted run. `run` must be SRT-sorted,
+  // duplicate-free, and disjoint from `base` — this is the bulk-load
+  // path DeltaIndex uses to install a whole closure round without
+  // touching the overlay trees.
+  static FrozenIndex Merged(const FrozenIndex& base, std::vector<Fact> run);
+
+  // Inline: Contains is the engine's per-candidate dedup probe and runs
+  // millions of times per closure.
+  bool Contains(const Fact& f) const override {
+    return std::binary_search(srt_.begin(), srt_.end(), f, OrderSrt());
+  }
+  bool ForEach(const Pattern& p, const FactVisitor& visit) const override;
+
+  // Exact number of matches via two binary searches (O(log n)).
+  size_t CountMatches(const Pattern& p) const;
+  size_t EstimateMatches(const Pattern& p) const override {
+    return CountMatches(p);
+  }
+
+  // All facts in SRT order.
+  const std::vector<Fact>& facts() const { return srt_; }
 
   size_t size() const { return srt_.size(); }
 

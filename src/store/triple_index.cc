@@ -1,5 +1,7 @@
 #include "store/triple_index.h"
 
+#include <iterator>
+
 namespace lsd {
 
 namespace {
@@ -118,12 +120,28 @@ size_t TripleIndex::CountMatches(const Pattern& p) const {
   if (p.BoundCount() == 3) {
     return Contains(Fact(p.source, p.relationship, p.target)) ? 1 : 0;
   }
-  size_t n = 0;
-  ForEach(p, [&n](const Fact&) {
-    ++n;
-    return true;
-  });
-  return n;
+  // Every partially-bound pattern is an exact contiguous range of one
+  // permutation, so the count is the distance between its range bounds —
+  // no per-fact pattern test or visitor indirection. (Node-based sets
+  // still walk the range, but only the range.)
+  if (p.SourceBound()) {
+    if (!p.TargetBound() || p.RelationshipBound()) {
+      Bounds b = SrtBounds(p);
+      return static_cast<size_t>(std::distance(srt_.lower_bound(b.lo),
+                                               srt_.upper_bound(b.hi)));
+    }
+    Bounds b = TsrBounds(p);
+    return static_cast<size_t>(std::distance(tsr_.lower_bound(b.lo),
+                                             tsr_.upper_bound(b.hi)));
+  }
+  if (p.RelationshipBound()) {
+    Bounds b = RtsBounds(p);
+    return static_cast<size_t>(std::distance(rts_.lower_bound(b.lo),
+                                             rts_.upper_bound(b.hi)));
+  }
+  Bounds b = TsrBounds(p);
+  return static_cast<size_t>(std::distance(tsr_.lower_bound(b.lo),
+                                           tsr_.upper_bound(b.hi)));
 }
 
 void TripleIndex::Clear() {

@@ -48,8 +48,10 @@ class TripleIndex {
   // Convenience: collects matches into a vector.
   std::vector<Fact> Match(const Pattern& p) const;
 
-  // Number of facts matching `p` (full enumeration except for cheap
-  // cases). Used by the evaluator's selectivity heuristic.
+  // Number of facts matching `p`. Fully-bound and prefix-bound patterns
+  // are answered from range bounds (a walk over the matching range only,
+  // with no per-fact pattern test). Used by the evaluator's selectivity
+  // heuristic.
   size_t CountMatches(const Pattern& p) const;
 
   size_t size() const { return srt_.size(); }

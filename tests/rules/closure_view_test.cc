@@ -9,12 +9,13 @@ class ClosureViewTest : public ::testing::Test {
  protected:
   ClosureViewTest()
       : math_(&store_.entities()),
-        view_(&store_, &derived_, &math_) {}
+        view_(&store_, &derived_source_, &math_) {}
 
   EntityId E(const char* name) { return store_.entities().Intern(name); }
 
   FactStore store_;
   TripleIndex derived_;
+  IndexSource derived_source_{&derived_};
   MathProvider math_;
   ClosureView view_;
 };

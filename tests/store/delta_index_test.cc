@@ -1,0 +1,148 @@
+#include "store/delta_index.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "store/triple_index.h"
+#include "util/random.h"
+
+namespace lsd {
+namespace {
+
+Fact RandomFact(Rng& rng) {
+  return Fact(static_cast<EntityId>(rng.Uniform(12)),
+              static_cast<EntityId>(rng.Uniform(5)),
+              static_cast<EntityId>(rng.Uniform(12)));
+}
+
+TEST(DeltaIndexTest, InsertDeduplicatesAcrossTiers) {
+  DeltaIndex idx(FrozenIndex({Fact(1, 2, 3)}));
+  EXPECT_FALSE(idx.Insert(Fact(1, 2, 3)));  // already frozen
+  EXPECT_TRUE(idx.Insert(Fact(4, 5, 6)));   // new, goes to overlay
+  EXPECT_FALSE(idx.Insert(Fact(4, 5, 6)));  // already in overlay
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx.frozen_size(), 1u);
+  EXPECT_EQ(idx.overlay_size(), 1u);
+  EXPECT_TRUE(idx.Contains(Fact(1, 2, 3)));
+  EXPECT_TRUE(idx.Contains(Fact(4, 5, 6)));
+  EXPECT_FALSE(idx.Contains(Fact(1, 2, 4)));
+}
+
+TEST(DeltaIndexTest, CompactPreservesContents) {
+  Rng rng(3);
+  DeltaIndex idx;
+  TripleIndex reference;
+  for (int i = 0; i < 300; ++i) {
+    Fact f = RandomFact(rng);
+    EXPECT_EQ(idx.Insert(f), reference.Insert(f));
+    if (i == 150) idx.Compact();
+  }
+  idx.Compact();
+  EXPECT_EQ(idx.overlay_size(), 0u);
+  EXPECT_EQ(idx.size(), reference.size());
+  reference.ForEach(Pattern(), [&](const Fact& f) {
+    EXPECT_TRUE(idx.Contains(f));
+    return true;
+  });
+}
+
+TEST(DeltaIndexTest, InsertRunSmallGoesToOverlayLargeToFrozen) {
+  DeltaIndex idx;
+  // Small run: below kCompactMinOverlay, lands in the overlay.
+  std::vector<Fact> small = {Fact(1, 1, 1), Fact(2, 2, 2)};
+  EXPECT_EQ(idx.InsertRun(small), 2u);
+  EXPECT_EQ(idx.overlay_size(), 2u);
+
+  // Large run: bulk-merges into the frozen tier and folds the overlay.
+  std::vector<Fact> large;
+  for (EntityId i = 0; i < DeltaIndex::kCompactMinOverlay + 10; ++i) {
+    large.push_back(Fact(i + 10, 0, 0));
+  }
+  std::sort(large.begin(), large.end(), OrderSrt());
+  EXPECT_EQ(idx.InsertRun(large), large.size());
+  EXPECT_EQ(idx.overlay_size(), 0u);
+  EXPECT_EQ(idx.size(), 2u + large.size());
+  EXPECT_TRUE(idx.Contains(Fact(1, 1, 1)));
+  EXPECT_TRUE(idx.Contains(large.front()));
+  EXPECT_TRUE(idx.Contains(large.back()));
+
+  // Re-inserting the same run adds nothing.
+  EXPECT_EQ(idx.InsertRun(large), 0u);
+  EXPECT_EQ(idx.size(), 2u + large.size());
+}
+
+TEST(DeltaIndexTest, MaybeCompactUsesGeometricPolicy) {
+  DeltaIndex idx;
+  // Tiny overlay: stays put.
+  idx.Insert(Fact(1, 1, 1));
+  EXPECT_FALSE(idx.MaybeCompact());
+  EXPECT_EQ(idx.overlay_size(), 1u);
+  // Past the minimum with an empty frozen tier: compacts.
+  for (EntityId i = 0; i < DeltaIndex::kCompactMinOverlay; ++i) {
+    idx.Insert(Fact(i, 2, 3));
+  }
+  EXPECT_TRUE(idx.MaybeCompact());
+  EXPECT_EQ(idx.overlay_size(), 0u);
+  EXPECT_GT(idx.frozen_size(), DeltaIndex::kCompactMinOverlay);
+}
+
+TEST(DeltaIndexTest, ForEachStopsEarlyAcrossTiers) {
+  DeltaIndex idx(FrozenIndex({Fact(1, 2, 3), Fact(4, 5, 6)}));
+  idx.Insert(Fact(7, 8, 9));
+  int seen = 0;
+  bool complete = idx.ForEach(Pattern(), [&](const Fact&) {
+    ++seen;
+    return seen < 2;
+  });
+  EXPECT_FALSE(complete);
+  EXPECT_EQ(seen, 2);
+}
+
+// The two-tier index must answer all 8 binding patterns exactly like a
+// plain TripleIndex holding the same facts, with the facts split across
+// tiers at an arbitrary point — and CountMatches must equal the match
+// count (it feeds the kEstimatedCost join order).
+class DeltaIndexPatternTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeltaIndexPatternTest, AgreesWithTripleIndex) {
+  const int mask = GetParam();
+  Rng rng(19);
+  TripleIndex reference;
+  std::vector<Fact> all;
+  for (int i = 0; i < 400; ++i) {
+    Fact f = RandomFact(rng);
+    if (reference.Insert(f)) all.push_back(f);
+  }
+  // First half frozen, second half overlaid, a fact duplicated in both
+  // insert streams to exercise dedup.
+  const size_t half = all.size() / 2;
+  DeltaIndex idx(FrozenIndex(
+      std::vector<Fact>(all.begin(), all.begin() + half)));
+  for (size_t i = half; i < all.size(); ++i) idx.Insert(all[i]);
+  idx.Insert(all.front());
+  ASSERT_EQ(idx.size(), reference.size());
+
+  auto by_key = [](const Fact& a, const Fact& b) {
+    return OrderSrt()(a, b);
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    Pattern p;
+    if (mask & 1) p.source = static_cast<EntityId>(rng.Uniform(12));
+    if (mask & 2) p.relationship = static_cast<EntityId>(rng.Uniform(5));
+    if (mask & 4) p.target = static_cast<EntityId>(rng.Uniform(12));
+    std::vector<Fact> want = reference.Match(p);
+    std::vector<Fact> got = idx.Match(p);
+    std::sort(want.begin(), want.end(), by_key);
+    std::sort(got.begin(), got.end(), by_key);
+    EXPECT_EQ(got, want) << "mask=" << mask;
+    EXPECT_EQ(idx.CountMatches(p), want.size()) << "mask=" << mask;
+    EXPECT_EQ(idx.EstimateMatches(p), want.size()) << "mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, DeltaIndexPatternTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace lsd

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Runs bench_closure with JSON output and writes BENCH_closure.json at
+# the repo root, for checking benchmark numbers into the tree.
+#
+# Usage: tools/bench_json.sh [build-dir] [benchmark-filter]
+#   build-dir          defaults to ./build
+#   benchmark-filter   defaults to all closure benchmarks
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+filter=${2:-}
+
+bench="$build_dir/bench/bench_closure"
+if [ ! -x "$bench" ]; then
+  echo "error: $bench not found or not executable." >&2
+  echo "Build it first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+out="$repo_root/BENCH_closure.json"
+if [ -n "$filter" ]; then
+  "$bench" --benchmark_format=json --benchmark_filter="$filter" > "$out"
+else
+  "$bench" --benchmark_format=json > "$out"
+fi
+echo "wrote $out"
