@@ -1,11 +1,13 @@
 // E11 (ablation): conjunct ordering in the matcher. The same query is
 // evaluated with three policies:
 //   kFixed          left-to-right as written (no optimizer);
-//   kBoundCount     greedy on bound positions (the default);
-//   kEstimatedCost  greedy on match-count estimates (better orders,
-//                   pays estimation per step).
+//   kBoundCount     dynamic greedy on bound positions (the former
+//                   default; no defense against cross products);
+//   kEstimatedCost  static cost-based, connectivity-aware plan from
+//                   EstimateMatchesBound statistics (the default).
 // The test query is written selectivity-hostile: its first conjunct is
-// a full wildcard scan.
+// a full wildcard scan, and the most-bound conjunct is an unconnected
+// membership test (the bound-count trap).
 #include <benchmark/benchmark.h>
 
 #include <map>

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <set>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -13,6 +14,11 @@ namespace {
 bool EligibleLatticeEntity(const EntityTable& entities, EntityId e) {
   return entities.Kind(e) == EntityKind::kRegular;
 }
+
+// Below this many wave candidates per worker the probes stay on the
+// calling thread: spawning would cost more than the evaluation work it
+// distributes.
+constexpr size_t kMinQueriesPerWorker = 4;
 
 }  // namespace
 
@@ -255,6 +261,8 @@ StatusOr<ProbeResult> Prober::Probe(const Query& query,
   Evaluator evaluator(view_, entities_);
   EvalOptions eval_options;
   eval_options.max_rows = options.max_rows_per_result;
+  eval_options.join_order = options.join_order;
+  eval_options.planner = planner_;
 
   // Diagnosis: constants of the original query unknown to the database.
   std::set<EntityId> unknown;
@@ -308,18 +316,61 @@ StatusOr<ProbeResult> Prober::Probe(const Query& query,
       break;
     }
     result.waves = wave;
-    for (Candidate& c : next) {
-      if (result.queries_attempted >= options.max_queries) break;
-      ++result.queries_attempted;
-      auto evaluated = evaluator.Evaluate(c.query, eval_options);
-      if (!evaluated.ok()) continue;  // unsafe variants are skipped
-      if (evaluated->Success()) {
-        ProbeSuccess s;
-        s.query = c.query.Clone();
-        s.substitutions = c.path;
-        s.result = std::move(*evaluated);
-        result.successes.push_back(std::move(s));
+    const size_t allowed = std::min(
+        next.size(), options.max_queries - result.queries_attempted);
+    result.queries_attempted += allowed;
+
+    // Existence probes first: a candidate only needs a yes/no here, so
+    // the evaluation stops at the first satisfying row (first_row_only
+    // short-circuits inside the join). Candidates are independent
+    // read-only evaluations over an immutable snapshot, so a wave is
+    // probed in parallel with the same discipline as the rule engine's
+    // closure rounds; the flags are merged in candidate order below, so
+    // the menu is identical at any thread count.
+    std::vector<char> succeeded(allowed, 0);
+    EvalOptions probe_options = eval_options;
+    probe_options.first_row_only = true;
+    probe_options.max_rows = 1;
+    auto probe_range = [&](size_t begin, size_t count) {
+      for (size_t i = begin; i < begin + count; ++i) {
+        auto evaluated = evaluator.Evaluate(next[i].query, probe_options);
+        // Unsafe variants are skipped.
+        succeeded[i] = evaluated.ok() && evaluated->Success() ? 1 : 0;
       }
+    };
+    size_t num_threads = options.num_threads;
+    if (num_threads == 0) {
+      num_threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    const size_t workers = std::max<size_t>(
+        1, std::min(num_threads, allowed / kMinQueriesPerWorker));
+    if (workers == 1) {
+      probe_range(0, allowed);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(workers - 1);
+      const size_t chunk = (allowed + workers - 1) / workers;
+      for (size_t w = 1; w < workers; ++w) {
+        const size_t begin = std::min(allowed, w * chunk);
+        const size_t count = std::min(allowed - begin, chunk);
+        threads.emplace_back(
+            [&probe_range, begin, count] { probe_range(begin, count); });
+      }
+      probe_range(0, std::min(allowed, chunk));
+      for (std::thread& t : threads) t.join();
+    }
+
+    // Materialize full results only for the successes (typically a
+    // handful per wave), sequentially and in candidate order.
+    for (size_t i = 0; i < allowed; ++i) {
+      if (!succeeded[i]) continue;
+      auto evaluated = evaluator.Evaluate(next[i].query, eval_options);
+      if (!evaluated.ok() || !evaluated->Success()) continue;
+      ProbeSuccess s;
+      s.query = next[i].query.Clone();
+      s.substitutions = next[i].path;
+      s.result = std::move(*evaluated);
+      result.successes.push_back(std::move(s));
     }
     if (!result.successes.empty()) break;
     if (result.queries_attempted >= options.max_queries) break;

@@ -78,6 +78,15 @@ struct ProbeOptions {
   int max_waves = 4;
   size_t max_queries = 20'000;  // total retraction queries attempted
   size_t max_rows_per_result = 1'000;
+
+  // Conjunct ordering for the probe evaluations (ablation E11).
+  JoinOrder join_order = JoinOrder::kEstimatedCost;
+
+  // Worker threads for a wave's candidate probes (0 = hardware
+  // concurrency, 1 = sequential). A wave's candidates are independent
+  // existence checks; they are probed in parallel and the results merged
+  // in candidate order, so the menu is identical at any thread count.
+  unsigned num_threads = 1;
 };
 
 struct ProbeSuccess {
@@ -108,10 +117,16 @@ struct ProbeResult {
 
 class Prober {
  public:
-  // All borrowed; the lattice must match the view's closure.
+  // All borrowed; the lattice must match the view's closure. `planner`
+  // (optional) is a shared plan cache valid for the view's snapshot —
+  // a wave's sibling queries differ only in constants, so they all hit
+  // one cached plan.
   Prober(const ClosureView* view, const GeneralizationLattice* lattice,
-         const EntityTable* entities)
-      : view_(view), lattice_(lattice), entities_(entities) {}
+         const EntityTable* entities, PlannerCache* planner = nullptr)
+      : view_(view),
+        lattice_(lattice),
+        entities_(entities),
+        planner_(planner) {}
 
   // The retraction set of `query`: all minimally broader queries, each
   // tagged with the substitution that produced it.
@@ -126,6 +141,7 @@ class Prober {
   const ClosureView* view_;
   const GeneralizationLattice* lattice_;
   const EntityTable* entities_;
+  PlannerCache* planner_;
 };
 
 }  // namespace lsd

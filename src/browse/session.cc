@@ -35,6 +35,11 @@ StatusOr<NeighborhoodView> BrowseSession::Forward() {
   return NeighborhoodOfCurrent();
 }
 
+StatusOr<ProbeResult> BrowseSession::Probe(std::string_view query_text,
+                                           const ProbeOptions& options) {
+  return db_->Probe(query_text, options);
+}
+
 std::string BrowseSession::Breadcrumbs() const {
   std::string out;
   for (size_t i = 0; i < trail_.size(); ++i) {

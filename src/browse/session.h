@@ -44,6 +44,12 @@ class BrowseSession {
   // "JOHN > PC#9-WAM > MOZART" with the current position bracketed.
   std::string Breadcrumbs() const;
 
+  // Browsing by probing (Sec 5) from within the session: runs the query
+  // with automatic retraction against the session's database, reusing
+  // its cached lattice and query plans.
+  StatusOr<ProbeResult> Probe(std::string_view query_text,
+                              const ProbeOptions& options = {});
+
  private:
   StatusOr<NeighborhoodView> NeighborhoodOfCurrent();
 

@@ -38,7 +38,8 @@ void LooseDb::MaintainIncremental(const Fact& f, bool asserted) {
     return;
   }
   inc_store_version_ = store_.version();
-  lattice_ = nullptr;  // contents changed under the stable view pointer
+  // The lattice and plan caches are version-keyed; the bumped store
+  // version invalidates them on next use.
 }
 
 Status LooseDb::LogAssert(const Fact& f) {
@@ -165,7 +166,6 @@ StatusOr<const ClosureView*> LooseDb::View() const {
       }
       inc_store_version_ = store_.version();
       inc_rules_version_ = rules_version_;
-      lattice_ = nullptr;
     }
     return &incremental_->view();
   }
@@ -174,7 +174,6 @@ StatusOr<const ClosureView*> LooseDb::View() const {
     auto closure = engine_.ComputeClosure(rules_, options_.closure);
     if (!closure.ok()) return closure.status();
     closure_ = std::move(*closure);
-    lattice_ = nullptr;
     closure_store_version_ = store_.version();
     closure_rules_version_ = rules_version_;
   }
@@ -187,11 +186,24 @@ const ClosureStats* LooseDb::closure_stats() const {
 
 StatusOr<const GeneralizationLattice*> LooseDb::Lattice() const {
   LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
-  if (lattice_ == nullptr) {
+  if (lattice_ == nullptr || lattice_store_version_ != store_.version() ||
+      lattice_rules_version_ != rules_version_) {
     lattice_ = std::make_unique<GeneralizationLattice>(
         GeneralizationLattice::Build(*view));
+    lattice_store_version_ = store_.version();
+    lattice_rules_version_ = rules_version_;
   }
   return lattice_.get();
+}
+
+PlannerCache* LooseDb::Planner() const {
+  if (planner_store_version_ != store_.version() ||
+      planner_rules_version_ != rules_version_) {
+    planner_.Clear();
+    planner_store_version_ = store_.version();
+    planner_rules_version_ = rules_version_;
+  }
+  return &planner_;
 }
 
 Status LooseDb::CheckIntegrity() const {
@@ -213,7 +225,9 @@ StatusOr<ResultSet> LooseDb::Run(const lsd::Query& query,
                                  const EvalOptions& options) const {
   LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
   Evaluator evaluator(view, &store_.entities());
-  return evaluator.Evaluate(query, options);
+  EvalOptions effective = options;
+  if (effective.planner == nullptr) effective.planner = Planner();
+  return evaluator.Evaluate(query, effective);
 }
 
 StatusOr<ResultSet> LooseDb::Query(std::string_view text,
@@ -280,7 +294,7 @@ StatusOr<ProbeResult> LooseDb::Probe(const lsd::Query& query,
                                      const ProbeOptions& options) const {
   LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
   LSD_ASSIGN_OR_RETURN(const GeneralizationLattice* lattice, Lattice());
-  Prober prober(view, lattice, &store_.entities());
+  Prober prober(view, lattice, &store_.entities(), Planner());
   return prober.Probe(query, options);
 }
 

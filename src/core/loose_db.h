@@ -190,9 +190,20 @@ class LooseDb {
 
   // Closure cache, keyed by (store version, rules version).
   mutable std::unique_ptr<Closure> closure_;
-  mutable std::unique_ptr<GeneralizationLattice> lattice_;
   mutable uint64_t closure_store_version_ = 0;
   mutable uint64_t closure_rules_version_ = 0;
+
+  // Generalization lattice cache, keyed the same way. Rebuilding the
+  // lattice is a full closure scan, and probing needs it on every call.
+  mutable std::unique_ptr<GeneralizationLattice> lattice_;
+  mutable uint64_t lattice_store_version_ = 0;
+  mutable uint64_t lattice_rules_version_ = 0;
+
+  // Query-plan cache shared by Run/Probe, valid for one closure
+  // snapshot (same keying). Internally synchronized.
+  mutable PlannerCache planner_;
+  mutable uint64_t planner_store_version_ = 0;
+  mutable uint64_t planner_rules_version_ = 0;
 
   // Incremental mode state (options_.incremental_maintenance).
   mutable std::unique_ptr<IncrementalClosure> incremental_;
@@ -200,6 +211,9 @@ class LooseDb {
   mutable uint64_t inc_rules_version_ = 0;
 
   StatusOr<const GeneralizationLattice*> Lattice() const;
+  // The plan cache for the current (store, rules) snapshot, cleared on
+  // version mismatch.
+  PlannerCache* Planner() const;
   // Applies a point mutation to the incremental closure if it is live.
   void MaintainIncremental(const Fact& f, bool asserted);
 };

@@ -14,8 +14,11 @@ namespace {
 class EvalContext {
  public:
   EvalContext(const FactSource& view, const EntityTable& entities,
-              JoinOrder join_order)
-      : view_(view), entities_(entities), join_order_(join_order) {}
+              JoinOrder join_order, PlannerCache* planner)
+      : view_(view),
+        entities_(entities),
+        join_order_(join_order),
+        planner_(planner) {}
 
   // Enumerates extensions of `b` satisfying `node`. `emit` returns false
   // to stop; `stopped` distinguishes early stop from exhaustion.
@@ -49,15 +52,16 @@ class EvalContext {
           }
           return true;
         },
-        join_order_);
+        join_order_, planner_);
     return status;
   }
 
   Status EvalAnd(const AstNode& node, Binding& b,
                  const BindingVisitor& emit, bool& stopped) {
-    // Atom children are joined by the matcher (which orders them by
-    // boundness); complex children are chained afterwards, left to
-    // right, under each atom match.
+    // Atom children are joined by the matcher (ordered per the active
+    // JoinOrder policy — by default a static cost-based plan); complex
+    // children are chained afterwards, left to right, under each atom
+    // match.
     std::vector<Template> atoms;
     std::vector<const AstNode*> complex;
     for (const auto& c : node.children) {
@@ -92,7 +96,7 @@ class EvalContext {
     }
     Status match_status = MatchConjunction(
         view_, atoms, b, nullptr,
-        [&](const Binding&) { return chain(0, b); }, join_order_);
+        [&](const Binding&) { return chain(0, b); }, join_order_, planner_);
     if (!match_status.ok()) return match_status;
     return status;
   }
@@ -198,6 +202,7 @@ class EvalContext {
   const FactSource& view_;
   const EntityTable& entities_;
   JoinOrder join_order_;
+  PlannerCache* planner_;
 };
 
 }  // namespace
@@ -216,7 +221,7 @@ StatusOr<ResultSet> Evaluator::Evaluate(const Query& query,
   std::set<std::vector<EntityId>> rows;
   Binding binding(query.num_vars());
   bool stopped = false;
-  EvalContext ctx(*view_, *entities_, options.join_order);
+  EvalContext ctx(*view_, *entities_, options.join_order, options.planner);
   Status status = ctx.Eval(
       *query.root(), binding,
       [&](const Binding& b) {

@@ -32,11 +32,21 @@ struct EvalOptions {
   size_t max_rows = 1'000'000;
 
   // Probing only needs to know whether a query succeeds; stop at the
-  // first satisfying row.
+  // first satisfying row. Pushed down into the join: the matcher's
+  // enumeration short-circuits at the first complete binding instead of
+  // materializing rows that are then discarded.
   bool first_row_only = false;
 
-  // Conjunct ordering policy (ablation E11).
-  JoinOrder join_order = JoinOrder::kBoundCount;
+  // Conjunct ordering policy (ablation E11). The default is the static
+  // cost-based, connectivity-aware planner; kBoundCount (the former
+  // default) and kFixed remain as ablations.
+  JoinOrder join_order = JoinOrder::kEstimatedCost;
+
+  // Optional shared plan cache for kEstimatedCost. Borrowed; may be
+  // null (each conjunction is then planned on the spot). Callers
+  // evaluating many same-shaped queries against one closure snapshot
+  // (e.g. a probing wave) should share one cache.
+  PlannerCache* planner = nullptr;
 };
 
 struct ResultSet {

@@ -164,6 +164,53 @@ bool ClosureView::Enumerable(const Pattern& p) const {
   return true;
 }
 
+double ClosureView::EstimateMatchesBound(const Pattern& p,
+                                         uint8_t bound_mask) const {
+  auto stored = [&](const Pattern& q) {
+    double n = store_->base_source().EstimateMatchesBound(q, bound_mask);
+    if (derived_ != nullptr) {
+      n += derived_->EstimateMatchesBound(q, bound_mask);
+    }
+    return n;
+  };
+  auto rewrite_scan = [&]() {
+    // A literal ANY/NONE position matches every stored value there, so
+    // the real work is the wildcarded scan (see AnyRewriteForEach).
+    Pattern scan = p;
+    if (p.source == kEntBottom) scan.source = kAnyEntity;
+    if (p.relationship == kEntTop) scan.relationship = kAnyEntity;
+    if (p.target == kEntTop) scan.target = kAnyEntity;
+    return stored(scan);
+  };
+  if (p.RelationshipBound()) {
+    if (p.relationship == kEntIsa) {
+      const bool s = p.SourceBound() || (bound_mask & kBindSource);
+      const bool t = p.TargetBound() || (bound_mask & kBindTarget);
+      // Reflexivity plus top/bottom axioms: a handful once an operand is
+      // pinned, an entity-table sweep otherwise.
+      const double axioms =
+          (s || t) ? 2.0 : 2.0 * static_cast<double>(store_->entities().size());
+      return stored(p) + axioms;
+    }
+    if (MathProvider::IsComparator(p.relationship)) {
+      return stored(p) + math_->EstimateMatchesBound(p, bound_mask);
+    }
+    if (p.relationship == kEntTop || p.source == kEntBottom ||
+        p.target == kEntTop) {
+      return rewrite_scan();
+    }
+    return stored(p);
+  }
+  if (p.source == kEntBottom || p.target == kEntTop) return rewrite_scan();
+  if (bound_mask & kBindRelationship) {
+    // The relationship will hold some unknown value, which may land on
+    // the virtual math layer; price that possibility in as an upper
+    // bound.
+    return stored(p) + math_->EstimateMatchesBound(p, bound_mask);
+  }
+  return stored(p);
+}
+
 size_t ClosureView::EstimateMatches(const Pattern& p) const {
   size_t n = store_->base().CountMatches(p);
   if (derived_ != nullptr) n += derived_->EstimateMatches(p);

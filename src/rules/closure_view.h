@@ -40,6 +40,14 @@ class ClosureView final : public FactSource {
   bool Enumerable(const Pattern& p) const override;
   size_t EstimateMatches(const Pattern& p) const override;
 
+  // Planner estimate mirroring ForEach's dispatch: ISA axioms and
+  // comparator sweeps are priced in, and a pattern holding a literal
+  // ANY/NONE is estimated as the wildcarded rewrite scan it triggers
+  // (EstimateMatches prices the literal range, which is usually empty —
+  // exactly wrong for probing waves that generalize toward ANY).
+  double EstimateMatchesBound(const Pattern& p,
+                              uint8_t bound_mask) const override;
+
   const FactStore& store() const { return *store_; }
 
  private:

@@ -75,8 +75,12 @@ Status IncrementalClosure::Propagate(TripleIndex delta) {
                      : &full});
         }
         Binding binding(rule.num_vars());
-        LSD_RETURN_IF_ERROR(
-            MatchConjunction(std::move(specs), binding, filter, derive));
+        // Delta-pinned closure joins stay on the dynamic bound-count
+        // pick: bodies are 1-2 atoms, so a planner pass per delta fact
+        // would cost more than it saves.
+        LSD_RETURN_IF_ERROR(MatchConjunction(std::move(specs), binding,
+                                             filter, derive,
+                                             JoinOrder::kBoundCount));
       }
     }
     if (next.empty()) break;
@@ -126,11 +130,13 @@ StatusOr<bool> IncrementalClosure::Derivable(const Fact& f) const {
       Binding binding(rule.num_vars());
       if (!head.Unify(f, binding)) continue;
       bool found = false;
-      Status s = MatchConjunction(full, rule.body, binding, filter,
-                                  [&](const Binding&) {
-                                    found = true;
-                                    return false;  // one proof suffices
-                                  });
+      Status s = MatchConjunction(
+          full, rule.body, binding, filter,
+          [&](const Binding&) {
+            found = true;
+            return false;  // one proof suffices
+          },
+          JoinOrder::kBoundCount);
       LSD_RETURN_IF_ERROR(s);
       if (found) return true;
     }
@@ -196,7 +202,8 @@ Status IncrementalClosure::OnRetract(const Fact& f) {
         Binding binding(rule.num_vars());
         buffered.clear();
         LSD_RETURN_IF_ERROR(MatchConjunction(std::move(specs), binding,
-                                             filter, overestimate));
+                                             filter, overestimate,
+                                             JoinOrder::kBoundCount));
         for (const Fact& h : buffered) {
           if (!derived_.Contains(h)) continue;
           derived_.Erase(h);

@@ -7,10 +7,13 @@ namespace lsd {
 namespace {
 
 // Recursive backtracking join. `done` marks atoms already matched.
+// `rank` (kEstimatedCost only) is the static plan's priority per atom;
+// the recursion follows it but still defers atoms that are not
+// enumerable under the actual binding.
 Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
                 size_t remaining, Binding& binding,
                 const VarFilter& var_filter, const BindingVisitor& visit,
-                JoinOrder order, bool& stopped) {
+                JoinOrder order, const uint32_t* rank, bool& stopped) {
   if (remaining == 0) {
     if (!visit(binding)) stopped = true;
     return Status::OK();
@@ -34,8 +37,11 @@ Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
         score = -static_cast<double>(p.BoundCount());
         break;
       case JoinOrder::kEstimatedCost:
-        score = static_cast<double>(
-            atoms[i].source->EstimateMatches(p));
+        // Follow the static plan; fall back to a per-node estimate when
+        // no plan was provided.
+        score = rank != nullptr
+                    ? static_cast<double>(rank[i])
+                    : static_cast<double>(atoms[i].source->EstimateMatches(p));
         break;
       case JoinOrder::kFixed:
         score = static_cast<double>(i);
@@ -84,7 +90,7 @@ Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
     }
     if (admissible) {
       status = MatchRec(atoms, done, remaining - 1, binding, var_filter,
-                        visit, order, stopped);
+                        visit, order, rank, stopped);
     }
     for (size_t i = 0; i < num_newly_bound; ++i) {
       binding.Unset(newly_bound[i]);
@@ -96,30 +102,226 @@ Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
   return status;
 }
 
+void AppendBytes(std::string& key, const void* data, size_t n) {
+  key.append(reinterpret_cast<const char*>(data), n);
+}
+
 }  // namespace
+
+ConjunctionPlan PlanConjunction(const std::vector<AtomSpec>& atoms,
+                                const Binding& binding,
+                                const EstimateFn* estimate) {
+  const size_t n = atoms.size();
+  ConjunctionPlan plan;
+  plan.rank.assign(n, 0);
+
+  // Variables pinned so far: initially-bound ones plus those the steps
+  // already planned will have bound ("simulated bound").
+  std::vector<char> bound(binding.num_vars(), 0);
+  for (VarId v = 0; v < binding.num_vars(); ++v) {
+    bound[v] = binding.IsBound(v) ? 1 : 0;
+  }
+
+  struct AtomInfo {
+    VarId vars[3];
+    size_t num_vars;
+  };
+  std::vector<AtomInfo> info(n);
+  for (size_t i = 0; i < n; ++i) {
+    info[i].num_vars = atoms[i].tmpl.CollectVars(info[i].vars);
+  }
+
+  std::vector<bool> chosen(n, false);
+  for (uint32_t step = 0; step < n; ++step) {
+    int best = -1;
+    double best_cost = 0;
+    bool best_connected = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (chosen[i]) continue;
+      const Template& t = atoms[i].tmpl;
+      Pattern p = t.Bind(binding);
+
+      // Positions a variable pinned by an earlier planned step will fill
+      // at match time. Initially-bound variables are already concrete in
+      // `p` and need no mask bit.
+      uint8_t mask = 0;
+      auto mask_term = [&](const Term& term, uint8_t bit) {
+        if (term.is_variable() && !binding.IsBound(term.var()) &&
+            bound[term.var()]) {
+          mask |= bit;
+        }
+      };
+      mask_term(t.source, kBindSource);
+      mask_term(t.relationship, kBindRelationship);
+      mask_term(t.target, kBindTarget);
+
+      // Plan-time enumerability probe: masked positions hold a neutral
+      // built-in sentinel. Enumerable implementations only inspect
+      // boundness except for comparator checks on the relationship, and
+      // the sentinel is not a comparator, so this never falsely reports
+      // non-enumerable; the runtime deferral in MatchRec covers whatever
+      // value actually arrives.
+      Pattern probe = p;
+      if (mask & kBindSource) probe.source = kEntClassRel;
+      if (mask & kBindRelationship) probe.relationship = kEntClassRel;
+      if (mask & kBindTarget) probe.target = kEntClassRel;
+      if (probe.BoundCount() != 3 && !atoms[i].source->Enumerable(probe)) {
+        continue;
+      }
+
+      // Connected = joins the chain built so far (mentions a pinned
+      // variable) or is a pure constant existence test. A conjunct with
+      // only fresh variables is a cross product against the chain and
+      // must never be preferred over a connected one, no matter how
+      // cheap it looks.
+      bool connected = info[i].num_vars == 0;
+      for (size_t j = 0; j < info[i].num_vars; ++j) {
+        if (bound[info[i].vars[j]]) {
+          connected = true;
+          break;
+        }
+      }
+
+      const double cost = estimate != nullptr
+                              ? (*estimate)(atoms[i].source, p, mask)
+                              : atoms[i].source->EstimateMatchesBound(p, mask);
+      const bool better =
+          best < 0 || (connected && !best_connected) ||
+          (connected == best_connected && cost < best_cost);
+      if (better) {
+        best = static_cast<int>(i);
+        best_cost = cost;
+        best_connected = connected;
+      }
+    }
+    if (best < 0) {
+      // Nothing left is plan-enumerable (an unsafe conjunction, or one
+      // whose safety hinges on runtime values). Schedule the leftovers
+      // in written order; MatchRec's deferral and unsafe error handle
+      // them identically under every policy.
+      for (size_t i = 0; i < n; ++i) {
+        if (!chosen[i]) {
+          chosen[i] = true;
+          plan.rank[i] = step++;
+        }
+      }
+      break;
+    }
+    chosen[best] = true;
+    plan.rank[best] = step;
+    for (size_t j = 0; j < info[best].num_vars; ++j) {
+      bound[info[best].vars[j]] = 1;
+    }
+  }
+  return plan;
+}
+
+size_t PlannerCache::EstimateKeyHash::operator()(const EstimateKey& k) const {
+  uint64_t h = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(k.source));
+  h = h * 0x9e3779b97f4a7c15ULL + k.pattern.source;
+  h = h * 0x9e3779b97f4a7c15ULL + k.pattern.relationship;
+  h = h * 0x9e3779b97f4a7c15ULL + k.pattern.target;
+  h = h * 0x9e3779b97f4a7c15ULL + k.mask;
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 32;
+  return static_cast<size_t>(h);
+}
+
+const ConjunctionPlan* PlannerCache::GetOrPlan(
+    const std::vector<AtomSpec>& atoms, const Binding& binding) {
+  // Shape key: atom sources, variable structure (with boundness), and
+  // planner-significant constants. Regular source/target constants are
+  // abstracted to a generic marker so sibling queries differing only in
+  // those constants share a plan.
+  std::string key;
+  key.reserve(atoms.size() * 32);
+  for (const AtomSpec& a : atoms) {
+    const FactSource* src = a.source;
+    AppendBytes(key, &src, sizeof(src));
+    for (int pos = 0; pos < 3; ++pos) {
+      const Term& t = a.tmpl.at(pos);
+      if (t.is_variable()) {
+        key.push_back(binding.IsBound(t.var()) ? 'B' : 'V');
+        const VarId v = t.var();
+        AppendBytes(key, &v, sizeof(v));
+      } else if (pos == 1 || t.entity() < kNumBuiltinEntities) {
+        // Relationship constants and built-ins (ANY/NONE rewrites,
+        // comparators, ISA) change what the pattern even means — keep
+        // them in the key.
+        key.push_back('E');
+        const EntityId e = t.entity();
+        AppendBytes(key, &e, sizeof(e));
+      } else {
+        key.push_back('C');
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) return it->second.get();
+
+  EstimateFn memo = [this](const FactSource* s, const Pattern& p,
+                           uint8_t m) {
+    EstimateKey k{s, p, m};
+    auto eit = estimates_.find(k);
+    if (eit != estimates_.end()) return eit->second;
+    const double v = s->EstimateMatchesBound(p, m);
+    estimates_.emplace(k, v);
+    return v;
+  };
+  auto plan =
+      std::make_unique<ConjunctionPlan>(PlanConjunction(atoms, binding, &memo));
+  const ConjunctionPlan* out = plan.get();
+  plans_.emplace(std::move(key), std::move(plan));
+  return out;
+}
+
+void PlannerCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+  estimates_.clear();
+}
+
+size_t PlannerCache::plan_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
 
 Status MatchConjunction(const std::vector<AtomSpec>& atoms, Binding& binding,
                         const VarFilter& var_filter,
-                        const BindingVisitor& visit, JoinOrder order) {
+                        const BindingVisitor& visit, JoinOrder order,
+                        PlannerCache* planner) {
   for (const AtomSpec& a : atoms) {
     assert(a.source != nullptr);
     (void)a;
   }
   std::vector<bool> done(atoms.size(), false);
   bool stopped = false;
+  ConjunctionPlan local_plan;
+  const uint32_t* rank = nullptr;
+  if (order == JoinOrder::kEstimatedCost && !atoms.empty()) {
+    if (planner != nullptr) {
+      rank = planner->GetOrPlan(atoms, binding)->rank.data();
+    } else {
+      local_plan = PlanConjunction(atoms, binding);
+      rank = local_plan.rank.data();
+    }
+  }
   return MatchRec(atoms, done, atoms.size(), binding, var_filter, visit,
-                  order, stopped);
+                  order, rank, stopped);
 }
 
 Status MatchConjunction(const FactSource& source,
                         const std::vector<Template>& atoms,
                         Binding& binding, const VarFilter& var_filter,
-                        const BindingVisitor& visit, JoinOrder order) {
+                        const BindingVisitor& visit, JoinOrder order,
+                        PlannerCache* planner) {
   std::vector<AtomSpec> specs;
   specs.reserve(atoms.size());
   for (const Template& t : atoms) specs.push_back(AtomSpec{t, &source});
-  return MatchConjunction(std::move(specs), binding, var_filter, visit,
-                          order);
+  return MatchConjunction(specs, binding, var_filter, visit, order, planner);
 }
 
 }  // namespace lsd

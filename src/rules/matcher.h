@@ -3,23 +3,43 @@
 // by the rule engine (which pins one atom to the semi-naive delta) and
 // the query evaluator (which matches conjunctions of query atoms).
 //
-// Atom ordering is greedy: at each step the most-bound enumerable atom is
-// matched next. Atoms over virtual relations that cannot be enumerated
-// under the current binding (e.g. (?X, <, ?Y) with both operands unbound)
-// are deferred; if only such atoms remain, matching fails with an
-// "unsafe" error rather than attempting an infinite enumeration.
+// Atom ordering is a policy (JoinOrder). The default, kEstimatedCost, is
+// a static cost-based plan computed once per conjunction before the
+// search starts: atoms are ordered greedily by binding-pattern-aware
+// cardinality estimates (FactSource::EstimateMatchesBound), with a strict
+// connectivity preference — an atom sharing no variable with the join
+// chain built so far is never scheduled ahead of a connected one, no
+// matter how bound it looks, because an unconnected atom is a cross
+// product. Plans are pure orderings, so they can be cached and reused
+// across queries with the same shape (PlannerCache); the probing search
+// re-binds constants across a wave's sibling queries this way.
+//
+// Whatever the policy decided, execution keeps a runtime safety check:
+// atoms over virtual relations that cannot be enumerated under the
+// current binding (e.g. (?X, <, ?Y) with both operands unbound) are
+// deferred; if only such atoms remain, matching fails with an "unsafe"
+// error rather than attempting an infinite enumeration. Enumerability
+// under a binding depends only on which variables are bound — never on
+// their values — so every policy defers, succeeds, and errors on exactly
+// the same conjunctions; order changes performance, not results.
 //
 // Thread safety: MatchConjunction keeps all search state (the done set,
 // the binding, the stopped flag) on the caller's stack, so concurrent
 // calls with distinct Binding instances are safe as long as every
 // FactSource involved is only read during the match. The parallel rule
-// engine relies on this: all stored indexes are immutable for the
-// duration of a round, and MathProvider is stateless over a const
-// EntityTable.
+// engine and the parallel probing waves rely on this: all stored indexes
+// are immutable for the duration of a round, and MathProvider is
+// stateless over a const EntityTable. PlannerCache is internally
+// synchronized and may be shared across matching threads.
 #ifndef LSD_RULES_MATCHER_H_
 #define LSD_RULES_MATCHER_H_
 
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "rules/template.h"
@@ -44,11 +64,14 @@ using BindingVisitor = std::function<bool(const Binding&)>;
 using VarFilter = std::function<bool(VarId, EntityId)>;
 
 // How the matcher orders conjuncts (ablation experiment E11):
-//   kBoundCount     greedy on number of bound positions (default: cheap
-//                   to decide, usually close to optimal);
-//   kEstimatedCost  greedy on the source's match-count estimate under
-//                   the current binding (better orders, estimation cost
-//                   per step);
+//   kBoundCount     dynamic greedy on number of bound positions at each
+//                   recursion node (the former default; kept as an
+//                   ablation — it has no defense against picking a
+//                   highly-bound but unconnected atom, i.e. a cross
+//                   product);
+//   kEstimatedCost  static cost-based, connectivity-aware plan computed
+//                   once per conjunction from EstimateMatchesBound
+//                   statistics (the default);
 //   kFixed          left-to-right as written, deferring only atoms that
 //                   are not yet enumerable (the "no optimizer" baseline).
 enum class JoinOrder : uint8_t {
@@ -57,22 +80,91 @@ enum class JoinOrder : uint8_t {
   kFixed,
 };
 
+// A static join order for one conjunction: rank[i] is the scheduling
+// priority of atoms[i] (0 = first). Execution follows ranks but still
+// defers atoms that are not enumerable under the actual binding, so a
+// plan is advice, never a soundness obligation.
+struct ConjunctionPlan {
+  std::vector<uint32_t> rank;
+};
+
+// Computes a cost-based, connectivity-aware plan for `atoms` under the
+// initial `binding`. Greedy: at each step, among the atoms connected to
+// the variables bound so far (falling back to all remaining atoms when
+// none is connected, e.g. for the first pick), choose the one with the
+// lowest EstimateMatchesBound — the pattern carries the constants known
+// at plan time, the mask marks positions earlier steps will have pinned.
+// `estimate` lets callers memoize the underlying source probes; pass
+// nullptr to query sources directly.
+using EstimateFn =
+    std::function<double(const FactSource*, const Pattern&, uint8_t)>;
+ConjunctionPlan PlanConjunction(const std::vector<AtomSpec>& atoms,
+                                const Binding& binding,
+                                const EstimateFn* estimate = nullptr);
+
+// Shape-keyed plan cache. Two conjunctions share a plan iff they have the
+// same atom sources, the same variable structure, and the same constants
+// in planner-significant positions: relationship constants and built-in
+// entities (ANY/NONE trigger rewrites, comparators hit the virtual math
+// layer) are part of the key, while regular source/target constants are
+// abstracted away — under the uniformity assumption they all have the
+// same expected cardinality, which is exactly what lets a retraction
+// wave's sibling queries (same template, different constants) reuse one
+// plan. Also memoizes the per-(source, pattern, mask) estimate probes
+// that planning performs. Valid for one closure snapshot: the owner must
+// Clear() (or discard) the cache when the underlying store or rules
+// change. Thread-safe.
+class PlannerCache {
+ public:
+  PlannerCache() = default;
+  PlannerCache(const PlannerCache&) = delete;
+  PlannerCache& operator=(const PlannerCache&) = delete;
+
+  // Returns the plan for the conjunction's shape, computing and caching
+  // it on first sight. The pointer stays valid until Clear().
+  const ConjunctionPlan* GetOrPlan(const std::vector<AtomSpec>& atoms,
+                                   const Binding& binding);
+
+  void Clear();
+  size_t plan_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<ConjunctionPlan>> plans_;
+  struct EstimateKey {
+    const FactSource* source;
+    Pattern pattern;
+    uint8_t mask;
+    friend bool operator==(const EstimateKey&, const EstimateKey&) = default;
+  };
+  struct EstimateKeyHash {
+    size_t operator()(const EstimateKey& k) const;
+  };
+  std::unordered_map<EstimateKey, double, EstimateKeyHash> estimates_;
+};
+
 // Enumerates bindings extending `binding` (modified during the search,
 // restored on return) that satisfy all atoms. Visits each satisfying
 // binding exactly once per derivation path (callers needing set semantics
 // deduplicate on projected variables). `atoms` is borrowed for the call
 // only, so hot loops can prebuild the spec list and reuse it.
+//
+// Under kEstimatedCost a plan is computed (or fetched from `planner`
+// when one is supplied) before the search; other policies ignore
+// `planner`.
 Status MatchConjunction(const std::vector<AtomSpec>& atoms, Binding& binding,
                         const VarFilter& var_filter,
                         const BindingVisitor& visit,
-                        JoinOrder order = JoinOrder::kBoundCount);
+                        JoinOrder order = JoinOrder::kEstimatedCost,
+                        PlannerCache* planner = nullptr);
 
 // Convenience overload: all atoms against one source.
 Status MatchConjunction(const FactSource& source,
                         const std::vector<Template>& atoms,
                         Binding& binding, const VarFilter& var_filter,
                         const BindingVisitor& visit,
-                        JoinOrder order = JoinOrder::kBoundCount);
+                        JoinOrder order = JoinOrder::kEstimatedCost,
+                        PlannerCache* planner = nullptr);
 
 }  // namespace lsd
 

@@ -78,6 +78,21 @@ size_t MathProvider::EstimateMatches(const Pattern& p) const {
   return entities_->size();
 }
 
+double MathProvider::EstimateMatchesBound(const Pattern& p,
+                                          uint8_t bound_mask) const {
+  // Masked positions will hold one (unknown) value at match time, so they
+  // count as bound. An unknown relationship might be any comparator, so
+  // the comparator-shaped estimates apply as an upper bound.
+  const bool rel_known = p.RelationshipBound();
+  if (!rel_known && !(bound_mask & kBindRelationship)) return 0.0;
+  if (rel_known && !IsComparator(p.relationship)) return 0.0;
+  const bool s = p.SourceBound() || (bound_mask & kBindSource);
+  const bool t = p.TargetBound() || (bound_mask & kBindTarget);
+  if (s && t) return 1.0;
+  if (rel_known && p.relationship == kEntEq && (s || t)) return 2.0;
+  return static_cast<double>(entities_->size());
+}
+
 bool MathProvider::Contradictory(EntityId r1, EntityId r2) {
   if (r1 > r2) std::swap(r1, r2);
   return (r1 == kEntLess && r2 == kEntGreater) ||

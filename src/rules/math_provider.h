@@ -40,6 +40,8 @@ class MathProvider final : public FactSource {
   bool ForEach(const Pattern& p, const FactVisitor& visit) const override;
   bool Enumerable(const Pattern& p) const override;
   size_t EstimateMatches(const Pattern& p) const override;
+  double EstimateMatchesBound(const Pattern& p,
+                              uint8_t bound_mask) const override;
 
   // True when facts (a, r1, b) and (a, r2, b) can never both hold — the
   // built-in contradiction pairs among comparators (Sec 3.5: "(<, ⊥, >)").

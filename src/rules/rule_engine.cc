@@ -137,7 +137,11 @@ Status MatchFullRule(const RoundContext& ctx, const Rule& rule,
   VarFilter vf = filter.active ? VarFilter(filter) : VarFilter();
   BindingVisitor derive = MakeDerive(ctx, rule, out);
   Binding binding(rule.num_vars());
-  return MatchConjunction(full, rule.body, binding, vf, derive);
+  // Closure bodies are 1-2 atoms matched once per round: the dynamic
+  // bound-count pick is already optimal there and skips the planner's
+  // estimation step.
+  return MatchConjunction(full, rule.body, binding, vf, derive,
+                          JoinOrder::kBoundCount);
 }
 
 // Joins the single remaining body atom against its source under the
@@ -229,7 +233,10 @@ void MatchDeltaSlice(const RoundContext& ctx, const Fact* facts, size_t n,
               bv = BindingVisitor(derive);
               if (filter.active) vf = VarFilter(filter);
             }
-            s = MatchConjunction(rest, binding, vf, bv);
+            // Per-delta-fact residual joins: planning each one would
+            // cost more than the dynamic bound-count pick saves.
+            s = MatchConjunction(rest, binding, vf, bv,
+                                 JoinOrder::kBoundCount);
           }
           if (!s.ok()) {
             out->status = s;

@@ -69,6 +69,17 @@ class DeltaIndex final : public FactSource {
     return CountMatches(p);
   }
 
+  // Planner estimate: disjoint tiers, so each tier's uniformity-scaled
+  // estimate (against its own distinct-value statistics) adds.
+  double EstimateMatchesBound(const Pattern& p,
+                              uint8_t bound_mask) const override {
+    return frozen_.EstimateMatchesBound(p, bound_mask) +
+           ScaleByDistinct(static_cast<double>(overlay_.CountMatches(p)),
+                           bound_mask, overlay_.DistinctSources(),
+                           overlay_.DistinctRelationships(),
+                           overlay_.DistinctTargets());
+  }
+
   // Merges the overlay into a new frozen run; the overlay becomes empty.
   void Compact();
 

@@ -54,6 +54,23 @@ size_t UnionSource::EstimateMatches(const Pattern& p) const {
   return n;
 }
 
+double IndexSource::EstimateMatchesBound(const Pattern& p,
+                                         uint8_t bound_mask) const {
+  return ScaleByDistinct(static_cast<double>(index_->CountMatches(p)),
+                         bound_mask, index_->DistinctSources(),
+                         index_->DistinctRelationships(),
+                         index_->DistinctTargets());
+}
+
+double UnionSource::EstimateMatchesBound(const Pattern& p,
+                                         uint8_t bound_mask) const {
+  double n = 0;
+  for (const FactSource* s : sources_) {
+    n += s->EstimateMatchesBound(p, bound_mask);
+  }
+  return n;
+}
+
 bool FactStore::Assert(const Fact& f) {
   bool inserted = base_.Insert(f);
   if (inserted) ++version_;

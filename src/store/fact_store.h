@@ -15,6 +15,36 @@
 
 namespace lsd {
 
+// Bit set naming which wildcard positions of a Pattern will hold a
+// single, as-yet-unknown value by the time the pattern is matched. The
+// query planner estimates an atom's cardinality before the join
+// variables feeding it are bound: the pattern carries the constants it
+// knows, the mask marks the positions earlier join steps will have
+// pinned by then.
+enum BoundMask : uint8_t {
+  kBindNone = 0,
+  kBindSource = 1,
+  kBindRelationship = 2,
+  kBindTarget = 4,
+};
+
+// Uniformity assumption: a position pinned to one (unknown) value keeps
+// 1/distinct of the matches seen with that position wildcarded.
+inline double ScaleByDistinct(double count, uint8_t bound_mask,
+                              size_t distinct_source, size_t distinct_rel,
+                              size_t distinct_target) {
+  if (bound_mask & kBindSource) {
+    count /= static_cast<double>(distinct_source ? distinct_source : 1);
+  }
+  if (bound_mask & kBindRelationship) {
+    count /= static_cast<double>(distinct_rel ? distinct_rel : 1);
+  }
+  if (bound_mask & kBindTarget) {
+    count /= static_cast<double>(distinct_target ? distinct_target : 1);
+  }
+  return count;
+}
+
 // Read-only stream of facts matching a pattern. Implementations:
 // IndexSource (a TripleIndex), UnionSource (layering), the rule engine's
 // ClosureView, MathProvider, IsaAxiomSource.
@@ -41,6 +71,17 @@ class FactSource {
   // full enumeration.
   virtual size_t EstimateMatches(const Pattern& p) const;
 
+  // Binding-pattern-aware estimate for the planner: positions in
+  // `bound_mask` are wildcards in `p` that will hold one unknown value at
+  // match time. The default ignores the mask (a safe upper bound);
+  // sources with statistics scale the wildcard count down by the number
+  // of distinct values in the masked positions.
+  virtual double EstimateMatchesBound(const Pattern& p,
+                                      uint8_t bound_mask) const {
+    (void)bound_mask;
+    return static_cast<double>(EstimateMatches(p));
+  }
+
   std::vector<Fact> Match(const Pattern& p) const;
 };
 
@@ -58,6 +99,8 @@ class IndexSource final : public FactSource {
   size_t EstimateMatches(const Pattern& p) const override {
     return index_->CountMatches(p);
   }
+  double EstimateMatchesBound(const Pattern& p,
+                              uint8_t bound_mask) const override;
 
  private:
   const TripleIndex* index_;
@@ -75,6 +118,8 @@ class UnionSource final : public FactSource {
   bool Contains(const Fact& f) const override;
   bool Enumerable(const Pattern& p) const override;
   size_t EstimateMatches(const Pattern& p) const override;
+  double EstimateMatchesBound(const Pattern& p,
+                              uint8_t bound_mask) const override;
 
  private:
   std::vector<const FactSource*> sources_;

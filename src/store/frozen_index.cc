@@ -71,6 +71,25 @@ FrozenIndex::FrozenIndex(std::vector<Fact> facts) {
   std::sort(rts_.begin(), rts_.end(), OrderRts());
   tsr_ = std::move(facts);
   std::sort(tsr_.begin(), tsr_.end(), OrderTsr());
+  RecomputeDistinct();
+}
+
+void FrozenIndex::RecomputeDistinct() {
+  // Each permutation is sorted on its leading component, so distinct
+  // values per position are transition counts: one O(n) pass each.
+  auto transitions = [](const std::vector<Fact>& v, auto key) {
+    size_t n = 0;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i == 0 || key(v[i - 1]) != key(v[i])) ++n;
+    }
+    return n;
+  };
+  distinct_sources_ =
+      transitions(srt_, [](const Fact& f) { return f.source; });
+  distinct_rels_ =
+      transitions(rts_, [](const Fact& f) { return f.relationship; });
+  distinct_targets_ =
+      transitions(tsr_, [](const Fact& f) { return f.target; });
 }
 
 FrozenIndex FrozenIndex::FromTripleIndex(const TripleIndex& index) {
@@ -97,6 +116,7 @@ FrozenIndex FrozenIndex::Merged(const FrozenIndex& base,
   out.rts_ = MergeSorted<OrderRts>(base.rts_, run);
   std::sort(run.begin(), run.end(), OrderTsr());
   out.tsr_ = MergeSorted<OrderTsr>(base.tsr_, run);
+  out.RecomputeDistinct();
   return out;
 }
 
@@ -122,6 +142,13 @@ bool FrozenIndex::ForEach(const Pattern& p, const FactVisitor& visit) const {
       return ScanSorted<OrderTsr>(tsr_, b.lo, b.hi, visit);
   }
   return true;
+}
+
+double FrozenIndex::EstimateMatchesBound(const Pattern& p,
+                                         uint8_t bound_mask) const {
+  return ScaleByDistinct(static_cast<double>(CountMatches(p)), bound_mask,
+                         distinct_sources_, distinct_rels_,
+                         distinct_targets_);
 }
 
 size_t FrozenIndex::CountMatches(const Pattern& p) const {

@@ -57,15 +57,31 @@ class FrozenIndex : public FactSource {
     return CountMatches(p);
   }
 
+  // Planner estimate: the exact wildcard count scaled down by the
+  // distinct-value statistics gathered at build time (uniformity
+  // assumption per masked position).
+  double EstimateMatchesBound(const Pattern& p,
+                              uint8_t bound_mask) const override;
+
+  // Distinct values per position, counted once at build time.
+  size_t DistinctSources() const { return distinct_sources_; }
+  size_t DistinctRelationships() const { return distinct_rels_; }
+  size_t DistinctTargets() const { return distinct_targets_; }
+
   // All facts in SRT order.
   const std::vector<Fact>& facts() const { return srt_; }
 
   size_t size() const { return srt_.size(); }
 
  private:
+  void RecomputeDistinct();
+
   std::vector<Fact> srt_;
   std::vector<Fact> rts_;
   std::vector<Fact> tsr_;
+  size_t distinct_sources_ = 0;
+  size_t distinct_rels_ = 0;
+  size_t distinct_targets_ = 0;
 };
 
 }  // namespace lsd

@@ -53,24 +53,64 @@ bool ScanRange(const Set& set, const Fact& lo, const Fact& hi,
   return true;
 }
 
+// Whether the fact at `it` is the only one in its set holding its value
+// of the leading component (per `same`). Each permutation sorts on its
+// leading component first, so equal values are neighbors of `it`.
+template <typename Set, typename Same>
+bool LoneLeadingValue(const Set& set, typename Set::iterator it,
+                      const Same& same) {
+  if (it != set.begin() && same(*std::prev(it), *it)) return false;
+  auto next = std::next(it);
+  return next == set.end() || !same(*it, *next);
+}
+
 }  // namespace
 
 bool TripleIndex::Insert(const Fact& f) {
-  bool inserted = srt_.insert(f).second;
+  auto [sit, inserted] = srt_.insert(f);
   if (inserted) {
-    rts_.insert(f);
-    tsr_.insert(f);
+    auto rit = rts_.insert(f).first;
+    auto tit = tsr_.insert(f).first;
+    // A position's distinct count grows iff the new fact's value there
+    // has no neighbor sharing it (the permutations lead with source,
+    // relationship, and target respectively).
+    auto src = [](const Fact& a, const Fact& b) {
+      return a.source == b.source;
+    };
+    auto rel = [](const Fact& a, const Fact& b) {
+      return a.relationship == b.relationship;
+    };
+    auto tgt = [](const Fact& a, const Fact& b) {
+      return a.target == b.target;
+    };
+    if (LoneLeadingValue(srt_, sit, src)) ++distinct_sources_;
+    if (LoneLeadingValue(rts_, rit, rel)) ++distinct_rels_;
+    if (LoneLeadingValue(tsr_, tit, tgt)) ++distinct_targets_;
   }
   return inserted;
 }
 
 bool TripleIndex::Erase(const Fact& f) {
-  bool erased = srt_.erase(f) > 0;
-  if (erased) {
-    rts_.erase(f);
-    tsr_.erase(f);
-  }
-  return erased;
+  auto sit = srt_.find(f);
+  if (sit == srt_.end()) return false;
+  auto rit = rts_.find(f);
+  auto tit = tsr_.find(f);
+  auto src = [](const Fact& a, const Fact& b) {
+    return a.source == b.source;
+  };
+  auto rel = [](const Fact& a, const Fact& b) {
+    return a.relationship == b.relationship;
+  };
+  auto tgt = [](const Fact& a, const Fact& b) {
+    return a.target == b.target;
+  };
+  if (LoneLeadingValue(srt_, sit, src)) --distinct_sources_;
+  if (LoneLeadingValue(rts_, rit, rel)) --distinct_rels_;
+  if (LoneLeadingValue(tsr_, tit, tgt)) --distinct_targets_;
+  srt_.erase(sit);
+  rts_.erase(rit);
+  tsr_.erase(tit);
+  return true;
 }
 
 bool TripleIndex::Contains(const Fact& f) const {
@@ -148,6 +188,9 @@ void TripleIndex::Clear() {
   srt_.clear();
   rts_.clear();
   tsr_.clear();
+  distinct_sources_ = 0;
+  distinct_rels_ = 0;
+  distinct_targets_ = 0;
 }
 
 }  // namespace lsd

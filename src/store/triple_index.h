@@ -54,6 +54,13 @@ class TripleIndex {
   // heuristic.
   size_t CountMatches(const Pattern& p) const;
 
+  // Number of distinct values in each position, maintained incrementally
+  // (an O(log n) neighbor probe per Insert/Erase). These feed the query
+  // planner's uniformity-scaled cardinality estimates.
+  size_t DistinctSources() const { return distinct_sources_; }
+  size_t DistinctRelationships() const { return distinct_rels_; }
+  size_t DistinctTargets() const { return distinct_targets_; }
+
   size_t size() const { return srt_.size(); }
   bool empty() const { return srt_.empty(); }
   void Clear();
@@ -62,6 +69,9 @@ class TripleIndex {
   std::set<Fact, OrderSrt> srt_;
   std::set<Fact, OrderRts> rts_;
   std::set<Fact, OrderTsr> tsr_;
+  size_t distinct_sources_ = 0;
+  size_t distinct_rels_ = 0;
+  size_t distinct_targets_ = 0;
 };
 
 }  // namespace lsd

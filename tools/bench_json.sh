@@ -1,27 +1,64 @@
 #!/usr/bin/env sh
-# Runs bench_closure with JSON output and writes BENCH_closure.json at
-# the repo root, for checking benchmark numbers into the tree.
+# Runs the checked-in benchmark suites with JSON output and writes the
+# results at the repo root, for checking benchmark numbers into the tree:
+#   BENCH_closure.json.new  bench_closure (rule-engine closure); the
+#                           checked-in BENCH_closure.json is a curated
+#                           before/after pair — compare by hand, don't
+#                           clobber it.
+#   BENCH_query.json        bench_join_order + bench_probing (query
+#                           planner and probing waves), combined into
+#                           one object keyed by suite name.
 #
 # Usage: tools/bench_json.sh [build-dir] [benchmark-filter]
 #   build-dir          defaults to ./build
-#   benchmark-filter   defaults to all closure benchmarks
+#   benchmark-filter   defaults to all benchmarks in each suite
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 filter=${2:-}
 
-bench="$build_dir/bench/bench_closure"
-if [ ! -x "$bench" ]; then
-  echo "error: $bench not found or not executable." >&2
-  echo "Build it first: cmake -B build -S . && cmake --build build -j" >&2
-  exit 1
-fi
+require() {
+  if [ ! -x "$1" ]; then
+    echo "error: $1 not found or not executable." >&2
+    echo "Build it first: cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+  fi
+}
 
-out="$repo_root/BENCH_closure.json"
-if [ -n "$filter" ]; then
-  "$bench" --benchmark_format=json --benchmark_filter="$filter" > "$out"
-else
-  "$bench" --benchmark_format=json > "$out"
-fi
+run_bench() {
+  # run_bench <binary> <output-file>
+  if [ -n "$filter" ]; then
+    "$1" --benchmark_format=json --benchmark_filter="$filter" > "$2"
+  else
+    "$1" --benchmark_format=json > "$2"
+  fi
+}
+
+closure="$build_dir/bench/bench_closure"
+join_order="$build_dir/bench/bench_join_order"
+probing="$build_dir/bench/bench_probing"
+require "$closure"
+require "$join_order"
+require "$probing"
+
+out="$repo_root/BENCH_closure.json.new"
+run_bench "$closure" "$out"
+echo "wrote $out"
+
+tmp_join=$(mktemp)
+tmp_probe=$(mktemp)
+trap 'rm -f "$tmp_join" "$tmp_probe"' EXIT
+run_bench "$join_order" "$tmp_join"
+run_bench "$probing" "$tmp_probe"
+
+out="$repo_root/BENCH_query.json"
+{
+  printf '{"comment": "raw bench_join_order + bench_probing runs (E11 conjunct-ordering ablation and E4 probing waves) for the current tree; regenerate with tools/bench_json.sh",\n'
+  printf '"bench_join_order":'
+  cat "$tmp_join"
+  printf ',"bench_probing":'
+  cat "$tmp_probe"
+  printf '}\n'
+} > "$out"
 echo "wrote $out"
