@@ -1,0 +1,254 @@
+// bench_server — multi-threaded load generator for the browsing server.
+//
+// Starts an in-process LsdServer over loopback TCP, seeds the campus
+// domain, then sweeps concurrent-session counts. Every session runs the
+// same read-mostly browsing mix (queries, navigation, probing — the
+// paper's interactive loop) over its own connection, and we report
+// aggregate throughput and client-observed latency percentiles.
+//
+// Not a google-benchmark suite: the unit of interest is end-to-end
+// requests per second against the shared store as sessions scale, which
+// needs real sockets, real threads, and a latency histogram.
+//
+//   bench_server [--sessions 1,4,16,64] [--requests N] [--json FILE]
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/shared_store.h"
+#include "workload/university_domain.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// The request mix one browsing session cycles through: mostly cheap
+// point queries and navigation, with a probing wave (the expensive,
+// internally parallel operation) every 8th request.
+const char* kMix[] = {
+    "query (TOM, ENROLLED-IN, ?C)",
+    "nav TOM",
+    "query (?S, ENROLLED-IN, MATH101)",
+    "nav CS100",
+    "query (FRESHMAN, LOVE, ?Z)",
+    "dist TOM SUE",
+    "query (BOB, ATTENDED, ?U)",
+    "probe (STUDENT, LOVE, ?Z) and (?Z, COSTS, FREE)",
+};
+constexpr size_t kMixSize = sizeof(kMix) / sizeof(kMix[0]);
+
+int Connect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+struct SweepResult {
+  int sessions = 0;
+  size_t requests = 0;
+  size_t errors = 0;
+  double seconds = 0;
+  double throughput_rps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+double PercentileUs(std::vector<int64_t>& ns, double p) {
+  if (ns.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(ns.size() - 1));
+  std::nth_element(ns.begin(), ns.begin() + idx, ns.end());
+  return static_cast<double>(ns[idx]) / 1000.0;
+}
+
+SweepResult RunSweep(uint16_t port, int sessions, int requests_per_session) {
+  std::vector<std::thread> clients;
+  std::vector<std::vector<int64_t>> latencies(sessions);
+  std::vector<size_t> errors(sessions, 0);
+
+  auto start = Clock::now();
+  for (int s = 0; s < sessions; ++s) {
+    clients.emplace_back([port, s, requests_per_session, &latencies,
+                          &errors] {
+      int fd = Connect(port);
+      if (fd < 0) {
+        errors[s] = static_cast<size_t>(requests_per_session);
+        return;
+      }
+      lsd::LineReader reader(fd);
+      auto greeting = lsd::ReadResponse(&reader);
+      if (!greeting.ok() || !greeting->ok) {
+        errors[s] = static_cast<size_t>(requests_per_session);
+        ::close(fd);
+        return;
+      }
+      latencies[s].reserve(static_cast<size_t>(requests_per_session));
+      for (int i = 0; i < requests_per_session; ++i) {
+        // Offset by session id so sessions are out of phase in the mix.
+        const char* line = kMix[(static_cast<size_t>(i) + s) % kMixSize];
+        auto t0 = Clock::now();
+        if (!lsd::WriteAll(fd, std::string(line) + "\n").ok()) {
+          ++errors[s];
+          break;
+        }
+        auto response = lsd::ReadResponse(&reader);
+        auto t1 = Clock::now();
+        if (!response.ok() || !response->ok) {
+          ++errors[s];
+          continue;
+        }
+        latencies[s].push_back(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+      }
+      (void)lsd::WriteAll(fd, "quit\n");
+      ::close(fd);
+    });
+  }
+  for (auto& t : clients) t.join();
+  double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+
+  SweepResult result;
+  result.sessions = sessions;
+  result.seconds = seconds;
+  std::vector<int64_t> all;
+  for (int s = 0; s < sessions; ++s) {
+    all.insert(all.end(), latencies[s].begin(), latencies[s].end());
+    result.errors += errors[s];
+  }
+  result.requests = all.size();
+  result.throughput_rps =
+      seconds > 0 ? static_cast<double>(all.size()) / seconds : 0;
+  result.p50_us = PercentileUs(all, 0.50);
+  result.p99_us = PercentileUs(all, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> session_counts = {1, 4, 16, 64};
+  int requests_per_session = 200;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--sessions" && i + 1 < argc) {
+      session_counts.clear();
+      std::string list = argv[++i];
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        session_counts.push_back(
+            std::atoi(list.substr(pos, comma - pos).c_str()));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (arg == "--requests" && i + 1 < argc) {
+      requests_per_session = std::atoi(argv[++i]);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--sessions 1,4,16,64] [--requests N] "
+                   "[--json FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  lsd::SharedStore store;
+  auto seeded = store.Commit([](lsd::LooseDb& db) {
+    lsd::workload::BuildCampusDomain(&db);
+    return lsd::Status::OK();
+  });
+  if (!seeded.ok()) {
+    std::fprintf(stderr, "seed failed: %s\n",
+                 seeded.status().ToString().c_str());
+    return 1;
+  }
+
+  lsd::ServerOptions options;
+  options.port = 0;
+  options.max_sessions =
+      static_cast<size_t>(
+          *std::max_element(session_counts.begin(), session_counts.end())) +
+      4;
+  lsd::LsdServer server(&store, options);
+  lsd::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("# bench_server: %d requests/session, read-mostly mix "
+              "(1 probe per %zu requests)\n",
+              requests_per_session, kMixSize);
+  std::printf("%10s %10s %12s %10s %10s %8s\n", "sessions", "requests",
+              "thruput_rps", "p50_us", "p99_us", "errors");
+
+  std::vector<SweepResult> results;
+  // Warm-up: populate the shared plan cache and lattice so the sweep
+  // measures steady-state serving, not first-touch materialization.
+  (void)RunSweep(server.port(), 1, static_cast<int>(kMixSize));
+  for (int sessions : session_counts) {
+    SweepResult r = RunSweep(server.port(), sessions, requests_per_session);
+    results.push_back(r);
+    std::printf("%10d %10zu %12.0f %10.1f %10.1f %8zu\n", r.sessions,
+                r.requests, r.throughput_rps, r.p50_us, r.p99_us, r.errors);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"comment\": \"bench_server read-mostly browsing mix "
+           "over loopback TCP; regenerate with tools/bench_json.sh. "
+           "Aggregate throughput scales with sessions only up to the "
+           "host's core count; on a single-core host expect flat "
+           "throughput with proportionally growing p50.\",\n"
+           "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency()
+        << ",\n  \"requests_per_session\": "
+        << requests_per_session << ",\n  \"sweeps\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+      const SweepResult& r = results[i];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"sessions\": %d, \"requests\": %zu, "
+                    "\"throughput_rps\": %.0f, \"p50_us\": %.1f, "
+                    "\"p99_us\": %.1f, \"errors\": %zu}%s\n",
+                    r.sessions, r.requests, r.throughput_rps, r.p50_us,
+                    r.p99_us, r.errors, i + 1 < results.size() ? "," : "");
+      out << buf;
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  server.Stop();
+  return 0;
+}

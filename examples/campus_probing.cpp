@@ -1,10 +1,14 @@
 // Reproduces the probing examples of Sec 5: the "free things all
 // students love" retraction menu (F4) and the USC quarterbacks cascade,
-// plus the misspelled-entity diagnosis.
+// plus the misspelled-entity diagnosis — then replays the same probe as
+// two concurrent clients of the serving layer, each with their own
+// hypothetical retractions over one shared store.
 #include <cstdio>
 
 #include "core/loose_db.h"
 #include "query/table_formatter.h"
+#include "server/session.h"
+#include "server/shared_store.h"
 #include "workload/university_domain.h"
 
 namespace {
@@ -36,6 +40,44 @@ void RunProbe(lsd::LooseDb& db, const char* text) {
   std::printf("\n");
 }
 
+void RunSession(lsd::ServerSession& session, const char* who,
+                const char* line) {
+  std::printf("[%s] > %s\n", who, line);
+  auto result = session.Execute(line);
+  if (result.ok()) {
+    std::printf("%s", result->c_str());
+  } else {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+  }
+}
+
+// Two browsers share one store. Alice hypothesizes away the fact behind
+// the FRESHMAN menu entry — her probe loses that success, Bob's keeps
+// it, and her own menu comes back once she drops the hypothesis.
+void TwoClientProbing() {
+  std::printf("== two clients, one shared store ==\n");
+  lsd::SharedStore store;
+  auto seeded = store.Commit([](lsd::LooseDb& db) {
+    lsd::workload::BuildCampusDomain(&db);
+    return lsd::Status::OK();
+  });
+  if (!seeded.ok()) {
+    std::fprintf(stderr, "seed error: %s\n",
+                 seeded.status().ToString().c_str());
+    return;
+  }
+
+  lsd::ServerSession alice(1, &store);
+  lsd::ServerSession bob(2, &store);
+  const char* probe = "probe (STUDENT, LOVE, ?Z) and (?Z, COSTS, FREE)";
+
+  RunSession(alice, "alice", "hypo retract (MOVIE-NIGHT, COSTS, FREE)");
+  RunSession(alice, "alice", probe);  // only the CHEAP selection
+  RunSession(bob, "bob", probe);      // the paper's full two-entry menu
+  RunSession(alice, "alice", "hypo clear");
+  RunSession(alice, "alice", probe);  // restored
+}
+
 }  // namespace
 
 int main() {
@@ -53,5 +95,8 @@ int main() {
 
   // A misspelled relationship is diagnosed.
   RunProbe(db, "(BOB, ATENDED, ?X)");
+
+  // The same probe, served: two clients with independent hypotheses.
+  TwoClientProbing();
   return 0;
 }

@@ -206,6 +206,50 @@ PlannerCache* LooseDb::Planner() const {
   return &planner_;
 }
 
+Status LooseDb::Warm() const {
+  LSD_RETURN_IF_ERROR(View().status());
+  LSD_RETURN_IF_ERROR(Lattice().status());
+  Planner();  // aligns the planner's version key with the snapshot
+  return Status::OK();
+}
+
+Status LooseDb::CloneInto(LooseDb* out) const {
+  if (out->store_.size() != 0 ||
+      out->store_.entities().size() != kNumBuiltinEntities ||
+      !out->rules_.empty()) {
+    return Status::FailedPrecondition(
+        "CloneInto requires a fresh LooseDb with standard_rules = false");
+  }
+  // Entities, in id order, so every id means the same thing in the clone
+  // (the same trick LoadSnapshot uses).
+  const EntityTable& src = store_.entities();
+  EntityTable& dst = out->store_.entities();
+  for (EntityId id = kNumBuiltinEntities; id < src.size(); ++id) {
+    EntityId copied = src.Kind(id) == EntityKind::kComposed
+                          ? dst.InternComposed(src.Name(id))
+                          : dst.Intern(src.Name(id));
+    if (copied != id) {
+      return Status::Internal("entity id mismatch while cloning: " +
+                              src.Name(id));
+    }
+  }
+  store_.base().ForEach(Pattern(), [&](const Fact& f) {
+    out->store_.Assert(f);
+    return true;
+  });
+  out->rules_ = rules_;
+  ++out->rules_version_;
+  out->composition_limit_ = composition_limit_;
+  for (const Definition& d : definitions_.all()) {
+    Definition copy;
+    copy.name = d.name;
+    copy.params = d.params;
+    copy.body = d.body.Clone();
+    LSD_RETURN_IF_ERROR(out->definitions_.Add(std::move(copy)));
+  }
+  return Status::OK();
+}
+
 Status LooseDb::CheckIntegrity() const {
   LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
   return lsd::CheckIntegrity(*view);
@@ -369,7 +413,7 @@ Status LooseDb::Save(const std::string& path_prefix) {
   wal_.Close();
   std::remove((path_prefix + ".wal").c_str());
   wal_path_ = path_prefix + ".wal";
-  return wal_.Open(wal_path_);
+  return wal_.Open(wal_path_, options_.wal_sync);
 }
 
 Status LooseDb::Open(const std::string& path_prefix) {
@@ -395,7 +439,7 @@ Status LooseDb::Open(const std::string& path_prefix) {
   LSD_RETURN_IF_ERROR(Wal::Replay(path_prefix + ".wal", &store_, &rules_));
   ++rules_version_;
   wal_path_ = path_prefix + ".wal";
-  return wal_.Open(wal_path_);
+  return wal_.Open(wal_path_, options_.wal_sync);
 }
 
 }  // namespace lsd

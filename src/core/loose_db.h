@@ -50,6 +50,9 @@ struct LooseDbOptions {
   // recomputing it (Sec 6.2's "update of data"; see rules/incremental.h).
   // Point updates become cheap; rule changes still trigger a rebuild.
   bool incremental_maintenance = false;
+  // Durability of the attached WAL (Save/Open): fsync every record or
+  // just flush it to the OS.
+  WalSync wal_sync = WalSync::kFlush;
 };
 
 class LooseDb {
@@ -95,6 +98,36 @@ class LooseDb {
   // limit(n) (Sec 6.1): bound on composition chain length; 1 disables.
   void SetCompositionLimit(int n) { composition_limit_ = n; }
   int composition_limit() const { return composition_limit_; }
+
+  // ---- Versions & cloning ------------------------------------------------
+
+  // The (store, rules) version key pair all internal caches (closure,
+  // lattice, planner) are keyed by. Observability breadcrumb for the
+  // shell's `stats` and the server's STATS verb; the serving layer also
+  // uses the pair to detect no-op commits.
+  uint64_t store_version() const { return store_.version(); }
+  uint64_t rules_version() const { return rules_version_; }
+
+  // Pre-materializes every lazily computed cache (closure, lattice,
+  // planner keying) so subsequent const reads never write the cache
+  // fields. A warmed database whose facts and rules no longer change is
+  // safe for concurrent readers: the entity table is internally
+  // synchronized, the planner cache is mutex-guarded, and everything
+  // else is read-only. This is the serving layer's publish barrier.
+  Status Warm() const;
+
+  // Copies facts, entities (ids preserved), rules, operator definitions
+  // and the composition limit into `out`, which must be freshly
+  // constructed with standard_rules = false (clean containers). The
+  // clone's caches start cold; its version counters restart. WAL
+  // attachment is not cloned. This is the serving layer's copy-on-commit
+  // path.
+  Status CloneInto(LooseDb* out) const;
+
+  // Planner-cache observability (hit rate across this database's life).
+  uint64_t planner_hits() const { return planner_.hits(); }
+  uint64_t planner_misses() const { return planner_.misses(); }
+  size_t planner_plan_count() const { return planner_.plan_count(); }
 
   // ---- Closure & integrity ----------------------------------------------
 

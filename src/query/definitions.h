@@ -47,6 +47,8 @@ class DefinitionRegistry {
   bool Has(std::string_view name) const;
   const Definition* Find(std::string_view name) const;
   std::vector<std::string> Names() const;
+  // All installed definitions, definition order (epoch cloning).
+  const std::vector<Definition>& all() const { return definitions_; }
 
   // Parses an invocation "name(arg, ...)" and returns the instantiated
   // query. Each arg is an entity token, "?var" or "*".

@@ -260,7 +260,11 @@ const ConjunctionPlan* PlannerCache::GetOrPlan(
 
   std::lock_guard<std::mutex> lock(mu_);
   auto it = plans_.find(key);
-  if (it != plans_.end()) return it->second.get();
+  if (it != plans_.end()) {
+    ++hits_;
+    return it->second.get();
+  }
+  ++misses_;
 
   EstimateFn memo = [this](const FactSource* s, const Pattern& p,
                            uint8_t m) {
@@ -287,6 +291,16 @@ void PlannerCache::Clear() {
 size_t PlannerCache::plan_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return plans_.size();
+}
+
+uint64_t PlannerCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t PlannerCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
 }
 
 Status MatchConjunction(const std::vector<AtomSpec>& atoms, Binding& binding,

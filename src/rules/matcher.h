@@ -128,8 +128,16 @@ class PlannerCache {
   void Clear();
   size_t plan_count() const;
 
+  // Cumulative GetOrPlan outcomes across the cache's lifetime (Clear()
+  // does not reset them) — the shell's `stats` and the server's STATS
+  // verb report the hit rate.
+  uint64_t hits() const;
+  uint64_t misses() const;
+
  private:
   mutable std::mutex mu_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
   std::unordered_map<std::string, std::unique_ptr<ConjunctionPlan>> plans_;
   struct EstimateKey {
     const FactSource* source;

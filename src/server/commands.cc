@@ -1,0 +1,396 @@
+// ServerSession::Execute — the wire command grammar. Deliberately the
+// lsd_shell grammar (assert/retract/rule/query/probe/nav/assoc/...), so
+// a transcript that works in the single-user shell works against the
+// server, plus the server-only verbs:
+//
+//   hypo assert|retract (S,R,T)   session-local hypothetical mutation
+//   hypo list | hypo clear        inspect / drop the overlay
+//   session                       this session's state
+//   stats                         shared-store + session statistics
+//   ping                          liveness probe
+//
+// Reads run against the session's pinned epoch (or its hypothetical
+// overlay); writes go through SharedStore::Commit and become visible to
+// all sessions at the next epoch.
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "browse/dot_export.h"
+#include "query/table_formatter.h"
+#include "server/session.h"
+#include "store/text_format.h"
+#include "util/string_util.h"
+
+namespace lsd {
+
+namespace {
+
+// Parses "(S, R, T)" into a ground fact, interning entities in `db`.
+StatusOr<Fact> ParseGroundFact(LooseDb& db, std::string_view text) {
+  auto q = ParseQuery(text, &db.entities());
+  if (!q.ok()) return q.status();
+  if (q->root()->kind != NodeKind::kAtom ||
+      q->root()->atom.HasVariables()) {
+    return Status::InvalidArgument("expected a ground template (S, R, T)");
+  }
+  return q->root()->atom.Substitute(Binding(0));
+}
+
+std::string RenderProbe(const ProbeResult& probe,
+                        const EntityTable& entities) {
+  if (probe.original_succeeded) {
+    return FormatResult(probe.original_result, entities);
+  }
+  std::string out = probe.Menu(entities);
+  for (size_t i = 0; i < probe.successes.size(); ++i) {
+    out += std::to_string(i + 1) + ") " +
+           probe.successes[i].query.DebugString(entities) + "\n" +
+           FormatResult(probe.successes[i].result, entities);
+  }
+  return out;
+}
+
+std::string Percent(uint64_t part, uint64_t whole) {
+  if (whole == 0) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%",
+                100.0 * static_cast<double>(part) /
+                    static_cast<double>(whole));
+  return buf;
+}
+
+}  // namespace
+
+StatusOr<std::string> ServerSession::ExecuteHypo(std::string_view rest) {
+  std::istringstream in{std::string(rest)};
+  std::string sub;
+  in >> sub;
+  sub = AsciiToLower(sub);
+  std::string arg;
+  std::getline(in, arg);
+  arg = std::string(StripWhitespace(arg));
+
+  if (sub == "clear") {
+    size_t n = overlay_size();
+    hypo_retracts_.clear();
+    hypo_asserts_.clear();
+    ++overlay_version_;
+    return "dropped " + std::to_string(n) + " hypothetical(s)\n";
+  }
+  if (sub == "list") {
+    std::string out;
+    for (const NamedFact& f : hypo_retracts_) {
+      out += "retract (" + f.source + ", " + f.relationship + ", " +
+             f.target + ")\n";
+    }
+    for (const NamedFact& f : hypo_asserts_) {
+      out += "assert (" + f.source + ", " + f.relationship + ", " +
+             f.target + ")\n";
+    }
+    if (out.empty()) out = "no hypotheticals\n";
+    return out;
+  }
+  if (sub != "assert" && sub != "retract") {
+    return Status::InvalidArgument(
+        "usage: hypo assert|retract (S,R,T) | hypo list | hypo clear");
+  }
+
+  // Validate against the base epoch (not the overlay): interning there
+  // is safe, and a hypothetical retraction should name a fact that is
+  // actually asserted.
+  EpochPtr epoch = store_->snapshot();
+  LooseDb& db = epoch->db();
+  LSD_ASSIGN_OR_RETURN(Fact f, ParseGroundFact(db, arg));
+  const EntityTable& e = db.entities();
+  NamedFact named{e.Name(f.source), e.Name(f.relationship),
+                  e.Name(f.target)};
+  if (sub == "retract") {
+    if (!db.store().Contains(f)) {
+      return Status::NotFound("fact not asserted in the shared store");
+    }
+    hypo_retracts_.push_back(std::move(named));
+  } else {
+    hypo_asserts_.push_back(std::move(named));
+  }
+  ++overlay_version_;
+  return std::string("hypothetical recorded (this session only)\n");
+}
+
+StatusOr<std::string> ServerSession::ExecuteVisit(
+    const std::string& entity) {
+  LSD_ASSIGN_OR_RETURN(PinnedDb pinned, Pin());
+  auto id = pinned.db->entities().Lookup(entity);
+  if (!id.has_value()) {
+    return Status::NotFound("unknown entity: " + entity);
+  }
+  LSD_ASSIGN_OR_RETURN(NeighborhoodView hood,
+                       pinned.db->Navigate(entity));
+  trail_.resize(trail_.empty() ? 0 : trail_pos_ + 1);
+  trail_.push_back(pinned.db->entities().Name(*id));
+  trail_pos_ = trail_.size() - 1;
+  return Breadcrumbs() + "\n" + hood.Render(pinned.db->entities());
+}
+
+StatusOr<std::string> ServerSession::ExecuteBackForward(bool back) {
+  if (back && trail_pos_ == 0) {
+    return Status::FailedPrecondition("nothing to go back to");
+  }
+  if (!back && (trail_.empty() || trail_pos_ + 1 >= trail_.size())) {
+    return Status::FailedPrecondition("nothing to go forward to");
+  }
+  trail_pos_ += back ? -1 : 1;
+  LSD_ASSIGN_OR_RETURN(PinnedDb pinned, Pin());
+  LSD_ASSIGN_OR_RETURN(NeighborhoodView hood,
+                       pinned.db->Navigate(trail_[trail_pos_]));
+  return Breadcrumbs() + "\n" + hood.Render(pinned.db->entities());
+}
+
+StatusOr<std::string> ServerSession::RenderStats() {
+  LSD_ASSIGN_OR_RETURN(PinnedDb pinned, Pin());
+  LooseDb& db = *pinned.db;
+  std::string out;
+  out += "epoch:          " + std::to_string(pinned.epoch->sequence()) +
+         (pinned.overlaid ? " (+session overlay)" : "") + "\n";
+  out += "store version:  " + std::to_string(db.store_version()) + "\n";
+  out += "rules version:  " + std::to_string(db.rules_version()) + "\n";
+  out += "entities:       " + std::to_string(db.entities().size()) + "\n";
+  out += "asserted facts: " + std::to_string(db.store().size()) + "\n";
+  auto view = db.View();
+  if (view.ok() && db.closure_stats() != nullptr) {
+    out += "derived facts:  " +
+           std::to_string(db.closure_stats()->derived_facts) + " (in " +
+           std::to_string(db.closure_stats()->rounds) + " rounds)\n";
+  }
+  out += "rules:          " + std::to_string(db.rules().size()) + "\n";
+  const uint64_t hits = db.planner_hits();
+  const uint64_t misses = db.planner_misses();
+  out += "planner cache:  " + std::to_string(db.planner_plan_count()) +
+         " plans, " + std::to_string(hits) + " hits / " +
+         std::to_string(misses) + " misses (" +
+         Percent(hits, hits + misses) + " hit rate)\n";
+  out += "commits:        " + std::to_string(store_->commits()) + "\n";
+  if (registry_ != nullptr) {
+    out += "sessions:       " + std::to_string(registry_->live()) +
+           " live / " + std::to_string(registry_->total_created()) +
+           " total\n";
+  }
+  out += "session:        #" + std::to_string(id_) + ", " +
+         std::to_string(requests_) + " request(s), overlay " +
+         std::to_string(overlay_size()) + "\n";
+  return out;
+}
+
+StatusOr<std::string> ServerSession::Execute(std::string_view line) {
+  ++requests_;
+  std::string_view stripped = StripWhitespace(line);
+  if (stripped.empty()) return std::string();
+  std::istringstream in{std::string(stripped)};
+  std::string cmd;
+  in >> cmd;
+  cmd = AsciiToLower(cmd);
+  std::string rest;
+  std::getline(in, rest);
+  rest = std::string(StripWhitespace(rest));
+
+  // ---- Server verbs ------------------------------------------------------
+  if (cmd == "ping") return std::string("pong\n");
+  if (cmd == "hypo") return ExecuteHypo(rest);
+  if (cmd == "session") {
+    std::string out = "session #" + std::to_string(id_) + "\n";
+    out += "requests:  " + std::to_string(requests_) + "\n";
+    out += "overlay:   " + std::to_string(overlay_size()) +
+           " hypothetical(s)\n";
+    out += "epoch:     " + std::to_string(last_epoch_sequence_) + "\n";
+    if (!trail_.empty()) out += "trail:     " + Breadcrumbs() + "\n";
+    return out;
+  }
+  if (cmd == "stats") return RenderStats();
+  if (cmd == "help") {
+    return std::string(
+        "commands: assert|retract (S,R,T) · rule/integrity NAME: b => h\n"
+        "          define NAME(?P..) := F · call NAME(args..)\n"
+        "          query F · probe F · nav E · visit E · back · forward\n"
+        "          assoc S T · try E · near E [r] · dist A B · dot [E]\n"
+        "          relation CLASS R T [R T..] · limit N ·"
+        " include/exclude NAME\n"
+        "          hypo assert|retract (S,R,T) · hypo list · hypo clear\n"
+        "          rules · check · save PREFIX · stats · session · ping\n");
+  }
+
+  // ---- Shared writes (commit path) ---------------------------------------
+  if (cmd == "assert" || cmd == "retract") {
+    std::string out;
+    auto epoch = store_->Commit([&](LooseDb& db) -> Status {
+      LSD_ASSIGN_OR_RETURN(Fact f, ParseGroundFact(db, rest));
+      if (cmd == "assert") {
+        out = db.Assert(f) ? "added\n" : "already present\n";
+      } else {
+        out = db.Retract(f) ? "removed\n" : "not asserted\n";
+      }
+      return Status::OK();
+    });
+    if (!epoch.ok()) return epoch.status();
+    return out;
+  }
+  if (cmd == "rule" || cmd == "integrity") {
+    auto epoch = store_->Commit([&](LooseDb& db) {
+      return db.DefineRule(rest, cmd == "rule" ? RuleKind::kInference
+                                               : RuleKind::kIntegrity);
+    });
+    if (!epoch.ok()) return epoch.status();
+    return std::string("defined\n");
+  }
+  if (cmd == "define") {
+    auto epoch =
+        store_->Commit([&](LooseDb& db) { return db.DefineOperator(rest); });
+    if (!epoch.ok()) return epoch.status();
+    return std::string("defined\n");
+  }
+  if (cmd == "include" || cmd == "exclude") {
+    auto epoch = store_->Commit([&](LooseDb& db) {
+      return db.SetRuleEnabled(AsciiToLower(rest), cmd == "include");
+    });
+    if (!epoch.ok()) return epoch.status();
+    return std::string(cmd == "include" ? "included\n" : "excluded\n");
+  }
+  if (cmd == "load") {
+    auto epoch =
+        store_->Commit([&](LooseDb& db) { return db.LoadTextFile(rest); });
+    if (!epoch.ok()) return epoch.status();
+    return std::string("loaded\n");
+  }
+
+  // ---- Session-local settings --------------------------------------------
+  if (cmd == "limit") {
+    int n = 0;
+    if (!(std::istringstream(rest) >> n)) {
+      return Status::InvalidArgument("usage: limit N");
+    }
+    composition_limit_ = n;
+    return "limit(" + std::to_string(n) + ") (this session)\n";
+  }
+
+  // ---- Reads (pinned epoch or overlay) -----------------------------------
+  LSD_ASSIGN_OR_RETURN(PinnedDb pinned, Pin());
+  LooseDb& db = *pinned.db;
+
+  if (cmd == "query") {
+    LSD_ASSIGN_OR_RETURN(ResultSet r, db.Query(rest));
+    return FormatResult(r, db.entities());
+  }
+  if (cmd == "call") {
+    LSD_ASSIGN_OR_RETURN(ResultSet r, db.Call(rest));
+    return FormatResult(r, db.entities());
+  }
+  if (cmd == "probe") {
+    LSD_ASSIGN_OR_RETURN(ProbeResult probe, db.Probe(rest));
+    return RenderProbe(probe, db.entities());
+  }
+  if (cmd == "nav") {
+    LSD_ASSIGN_OR_RETURN(NeighborhoodView hood, db.Navigate(rest));
+    return hood.Render(db.entities());
+  }
+  if (cmd == "visit") return ExecuteVisit(rest);
+  if (cmd == "back") return ExecuteBackForward(/*back=*/true);
+  if (cmd == "forward") return ExecuteBackForward(/*back=*/false);
+  if (cmd == "assoc") {
+    std::istringstream args(rest);
+    std::string s, t;
+    args >> s >> t;
+    auto sid = db.entities().Lookup(s);
+    auto tid = db.entities().Lookup(t);
+    if (!sid.has_value() || !tid.has_value()) {
+      return Status::NotFound("unknown entity: " +
+                              (sid.has_value() ? t : s));
+    }
+    LSD_ASSIGN_OR_RETURN(const ClosureView* view, db.View());
+    Navigator navigator(view, &db.entities());
+    CompositionOptions options;
+    options.limit = composition_limit_ >= 0 ? composition_limit_
+                                            : db.composition_limit();
+    LSD_ASSIGN_OR_RETURN(std::vector<Association> assocs,
+                         navigator.Associations(*sid, *tid, options));
+    return navigator.RenderAssociations(*sid, *tid, assocs);
+  }
+  if (cmd == "try") {
+    return db.Try(rest);
+  }
+  if (cmd == "near") {
+    std::istringstream args(rest);
+    std::string entity;
+    int radius = 2;
+    args >> entity >> radius;
+    LSD_ASSIGN_OR_RETURN(std::vector<NearbyEntity> nearby,
+                         db.Nearby(entity, radius));
+    std::string out;
+    for (const NearbyEntity& n : nearby) {
+      out += "  " + std::to_string(n.distance) + "  " +
+             db.entities().Name(n.entity) + "\n";
+    }
+    return out;
+  }
+  if (cmd == "dist") {
+    std::istringstream args(rest);
+    std::string a, b;
+    args >> a >> b;
+    LSD_ASSIGN_OR_RETURN(std::optional<int> d, db.SemanticDistance(a, b));
+    if (d.has_value()) {
+      return "semantic distance " + std::to_string(*d) + "\n";
+    }
+    return std::string("not connected within the search radius\n");
+  }
+  if (cmd == "relation") {
+    std::istringstream args(rest);
+    std::string klass;
+    args >> klass;
+    std::vector<std::pair<std::string, std::string>> columns;
+    std::string rel, target;
+    while (args >> rel >> target) columns.emplace_back(rel, target);
+    if (klass.empty() || columns.empty()) {
+      return Status::InvalidArgument(
+          "usage: relation CLASS R1 T1 [R2 T2 ...]");
+    }
+    LSD_ASSIGN_OR_RETURN(RelationTable table, db.Relation(klass, columns));
+    return table.Render(db.entities());
+  }
+  if (cmd == "dot") {
+    LSD_ASSIGN_OR_RETURN(const ClosureView* view, db.View());
+    if (rest.empty()) return ExportDot(*view);
+    auto id = db.entities().Lookup(rest);
+    if (!id.has_value()) {
+      return Status::NotFound("unknown entity: " + rest);
+    }
+    return ExportNeighborhoodDot(*view, *id, 2);
+  }
+  if (cmd == "check") {
+    LSD_ASSIGN_OR_RETURN(std::vector<IntegrityViolation> violations,
+                         db.FindIntegrityViolations());
+    if (violations.empty()) {
+      return std::string("closure is contradiction-free\n");
+    }
+    std::string out;
+    for (const auto& v : violations) out += "  " + v.description + "\n";
+    return out;
+  }
+  if (cmd == "rules") {
+    std::string out;
+    for (const Rule& r : db.rules()) {
+      out += std::string("  [") + (r.enabled ? 'x' : ' ') + "] " +
+             SerializeRule(r, db.entities()) + "\n";
+    }
+    return out;
+  }
+  if (cmd == "save") {
+    // Snapshot the pinned epoch — a consistent point-in-time image even
+    // while other sessions keep committing.
+    LSD_RETURN_IF_ERROR(
+        SaveSnapshot(rest + ".snap", db.store(), db.rules()));
+    return "saved " + rest + ".snap\n";
+  }
+
+  return Status::InvalidArgument("unknown command '" + cmd +
+                                 "'; try 'help'");
+}
+
+}  // namespace lsd

@@ -1,0 +1,100 @@
+#include "server/protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lsd {
+
+namespace {
+
+// First line of a (possibly multi-line) error message; newlines inside
+// the status line would break the framing.
+std::string FirstLine(const std::string& s) {
+  size_t nl = s.find('\n');
+  return nl == std::string::npos ? s : s.substr(0, nl);
+}
+
+}  // namespace
+
+std::string FrameResponse(const Status& status, std::string_view payload) {
+  std::string out;
+  if (status.ok()) {
+    out = "OK\n";
+    size_t start = 0;
+    while (start < payload.size()) {
+      size_t nl = payload.find('\n', start);
+      std::string_view line = nl == std::string_view::npos
+                                  ? payload.substr(start)
+                                  : payload.substr(start, nl - start);
+      if (!line.empty() && line.front() == '.') out += '.';
+      out.append(line);
+      out += '\n';
+      if (nl == std::string_view::npos) break;
+      start = nl + 1;
+    }
+  } else {
+    out = "ERR " + FirstLine(status.ToString()) + "\n";
+  }
+  out += ".\n";
+  return out;
+}
+
+Status WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write failed: ") +
+                             std::strerror(errno));
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+bool LineReader::ReadLine(std::string* line) {
+  for (;;) {
+    size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      *line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+StatusOr<WireResponse> ReadResponse(LineReader* reader) {
+  WireResponse response;
+  std::string line;
+  if (!reader->ReadLine(&line)) {
+    return Status::IoError("connection closed before response");
+  }
+  if (line == "OK") {
+    response.ok = true;
+  } else if (line.rfind("ERR ", 0) == 0) {
+    response.ok = false;
+    response.error = line.substr(4);
+  } else {
+    return Status::IoError("malformed response status line: " + line);
+  }
+  for (;;) {
+    if (!reader->ReadLine(&line)) {
+      return Status::IoError("connection closed mid-response");
+    }
+    if (line == ".") break;
+    if (!line.empty() && line.front() == '.') line.erase(0, 1);
+    response.payload += line;
+    response.payload += '\n';
+  }
+  return response;
+}
+
+}  // namespace lsd

@@ -1,0 +1,58 @@
+// The lsd wire protocol: line-based, text, human-debuggable with nc.
+//
+// Request:  one line, the lsd_shell command grammar (see commands.cc).
+// Response: a status line, payload lines, and a terminator line:
+//
+//   OK                          |   ERR <message>
+//   <payload line 1>            |   .
+//   <payload line 2>
+//   .
+//
+// Payload lines that start with '.' are dot-stuffed ("." -> "..", SMTP
+// style) so the terminator stays unambiguous; ReadResponse unstuffs.
+// The server sends one greeting frame on connect (OK + banner, or
+// ERR server busy when admission control rejects the connection).
+#ifndef LSD_SERVER_PROTOCOL_H_
+#define LSD_SERVER_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace lsd {
+
+// Renders a full response frame from a command outcome.
+std::string FrameResponse(const Status& status, std::string_view payload);
+
+// Writes all of `data` to `fd`, retrying short writes. IoError on
+// failure (including a send timeout).
+Status WriteAll(int fd, std::string_view data);
+
+// Buffered \n-line reader over a socket (or pipe) fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  // Reads one line, stripping the trailing \n (and \r\n). Returns false
+  // on EOF or error with nothing buffered.
+  bool ReadLine(std::string* line);
+
+ private:
+  int fd_;
+  std::string buf_;
+};
+
+// A parsed response frame (client side).
+struct WireResponse {
+  bool ok = false;
+  std::string error;    // ERR message when !ok
+  std::string payload;  // unstuffed payload lines, '\n'-joined
+};
+
+// Reads one complete frame. IoError if the connection dies mid-frame.
+StatusOr<WireResponse> ReadResponse(LineReader* reader);
+
+}  // namespace lsd
+
+#endif  // LSD_SERVER_PROTOCOL_H_

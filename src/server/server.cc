@@ -1,0 +1,202 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "server/protocol.h"
+
+namespace lsd {
+
+namespace {
+
+void SetSocketTimeout(int fd, int which, std::chrono::milliseconds ms) {
+  if (ms.count() <= 0) return;
+  struct timeval tv;
+  tv.tv_sec = ms.count() / 1000;
+  tv.tv_usec = (ms.count() % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, which, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+LsdServer::LsdServer(SharedStore* store, const ServerOptions& options)
+    : store_(store), options_(options), registry_(store) {}
+
+LsdServer::~LsdServer() { Stop(); }
+
+Status LsdServer::Start() {
+  if (running_.load()) return Status::FailedPrecondition("server running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void LsdServer::Stop() {
+  running_.store(false);
+  if (int fd = listen_fd_.exchange(-1); fd >= 0) {
+    // shutdown() unblocks accept() on Linux; close() completes it.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // Unblock connection threads stuck in read(), then join them all.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [id, fd] : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (;;) {
+    std::thread t;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (connections_.empty()) break;
+      auto it = connections_.begin();
+      t = std::move(it->second);
+      connections_.erase(it);
+    }
+    if (t.joinable()) t.join();
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  finished_.clear();
+}
+
+void LsdServer::ReapFinished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (uint64_t id : finished_) {
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      done.push_back(std::move(it->second));
+      connections_.erase(it);
+    }
+    finished_.clear();
+  }
+  for (auto& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void LsdServer::AcceptLoop() {
+  while (running_.load()) {
+    int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) break;
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket closed by Stop()
+    }
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    ReapFinished();
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SetSocketTimeout(fd, SO_RCVTIMEO, options_.io_timeout);
+    SetSocketTimeout(fd, SO_SNDTIMEO, options_.io_timeout);
+
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    uint64_t conn_id = next_conn_id_++;
+    open_fds_[conn_id] = fd;
+    connections_[conn_id] =
+        std::thread([this, fd, conn_id] { HandleConnection(fd, conn_id); });
+  }
+}
+
+void LsdServer::HandleConnection(int fd, uint64_t conn_id) {
+  std::shared_ptr<ServerSession> session =
+      registry_.Create(options_.max_sessions);
+  if (session == nullptr) {
+    // Bounded admission: greet with busy and hang up. The client sees
+    // deterministic backpressure instead of an unbounded queue.
+    rejected_.fetch_add(1);
+    (void)WriteAll(fd, FrameResponse(
+                           Status::FailedPrecondition("server busy"), ""));
+  } else {
+    std::string banner = "lsd server ready, session " +
+                         std::to_string(session->id()) + ", epoch " +
+                         std::to_string(store_->snapshot()->sequence());
+    if (WriteAll(fd, FrameResponse(Status::OK(), banner)).ok()) {
+      LineReader reader(fd);
+      std::string line;
+      while (running_.load() && reader.ReadLine(&line)) {
+        if (line == "quit" || line == "exit") {
+          (void)WriteAll(fd, FrameResponse(Status::OK(), "bye"));
+          break;
+        }
+        if (line.empty()) continue;
+        auto start = std::chrono::steady_clock::now();
+        StatusOr<std::string> result = session->Execute(line);
+        auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+        requests_served_.fetch_add(1);
+        bool overran = options_.request_timeout.count() > 0 &&
+                       elapsed > options_.request_timeout;
+        if (overran) {
+          (void)WriteAll(
+              fd, FrameResponse(Status::FailedPrecondition(
+                                    "request deadline exceeded (" +
+                                    std::to_string(elapsed.count()) + "ms)"),
+                                ""));
+          break;
+        }
+        Status write_status =
+            result.ok()
+                ? WriteAll(fd, FrameResponse(Status::OK(), result.value()))
+                : WriteAll(fd, FrameResponse(result.status(), ""));
+        if (!write_status.ok()) break;
+      }
+    }
+    registry_.Remove(session->id());
+  }
+
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  open_fds_.erase(conn_id);
+  finished_.push_back(conn_id);
+}
+
+}  // namespace lsd

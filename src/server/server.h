@@ -1,0 +1,90 @@
+// The TCP front end: thread-per-connection serving of the lsd wire
+// protocol over a SharedStore. Each accepted connection owns one
+// ServerSession; admission is bounded (connections beyond max_sessions
+// are greeted with "ERR server busy" and closed — backpressure, not
+// queueing), socket IO can carry an idle timeout, and each request has
+// a soft execution deadline after which the connection is dropped
+// (runaway-query protection: the reply is still correct, but a client
+// that exceeds the budget loses its session).
+#ifndef LSD_SERVER_SERVER_H_
+#define LSD_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/session.h"
+#include "server/shared_store.h"
+#include "util/status.h"
+
+namespace lsd {
+
+struct ServerOptions {
+  // 0 picks an ephemeral port; read it back with port() after Start().
+  uint16_t port = 0;
+  // Admission bound: concurrent sessions beyond this are rejected with
+  // "ERR server busy" at connect time.
+  size_t max_sessions = 64;
+  int listen_backlog = 64;
+  // Soft per-request execution deadline; 0 disables. A request that
+  // overruns still gets its (late) reply, then the connection closes.
+  std::chrono::milliseconds request_timeout{10'000};
+  // SO_RCVTIMEO/SO_SNDTIMEO on client sockets; 0 disables. Bounds how
+  // long an idle or stalled client can pin a connection thread.
+  std::chrono::milliseconds io_timeout{0};
+};
+
+class LsdServer {
+ public:
+  LsdServer(SharedStore* store, const ServerOptions& options);
+  ~LsdServer();
+
+  LsdServer(const LsdServer&) = delete;
+  LsdServer& operator=(const LsdServer&) = delete;
+
+  // Binds, listens, and starts the acceptor thread.
+  Status Start();
+  // Stops accepting, unblocks and joins every connection thread. Safe
+  // to call twice; the destructor calls it.
+  void Stop();
+
+  // The bound port (after Start()).
+  uint16_t port() const { return port_; }
+
+  const SessionRegistry& registry() const { return registry_; }
+  uint64_t requests_served() const { return requests_served_.load(); }
+  uint64_t rejected_connections() const { return rejected_.load(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd, uint64_t conn_id);
+  void ReapFinished();
+
+  SharedStore* store_;
+  ServerOptions options_;
+  SessionRegistry registry_;
+
+  // Atomic because Stop() clears it from another thread while the
+  // acceptor is blocked in accept() on it.
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+
+  std::mutex conn_mu_;
+  std::unordered_map<uint64_t, std::thread> connections_;
+  std::unordered_map<uint64_t, int> open_fds_;
+  std::vector<uint64_t> finished_;
+  uint64_t next_conn_id_ = 1;
+
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace lsd
+
+#endif  // LSD_SERVER_SERVER_H_

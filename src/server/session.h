@@ -1,0 +1,140 @@
+// A server-side browsing session: one connected client's private state
+// over the shared store. Everything the paper makes interactive and
+// per-user lives here — the navigation trail (Sec 4.1) and hypothetical
+// retractions (Sec 5.2's "browsing by probing" without touching the
+// database) — while asserts, retracts and rule changes go through the
+// SharedStore commit path and become visible to every session.
+//
+// Hypothetical mutations form the session-local *overlay*: a list of
+// retractions/assertions that exist only for this session. While the
+// overlay is non-empty, the session reads through a private
+// materialization — a clone of the pinned epoch with the overlay
+// applied, closure recomputed — so the hypothesis propagates through
+// inference exactly as a real mutation would, yet no other session can
+// observe it. An empty overlay reads the shared epoch directly (the
+// fast path: shared closure, lattice, and plan cache).
+//
+// Thread model: a session is owned by one connection and accessed by
+// one thread at a time; different sessions run fully in parallel.
+#ifndef LSD_SERVER_SESSION_H_
+#define LSD_SERVER_SESSION_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/shared_store.h"
+#include "util/status.h"
+
+namespace lsd {
+
+// A fact as the client spelled it; resolved against an epoch on use.
+// Names, not ids: ids are only stable within one epoch's entity table.
+struct NamedFact {
+  std::string source, relationship, target;
+};
+
+class SessionRegistry;
+
+class ServerSession {
+ public:
+  ServerSession(uint64_t id, SharedStore* store)
+      : id_(id), store_(store) {}
+
+  ServerSession(const ServerSession&) = delete;
+  ServerSession& operator=(const ServerSession&) = delete;
+
+  uint64_t id() const { return id_; }
+
+  // Lets STATS report the session census; set by SessionRegistry.
+  void set_registry(const SessionRegistry* registry) {
+    registry_ = registry;
+  }
+
+  // Executes one command line (the lsd_shell grammar plus the server
+  // verbs: hypo, session, ping) and returns the rendered output. An
+  // error Status carries the message the protocol layer reports as ERR.
+  StatusOr<std::string> Execute(std::string_view line);
+
+  uint64_t requests() const { return requests_; }
+  size_t overlay_size() const {
+    return hypo_retracts_.size() + hypo_asserts_.size();
+  }
+
+  // The epoch serving this session's current request (after the overlay
+  // is applied this is the overlay's base). Exposed for tests.
+  uint64_t last_epoch_sequence() const { return last_epoch_sequence_; }
+
+ private:
+  // The database this request reads: the pinned shared epoch, or the
+  // session's private overlay materialization. `epoch` keeps the base
+  // alive either way.
+  struct PinnedDb {
+    EpochPtr epoch;
+    LooseDb* db = nullptr;
+    bool overlaid = false;
+  };
+  StatusOr<PinnedDb> Pin();
+
+  // Command handlers (commands.cc).
+  StatusOr<std::string> ExecuteHypo(std::string_view rest);
+  StatusOr<std::string> ExecuteVisit(const std::string& entity);
+  StatusOr<std::string> ExecuteBackForward(bool back);
+  StatusOr<std::string> RenderStats();
+  std::string Breadcrumbs() const;
+
+  uint64_t id_;
+  SharedStore* store_;
+  const SessionRegistry* registry_ = nullptr;
+  uint64_t requests_ = 0;
+  uint64_t last_epoch_sequence_ = 0;
+
+  // Session-local hypothetical overlay.
+  std::vector<NamedFact> hypo_retracts_;
+  std::vector<NamedFact> hypo_asserts_;
+  uint64_t overlay_version_ = 0;  // bumped on any hypo change
+
+  // Materialized overlay cache, keyed by (epoch sequence, overlay
+  // version); rebuilt when either moves.
+  std::unique_ptr<LooseDb> overlay_db_;
+  uint64_t overlay_epoch_sequence_ = 0;
+  uint64_t overlay_built_version_ = 0;
+
+  // Navigation trail (Sec 4.1), as entity names.
+  std::vector<std::string> trail_;
+  size_t trail_pos_ = 0;
+
+  // Session-local limit(n): one browser's composition bound must not
+  // change another's.
+  int composition_limit_ = -1;  // -1 = inherit the epoch's
+};
+
+// The registry of live sessions — the server's admission bookkeeping
+// and the STATS verb's census. Thread-safe.
+class SessionRegistry {
+ public:
+  explicit SessionRegistry(SharedStore* store) : store_(store) {}
+
+  // Creates a session or returns null if `max_sessions` are live
+  // (admission control; the caller reports backpressure to the client).
+  std::shared_ptr<ServerSession> Create(size_t max_sessions);
+  void Remove(uint64_t id);
+
+  size_t live() const;
+  uint64_t total_created() const;
+
+ private:
+  SharedStore* store_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<ServerSession>> sessions_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_SERVER_SESSION_H_

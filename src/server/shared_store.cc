@@ -1,0 +1,51 @@
+#include "server/shared_store.h"
+
+namespace lsd {
+
+SharedStore::SharedStore(const LooseDbOptions& options)
+    : options_(options) {
+  auto db = std::make_unique<LooseDb>(options_);
+  // An empty closure always computes; ignore the (impossible) failure
+  // rather than throw from a constructor.
+  (void)db->Warm();
+  published_ = std::make_shared<const Epoch>(std::move(db), 0);
+}
+
+StatusOr<EpochPtr> SharedStore::Commit(
+    const std::function<Status(LooseDb&)>& mutate) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  EpochPtr tip = snapshot();
+
+  // Clone the tip into a private working copy. The clone must start
+  // with clean containers; the tip's facts already include any standard
+  // seed facts, so the copy skips re-seeding.
+  LooseDbOptions clone_options = options_;
+  clone_options.standard_rules = false;
+  auto next = std::make_unique<LooseDb>(clone_options);
+  LSD_RETURN_IF_ERROR(tip->db().CloneInto(next.get()));
+
+  const uint64_t store_before = next->store_version();
+  const uint64_t rules_before = next->rules_version();
+  const size_t defs_before = next->definitions().all().size();
+  LSD_RETURN_IF_ERROR(mutate(*next));
+  if (next->store_version() == store_before &&
+      next->rules_version() == rules_before &&
+      next->definitions().all().size() == defs_before) {
+    return tip;  // no-op commit: nothing to publish
+  }
+
+  // Publish barrier: materialize every cache before readers can see the
+  // epoch, so their const reads never write.
+  LSD_RETURN_IF_ERROR(next->Warm());
+
+  auto epoch =
+      std::make_shared<const Epoch>(std::move(next), tip->sequence() + 1);
+  {
+    std::unique_lock<std::shared_mutex> tip_lock(tip_mu_);
+    published_ = epoch;
+  }
+  commits_.fetch_add(1);
+  return epoch;
+}
+
+}  // namespace lsd

@@ -1,0 +1,118 @@
+// The serving layer's versioned shared store (Sec 5.2 made multi-user).
+//
+// The paper's browsing modes are per-user and hypothetical, but the
+// database they browse is shared. SharedStore gives many concurrent
+// browsers one base: writers funnel through a single-writer commit path
+// that publishes immutable *epochs*; readers pin the current epoch with
+// one shared_ptr copy under a briefly-held shared lock and then run the
+// whole request lock-free on the pinned epoch — a commit publishing
+// epoch N+1 never disturbs a reader still working on epoch N.
+//
+// (The pin could be a single std::atomic<shared_ptr> load, but
+// libstdc++'s _Sp_atomic releases its embedded lock bit with a relaxed
+// RMW on the reader path, which both TSan and the letter of the memory
+// model reject; a shared_mutex-guarded pointer copy is just as cheap
+// here and verifiably race-free.)
+//
+// An epoch is a fully warmed LooseDb that is never mutated again:
+// closure, generalization lattice and planner keying are materialized
+// before publication (LooseDb::Warm), the entity table is internally
+// synchronized (parsing and composed-relationship minting intern on the
+// fly), and the plan cache is mutex-guarded — so the epoch is safe for
+// any number of reader threads. Internally each epoch's closure sits in
+// the PR-1 frozen+delta two-tier index, and its caches are keyed by the
+// PR-2 (store, rules) version pair; the commit path reuses that pair to
+// detect and skip no-op commits.
+//
+// Commit = clone-the-tip: copy the newest epoch's facts/rules (O(n)),
+// apply the mutation batch to the copy, warm it, publish it. Mutation
+// failure discards the copy, so commits are all-or-nothing. Batch
+// several mutations into one Commit call to amortize the clone.
+#ifndef LSD_SERVER_SHARED_STORE_H_
+#define LSD_SERVER_SHARED_STORE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+#include "core/loose_db.h"
+#include "util/status.h"
+
+namespace lsd {
+
+// One published, immutable database state. Readers hold it by
+// shared_ptr; it stays alive until the last pinned request finishes,
+// however many epochs have been published since.
+class Epoch {
+ public:
+  Epoch(std::unique_ptr<LooseDb> db, uint64_t sequence)
+      : db_(std::move(db)), sequence_(sequence) {}
+
+  Epoch(const Epoch&) = delete;
+  Epoch& operator=(const Epoch&) = delete;
+
+  // Monotonic publish counter (0 = the bootstrap epoch).
+  uint64_t sequence() const { return sequence_; }
+
+  // The epoch's own (store, rules) version key pair — the same keys its
+  // internal caches are validated against.
+  uint64_t store_version() const { return db_->store_version(); }
+  uint64_t rules_version() const { return db_->rules_version(); }
+
+  // The warmed database. Logically const: the only remaining mutations
+  // on read paths are entity interning (synchronized) and plan caching
+  // (synchronized); facts and rules never change after publication.
+  LooseDb& db() const { return *db_; }
+
+ private:
+  std::unique_ptr<LooseDb> db_;
+  uint64_t sequence_;
+};
+
+using EpochPtr = std::shared_ptr<const Epoch>;
+
+class SharedStore {
+ public:
+  // Publishes an empty (or standard-rules) epoch 0 immediately. Options
+  // apply to every epoch (closure threads, composition limit, ...).
+  explicit SharedStore(const LooseDbOptions& options = LooseDbOptions());
+
+  SharedStore(const SharedStore&) = delete;
+  SharedStore& operator=(const SharedStore&) = delete;
+
+  // Pins the current epoch: one shared_ptr copy under a shared lock
+  // held for nanoseconds — never across any query work. Hold the
+  // returned pointer for the duration of the request.
+  EpochPtr snapshot() const {
+    std::shared_lock<std::shared_mutex> lock(tip_mu_);
+    return published_;
+  }
+
+  // The single-writer commit path. Applies `mutate` to a private clone
+  // of the newest epoch, warms it, publishes it, and returns the new
+  // epoch. Serialized internally; safe to call from any thread. If
+  // `mutate` fails the clone is discarded and nothing is published. If
+  // `mutate` changes nothing (the (store, rules) version key pair is
+  // unchanged), publication is skipped and the current epoch returned.
+  StatusOr<EpochPtr> Commit(
+      const std::function<Status(LooseDb&)>& mutate);
+
+  // Total successful Commit calls that published a new epoch.
+  uint64_t commits() const { return commits_.load(); }
+
+  // The options every epoch (and session overlay clone) is built with.
+  const LooseDbOptions& options() const { return options_; }
+
+ private:
+  LooseDbOptions options_;
+  std::mutex writer_mu_;             // serializes Commit
+  mutable std::shared_mutex tip_mu_;  // guards the published_ pointer only
+  EpochPtr published_;
+  std::atomic<uint64_t> commits_{0};
+};
+
+}  // namespace lsd
+
+#endif  // LSD_SERVER_SHARED_STORE_H_

@@ -2,6 +2,8 @@
 
 #include <array>
 #include <cassert>
+#include <mutex>
+#include <shared_mutex>
 
 #include "util/string_util.h"
 
@@ -70,6 +72,7 @@ std::string EntityTable::Normalize(std::string_view name) const {
 
 EntityId EntityTable::InternWithKind(std::string_view normalized,
                                      EntityKind kind) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = by_name_.find(std::string(normalized));
   if (it != by_name_.end()) return it->second;
   Row row;
@@ -94,12 +97,15 @@ EntityId EntityTable::InternComposed(std::string_view name) {
 }
 
 std::optional<EntityId> EntityTable::Lookup(std::string_view name) const {
-  auto it = by_name_.find(Normalize(name));
+  std::string normalized = Normalize(name);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = by_name_.find(normalized);
   if (it == by_name_.end()) return std::nullopt;
   return it->second;
 }
 
 std::optional<double> EntityTable::NumericValue(EntityId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const Row& row = rows_[id];
   if (!row.is_numeric) return std::nullopt;
   return row.numeric_value;

@@ -4,14 +4,22 @@
 // uppercase). Numeric names ("25000", "$25000", "2.6") are recognized at
 // intern time and carry a double value so the math provider (Sec 3.6) can
 // answer comparison facts without storing them.
+//
+// Thread safety: the table is append-only and internally synchronized —
+// concurrent Intern and read calls are safe. This is what lets a server
+// epoch (src/server) be shared by many reader threads even though
+// parsing a query and minting composed relationships both intern on the
+// fly. Rows are stored in a deque, so the reference returned by Name()
+// stays valid for the table's lifetime regardless of later interning.
 #ifndef LSD_STORE_ENTITY_TABLE_H_
 #define LSD_STORE_ENTITY_TABLE_H_
 
+#include <deque>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "store/entity.h"
 #include "util/status.h"
@@ -36,20 +44,36 @@ class EntityTable {
   // Returns the id for `name` without interning, or nullopt if unknown.
   std::optional<EntityId> Lookup(std::string_view name) const;
 
-  // Name of an entity. id must be valid.
-  const std::string& Name(EntityId id) const { return rows_[id].name; }
+  // Name of an entity. id must be valid. The reference is stable: rows
+  // are never erased and deque growth does not move existing elements.
+  const std::string& Name(EntityId id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return rows_[id].name;
+  }
 
-  EntityKind Kind(EntityId id) const { return rows_[id].kind; }
+  EntityKind Kind(EntityId id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return rows_[id].kind;
+  }
 
   // Numeric value if the entity is a number (Sec 3.6), else nullopt.
   std::optional<double> NumericValue(EntityId id) const;
 
-  bool IsNumeric(EntityId id) const { return rows_[id].is_numeric; }
+  bool IsNumeric(EntityId id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return rows_[id].is_numeric;
+  }
 
-  bool IsValid(EntityId id) const { return id < rows_.size(); }
+  bool IsValid(EntityId id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return id < rows_.size();
+  }
 
   // Number of interned entities (including builtins).
-  size_t size() const { return rows_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return rows_.size();
+  }
 
  private:
   struct Row {
@@ -64,7 +88,8 @@ class EntityTable {
   // Canonicalizes case and unicode aliases.
   std::string Normalize(std::string_view name) const;
 
-  std::vector<Row> rows_;
+  mutable std::shared_mutex mu_;
+  std::deque<Row> rows_;
   std::unordered_map<std::string, EntityId> by_name_;
 };
 

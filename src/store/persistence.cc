@@ -1,5 +1,7 @@
 #include "store/persistence.h"
 
+#include <unistd.h>
+
 #include <cstring>
 #include <memory>
 
@@ -189,8 +191,9 @@ Status LoadSnapshot(const std::string& path, FactStore* store,
 
 Wal::~Wal() { Close(); }
 
-Status Wal::Open(const std::string& path) {
+Status Wal::Open(const std::string& path, WalSync sync) {
   Close();
+  sync_ = sync;
   bool fresh = false;
   std::FILE* probe = std::fopen(path.c_str(), "rb");
   if (probe == nullptr) {
@@ -234,6 +237,9 @@ Status Wal::AppendRecord(uint8_t op,
   if (!w.ok() || std::fflush(file_) != 0) {
     return Status::IoError("WAL append to " + path_ + " failed");
   }
+  if (sync_ == WalSync::kFsync && ::fsync(::fileno(file_)) != 0) {
+    return Status::IoError("WAL fsync of " + path_ + " failed");
+  }
   return Status::OK();
 }
 
@@ -270,16 +276,34 @@ Status Wal::Replay(const std::string& path, FactStore* store,
       std::memcmp(magic, kWalMagic, sizeof(magic)) != 0) {
     return Status::DataLoss(path + " is not an lsd WAL");
   }
+  long good_offset = std::ftell(f.get());
   while (!r.AtEof()) {
     uint8_t op, nfields;
+    bool torn = false;
+    std::vector<std::string> fields;
     if (!r.U8(&op) || !r.U8(&nfields)) {
-      return Status::DataLoss("truncated WAL record in " + path);
-    }
-    std::vector<std::string> fields(nfields);
-    for (auto& s : fields) {
-      if (!r.Str(&s)) {
-        return Status::DataLoss("truncated WAL record in " + path);
+      torn = true;
+    } else {
+      fields.resize(nfields);
+      for (auto& s : fields) {
+        if (!r.Str(&s)) {
+          torn = true;
+          break;
+        }
       }
+    }
+    if (torn) {
+      // A clean tail truncation (crash mid-append) hits EOF mid-record;
+      // drop the half-written record by truncating back to the last
+      // complete one. Anything else is real corruption.
+      if (!std::feof(f.get())) {
+        return Status::DataLoss("corrupt WAL record in " + path);
+      }
+      f.reset();
+      if (::truncate(path.c_str(), good_offset) != 0) {
+        return Status::IoError("cannot truncate torn WAL " + path);
+      }
+      return Status::OK();
     }
     switch (op) {
       case kOpAssert:
@@ -325,6 +349,7 @@ Status Wal::Replay(const std::string& path, FactStore* store,
       default:
         return Status::DataLoss("unknown WAL opcode " + std::to_string(op));
     }
+    good_offset = std::ftell(f.get());
   }
   return Status::OK();
 }

@@ -28,6 +28,12 @@ Status SaveSnapshot(const std::string& path, const FactStore& store,
 Status LoadSnapshot(const std::string& path, FactStore* store,
                     std::vector<Rule>* rules);
 
+// How hard the WAL pushes each record toward the platter.
+enum class WalSync : uint8_t {
+  kFlush,  // fflush only: survives process crashes, not power loss
+  kFsync,  // fflush + fsync every record: survives power loss, slower
+};
+
 // Append-only mutation log.
 class Wal {
  public:
@@ -38,8 +44,10 @@ class Wal {
   Wal& operator=(const Wal&) = delete;
 
   // Opens (creating if needed) a log file for appending.
-  Status Open(const std::string& path);
+  Status Open(const std::string& path, WalSync sync = WalSync::kFlush);
   void Close();
+
+  WalSync sync_mode() const { return sync_; }
 
   bool is_open() const { return file_ != nullptr; }
 
@@ -51,7 +59,11 @@ class Wal {
 
   // Replays a log over a store: asserts/retracts facts, appends rules,
   // and toggles matching rule names in `rules`. Missing file is OK (an
-  // empty log).
+  // empty log). A torn final record — the tail a crash left half-written
+  // — is tolerated: the log is truncated back to the last complete
+  // record and replay succeeds without it. Corruption that is not a
+  // clean tail truncation (bad magic, unknown opcode, malformed record
+  // followed by more data) still fails with DataLoss.
   static Status Replay(const std::string& path, FactStore* store,
                        std::vector<Rule>* rules);
 
@@ -60,6 +72,7 @@ class Wal {
 
   std::FILE* file_ = nullptr;
   std::string path_;
+  WalSync sync_ = WalSync::kFlush;
 };
 
 }  // namespace lsd

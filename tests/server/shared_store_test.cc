@@ -1,0 +1,205 @@
+#include "server/shared_store.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/university_domain.h"
+
+namespace lsd {
+namespace {
+
+TEST(SharedStoreTest, BootstrapEpochIsPublishedImmediately) {
+  SharedStore store;
+  EpochPtr epoch = store.snapshot();
+  ASSERT_NE(epoch, nullptr);
+  EXPECT_EQ(epoch->sequence(), 0u);
+  // The bootstrap epoch holds only the standard-rules seed facts; no
+  // user entities yet.
+  EXPECT_FALSE(epoch->db().entities().Lookup("TOM").has_value());
+  EXPECT_EQ(store.commits(), 0u);
+}
+
+TEST(SharedStoreTest, CommitPublishesNewEpoch) {
+  SharedStore store;
+  size_t base = store.snapshot()->db().store().size();
+  auto committed = store.Commit([](LooseDb& db) {
+    db.Assert("TOM", "ENROLLED-IN", "CS100");
+    return Status::OK();
+  });
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+  EXPECT_EQ((*committed)->sequence(), 1u);
+  EXPECT_EQ((*committed)->db().store().size(), base + 1);
+  EXPECT_EQ(store.snapshot()->sequence(), 1u);
+  EXPECT_EQ(store.commits(), 1u);
+}
+
+// The acceptance-criteria test: a reader pinned to epoch N keeps an
+// unchanged view while a writer publishes N+1 mid-request.
+TEST(SharedStoreTest, PinnedReaderUnaffectedByConcurrentCommit) {
+  SharedStore store;
+  ASSERT_TRUE(store
+                  .Commit([](LooseDb& db) {
+                    workload::BuildCampusDomain(&db);
+                    return Status::OK();
+                  })
+                  .ok());
+
+  EpochPtr pinned = store.snapshot();
+  size_t facts_before = pinned->db().store().size();
+  uint64_t version_before = pinned->store_version();
+
+  auto committed = store.Commit([](LooseDb& db) {
+    db.Assert("SUE", "ENROLLED-IN", "CS100");
+    return Status::OK();
+  });
+  ASSERT_TRUE(committed.ok());
+
+  // The pinned epoch is frozen: same facts, same version key, and the
+  // new fact is invisible through it.
+  EXPECT_EQ(pinned->db().store().size(), facts_before);
+  EXPECT_EQ(pinned->store_version(), version_before);
+  auto old_result = pinned->db().Query("(SUE, ENROLLED-IN, ?C)");
+  ASSERT_TRUE(old_result.ok());
+  EXPECT_EQ(old_result->rows.size(), 1u);  // MATH101 only
+
+  auto new_result = (*committed)->db().Query("(SUE, ENROLLED-IN, ?C)");
+  ASSERT_TRUE(new_result.ok());
+  EXPECT_EQ(new_result->rows.size(), 2u);
+  EXPECT_GT((*committed)->sequence(), pinned->sequence());
+}
+
+TEST(SharedStoreTest, FailedMutationPublishesNothing) {
+  SharedStore store;
+  EpochPtr before = store.snapshot();
+  size_t base = before->db().store().size();
+  auto failed = store.Commit([](LooseDb& db) {
+    db.Assert("A", "R", "B");
+    return Status::InvalidArgument("boom");
+  });
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(store.snapshot(), before);
+  EXPECT_EQ(store.commits(), 0u);
+  // All-or-nothing: the fact asserted before the failure is gone.
+  EXPECT_EQ(store.snapshot()->db().store().size(), base);
+  EXPECT_FALSE(store.snapshot()->db().entities().Lookup("A").has_value());
+}
+
+TEST(SharedStoreTest, NoOpCommitSkipsPublication) {
+  SharedStore store;
+  ASSERT_TRUE(store
+                  .Commit([](LooseDb& db) {
+                    db.Assert("A", "R", "B");
+                    return Status::OK();
+                  })
+                  .ok());
+  EpochPtr before = store.snapshot();
+  auto noop = store.Commit([](LooseDb&) { return Status::OK(); });
+  ASSERT_TRUE(noop.ok());
+  EXPECT_EQ(*noop, before);
+  EXPECT_EQ(store.snapshot()->sequence(), 1u);
+  EXPECT_EQ(store.commits(), 1u);
+}
+
+TEST(SharedStoreTest, OperatorDefinitionPublishesNewEpoch) {
+  // DefineOperator does not bump the (store, rules) version keys, so
+  // the commit path must also compare definition counts.
+  SharedStore store;
+  auto committed = store.Commit([](LooseDb& db) {
+    return db.DefineOperator("CLASSMATES(?A, ?B) := "
+                             "(?A, ENROLLED-IN, ?C) and (?B, ENROLLED-IN, ?C)");
+  });
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+  EXPECT_EQ((*committed)->sequence(), 1u);
+}
+
+TEST(SharedStoreTest, CommitsCarryRulesAndDefinitionsForward) {
+  SharedStore store;
+  ASSERT_TRUE(store
+                  .Commit([](LooseDb& db) {
+                    workload::BuildCampusDomain(&db);
+                    return db.DefineRule(
+                        "teaches: (?C, TAUGHT-BY, ?P) => (?P, TEACHES, ?C)",
+                        RuleKind::kInference);
+                  })
+                  .ok());
+  ASSERT_TRUE(store
+                  .Commit([](LooseDb& db) {
+                    db.Assert("CS200", "TAUGHT-BY", "HARRY");
+                    return Status::OK();
+                  })
+                  .ok());
+  // The rule defined in epoch 1 still fires on the fact added in epoch 2.
+  auto result = store.snapshot()->db().Query("(HARRY, TEACHES, CS200)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->Success());
+}
+
+// Writers and readers race freely: every commit lands, every reader
+// sees an internally consistent epoch. Run under TSan.
+TEST(SharedStoreTest, ConcurrentCommittersAndPinnedReaders) {
+  SharedStore store;
+  ASSERT_TRUE(store
+                  .Commit([](LooseDb& db) {
+                    workload::BuildCampusDomain(&db);
+                    return Status::OK();
+                  })
+                  .ok());
+  size_t base_facts = store.snapshot()->db().store().size();
+
+  constexpr int kWriters = 3;
+  constexpr int kCommitsPerWriter = 4;
+  constexpr int kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<int> reader_errors{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&store, &stop, &reader_errors] {
+      while (!stop.load()) {
+        EpochPtr pinned = store.snapshot();
+        size_t size_at_pin = pinned->db().store().size();
+        auto probe = pinned->db().Probe("(STUDENT, LOVE, ?Z) and "
+                                        "(?Z, COSTS, FREE)");
+        if (!probe.ok() || probe->successes.size() != 2) {
+          reader_errors.fetch_add(1);
+        }
+        // The pinned epoch never moves underneath the request.
+        if (pinned->db().store().size() != size_at_pin) {
+          reader_errors.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&store, w] {
+      for (int c = 0; c < kCommitsPerWriter; ++c) {
+        std::string source =
+            "W" + std::to_string(w) + "-C" + std::to_string(c);
+        auto committed = store.Commit([&source](LooseDb& db) {
+          db.Assert(source, "MARKS", "DONE");
+          return Status::OK();
+        });
+        ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(reader_errors.load(), 0);
+  EXPECT_EQ(store.snapshot()->db().store().size(),
+            base_facts + kWriters * kCommitsPerWriter);
+  EXPECT_EQ(store.snapshot()->sequence(),
+            1u + kWriters * kCommitsPerWriter);
+  EXPECT_EQ(store.commits(), 1u + kWriters * kCommitsPerWriter);
+}
+
+}  // namespace
+}  // namespace lsd

@@ -148,5 +148,77 @@ TEST_F(PersistenceTest, WalSurvivesReopen) {
   EXPECT_EQ(replayed.size(), 2u);
 }
 
+TEST_F(PersistenceTest, WalToleratesTornFinalRecord) {
+  // A crash mid-append leaves a half-written final record. Replay must
+  // keep every complete record, drop the torn tail, and truncate the
+  // log so the next append continues from a clean point. Exercise every
+  // possible chop position by byte-chopping the log.
+  FactStore store;
+  Fact f1 = store.Assert("A", "R", "B");
+  Fact f2 = store.Assert("C", "R", "D");
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.Open(Path("full.wal")).ok());
+    ASSERT_TRUE(wal.AppendAssert(store, f1).ok());
+  }
+  long first_record_end = std::filesystem::file_size(Path("full.wal"));
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.Open(Path("full.wal")).ok());
+    ASSERT_TRUE(wal.AppendAssert(store, f2).ok());
+  }
+  std::string bytes;
+  {
+    std::FILE* f = std::fopen(Path("full.wal").c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+  }
+  ASSERT_GT(static_cast<long>(bytes.size()), first_record_end);
+
+  for (size_t chop = static_cast<size_t>(first_record_end);
+       chop < bytes.size(); ++chop) {
+    std::string torn_path = Path("torn.wal");
+    std::FILE* f = std::fopen(torn_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, chop, f), chop);
+    std::fclose(f);
+
+    FactStore replayed;
+    Status s = Wal::Replay(torn_path, &replayed, nullptr);
+    ASSERT_TRUE(s.ok()) << "chop at " << chop << ": " << s.ToString();
+    EXPECT_EQ(replayed.size(), 1u) << "chop at " << chop;
+    // The torn tail is gone from disk: truncated back to the last
+    // complete record, so appending resumes from a clean boundary.
+    EXPECT_EQ(static_cast<long>(std::filesystem::file_size(torn_path)),
+              first_record_end)
+        << "chop at " << chop;
+
+    Wal wal;
+    ASSERT_TRUE(wal.Open(torn_path).ok());
+    ASSERT_TRUE(wal.AppendAssert(store, f2).ok());
+    wal.Close();
+    FactStore recovered;
+    ASSERT_TRUE(Wal::Replay(torn_path, &recovered, nullptr).ok());
+    EXPECT_EQ(recovered.size(), 2u) << "chop at " << chop;
+  }
+}
+
+TEST_F(PersistenceTest, WalFsyncModeRoundTrips) {
+  FactStore store;
+  Fact f1 = store.Assert("A", "R", "B");
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.Open(Path("sync.wal"), WalSync::kFsync).ok());
+    EXPECT_EQ(wal.sync_mode(), WalSync::kFsync);
+    ASSERT_TRUE(wal.AppendAssert(store, f1).ok());
+  }
+  FactStore replayed;
+  ASSERT_TRUE(Wal::Replay(Path("sync.wal"), &replayed, nullptr).ok());
+  EXPECT_EQ(replayed.size(), 1u);
+}
+
 }  // namespace
 }  // namespace lsd

@@ -8,6 +8,8 @@
 #   BENCH_query.json        bench_join_order + bench_probing (query
 #                           planner and probing waves), combined into
 #                           one object keyed by suite name.
+#   BENCH_server.json       bench_server (serving-layer throughput and
+#                           latency percentiles at 1/4/16/64 sessions).
 #
 # Usage: tools/bench_json.sh [build-dir] [benchmark-filter]
 #   build-dir          defaults to ./build
@@ -61,4 +63,13 @@ out="$repo_root/BENCH_query.json"
   cat "$tmp_probe"
   printf '}\n'
 } > "$out"
+echo "wrote $out"
+
+# BENCH_server.json: the serving-layer load generator (throughput and
+# p50/p99 latency at 1/4/16/64 concurrent sessions). Not a
+# google-benchmark suite, so it writes its JSON directly.
+server_bench="$build_dir/bench/bench_server"
+require "$server_bench"
+out="$repo_root/BENCH_server.json"
+"$server_bench" --sessions 1,4,16,64 --json "$out"
 echo "wrote $out"

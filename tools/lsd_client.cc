@@ -1,0 +1,96 @@
+// lsd_client — interactive (or piped) client for lsd_serve.
+//
+//   lsd_client [--port N] [--host A.B.C.D]
+//
+// Reads command lines from stdin, sends each to the server, and prints
+// the response payload (or "error: ..." on ERR). The same grammar as
+// lsd_shell, plus the server verbs: hypo, session, ping, stats.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "server/protocol.h"
+
+int main(int argc, char** argv) {
+  const char* host = "127.0.0.1";
+  uint16_t port = 7420;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--host A.B.C.D] [--port N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host, &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "bad host: %s\n", host);
+    return 1;
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    std::perror("connect");
+    return 1;
+  }
+
+  lsd::LineReader reader(fd);
+  auto greeting = lsd::ReadResponse(&reader);
+  if (!greeting.ok()) {
+    std::fprintf(stderr, "greeting: %s\n",
+                 greeting.status().ToString().c_str());
+    return 1;
+  }
+  if (!greeting->ok) {
+    std::fprintf(stderr, "rejected: %s\n", greeting->error.c_str());
+    return 1;
+  }
+  bool tty = ::isatty(STDIN_FILENO) != 0;
+  if (tty) std::printf("%s", greeting->payload.c_str());
+
+  std::string line;
+  while ((tty && (std::printf("lsd> "), std::fflush(stdout), true), true) &&
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    lsd::Status sent = lsd::WriteAll(fd, line + "\n");
+    if (!sent.ok()) {
+      std::fprintf(stderr, "send: %s\n", sent.ToString().c_str());
+      return 1;
+    }
+    auto response = lsd::ReadResponse(&reader);
+    if (!response.ok()) {
+      std::fprintf(stderr, "recv: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    if (response->ok) {
+      std::printf("%s", response->payload.c_str());
+    } else {
+      std::printf("error: %s\n", response->error.c_str());
+    }
+    std::fflush(stdout);
+    if (line == "quit" || line == "exit") break;
+  }
+  ::close(fd);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// lsd_serve — the multi-session browsing server.
+//
+// Serves the lsd_shell command grammar over TCP (see
+// src/server/protocol.h for the framing). Each connection gets its own
+// session with a private navigation trail and hypothetical overlay;
+// asserts/retracts/rules commit through the shared store and become
+// visible to every session at its next request.
+//
+//   lsd_serve [--port N] [--max-sessions N] [--seed campus|music|org]
+//             [--load FILE] [--request-timeout-ms N]
+//
+// Try it with nc:  printf 'probe (STUDENT, TAKE, MATH)\nquit\n' | nc 127.0.0.1 7420
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/server.h"
+#include "server/shared_store.h"
+#include "workload/music_domain.h"
+#include "workload/org_domain.h"
+#include "workload/university_domain.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--max-sessions N] "
+               "[--seed campus|music|org] [--load FILE] "
+               "[--request-timeout-ms N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lsd::ServerOptions options;
+  options.port = 7420;
+  std::string seed;
+  std::string load_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--max-sessions") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.max_sessions = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      seed = v;
+    } else if (arg == "--load") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      load_path = v;
+    } else if (arg == "--request-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.request_timeout = std::chrono::milliseconds(std::atol(v));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  lsd::SharedStore store;
+  if (!seed.empty() || !load_path.empty()) {
+    auto seeded = store.Commit([&](lsd::LooseDb& db) -> lsd::Status {
+      if (seed == "campus") {
+        lsd::workload::BuildCampusDomain(&db);
+      } else if (seed == "music") {
+        lsd::workload::BuildMusicDomain(&db);
+      } else if (seed == "org") {
+        (void)lsd::workload::BuildOrgDomain(&db, lsd::workload::OrgOptions());
+      } else if (!seed.empty()) {
+        return lsd::Status::InvalidArgument("unknown seed: " + seed);
+      }
+      if (!load_path.empty()) {
+        return db.LoadTextFile(load_path);
+      }
+      return lsd::Status::OK();
+    });
+    if (!seeded.ok()) {
+      std::fprintf(stderr, "seed failed: %s\n",
+                   seeded.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  lsd::LsdServer server(&store, options);
+  lsd::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("lsd_serve listening on 127.0.0.1:%u (max %zu sessions, "
+              "epoch %llu, %zu facts)\n",
+              server.port(), options.max_sessions,
+              static_cast<unsigned long long>(store.snapshot()->sequence()),
+              store.snapshot()->db().store().size());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_stop == 0) {
+    struct timespec ts = {0, 200 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  std::printf("shutting down (%llu requests served)\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  server.Stop();
+  return 0;
+}

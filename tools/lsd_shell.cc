@@ -117,6 +117,20 @@ void DoStats(LooseDb& db) {
   }
   std::printf("rules:          %zu\n", db.rules().size());
   std::printf("limit(n):       %d\n", db.composition_limit());
+  std::printf("store version:  %llu\n",
+              static_cast<unsigned long long>(db.store_version()));
+  std::printf("rules version:  %llu\n",
+              static_cast<unsigned long long>(db.rules_version()));
+  uint64_t hits = db.planner_hits(), misses = db.planner_misses();
+  std::printf("planner cache:  %zu plans, %llu hits / %llu misses",
+              db.planner_plan_count(), static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses));
+  if (hits + misses > 0) {
+    std::printf(" (%.1f%% hit rate)",
+                100.0 * static_cast<double>(hits) /
+                    static_cast<double>(hits + misses));
+  }
+  std::printf("\n");
 }
 
 void Help() {
