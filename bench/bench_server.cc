@@ -30,6 +30,7 @@
 #include "server/protocol.h"
 #include "server/server.h"
 #include "server/shared_store.h"
+#include "util/failpoint.h"
 #include "workload/university_domain.h"
 
 namespace {
@@ -72,7 +73,8 @@ int Connect(uint16_t port) {
 struct SweepResult {
   int sessions = 0;
   size_t requests = 0;
-  size_t errors = 0;
+  size_t errors = 0;   // requests that failed even after a retry
+  size_t retries = 0;  // reconnect-and-resend recoveries
   double seconds = 0;
   double throughput_rps = 0;
   double p50_us = 0;
@@ -90,36 +92,54 @@ SweepResult RunSweep(uint16_t port, int sessions, int requests_per_session) {
   std::vector<std::thread> clients;
   std::vector<std::vector<int64_t>> latencies(sessions);
   std::vector<size_t> errors(sessions, 0);
+  std::vector<size_t> retries(sessions, 0);
 
   auto start = Clock::now();
   for (int s = 0; s < sessions; ++s) {
     clients.emplace_back([port, s, requests_per_session, &latencies,
-                          &errors] {
-      int fd = Connect(port);
-      if (fd < 0) {
+                          &errors, &retries] {
+      int fd = -1;
+      std::unique_ptr<lsd::LineReader> reader;
+      // (Re)establishes the connection through the greeting. Injected
+      // write failures drop the connection server-side; a resilient
+      // client reconnects and resends, which is what we measure.
+      auto connect = [&]() -> bool {
+        if (fd >= 0) ::close(fd);
+        fd = Connect(port);
+        if (fd < 0) return false;
+        reader = std::make_unique<lsd::LineReader>(fd);
+        auto greeting = lsd::ReadResponse(reader.get());
+        return greeting.ok() && greeting->ok;
+      };
+      if (!connect()) {
         errors[s] = static_cast<size_t>(requests_per_session);
-        return;
-      }
-      lsd::LineReader reader(fd);
-      auto greeting = lsd::ReadResponse(&reader);
-      if (!greeting.ok() || !greeting->ok) {
-        errors[s] = static_cast<size_t>(requests_per_session);
-        ::close(fd);
+        if (fd >= 0) ::close(fd);
         return;
       }
       latencies[s].reserve(static_cast<size_t>(requests_per_session));
+      enum class Outcome { kOk, kInBandError, kTransport };
+      auto attempt = [&](const char* line) -> Outcome {
+        if (!lsd::WriteAll(fd, std::string(line) + "\n").ok()) {
+          return Outcome::kTransport;
+        }
+        auto response = lsd::ReadResponse(reader.get());
+        if (!response.ok()) return Outcome::kTransport;
+        return response->ok ? Outcome::kOk : Outcome::kInBandError;
+      };
       for (int i = 0; i < requests_per_session; ++i) {
         // Offset by session id so sessions are out of phase in the mix.
         const char* line = kMix[(static_cast<size_t>(i) + s) % kMixSize];
         auto t0 = Clock::now();
-        if (!lsd::WriteAll(fd, std::string(line) + "\n").ok()) {
-          ++errors[s];
-          break;
+        Outcome outcome = attempt(line);
+        if (outcome == Outcome::kTransport) {
+          // Dropped connection: reconnect and resend once.
+          ++retries[s];
+          outcome = connect() ? attempt(line) : Outcome::kTransport;
         }
-        auto response = lsd::ReadResponse(&reader);
         auto t1 = Clock::now();
-        if (!response.ok() || !response->ok) {
+        if (outcome != Outcome::kOk) {
           ++errors[s];
+          if (outcome == Outcome::kTransport && !connect()) break;
           continue;
         }
         latencies[s].push_back(
@@ -140,6 +160,7 @@ SweepResult RunSweep(uint16_t port, int sessions, int requests_per_session) {
   for (int s = 0; s < sessions; ++s) {
     all.insert(all.end(), latencies[s].begin(), latencies[s].end());
     result.errors += errors[s];
+    result.retries += retries[s];
   }
   result.requests = all.size();
   result.throughput_rps =
@@ -155,10 +176,13 @@ int main(int argc, char** argv) {
   std::vector<int> session_counts = {1, 4, 16, 64};
   int requests_per_session = 200;
   std::string json_path;
+  double fail_writes = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--sessions" && i + 1 < argc) {
+    if (arg == "--fail-writes" && i + 1 < argc) {
+      fail_writes = std::atof(argv[++i]);
+    } else if (arg == "--sessions" && i + 1 < argc) {
       session_counts.clear();
       std::string list = argv[++i];
       size_t pos = 0;
@@ -176,7 +200,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--sessions 1,4,16,64] [--requests N] "
-                   "[--json FILE]\n",
+                   "[--json FILE] [--fail-writes P]\n",
                    argv[0]);
       return 2;
     }
@@ -209,18 +233,41 @@ int main(int argc, char** argv) {
   std::printf("# bench_server: %d requests/session, read-mostly mix "
               "(1 probe per %zu requests)\n",
               requests_per_session, kMixSize);
-  std::printf("%10s %10s %12s %10s %10s %8s\n", "sessions", "requests",
-              "thruput_rps", "p50_us", "p99_us", "errors");
+  if (fail_writes > 0) {
+    std::printf("# degraded mode: server.write fails with p=%.4f "
+                "(clients reconnect and resend)\n",
+                fail_writes);
+  }
+  std::printf("%10s %10s %12s %10s %10s %8s %8s\n", "sessions", "requests",
+              "thruput_rps", "p50_us", "p99_us", "errors", "retries");
 
   std::vector<SweepResult> results;
   // Warm-up: populate the shared plan cache and lattice so the sweep
   // measures steady-state serving, not first-touch materialization.
   (void)RunSweep(server.port(), 1, static_cast<int>(kMixSize));
+  if (fail_writes > 0) {
+    // Armed after warm-up so cache population is never disrupted.
+    char spec[64];
+    std::snprintf(spec, sizeof(spec), "server.write=error%%%.6f",
+                  fail_writes);
+    lsd::Status armed = lsd::failpoint::Configure(spec);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "cannot arm failpoint: %s\n",
+                   armed.ToString().c_str());
+      return 1;
+    }
+#if !LSD_FAILPOINTS_ENABLED
+    std::fprintf(stderr,
+                 "warning: built without LSD_FAILPOINTS; --fail-writes "
+                 "injects nothing\n");
+#endif
+  }
   for (int sessions : session_counts) {
     SweepResult r = RunSweep(server.port(), sessions, requests_per_session);
     results.push_back(r);
-    std::printf("%10d %10zu %12.0f %10.1f %10.1f %8zu\n", r.sessions,
-                r.requests, r.throughput_rps, r.p50_us, r.p99_us, r.errors);
+    std::printf("%10d %10zu %12.0f %10.1f %10.1f %8zu %8zu\n", r.sessions,
+                r.requests, r.throughput_rps, r.p50_us, r.p99_us, r.errors,
+                r.retries);
   }
 
   if (!json_path.empty()) {
@@ -233,16 +280,19 @@ int main(int argc, char** argv) {
            "  \"hardware_concurrency\": "
         << std::thread::hardware_concurrency()
         << ",\n  \"requests_per_session\": "
-        << requests_per_session << ",\n  \"sweeps\": [\n";
+        << requests_per_session << ",\n  \"fail_writes\": " << fail_writes
+        << ",\n  \"sweeps\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
       const SweepResult& r = results[i];
       char buf[256];
       std::snprintf(buf, sizeof(buf),
                     "    {\"sessions\": %d, \"requests\": %zu, "
                     "\"throughput_rps\": %.0f, \"p50_us\": %.1f, "
-                    "\"p99_us\": %.1f, \"errors\": %zu}%s\n",
+                    "\"p99_us\": %.1f, \"errors\": %zu, "
+                    "\"retries\": %zu}%s\n",
                     r.sessions, r.requests, r.throughput_rps, r.p50_us,
-                    r.p99_us, r.errors, i + 1 < results.size() ? "," : "");
+                    r.p99_us, r.errors, r.retries,
+                    i + 1 < results.size() ? "," : "");
       out << buf;
     }
     out << "  ]\n}\n";

@@ -2,6 +2,7 @@
 
 #include "rules/builtin_rules.h"
 #include "store/text_format.h"
+#include "util/failpoint.h"
 
 namespace lsd {
 
@@ -42,14 +43,43 @@ void LooseDb::MaintainIncremental(const Fact& f, bool asserted) {
   // version invalidates them on next use.
 }
 
+Status LooseDb::MaybeAutoCheckpoint() {
+  if (options_.checkpoint_bytes == 0 || in_checkpoint_ ||
+      !wal_.is_open() || save_prefix_.empty() ||
+      wal_.generation_bytes() < options_.checkpoint_bytes) {
+    return Status::OK();
+  }
+  in_checkpoint_ = true;
+  Status s = Save(save_prefix_);
+  in_checkpoint_ = false;
+  return s;
+}
+
 Status LooseDb::LogAssert(const Fact& f) {
   if (!wal_.is_open()) return Status::OK();
-  return wal_.AppendAssert(store_, f);
+  Status s = wal_.AppendAssert(store_, f);
+  if (!s.ok()) {
+    if (wal_error_.ok()) wal_error_ = s;
+    return s;
+  }
+  return MaybeAutoCheckpoint();
 }
 
 Status LooseDb::LogRetract(const Fact& f) {
   if (!wal_.is_open()) return Status::OK();
-  return wal_.AppendRetract(store_, f);
+  Status s = wal_.AppendRetract(store_, f);
+  if (!s.ok()) {
+    if (wal_error_.ok()) wal_error_ = s;
+    return s;
+  }
+  return MaybeAutoCheckpoint();
+}
+
+Status LooseDb::LogRule(const Rule& rule) {
+  if (!wal_.is_open()) return Status::OK();
+  Status s = wal_.AppendRule(rule, store_.entities());
+  if (!s.ok() && wal_error_.ok()) wal_error_ = s;
+  return s;
 }
 
 Fact LooseDb::Assert(std::string_view source, std::string_view relationship,
@@ -64,7 +94,9 @@ Fact LooseDb::Assert(std::string_view source, std::string_view relationship,
 bool LooseDb::Assert(const Fact& f) {
   bool inserted = store_.Assert(f);
   if (inserted) {
-    LogAssert(f);
+    // The bool API cannot carry the log's status; a failure is latched
+    // in wal_error_ and the poisoned log refuses further appends.
+    (void)LogAssert(f);
     MaintainIncremental(f, /*asserted=*/true);
   }
   return inserted;
@@ -73,7 +105,7 @@ bool LooseDb::Assert(const Fact& f) {
 bool LooseDb::Retract(const Fact& f) {
   bool erased = store_.Retract(f);
   if (erased) {
-    LogRetract(f);
+    (void)LogRetract(f);
     MaintainIncremental(f, /*asserted=*/false);
   }
   return erased;
@@ -120,12 +152,10 @@ Status LooseDb::AddRule(Rule rule) {
                                    "' already defined");
     }
   }
-  if (wal_.is_open()) {
-    LSD_RETURN_IF_ERROR(wal_.AppendRule(rule, store_.entities()));
-  }
+  LSD_RETURN_IF_ERROR(LogRule(rule));
   rules_.push_back(std::move(rule));
   ++rules_version_;
-  return Status::OK();
+  return MaybeAutoCheckpoint();
 }
 
 Status LooseDb::SetRuleEnabled(std::string_view name, bool enabled) {
@@ -135,8 +165,12 @@ Status LooseDb::SetRuleEnabled(std::string_view name, bool enabled) {
         r.enabled = enabled;
         ++rules_version_;
         if (wal_.is_open()) {
-          LSD_RETURN_IF_ERROR(
-              wal_.AppendSetRuleEnabled(r.name, enabled));
+          Status s = wal_.AppendSetRuleEnabled(r.name, enabled);
+          if (!s.ok()) {
+            if (wal_error_.ok()) wal_error_ = s;
+            return s;
+          }
+          return MaybeAutoCheckpoint();
         }
       }
       return Status::OK();
@@ -408,12 +442,38 @@ Status LooseDb::LoadTextFile(const std::string& path) {
 }
 
 Status LooseDb::Save(const std::string& path_prefix) {
-  LSD_RETURN_IF_ERROR(SaveSnapshot(path_prefix + ".snap", store_, rules_));
-  // The snapshot captures everything; restart the log.
-  wal_.Close();
-  std::remove((path_prefix + ".wal").c_str());
-  wal_path_ = path_prefix + ".wal";
-  return wal_.Open(wal_path_, options_.wal_sync);
+  const std::string base = path_prefix + ".wal";
+  WalOptions wal_options{options_.wal_sync, options_.wal_segment_bytes};
+  if (!wal_.is_open() || wal_path_ != base) {
+    // Attach to whatever segments already live at this prefix so the
+    // checkpoint generation continues past them (a snapshot stamped
+    // below a leftover segment's generation would replay stale data).
+    wal_.Close();
+    LSD_RETURN_IF_ERROR(wal_.Open(base, wal_options, 0));
+  }
+  // The checkpoint sequence. Each step is individually crash-safe:
+  // 1. publish the snapshot (atomic rename) stamped generation G+1;
+  //    a crash here recovers from the new snapshot, skipping the old
+  //    segments (their generation G predates it);
+  // 2. swap the WAL to a fresh segment stamped G+1 and drop the old
+  //    segments (BeginGeneration handles its own crash window).
+  const uint64_t next_generation = wal_.generation() + 1;
+  LSD_RETURN_IF_ERROR(SaveSnapshotAtomic(path_prefix + ".snap", store_,
+                                         rules_, next_generation));
+  LSD_FAILPOINT(checkpoint.swap);
+  LSD_RETURN_IF_ERROR(wal_.BeginGeneration(next_generation));
+  wal_path_ = base;
+  save_prefix_ = path_prefix;
+  wal_error_ = Status::OK();  // the snapshot re-established durability
+  return Status::OK();
+}
+
+Status LooseDb::Checkpoint() {
+  if (save_prefix_.empty()) {
+    return Status::FailedPrecondition(
+        "Checkpoint() requires a prior Open() or Save()");
+  }
+  return Save(save_prefix_);
 }
 
 Status LooseDb::Open(const std::string& path_prefix) {
@@ -422,6 +482,8 @@ Status LooseDb::Open(const std::string& path_prefix) {
     return Status::FailedPrecondition(
         "Open() requires a freshly constructed LooseDb");
   }
+  last_recovery_ = RecoveryStats();
+  uint64_t generation = 0;
   const std::string snap_path = path_prefix + ".snap";
   std::FILE* probe = std::fopen(snap_path.c_str(), "rb");
   if (probe != nullptr) {
@@ -433,13 +495,22 @@ Status LooseDb::Open(const std::string& path_prefix) {
       rules_.clear();
       ++rules_version_;
     }
-    LSD_RETURN_IF_ERROR(LoadSnapshot(snap_path, &store_, &rules_));
+    LSD_RETURN_IF_ERROR(
+        LoadSnapshot(snap_path, &store_, &rules_, &generation));
     ++rules_version_;
+    last_recovery_.snapshot_loaded = true;
   }
-  LSD_RETURN_IF_ERROR(Wal::Replay(path_prefix + ".wal", &store_, &rules_));
+  // Replay everything the snapshot does not already contain; segments
+  // from generations before the snapshot are checkpoint leftovers.
+  LSD_RETURN_IF_ERROR(Wal::Replay(path_prefix + ".wal", &store_, &rules_,
+                                  &last_recovery_, generation));
+  last_recovery_.generation = generation;
   ++rules_version_;
   wal_path_ = path_prefix + ".wal";
-  return wal_.Open(wal_path_, options_.wal_sync);
+  save_prefix_ = path_prefix;
+  wal_error_ = Status::OK();
+  WalOptions wal_options{options_.wal_sync, options_.wal_segment_bytes};
+  return wal_.Open(wal_path_, wal_options, generation);
 }
 
 }  // namespace lsd

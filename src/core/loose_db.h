@@ -53,6 +53,13 @@ struct LooseDbOptions {
   // Durability of the attached WAL (Save/Open): fsync every record or
   // just flush it to the OS.
   WalSync wal_sync = WalSync::kFlush;
+  // WAL segment rotation threshold (0 disables rotation).
+  uint64_t wal_segment_bytes = 4ull << 20;
+  // Auto-checkpoint: once this many bytes of WAL records accumulate
+  // since the last checkpoint, the next logged mutation triggers
+  // Checkpoint() (bounded replay on recovery). 0 disables; call
+  // Checkpoint()/Save() manually.
+  uint64_t checkpoint_bytes = 0;
 };
 
 class LooseDb {
@@ -195,19 +202,39 @@ class LooseDb {
   Status LoadText(std::string_view text);
   Status LoadTextFile(const std::string& path);
 
-  // Snapshot + WAL durability. Save() writes <prefix>.snap and truncates
-  // the WAL; Open() loads <prefix>.snap (if present), replays
-  // <prefix>.wal, and attaches the WAL so subsequent mutations are
-  // logged. Known limitation: operator definitions (Sec 6.1) are not
-  // persisted — keep them in a .lsd file loaded at startup.
+  // Snapshot + WAL durability. Save() checkpoints: it atomically
+  // publishes <prefix>.snap stamped with the next checkpoint generation,
+  // swaps the WAL to a fresh same-generation segment, and drops the old
+  // segments. Open() loads <prefix>.snap (if present), replays the
+  // <prefix>.wal.NNNNNN segments (salvaging any torn/corrupt suffix),
+  // and attaches the WAL so subsequent mutations are logged; what
+  // recovery found is available via last_recovery(). Known limitation:
+  // operator definitions (Sec 6.1) are not persisted — keep them in a
+  // .lsd file loaded at startup.
   Status Save(const std::string& path_prefix);
   Status Open(const std::string& path_prefix);
+
+  // Save() to the prefix this database was Open()ed or last Save()d at.
+  // Also triggered automatically by options_.checkpoint_bytes.
+  Status Checkpoint();
+
+  // What the last Open() had to do to recover (zeroed if this database
+  // was never Open()ed).
+  const RecoveryStats& last_recovery() const { return last_recovery_; }
+
+  // The first WAL append error since the log was attached, if any.
+  // Assert/Retract report success against the in-memory store even if
+  // logging fails (the paper's API predates durability); this surfaces
+  // the dropped durability so shells and servers can warn.
+  const Status& wal_status() const { return wal_error_; }
 
  private:
   EntityId MustLookup(std::string_view name, Status* status) const;
   void Invalidate();
   Status LogAssert(const Fact& f);
   Status LogRetract(const Fact& f);
+  Status LogRule(const Rule& rule);
+  Status MaybeAutoCheckpoint();
 
   LooseDbOptions options_;
   FactStore store_;
@@ -220,6 +247,10 @@ class LooseDb {
   RuleEngine engine_;
   Wal wal_;
   std::string wal_path_;
+  std::string save_prefix_;       // where Open/Save attached durability
+  Status wal_error_;              // first append failure, if any
+  RecoveryStats last_recovery_;
+  bool in_checkpoint_ = false;    // re-entrancy guard for auto-checkpoint
 
   // Closure cache, keyed by (store version, rules version).
   mutable std::unique_ptr<Closure> closure_;

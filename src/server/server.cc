@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "server/protocol.h"
+#include "util/failpoint.h"
 
 namespace lsd {
 
@@ -133,6 +134,7 @@ void LsdServer::AcceptLoop() {
       break;
     }
     ReapFinished();
+    LSD_FAILPOINT(server.accept);
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     SetSocketTimeout(fd, SO_RCVTIMEO, options_.io_timeout);
@@ -161,8 +163,13 @@ void LsdServer::HandleConnection(int fd, uint64_t conn_id) {
                          std::to_string(store_->snapshot()->sequence());
     if (WriteAll(fd, FrameResponse(Status::OK(), banner)).ok()) {
       LineReader reader(fd);
+      reader.set_max_idle_timeouts(options_.io_retries);
       std::string line;
       while (running_.load() && reader.ReadLine(&line)) {
+        // An injected read failure models the kernel dropping the
+        // connection under us mid-request.
+        LSD_FAILPOINT_HIT(server.read, read_fault);
+        if (read_fault.action == failpoint::Action::kError) break;
         if (line == "quit" || line == "exit") {
           (void)WriteAll(fd, FrameResponse(Status::OK(), "bye"));
           break;
@@ -183,6 +190,11 @@ void LsdServer::HandleConnection(int fd, uint64_t conn_id) {
                                 ""));
           break;
         }
+        // An injected write failure drops the response on the floor and
+        // hangs up, exactly like a send-buffer error would: the client
+        // sees a dead connection and must retry elsewhere.
+        LSD_FAILPOINT_HIT(server.write, write_fault);
+        if (write_fault.action == failpoint::Action::kError) break;
         Status write_status =
             result.ok()
                 ? WriteAll(fd, FrameResponse(Status::OK(), result.value()))

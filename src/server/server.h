@@ -36,6 +36,12 @@ struct ServerOptions {
   // SO_RCVTIMEO/SO_SNDTIMEO on client sockets; 0 disables. Bounds how
   // long an idle or stalled client can pin a connection thread.
   std::chrono::milliseconds io_timeout{0};
+  // How many consecutive zero-progress receive timeouts to tolerate
+  // before declaring the client gone (so io_timeout becomes a poll
+  // granularity, not a hard per-line deadline; any received byte
+  // resets the count). The effective idle budget per request line is
+  // io_timeout * (io_retries + 1).
+  int io_retries = 4;
 };
 
 class LsdServer {

@@ -1,5 +1,7 @@
 #include "server/shared_store.h"
 
+#include "util/failpoint.h"
+
 namespace lsd {
 
 SharedStore::SharedStore(const LooseDbOptions& options)
@@ -14,6 +16,9 @@ SharedStore::SharedStore(const LooseDbOptions& options)
 StatusOr<EpochPtr> SharedStore::Commit(
     const std::function<Status(LooseDb&)>& mutate) {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  // A failure here models the commit dying before any work: readers
+  // keep the old tip, nothing is half-published.
+  LSD_FAILPOINT_RETURN_IF_SET(store.commit.begin);
   EpochPtr tip = snapshot();
 
   // Clone the tip into a private working copy. The clone must start
@@ -35,7 +40,10 @@ StatusOr<EpochPtr> SharedStore::Commit(
   }
 
   // Publish barrier: materialize every cache before readers can see the
-  // epoch, so their const reads never write.
+  // epoch, so their const reads never write. A crash or failure
+  // injected here proves the mutated clone is invisible until the
+  // published_ swap below.
+  LSD_FAILPOINT_RETURN_IF_SET(store.commit.publish);
   LSD_RETURN_IF_ERROR(next->Warm());
 
   auto epoch =

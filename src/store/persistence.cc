@@ -2,17 +2,26 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 
 #include "store/text_format.h"
+#include "util/crc32c.h"
+#include "util/failpoint.h"
 
 namespace lsd {
 
 namespace {
 
-constexpr char kSnapshotMagic[8] = {'L', 'S', 'D', 'S', 'N', 'A', 'P', '1'};
-constexpr char kWalMagic[8] = {'L', 'S', 'D', 'W', 'A', 'L', '0', '1'};
+namespace fs = std::filesystem;
+
+constexpr char kSnapshotMagic[8] = {'L', 'S', 'D', 'S', 'N', 'A', 'P', '2'};
+constexpr char kWalMagic[8] = {'L', 'S', 'D', 'W', 'A', 'L', '0', '2'};
+constexpr size_t kSegmentHeaderBytes = 8 + 8 + 8;  // magic, generation, seq
+// A record length beyond this is certainly corruption, not data.
+constexpr uint32_t kMaxRecordBytes = 1u << 28;
 
 // WAL / snapshot record opcodes.
 enum WalOp : uint8_t {
@@ -23,6 +32,8 @@ enum WalOp : uint8_t {
   kOpDisableRule = 5,
 };
 
+// File writer with a running CRC32C over everything written (the
+// snapshot trailer checks it).
 class Writer {
  public:
   explicit Writer(std::FILE* f) : f_(f) {}
@@ -35,12 +46,21 @@ class Writer {
     Raw(s.data(), s.size());
   }
   void Raw(const void* data, size_t n) {
+    crc_ = Crc32cExtend(crc_, data, n);
     if (ok_ && std::fwrite(data, 1, n, f_) != n) ok_ = false;
+  }
+  // Writes the running checksum itself (excluded from the running sum).
+  void Trailer() {
+    uint32_t crc = crc_;
+    if (ok_ && std::fwrite(&crc, 1, sizeof(crc), f_) != sizeof(crc)) {
+      ok_ = false;
+    }
   }
   bool ok() const { return ok_; }
 
  private:
   std::FILE* f_;
+  uint32_t crc_ = 0;
   bool ok_ = true;
 };
 
@@ -54,12 +74,24 @@ class Reader {
   bool Str(std::string* s) {
     uint32_t n;
     if (!U32(&n)) return false;
-    if (n > (1u << 28)) return false;  // corrupt length guard
+    if (n > kMaxRecordBytes) return false;  // corrupt length guard
     s->resize(n);
     return n == 0 || Raw(s->data(), n);
   }
   bool Raw(void* data, size_t n) {
-    return std::fread(data, 1, n, f_) == n;
+    if (std::fread(data, 1, n, f_) != n) return false;
+    crc_ = Crc32cExtend(crc_, data, n);
+    return true;
+  }
+  // Reads the stored trailer checksum and compares it to the running
+  // sum accumulated so far.
+  bool Trailer() {
+    uint32_t expected = crc_;
+    uint32_t stored;
+    if (std::fread(&stored, 1, sizeof(stored), f_) != sizeof(stored)) {
+      return false;
+    }
+    return stored == expected;
   }
   bool AtEof() {
     int c = std::fgetc(f_);
@@ -70,6 +102,23 @@ class Reader {
 
  private:
   std::FILE* f_;
+  uint32_t crc_ = 0;
+};
+
+// In-memory record encoder: a WAL record is staged in full, then
+// written with one fwrite so a crash can only tear it, not interleave.
+class BufWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { buf_.append(reinterpret_cast<char*>(&v), 4); }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+  const std::string& str() const { return buf_; }
+
+ private:
+  std::string buf_;
 };
 
 struct FileCloser {
@@ -79,16 +128,153 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+std::string SegmentPath(const std::string& base, uint64_t seq) {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), ".%06llu",
+                static_cast<unsigned long long>(seq));
+  return base + suffix;
+}
+
+struct SegmentFile {
+  uint64_t seq = 0;
+  std::string path;
+};
+
+// Segments of `base`, sorted by sequence number. A missing directory or
+// no matching files is an empty log.
+std::vector<SegmentFile> ListSegments(const std::string& base) {
+  fs::path base_path(base);
+  fs::path dir = base_path.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string prefix = base_path.filename().string() + ".";
+  std::vector<SegmentFile> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() != prefix.size() + 6 || name.rfind(prefix, 0) != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(prefix.size());
+    if (digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    out.push_back({std::strtoull(digits.c_str(), nullptr, 10),
+                   entry.path().string()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SegmentFile& a, const SegmentFile& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+struct SegmentHeader {
+  uint64_t generation = 0;
+  uint64_t seq = 0;
+};
+
+bool ReadSegmentHeader(std::FILE* f, SegmentHeader* header) {
+  char magic[8];
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+      std::memcmp(magic, kWalMagic, sizeof(magic)) != 0) {
+    return false;
+  }
+  return std::fread(&header->generation, 1, 8, f) == 8 &&
+         std::fread(&header->seq, 1, 8, f) == 8;
+}
+
+uint64_t FileSizeOrZero(const std::string& path) {
+  std::error_code ec;
+  uint64_t n = static_cast<uint64_t>(fs::file_size(path, ec));
+  return ec ? 0 : n;
+}
+
+// Applies one checksum-valid record to the store. A false return means
+// the record is structurally valid bytes but semantically unparsable
+// (wrong field count, bad rule text): recovery salvages up to it.
+bool ApplyRecord(uint8_t op, const std::vector<std::string>& fields,
+                 FactStore* store, std::vector<Rule>* rules) {
+  switch (op) {
+    case kOpAssert:
+    case kOpRetract: {
+      if (fields.size() != 3) return false;
+      EntityTable& e = store->entities();
+      Fact fact(e.Intern(fields[0]), e.Intern(fields[1]),
+                e.Intern(fields[2]));
+      if (op == kOpAssert) {
+        store->Assert(fact);
+      } else {
+        store->Retract(fact);
+      }
+      return true;
+    }
+    case kOpRule: {
+      if (fields.size() != 1) return false;
+      RuleKind kind = RuleKind::kInference;
+      std::string_view body = fields[0];
+      if (body.rfind("integrity ", 0) == 0) {
+        kind = RuleKind::kIntegrity;
+        body = body.substr(10);
+      } else if (body.rfind("rule ", 0) == 0) {
+        body = body.substr(5);
+      }
+      auto rule = ParseRuleLine(body, kind, &store->entities());
+      if (!rule.ok()) return false;
+      if (rules != nullptr) rules->push_back(std::move(rule).value());
+      return true;
+    }
+    case kOpEnableRule:
+    case kOpDisableRule: {
+      if (fields.size() != 1) return false;
+      if (rules != nullptr) {
+        for (Rule& rule : *rules) {
+          if (rule.name == fields[0]) {
+            rule.enabled = (op == kOpEnableRule);
+          }
+        }
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
+std::string RecoveryStats::ToString() const {
+  std::string out = "recovered";
+  out += snapshot_loaded
+             ? " from snapshot (generation " + std::to_string(generation) +
+                   ")"
+             : " without snapshot";
+  out += ", replayed " + std::to_string(records_replayed) + " records (" +
+         std::to_string(bytes_replayed) + " bytes) from " +
+         std::to_string(segments_replayed) + " segments";
+  if (segments_skipped > 0) {
+    out += ", skipped " + std::to_string(segments_skipped) +
+           " pre-checkpoint segments";
+  }
+  if (tail_truncated || segments_dropped > 0 || bytes_dropped > 0) {
+    out += ", dropped " + std::to_string(bytes_dropped) + " bytes";
+    if (segments_dropped > 0) {
+      out += " and " + std::to_string(segments_dropped) + " segments";
+    }
+    if (!detail.empty()) out += " (" + detail + ")";
+  }
+  return out;
+}
+
 Status SaveSnapshot(const std::string& path, const FactStore& store,
-                    const std::vector<Rule>& rules) {
+                    const std::vector<Rule>& rules, uint64_t generation) {
+  LSD_FAILPOINT_RETURN_IF_SET(snapshot.write);
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) {
     return Status::IoError("cannot open " + path + " for writing");
   }
   Writer w(f.get());
   w.Raw(kSnapshotMagic, sizeof(kSnapshotMagic));
+  w.U64(generation);
 
   const EntityTable& entities = store.entities();
   w.U32(static_cast<uint32_t>(entities.size()));
@@ -110,15 +296,32 @@ Status SaveSnapshot(const std::string& path, const FactStore& store,
     w.Str(SerializeRule(r, entities));
     w.U8(r.enabled ? 1 : 0);
   }
+  w.Trailer();
   if (!w.ok()) return Status::IoError("write to " + path + " failed");
+  LSD_FAILPOINT(snapshot.flush);
   if (std::fflush(f.get()) != 0) {
     return Status::IoError("flush of " + path + " failed");
+  }
+  if (::fsync(::fileno(f.get())) != 0) {
+    return Status::IoError("fsync of " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Status SaveSnapshotAtomic(const std::string& path, const FactStore& store,
+                          const std::vector<Rule>& rules,
+                          uint64_t generation) {
+  const std::string tmp = path + ".tmp";
+  LSD_RETURN_IF_ERROR(SaveSnapshot(tmp, store, rules, generation));
+  LSD_FAILPOINT(snapshot.rename);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename " + tmp + " over " + path);
   }
   return Status::OK();
 }
 
 Status LoadSnapshot(const std::string& path, FactStore* store,
-                    std::vector<Rule>* rules) {
+                    std::vector<Rule>* rules, uint64_t* generation) {
   if (store->size() != 0 ||
       store->entities().size() != kNumBuiltinEntities) {
     return Status::FailedPrecondition(
@@ -134,6 +337,9 @@ Status LoadSnapshot(const std::string& path, FactStore* store,
       std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
     return Status::DataLoss(path + " is not an lsd snapshot");
   }
+  uint64_t gen;
+  if (!r.U64(&gen)) return Status::DataLoss("truncated snapshot");
+  if (generation != nullptr) *generation = gen;
 
   uint32_t entity_count;
   if (!r.U32(&entity_count)) return Status::DataLoss("truncated snapshot");
@@ -167,6 +373,7 @@ Status LoadSnapshot(const std::string& path, FactStore* store,
 
   uint32_t rule_count;
   if (!r.U32(&rule_count)) return Status::DataLoss("truncated snapshot");
+  std::vector<Rule> parsed;
   for (uint32_t i = 0; i < rule_count; ++i) {
     std::string text;
     uint8_t enabled;
@@ -184,35 +391,95 @@ Status LoadSnapshot(const std::string& path, FactStore* store,
     }
     LSD_ASSIGN_OR_RETURN(Rule rule, ParseRuleLine(body, kind, &entities));
     rule.enabled = (enabled != 0);
-    if (rules != nullptr) rules->push_back(std::move(rule));
+    parsed.push_back(std::move(rule));
+  }
+  // The trailer authenticates everything above; a snapshot that fails
+  // it must be rejected wholesale (bit rot in the middle of the entity
+  // table silently renames entities — worse than an error).
+  if (!r.Trailer()) {
+    return Status::DataLoss(path + " failed its checksum");
+  }
+  if (rules != nullptr) {
+    for (Rule& rule : parsed) rules->push_back(std::move(rule));
   }
   return Status::OK();
 }
 
 Wal::~Wal() { Close(); }
 
-Status Wal::Open(const std::string& path, WalSync sync) {
+Status Wal::OpenSegment(uint64_t seq, uint64_t generation) {
+  const std::string path = SegmentPath(base_, seq);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot create WAL segment " + path);
+  }
+  Writer w(f);
+  w.Raw(kWalMagic, sizeof(kWalMagic));
+  w.U64(generation);
+  w.U64(seq);
+  if (!w.ok() || std::fflush(f) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot initialize WAL segment " + path);
+  }
+  if (options_.sync == WalSync::kFsync && ::fsync(::fileno(f)) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot fsync WAL segment " + path);
+  }
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = f;
+  segment_seq_ = seq;
+  generation_ = generation;
+  segment_bytes_written_ = kSegmentHeaderBytes;
+  return Status::OK();
+}
+
+Status Wal::Open(const std::string& base, const WalOptions& options,
+                 uint64_t generation) {
   Close();
-  sync_ = sync;
-  bool fresh = false;
-  std::FILE* probe = std::fopen(path.c_str(), "rb");
-  if (probe == nullptr) {
-    fresh = true;
-  } else {
-    std::fseek(probe, 0, SEEK_END);
-    fresh = std::ftell(probe) == 0;
+  base_ = base;
+  options_ = options;
+  poisoned_ = false;
+  generation_bytes_ = 0;
+
+  std::vector<SegmentFile> segments = ListSegments(base);
+  if (segments.empty()) {
+    return OpenSegment(1, generation);
+  }
+
+  // Append to the newest segment. Replay() ran before us (it is the
+  // only safe way to find the append point), so the header is expected
+  // to be intact; if it is not, start a fresh segment past it rather
+  // than appending into a broken file.
+  const SegmentFile& last = segments.back();
+  SegmentHeader header;
+  bool header_ok = false;
+  if (std::FILE* probe = std::fopen(last.path.c_str(), "rb")) {
+    header_ok = ReadSegmentHeader(probe, &header);
     std::fclose(probe);
   }
-  file_ = std::fopen(path.c_str(), "ab");
-  if (file_ == nullptr) {
-    return Status::IoError("cannot open WAL " + path);
+  if (!header_ok) {
+    std::remove(last.path.c_str());
+    return OpenSegment(last.seq + 1, generation);
   }
-  path_ = path;
-  if (fresh) {
-    Writer w(file_);
-    w.Raw(kWalMagic, sizeof(kWalMagic));
-    if (!w.ok() || std::fflush(file_) != 0) {
-      return Status::IoError("cannot initialize WAL " + path);
+
+  file_ = std::fopen(last.path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open WAL segment " + last.path);
+  }
+  segment_seq_ = last.seq;
+  generation_ = header.generation;
+  segment_bytes_written_ = FileSizeOrZero(last.path);
+  // Bytes already logged in this generation (the auto-checkpoint
+  // trigger keeps counting across reopens).
+  for (const SegmentFile& seg : segments) {
+    if (std::FILE* probe = std::fopen(seg.path.c_str(), "rb")) {
+      SegmentHeader h;
+      if (ReadSegmentHeader(probe, &h) && h.generation == generation_) {
+        uint64_t size = FileSizeOrZero(seg.path);
+        generation_bytes_ +=
+            size > kSegmentHeaderBytes ? size - kSegmentHeaderBytes : 0;
+      }
+      std::fclose(probe);
     }
   }
   return Status::OK();
@@ -223,6 +490,35 @@ void Wal::Close() {
     std::fclose(file_);
     file_ = nullptr;
   }
+  poisoned_ = false;
+}
+
+Status Wal::RotateIfNeeded() {
+  if (options_.segment_bytes == 0 ||
+      segment_bytes_written_ < options_.segment_bytes) {
+    return Status::OK();
+  }
+  LSD_FAILPOINT_RETURN_IF_SET(wal.rotate);
+  return OpenSegment(segment_seq_ + 1, generation_);
+}
+
+Status Wal::BeginGeneration(uint64_t generation) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("WAL is not open");
+  }
+  const uint64_t old_last_seq = segment_seq_;
+  LSD_RETURN_IF_ERROR(OpenSegment(old_last_seq + 1, generation));
+  // The fresh segment supersedes the partial record of a poisoned log;
+  // the snapshot already published the full state.
+  poisoned_ = false;
+  generation_bytes_ = 0;
+  // Crash window: the new-generation segment exists but stale segments
+  // linger. Recovery skips them by generation, so this is safe.
+  LSD_FAILPOINT(wal.generation.swap);
+  for (const SegmentFile& seg : ListSegments(base_)) {
+    if (seg.seq <= old_last_seq) std::remove(seg.path.c_str());
+  }
+  return Status::OK();
 }
 
 Status Wal::AppendRecord(uint8_t op,
@@ -230,16 +526,69 @@ Status Wal::AppendRecord(uint8_t op,
   if (file_ == nullptr) {
     return Status::FailedPrecondition("WAL is not open");
   }
-  Writer w(file_);
-  w.U8(op);
-  w.U8(static_cast<uint8_t>(fields.size()));
-  for (const std::string& s : fields) w.Str(s);
-  if (!w.ok() || std::fflush(file_) != 0) {
-    return Status::IoError("WAL append to " + path_ + " failed");
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "WAL poisoned by an earlier append failure; reopen to salvage");
   }
-  if (sync_ == WalSync::kFsync && ::fsync(::fileno(file_)) != 0) {
-    return Status::IoError("WAL fsync of " + path_ + " failed");
+  LSD_RETURN_IF_ERROR(RotateIfNeeded());
+
+  // Stage the full record: [len][crc over len+payload][payload].
+  BufWriter payload;
+  payload.U8(op);
+  payload.U8(static_cast<uint8_t>(fields.size()));
+  for (const std::string& s : fields) payload.Str(s);
+  const uint32_t len = static_cast<uint32_t>(payload.str().size());
+  uint32_t crc = Crc32cExtend(0, &len, sizeof(len));
+  crc = Crc32cExtend(crc, payload.str().data(), len);
+  std::string record;
+  record.reserve(8 + len);
+  record.append(reinterpret_cast<const char*>(&len), 4);
+  record.append(reinterpret_cast<const char*>(&crc), 4);
+  record.append(payload.str());
+
+  // A crash policy here dies before any byte is written; a short-write
+  // policy leaves a torn record on disk and poisons the log, exactly
+  // like a real partial write would.
+  LSD_FAILPOINT_HIT(wal.append.write, fp_write);
+  if (fp_write.action == failpoint::Action::kError) {
+    poisoned_ = true;
+    return Status::IoError("injected WAL append failure at " + base_);
   }
+  size_t budget = record.size();
+  if (fp_write.action == failpoint::Action::kShortWrite) {
+    budget = std::min<size_t>(budget, fp_write.arg);
+  }
+  if (std::fwrite(record.data(), 1, budget, file_) != budget) {
+    poisoned_ = true;
+    return Status::IoError("WAL append to " + base_ + " failed");
+  }
+  if (fp_write.action == failpoint::Action::kShortWrite) {
+    std::fflush(file_);  // push the torn bytes where recovery will see them
+    poisoned_ = true;
+    return Status::IoError("injected short write (" +
+                           std::to_string(budget) + " of " +
+                           std::to_string(record.size()) + " bytes) at " +
+                           base_);
+  }
+
+  LSD_FAILPOINT_HIT(wal.append.flush, fp_flush);
+  if (fp_flush.action == failpoint::Action::kError ||
+      std::fflush(file_) != 0) {
+    poisoned_ = true;
+    return Status::IoError("WAL flush of " + base_ + " failed");
+  }
+  if (options_.sync == WalSync::kFsync) {
+    LSD_FAILPOINT_HIT(wal.fsync, fp_sync);
+    if (fp_sync.action == failpoint::Action::kError ||
+        ::fsync(::fileno(file_)) != 0) {
+      // fsync failure leaves durability unknown; refuse further appends
+      // so the caller checkpoints or reopens.
+      poisoned_ = true;
+      return Status::IoError("WAL fsync of " + base_ + " failed");
+    }
+  }
+  segment_bytes_written_ += record.size();
+  generation_bytes_ += record.size();
   return Status::OK();
 }
 
@@ -265,91 +614,149 @@ Status Wal::AppendSetRuleEnabled(const std::string& rule_name,
   return AppendRecord(enabled ? kOpEnableRule : kOpDisableRule, {rule_name});
 }
 
-Status Wal::Replay(const std::string& path, FactStore* store,
-                   std::vector<Rule>* rules) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) return Status::OK();  // no log yet
-  Reader r(f.get());
-  char magic[8];
-  if (r.AtEof()) return Status::OK();
-  if (!r.Raw(magic, sizeof(magic)) ||
-      std::memcmp(magic, kWalMagic, sizeof(magic)) != 0) {
-    return Status::DataLoss(path + " is not an lsd WAL");
-  }
-  long good_offset = std::ftell(f.get());
-  while (!r.AtEof()) {
-    uint8_t op, nfields;
-    bool torn = false;
-    std::vector<std::string> fields;
-    if (!r.U8(&op) || !r.U8(&nfields)) {
-      torn = true;
-    } else {
-      fields.resize(nfields);
-      for (auto& s : fields) {
-        if (!r.Str(&s)) {
-          torn = true;
-          break;
-        }
+Status Wal::Replay(const std::string& base, FactStore* store,
+                   std::vector<Rule>* rules, RecoveryStats* stats,
+                   uint64_t min_generation) {
+  RecoveryStats local;
+  RecoveryStats& s = stats != nullptr ? *stats : local;
+
+  bool damaged = false;  // once set, nothing after the damage is trusted
+  for (const SegmentFile& seg : ListSegments(base)) {
+    const uint64_t size = FileSizeOrZero(seg.path);
+    if (damaged) {
+      // Records here may depend on state lost with the damaged prefix;
+      // committed-prefix semantics require dropping them.
+      s.bytes_dropped += size;
+      ++s.segments_dropped;
+      if (std::remove(seg.path.c_str()) != 0) {
+        return Status::IoError("cannot drop WAL segment " + seg.path);
       }
+      continue;
     }
-    if (torn) {
-      // A clean tail truncation (crash mid-append) hits EOF mid-record;
-      // drop the half-written record by truncating back to the last
-      // complete one. Anything else is real corruption.
-      if (!std::feof(f.get())) {
-        return Status::DataLoss("corrupt WAL record in " + path);
-      }
+    FilePtr f(std::fopen(seg.path.c_str(), "rb"));
+    if (f == nullptr) {
+      return Status::IoError("cannot open WAL segment " + seg.path);
+    }
+    SegmentHeader header;
+    if (!ReadSegmentHeader(f.get(), &header) || header.seq != seg.seq) {
+      // Unreadable header: the segment contributes nothing, and nothing
+      // after it can be trusted either.
       f.reset();
-      if (::truncate(path.c_str(), good_offset) != 0) {
-        return Status::IoError("cannot truncate torn WAL " + path);
+      s.bytes_dropped += size;
+      ++s.segments_dropped;
+      s.tail_truncated = true;
+      damaged = true;
+      if (s.detail.empty()) {
+        s.detail = "bad segment header in " + seg.path;
       }
-      return Status::OK();
+      if (std::remove(seg.path.c_str()) != 0) {
+        return Status::IoError("cannot drop WAL segment " + seg.path);
+      }
+      continue;
     }
-    switch (op) {
-      case kOpAssert:
-      case kOpRetract: {
-        if (nfields != 3) return Status::DataLoss("bad WAL fact record");
-        EntityTable& e = store->entities();
-        Fact fact(e.Intern(fields[0]), e.Intern(fields[1]),
-                  e.Intern(fields[2]));
-        if (op == kOpAssert) {
-          store->Assert(fact);
-        } else {
-          store->Retract(fact);
-        }
-        break;
+    if (header.generation < min_generation) {
+      // Pre-checkpoint leftovers: the snapshot already contains these
+      // records (a crash hit between snapshot rename and segment
+      // cleanup). Finish the cleanup now.
+      f.reset();
+      ++s.segments_skipped;
+      if (std::remove(seg.path.c_str()) != 0) {
+        return Status::IoError("cannot drop stale WAL segment " + seg.path);
       }
-      case kOpRule: {
-        if (nfields != 1) return Status::DataLoss("bad WAL rule record");
-        RuleKind kind = RuleKind::kInference;
-        std::string_view body = fields[0];
-        if (body.rfind("integrity ", 0) == 0) {
-          kind = RuleKind::kIntegrity;
-          body = body.substr(10);
-        } else if (body.rfind("rule ", 0) == 0) {
-          body = body.substr(5);
-        }
-        LSD_ASSIGN_OR_RETURN(
-            Rule rule, ParseRuleLine(body, kind, &store->entities()));
-        if (rules != nullptr) rules->push_back(std::move(rule));
-        break;
+      continue;
+    }
+
+    ++s.segments_replayed;
+    long good_offset = std::ftell(f.get());
+    std::string bad_record_reason;
+    for (;;) {
+      uint32_t len = 0, crc = 0;
+      size_t n = std::fread(&len, 1, 4, f.get());
+      if (n == 0 && std::feof(f.get())) {
+        break;  // clean end of segment
       }
-      case kOpEnableRule:
-      case kOpDisableRule: {
-        if (nfields != 1) return Status::DataLoss("bad WAL toggle record");
-        if (rules != nullptr) {
-          for (Rule& rule : *rules) {
-            if (rule.name == fields[0]) {
-              rule.enabled = (op == kOpEnableRule);
+      bool torn = false;
+      std::string payload;
+      if (n != 4 || std::fread(&crc, 1, 4, f.get()) != 4) {
+        torn = true;  // torn inside the record header
+      } else if (len > kMaxRecordBytes) {
+        bad_record_reason = "implausible record length";
+        torn = true;
+      } else {
+        payload.resize(len);
+        if (len != 0 &&
+            std::fread(payload.data(), 1, len, f.get()) != len) {
+          torn = true;
+        }
+      }
+      if (!torn) {
+        uint32_t expected = Crc32cExtend(0, &len, sizeof(len));
+        expected = Crc32cExtend(expected, payload.data(), payload.size());
+        if (expected != crc) {
+          bad_record_reason = "checksum mismatch";
+          torn = true;
+        }
+      }
+      if (!torn) {
+        // Decode op, field count, fields out of the verified payload.
+        bool parsed = false;
+        std::vector<std::string> fields;
+        uint8_t op = 0;
+        if (payload.size() >= 2) {
+          op = static_cast<uint8_t>(payload[0]);
+          size_t nfields = static_cast<uint8_t>(payload[1]);
+          size_t pos = 2;
+          parsed = true;
+          for (size_t i = 0; i < nfields && parsed; ++i) {
+            if (pos + 4 > payload.size()) {
+              parsed = false;
+              break;
             }
+            uint32_t flen;
+            std::memcpy(&flen, payload.data() + pos, 4);
+            pos += 4;
+            if (pos + flen > payload.size()) {
+              parsed = false;
+              break;
+            }
+            fields.emplace_back(payload.data() + pos, flen);
+            pos += flen;
           }
+          if (parsed && pos != payload.size()) parsed = false;
+        }
+        if (!parsed || !ApplyRecord(op, fields, store, rules)) {
+          bad_record_reason = "unparsable record";
+          torn = true;
+        }
+      }
+      if (torn) {
+        // Salvage the valid prefix: truncate the damage away so the
+        // next append continues from a clean boundary.
+        const long file_end = (std::fseek(f.get(), 0, SEEK_END),
+                               std::ftell(f.get()));
+        f.reset();
+        if (::truncate(seg.path.c_str(), good_offset) != 0) {
+          return Status::IoError("cannot truncate damaged WAL segment " +
+                                 seg.path);
+        }
+        s.bytes_dropped +=
+            static_cast<uint64_t>(file_end - good_offset);
+        s.tail_truncated = true;
+        damaged = true;
+        if (s.detail.empty()) {
+          s.detail =
+              (bad_record_reason.empty() ? std::string("torn record")
+                                         : bad_record_reason) +
+              " at offset " + std::to_string(good_offset) + " of " +
+              seg.path;
         }
         break;
       }
-      default:
-        return Status::DataLoss("unknown WAL opcode " + std::to_string(op));
+      ++s.records_replayed;
+      long new_offset = std::ftell(f.get());
+      s.bytes_replayed += static_cast<uint64_t>(new_offset - good_offset);
+      good_offset = new_offset;
     }
-    good_offset = std::ftell(f.get());
   }
   return Status::OK();
 }

@@ -1,11 +1,36 @@
-// Durability for loosely structured databases: binary snapshots plus an
-// append-only write-ahead log. The paper leaves storage strategies as an
-// open problem (Sec 6.2); this is the simplest strategy that makes the
-// library adoptable: snapshot the whole store, log subsequent mutations,
-// recover by replaying the log over the snapshot.
+// Durability for loosely structured databases: binary snapshots plus a
+// crash-consistent, checksummed, segmented write-ahead log. The paper
+// leaves storage strategies as an open problem (Sec 6.2); this is the
+// hardened version of the obvious strategy: snapshot the whole store,
+// log subsequent mutations, recover by replaying the log over the
+// snapshot — now with the properties a real log needs:
+//
+//  * CRC32C per record (over the length prefix and the payload), so a
+//    flipped byte anywhere in a record is detected deterministically,
+//    not just a torn final record.
+//  * Salvage-to-last-valid-prefix recovery: replay stops at the first
+//    invalid record, the bad suffix (and any later segments) is
+//    truncated away, and RecoveryStats reports exactly what was kept
+//    and what was dropped. Acknowledged writes before the damage are
+//    never lost; bytes after it are never trusted.
+//  * Size-based segment rotation (<base>.000001, <base>.000002, ...),
+//    so one corrupt region cannot poison an unbounded file and old
+//    segments can be dropped wholesale at checkpoints.
+//  * Checkpoint generations: a checkpoint writes a snapshot stamped
+//    with generation G+1 (atomically, via rename), starts a fresh
+//    segment stamped G+1, then unlinks older segments. Recovery skips
+//    any segment whose generation predates the snapshot's, so a crash
+//    anywhere inside the checkpoint sequence recovers correctly and
+//    replay work stays bounded by the data written since the last
+//    checkpoint.
 //
 // WAL records are self-contained (they carry entity names, not ids), so
 // a log remains valid regardless of interning order.
+//
+// Fault injection: the write, flush, fsync, rotate and checkpoint paths
+// carry failpoints (util/failpoint.h) named wal.append.write,
+// wal.append.flush, wal.fsync, wal.rotate, snapshot.write; the
+// crash-torture harness kills the process at each of them.
 #ifndef LSD_STORE_PERSISTENCE_H_
 #define LSD_STORE_PERSISTENCE_H_
 
@@ -19,14 +44,24 @@
 
 namespace lsd {
 
-// Writes a full snapshot (entities, facts, rules) to `path`.
+// Writes a full snapshot (entities, facts, rules) to `path`, stamped
+// with a checkpoint generation. Flushes and fsyncs before returning.
 Status SaveSnapshot(const std::string& path, const FactStore& store,
-                    const std::vector<Rule>& rules);
+                    const std::vector<Rule>& rules, uint64_t generation = 0);
+
+// SaveSnapshot to `path + ".tmp"`, then atomically rename over `path`:
+// a crash mid-write leaves the previous snapshot intact.
+Status SaveSnapshotAtomic(const std::string& path, const FactStore& store,
+                          const std::vector<Rule>& rules,
+                          uint64_t generation = 0);
 
 // Loads a snapshot into an empty FactStore. `store` must be freshly
-// constructed (only builtins interned); rules are appended.
+// constructed (only builtins interned); rules are appended. The
+// snapshot's checkpoint generation is returned through `generation`
+// when non-null.
 Status LoadSnapshot(const std::string& path, FactStore* store,
-                    std::vector<Rule>* rules);
+                    std::vector<Rule>* rules,
+                    uint64_t* generation = nullptr);
 
 // How hard the WAL pushes each record toward the platter.
 enum class WalSync : uint8_t {
@@ -34,7 +69,32 @@ enum class WalSync : uint8_t {
   kFsync,  // fflush + fsync every record: survives power loss, slower
 };
 
-// Append-only mutation log.
+struct WalOptions {
+  WalSync sync = WalSync::kFlush;
+  // Rotate to a fresh segment once the active one exceeds this many
+  // bytes (0 disables rotation).
+  uint64_t segment_bytes = 4ull << 20;
+};
+
+// What recovery found and what it had to do. Returned by Wal::Replay
+// (and surfaced by LooseDb::Open / last_recovery()).
+struct RecoveryStats {
+  bool snapshot_loaded = false;
+  uint64_t generation = 0;         // checkpoint generation recovered at
+  uint64_t records_replayed = 0;   // checksum-valid records applied
+  uint64_t segments_replayed = 0;  // segments read end to end (or salvaged)
+  uint64_t segments_skipped = 0;   // stale generation: data already in snap
+  uint64_t segments_dropped = 0;   // unreadable, or after a corrupt record
+  uint64_t bytes_replayed = 0;     // record bytes applied
+  uint64_t bytes_dropped = 0;      // corrupt or torn bytes truncated away
+  bool tail_truncated = false;     // a torn/corrupt suffix was removed
+  std::string detail;              // human-readable note on damage, if any
+
+  std::string ToString() const;
+};
+
+// Append-only mutation log over a family of segment files
+// `<base>.NNNNNN`. Single-writer; Replay is the single reader.
 class Wal {
  public:
   Wal() = default;
@@ -43,36 +103,64 @@ class Wal {
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
-  // Opens (creating if needed) a log file for appending.
-  Status Open(const std::string& path, WalSync sync = WalSync::kFlush);
+  // Opens the newest segment of `<base>.NNNNNN` for appending, creating
+  // segment 000001 stamped with `generation` if none exist. Run
+  // Replay() on the same base first: it leaves the log salvaged back to
+  // its last valid prefix, which is the only safe append point.
+  Status Open(const std::string& base, const WalOptions& options = {},
+              uint64_t generation = 0);
   void Close();
 
-  WalSync sync_mode() const { return sync_; }
-
+  WalSync sync_mode() const { return options_.sync; }
   bool is_open() const { return file_ != nullptr; }
 
-  // Mutation records. Each call appends and flushes one record.
+  // The checkpoint generation stamped into newly created segments.
+  uint64_t generation() const { return generation_; }
+  // Bytes of record data appended to current-generation segments (the
+  // auto-checkpoint trigger; resets on BeginGeneration).
+  uint64_t generation_bytes() const { return generation_bytes_; }
+
+  // Mutation records. Each call appends and flushes one record. Any
+  // append failure (real or injected) poisons the log: the active
+  // segment may hold a partial record, so further appends are refused
+  // until the log is reopened (and thereby salvaged) — interleaving
+  // good records after a torn one would turn a clean tail truncation
+  // into mid-file corruption.
   Status AppendAssert(const FactStore& store, const Fact& f);
   Status AppendRetract(const FactStore& store, const Fact& f);
   Status AppendRule(const Rule& rule, const EntityTable& entities);
   Status AppendSetRuleEnabled(const std::string& rule_name, bool enabled);
 
-  // Replays a log over a store: asserts/retracts facts, appends rules,
-  // and toggles matching rule names in `rules`. Missing file is OK (an
-  // empty log). A torn final record — the tail a crash left half-written
-  // — is tolerated: the log is truncated back to the last complete
-  // record and replay succeeds without it. Corruption that is not a
-  // clean tail truncation (bad magic, unknown opcode, malformed record
-  // followed by more data) still fails with DataLoss.
-  static Status Replay(const std::string& path, FactStore* store,
-                       std::vector<Rule>* rules);
+  // The checkpoint swap: starts a fresh segment stamped `generation`,
+  // then unlinks every older-generation segment. Call after the
+  // matching snapshot has been atomically published.
+  Status BeginGeneration(uint64_t generation);
+
+  // Replays every segment of `base` (generation >= min_generation; the
+  // snapshot already contains older ones) over the store. Missing
+  // segments are an empty log. Replay stops at the first invalid record
+  // (torn tail or checksum mismatch), truncates the damage away, drops
+  // any later segments, and reports everything in `stats` (optional).
+  // Only environmental failures (unlinkable files, ...) return non-OK;
+  // data damage is salvaged, not fatal.
+  static Status Replay(const std::string& base, FactStore* store,
+                       std::vector<Rule>* rules,
+                       RecoveryStats* stats = nullptr,
+                       uint64_t min_generation = 0);
 
  private:
   Status AppendRecord(uint8_t op, const std::vector<std::string>& fields);
+  Status OpenSegment(uint64_t seq, uint64_t generation);
+  Status RotateIfNeeded();
 
   std::FILE* file_ = nullptr;
-  std::string path_;
-  WalSync sync_ = WalSync::kFlush;
+  std::string base_;
+  WalOptions options_;
+  uint64_t generation_ = 0;
+  uint64_t segment_seq_ = 0;
+  uint64_t segment_bytes_written_ = 0;  // active segment size
+  uint64_t generation_bytes_ = 0;
+  bool poisoned_ = false;
 };
 
 }  // namespace lsd

@@ -1,0 +1,60 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace lsd {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78u;  // reflected CRC32C polynomial
+
+struct Tables {
+  // t[k][b]: the CRC contribution of byte value b at lag k (slicing-by-8).
+  uint32_t t[8][256];
+};
+
+constexpr Tables BuildTables() {
+  Tables tables{};
+  for (uint32_t b = 0; b < 256; ++b) {
+    uint32_t crc = b;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    tables.t[0][b] = crc;
+  }
+  for (int k = 1; k < 8; ++k) {
+    for (uint32_t b = 0; b < 256; ++b) {
+      uint32_t crc = tables.t[k - 1][b];
+      tables.t[k][b] = tables.t[0][crc & 0xff] ^ (crc >> 8);
+    }
+  }
+  return tables;
+}
+
+constexpr Tables kTables = BuildTables();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (n >= 8) {
+    // Little-endian-agnostic: combine bytes explicitly.
+    uint32_t low = crc ^ (static_cast<uint32_t>(p[0]) |
+                          static_cast<uint32_t>(p[1]) << 8 |
+                          static_cast<uint32_t>(p[2]) << 16 |
+                          static_cast<uint32_t>(p[3]) << 24);
+    crc = kTables.t[7][low & 0xff] ^ kTables.t[6][(low >> 8) & 0xff] ^
+          kTables.t[5][(low >> 16) & 0xff] ^ kTables.t[4][low >> 24] ^
+          kTables.t[3][p[4]] ^ kTables.t[2][p[5]] ^ kTables.t[1][p[6]] ^
+          kTables.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace lsd

@@ -1,0 +1,289 @@
+#include "util/failpoint.h"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/string_util.h"
+
+namespace lsd {
+namespace failpoint {
+
+namespace internal {
+std::atomic<uint32_t> g_armed{0};
+}  // namespace internal
+
+namespace {
+
+struct SiteState {
+  Policy policy;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+  uint64_t rng_stream = 0;  // seed ^ site hash, advanced per draw
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState> sites;
+  uint64_t seed = 0x105DFA14;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during shutdown
+  return *r;
+}
+
+uint64_t SiteStream(uint64_t seed, const std::string& site) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return seed ^ h;
+}
+
+// splitmix64 step: cheap, stateless-per-draw, deterministic stream.
+double NextProbabilityDraw(uint64_t* stream) {
+  uint64_t z = (*stream += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) / 9007199254740992.0;  // [0,1)
+}
+
+void RecountArmedLocked(Registry& r) {
+  uint32_t armed = 0;
+  for (const auto& [name, state] : r.sites) {
+    if (state.policy.action != Action::kOff) ++armed;
+  }
+  internal::g_armed.store(armed, std::memory_order_relaxed);
+}
+
+// Parses one "site=action[(arg)][@skip][*max][%prob]" entry.
+Status ParseEntry(std::string_view entry) {
+  size_t eq = entry.find('=');
+  if (eq == std::string_view::npos) {
+    return Status::InvalidArgument("failpoint entry missing '=': " +
+                                   std::string(entry));
+  }
+  std::string site(StripWhitespace(entry.substr(0, eq)));
+  std::string rest(StripWhitespace(entry.substr(eq + 1)));
+  if (site.empty() || rest.empty()) {
+    return Status::InvalidArgument("empty failpoint entry: " +
+                                   std::string(entry));
+  }
+  if (site == "seed") {
+    SetSeed(std::strtoull(rest.c_str(), nullptr, 10));
+    return Status::OK();
+  }
+
+  Policy policy;
+  // Peel modifiers off the tail, rightmost first.
+  auto peel = [&](char marker, double* out_d, uint64_t* out_u) {
+    size_t pos = rest.rfind(marker);
+    if (pos == std::string::npos) return;
+    std::string value = rest.substr(pos + 1);
+    rest.resize(pos);
+    if (out_d != nullptr) *out_d = std::atof(value.c_str());
+    if (out_u != nullptr) {
+      *out_u = std::strtoull(value.c_str(), nullptr, 10);
+    }
+  };
+  double prob = 1.0;
+  uint64_t skip = 0, max_fires_raw = 0;
+  bool has_max = rest.find('*') != std::string::npos;
+  peel('%', &prob, nullptr);
+  peel('*', nullptr, &max_fires_raw);
+  peel('@', nullptr, &skip);
+  policy.probability = prob;
+  policy.skip = static_cast<uint32_t>(skip);
+  policy.max_fires = has_max ? static_cast<int32_t>(max_fires_raw) : -1;
+
+  std::string action = rest;
+  uint64_t arg = 0;
+  size_t paren = rest.find('(');
+  if (paren != std::string::npos && rest.back() == ')') {
+    action = rest.substr(0, paren);
+    arg = std::strtoull(
+        rest.substr(paren + 1, rest.size() - paren - 2).c_str(), nullptr,
+        10);
+  }
+  policy.arg = arg;
+  if (action == "off") {
+    policy.action = Action::kOff;
+  } else if (action == "error") {
+    policy.action = Action::kError;
+  } else if (action == "short") {
+    policy.action = Action::kShortWrite;
+  } else if (action == "crash") {
+    policy.action = Action::kCrash;
+  } else if (action == "delay") {
+    policy.action = Action::kDelay;
+  } else {
+    return Status::InvalidArgument("unknown failpoint action '" + action +
+                                   "' in: " + std::string(entry));
+  }
+  Set(site, policy);
+  return Status::OK();
+}
+
+#if LSD_FAILPOINTS_ENABLED
+// Arms policies from the environment before main() runs, so every
+// binary (tools, benches, forked torture children) honors
+// LSD_FAILPOINTS without explicit plumbing.
+const bool g_env_configured = [] {
+  const char* spec = std::getenv("LSD_FAILPOINTS");
+  if (spec != nullptr && *spec != '\0') {
+    Status s = Configure(spec);
+    if (!s.ok()) {
+      // Deliberately loud: a typo silently disarming a torture run is
+      // worse than noise on stderr.
+      std::fprintf(stderr, "LSD_FAILPOINTS: %s\n", s.ToString().c_str());
+    }
+  }
+  return true;
+}();
+#endif
+
+}  // namespace
+
+void Set(const std::string& site, const Policy& policy) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  SiteState& state = r.sites[site];
+  state.policy = policy;
+  state.hits = 0;
+  state.fires = 0;
+  state.rng_stream = SiteStream(r.seed, site);
+  RecountArmedLocked(r);
+}
+
+void Clear(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it != r.sites.end()) it->second.policy = Policy{};
+  RecountArmedLocked(r);
+}
+
+void ClearAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, state] : r.sites) state.policy = Policy{};
+  RecountArmedLocked(r);
+}
+
+void SetSeed(uint64_t seed) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.seed = seed;
+  for (auto& [name, state] : r.sites) {
+    state.rng_stream = SiteStream(seed, name);
+  }
+}
+
+Status Configure(const std::string& spec) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find_first_of(";,", start);
+    if (end == std::string::npos) end = spec.size();
+    std::string_view entry =
+        StripWhitespace(std::string_view(spec).substr(start, end - start));
+    if (!entry.empty()) {
+      LSD_RETURN_IF_ERROR(ParseEntry(entry));
+    }
+    start = end + 1;
+  }
+  return Status::OK();
+}
+
+uint64_t Hits(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+uint64_t Fires(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> KnownSites() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.sites.size());
+  for (const auto& [name, state] : r.sites) names.push_back(name);
+  return names;
+}
+
+bool Armed() {
+  return internal::g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+namespace internal {
+
+Hit Evaluate(const char* site) {
+  Hit hit;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.sites.find(site);
+    if (it == r.sites.end()) {
+      // Lazy registration: the site becomes visible to KnownSites().
+      SiteState& fresh = r.sites[site];
+      fresh.rng_stream = SiteStream(r.seed, site);
+      ++fresh.hits;
+      return hit;
+    }
+    SiteState& state = it->second;
+    uint64_t hit_index = state.hits++;
+    const Policy& p = state.policy;
+    if (p.action == Action::kOff) return hit;
+    if (hit_index < p.skip) return hit;
+    if (p.max_fires >= 0 &&
+        state.fires >= static_cast<uint64_t>(p.max_fires)) {
+      return hit;
+    }
+    if (p.probability < 1.0 &&
+        NextProbabilityDraw(&state.rng_stream) >= p.probability) {
+      return hit;
+    }
+    ++state.fires;
+    hit.action = p.action;
+    hit.arg = p.arg;
+  }
+  // Act outside the lock: a crash must not leave the registry mutex in
+  // a poisoned state for atexit paths, and a delay must not serialize
+  // every other site behind it.
+  switch (hit.action) {
+    case Action::kCrash:
+      // _exit, not exit: no stream flushing, no atexit hooks — exactly
+      // what a SIGKILL-style crash does to user-space buffers.
+      ::_exit(kCrashExitStatus);
+      break;
+    case Action::kDelay: {
+      struct timespec ts;
+      ts.tv_sec = static_cast<time_t>(hit.arg / 1000);
+      ts.tv_nsec = static_cast<long>(hit.arg % 1000) * 1000000L;
+      ::nanosleep(&ts, nullptr);
+      hit.action = Action::kOff;  // already served; caller need not act
+      break;
+    }
+    default:
+      break;
+  }
+  return hit;
+}
+
+}  // namespace internal
+
+}  // namespace failpoint
+}  // namespace lsd

@@ -1,0 +1,176 @@
+// Deterministic fault injection for torture-testing the durability and
+// serving stack (the paper defers implementation concerns to Sec 6.2;
+// a store that owns its own persistence has to own its failure testing
+// too, the way RocksDB does with its SyncPoint/FaultInjection layers).
+//
+// A *failpoint* is a named site compiled into IO / commit paths:
+//
+//   LSD_FAILPOINT(wal.fsync);                       // crash or delay here
+//   LSD_FAILPOINT_RETURN_IF_SET(wal.append.write);  // or inject an error
+//   LSD_FAILPOINT_HIT(wal.append.write, hit);       // or inspect the hit
+//
+// Tests (or the LSD_FAILPOINTS environment variable) attach a *policy*
+// to a site: return-error, short-write (the caller truncates its write
+// to `arg` bytes), crash-here (immediate _exit, no buffer flushing —
+// a faithful process kill), or delay. Policies trigger deterministically:
+// optional skip count, fire limit, and a probability drawn from a
+// per-site RNG seeded by SetSeed(), so a failing torture run replays
+// exactly with the same seed.
+//
+// Zero overhead when disabled: with the LSD_FAILPOINTS cmake option OFF
+// the macros compile to nothing (no branch, no site string in the
+// binary). When compiled in but unarmed, a site costs one relaxed
+// atomic load.
+//
+// Environment syntax (parsed once at process start):
+//   LSD_FAILPOINTS="site=action[(arg)][@skip][*max_fires][%prob];..."
+//   LSD_FAILPOINTS="seed=42;wal.append.write=error%0.01;wal.fsync=crash@3"
+// Actions: error | crash | delay(ms) | short(bytes) | off.
+#ifndef LSD_UTIL_FAILPOINT_H_
+#define LSD_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+#ifndef LSD_FAILPOINTS_ENABLED
+#define LSD_FAILPOINTS_ENABLED 0
+#endif
+
+namespace lsd {
+namespace failpoint {
+
+enum class Action : uint8_t {
+  kOff = 0,
+  kError,       // caller returns Status::IoError
+  kShortWrite,  // caller writes only the first `arg` bytes, then errors
+  kCrash,       // _exit(kCrashExitStatus) at the site
+  kDelay,       // sleep `arg` milliseconds at the site
+};
+
+// The exit status a crash-here failpoint dies with, so harnesses can
+// tell an injected kill from a real bug.
+constexpr int kCrashExitStatus = 113;
+
+struct Policy {
+  Action action = Action::kOff;
+  uint64_t arg = 0;         // delay ms / short-write byte budget
+  uint32_t skip = 0;        // let the first `skip` hits pass untouched
+  int32_t max_fires = -1;   // stop firing after this many (-1: unlimited)
+  double probability = 1.0; // per-hit firing probability (seeded RNG)
+};
+
+// What a site evaluation decided. Error/short-write outcomes are acted
+// on by the caller; crash/delay have already happened by the time the
+// caller sees the hit.
+struct Hit {
+  Action action = Action::kOff;
+  uint64_t arg = 0;
+  bool fired() const { return action != Action::kOff; }
+};
+
+// Attaches (or with kOff, detaches) a policy. Resets the site's hit and
+// fire counters. Thread-safe.
+void Set(const std::string& site, const Policy& policy);
+void Clear(const std::string& site);
+void ClearAll();
+
+// Seeds every site's probability stream. Call before Set/Configure for
+// reproducible probabilistic policies.
+void SetSeed(uint64_t seed);
+
+// Parses the LSD_FAILPOINTS grammar above and installs the policies.
+Status Configure(const std::string& spec);
+
+// Times the site was evaluated while any policy was armed, and times
+// its own policy fired. 0 for unknown sites.
+uint64_t Hits(const std::string& site);
+uint64_t Fires(const std::string& site);
+
+// Every site that currently has a policy or has been evaluated while
+// armed, sorted. (Sites register lazily on first evaluation.)
+std::vector<std::string> KnownSites();
+
+// True when at least one policy is armed (test observability).
+bool Armed();
+
+// RAII policy for tests: Set on construction, Clear on destruction.
+class Scoped {
+ public:
+  Scoped(std::string site, const Policy& policy) : site_(std::move(site)) {
+    Set(site_, policy);
+  }
+  ~Scoped() { Clear(site_); }
+  Scoped(const Scoped&) = delete;
+  Scoped& operator=(const Scoped&) = delete;
+
+ private:
+  std::string site_;
+};
+
+namespace internal {
+
+extern std::atomic<uint32_t> g_armed;
+
+// Slow path: looks up the site's policy, applies skip/limit/probability,
+// executes crash/delay inline, and returns error/short-write hits to
+// the caller. Registers the site on first evaluation.
+Hit Evaluate(const char* site);
+
+}  // namespace internal
+}  // namespace failpoint
+}  // namespace lsd
+
+#if LSD_FAILPOINTS_ENABLED
+
+// Evaluates a site for crash/delay injection (error outcomes ignored).
+#define LSD_FAILPOINT(site)                                              \
+  do {                                                                   \
+    if (::lsd::failpoint::internal::g_armed.load(                        \
+            std::memory_order_relaxed) != 0) {                           \
+      (void)::lsd::failpoint::internal::Evaluate(#site);                 \
+    }                                                                    \
+  } while (0)
+
+// Evaluates a site; on an injected error, returns IoError from the
+// enclosing Status-returning function.
+#define LSD_FAILPOINT_RETURN_IF_SET(site)                                \
+  do {                                                                   \
+    if (::lsd::failpoint::internal::g_armed.load(                        \
+            std::memory_order_relaxed) != 0) {                           \
+      ::lsd::failpoint::Hit _lsd_fp_hit =                                \
+          ::lsd::failpoint::internal::Evaluate(#site);                   \
+      if (_lsd_fp_hit.action == ::lsd::failpoint::Action::kError) {      \
+        return ::lsd::Status::IoError(                                   \
+            "injected failure at failpoint '" #site "'");                \
+      }                                                                  \
+    }                                                                    \
+  } while (0)
+
+// Declares `var` (a failpoint::Hit) describing this evaluation, for
+// callers that must act on short-write budgets themselves.
+#define LSD_FAILPOINT_HIT(site, var)                                     \
+  ::lsd::failpoint::Hit var;                                             \
+  do {                                                                   \
+    if (::lsd::failpoint::internal::g_armed.load(                        \
+            std::memory_order_relaxed) != 0) {                           \
+      var = ::lsd::failpoint::internal::Evaluate(#site);                 \
+    }                                                                    \
+  } while (0)
+
+#else  // !LSD_FAILPOINTS_ENABLED
+
+#define LSD_FAILPOINT(site) \
+  do {                      \
+  } while (0)
+#define LSD_FAILPOINT_RETURN_IF_SET(site) \
+  do {                                    \
+  } while (0)
+#define LSD_FAILPOINT_HIT(site, var) ::lsd::failpoint::Hit var
+
+#endif  // LSD_FAILPOINTS_ENABLED
+
+#endif  // LSD_UTIL_FAILPOINT_H_

@@ -47,7 +47,12 @@ class TestClient {
 
   bool connected() const { return connected_; }
 
+  int fd() const { return fd_; }
+
   StatusOr<WireResponse> Greeting() { return ReadResponse(reader_.get()); }
+
+  // Reads one response without sending anything (for raw-write tests).
+  StatusOr<WireResponse> Read() { return ReadResponse(reader_.get()); }
 
   StatusOr<WireResponse> Send(const std::string& line) {
     LSD_RETURN_IF_ERROR(WriteAll(fd_, line + "\n"));
@@ -206,6 +211,52 @@ TEST_F(ServerTest, HypotheticalsStaySessionLocalOverTheWire) {
   ASSERT_TRUE(bob_menu->ok) << bob_menu->error;
   EXPECT_NE(bob_menu->payload.find("FRESHMAN instead of STUDENT"),
             std::string::npos);
+}
+
+// A client that dribbles its request line out in chunks slower than the
+// socket timeout must still be served: SO_RCVTIMEO wakeups with zero
+// progress are retried up to io_retries times, and any received byte
+// resets the budget.
+TEST_F(ServerTest, SlowWriterIsServedWithinRetryBudget) {
+  ServerOptions options;
+  options.io_timeout = std::chrono::milliseconds(50);
+  options.io_retries = 4;
+  StartServer(options);
+
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Greeting().ok());
+
+  // Dribble "ping\n" one byte at a time, sleeping past io_timeout
+  // between bytes (but within io_timeout * (io_retries + 1)).
+  const std::string request = "ping\n";
+  for (char c : request) {
+    ASSERT_TRUE(WriteAll(client.fd(), std::string(1, c)).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  }
+  auto pong = client.Read();
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_TRUE(pong->ok);
+  EXPECT_EQ(pong->payload, "pong\n");
+}
+
+// With no retry budget, the same dribble is declared a dead client.
+TEST_F(ServerTest, SlowWriterIsDroppedWithoutRetryBudget) {
+  ServerOptions options;
+  options.io_timeout = std::chrono::milliseconds(30);
+  options.io_retries = 0;
+  StartServer(options);
+
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Greeting().ok());
+
+  ASSERT_TRUE(WriteAll(client.fd(), "pi").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // The server has hung up; finishing the line gets no response.
+  (void)WriteAll(client.fd(), "ng\n");
+  auto response = client.Read();
+  EXPECT_FALSE(response.ok());
 }
 
 TEST_F(ServerTest, StopWithConnectionsOpenIsClean) {

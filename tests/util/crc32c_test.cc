@@ -1,0 +1,47 @@
+#include "util/crc32c.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lsd {
+namespace {
+
+TEST(Crc32cTest, KnownAnswers) {
+  // The standard CRC32C check value.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  // 32 zero bytes (RFC 3720 test vector).
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendComposesLikeOneShot) {
+  const std::string data =
+      "the quick brown fox jumps over the lazy dog, repeatedly, until "
+      "the buffer spans several 8-byte slices";
+  uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32cExtend(0, data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsEverySingleByteFlip) {
+  std::string data = "loosely structured database record payload";
+  const uint32_t good = Crc32c(data.data(), data.size());
+  for (size_t pos = 0; pos < data.size(); ++pos) {
+    for (uint8_t bit = 0; bit < 8; ++bit) {
+      data[pos] ^= static_cast<char>(1u << bit);
+      EXPECT_NE(Crc32c(data.data(), data.size()), good)
+          << "flip bit " << int(bit) << " of byte " << pos;
+      data[pos] ^= static_cast<char>(1u << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsd

@@ -10,6 +10,8 @@
 #                           one object keyed by suite name.
 #   BENCH_server.json       bench_server (serving-layer throughput and
 #                           latency percentiles at 1/4/16/64 sessions).
+#   BENCH_recovery.json     bench_recovery (cold Open() recovery time vs
+#                           WAL size, with and without checkpoints).
 #
 # Usage: tools/bench_json.sh [build-dir] [benchmark-filter]
 #   build-dir          defaults to ./build
@@ -72,4 +74,12 @@ server_bench="$build_dir/bench/bench_server"
 require "$server_bench"
 out="$repo_root/BENCH_server.json"
 "$server_bench" --sessions 1,4,16,64 --json "$out"
+echo "wrote $out"
+
+# BENCH_recovery.json: recovery time vs log size, checkpoints off/on.
+# Also not google-benchmark (each point is one cold Open()).
+recovery_bench="$build_dir/bench/bench_recovery"
+require "$recovery_bench"
+out="$repo_root/BENCH_recovery.json"
+"$recovery_bench" --json "$out"
 echo "wrote $out"

@@ -1,45 +1,103 @@
 // lsd_client — interactive (or piped) client for lsd_serve.
 //
-//   lsd_client [--port N] [--host A.B.C.D]
+//   lsd_client [--port N] [--host A.B.C.D] [--max-attempts N]
 //
 // Reads command lines from stdin, sends each to the server, and prints
 // the response payload (or "error: ..." on ERR). The same grammar as
 // lsd_shell, plus the server verbs: hypo, session, ping, stats.
+//
+// Connection setup is retried with exponential backoff plus jitter:
+// both a refused/failed connect and an "ERR server busy" admission
+// rejection are transient (the server sheds load instead of queueing),
+// so the client backs off and tries again up to --max-attempts times.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <random>
 #include <string>
 
 #include "server/protocol.h"
 
+namespace {
+
+void SleepMs(long ms) {
+  struct timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = (ms % 1000) * 1000000L;
+  ::nanosleep(&ts, nullptr);
+}
+
+// One connect + greeting exchange. Returns the connected fd, or -1
+// with `transient` set when the failure is worth retrying (connect
+// refused, greeting cut short, or admission rejection).
+int TryConnect(const struct sockaddr_in& addr, bool* transient,
+               std::string* error) {
+  *transient = false;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    *error = std::string("connect: ") + std::strerror(errno);
+    *transient = true;  // server not up yet, or backlog full
+    ::close(fd);
+    return -1;
+  }
+  lsd::LineReader reader(fd);
+  auto greeting = lsd::ReadResponse(&reader);
+  if (!greeting.ok()) {
+    *error = "greeting: " + greeting.status().ToString();
+    *transient = true;  // connection died mid-greeting
+    ::close(fd);
+    return -1;
+  }
+  if (!greeting->ok) {
+    *error = "rejected: " + greeting->error;
+    // Admission backpressure is the canonical transient rejection.
+    *transient = greeting->error.find("busy") != std::string::npos;
+    ::close(fd);
+    return -1;
+  }
+  if (::isatty(STDIN_FILENO) != 0) {
+    std::printf("%s", greeting->payload.c_str());
+  }
+  return fd;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const char* host = "127.0.0.1";
   uint16_t port = 7420;
+  int max_attempts = 5;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
       port = static_cast<uint16_t>(std::atoi(argv[++i]));
     } else if (arg == "--host" && i + 1 < argc) {
       host = argv[++i];
+    } else if (arg == "--max-attempts" && i + 1 < argc) {
+      max_attempts = std::atoi(argv[++i]);
+      if (max_attempts < 1) max_attempts = 1;
     } else {
-      std::fprintf(stderr, "usage: %s [--host A.B.C.D] [--port N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--host A.B.C.D] [--port N] "
+                   "[--max-attempts N]\n",
                    argv[0]);
       return 2;
     }
   }
 
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("socket");
-    return 1;
-  }
   struct sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
@@ -48,26 +106,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad host: %s\n", host);
     return 1;
   }
-  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    std::perror("connect");
-    return 1;
+
+  // Exponential backoff with full jitter: 100ms base doubling to a 3.2s
+  // cap, each wait drawn uniformly from [0, cap) so a burst of clients
+  // stampeding a recovering server spreads out.
+  std::mt19937_64 rng(
+      static_cast<uint64_t>(::getpid()) * 2654435761u ^
+      static_cast<uint64_t>(time(nullptr)));
+  int fd = -1;
+  std::string error;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    bool transient = false;
+    fd = TryConnect(addr, &transient, &error);
+    if (fd >= 0) break;
+    if (!transient || attempt == max_attempts) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    long cap_ms = 100L << (attempt - 1 < 5 ? attempt - 1 : 5);
+    long wait_ms = static_cast<long>(
+        std::uniform_int_distribution<long>(0, cap_ms - 1)(rng));
+    std::fprintf(stderr, "%s; retrying in %ldms (attempt %d/%d)\n",
+                 error.c_str(), wait_ms, attempt, max_attempts);
+    SleepMs(wait_ms);
   }
 
-  lsd::LineReader reader(fd);
-  auto greeting = lsd::ReadResponse(&reader);
-  if (!greeting.ok()) {
-    std::fprintf(stderr, "greeting: %s\n",
-                 greeting.status().ToString().c_str());
-    return 1;
-  }
-  if (!greeting->ok) {
-    std::fprintf(stderr, "rejected: %s\n", greeting->error.c_str());
-    return 1;
-  }
   bool tty = ::isatty(STDIN_FILENO) != 0;
-  if (tty) std::printf("%s", greeting->payload.c_str());
-
+  lsd::LineReader reader(fd);
   std::string line;
   while ((tty && (std::printf("lsd> "), std::fflush(stdout), true), true) &&
          std::getline(std::cin, line)) {

@@ -141,7 +141,8 @@ void Help() {
       "          assoc S T · try E · near E [r] · dist A B · dot [E]\n"
       "          relation CLASS R T [R T..] · limit N · include/exclude"
       " NAME\n"
-      "          rules · check · load FILE · save PREFIX · stats · quit\n");
+      "          rules · check · load FILE · save PREFIX · checkpoint\n"
+      "          stats · quit\n");
 }
 
 }  // namespace
@@ -155,7 +156,8 @@ int main(int argc, char** argv) {
                    s.ToString().c_str());
       return 1;
     }
-    std::printf("opened %s (%zu facts)\n", argv[1], db.store().size());
+    std::printf("opened %s (%zu facts): %s\n", argv[1], db.store().size(),
+                db.last_recovery().ToString().c_str());
   }
   std::printf("lsd shell — type 'help' for commands\n");
   lsd::BrowseSession session(&db);
@@ -328,6 +330,8 @@ int main(int argc, char** argv) {
       PrintStatus(db.LoadTextFile(rest));
     } else if (cmd == "save") {
       PrintStatus(db.Save(rest));
+    } else if (cmd == "checkpoint") {
+      PrintStatus(db.Checkpoint());
     } else if (cmd == "stats") {
       DoStats(db);
     } else {
