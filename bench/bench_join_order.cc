@@ -20,8 +20,10 @@ namespace {
 
 struct World {
   std::unique_ptr<lsd::LooseDb> db;
-  lsd::Query hostile;   // worst written order
-  lsd::Query friendly;  // best written order
+  lsd::Query hostile;    // worst written order
+  lsd::Query friendly;   // best written order
+  lsd::Query intersect;  // two single-free-variable runs sharing ?X
+  lsd::Query disjoint;   // same shape, provably empty intersection
 };
 
 World* BuildWorld(int employees) {
@@ -42,8 +44,23 @@ World* BuildWorld(int employees) {
   auto friendly = w->db->Parse(
       "(?X, WORKS-FOR, DEPT-0) and (?X, ?R, ?S) and (?R, =, EARNS) "
       "and (?S, IN, SALARY)");
+  // "people working for DEPT-0": both conjuncts have ?X as their only
+  // free position, so the merge-join kernel can intersect the two
+  // sorted runs ((?,IN,PERSON) is a large derived run, the WORKS-FOR
+  // run is 1/num_departments of it) instead of enumerating one side
+  // and probing per candidate.
+  auto intersect = w->db->Parse("(?X, IN, PERSON) and (?X, WORKS-FOR, DEPT-0)");
+  // "DEPT-0 employees managed by MGR-1": every DEPT-0 employee reports
+  // to MGR-0, so the two balanced runs (each 1/num_departments of the
+  // workforce) never meet. Proving emptiness is the nested loop's worst
+  // case — one full ground probe per candidate with no early exit —
+  // while the merge kernel gallops both runs once.
+  auto disjoint =
+      w->db->Parse("(?X, WORKS-FOR, DEPT-0) and (?X, MANAGER, MGR-1)");
   w->hostile = std::move(*hostile);
   w->friendly = std::move(*friendly);
+  w->intersect = std::move(*intersect);
+  w->disjoint = std::move(*disjoint);
   (void)w->db->View();  // closure outside the timed region
   World* out = w.get();
   (*cache)[employees] = std::move(w);
@@ -51,10 +68,11 @@ World* BuildWorld(int employees) {
 }
 
 void RunPolicy(benchmark::State& state, lsd::Query World::* which,
-               lsd::JoinOrder order) {
+               lsd::JoinOrder order, bool merge_join = true) {
   World* w = BuildWorld(static_cast<int>(state.range(0)));
   lsd::EvalOptions options;
   options.join_order = order;
+  options.merge_join = merge_join;
   size_t rows = 0;
   for (auto _ : state) {
     auto r = w->db->Run(w->*which, options);
@@ -86,6 +104,26 @@ void BM_FriendlyEstimatedCost(benchmark::State& state) {
   RunPolicy(state, &World::friendly, lsd::JoinOrder::kEstimatedCost);
 }
 
+// Merge-join ablation: the same intersection query with the
+// order-exploiting kernel on (galloping intersection of the two sorted
+// runs) and off (enumerate one side, probe the other per candidate).
+void BM_IntersectMergeJoin(benchmark::State& state) {
+  RunPolicy(state, &World::intersect, lsd::JoinOrder::kEstimatedCost,
+            /*merge_join=*/true);
+}
+void BM_IntersectNestedLoop(benchmark::State& state) {
+  RunPolicy(state, &World::intersect, lsd::JoinOrder::kEstimatedCost,
+            /*merge_join=*/false);
+}
+void BM_DisjointMergeJoin(benchmark::State& state) {
+  RunPolicy(state, &World::disjoint, lsd::JoinOrder::kEstimatedCost,
+            /*merge_join=*/true);
+}
+void BM_DisjointNestedLoop(benchmark::State& state) {
+  RunPolicy(state, &World::disjoint, lsd::JoinOrder::kEstimatedCost,
+            /*merge_join=*/false);
+}
+
 }  // namespace
 
 #define LSD_E11_SIZES ->Arg(200)->Arg(1000)->Arg(4000)
@@ -99,4 +137,12 @@ BENCHMARK(BM_FriendlyFixed) LSD_E11_SIZES->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FriendlyBoundCount)
 LSD_E11_SIZES->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FriendlyEstimatedCost)
+LSD_E11_SIZES->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IntersectMergeJoin)
+LSD_E11_SIZES->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IntersectNestedLoop)
+LSD_E11_SIZES->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DisjointMergeJoin)
+LSD_E11_SIZES->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DisjointNestedLoop)
 LSD_E11_SIZES->Unit(benchmark::kMillisecond);

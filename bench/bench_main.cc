@@ -1,0 +1,103 @@
+// Shared main for the google-benchmark suites. Exists because Debian's
+// prebuilt libbenchmark was itself compiled without NDEBUG, so the stock
+// JSONReporter stamps every run with "library_build_type": "debug" no
+// matter how this tree was configured. The bench pipeline
+// (tools/bench_json.sh) refuses to check in JSON from a non-release
+// binary, so the context block must tell the truth about *this* build:
+// when --benchmark_format=json is requested we swap in a reporter whose
+// context derives the build type from our own NDEBUG.
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <ctime>
+#include <ostream>
+#include <string>
+
+namespace {
+
+#ifdef NDEBUG
+constexpr const char kBuildType[] = "release";
+#else
+constexpr const char kBuildType[] = "debug";
+#endif
+
+std::string LocalIso8601() {
+  char buf[64];
+  std::time_t now = std::time(nullptr);
+  std::tm tm_buf;
+  localtime_r(&now, &tm_buf);
+  std::strftime(buf, sizeof(buf), "%FT%T%z", &tm_buf);
+  return buf;
+}
+
+std::string HostName() {
+  char buf[256];
+  if (gethostname(buf, sizeof(buf)) != 0) return "unknown";
+  buf[sizeof(buf) - 1] = '\0';
+  return buf;
+}
+
+// Emits the same context block as the stock JSONReporter, except the
+// build type reflects this binary's compilation mode. ReportRuns and
+// Finalize are inherited, so the benchmark array is bit-compatible.
+class HonestBuildTypeReporter : public benchmark::JSONReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    std::ostream& out = GetOutputStream();
+    const benchmark::CPUInfo& cpu = context.cpu_info;
+    out << "{\n  \"context\": {\n";
+    out << "    \"date\": \"" << LocalIso8601() << "\",\n";
+    out << "    \"host_name\": \"" << HostName() << "\",\n";
+    out << "    \"executable\": \"" << Context::executable_name << "\",\n";
+    out << "    \"num_cpus\": " << cpu.num_cpus << ",\n";
+    out << "    \"mhz_per_cpu\": "
+        << static_cast<long>(cpu.cycles_per_second / 1e6) << ",\n";
+    out << "    \"cpu_scaling_enabled\": "
+        << (cpu.scaling == benchmark::CPUInfo::ENABLED ? "true" : "false")
+        << ",\n";
+    out << "    \"caches\": [\n";
+    for (size_t i = 0; i < cpu.caches.size(); ++i) {
+      const auto& c = cpu.caches[i];
+      out << "      {\n";
+      out << "        \"type\": \"" << c.type << "\",\n";
+      out << "        \"level\": " << c.level << ",\n";
+      out << "        \"size\": " << c.size << ",\n";
+      out << "        \"num_sharing\": " << c.num_sharing << "\n";
+      out << "      }" << (i + 1 < cpu.caches.size() ? "," : "") << "\n";
+    }
+    out << "    ],\n";
+    out << "    \"load_avg\": [";
+    for (size_t i = 0; i < cpu.load_avg.size(); ++i) {
+      out << (i ? "," : "") << cpu.load_avg[i];
+    }
+    out << "],\n";
+    out << "    \"library_build_type\": \"" << kBuildType << "\"\n";
+    out << "  },\n";
+    out << "  \"benchmarks\": [\n";
+    return true;
+  }
+};
+
+bool WantsJson(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--benchmark_format=json") == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = WantsJson(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (json) {
+    HonestBuildTypeReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}

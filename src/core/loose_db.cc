@@ -218,6 +218,18 @@ const ClosureStats* LooseDb::closure_stats() const {
   return closure_ == nullptr ? nullptr : &closure_->stats();
 }
 
+StatusOr<LooseDb::StorageMemory> LooseDb::MemoryUsage() const {
+  LSD_RETURN_IF_ERROR(View().status());
+  StorageMemory mem;
+  if (options_.incremental_maintenance && incremental_ != nullptr) {
+    mem.derived.overlay_bytes = incremental_->derived().MemoryUsage();
+    return mem;
+  }
+  mem.base = closure_->base().MemoryUsage();
+  mem.derived = closure_->derived().MemoryUsage();
+  return mem;
+}
+
 StatusOr<const GeneralizationLattice*> LooseDb::Lattice() const {
   LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
   if (lattice_ == nullptr || lattice_store_version_ != store_.version() ||

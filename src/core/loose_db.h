@@ -143,6 +143,19 @@ class LooseDb {
   // Stats of the last computed closure (null before the first View()).
   const ClosureStats* closure_stats() const;
 
+  // Per-tier resident bytes of the closure's storage (experiment E9
+  // observability; the shell's `stats` and the server's STATS verb
+  // report the breakdown). Computes the closure first if it is stale.
+  // In incremental-maintenance mode the derived tier is a plain triple
+  // index; its bytes are reported as overlay bytes with no frozen run.
+  struct StorageMemory {
+    FrozenIndex::Memory base;     // frozen columnar snapshot of asserted
+                                  // facts (run + permutations + offsets)
+    DeltaIndex::Memory derived;   // derived tier: frozen run + overlays
+    size_t total() const { return base.total() + derived.total(); }
+  };
+  StatusOr<StorageMemory> MemoryUsage() const;
+
   // Sec 2.6: valid databases have contradiction-free closures.
   Status CheckIntegrity() const;
   StatusOr<std::vector<IntegrityViolation>> FindIntegrityViolations() const;

@@ -14,11 +14,12 @@ namespace {
 class EvalContext {
  public:
   EvalContext(const FactSource& view, const EntityTable& entities,
-              JoinOrder join_order, PlannerCache* planner)
+              JoinOrder join_order, PlannerCache* planner, bool merge_join)
       : view_(view),
         entities_(entities),
         join_order_(join_order),
-        planner_(planner) {}
+        planner_(planner),
+        merge_join_(merge_join) {}
 
   // Enumerates extensions of `b` satisfying `node`. `emit` returns false
   // to stop; `stopped` distinguishes early stop from exhaustion.
@@ -52,7 +53,7 @@ class EvalContext {
           }
           return true;
         },
-        join_order_, planner_);
+        join_order_, planner_, merge_join_);
     return status;
   }
 
@@ -96,7 +97,8 @@ class EvalContext {
     }
     Status match_status = MatchConjunction(
         view_, atoms, b, nullptr,
-        [&](const Binding&) { return chain(0, b); }, join_order_, planner_);
+        [&](const Binding&) { return chain(0, b); }, join_order_, planner_,
+        merge_join_);
     if (!match_status.ok()) return match_status;
     return status;
   }
@@ -203,6 +205,7 @@ class EvalContext {
   const EntityTable& entities_;
   JoinOrder join_order_;
   PlannerCache* planner_;
+  bool merge_join_;
 };
 
 }  // namespace
@@ -221,7 +224,8 @@ StatusOr<ResultSet> Evaluator::Evaluate(const Query& query,
   std::set<std::vector<EntityId>> rows;
   Binding binding(query.num_vars());
   bool stopped = false;
-  EvalContext ctx(*view_, *entities_, options.join_order, options.planner);
+  EvalContext ctx(*view_, *entities_, options.join_order, options.planner,
+                  options.merge_join);
   Status status = ctx.Eval(
       *query.root(), binding,
       [&](const Binding& b) {

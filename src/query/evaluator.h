@@ -42,6 +42,11 @@ struct EvalOptions {
   // default) and kFixed remain as ablations.
   JoinOrder join_order = JoinOrder::kEstimatedCost;
 
+  // Order-exploiting merge-join execution path (galloping intersection
+  // of sorted frozen-tier runs when two conjuncts share their only free
+  // variable). Off is an ablation: results are identical either way.
+  bool merge_join = true;
+
   // Optional shared plan cache for kEstimatedCost. Borrowed; may be
   // null (each conjunction is then planned on the spot). Callers
   // evaluating many same-shaped queries against one closure snapshot

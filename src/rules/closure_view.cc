@@ -5,11 +5,17 @@
 namespace lsd {
 
 ClosureView::ClosureView(const FactStore* store, const FactSource* derived,
-                         const MathProvider* math)
-    : store_(store), derived_(derived), math_(math) {}
+                         const MathProvider* math,
+                         const FrozenIndex* frozen_base)
+    : store_(store),
+      derived_(derived),
+      math_(math),
+      frozen_base_(frozen_base) {}
 
 bool ClosureView::StoredContains(const Fact& f) const {
-  if (store_->Contains(f)) return true;
+  const bool in_base = frozen_base_ != nullptr ? frozen_base_->Contains(f)
+                                               : store_->Contains(f);
+  if (in_base) return true;
   return derived_ != nullptr && derived_->Contains(f);
 }
 
@@ -18,7 +24,11 @@ bool ClosureView::ForEachStored(const Pattern& p,
   // Base and derived are disjoint by construction (the rule engine never
   // re-derives an asserted fact), so plain concatenation is duplicate
   // free.
-  if (!store_->base().ForEach(p, visit)) return false;
+  if (frozen_base_ != nullptr) {
+    if (!frozen_base_->ForEach(p, visit)) return false;
+  } else {
+    if (!store_->base().ForEach(p, visit)) return false;
+  }
   if (derived_ != nullptr && !derived_->ForEach(p, visit)) return false;
   return true;
 }
@@ -157,6 +167,81 @@ bool ClosureView::Contains(const Fact& f) const {
   return found;
 }
 
+bool ClosureView::SortedFreeValues(const Pattern& p,
+                                   std::vector<EntityId>* scratch,
+                                   SortedIdSpan* out) const {
+  if (p.BoundCount() != 2) return false;
+  // Virtual layers inject values the stored tiers do not stream: ISA
+  // axioms and comparator sweeps (when the relationship is bound to one)
+  // and the ANY/NONE rewrites (when a literal ANY or NONE sits in a
+  // pattern position). Decline those; the matcher falls back to
+  // nested-loop enumeration, which handles them.
+  if (p.RelationshipBound() &&
+      (p.relationship == kEntIsa ||
+       MathProvider::IsComparator(p.relationship))) {
+    return false;
+  }
+  if (p.source == kEntBottom || p.relationship == kEntTop ||
+      p.target == kEntTop) {
+    return false;
+  }
+  if (derived_ == nullptr) {
+    return frozen_base_ != nullptr
+               ? frozen_base_->SortedFreeValues(p, scratch, out)
+               : store_->base().SortedFreeValues(p, scratch, out);
+  }
+  // The base run goes into the caller's scratch so that when the derived
+  // tier contributes nothing to this pattern — most patterns, since
+  // derivation concentrates on a few relationships — the base span
+  // (possibly a zero-copy frozen column slice) passes through without
+  // another copy.
+  SortedIdSpan base_vals;
+  const bool base_ok =
+      frozen_base_ != nullptr
+          ? frozen_base_->SortedFreeValues(p, scratch, &base_vals)
+          : store_->base().SortedFreeValues(p, scratch, &base_vals);
+  if (!base_ok) return false;
+  std::vector<EntityId> derived_scratch;
+  SortedIdSpan derived_vals;
+  if (!derived_->SortedFreeValues(p, &derived_scratch, &derived_vals)) {
+    return false;
+  }
+  if (derived_vals.size == 0) {
+    *out = base_vals;
+    return true;
+  }
+  if (base_vals.size == 0) {
+    scratch->assign(derived_vals.data, derived_vals.data + derived_vals.size);
+    out->data = scratch->data();
+    out->size = scratch->size();
+    return true;
+  }
+  std::vector<EntityId> merged;
+  MergeSortedIds(base_vals, derived_vals, &merged);
+  scratch->swap(merged);
+  out->data = scratch->data();
+  out->size = scratch->size();
+  return true;
+}
+
+bool ClosureView::CanSortFreeValues(const Pattern& p) const {
+  // Mirrors SortedFreeValues' decline conditions exactly, without
+  // touching the tiers: the stored layers (frozen run, delta index,
+  // dynamic base) can always stream a two-bound pattern, so only the
+  // virtual-layer conditions can decline.
+  if (p.BoundCount() != 2) return false;
+  if (p.RelationshipBound() &&
+      (p.relationship == kEntIsa ||
+       MathProvider::IsComparator(p.relationship))) {
+    return false;
+  }
+  if (p.source == kEntBottom || p.relationship == kEntTop ||
+      p.target == kEntTop) {
+    return false;
+  }
+  return true;
+}
+
 bool ClosureView::Enumerable(const Pattern& p) const {
   if (p.RelationshipBound() && MathProvider::IsComparator(p.relationship)) {
     return math_->Enumerable(p);
@@ -167,7 +252,9 @@ bool ClosureView::Enumerable(const Pattern& p) const {
 double ClosureView::EstimateMatchesBound(const Pattern& p,
                                          uint8_t bound_mask) const {
   auto stored = [&](const Pattern& q) {
-    double n = store_->base_source().EstimateMatchesBound(q, bound_mask);
+    double n = frozen_base_ != nullptr
+                   ? frozen_base_->EstimateMatchesBound(q, bound_mask)
+                   : store_->base_source().EstimateMatchesBound(q, bound_mask);
     if (derived_ != nullptr) {
       n += derived_->EstimateMatchesBound(q, bound_mask);
     }
@@ -212,7 +299,8 @@ double ClosureView::EstimateMatchesBound(const Pattern& p,
 }
 
 size_t ClosureView::EstimateMatches(const Pattern& p) const {
-  size_t n = store_->base().CountMatches(p);
+  size_t n = frozen_base_ != nullptr ? frozen_base_->CountMatches(p)
+                                     : store_->base().CountMatches(p);
   if (derived_ != nullptr) n += derived_->EstimateMatches(p);
   if (p.RelationshipBound() && MathProvider::IsComparator(p.relationship)) {
     n += math_->EstimateMatches(p);

@@ -22,6 +22,7 @@
 
 #include "rules/math_provider.h"
 #include "store/fact_store.h"
+#include "store/frozen_index.h"
 #include "store/triple_index.h"
 
 namespace lsd {
@@ -31,9 +32,14 @@ class ClosureView final : public FactSource {
   // All pointers are borrowed and must outlive the view. `derived` is any
   // FactSource holding the rule engine's output (the two-tier DeltaIndex
   // for batch closures, an IndexSource for the incremental engine); it
-  // may be null (no rules applied).
+  // may be null (no rules applied). `frozen_base`, when non-null, is a
+  // columnar snapshot of exactly the store's asserted facts: the view
+  // then serves the base layer from its contiguous slices instead of the
+  // store's node-based index. Pass null when the store may mutate under
+  // the view (the incremental engine).
   ClosureView(const FactStore* store, const FactSource* derived,
-              const MathProvider* math);
+              const MathProvider* math,
+              const FrozenIndex* frozen_base = nullptr);
 
   bool Contains(const Fact& f) const override;
   bool ForEach(const Pattern& p, const FactVisitor& visit) const override;
@@ -47,6 +53,14 @@ class ClosureView final : public FactSource {
   // exactly wrong for probing waves that generalize toward ANY).
   double EstimateMatchesBound(const Pattern& p,
                               uint8_t bound_mask) const override;
+
+  // Sorted free-position values of a two-bound pattern, merged across the
+  // stored tiers. Declines when a virtual layer (ISA axioms, comparator
+  // sweeps, ANY/NONE rewrites) would add values the stored tiers do not
+  // stream.
+  bool SortedFreeValues(const Pattern& p, std::vector<EntityId>* scratch,
+                        SortedIdSpan* out) const override;
+  bool CanSortFreeValues(const Pattern& p) const override;
 
   const FactStore& store() const { return *store_; }
 
@@ -65,6 +79,7 @@ class ClosureView final : public FactSource {
   const FactStore* store_;
   const FactSource* derived_;
   const MathProvider* math_;
+  const FrozenIndex* frozen_base_;
 };
 
 }  // namespace lsd

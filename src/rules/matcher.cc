@@ -1,10 +1,201 @@
 #include "rules/matcher.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "rules/math_provider.h"
 
 namespace lsd {
 
 namespace {
+
+// `merge_partners` is null when merge joins are disabled; otherwise
+// merge_partners[i] is a bitmask of the atoms that could ever partner
+// atoms[i] in one (see ComputeMergePartners). `pending` mirrors `done`
+// as a bitmask (bit i set = atoms[i] not yet matched) so the merge-join
+// check can decline in one AND; atoms beyond index 63 are simply not
+// tracked, costing at worst a missed merge join in 65-atom
+// conjunctions, never a wrong result.
+Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
+                size_t remaining, Binding& binding,
+                const VarFilter& var_filter, const BindingVisitor& visit,
+                JoinOrder order, const uint32_t* rank,
+                const uint64_t* merge_partners, uint64_t pending,
+                bool& stopped);
+
+uint64_t ClearBit(uint64_t mask, size_t i) {
+  return i < 64 ? (mask & ~(uint64_t{1} << i)) : mask;
+}
+
+// Whether a template could ever feed the merge-join kernel. Constant
+// positions survive every Bind unchanged, so a constant ISA, comparator,
+// or ANY relationship, a NONE source, or an ANY target — the shapes
+// every SortedFreeValues implementation declines — disqualify the atom
+// for the whole conjunction.
+bool StaticallyMergeEligible(const Template& t) {
+  const Term& r = t.relationship;
+  if (r.is_entity() &&
+      (r.entity() == kEntIsa || r.entity() == kEntTop ||
+       MathProvider::IsComparator(r.entity()))) {
+    return false;
+  }
+  if (t.source.is_entity() && t.source.entity() == kEntBottom) return false;
+  if (t.target.is_entity() && t.target.entity() == kEntTop) return false;
+  return true;
+}
+
+// Per-atom bitmask of potential merge-join partners, computed once per
+// conjunction: atom j can partner atom i only if both are statically
+// eligible and their templates share a variable (the shared single free
+// variable the kernel intersects on). The per-node check then collapses
+// to one load — crucial because a pathological plan revisits the
+// merge-join question once per cross-product row. Conjunctions wider
+// than 64 atoms fall back to "any eligible atom may partner"; the
+// dynamic CanSortFreeValues probes stay authoritative regardless.
+std::vector<uint64_t> ComputeMergePartners(
+    const std::vector<AtomSpec>& atoms) {
+  const size_t n = atoms.size();
+  std::vector<uint64_t> partners(n, 0);
+  std::vector<uint8_t> elig(n);
+  for (size_t i = 0; i < n; ++i) {
+    elig[i] = StaticallyMergeEligible(atoms[i].tmpl) ? 1 : 0;
+  }
+  if (n > 64) {
+    for (size_t i = 0; i < n; ++i) {
+      if (elig[i]) partners[i] = ~uint64_t{0};
+    }
+    return partners;
+  }
+  VarId vi[3];
+  VarId vj[3];
+  for (size_t i = 0; i < n; ++i) {
+    if (!elig[i]) continue;
+    const size_t ni = atoms[i].tmpl.CollectVars(vi);
+    for (size_t j = i + 1; j < n; ++j) {
+      if (!elig[j]) continue;
+      const size_t nj = atoms[j].tmpl.CollectVars(vj);
+      bool shared = false;
+      for (size_t a = 0; a < ni && !shared; ++a) {
+        for (size_t b = 0; b < nj; ++b) {
+          if (vi[a] == vj[b]) {
+            shared = true;
+            break;
+          }
+        }
+      }
+      if (shared) {
+        partners[i] |= uint64_t{1} << j;
+        partners[j] |= uint64_t{1} << i;
+      }
+    }
+  }
+  return partners;
+}
+
+// The position of the single wildcard of a two-bound pattern.
+int SingleFreePos(const Pattern& p) {
+  if (!p.SourceBound()) return 0;
+  if (!p.RelationshipBound()) return 1;
+  return 2;
+}
+
+// First element of [first, last) not less than `key`, located by
+// exponential probing from the front. The probe cost is logarithmic in
+// the distance advanced, so intersecting two runs costs
+// O(min(|a|,|b|) * log(max/min)) — the small side drives the work.
+const EntityId* GallopLower(const EntityId* first, const EntityId* last,
+                            EntityId key) {
+  const size_t n = static_cast<size_t>(last - first);
+  size_t step = 1;
+  while (step < n && first[step] < key) step <<= 1;
+  return std::lower_bound(first + (step >> 1),
+                          first + std::min(step, n), key);
+}
+
+// Order-exploiting merge join. When the chosen atom has exactly one free
+// position, another pending atom's only free position holds the same
+// variable, and both sources stream that position's values in ascending
+// order (FactSource::SortedFreeValues), the two runs are intersected by
+// galloping instead of enumerating one side and probing the other per
+// candidate. Sound: with the other two positions bound, each run value
+// corresponds to exactly one fact of its source, so visiting each common
+// value once is exactly what nested-loop enumeration would do, minus the
+// misses. Returns true if the join ran (`status`/`stopped` updated);
+// false to fall back to nested-loop enumeration.
+bool TryMergeJoin(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
+                  size_t remaining, size_t best, const Pattern& p_best,
+                  Binding& binding, const VarFilter& var_filter,
+                  const BindingVisitor& visit, JoinOrder order,
+                  const uint32_t* rank, const uint64_t* merge_partners,
+                  uint64_t pending, bool& stopped, Status& status) {
+  // One AND decides most nodes: no statically-possible partner of the
+  // chosen atom is still pending.
+  const uint64_t mask = merge_partners[best] & ClearBit(pending, best);
+  if (mask == 0) return false;
+  if (p_best.BoundCount() != 2) return false;
+  const Term& free_term = atoms[best].tmpl.at(SingleFreePos(p_best));
+  if (!free_term.is_variable()) return false;
+  const VarId v = free_term.var();
+  // Declining must cost no allocations and no estimates: a pathological
+  // plan revisits this node once per cross-product row. Hence the static
+  // partner masks, the allocation-free CanSortFreeValues probes, and
+  // materializing the chosen atom's run only once a partner has passed
+  // every cheap check.
+  std::vector<EntityId> scratch_a;
+  SortedIdSpan a;
+  bool have_a = false;
+  for (size_t j = 0; j < atoms.size(); ++j) {
+    if (j < 64 && !(mask & (uint64_t{1} << j))) continue;
+    if (done[j] || j == best) continue;
+    const Pattern pj = atoms[j].tmpl.Bind(binding);
+    if (pj.BoundCount() != 2) continue;
+    const Term& tj = atoms[j].tmpl.at(SingleFreePos(pj));
+    if (!tj.is_variable() || tj.var() != v) continue;
+    if (!atoms[j].source->CanSortFreeValues(pj)) continue;
+    if (!have_a) {
+      if (!atoms[best].source->SortedFreeValues(p_best, &scratch_a, &a)) {
+        return false;
+      }
+      have_a = true;
+    }
+    // Cost guard: materializing a partner run far larger than the
+    // candidate set it filters would cost more than the per-candidate
+    // probes it saves (a probe is ~32x a sequential column copy).
+    const size_t k = atoms[j].source->EstimateMatches(pj);
+    if (k > 32 * (a.size + 1)) continue;
+    std::vector<EntityId> scratch_b;
+    SortedIdSpan b;
+    if (!atoms[j].source->SortedFreeValues(pj, &scratch_b, &b)) continue;
+    done[best] = true;
+    done[j] = true;
+    const EntityId* pa = a.data;
+    const EntityId* ea = a.data + a.size;
+    const EntityId* pb = b.data;
+    const EntityId* eb = b.data + b.size;
+    while (pa < ea && pb < eb && status.ok() && !stopped) {
+      if (*pa < *pb) {
+        pa = GallopLower(pa, ea, *pb);
+      } else if (*pb < *pa) {
+        pb = GallopLower(pb, eb, *pa);
+      } else {
+        const EntityId value = *pa;
+        if (!var_filter || var_filter(v, value)) {
+          binding.Set(v, value);
+          status = MatchRec(atoms, done, remaining - 2, binding, var_filter,
+                            visit, order, rank, merge_partners,
+                            ClearBit(ClearBit(pending, best), j), stopped);
+          binding.Unset(v);
+        }
+        ++pa;
+        ++pb;
+      }
+    }
+    done[best] = false;
+    done[j] = false;
+    return true;
+  }
+  return false;
+}
 
 // Recursive backtracking join. `done` marks atoms already matched.
 // `rank` (kEstimatedCost only) is the static plan's priority per atom;
@@ -13,7 +204,9 @@ namespace {
 Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
                 size_t remaining, Binding& binding,
                 const VarFilter& var_filter, const BindingVisitor& visit,
-                JoinOrder order, const uint32_t* rank, bool& stopped) {
+                JoinOrder order, const uint32_t* rank,
+                const uint64_t* merge_partners, uint64_t pending,
+                bool& stopped) {
   if (remaining == 0) {
     if (!visit(binding)) stopped = true;
     return Status::OK();
@@ -59,6 +252,17 @@ Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
   }
 
   const AtomSpec& atom = atoms[best];
+  const Pattern p_best = atom.tmpl.Bind(binding);
+
+  if (merge_partners != nullptr && remaining >= 2) {
+    Status mj_status = Status::OK();
+    if (TryMergeJoin(atoms, done, remaining, static_cast<size_t>(best),
+                     p_best, binding, var_filter, visit, order, rank,
+                     merge_partners, pending, stopped, mj_status)) {
+      return mj_status;
+    }
+  }
+
   done[best] = true;
 
   // Variables this atom can newly bind; used both for the filter hook and
@@ -68,7 +272,7 @@ Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
   const size_t num_atom_vars = atom.tmpl.CollectVars(atom_vars);
 
   Status status = Status::OK();
-  atom.source->ForEach(atom.tmpl.Bind(binding), [&](const Fact& f) {
+  atom.source->ForEach(p_best, [&](const Fact& f) {
     // Remember which vars were unbound before unification.
     VarId newly_bound[3];
     size_t num_newly_bound = 0;
@@ -90,7 +294,9 @@ Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
     }
     if (admissible) {
       status = MatchRec(atoms, done, remaining - 1, binding, var_filter,
-                        visit, order, rank, stopped);
+                        visit, order, rank, merge_partners,
+                        ClearBit(pending, static_cast<size_t>(best)),
+                        stopped);
     }
     for (size_t i = 0; i < num_newly_bound; ++i) {
       binding.Unset(newly_bound[i]);
@@ -306,7 +512,7 @@ uint64_t PlannerCache::misses() const {
 Status MatchConjunction(const std::vector<AtomSpec>& atoms, Binding& binding,
                         const VarFilter& var_filter,
                         const BindingVisitor& visit, JoinOrder order,
-                        PlannerCache* planner) {
+                        PlannerCache* planner, bool merge_join) {
   for (const AtomSpec& a : atoms) {
     assert(a.source != nullptr);
     (void)a;
@@ -323,19 +529,29 @@ Status MatchConjunction(const std::vector<AtomSpec>& atoms, Binding& binding,
       rank = local_plan.rank.data();
     }
   }
+  std::vector<uint64_t> merge_partners;
+  if (merge_join && !atoms.empty()) {
+    merge_partners = ComputeMergePartners(atoms);
+  }
+  const uint64_t pending = atoms.size() >= 64
+                               ? ~uint64_t{0}
+                               : (uint64_t{1} << atoms.size()) - 1;
   return MatchRec(atoms, done, atoms.size(), binding, var_filter, visit,
-                  order, rank, stopped);
+                  order, rank,
+                  merge_partners.empty() ? nullptr : merge_partners.data(),
+                  pending, stopped);
 }
 
 Status MatchConjunction(const FactSource& source,
                         const std::vector<Template>& atoms,
                         Binding& binding, const VarFilter& var_filter,
                         const BindingVisitor& visit, JoinOrder order,
-                        PlannerCache* planner) {
+                        PlannerCache* planner, bool merge_join) {
   std::vector<AtomSpec> specs;
   specs.reserve(atoms.size());
   for (const Template& t : atoms) specs.push_back(AtomSpec{t, &source});
-  return MatchConjunction(specs, binding, var_filter, visit, order, planner);
+  return MatchConjunction(specs, binding, var_filter, visit, order, planner,
+                          merge_join);
 }
 
 }  // namespace lsd

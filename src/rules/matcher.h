@@ -160,11 +160,20 @@ class PlannerCache {
 // Under kEstimatedCost a plan is computed (or fetched from `planner`
 // when one is supplied) before the search; other policies ignore
 // `planner`.
+//
+// `merge_join` enables the order-exploiting execution path: when two
+// pending atoms each have exactly one free position holding the same
+// variable and both sources stream that position's values in ascending
+// order (FactSource::SortedFreeValues), the runs are intersected by
+// galloping instead of enumerating one side and probing per candidate.
+// An execution strategy, not an ordering policy: the visited binding set
+// is identical either way, under every JoinOrder.
 Status MatchConjunction(const std::vector<AtomSpec>& atoms, Binding& binding,
                         const VarFilter& var_filter,
                         const BindingVisitor& visit,
                         JoinOrder order = JoinOrder::kEstimatedCost,
-                        PlannerCache* planner = nullptr);
+                        PlannerCache* planner = nullptr,
+                        bool merge_join = true);
 
 // Convenience overload: all atoms against one source.
 Status MatchConjunction(const FactSource& source,
@@ -172,7 +181,8 @@ Status MatchConjunction(const FactSource& source,
                         Binding& binding, const VarFilter& var_filter,
                         const BindingVisitor& visit,
                         JoinOrder order = JoinOrder::kEstimatedCost,
-                        PlannerCache* planner = nullptr);
+                        PlannerCache* planner = nullptr,
+                        bool merge_join = true);
 
 }  // namespace lsd
 

@@ -43,6 +43,20 @@ class MathProvider final : public FactSource {
   double EstimateMatchesBound(const Pattern& p,
                               uint8_t bound_mask) const override;
 
+  // Merge-join hook: a comparator's value set is numeric-ordered, not
+  // id-ordered, so it cannot feed an id-sorted intersection; every other
+  // pattern produces no mathematical facts at all, hence an empty run.
+  bool SortedFreeValues(const Pattern& p, std::vector<EntityId>* scratch,
+                        SortedIdSpan* out) const override {
+    (void)scratch;
+    if (p.RelationshipBound() && IsComparator(p.relationship)) return false;
+    *out = SortedIdSpan{};
+    return true;
+  }
+  bool CanSortFreeValues(const Pattern& p) const override {
+    return !(p.RelationshipBound() && IsComparator(p.relationship));
+  }
+
   // True when facts (a, r1, b) and (a, r2, b) can never both hold — the
   // built-in contradiction pairs among comparators (Sec 3.5: "(<, ⊥, >)").
   static bool Contradictory(EntityId r1, EntityId r2);

@@ -315,7 +315,7 @@ StatusOr<std::unique_ptr<Closure>> RuleEngine::ComputeClosure(
   ClosureStats stats;
   // Round 1 treats every asserted fact as new.
   std::vector<Fact> delta_facts =
-      semi_naive ? base.facts() : std::vector<Fact>();
+      semi_naive ? base.Materialize() : std::vector<Fact>();
 
   bool first_round = true;
   for (;;) {
@@ -393,8 +393,8 @@ StatusOr<std::unique_ptr<Closure>> RuleEngine::ComputeClosure(
   }
 
   stats.derived_facts = derived.size();
-  return std::make_unique<Closure>(store_, math_, std::move(derived),
-                                   stats);
+  return std::make_unique<Closure>(store_, math_, std::move(base),
+                                   std::move(derived), stats);
 }
 
 }  // namespace lsd

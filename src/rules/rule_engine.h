@@ -55,24 +55,31 @@ struct ClosureStats {
   size_t candidate_facts = 0;
 };
 
-// The materialized closure. Owns the derived fact index and exposes the
-// queryable view (base ∪ derived ∪ virtual layers).
+// The materialized closure. Owns the derived fact index, plus the frozen
+// columnar snapshot of the asserted facts the fixpoint ran against, and
+// exposes the queryable view (base ∪ derived ∪ virtual layers). The view
+// serves the base layer from the frozen snapshot — valid because any
+// store mutation bumps the store version and invalidates the whole
+// closure.
 class Closure {
  public:
   Closure(const FactStore* store, const MathProvider* math,
-          DeltaIndex derived, ClosureStats stats)
-      : derived_(std::move(derived)),
+          FrozenIndex base, DeltaIndex derived, ClosureStats stats)
+      : base_(std::move(base)),
+        derived_(std::move(derived)),
         stats_(stats),
-        view_(store, &derived_, math) {}
+        view_(store, &derived_, math, &base_) {}
 
   Closure(const Closure&) = delete;
   Closure& operator=(const Closure&) = delete;
 
+  const FrozenIndex& base() const { return base_; }
   const DeltaIndex& derived() const { return derived_; }
   const ClosureView& view() const { return view_; }
   const ClosureStats& stats() const { return stats_; }
 
  private:
+  FrozenIndex base_;
   DeltaIndex derived_;
   ClosureStats stats_;
   ClosureView view_;

@@ -162,6 +162,16 @@ StatusOr<std::string> ServerSession::RenderStats() {
            std::to_string(db.closure_stats()->derived_facts) + " (in " +
            std::to_string(db.closure_stats()->rounds) + " rounds)\n";
   }
+  auto mem = db.MemoryUsage();
+  if (mem.ok()) {
+    out += "frozen tier:    " + std::to_string(mem->base.total()) +
+           " bytes (run " + std::to_string(mem->base.run_bytes) +
+           ", perms " + std::to_string(mem->base.perm_bytes) +
+           ", offsets " + std::to_string(mem->base.offset_bytes) + ")\n";
+    out += "derived tier:   " + std::to_string(mem->derived.total()) +
+           " bytes (frozen " + std::to_string(mem->derived.frozen.total()) +
+           ", overlay " + std::to_string(mem->derived.overlay_bytes) + ")\n";
+  }
   out += "rules:          " + std::to_string(db.rules().size()) + "\n";
   const uint64_t hits = db.planner_hits();
   const uint64_t misses = db.planner_misses();

@@ -14,10 +14,22 @@ bool DeltaIndex::Insert(const Fact& f) {
 }
 
 size_t DeltaIndex::InsertRun(const std::vector<Fact>& run) {
+  // Batched dedup: one lockstep walk of the run against the frozen
+  // tier's sorted rows (see FrozenIndex::AppendMissing) instead of a
+  // binary search per fact, then the overlay's hash probe for whatever
+  // survived — usually everything, the overlay being empty right after a
+  // compaction.
   std::vector<Fact> fresh;
   fresh.reserve(run.size());
-  for (const Fact& f : run) {
-    if (!Contains(f)) fresh.push_back(f);
+  if (overlay_hash_.empty()) {
+    frozen_.AppendMissing(run, &fresh);
+  } else {
+    std::vector<Fact> not_frozen;
+    not_frozen.reserve(run.size());
+    frozen_.AppendMissing(run, &not_frozen);
+    for (const Fact& f : not_frozen) {
+      if (overlay_hash_.count(f) == 0) fresh.push_back(f);
+    }
   }
   if (fresh.empty()) return 0;
   const size_t added = fresh.size();
@@ -63,6 +75,51 @@ void DeltaIndex::Compact() {
   frozen_ = FrozenIndex(std::move(all));
   overlay_.Clear();
   overlay_hash_.clear();
+}
+
+bool DeltaIndex::SortedFreeValues(const Pattern& p,
+                                  std::vector<EntityId>* scratch,
+                                  SortedIdSpan* out) const {
+  if (overlay_.empty()) return frozen_.SortedFreeValues(p, scratch, out);
+  // The frozen run goes into the caller's scratch so that when the
+  // overlay contributes nothing to this pattern — the common case for a
+  // compacted index — the frozen span (possibly a zero-copy column
+  // slice) passes through without another copy.
+  SortedIdSpan frozen_vals;
+  if (!frozen_.SortedFreeValues(p, scratch, &frozen_vals)) {
+    return false;
+  }
+  std::vector<EntityId> overlay_scratch;
+  SortedIdSpan overlay_vals;
+  if (!overlay_.SortedFreeValues(p, &overlay_scratch, &overlay_vals)) {
+    return false;
+  }
+  if (overlay_vals.size == 0) {
+    *out = frozen_vals;
+    return true;
+  }
+  if (frozen_vals.size == 0) {
+    scratch->assign(overlay_vals.data, overlay_vals.data + overlay_vals.size);
+    out->data = scratch->data();
+    out->size = scratch->size();
+    return true;
+  }
+  std::vector<EntityId> merged;
+  MergeSortedIds(frozen_vals, overlay_vals, &merged);
+  scratch->swap(merged);
+  out->data = scratch->data();
+  out->size = scratch->size();
+  return true;
+}
+
+DeltaIndex::Memory DeltaIndex::MemoryUsage() const {
+  Memory m;
+  m.frozen = frozen_.MemoryUsage();
+  m.overlay_bytes =
+      overlay_.MemoryUsage() +
+      overlay_hash_.bucket_count() * sizeof(void*) +
+      overlay_hash_.size() * (sizeof(Fact) + 2 * sizeof(void*));
+  return m;
 }
 
 bool DeltaIndex::MaybeCompact() {

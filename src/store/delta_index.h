@@ -29,6 +29,13 @@ namespace lsd {
 
 class DeltaIndex final : public FactSource {
  public:
+  // Resident bytes per tier, for the `stats` surfaces and E9.
+  struct Memory {
+    FrozenIndex::Memory frozen;
+    size_t overlay_bytes = 0;  // overlay trees + the shadow hash set
+    size_t total() const { return frozen.total() + overlay_bytes; }
+  };
+
   // Starts with both tiers empty.
   DeltaIndex() = default;
 
@@ -79,6 +86,17 @@ class DeltaIndex final : public FactSource {
                            overlay_.DistinctRelationships(),
                            overlay_.DistinctTargets());
   }
+
+  // Sorted free-position values of a two-bound pattern: the frozen tier's
+  // run (zero copy when the overlay is empty, the common post-compaction
+  // state) merged with the overlay's.
+  bool SortedFreeValues(const Pattern& p, std::vector<EntityId>* scratch,
+                        SortedIdSpan* out) const override;
+  bool CanSortFreeValues(const Pattern& p) const override {
+    return p.BoundCount() == 2;
+  }
+
+  Memory MemoryUsage() const;
 
   // Merges the overlay into a new frozen run; the overlay becomes empty.
   void Compact();

@@ -96,6 +96,11 @@ EntityId EntityTable::InternComposed(std::string_view name) {
   return InternWithKind(Normalize(name), EntityKind::kComposed);
 }
 
+void EntityTable::Reserve(size_t expected) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  by_name_.reserve(expected);
+}
+
 std::optional<EntityId> EntityTable::Lookup(std::string_view name) const {
   std::string normalized = Normalize(name);
   std::shared_lock<std::shared_mutex> lock(mu_);

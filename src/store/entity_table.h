@@ -44,6 +44,11 @@ class EntityTable {
   // Returns the id for `name` without interning, or nullopt if unknown.
   std::optional<EntityId> Lookup(std::string_view name) const;
 
+  // Pre-sizes the name hash for about `expected` entities, so a bulk
+  // load (snapshot recovery, .lsd import) interns without rehashing.
+  // Rows live in a deque and need no reservation.
+  void Reserve(size_t expected);
+
   // Name of an entity. id must be valid. The reference is stable: rows
   // are never erased and deque growth does not move existing elements.
   const std::string& Name(EntityId id) const {

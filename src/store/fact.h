@@ -103,6 +103,15 @@ struct Pattern {
   std::string DebugString(const EntityTable& entities) const;
 };
 
+// A read-only run of strictly ascending entity ids, either borrowed from
+// an index's column storage (zero copy) or materialized into a
+// caller-provided scratch buffer. Produced by the indexes'
+// SortedFreeValues; consumed by the matcher's merge-join kernel.
+struct SortedIdSpan {
+  const EntityId* data = nullptr;
+  size_t size = 0;
+};
+
 // Callback for streaming matches. Return false to stop iteration.
 //
 // This is a non-owning function reference (one pointer to the callable

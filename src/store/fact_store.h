@@ -45,6 +45,11 @@ inline double ScaleByDistinct(double count, uint8_t bound_mask,
   return count;
 }
 
+// Merges two strictly-ascending runs into one strictly-ascending run in
+// `out` (values present in both appear once).
+void MergeSortedIds(SortedIdSpan a, SortedIdSpan b,
+                    std::vector<EntityId>* out);
+
 // Read-only stream of facts matching a pattern. Implementations:
 // IndexSource (a TripleIndex), UnionSource (layering), the rule engine's
 // ClosureView, MathProvider, IsaAxiomSource.
@@ -82,6 +87,36 @@ class FactSource {
     return static_cast<double>(EstimateMatches(p));
   }
 
+  // Order hook for the merge-join kernel: if `p` has exactly one free
+  // position and this source can produce the distinct values of that
+  // position in strictly ascending order, fills `out` — borrowing
+  // `scratch` for storage unless the values are already contiguous in the
+  // source — and returns true. The span stays valid only until `scratch`
+  // is next touched (or, for borrowed spans, as long as the source).
+  // Because the other two positions are bound, each value corresponds to
+  // exactly one fact of the source, so intersecting two such runs visits
+  // exactly the bindings nested-loop enumeration would. The default
+  // declines, which simply keeps callers on the nested-loop path.
+  virtual bool SortedFreeValues(const Pattern& p,
+                                std::vector<EntityId>* scratch,
+                                SortedIdSpan* out) const {
+    (void)p;
+    (void)scratch;
+    (void)out;
+    return false;
+  }
+
+  // Capability probe for SortedFreeValues: true iff a SortedFreeValues
+  // call with `p` would succeed, decided without materializing anything.
+  // The matcher asks this at every recursion node before committing to
+  // the merge-join rewrite, so it must stay allocation-free and cheap —
+  // a pathological plan revisits the question once per cross-product
+  // row. Must never return true when SortedFreeValues would decline.
+  virtual bool CanSortFreeValues(const Pattern& p) const {
+    (void)p;
+    return false;
+  }
+
   std::vector<Fact> Match(const Pattern& p) const;
 };
 
@@ -101,6 +136,13 @@ class IndexSource final : public FactSource {
   }
   double EstimateMatchesBound(const Pattern& p,
                               uint8_t bound_mask) const override;
+  bool SortedFreeValues(const Pattern& p, std::vector<EntityId>* scratch,
+                        SortedIdSpan* out) const override {
+    return index_->SortedFreeValues(p, scratch, out);
+  }
+  bool CanSortFreeValues(const Pattern& p) const override {
+    return p.BoundCount() == 2;
+  }
 
  private:
   const TripleIndex* index_;
@@ -120,6 +162,9 @@ class UnionSource final : public FactSource {
   size_t EstimateMatches(const Pattern& p) const override;
   double EstimateMatchesBound(const Pattern& p,
                               uint8_t bound_mask) const override;
+  bool SortedFreeValues(const Pattern& p, std::vector<EntityId>* scratch,
+                        SortedIdSpan* out) const override;
+  bool CanSortFreeValues(const Pattern& p) const override;
 
  private:
   std::vector<const FactSource*> sources_;

@@ -1,21 +1,36 @@
-// Read-only sorted-array triple index: the "frozen" storage strategy of
+// Read-only columnar triple index: the "frozen" storage strategy of
 // experiment E9 (DESIGN.md). Built once from a fact set; answers the same
-// 8 binding patterns as TripleIndex via binary search over three sorted
-// vectors. Denser and faster to scan than the node-based TripleIndex, but
-// immutable.
+// 8 binding patterns as TripleIndex, but instead of three full sorted
+// Fact arrays it keeps one canonical SRT-sorted store in CSR
+// (compressed sparse row) form:
+//
+//   rel_[i], tgt_[i]   relationship/target columns of row i (SRT order);
+//   src_offsets_[s]    rows of source s are [src_offsets_[s],
+//                      src_offsets_[s+1]) — the source column is implicit,
+//                      which is what buys the memory reduction;
+//   rts_perm_          row ids in (relationship, target, source) order,
+//                      fronted by rel_offsets_ (relationship id -> range);
+//   tsr_perm_          row ids in (target, source, relationship) order,
+//                      fronted by tgt_offsets_ (target id -> range).
+//
+// Entity ids are dense (interned), so the offset tables are plain arrays
+// indexed by id: every bound-first-position lookup is an O(1) slice, not
+// an O(log n) binary search, and iteration over a slice is branch-free
+// pointer arithmetic. Per fact this costs 8 bytes of columns + 8 bytes of
+// permutations (vs 36 bytes for three Fact copies); the offset tables add
+// O(max entity id) once per index, not per fact.
 //
 // FrozenIndex is a FactSource, so frozen runs can be spliced directly
 // into match pipelines (the rule engine snapshots the asserted facts
 // into a frozen run for the duration of a closure fixpoint, and the
-// two-tier DeltaIndex keeps its base tier frozen). CountMatches is exact
-// and O(log n): every binding pattern is a contiguous range of one
-// permutation, so the count is a distance between two binary searches —
-// this is what makes the matcher's kEstimatedCost join order affordable
-// over this tier.
+// two-tier DeltaIndex keeps its base tier frozen). CountMatches is exact:
+// O(1) for single-bound patterns (an offset subtraction) and O(log) for
+// the rest — this is what makes the matcher's kEstimatedCost join order
+// affordable over this tier.
 #ifndef LSD_STORE_FROZEN_INDEX_H_
 #define LSD_STORE_FROZEN_INDEX_H_
 
-#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "store/fact.h"
@@ -27,6 +42,15 @@ class TripleIndex;
 
 class FrozenIndex : public FactSource {
  public:
+  // Resident bytes per tier component, for the `stats` surfaces and the
+  // E9 memory accounting.
+  struct Memory {
+    size_t run_bytes = 0;      // canonical rel/tgt columns
+    size_t perm_bytes = 0;     // RTS + TSR permutation arrays
+    size_t offset_bytes = 0;   // three CSR offset tables
+    size_t total() const { return run_bytes + perm_bytes + offset_bytes; }
+  };
+
   // An empty run.
   FrozenIndex() = default;
 
@@ -37,21 +61,42 @@ class FrozenIndex : public FactSource {
   static FrozenIndex FromTripleIndex(const TripleIndex& index);
 
   // Builds base ∪ run in linear time (plus sorting the run, which is
-  // assumed small): each permutation is a two-way merge of the base's
-  // sorted array with the sorted run. `run` must be SRT-sorted,
-  // duplicate-free, and disjoint from `base` — this is the bulk-load
-  // path DeltaIndex uses to install a whole closure round without
-  // touching the overlay trees.
+  // assumed small): the canonical columns are a two-way merge, and the
+  // permutations are rebuilt by merging the base's permutation stream
+  // with the sorted run through an old-row -> new-row mapping. `run`
+  // must be SRT-sorted, duplicate-free, and disjoint from `base` — this
+  // is the bulk-load path DeltaIndex uses to install a whole closure
+  // round without touching the overlay trees.
   static FrozenIndex Merged(const FrozenIndex& base, std::vector<Fact> run);
 
   // Inline: Contains is the engine's per-candidate dedup probe and runs
-  // millions of times per closure.
+  // millions of times per closure. The source offset narrows the search
+  // to one row range; the (relationship, target) pair packs into one
+  // 64-bit key, so the binary search is over deg(source), not n.
   bool Contains(const Fact& f) const override {
-    return std::binary_search(srt_.begin(), srt_.end(), f, OrderSrt());
+    const size_t s = f.source;
+    if (s + 1 >= src_offsets_.size()) return false;
+    uint32_t lo = src_offsets_[s];
+    uint32_t hi = src_offsets_[s + 1];
+    const uint64_t key = PackRt(f.relationship, f.target);
+    while (lo < hi) {
+      const uint32_t mid = lo + (hi - lo) / 2;
+      const uint64_t k = PackRt(rel_[mid], tgt_[mid]);
+      if (k < key) {
+        lo = mid + 1;
+      } else if (k > key) {
+        hi = mid;
+      } else {
+        return true;
+      }
+    }
+    return false;
   }
+
   bool ForEach(const Pattern& p, const FactVisitor& visit) const override;
 
-  // Exact number of matches via two binary searches (O(log n)).
+  // Exact match count: an offset subtraction for single-bound patterns,
+  // two binary searches within one slice otherwise.
   size_t CountMatches(const Pattern& p) const;
   size_t EstimateMatches(const Pattern& p) const override {
     return CountMatches(p);
@@ -63,22 +108,55 @@ class FrozenIndex : public FactSource {
   double EstimateMatchesBound(const Pattern& p,
                               uint8_t bound_mask) const override;
 
+  // Sorted distinct values of the single free position of a two-bound
+  // pattern. (s, r, ?) is a zero-copy slice of the target column; the
+  // other shapes decode one permutation slice into `scratch`.
+  bool SortedFreeValues(const Pattern& p, std::vector<EntityId>* scratch,
+                        SortedIdSpan* out) const override;
+  bool CanSortFreeValues(const Pattern& p) const override {
+    return p.BoundCount() == 2;
+  }
+
+  // Appends the facts of `run` (SRT-sorted, duplicate-free) that are NOT
+  // in this index onto `out`, preserving order: a batched set difference
+  // that walks each source's row slice once instead of binary-searching
+  // per fact. This is the closure engine's round dedup.
+  void AppendMissing(const std::vector<Fact>& run,
+                     std::vector<Fact>* out) const;
+
   // Distinct values per position, counted once at build time.
   size_t DistinctSources() const { return distinct_sources_; }
   size_t DistinctRelationships() const { return distinct_rels_; }
   size_t DistinctTargets() const { return distinct_targets_; }
 
-  // All facts in SRT order.
-  const std::vector<Fact>& facts() const { return srt_; }
+  // All facts in SRT order, reconstructed from the columns.
+  std::vector<Fact> Materialize() const;
 
-  size_t size() const { return srt_.size(); }
+  Memory MemoryUsage() const;
+
+  size_t size() const { return rel_.size(); }
 
  private:
+  static uint64_t PackRt(EntityId r, EntityId t) {
+    return (static_cast<uint64_t>(r) << 32) | t;
+  }
+
+  void BuildFromSorted(std::vector<Fact> facts);
   void RecomputeDistinct();
 
-  std::vector<Fact> srt_;
-  std::vector<Fact> rts_;
-  std::vector<Fact> tsr_;
+  // Canonical SRT-sorted store (CSR over the source).
+  std::vector<EntityId> rel_;
+  std::vector<EntityId> tgt_;
+  std::vector<uint32_t> src_offsets_;
+
+  // (r, t, s)-ordered row ids, with a CSR table over the relationship.
+  std::vector<uint32_t> rts_perm_;
+  std::vector<uint32_t> rel_offsets_;
+
+  // (t, s, r)-ordered row ids, with a CSR table over the target.
+  std::vector<uint32_t> tsr_perm_;
+  std::vector<uint32_t> tgt_offsets_;
+
   size_t distinct_sources_ = 0;
   size_t distinct_rels_ = 0;
   size_t distinct_targets_ = 0;

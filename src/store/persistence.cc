@@ -344,6 +344,7 @@ Status LoadSnapshot(const std::string& path, FactStore* store,
   uint32_t entity_count;
   if (!r.U32(&entity_count)) return Status::DataLoss("truncated snapshot");
   EntityTable& entities = store->entities();
+  entities.Reserve(entity_count);
   for (uint32_t i = 0; i < entity_count; ++i) {
     uint8_t kind;
     std::string name;

@@ -184,6 +184,27 @@ size_t TripleIndex::CountMatches(const Pattern& p) const {
                                            tsr_.upper_bound(b.hi)));
 }
 
+bool TripleIndex::SortedFreeValues(const Pattern& p,
+                                   std::vector<EntityId>* scratch,
+                                   SortedIdSpan* out) const {
+  if (p.BoundCount() != 2) return false;
+  // ForEach walks the permutation whose trailing component is the free
+  // position — (s,r,?) the SRT range, (?,r,t) the RTS range, (s,?,t) the
+  // TSR range — so the free position streams in strictly ascending order.
+  scratch->clear();
+  const int free_pos =
+      !p.SourceBound() ? 0 : (!p.RelationshipBound() ? 1 : 2);
+  ForEach(p, [&](const Fact& f) {
+    scratch->push_back(free_pos == 0
+                           ? f.source
+                           : (free_pos == 1 ? f.relationship : f.target));
+    return true;
+  });
+  out->data = scratch->data();
+  out->size = scratch->size();
+  return true;
+}
+
 void TripleIndex::Clear() {
   srt_.clear();
   rts_.clear();

@@ -61,6 +61,21 @@ class TripleIndex {
   size_t DistinctRelationships() const { return distinct_rels_; }
   size_t DistinctTargets() const { return distinct_targets_; }
 
+  // Sorted distinct values of the single free position of a two-bound
+  // pattern, collected into `scratch` from the permutation whose range
+  // walk yields that position in ascending order. Same contract as
+  // FactSource::SortedFreeValues (IndexSource delegates here).
+  bool SortedFreeValues(const Pattern& p, std::vector<EntityId>* scratch,
+                        SortedIdSpan* out) const;
+
+  // Estimated resident bytes: each std::set node holds a Fact plus the
+  // red-black tree overhead (three pointers and a color word on the
+  // usual implementations).
+  size_t MemoryUsage() const {
+    constexpr size_t kNodeBytes = sizeof(Fact) + 4 * sizeof(void*);
+    return 3 * srt_.size() * kNodeBytes;
+  }
+
   size_t size() const { return srt_.size(); }
   bool empty() const { return srt_.empty(); }
   void Clear();

@@ -166,6 +166,26 @@ TEST_F(LooseDbPersistenceTest, RetractionsSurviveRestart) {
   EXPECT_TRUE(again.Query("(C, R, D)")->truth);
 }
 
+TEST(LooseDbMemoryTest, ReportsPerTierBytes) {
+  LooseDb db;
+  db.Assert("JOHN", "WORKS-FOR", "SHIPPING");
+  db.Assert("SHIPPING", "IN", "DEPARTMENT");
+  db.Assert("JOHN", "IN", "EMPLOYEE");
+  auto mem = db.MemoryUsage();
+  ASSERT_TRUE(mem.ok());
+  // The frozen base tier holds the asserted snapshot: columns,
+  // permutations, and offset tables are all live.
+  EXPECT_GT(mem->base.run_bytes, 0u);
+  EXPECT_GT(mem->base.perm_bytes, 0u);
+  EXPECT_GT(mem->base.offset_bytes, 0u);
+  // The standard rules derive facts, so the derived tier is non-empty.
+  EXPECT_GT(mem->derived.total(), 0u);
+  EXPECT_EQ(mem->total(), mem->base.total() + mem->derived.total());
+  // Columnar CSR beats three sorted Fact arrays on the same fact set.
+  EXPECT_LT(mem->base.total(),
+            3 * sizeof(Fact) * db.store().size() + 4096);
+}
+
 TEST_F(LooseDbPersistenceTest, RuleTogglesSurviveRestart) {
   {
     LooseDb db;

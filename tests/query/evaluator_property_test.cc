@@ -232,5 +232,55 @@ TEST_P(EvaluatorPropertyTest, MatchesBruteForceReference) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorPropertyTest,
                          ::testing::Range(uint64_t{1}, uint64_t{11}));
 
+// The merge-join execution path is an optimization, not a semantics
+// change: every query must return the same rows with it on and off,
+// under every join-order policy.
+class MergeJoinAblationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MergeJoinAblationTest, SameRowsWithAndWithoutMergeJoin) {
+  Rng rng(GetParam() + 1000);
+  LooseDb db;
+  std::vector<EntityId> pool;
+  for (int i = 0; i < 10; ++i) {
+    pool.push_back(db.entities().Intern("E" + std::to_string(i)));
+  }
+  std::vector<EntityId> rels;
+  for (int i = 0; i < 3; ++i) {
+    rels.push_back(db.entities().Intern("R" + std::to_string(i)));
+  }
+  for (int i = 0; i < 30; ++i) {
+    db.Assert(Fact(pool[rng.Uniform(pool.size())],
+                   rels[rng.Uniform(rels.size())],
+                   pool[rng.Uniform(pool.size())]));
+  }
+
+  FormulaGen gen(&rng, pool, rels);
+  int compared = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    Query q = gen.Generate();
+    for (JoinOrder order : {JoinOrder::kBoundCount, JoinOrder::kEstimatedCost,
+                            JoinOrder::kFixed}) {
+      EvalOptions with, without;
+      with.join_order = without.join_order = order;
+      with.merge_join = true;
+      without.merge_join = false;
+      auto a = db.Run(q, with);
+      auto b = db.Run(q, without);
+      ASSERT_EQ(a.ok(), b.ok())
+          << "formula: " << q.DebugString(db.entities());
+      if (!a.ok()) continue;
+      ++compared;
+      EXPECT_EQ(a->rows, b->rows)
+          << "formula: " << q.DebugString(db.entities()) << " seed "
+          << GetParam() << " order " << static_cast<int>(order);
+      EXPECT_EQ(a->truth, b->truth);
+    }
+  }
+  EXPECT_GT(compared, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeJoinAblationTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}));
+
 }  // namespace
 }  // namespace lsd

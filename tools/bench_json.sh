@@ -1,31 +1,50 @@
 #!/usr/bin/env sh
 # Runs the checked-in benchmark suites with JSON output and writes the
-# results at the repo root, for checking benchmark numbers into the tree:
-#   BENCH_closure.json.new  bench_closure (rule-engine closure); the
-#                           checked-in BENCH_closure.json is a curated
-#                           before/after pair — compare by hand, don't
-#                           clobber it.
-#   BENCH_query.json        bench_join_order + bench_probing (query
-#                           planner and probing waves), combined into
-#                           one object keyed by suite name.
-#   BENCH_server.json       bench_server (serving-layer throughput and
-#                           latency percentiles at 1/4/16/64 sessions).
-#   BENCH_recovery.json     bench_recovery (cold Open() recovery time vs
-#                           WAL size, with and without checkpoints).
+# results at the repo root:
+#   BENCH_closure.json     bench_closure (rule-engine closure fixpoint).
+#   BENCH_query.json       bench_join_order + bench_probing (query
+#                          planner, merge-join ablation, probing waves),
+#                          combined into one object keyed by suite name.
+#   BENCH_server.json      bench_server (serving-layer throughput and
+#                          latency percentiles at 1/4/16/64 sessions).
+#   BENCH_recovery.json    bench_recovery (cold Open() recovery time vs
+#                          WAL size, with and without checkpoints).
 #
-# Usage: tools/bench_json.sh [build-dir] [benchmark-filter]
-#   build-dir          defaults to ./build
+# Numbers checked into the tree must come from an optimized build, so
+# this script configures and builds its own Release tree (default
+# ./build-release) before running anything, and refuses to write JSON
+# whose context does not say "library_build_type": "release" — the
+# shared bench_main.cc stamps that field from the tree's own NDEBUG, so
+# a Debug binary cannot sneak numbers past this gate.
+#
+# Usage: tools/bench_json.sh [release-build-dir] [benchmark-filter]
+#   release-build-dir  defaults to ./build-release
 #   benchmark-filter   defaults to all benchmarks in each suite
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
-build_dir=${1:-"$repo_root/build"}
+build_dir=${1:-"$repo_root/build-release"}
 filter=${2:-}
+
+echo "configuring Release tree at $build_dir"
+cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
+  > /dev/null
+cmake --build "$build_dir" -j "$(nproc)" --target \
+  bench_closure bench_join_order bench_probing bench_server \
+  bench_recovery > /dev/null
 
 require() {
   if [ ! -x "$1" ]; then
     echo "error: $1 not found or not executable." >&2
-    echo "Build it first: cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+  fi
+}
+
+check_release() {
+  # check_release <json-file>: refuse non-Release numbers.
+  if ! grep -q '"library_build_type": "release"' "$1"; then
+    echo "error: $1 was produced by a non-release build;" \
+         "refusing to publish its numbers." >&2
     exit 1
   fi
 }
@@ -37,6 +56,7 @@ run_bench() {
   else
     "$1" --benchmark_format=json > "$2"
   fi
+  check_release "$2"
 }
 
 closure="$build_dir/bench/bench_closure"
@@ -46,7 +66,7 @@ require "$closure"
 require "$join_order"
 require "$probing"
 
-out="$repo_root/BENCH_closure.json.new"
+out="$repo_root/BENCH_closure.json"
 run_bench "$closure" "$out"
 echo "wrote $out"
 
@@ -58,7 +78,7 @@ run_bench "$probing" "$tmp_probe"
 
 out="$repo_root/BENCH_query.json"
 {
-  printf '{"comment": "raw bench_join_order + bench_probing runs (E11 conjunct-ordering ablation and E4 probing waves) for the current tree; regenerate with tools/bench_json.sh",\n'
+  printf '{"comment": "Release bench_join_order + bench_probing runs (E11 conjunct-ordering + merge-join ablation and E4 probing waves) for the current tree; regenerate with tools/bench_json.sh",\n'
   printf '"bench_join_order":'
   cat "$tmp_join"
   printf ',"bench_probing":'
@@ -69,7 +89,8 @@ echo "wrote $out"
 
 # BENCH_server.json: the serving-layer load generator (throughput and
 # p50/p99 latency at 1/4/16/64 concurrent sessions). Not a
-# google-benchmark suite, so it writes its JSON directly.
+# google-benchmark suite, so it writes its JSON directly; it is built
+# by the same Release tree, which is the gate that matters.
 server_bench="$build_dir/bench/bench_server"
 require "$server_bench"
 out="$repo_root/BENCH_server.json"

@@ -115,6 +115,16 @@ void DoStats(LooseDb& db) {
                 db.closure_stats()->derived_facts,
                 db.closure_stats()->rounds);
   }
+  auto mem = db.MemoryUsage();
+  if (mem.ok()) {
+    std::printf("frozen tier:    %zu bytes (run %zu, perms %zu, offsets"
+                " %zu)\n",
+                mem->base.total(), mem->base.run_bytes,
+                mem->base.perm_bytes, mem->base.offset_bytes);
+    std::printf("derived tier:   %zu bytes (frozen %zu, overlay %zu)\n",
+                mem->derived.total(), mem->derived.frozen.total(),
+                mem->derived.overlay_bytes);
+  }
   std::printf("rules:          %zu\n", db.rules().size());
   std::printf("limit(n):       %d\n", db.composition_limit());
   std::printf("store version:  %llu\n",
