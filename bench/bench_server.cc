@@ -1,28 +1,48 @@
-// bench_server — multi-threaded load generator for the browsing server.
+// bench_server — multiplexed load generator for the browsing server.
 //
 // Starts an in-process LsdServer over loopback TCP, seeds the campus
-// domain, then sweeps concurrent-session counts. Every session runs the
+// domain, then sweeps concurrent-session counts in both wire protocols:
+// the line-oriented text protocol (one request, one response) and the
+// length-prefixed binary protocol with request pipelining (up to
+// --window frames in flight per connection). Every session runs the
 // same read-mostly browsing mix (queries, navigation, probing — the
 // paper's interactive loop) over its own connection, and we report
 // aggregate throughput and client-observed latency percentiles.
 //
+// The client side is itself event-driven: a handful of driver threads
+// each multiplex their slice of connections with poll(), so a 10k
+// session sweep needs ~8 client threads, not 10k. Session counts are
+// clamped to what RLIMIT_NOFILE allows (2 fds per session: client end
+// plus server end in this same process); the soft limit is raised to
+// the hard limit at startup.
+//
 // Not a google-benchmark suite: the unit of interest is end-to-end
 // requests per second against the shared store as sessions scale, which
-// needs real sockets, real threads, and a latency histogram.
+// needs real sockets and a latency histogram.
 //
-//   bench_server [--sessions 1,4,16,64] [--requests N] [--json FILE]
+//   bench_server [--sessions 1,4,16,64,256,1024] [--requests N]
+//                [--protocols text,binary] [--window N] [--json FILE]
+//                [--fail-writes P] [--check]
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -52,6 +72,12 @@ const char* kMix[] = {
 };
 constexpr size_t kMixSize = sizeof(kMix) / sizeof(kMix[0]);
 
+enum class Protocol { kText, kBinary };
+
+const char* ProtocolName(Protocol p) {
+  return p == Protocol::kText ? "text" : "binary";
+}
+
 int Connect(uint16_t port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
@@ -70,7 +96,23 @@ int Connect(uint16_t port) {
   return fd;
 }
 
+void SleepMs(long ms) {
+  struct timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = (ms % 1000) * 1000000L;
+  ::nanosleep(&ts, nullptr);
+}
+
+struct SweepSpec {
+  Protocol protocol = Protocol::kText;
+  int window = 1;  // in-flight requests per connection (binary only)
+  int sessions = 1;
+  int requests_per_session = 200;
+};
+
 struct SweepResult {
+  Protocol protocol = Protocol::kText;
+  int window = 1;
   int sessions = 0;
   size_t requests = 0;
   size_t errors = 0;   // requests that failed even after a retry
@@ -88,79 +130,343 @@ double PercentileUs(std::vector<int64_t>& ns, double p) {
   return static_cast<double>(ns[idx]) / 1000.0;
 }
 
-SweepResult RunSweep(uint16_t port, int sessions, int requests_per_session) {
-  std::vector<std::thread> clients;
-  std::vector<std::vector<int64_t>> latencies(sessions);
-  std::vector<size_t> errors(sessions, 0);
-  std::vector<size_t> retries(sessions, 0);
+// A request handed to the socket but not yet answered. `ordinal` is
+// both the position in the session's mix and (in binary mode) the
+// request id the response must echo. A request is resent at most once
+// across reconnects, mirroring the text clients' retry discipline.
+struct PendingRequest {
+  uint64_t ordinal = 0;
+  Clock::time_point sent_at;
+  bool resent = false;
+};
 
-  auto start = Clock::now();
-  for (int s = 0; s < sessions; ++s) {
-    clients.emplace_back([port, s, requests_per_session, &latencies,
-                          &errors, &retries] {
-      int fd = -1;
-      std::unique_ptr<lsd::LineReader> reader;
-      // (Re)establishes the connection through the greeting. Injected
-      // write failures drop the connection server-side; a resilient
-      // client reconnects and resends, which is what we measure.
-      auto connect = [&]() -> bool {
-        if (fd >= 0) ::close(fd);
-        fd = Connect(port);
-        if (fd < 0) return false;
-        reader = std::make_unique<lsd::LineReader>(fd);
-        auto greeting = lsd::ReadResponse(reader.get());
-        return greeting.ok() && greeting->ok;
-      };
-      if (!connect()) {
-        errors[s] = static_cast<size_t>(requests_per_session);
-        if (fd >= 0) ::close(fd);
-        return;
+// One benchmark session: a connection plus its protocol state machine.
+// Driven entirely from its owning driver thread, so no locking.
+struct Conn {
+  int index = 0;  // session number, offsets the mix phase
+  int total = 0;
+  int fd = -1;
+  int sent = 0;  // requests appended to the outbound buffer so far
+  int done = 0;  // requests resolved (response seen, or given up)
+
+  std::string out;  // unflushed outbound bytes
+  size_t out_pos = 0;
+  std::deque<PendingRequest> pending;
+
+  // Binary receive state.
+  lsd::BinaryFrameParser parser;
+  // Text receive state: raw lines straight off the socket. Dot-stuffing
+  // guarantees no payload line is ever exactly ".", so the terminator
+  // scan needs no unstuffing.
+  std::string in;
+  size_t scan_pos = 0;
+  bool at_status_line = true;
+  bool cur_err = false;
+
+  size_t errors = 0;
+  size_t retries = 0;
+  std::vector<int64_t> latencies;
+  bool gave_up = false;
+
+  bool finished() const { return gave_up || done >= total; }
+};
+
+// Drives one thread's slice of the sweep's connections through poll().
+class Driver {
+ public:
+  Driver(uint16_t port, const SweepSpec& spec, Conn* conns, size_t count)
+      : port_(port), spec_(spec), conns_(conns), count_(count) {}
+
+  void Run() {
+    for (size_t i = 0; i < count_; ++i) {
+      Conn& c = conns_[i];
+      if (!Establish(c)) {
+        GiveUp(c);
+        continue;
       }
-      latencies[s].reserve(static_cast<size_t>(requests_per_session));
-      enum class Outcome { kOk, kInBandError, kTransport };
-      auto attempt = [&](const char* line) -> Outcome {
-        if (!lsd::WriteAll(fd, std::string(line) + "\n").ok()) {
-          return Outcome::kTransport;
-        }
-        auto response = lsd::ReadResponse(reader.get());
-        if (!response.ok()) return Outcome::kTransport;
-        return response->ok ? Outcome::kOk : Outcome::kInBandError;
-      };
-      for (int i = 0; i < requests_per_session; ++i) {
-        // Offset by session id so sessions are out of phase in the mix.
-        const char* line = kMix[(static_cast<size_t>(i) + s) % kMixSize];
-        auto t0 = Clock::now();
-        Outcome outcome = attempt(line);
-        if (outcome == Outcome::kTransport) {
-          // Dropped connection: reconnect and resend once.
-          ++retries[s];
-          outcome = connect() ? attempt(line) : Outcome::kTransport;
-        }
-        auto t1 = Clock::now();
-        if (outcome != Outcome::kOk) {
-          ++errors[s];
-          if (outcome == Outcome::kTransport && !connect()) break;
+      TopUp(c);
+      if (!Flush(c)) Reconnect(c);
+    }
+    std::vector<struct pollfd> fds;
+    std::vector<Conn*> polled;
+    for (;;) {
+      fds.clear();
+      polled.clear();
+      for (size_t i = 0; i < count_; ++i) {
+        Conn& c = conns_[i];
+        if (c.finished()) {
+          if (c.fd >= 0) {
+            ::close(c.fd);
+            c.fd = -1;
+          }
           continue;
         }
-        latencies[s].push_back(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                .count());
+        struct pollfd p;
+        p.fd = c.fd;
+        p.events = POLLIN;
+        if (c.out_pos < c.out.size()) p.events |= POLLOUT;
+        p.revents = 0;
+        fds.push_back(p);
+        polled.push_back(&c);
       }
-      (void)lsd::WriteAll(fd, "quit\n");
-      ::close(fd);
-    });
+      if (fds.empty()) return;
+      int ready = ::poll(fds.data(), fds.size(), 1000);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        for (Conn* c : polled) GiveUp(*c);
+        return;
+      }
+      for (size_t i = 0; i < fds.size(); ++i) {
+        Conn& c = *polled[i];
+        short ev = fds[i].revents;
+        if (ev == 0) continue;
+        bool alive = true;
+        if ((ev & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          alive = ReadAndConsume(c);
+        }
+        if (alive) {
+          TopUp(c);
+          alive = Flush(c);
+        }
+        if (!alive && !c.finished()) Reconnect(c);
+      }
+    }
   }
-  for (auto& t : clients) t.join();
+
+ private:
+  int EffectiveWindow() const {
+    return spec_.protocol == Protocol::kBinary ? spec_.window : 1;
+  }
+
+  // Connect + blocking text greeting, then switch nonblocking. The
+  // server sends nothing after the greeting until we ask, so a plain
+  // LineReader cannot over-read into request/response traffic.
+  bool Establish(Conn& c) {
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      if (attempt > 0) SleepMs(10L << attempt);
+      int fd = Connect(port_);
+      if (fd < 0) continue;
+      lsd::LineReader reader(fd);
+      auto greeting = lsd::ReadResponse(&reader);
+      if (!greeting.ok() || !greeting->ok) {
+        ::close(fd);
+        continue;
+      }
+      int flags = ::fcntl(fd, F_GETFL, 0);
+      ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+      c.fd = fd;
+      c.out.clear();
+      c.out_pos = 0;
+      c.parser = lsd::BinaryFrameParser();
+      c.in.clear();
+      c.scan_pos = 0;
+      c.at_status_line = true;
+      c.cur_err = false;
+      return true;
+    }
+    return false;
+  }
+
+  void GiveUp(Conn& c) {
+    if (c.fd >= 0) {
+      ::close(c.fd);
+      c.fd = -1;
+    }
+    c.errors += static_cast<size_t>(c.total - c.done);
+    c.done = c.total;
+    c.pending.clear();
+    c.gave_up = true;
+  }
+
+  void AppendRequest(Conn& c, const PendingRequest& req) {
+    const char* line =
+        kMix[(req.ordinal + static_cast<uint64_t>(c.index)) % kMixSize];
+    if (spec_.protocol == Protocol::kBinary) {
+      c.out += lsd::EncodeFrame(lsd::FrameType::kRequest, req.ordinal, line);
+    } else {
+      c.out += line;
+      c.out += '\n';
+    }
+    c.pending.push_back(req);
+  }
+
+  void TopUp(Conn& c) {
+    while (!c.finished() && c.sent < c.total &&
+           c.pending.size() < static_cast<size_t>(EffectiveWindow())) {
+      PendingRequest req;
+      req.ordinal = static_cast<uint64_t>(c.sent++);
+      req.sent_at = Clock::now();
+      AppendRequest(c, req);
+    }
+  }
+
+  bool Flush(Conn& c) {
+    while (c.out_pos < c.out.size()) {
+      ssize_t n = ::send(c.fd, c.out.data() + c.out_pos,
+                         c.out.size() - c.out_pos, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out_pos += static_cast<size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;
+    }
+    c.out.clear();
+    c.out_pos = 0;
+    return true;
+  }
+
+  void Complete(Conn& c, bool is_error) {
+    const PendingRequest req = c.pending.front();
+    c.pending.pop_front();
+    ++c.done;
+    if (is_error) {
+      ++c.errors;
+    } else {
+      c.latencies.push_back(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              Clock::now() - req.sent_at)
+              .count());
+    }
+  }
+
+  bool ConsumeBinary(Conn& c, const char* data, size_t n) {
+    c.parser.Feed(std::string_view(data, n));
+    for (;;) {
+      lsd::BinaryFrame frame;
+      switch (c.parser.Next(&frame)) {
+        case lsd::BinaryFrameParser::Result::kNeedMore:
+          return true;
+        case lsd::BinaryFrameParser::Result::kError:
+          return false;
+        case lsd::BinaryFrameParser::Result::kFrame:
+          break;
+      }
+      // FIFO execution: responses must come back in request order.
+      if (c.pending.empty() ||
+          frame.request_id != c.pending.front().ordinal) {
+        return false;
+      }
+      Complete(c, frame.type != lsd::FrameType::kOk);
+    }
+  }
+
+  bool ConsumeText(Conn& c, const char* data, size_t n) {
+    c.in.append(data, n);
+    size_t nl;
+    while ((nl = c.in.find('\n', c.scan_pos)) != std::string::npos) {
+      size_t len = nl - c.scan_pos;
+      if (len > 0 && c.in[c.scan_pos + len - 1] == '\r') --len;
+      std::string_view line(c.in.data() + c.scan_pos, len);
+      c.scan_pos = nl + 1;
+      if (c.at_status_line) {
+        c.cur_err = line.rfind("ERR", 0) == 0;
+        c.at_status_line = false;
+      } else if (line == ".") {
+        if (c.pending.empty()) return false;
+        Complete(c, c.cur_err);
+        c.at_status_line = true;
+      }
+    }
+    if (c.scan_pos >= c.in.size()) {
+      c.in.clear();
+      c.scan_pos = 0;
+    }
+    return true;
+  }
+
+  bool ReadAndConsume(Conn& c) {
+    char buf[65536];
+    for (;;) {
+      ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        bool consumed = spec_.protocol == Protocol::kBinary
+                            ? ConsumeBinary(c, buf, static_cast<size_t>(n))
+                            : ConsumeText(c, buf, static_cast<size_t>(n));
+        if (!consumed) return false;
+        continue;
+      }
+      if (n == 0) return false;  // EOF
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;
+    }
+  }
+
+  // A dropped connection (e.g. injected write fault) takes the whole
+  // in-flight window with it. Reconnect and resend each outstanding
+  // request once; a request that dies twice is charged as an error,
+  // matching the synchronous clients' retry-once discipline.
+  void Reconnect(Conn& c) {
+    ::close(c.fd);
+    c.fd = -1;
+    std::deque<PendingRequest> resend;
+    for (PendingRequest& req : c.pending) {
+      if (req.resent) {
+        ++c.errors;
+        ++c.done;
+      } else {
+        resend.push_back(req);
+      }
+    }
+    c.pending.clear();
+    if (c.finished()) return;
+    if (!Establish(c)) {
+      GiveUp(c);
+      return;
+    }
+    c.retries += resend.size();
+    for (PendingRequest& req : resend) {
+      req.resent = true;
+      AppendRequest(c, req);
+    }
+    TopUp(c);
+    if (!Flush(c)) Reconnect(c);
+  }
+
+  const uint16_t port_;
+  const SweepSpec spec_;
+  Conn* const conns_;
+  const size_t count_;
+};
+
+SweepResult RunSweep(uint16_t port, const SweepSpec& spec) {
+  std::vector<Conn> conns(static_cast<size_t>(spec.sessions));
+  for (int s = 0; s < spec.sessions; ++s) {
+    conns[static_cast<size_t>(s)].index = s;
+    conns[static_cast<size_t>(s)].total = spec.requests_per_session;
+    conns[static_cast<size_t>(s)].latencies.reserve(
+        static_cast<size_t>(spec.requests_per_session));
+  }
+
+  unsigned hw = std::thread::hardware_concurrency();
+  size_t drivers = std::min<size_t>(std::max(1u, hw), 8);
+  drivers = std::min(drivers, conns.size());
+
+  auto start = Clock::now();
+  std::vector<std::thread> threads;
+  size_t begin = 0;
+  for (size_t d = 0; d < drivers; ++d) {
+    size_t share = conns.size() / drivers + (d < conns.size() % drivers);
+    threads.emplace_back([port, &spec, &conns, begin, share] {
+      Driver(port, spec, conns.data() + begin, share).Run();
+    });
+    begin += share;
+  }
+  for (auto& t : threads) t.join();
   double seconds = std::chrono::duration<double>(Clock::now() - start).count();
 
   SweepResult result;
-  result.sessions = sessions;
+  result.protocol = spec.protocol;
+  result.window = spec.protocol == Protocol::kBinary ? spec.window : 1;
+  result.sessions = spec.sessions;
   result.seconds = seconds;
   std::vector<int64_t> all;
-  for (int s = 0; s < sessions; ++s) {
-    all.insert(all.end(), latencies[s].begin(), latencies[s].end());
-    result.errors += errors[s];
-    result.retries += retries[s];
+  for (Conn& c : conns) {
+    all.insert(all.end(), c.latencies.begin(), c.latencies.end());
+    result.errors += c.errors;
+    result.retries += c.retries;
   }
   result.requests = all.size();
   result.throughput_rps =
@@ -170,13 +476,31 @@ SweepResult RunSweep(uint16_t port, int sessions, int requests_per_session) {
   return result;
 }
 
+// Raise the fd soft limit to the hard limit and report how many
+// sessions fit: each needs a client fd and a server fd in this process,
+// plus slack for the store, epoll, listener, and stdio.
+size_t MaxSessionsForFdLimit() {
+  struct rlimit rl;
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return 256;
+  if (rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    (void)::setrlimit(RLIMIT_NOFILE, &rl);
+    (void)::getrlimit(RLIMIT_NOFILE, &rl);
+  }
+  if (rl.rlim_cur <= 64) return 1;
+  return static_cast<size_t>((rl.rlim_cur - 64) / 2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<int> session_counts = {1, 4, 16, 64};
+  std::vector<int> session_counts = {1, 4, 16, 64, 256, 1024};
+  std::vector<Protocol> protocols = {Protocol::kText, Protocol::kBinary};
   int requests_per_session = 200;
+  int window = 16;
   std::string json_path;
   double fail_writes = 0.0;
+  bool check = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -193,17 +517,59 @@ int main(int argc, char** argv) {
         if (comma == std::string::npos) break;
         pos = comma + 1;
       }
+    } else if (arg == "--protocols" && i + 1 < argc) {
+      protocols.clear();
+      std::string list = argv[++i];
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        std::string name = list.substr(pos, comma - pos);
+        if (name == "text") {
+          protocols.push_back(Protocol::kText);
+        } else if (name == "binary") {
+          protocols.push_back(Protocol::kBinary);
+        } else {
+          std::fprintf(stderr, "unknown protocol: %s\n", name.c_str());
+          return 2;
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
     } else if (arg == "--requests" && i + 1 < argc) {
       requests_per_session = std::atoi(argv[++i]);
+    } else if (arg == "--window" && i + 1 < argc) {
+      window = std::max(1, std::atoi(argv[++i]));
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--check") {
+      check = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--sessions 1,4,16,64] [--requests N] "
-                   "[--json FILE] [--fail-writes P]\n",
+                   "usage: %s [--sessions 1,4,16,64,256,1024] "
+                   "[--requests N] [--protocols text,binary] [--window N] "
+                   "[--json FILE] [--fail-writes P] [--check]\n",
                    argv[0]);
       return 2;
     }
+  }
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const size_t fd_budget = MaxSessionsForFdLimit();
+  std::vector<int> skipped;
+  session_counts.erase(
+      std::remove_if(session_counts.begin(), session_counts.end(),
+                     [&](int s) {
+                       if (static_cast<size_t>(s) > fd_budget) {
+                         skipped.push_back(s);
+                         return true;
+                       }
+                       return false;
+                     }),
+      session_counts.end());
+  if (session_counts.empty()) {
+    std::fprintf(stderr, "fd limit (%zu sessions) rules out every count\n",
+                 fd_budget);
+    return 1;
   }
 
   lsd::SharedStore store;
@@ -231,20 +597,32 @@ int main(int argc, char** argv) {
   }
 
   std::printf("# bench_server: %d requests/session, read-mostly mix "
-              "(1 probe per %zu requests)\n",
-              requests_per_session, kMixSize);
+              "(1 probe per %zu requests), %zu workers\n",
+              requests_per_session, kMixSize, server.worker_count());
+  if (!skipped.empty()) {
+    std::printf("# skipped session counts over the fd budget (%zu):",
+                fd_budget);
+    for (int s : skipped) std::printf(" %d", s);
+    std::printf("\n");
+  }
   if (fail_writes > 0) {
     std::printf("# degraded mode: server.write fails with p=%.4f "
                 "(clients reconnect and resend)\n",
                 fail_writes);
   }
-  std::printf("%10s %10s %12s %10s %10s %8s %8s\n", "sessions", "requests",
-              "thruput_rps", "p50_us", "p99_us", "errors", "retries");
+  std::printf("%8s %7s %9s %10s %12s %10s %10s %8s %8s\n", "protocol",
+              "window", "sessions", "requests", "thruput_rps", "p50_us",
+              "p99_us", "errors", "retries");
 
   std::vector<SweepResult> results;
   // Warm-up: populate the shared plan cache and lattice so the sweep
   // measures steady-state serving, not first-touch materialization.
-  (void)RunSweep(server.port(), 1, static_cast<int>(kMixSize));
+  {
+    SweepSpec warm;
+    warm.sessions = 1;
+    warm.requests_per_session = static_cast<int>(kMixSize);
+    (void)RunSweep(server.port(), warm);
+  }
   if (fail_writes > 0) {
     // Armed after warm-up so cache population is never disrupted.
     char spec[64];
@@ -262,36 +640,49 @@ int main(int argc, char** argv) {
                  "injects nothing\n");
 #endif
   }
-  for (int sessions : session_counts) {
-    SweepResult r = RunSweep(server.port(), sessions, requests_per_session);
-    results.push_back(r);
-    std::printf("%10d %10zu %12.0f %10.1f %10.1f %8zu %8zu\n", r.sessions,
-                r.requests, r.throughput_rps, r.p50_us, r.p99_us, r.errors,
-                r.retries);
+  for (Protocol protocol : protocols) {
+    for (int sessions : session_counts) {
+      SweepSpec spec;
+      spec.protocol = protocol;
+      spec.window = window;
+      spec.sessions = sessions;
+      spec.requests_per_session = requests_per_session;
+      SweepResult r = RunSweep(server.port(), spec);
+      results.push_back(r);
+      std::printf("%8s %7d %9d %10zu %12.0f %10.1f %10.1f %8zu %8zu\n",
+                  ProtocolName(r.protocol), r.window, r.sessions, r.requests,
+                  r.throughput_rps, r.p50_us, r.p99_us, r.errors, r.retries);
+      std::fflush(stdout);
+    }
   }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     out << "{\n  \"comment\": \"bench_server read-mostly browsing mix "
-           "over loopback TCP; regenerate with tools/bench_json.sh. "
-           "Aggregate throughput scales with sessions only up to the "
-           "host's core count; on a single-core host expect flat "
-           "throughput with proportionally growing p50.\",\n"
+           "over loopback TCP in both wire protocols; regenerate with "
+           "tools/bench_json.sh. Binary rows pipeline up to `window` "
+           "requests per connection, so their p50 measures queued time "
+           "in the window, not a single round trip. Aggregate "
+           "throughput scales with sessions only up to the host's core "
+           "count; on a single-core host expect flat throughput with "
+           "proportionally growing p50.\",\n"
            "  \"hardware_concurrency\": "
         << std::thread::hardware_concurrency()
-        << ",\n  \"requests_per_session\": "
-        << requests_per_session << ",\n  \"fail_writes\": " << fail_writes
-        << ",\n  \"sweeps\": [\n";
+        << ",\n  \"requests_per_session\": " << requests_per_session
+        << ",\n  \"window\": " << window
+        << ",\n  \"fail_writes\": " << fail_writes << ",\n  \"sweeps\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
       const SweepResult& r = results[i];
-      char buf[256];
+      char buf[320];
       std::snprintf(buf, sizeof(buf),
-                    "    {\"sessions\": %d, \"requests\": %zu, "
+                    "    {\"protocol\": \"%s\", \"window\": %d, "
+                    "\"sessions\": %d, \"requests\": %zu, "
                     "\"throughput_rps\": %.0f, \"p50_us\": %.1f, "
                     "\"p99_us\": %.1f, \"errors\": %zu, "
                     "\"retries\": %zu}%s\n",
-                    r.sessions, r.requests, r.throughput_rps, r.p50_us,
-                    r.p99_us, r.errors, r.retries,
+                    ProtocolName(r.protocol), r.window, r.sessions,
+                    r.requests, r.throughput_rps, r.p50_us, r.p99_us,
+                    r.errors, r.retries,
                     i + 1 < results.size() ? "," : "");
       out << buf;
     }
@@ -300,5 +691,20 @@ int main(int argc, char** argv) {
   }
 
   server.Stop();
+
+  if (check) {
+    size_t errors = 0, retries = 0;
+    for (const SweepResult& r : results) {
+      errors += r.errors;
+      retries += r.retries;
+    }
+    if (errors > 0 || (fail_writes == 0 && retries > 0)) {
+      std::fprintf(stderr,
+                   "--check failed: %zu errors, %zu retries across the "
+                   "sweep\n",
+                   errors, retries);
+      return 1;
+    }
+  }
   return 0;
 }

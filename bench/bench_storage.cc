@@ -61,14 +61,26 @@ void BM_FrozenIndexBuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * facts.size());
 }
 
-void RunScan(benchmark::State& state, bool frozen_mode) {
+enum class ScanVariant {
+  kDynamic,       // the set-backed TripleIndex
+  kFrozen,        // FrozenIndex, production (auto) strategy
+  kFrozenGather,  // FrozenIndex, forced RTS-permutation gather
+  kFrozenDirect,  // FrozenIndex, forced canonical-column filter
+};
+
+void RunScan(benchmark::State& state, ScanVariant variant) {
   lsd::FactStore* store = BuildStore(static_cast<size_t>(state.range(0)));
   lsd::EntityId rel = *store->entities().Lookup("R0");
   lsd::Pattern p(lsd::kAnyEntity, rel, lsd::kAnyEntity);
   std::unique_ptr<lsd::FrozenIndex> frozen;
-  if (frozen_mode) {
+  if (variant != ScanVariant::kDynamic) {
     frozen = std::make_unique<lsd::FrozenIndex>(
         lsd::FrozenIndex::FromTripleIndex(store->base()));
+    if (variant == ScanVariant::kFrozenGather) {
+      frozen->set_rel_scan_mode(lsd::FrozenIndex::RelScanMode::kGather);
+    } else if (variant == ScanVariant::kFrozenDirect) {
+      frozen->set_rel_scan_mode(lsd::FrozenIndex::RelScanMode::kDirect);
+    }
   }
   size_t n = 0;
   for (auto _ : state) {
@@ -77,18 +89,30 @@ void RunScan(benchmark::State& state, bool frozen_mode) {
       ++n;
       return true;
     };
-    if (frozen_mode) {
-      frozen->ForEach(p, count);
-    } else {
+    if (variant == ScanVariant::kDynamic) {
       store->base().ForEach(p, count);
+    } else {
+      frozen->ForEach(p, count);
     }
     benchmark::DoNotOptimize(n);
   }
   state.counters["matches"] = static_cast<double>(n);
 }
 
-void BM_DynamicIndexScan(benchmark::State& state) { RunScan(state, false); }
-void BM_FrozenIndexScan(benchmark::State& state) { RunScan(state, true); }
+void BM_DynamicIndexScan(benchmark::State& state) {
+  RunScan(state, ScanVariant::kDynamic);
+}
+void BM_FrozenIndexScan(benchmark::State& state) {
+  RunScan(state, ScanVariant::kFrozen);
+}
+// The two forced strategies, so regressions in the auto cutover show up
+// as BM_FrozenIndexScan drifting away from the better forced number.
+void BM_FrozenIndexScanGather(benchmark::State& state) {
+  RunScan(state, ScanVariant::kFrozenGather);
+}
+void BM_FrozenIndexScanDirect(benchmark::State& state) {
+  RunScan(state, ScanVariant::kFrozenDirect);
+}
 
 void BM_SnapshotSave(benchmark::State& state) {
   lsd::FactStore* store = BuildStore(static_cast<size_t>(state.range(0)));
@@ -167,6 +191,14 @@ BENCHMARK(BM_FrozenIndexBuild)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DynamicIndexScan)->Arg(10000)->Arg(100000)->Arg(1000000);
 BENCHMARK(BM_FrozenIndexScan)->Arg(10000)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_FrozenIndexScanGather)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000);
+BENCHMARK(BM_FrozenIndexScanDirect)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000);
 BENCHMARK(BM_SnapshotSave)
     ->Arg(10000)
     ->Arg(100000)

@@ -1,4 +1,8 @@
-// The lsd wire protocol: line-based, text, human-debuggable with nc.
+// The lsd wire protocols. Two request framings share one connection
+// port; the server sniffs the first byte a client sends after the
+// greeting and locks the connection into that mode.
+//
+// TEXT (default, human-debuggable with nc):
 //
 // Request:  one line, the lsd_shell command grammar (see commands.cc).
 // Response: a status line, payload lines, and a terminator line:
@@ -11,10 +15,36 @@
 // Payload lines that start with '.' are dot-stuffed ("." -> "..", SMTP
 // style) so the terminator stays unambiguous; ReadResponse unstuffs.
 // The server sends one greeting frame on connect (OK + banner, or
-// ERR server busy when admission control rejects the connection).
+// ERR server busy when admission control rejects the connection). The
+// greeting is always a text frame — binary clients read it with the
+// text reader before sending their first binary frame.
+//
+// BINARY (length-prefixed, pipelined):
+//
+//   offset  size  field
+//   0       1     magic0 = 0xB5   (non-ASCII: never begins a text line)
+//   1       1     magic1 = 'L'
+//   2       1     magic2 = 'S'
+//   3       1     version = 1
+//   4       1     type: 0 request, 1 OK response, 2 ERR response
+//   5       3     reserved, must be 0
+//   8       8     request id (little-endian u64, chosen by the client)
+//   16      4     payload length (little-endian u32, <= 16 MiB)
+//   20      n     payload (request: command line; response: output or
+//                 error message — raw bytes, no dot-stuffing)
+//
+// Clients may pipeline: any number of request frames can be in flight
+// on one connection, and each response carries the request id it
+// answers, so responses correlate even if they complete out of order.
+// (The server currently executes one connection's requests in FIFO
+// order — per-session state demands serialization — but clients must
+// match by id, not position.) A malformed frame (bad magic, unknown
+// version, nonzero reserved bytes, oversized length) is a protocol
+// error: the server closes the connection.
 #ifndef LSD_SERVER_PROTOCOL_H_
 #define LSD_SERVER_PROTOCOL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -61,6 +91,64 @@ struct WireResponse {
 
 // Reads one complete frame. IoError if the connection dies mid-frame.
 StatusOr<WireResponse> ReadResponse(LineReader* reader);
+
+// ---- Binary framing ------------------------------------------------------
+
+inline constexpr uint8_t kBinaryMagic0 = 0xB5;  // the mode-sniff byte
+inline constexpr uint8_t kBinaryMagic1 = 'L';
+inline constexpr uint8_t kBinaryMagic2 = 'S';
+inline constexpr uint8_t kBinaryVersion = 1;
+inline constexpr size_t kBinaryHeaderSize = 20;
+// Oversized-length frames are protocol errors, not allocation requests.
+inline constexpr uint32_t kMaxBinaryPayload = 16u << 20;
+
+enum class FrameType : uint8_t {
+  kRequest = 0,
+  kOk = 1,
+  kErr = 2,
+};
+
+struct BinaryFrame {
+  FrameType type = FrameType::kRequest;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+// Renders one wire-ready frame (header + payload).
+std::string EncodeFrame(FrameType type, uint64_t request_id,
+                        std::string_view payload);
+
+// Incremental decoder: feed arbitrary byte chunks (dribbled, coalesced,
+// many frames at once), pull complete frames out. Once an error is
+// reported the parser stays poisoned — the connection is unrecoverable
+// because framing has been lost.
+class BinaryFrameParser {
+ public:
+  enum class Result {
+    kFrame,     // *out filled with the next complete frame
+    kNeedMore,  // no complete frame buffered yet
+    kError,     // protocol violation; see error()
+  };
+
+  // Appends raw bytes to the internal buffer.
+  void Feed(std::string_view data);
+
+  Result Next(BinaryFrame* out);
+
+  const std::string& error() const { return error_; }
+
+  // Bytes buffered but not yet consumed by complete frames.
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix, compacted lazily
+  std::string error_;
+};
+
+// Blocking convenience for clients and tests: reads exactly one frame
+// from `fd` (EINTR-retrying). IoError on EOF or a malformed frame.
+StatusOr<BinaryFrame> ReadFrame(int fd, BinaryFrameParser* parser);
 
 }  // namespace lsd
 

@@ -1,22 +1,41 @@
-// The TCP front end: thread-per-connection serving of the lsd wire
-// protocol over a SharedStore. Each accepted connection owns one
-// ServerSession; admission is bounded (connections beyond max_sessions
-// are greeted with "ERR server busy" and closed — backpressure, not
-// queueing), socket IO can carry an idle timeout, and each request has
-// a soft execution deadline after which the connection is dropped
-// (runaway-query protection: the reply is still correct, but a client
-// that exceeds the budget loses its session).
+// The TCP front end: an epoll reactor plus a small worker pool serving
+// the lsd wire protocols over a SharedStore.
+//
+// One reactor thread owns every socket: it accepts nonblockingly,
+// reads request bytes, parses them (text lines or binary frames — the
+// first byte a connection sends picks its mode), and queues parsed
+// requests onto a bounded MPMC run queue drained by `worker_threads`
+// workers. Workers execute requests against the connection's session —
+// one connection is owned by at most one worker at a time, so session
+// state needs no locking — and append responses to the connection's
+// outbound buffer; the reactor flushes those buffers, re-arming
+// EPOLLOUT while a partial write is pending. Total threads are
+// O(workers), independent of the session count, which is what lets one
+// process hold thousands of mostly-idle browsing sessions.
+//
+// Backpressure is flow control, not errors: when a connection exceeds
+// its in-flight request cap, or the global pending queue is full, the
+// reactor simply stops reading from the offending sockets (EPOLLIN
+// de-armed) until requests drain — the kernel's TCP window then pushes
+// back on the client. Admission (`max_sessions`) still bounds live
+// sessions: surplus connections are greeted with "ERR server busy" and
+// closed, which is what lsd_client's backoff-and-retry keys on.
 #ifndef LSD_SERVER_SERVER_H_
 #define LSD_SERVER_SERVER_H_
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "server/protocol.h"
 #include "server/session.h"
 #include "server/shared_store.h"
 #include "util/status.h"
@@ -27,21 +46,37 @@ struct ServerOptions {
   // 0 picks an ephemeral port; read it back with port() after Start().
   uint16_t port = 0;
   // Admission bound: concurrent sessions beyond this are rejected with
-  // "ERR server busy" at connect time.
-  size_t max_sessions = 64;
-  int listen_backlog = 64;
+  // "ERR server busy" at connect time. The reactor makes sessions cost
+  // a few kilobytes instead of an OS thread, so the default is sized
+  // for thousands of browsers, not dozens.
+  size_t max_sessions = 4096;
+  int listen_backlog = 1024;
   // Soft per-request execution deadline; 0 disables. A request that
-  // overruns still gets its (late) reply, then the connection closes.
+  // overruns still gets its (late) error reply, then the connection
+  // closes and any pipelined requests behind it are dropped.
   std::chrono::milliseconds request_timeout{10'000};
-  // SO_RCVTIMEO/SO_SNDTIMEO on client sockets; 0 disables. Bounds how
-  // long an idle or stalled client can pin a connection thread.
+  // Idle receive budget: a connection that sends no bytes for
+  // io_timeout * (io_retries + 1) while nothing of its is queued or
+  // executing is declared dead and closed. 0 disables. (The two-knob
+  // shape is kept from the blocking front end: io_timeout is the poll
+  // granularity, io_retries the zero-progress tolerance; any received
+  // byte resets the budget.)
   std::chrono::milliseconds io_timeout{0};
-  // How many consecutive zero-progress receive timeouts to tolerate
-  // before declaring the client gone (so io_timeout becomes a poll
-  // granularity, not a hard per-line deadline; any received byte
-  // resets the count). The effective idle budget per request line is
-  // io_timeout * (io_retries + 1).
   int io_retries = 4;
+  // Worker pool size; 0 means hardware_concurrency (min 1).
+  size_t worker_threads = 0;
+  // Bounded global pending-request queue: requests parsed but not yet
+  // executed. When full, the reactor pauses reading instead of
+  // erroring established sessions.
+  size_t max_queued_requests = 1024;
+  // Per-connection in-flight cap: parsed-but-unanswered requests one
+  // connection may have (its effective pipeline window server-side).
+  size_t max_inflight_per_connection = 64;
+  // A text request line longer than this is a protocol error.
+  size_t max_text_line_bytes = 1 << 20;
+  // How long Stop() lets in-flight requests drain and responses flush
+  // before closing connections that are still busy.
+  std::chrono::milliseconds shutdown_drain{5'000};
 };
 
 class LsdServer {
@@ -52,10 +87,11 @@ class LsdServer {
   LsdServer(const LsdServer&) = delete;
   LsdServer& operator=(const LsdServer&) = delete;
 
-  // Binds, listens, and starts the acceptor thread.
+  // Binds, listens, and starts the reactor and worker threads.
   Status Start();
-  // Stops accepting, unblocks and joins every connection thread. Safe
-  // to call twice; the destructor calls it.
+  // Stops accepting, drains in-flight requests (bounded by
+  // shutdown_drain), closes every connection, and joins all threads.
+  // Safe to call twice; the destructor calls it.
   void Stop();
 
   // The bound port (after Start()).
@@ -64,31 +100,110 @@ class LsdServer {
   const SessionRegistry& registry() const { return registry_; }
   uint64_t requests_served() const { return requests_served_.load(); }
   uint64_t rejected_connections() const { return rejected_.load(); }
+  size_t worker_count() const { return workers_.size(); }
+  // Connections currently paused for backpressure (observability).
+  uint64_t reads_paused() const { return reads_paused_.load(); }
 
  private:
-  void AcceptLoop();
-  void HandleConnection(int fd, uint64_t conn_id);
-  void ReapFinished();
+  // One parsed request waiting for (or undergoing) execution.
+  struct PendingRequest {
+    uint64_t id = 0;  // binary request id; unused in text mode
+    bool binary = false;
+    std::string command;
+  };
+
+  // All state of one client connection. The reactor owns the fd and
+  // the parse-side fields; `mu` guards everything workers touch.
+  struct Connection {
+    int fd = -1;
+    std::shared_ptr<ServerSession> session;  // null: busy-rejected
+
+    enum class Mode { kUnknown, kText, kBinary };
+    Mode mode = Mode::kUnknown;
+    std::string in_buf;         // text-mode partial line buffer
+    BinaryFrameParser parser;   // binary-mode incremental decoder
+    std::chrono::steady_clock::time_point last_read;
+    uint32_t interest = 0;      // currently registered epoll events
+    bool paused = false;        // EPOLLIN de-armed for backpressure
+
+    std::mutex mu;
+    std::deque<PendingRequest> pending;
+    bool scheduled = false;     // queued for / owned by a worker
+    size_t inflight = 0;        // pending + currently executing
+    std::string out;            // response bytes awaiting write
+    size_t out_pos = 0;
+    bool close_after_out = false;  // hang up once `out` drains
+    bool dead = false;          // fd closed; workers discard results
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  void ReactorLoop();
+  void WorkerLoop();
+
+  // Reactor-side helpers (reactor thread only unless noted).
+  void AcceptNew();
+  void HandleReadable(const ConnPtr& conn);
+  void ParseRequests(const ConnPtr& conn);
+  bool EnqueueRequest(const ConnPtr& conn, PendingRequest request);
+  void FlushOut(const ConnPtr& conn);
+  void FlushFromWorker(const ConnPtr& conn);
+  void UpdateInterest(const ConnPtr& conn, bool readable, bool writable);
+  void CloseConnection(const ConnPtr& conn);
+  void DrainWakeList();
+  void ResumePaused();
+  void IdleSweep();
+  bool Drained();
+
+  // Worker-side helpers.
+  void ExecuteOne(const ConnPtr& conn, PendingRequest request);
+  void QueueResponse(const ConnPtr& conn, const PendingRequest& request,
+                     const Status& status, std::string_view payload,
+                     bool hangup);
+  void NotifyReactor(const ConnPtr& conn);
 
   SharedStore* store_;
   ServerOptions options_;
   SessionRegistry registry_;
 
-  // Atomic because Stop() clears it from another thread while the
-  // acceptor is blocked in accept() on it.
-  std::atomic<int> listen_fd_{-1};
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: workers and Stop() wake the reactor
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
-  std::thread acceptor_;
+  std::atomic<bool> shutting_down_{false};
 
-  std::mutex conn_mu_;
-  std::unordered_map<uint64_t, std::thread> connections_;
-  std::unordered_map<uint64_t, int> open_fds_;
-  std::vector<uint64_t> finished_;
-  uint64_t next_conn_id_ = 1;
+  std::thread reactor_;
+  std::vector<std::thread> workers_;
+
+  // Reactor-owned connection table, keyed by fd.
+  std::unordered_map<int, ConnPtr> conns_;
+  std::unordered_set<int> paused_fds_;
+
+  // The bounded MPMC run queue: connections with pending requests,
+  // each present at most once (Connection::scheduled).
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<ConnPtr> ready_;
+  bool stop_workers_ = false;
+
+  // Connections whose output/accounting changed on a worker thread and
+  // need reactor attention (flush, close, un-pause).
+  std::mutex wake_mu_;
+  std::vector<ConnPtr> wake_list_;
+
+  // Requests admitted (parsed into a pending queue) but not yet popped
+  // by a worker — the global backpressure gauge.
+  std::atomic<size_t> queued_requests_{0};
+
+  // Mirror of paused_fds_.size() (reactor-owned set), readable from
+  // workers: a batch-end flush must wake the reactor whenever any
+  // connection sits paused, since finishing requests frees the budget
+  // that lets ResumePaused re-arm those reads.
+  std::atomic<size_t> paused_count_{0};
 
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> reads_paused_{0};
 };
 
 }  // namespace lsd

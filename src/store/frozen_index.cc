@@ -80,6 +80,14 @@ std::vector<uint32_t> BuildOffsets(size_t n, const IdOf& id_of) {
   return offsets;
 }
 
+// A whole-relationship scan goes direct (stream the canonical columns,
+// filter on rel_) once the slice holds at least 1/kDirectRelScanDensity
+// of all rows; below that the permutation gather touches fewer rows
+// than the filter would read. Tuned on the 1M-fact Zipf graph, where
+// the ~3.5%-dense slices scan ~2x faster direct (see BM_FrozenIndexScan
+// vs BM_FrozenIndexScanGather in bench_storage).
+constexpr uint64_t kDirectRelScanDensity = 64;
+
 }  // namespace
 
 void FrozenIndex::BuildFromSorted(std::vector<Fact> facts) {
@@ -375,8 +383,28 @@ bool FrozenIndex::ForEach(const Pattern& p, const FactVisitor& visit) const {
       }
       return true;
     }
-    // (?, r, ?): sources reset at each target group; the cursor re-seeks
-    // backward by binary search when that happens.
+    // (?, r, ?): two strategies. Gathering through the RTS permutation
+    // slice touches (khi - klo) rows in random order and re-seeks the
+    // source cursor at every target-group reset — for a dense
+    // relationship that loses to streaming the canonical columns and
+    // filtering, which reads sequentially and decodes sources for free
+    // from the CSR walk. The gather stays for sparse relationships,
+    // where the direct scan's O(n) pass would dwarf the slice.
+    const uint32_t slice = khi - klo;
+    const bool direct =
+        rel_scan_mode_ == RelScanMode::kDirect ||
+        (rel_scan_mode_ == RelScanMode::kAuto &&
+         static_cast<uint64_t>(slice) * kDirectRelScanDensity >= size());
+    if (direct) {
+      for (EntityId s = 0; s + 1 < src_offsets_.size(); ++s) {
+        for (uint32_t row = src_offsets_[s]; row < src_offsets_[s + 1];
+             ++row) {
+          if (rel_[row] != p.relationship) continue;
+          if (!visit(Fact(s, p.relationship, tgt_[row]))) return false;
+        }
+      }
+      return true;
+    }
     SourceCursor cursor(src_offsets_);
     for (uint32_t k = klo; k < khi; ++k) {
       const uint32_t row = rts_perm_[k];

@@ -132,6 +132,16 @@ class FrozenIndex : public FactSource {
   // All facts in SRT order, reconstructed from the columns.
   std::vector<Fact> Materialize() const;
 
+  // Strategy for whole-relationship scans, (?, r, ?). kAuto picks per
+  // query: dense relationships stream the canonical columns directly
+  // (sequential reads, sources decoded for free from the CSR walk),
+  // sparse ones gather through the RTS permutation slice. The forced
+  // modes exist for benchmarks and tests; note the two paths emit in
+  // different (both valid) orders — direct is (source, target) within
+  // the relationship, gather is (target, source).
+  enum class RelScanMode { kAuto, kDirect, kGather };
+  void set_rel_scan_mode(RelScanMode mode) { rel_scan_mode_ = mode; }
+
   Memory MemoryUsage() const;
 
   size_t size() const { return rel_.size(); }
@@ -160,6 +170,8 @@ class FrozenIndex : public FactSource {
   size_t distinct_sources_ = 0;
   size_t distinct_rels_ = 0;
   size_t distinct_targets_ = 0;
+
+  RelScanMode rel_scan_mode_ = RelScanMode::kAuto;
 };
 
 }  // namespace lsd

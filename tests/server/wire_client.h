@@ -1,0 +1,117 @@
+// Test-only blocking clients for the two lsd wire protocols. The text
+// client mirrors the one in server_test.cc; the binary client reads the
+// (always-text) greeting first, then switches the connection into
+// binary mode with its first request frame.
+#ifndef LSD_TESTS_SERVER_WIRE_CLIENT_H_
+#define LSD_TESTS_SERVER_WIRE_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "server/protocol.h"
+
+namespace lsd {
+namespace testing_wire {
+
+inline int ConnectLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Text-protocol client: one request line, one framed response.
+class TextClient {
+ public:
+  explicit TextClient(uint16_t port) : fd_(ConnectLoopback(port)) {
+    if (fd_ >= 0) reader_ = std::make_unique<LineReader>(fd_);
+  }
+  ~TextClient() { Close(); }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  StatusOr<WireResponse> Greeting() { return ReadResponse(reader_.get()); }
+  StatusOr<WireResponse> Read() { return ReadResponse(reader_.get()); }
+
+  StatusOr<WireResponse> Send(const std::string& line) {
+    LSD_RETURN_IF_ERROR(WriteAll(fd_, line + "\n"));
+    return ReadResponse(reader_.get());
+  }
+
+ private:
+  int fd_ = -1;
+  std::unique_ptr<LineReader> reader_;
+};
+
+// Binary-protocol client with explicit request ids, so tests can
+// pipeline any number of requests and correlate the responses.
+class BinaryClient {
+ public:
+  explicit BinaryClient(uint16_t port) : fd_(ConnectLoopback(port)) {}
+  ~BinaryClient() { Close(); }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // The greeting is a text frame even for binary clients.
+  StatusOr<WireResponse> Greeting() {
+    LineReader reader(fd_);
+    return ReadResponse(&reader);
+  }
+
+  Status SendRequest(uint64_t id, std::string_view command) {
+    return WriteAll(fd_, EncodeFrame(FrameType::kRequest, id, command));
+  }
+
+  StatusOr<BinaryFrame> ReadReply() { return ReadFrame(fd_, &parser_); }
+
+  // Half-close: no more requests, but replies can still be read.
+  void FinishWriting() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+  }
+
+  // Convenience: one request, one correlated reply.
+  StatusOr<BinaryFrame> Call(uint64_t id, std::string_view command) {
+    LSD_RETURN_IF_ERROR(SendRequest(id, command));
+    return ReadReply();
+  }
+
+ private:
+  int fd_ = -1;
+  BinaryFrameParser parser_;
+};
+
+}  // namespace testing_wire
+}  // namespace lsd
+
+#endif  // LSD_TESTS_SERVER_WIRE_CLIENT_H_

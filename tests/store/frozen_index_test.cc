@@ -63,6 +63,50 @@ TEST_P(FrozenIndexPatternTest, AgreesWithDynamicIndex) {
 INSTANTIATE_TEST_SUITE_P(AllBindingPatterns, FrozenIndexPatternTest,
                          ::testing::Range(0, 8));
 
+// The two (?, r, ?) scan strategies (canonical-column filter vs RTS
+// permutation gather) must produce the same fact set; only their
+// emission order may differ.
+TEST(FrozenIndexTest, RelScanModesAgree) {
+  Rng rng(11);
+  std::vector<Fact> facts;
+  for (int i = 0; i < 600; ++i) {
+    facts.push_back(Fact(static_cast<EntityId>(rng.Uniform(40)),
+                         static_cast<EntityId>(rng.Uniform(6)),
+                         static_cast<EntityId>(rng.Uniform(40))));
+  }
+  FrozenIndex direct(facts);
+  FrozenIndex gather(facts);
+  direct.set_rel_scan_mode(FrozenIndex::RelScanMode::kDirect);
+  gather.set_rel_scan_mode(FrozenIndex::RelScanMode::kGather);
+  auto by_key = [](const Fact& a, const Fact& b) {
+    return std::tuple(a.source, a.relationship, a.target) <
+           std::tuple(b.source, b.relationship, b.target);
+  };
+  for (EntityId r = 0; r < 6; ++r) {
+    Pattern p(kAnyEntity, r, kAnyEntity);
+    std::vector<Fact> from_direct = direct.Match(p);
+    std::vector<Fact> from_gather = gather.Match(p);
+    EXPECT_EQ(from_direct.size(), direct.CountMatches(p));
+    std::sort(from_direct.begin(), from_direct.end(), by_key);
+    std::sort(from_gather.begin(), from_gather.end(), by_key);
+    EXPECT_EQ(from_direct, from_gather) << "relationship " << r;
+  }
+}
+
+TEST(FrozenIndexTest, RelScanDirectPathStopsEarly) {
+  std::vector<Fact> facts;
+  for (EntityId i = 0; i < 10; ++i) facts.push_back(Fact(i, 2, i));
+  FrozenIndex idx(std::move(facts));
+  idx.set_rel_scan_mode(FrozenIndex::RelScanMode::kDirect);
+  int seen = 0;
+  bool completed =
+      idx.ForEach(Pattern(kAnyEntity, 2, kAnyEntity), [&](const Fact&) {
+        return ++seen < 3;
+      });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(seen, 3);
+}
+
 TEST(FrozenIndexTest, EarlyStop) {
   std::vector<Fact> facts;
   for (EntityId i = 0; i < 10; ++i) facts.push_back(Fact(1, 2, i));

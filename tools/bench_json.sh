@@ -6,7 +6,9 @@
 #                          planner, merge-join ablation, probing waves),
 #                          combined into one object keyed by suite name.
 #   BENCH_server.json      bench_server (serving-layer throughput and
-#                          latency percentiles at 1/4/16/64 sessions).
+#                          latency percentiles from 1 to 4096+ sessions
+#                          in both the text and the pipelined binary
+#                          protocol).
 #   BENCH_recovery.json    bench_recovery (cold Open() recovery time vs
 #                          WAL size, with and without checkpoints).
 #
@@ -88,13 +90,17 @@ out="$repo_root/BENCH_query.json"
 echo "wrote $out"
 
 # BENCH_server.json: the serving-layer load generator (throughput and
-# p50/p99 latency at 1/4/16/64 concurrent sessions). Not a
+# p50/p99 latency as concurrent sessions scale), swept in both wire
+# protocols: text (synchronous) and binary (pipelined, 16-deep window).
+# Session counts past the process fd budget — e.g. 10000 under a modest
+# RLIMIT_NOFILE — are skipped with a note, not failed. Not a
 # google-benchmark suite, so it writes its JSON directly; it is built
 # by the same Release tree, which is the gate that matters.
 server_bench="$build_dir/bench/bench_server"
 require "$server_bench"
 out="$repo_root/BENCH_server.json"
-"$server_bench" --sessions 1,4,16,64 --json "$out"
+"$server_bench" --sessions 1,4,16,64,256,1024,4096,10000 --requests 100 \
+  --protocols text,binary --window 16 --json "$out"
 echo "wrote $out"
 
 # BENCH_recovery.json: recovery time vs log size, checkpoints off/on.

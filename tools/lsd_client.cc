@@ -1,10 +1,19 @@
 // lsd_client — interactive (or piped) client for lsd_serve.
 //
 //   lsd_client [--port N] [--host A.B.C.D] [--max-attempts N]
+//              [--binary] [--window N]
 //
 // Reads command lines from stdin, sends each to the server, and prints
 // the response payload (or "error: ..." on ERR). The same grammar as
 // lsd_shell, plus the server verbs: hypo, session, ping, stats.
+//
+// --binary switches to the length-prefixed binary framing after the
+// text greeting; --window N (implies --binary) pipelines up to N
+// requests before waiting for replies, so piped scripts amortize
+// round trips. Responses print in request order — the server executes
+// one connection's requests FIFO and tags each reply with its request
+// id, which the client checks. Interactive (tty) use keeps window 1 so
+// the prompt stays in step.
 //
 // Connection setup is retried with exponential backoff plus jitter:
 // both a refused/failed connect and an "ERR server busy" admission
@@ -20,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <iostream>
 #include <random>
 #include <string>
@@ -80,6 +90,8 @@ int main(int argc, char** argv) {
   const char* host = "127.0.0.1";
   uint16_t port = 7420;
   int max_attempts = 5;
+  bool binary = false;
+  size_t window = 1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
@@ -89,10 +101,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-attempts" && i + 1 < argc) {
       max_attempts = std::atoi(argv[++i]);
       if (max_attempts < 1) max_attempts = 1;
+    } else if (arg == "--binary") {
+      binary = true;
+    } else if (arg == "--window" && i + 1 < argc) {
+      long w = std::atol(argv[++i]);
+      window = w < 1 ? 1 : static_cast<size_t>(w);
+      binary = true;  // pipelining needs request ids
     } else {
       std::fprintf(stderr,
                    "usage: %s [--host A.B.C.D] [--port N] "
-                   "[--max-attempts N]\n",
+                   "[--max-attempts N] [--binary] [--window N]\n",
                    argv[0]);
       return 2;
     }
@@ -132,6 +150,64 @@ int main(int argc, char** argv) {
   }
 
   bool tty = ::isatty(STDIN_FILENO) != 0;
+  if (tty) window = 1;  // keep the prompt in step with replies
+
+  if (binary) {
+    // Pipelined binary mode: keep up to `window` requests in flight,
+    // print replies in request order (the server answers FIFO).
+    lsd::BinaryFrameParser parser;
+    uint64_t next_id = 1;
+    std::deque<uint64_t> inflight;
+    auto drain_one = [&]() -> bool {
+      auto reply = lsd::ReadFrame(fd, &parser);
+      if (!reply.ok()) {
+        std::fprintf(stderr, "recv: %s\n",
+                     reply.status().ToString().c_str());
+        return false;
+      }
+      if (inflight.empty() || reply->request_id != inflight.front()) {
+        std::fprintf(stderr, "recv: response id %llu out of order\n",
+                     static_cast<unsigned long long>(reply->request_id));
+        return false;
+      }
+      inflight.pop_front();
+      if (reply->type == lsd::FrameType::kOk) {
+        std::printf("%s", reply->payload.c_str());
+      } else {
+        // ERR payloads carry the one-line error message.
+        std::string msg = reply->payload;
+        while (!msg.empty() && msg.back() == '\n') msg.pop_back();
+        std::printf("error: %s\n", msg.c_str());
+      }
+      std::fflush(stdout);
+      return true;
+    };
+    std::string line;
+    bool quitting = false;
+    while ((tty && (std::printf("lsd> "), std::fflush(stdout), true),
+            true) &&
+           std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      lsd::Status sent = lsd::WriteAll(
+          fd, lsd::EncodeFrame(lsd::FrameType::kRequest, next_id, line));
+      if (!sent.ok()) {
+        std::fprintf(stderr, "send: %s\n", sent.ToString().c_str());
+        return 1;
+      }
+      inflight.push_back(next_id++);
+      quitting = line == "quit" || line == "exit";
+      while (inflight.size() >= (quitting ? 1 : window)) {
+        if (!drain_one()) return 1;
+      }
+      if (quitting) break;
+    }
+    while (!inflight.empty()) {
+      if (!drain_one()) return 1;
+    }
+    ::close(fd);
+    return 0;
+  }
+
   lsd::LineReader reader(fd);
   std::string line;
   while ((tty && (std::printf("lsd> "), std::fflush(stdout), true), true) &&
