@@ -20,11 +20,23 @@
 // requests per second against the shared store as sessions scale, which
 // needs real sockets and a latency histogram.
 //
+// Write mix: --write-pct P replaces P% of each session's mix with
+// unique `assert` commands (every fact is fresh, so no commit is a
+// no-op). With --sync fsync the store runs durable against a scratch
+// directory and every commit group costs one real WAL fsync — the
+// sweep then measures how group commit amortizes that fsync across
+// concurrent writer sessions (acked-writes/sec, group-size stats).
+// Writer concurrency is bounded by the server worker pool, so write
+// sweeps raise worker_threads to the largest session count instead of
+// defaulting to hardware_concurrency.
+//
 //   bench_server [--sessions 1,4,16,64,256,1024] [--requests N]
 //                [--protocols text,binary] [--window N] [--json FILE]
+//                [--write-pct P] [--sync fsync|none]
 //                [--fail-writes P] [--check]
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -39,6 +51,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <fstream>
@@ -108,6 +121,8 @@ struct SweepSpec {
   int window = 1;  // in-flight requests per connection (binary only)
   int sessions = 1;
   int requests_per_session = 200;
+  int write_pct = 0;  // % of the mix replaced by unique asserts
+  int tag = 0;        // uniquifies write facts across sweeps
 };
 
 struct SweepResult {
@@ -121,6 +136,14 @@ struct SweepResult {
   double throughput_rps = 0;
   double p50_us = 0;
   double p99_us = 0;
+  // Write-mix extras (zero when --write-pct 0).
+  size_t writes = 0;  // asserts acked OK
+  double writes_per_sec = 0;
+  double wp50_us = 0;          // p50 latency of acked writes
+  uint64_t groups = 0;         // commit groups this sweep
+  double mean_group = 0;       // acked+rejected slots per group
+  uint64_t max_group = 0;      // largest group so far (cumulative)
+  uint64_t fsyncs = 0;         // WAL fsyncs this sweep
 };
 
 double PercentileUs(std::vector<int64_t>& ns, double p) {
@@ -138,6 +161,7 @@ struct PendingRequest {
   uint64_t ordinal = 0;
   Clock::time_point sent_at;
   bool resent = false;
+  bool write = false;
 };
 
 // One benchmark session: a connection plus its protocol state machine.
@@ -166,6 +190,7 @@ struct Conn {
   size_t errors = 0;
   size_t retries = 0;
   std::vector<int64_t> latencies;
+  std::vector<int64_t> write_latencies;
   bool gave_up = false;
 
   bool finished() const { return gave_up || done >= total; }
@@ -278,9 +303,28 @@ class Driver {
     c.gave_up = true;
   }
 
-  void AppendRequest(Conn& c, const PendingRequest& req) {
-    const char* line =
-        kMix[(req.ordinal + static_cast<uint64_t>(c.index)) % kMixSize];
+  // Bresenham interleave: spreads write_pct writes evenly through each
+  // session's ordinal sequence, deterministically, so a resend after a
+  // reconnect regenerates the identical request.
+  bool IsWrite(uint64_t ordinal) const {
+    const uint64_t p = static_cast<uint64_t>(spec_.write_pct);
+    return (ordinal + 1) * p / 100 > ordinal * p / 100;
+  }
+
+  void AppendRequest(Conn& c, PendingRequest req) {
+    std::string line;
+    if (spec_.write_pct > 0 && IsWrite(req.ordinal)) {
+      // Unique per (sweep, session, ordinal): never a no-op commit, so
+      // every acked write really paid for clone + WAL append (+fsync).
+      req.write = true;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "assert (W%d-%d-%llu, TOUCHES, HUB)",
+                    spec_.tag, c.index,
+                    static_cast<unsigned long long>(req.ordinal));
+      line = buf;
+    } else {
+      line = kMix[(req.ordinal + static_cast<uint64_t>(c.index)) % kMixSize];
+    }
     if (spec_.protocol == Protocol::kBinary) {
       c.out += lsd::EncodeFrame(lsd::FrameType::kRequest, req.ordinal, line);
     } else {
@@ -324,10 +368,11 @@ class Driver {
     if (is_error) {
       ++c.errors;
     } else {
-      c.latencies.push_back(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              Clock::now() - req.sent_at)
-              .count());
+      int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       Clock::now() - req.sent_at)
+                       .count();
+      c.latencies.push_back(ns);
+      if (req.write) c.write_latencies.push_back(ns);
     }
   }
 
@@ -431,7 +476,9 @@ class Driver {
   const size_t count_;
 };
 
-SweepResult RunSweep(uint16_t port, const SweepSpec& spec) {
+SweepResult RunSweep(uint16_t port, const SweepSpec& spec,
+                     lsd::SharedStore* store) {
+  const lsd::GroupCommitStats before = store->group_stats();
   std::vector<Conn> conns(static_cast<size_t>(spec.sessions));
   for (int s = 0; s < spec.sessions; ++s) {
     conns[static_cast<size_t>(s)].index = s;
@@ -463,8 +510,11 @@ SweepResult RunSweep(uint16_t port, const SweepSpec& spec) {
   result.sessions = spec.sessions;
   result.seconds = seconds;
   std::vector<int64_t> all;
+  std::vector<int64_t> writes;
   for (Conn& c : conns) {
     all.insert(all.end(), c.latencies.begin(), c.latencies.end());
+    writes.insert(writes.end(), c.write_latencies.begin(),
+                  c.write_latencies.end());
     result.errors += c.errors;
     result.retries += c.retries;
   }
@@ -473,6 +523,21 @@ SweepResult RunSweep(uint16_t port, const SweepSpec& spec) {
       seconds > 0 ? static_cast<double>(all.size()) / seconds : 0;
   result.p50_us = PercentileUs(all, 0.50);
   result.p99_us = PercentileUs(all, 0.99);
+  result.writes = writes.size();
+  result.writes_per_sec =
+      seconds > 0 ? static_cast<double>(writes.size()) / seconds : 0;
+  result.wp50_us = PercentileUs(writes, 0.50);
+
+  const lsd::GroupCommitStats after = store->group_stats();
+  result.groups = after.groups - before.groups;
+  const uint64_t slots = (after.slots_acked + after.slots_rejected) -
+                         (before.slots_acked + before.slots_rejected);
+  result.mean_group =
+      result.groups > 0
+          ? static_cast<double>(slots) / static_cast<double>(result.groups)
+          : 0.0;
+  result.max_group = after.max_group;  // cumulative high-water mark
+  result.fsyncs = after.fsyncs - before.fsyncs;
   return result;
 }
 
@@ -500,12 +565,29 @@ int main(int argc, char** argv) {
   int window = 16;
   std::string json_path;
   double fail_writes = 0.0;
+  int write_pct = 0;
+  bool sync_fsync = false;
+  int preload = -1;  // -1: pick a default once write_pct is known
   bool check = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--fail-writes" && i + 1 < argc) {
       fail_writes = std::atof(argv[++i]);
+    } else if (arg == "--write-pct" && i + 1 < argc) {
+      write_pct = std::clamp(std::atoi(argv[++i]), 0, 100);
+    } else if (arg == "--preload" && i + 1 < argc) {
+      preload = std::max(0, std::atoi(argv[++i]));
+    } else if (arg == "--sync" && i + 1 < argc) {
+      std::string mode = argv[++i];
+      if (mode == "fsync") {
+        sync_fsync = true;
+      } else if (mode == "none") {
+        sync_fsync = false;
+      } else {
+        std::fprintf(stderr, "unknown sync mode: %s\n", mode.c_str());
+        return 2;
+      }
     } else if (arg == "--sessions" && i + 1 < argc) {
       session_counts.clear();
       std::string list = argv[++i];
@@ -547,7 +629,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--sessions 1,4,16,64,256,1024] "
                    "[--requests N] [--protocols text,binary] [--window N] "
-                   "[--json FILE] [--fail-writes P] [--check]\n",
+                   "[--json FILE] [--write-pct P] [--sync fsync|none] "
+                   "[--preload N] [--fail-writes P] [--check]\n",
                    argv[0]);
       return 2;
     }
@@ -573,6 +656,26 @@ int main(int argc, char** argv) {
   }
 
   lsd::SharedStore store;
+  std::string scratch_dir;
+  if (write_pct > 0 && sync_fsync) {
+    // Durable write mix: every commit group pays a real fsync against a
+    // scratch database, so the sweep measures group-commit amortization
+    // rather than in-memory publish cost.
+    char tmpl[] = "/tmp/bench_wal.XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      std::perror("mkdtemp");
+      return 1;
+    }
+    scratch_dir = tmpl;
+    lsd::SharedStoreDurability durability;
+    durability.sync = lsd::WalSync::kFsync;
+    lsd::Status opened = store.OpenDurable(scratch_dir + "/bench", durability);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open durable failed: %s\n",
+                   opened.ToString().c_str());
+      return 1;
+    }
+  }
   auto seeded = store.Commit([](lsd::LooseDb& db) {
     lsd::workload::BuildCampusDomain(&db);
     return lsd::Status::OK();
@@ -583,12 +686,44 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Pre-grow the store before write sweeps. A commit clones the tip, so
+  // the per-group fixed cost (clone + warm + fsync) scales with store
+  // size; without a preload the serial baseline would run against a
+  // near-empty store while later, larger sweeps clone everything the
+  // earlier ones inserted — flattering the baseline and biasing the
+  // group-commit comparison. Sweeps still grow the store as they run,
+  // which only penalizes the later (larger) session counts.
+  if (preload < 0) preload = write_pct > 0 ? 8000 : 0;
+  for (int base = 0; base < preload; base += 1000) {
+    const int limit = std::min(base + 1000, preload);
+    auto grown = store.Commit([base, limit](lsd::LooseDb& db) {
+      for (int i = base; i < limit; ++i) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "P%d", i);
+        (void)db.Assert(name, "TOUCHES", "HUB");
+      }
+      return lsd::Status::OK();
+    });
+    if (!grown.ok()) {
+      std::fprintf(stderr, "preload failed: %s\n",
+                   grown.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  const int max_sessions_requested =
+      *std::max_element(session_counts.begin(), session_counts.end());
   lsd::ServerOptions options;
   options.port = 0;
-  options.max_sessions =
-      static_cast<size_t>(
-          *std::max_element(session_counts.begin(), session_counts.end())) +
-      4;
+  options.max_sessions = static_cast<size_t>(max_sessions_requested) + 4;
+  if (write_pct > 0) {
+    // A commit group can only be as large as the number of workers
+    // concurrently blocked in Commit; the default pool (one thread per
+    // core) would cap group size at the core count no matter how many
+    // writer sessions the sweep opens.
+    options.worker_threads = static_cast<size_t>(
+        std::min(max_sessions_requested, 128));
+  }
   lsd::LsdServer server(&store, options);
   lsd::Status started = server.Start();
   if (!started.ok()) {
@@ -599,6 +734,15 @@ int main(int argc, char** argv) {
   std::printf("# bench_server: %d requests/session, read-mostly mix "
               "(1 probe per %zu requests), %zu workers\n",
               requests_per_session, kMixSize, server.worker_count());
+  if (write_pct > 0) {
+    std::printf("# write mix: %d%% unique asserts, sync=%s, %zu facts "
+                "preloaded%s\n",
+                write_pct, sync_fsync ? "fsync" : "none",
+                store.snapshot()->db().store().size(),
+                scratch_dir.empty() ? ""
+                                    : (" (scratch " + scratch_dir + ")")
+                                          .c_str());
+  }
   if (!skipped.empty()) {
     std::printf("# skipped session counts over the fd budget (%zu):",
                 fd_budget);
@@ -610,9 +754,14 @@ int main(int argc, char** argv) {
                 "(clients reconnect and resend)\n",
                 fail_writes);
   }
-  std::printf("%8s %7s %9s %10s %12s %10s %10s %8s %8s\n", "protocol",
+  std::printf("%8s %7s %9s %10s %12s %10s %10s %8s %8s", "protocol",
               "window", "sessions", "requests", "thruput_rps", "p50_us",
               "p99_us", "errors", "retries");
+  if (write_pct > 0) {
+    std::printf(" %8s %9s %9s %8s %8s %7s", "writes", "w_rps", "wp50_us",
+                "groups", "grp_mean", "fsyncs");
+  }
+  std::printf("\n");
 
   std::vector<SweepResult> results;
   // Warm-up: populate the shared plan cache and lattice so the sweep
@@ -621,7 +770,7 @@ int main(int argc, char** argv) {
     SweepSpec warm;
     warm.sessions = 1;
     warm.requests_per_session = static_cast<int>(kMixSize);
-    (void)RunSweep(server.port(), warm);
+    (void)RunSweep(server.port(), warm, &store);
   }
   if (fail_writes > 0) {
     // Armed after warm-up so cache population is never disrupted.
@@ -640,6 +789,7 @@ int main(int argc, char** argv) {
                  "injects nothing\n");
 #endif
   }
+  int sweep_tag = 0;
   for (Protocol protocol : protocols) {
     for (int sessions : session_counts) {
       SweepSpec spec;
@@ -647,42 +797,72 @@ int main(int argc, char** argv) {
       spec.window = window;
       spec.sessions = sessions;
       spec.requests_per_session = requests_per_session;
-      SweepResult r = RunSweep(server.port(), spec);
+      spec.write_pct = write_pct;
+      spec.tag = ++sweep_tag;
+      SweepResult r = RunSweep(server.port(), spec, &store);
       results.push_back(r);
-      std::printf("%8s %7d %9d %10zu %12.0f %10.1f %10.1f %8zu %8zu\n",
+      std::printf("%8s %7d %9d %10zu %12.0f %10.1f %10.1f %8zu %8zu",
                   ProtocolName(r.protocol), r.window, r.sessions, r.requests,
                   r.throughput_rps, r.p50_us, r.p99_us, r.errors, r.retries);
+      if (write_pct > 0) {
+        std::printf(" %8zu %9.0f %9.1f %8llu %8.2f %7llu", r.writes,
+                    r.writes_per_sec, r.wp50_us,
+                    static_cast<unsigned long long>(r.groups), r.mean_group,
+                    static_cast<unsigned long long>(r.fsyncs));
+      }
+      std::printf("\n");
       std::fflush(stdout);
     }
   }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << "{\n  \"comment\": \"bench_server read-mostly browsing mix "
-           "over loopback TCP in both wire protocols; regenerate with "
-           "tools/bench_json.sh. Binary rows pipeline up to `window` "
-           "requests per connection, so their p50 measures queued time "
-           "in the window, not a single round trip. Aggregate "
-           "throughput scales with sessions only up to the host's core "
-           "count; on a single-core host expect flat throughput with "
-           "proportionally growing p50.\",\n"
+    const char* comment =
+        write_pct > 0
+            ? "bench_server write mix: every counted request is a unique "
+              "assert, committed through the group-commit queue "
+              "(sync=fsync means one real WAL fsync per commit group "
+              "against a scratch durable store; the store is preloaded "
+              "so every row's commits clone a comparable tip). The "
+              "ratio of writes_per_sec to the sessions=1 row is the "
+              "group-commit amortization; mean_group/max_group say how "
+              "large the groups actually got, and groups == fsyncs at "
+              "sync=fsync. Regenerate with tools/bench_json.sh."
+            : "bench_server read-mostly browsing mix over loopback TCP "
+              "in both wire protocols; regenerate with "
+              "tools/bench_json.sh. Binary rows pipeline up to `window` "
+              "requests per connection, so their p50 measures queued "
+              "time in the window, not a single round trip. Aggregate "
+              "throughput scales with sessions only up to the host's "
+              "core count; on a single-core host expect flat throughput "
+              "with proportionally growing p50.";
+    out << "{\n  \"comment\": \"" << comment << "\",\n"
            "  \"hardware_concurrency\": "
         << std::thread::hardware_concurrency()
         << ",\n  \"requests_per_session\": " << requests_per_session
         << ",\n  \"window\": " << window
+        << ",\n  \"write_pct\": " << write_pct << ",\n  \"sync\": \""
+        << (sync_fsync ? "fsync" : "none") << "\""
+        << ",\n  \"preload\": " << preload
         << ",\n  \"fail_writes\": " << fail_writes << ",\n  \"sweeps\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
       const SweepResult& r = results[i];
-      char buf[320];
+      char buf[512];
       std::snprintf(buf, sizeof(buf),
                     "    {\"protocol\": \"%s\", \"window\": %d, "
                     "\"sessions\": %d, \"requests\": %zu, "
                     "\"throughput_rps\": %.0f, \"p50_us\": %.1f, "
                     "\"p99_us\": %.1f, \"errors\": %zu, "
-                    "\"retries\": %zu}%s\n",
+                    "\"retries\": %zu, \"writes\": %zu, "
+                    "\"writes_per_sec\": %.0f, \"wp50_us\": %.1f, "
+                    "\"groups\": %llu, \"mean_group\": %.2f, "
+                    "\"max_group\": %llu, \"fsyncs\": %llu}%s\n",
                     ProtocolName(r.protocol), r.window, r.sessions,
                     r.requests, r.throughput_rps, r.p50_us, r.p99_us,
-                    r.errors, r.retries,
+                    r.errors, r.retries, r.writes, r.writes_per_sec,
+                    r.wp50_us, static_cast<unsigned long long>(r.groups),
+                    r.mean_group, static_cast<unsigned long long>(r.max_group),
+                    static_cast<unsigned long long>(r.fsyncs),
                     i + 1 < results.size() ? "," : "");
       out << buf;
     }
@@ -691,6 +871,21 @@ int main(int argc, char** argv) {
   }
 
   server.Stop();
+
+  if (!scratch_dir.empty()) {
+    if (DIR* d = ::opendir(scratch_dir.c_str())) {
+      struct dirent* e;
+      while ((e = ::readdir(d)) != nullptr) {
+        if (std::strcmp(e->d_name, ".") == 0 ||
+            std::strcmp(e->d_name, "..") == 0) {
+          continue;
+        }
+        (void)::unlink((scratch_dir + "/" + e->d_name).c_str());
+      }
+      ::closedir(d);
+    }
+    (void)::rmdir(scratch_dir.c_str());
+  }
 
   if (check) {
     size_t errors = 0, retries = 0;

@@ -56,6 +56,10 @@ Status LooseDb::MaybeAutoCheckpoint() {
 }
 
 Status LooseDb::LogAssert(const Fact& f) {
+  if (capture_ != nullptr) {
+    capture_->push_back(WalAssertRecord(store_, f));
+    return Status::OK();
+  }
   if (!wal_.is_open()) return Status::OK();
   Status s = wal_.AppendAssert(store_, f);
   if (!s.ok()) {
@@ -66,6 +70,10 @@ Status LooseDb::LogAssert(const Fact& f) {
 }
 
 Status LooseDb::LogRetract(const Fact& f) {
+  if (capture_ != nullptr) {
+    capture_->push_back(WalRetractRecord(store_, f));
+    return Status::OK();
+  }
   if (!wal_.is_open()) return Status::OK();
   Status s = wal_.AppendRetract(store_, f);
   if (!s.ok()) {
@@ -76,6 +84,10 @@ Status LooseDb::LogRetract(const Fact& f) {
 }
 
 Status LooseDb::LogRule(const Rule& rule) {
+  if (capture_ != nullptr) {
+    capture_->push_back(WalRuleRecord(rule, store_.entities()));
+    return Status::OK();
+  }
   if (!wal_.is_open()) return Status::OK();
   Status s = wal_.AppendRule(rule, store_.entities());
   if (!s.ok() && wal_error_.ok()) wal_error_ = s;
@@ -164,7 +176,9 @@ Status LooseDb::SetRuleEnabled(std::string_view name, bool enabled) {
       if (r.enabled != enabled) {
         r.enabled = enabled;
         ++rules_version_;
-        if (wal_.is_open()) {
+        if (capture_ != nullptr) {
+          capture_->push_back(WalRuleEnabledRecord(r.name, enabled));
+        } else if (wal_.is_open()) {
           Status s = wal_.AppendSetRuleEnabled(r.name, enabled);
           if (!s.ok()) {
             if (wal_error_.ok()) wal_error_ = s;
@@ -489,10 +503,19 @@ Status LooseDb::Checkpoint() {
 }
 
 Status LooseDb::Open(const std::string& path_prefix) {
+  LSD_RETURN_IF_ERROR(Recover(path_prefix));
+  wal_path_ = path_prefix + ".wal";
+  save_prefix_ = path_prefix;
+  wal_error_ = Status::OK();
+  WalOptions wal_options{options_.wal_sync, options_.wal_segment_bytes};
+  return wal_.Open(wal_path_, wal_options, last_recovery_.generation);
+}
+
+Status LooseDb::Recover(const std::string& path_prefix) {
   if (store_.size() != StandardSeedFacts().size() &&
       store_.size() != 0) {
     return Status::FailedPrecondition(
-        "Open() requires a freshly constructed LooseDb");
+        "Recover() requires a freshly constructed LooseDb");
   }
   last_recovery_ = RecoveryStats();
   uint64_t generation = 0;
@@ -518,11 +541,7 @@ Status LooseDb::Open(const std::string& path_prefix) {
                                   &last_recovery_, generation));
   last_recovery_.generation = generation;
   ++rules_version_;
-  wal_path_ = path_prefix + ".wal";
-  save_prefix_ = path_prefix;
-  wal_error_ = Status::OK();
-  WalOptions wal_options{options_.wal_sync, options_.wal_segment_bytes};
-  return wal_.Open(wal_path_, wal_options, generation);
+  return Status::OK();
 }
 
 }  // namespace lsd

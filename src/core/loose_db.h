@@ -227,6 +227,23 @@ class LooseDb {
   Status Save(const std::string& path_prefix);
   Status Open(const std::string& path_prefix);
 
+  // Open() minus the WAL attachment: loads the snapshot and replays the
+  // segments (salvaging damage, reporting via last_recovery()) but does
+  // NOT claim the append point. For callers that own the log themselves
+  // — SharedStore's group-commit leader recovers its bootstrap epoch
+  // this way and then opens the Wal directly (see server/shared_store.h).
+  Status Recover(const std::string& path_prefix);
+
+  // Group-commit capture: while `sink` is non-null, every WAL-shaped
+  // mutation record (assert/retract/rule/include/exclude) is pushed
+  // onto `sink` instead of the attached log. The serving layer sets a
+  // sink on commit clones, then batch-appends the whole commit group's
+  // records to its own WAL under one fsync. Callers must clear the sink
+  // (set nullptr) before the vector goes out of scope.
+  void set_mutation_capture(std::vector<WalRecord>* sink) {
+    capture_ = sink;
+  }
+
   // Save() to the prefix this database was Open()ed or last Save()d at.
   // Also triggered automatically by options_.checkpoint_bytes.
   Status Checkpoint();
@@ -234,6 +251,10 @@ class LooseDb {
   // What the last Open() had to do to recover (zeroed if this database
   // was never Open()ed).
   const RecoveryStats& last_recovery() const { return last_recovery_; }
+
+  // The attached log's counters (append/batch/fsync tallies for the
+  // shell's `stats`); check wal().is_open() before reading the rest.
+  const Wal& wal() const { return wal_; }
 
   // The first WAL append error since the log was attached, if any.
   // Assert/Retract report success against the in-memory store even if
@@ -258,6 +279,7 @@ class LooseDb {
 
   MathProvider math_;
   RuleEngine engine_;
+  std::vector<WalRecord>* capture_ = nullptr;  // group-commit redirect
   Wal wal_;
   std::string wal_path_;
   std::string save_prefix_;       // where Open/Save attached durability

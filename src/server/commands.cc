@@ -62,6 +62,52 @@ std::string Percent(uint64_t part, uint64_t whole) {
 
 }  // namespace
 
+// The shared landing strip for both batched-mutation front ends (the
+// text assert*/retract* verbs and the binary kMutation frame): every op
+// of the batch goes into ONE SharedStore commit slot, so it shares its
+// group's single clone + warm + WAL fsync + epoch. The closure only
+// counts and mutates — it is re-invocation safe (group replay after
+// another slot fails resets the tallies).
+StatusOr<std::string> ServerSession::CommitMutations(
+    const std::vector<MutationOp>& ops) {
+  if (ops.empty()) return std::string("empty batch\n");
+  size_t added = 0, present = 0, removed = 0, missing = 0;
+  auto epoch = store_->Commit([&](LooseDb& db) -> Status {
+    added = present = removed = missing = 0;
+    for (const MutationOp& op : ops) {
+      if (!op.retract) {
+        Fact f(db.entities().Intern(op.source),
+               db.entities().Intern(op.relationship),
+               db.entities().Intern(op.target));
+        db.Assert(f) ? ++added : ++present;
+      } else {
+        auto s = db.entities().Lookup(op.source);
+        auto r = db.entities().Lookup(op.relationship);
+        auto t = db.entities().Lookup(op.target);
+        if (!s.has_value() || !r.has_value() || !t.has_value() ||
+            !db.Retract(Fact(*s, *r, *t))) {
+          ++missing;
+        } else {
+          ++removed;
+        }
+      }
+    }
+    return Status::OK();
+  });
+  if (!epoch.ok()) return epoch.status();
+  return "added " + std::to_string(added) + ", present " +
+         std::to_string(present) + ", removed " + std::to_string(removed) +
+         ", missing " + std::to_string(missing) + "\n";
+}
+
+StatusOr<std::string> ServerSession::ExecuteBatchMutation(
+    std::string_view payload) {
+  ++requests_;
+  std::vector<MutationOp> ops;
+  LSD_RETURN_IF_ERROR(DecodeMutationPayload(payload, &ops));
+  return CommitMutations(ops);
+}
+
 StatusOr<std::string> ServerSession::ExecuteHypo(std::string_view rest) {
   std::istringstream in{std::string(rest)};
   std::string sub;
@@ -180,6 +226,25 @@ StatusOr<std::string> ServerSession::RenderStats() {
          std::to_string(misses) + " misses (" +
          Percent(hits, hits + misses) + " hit rate)\n";
   out += "commits:        " + std::to_string(store_->commits()) + "\n";
+  const GroupCommitStats gc = store_->group_stats();
+  {
+    char mean[32];
+    std::snprintf(mean, sizeof(mean), "%.2f", gc.mean_group());
+    out += "group commit:   " + std::to_string(gc.groups) +
+           " groups, mean size " + mean + ", max " +
+           std::to_string(gc.max_group) + ", queue depth " +
+           std::to_string(gc.queue_depth) + "\n";
+    out += "commit slots:   " + std::to_string(gc.slots_acked) +
+           " acked / " + std::to_string(gc.slots_rejected) +
+           " rejected\n";
+  }
+  if (store_->durable()) {
+    out += "wal:            " + std::to_string(gc.wal_records) +
+           " records in " + std::to_string(gc.wal_batches) +
+           " batches, " + std::to_string(gc.fsyncs) + " fsyncs (" +
+           std::to_string(gc.slots_acked) + " writes acked)" +
+           (store_->wal_status().ok() ? "" : " [DEGRADED]") + "\n";
+  }
   if (registry_ != nullptr) {
     out += "sessions:       " + std::to_string(registry_->live()) +
            " live / " + std::to_string(registry_->total_created()) +
@@ -218,7 +283,8 @@ StatusOr<std::string> ServerSession::Execute(std::string_view line) {
   if (cmd == "stats") return RenderStats();
   if (cmd == "help") {
     return std::string(
-        "commands: assert|retract (S,R,T) · rule/integrity NAME: b => h\n"
+        "commands: assert|retract (S,R,T) · assert*|retract* (S,R,T)..\n"
+        "          rule/integrity NAME: b => h\n"
         "          define NAME(?P..) := F · call NAME(args..)\n"
         "          query F · probe F · nav E · visit E · back · forward\n"
         "          assoc S T · try E · near E [r] · dist A B · dot [E]\n"
@@ -229,6 +295,36 @@ StatusOr<std::string> ServerSession::Execute(std::string_view line) {
   }
 
   // ---- Shared writes (commit path) ---------------------------------------
+  if (cmd == "assert*" || cmd == "retract*") {
+    // Batched form: many facts, one commit slot. Names are resolved
+    // against the pinned tip (interning there is safe — hypo does the
+    // same); a parse failure rejects this whole batch before it ever
+    // enqueues, so it cannot fail any other writer's slot.
+    EpochPtr pinned = store_->snapshot();
+    LooseDb& pdb = pinned->db();
+    std::vector<MutationOp> ops;
+    size_t pos = 0;
+    while (true) {
+      size_t open = rest.find('(', pos);
+      if (open == std::string::npos) break;
+      size_t close = rest.find(')', open);
+      if (close == std::string::npos) {
+        return Status::InvalidArgument("unbalanced '(' in batch");
+      }
+      std::string_view chunk =
+          std::string_view(rest).substr(open, close - open + 1);
+      LSD_ASSIGN_OR_RETURN(Fact f, ParseGroundFact(pdb, chunk));
+      const EntityTable& e = pdb.entities();
+      ops.push_back(MutationOp{cmd == "retract*", e.Name(f.source),
+                               e.Name(f.relationship), e.Name(f.target)});
+      pos = close + 1;
+    }
+    if (ops.empty()) {
+      return Status::InvalidArgument("usage: " + cmd +
+                                     " (S,R,T) [(S,R,T) ...]");
+    }
+    return CommitMutations(ops);
+  }
   if (cmd == "assert" || cmd == "retract") {
     std::string out;
     auto epoch = store_->Commit([&](LooseDb& db) -> Status {

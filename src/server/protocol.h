@@ -26,12 +26,31 @@
 //   1       1     magic1 = 'L'
 //   2       1     magic2 = 'S'
 //   3       1     version = 1
-//   4       1     type: 0 request, 1 OK response, 2 ERR response
+//   4       1     type: 0 request, 1 OK response, 2 ERR response,
+//                 3 batch-mutation request
 //   5       3     reserved, must be 0
 //   8       8     request id (little-endian u64, chosen by the client)
 //   16      4     payload length (little-endian u32, <= 16 MiB)
 //   20      n     payload (request: command line; response: output or
 //                 error message — raw bytes, no dot-stuffing)
+//
+// A type-3 (batch mutation) frame carries many asserts/retracts in one
+// request; the server lands the whole batch in ONE group-commit slot
+// (one clone + one WAL fsync + one epoch with the rest of its group).
+// Its payload:
+//
+//   u32 count, then count ops of:
+//     u8  op       1 = assert, 2 = retract
+//     u32 len, bytes   source entity name
+//     u32 len, bytes   relationship name
+//     u32 len, bytes   target name
+//
+// The response is an ordinary type-1/2 frame; on OK the payload is the
+// "added A / present B / removed C / missing D" tally (see
+// commands.cc). A malformed payload (unknown opcode, bad lengths)
+// rejects the whole frame and mutates nothing; a retract of an absent
+// fact or unknown entity is NOT an error — it just counts toward the
+// "missing" tally while the rest of the batch applies.
 //
 // Clients may pipeline: any number of request frames can be in flight
 // on one connection, and each response carries the request id it
@@ -47,6 +66,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/status.h"
 
@@ -106,6 +126,7 @@ enum class FrameType : uint8_t {
   kRequest = 0,
   kOk = 1,
   kErr = 2,
+  kMutation = 3,  // batch-mutation request (see payload layout above)
 };
 
 struct BinaryFrame {
@@ -149,6 +170,22 @@ class BinaryFrameParser {
 // Blocking convenience for clients and tests: reads exactly one frame
 // from `fd` (EINTR-retrying). IoError on EOF or a malformed frame.
 StatusOr<BinaryFrame> ReadFrame(int fd, BinaryFrameParser* parser);
+
+// ---- Batch mutations (FrameType::kMutation payloads) ---------------------
+
+struct MutationOp {
+  bool retract = false;  // false = assert
+  std::string source, relationship, target;
+};
+
+// Renders the payload of a kMutation frame.
+std::string EncodeMutationPayload(const std::vector<MutationOp>& ops);
+
+// Parses a kMutation payload. InvalidArgument on a truncated or
+// malformed payload (unknown opcode, lengths past the end, trailing
+// garbage); `out` is left in an unspecified state on error.
+Status DecodeMutationPayload(std::string_view payload,
+                             std::vector<MutationOp>* out);
 
 }  // namespace lsd
 

@@ -361,11 +361,13 @@ void LsdServer::ParseRequests(const ConnPtr& conn) {
         case BinaryFrameParser::Result::kFrame:
           break;
       }
-      if (frame.type != FrameType::kRequest) {
+      if (frame.type != FrameType::kRequest &&
+          frame.type != FrameType::kMutation) {
         CloseConnection(conn);
         return;
       }
       request.binary = true;
+      request.mutation = (frame.type == FrameType::kMutation);
       request.id = frame.request_id;
       request.command = std::move(frame.payload);
     }
@@ -641,7 +643,8 @@ void LsdServer::FlushFromWorker(const ConnPtr& conn) {
 }
 
 void LsdServer::ExecuteOne(const ConnPtr& conn, PendingRequest request) {
-  if (request.command == "quit" || request.command == "exit") {
+  if (!request.mutation &&
+      (request.command == "quit" || request.command == "exit")) {
     // Trailing newline so binary clients (which get the payload raw,
     // not line-framed) print it like every Execute result.
     QueueResponse(conn, request, Status::OK(), "bye\n", /*hangup=*/true);
@@ -655,7 +658,9 @@ void LsdServer::ExecuteOne(const ConnPtr& conn, PendingRequest request) {
     return;
   }
   auto start = Clock::now();
-  StatusOr<std::string> result = session->Execute(request.command);
+  StatusOr<std::string> result =
+      request.mutation ? session->ExecuteBatchMutation(request.command)
+                       : session->Execute(request.command);
   auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
       Clock::now() - start);
   requests_served_.fetch_add(1);

@@ -109,6 +109,7 @@ class LsdServer {
   struct PendingRequest {
     uint64_t id = 0;  // binary request id; unused in text mode
     bool binary = false;
+    bool mutation = false;  // kMutation frame: command is a batch payload
     std::string command;
   };
 

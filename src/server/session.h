@@ -28,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "server/protocol.h"
 #include "server/shared_store.h"
 #include "util/status.h"
 
@@ -61,6 +62,13 @@ class ServerSession {
   // error Status carries the message the protocol layer reports as ERR.
   StatusOr<std::string> Execute(std::string_view line);
 
+  // Executes the payload of a binary kMutation frame: decodes the
+  // batch and lands every op in ONE group-commit slot (one clone, one
+  // WAL fsync, one epoch shared with the rest of the group). Returns
+  // the added/present/removed/missing tally, or InvalidArgument for a
+  // malformed payload (nothing mutates).
+  StatusOr<std::string> ExecuteBatchMutation(std::string_view payload);
+
   uint64_t requests() const { return requests_; }
   size_t overlay_size() const {
     return hypo_retracts_.size() + hypo_asserts_.size();
@@ -82,6 +90,7 @@ class ServerSession {
   StatusOr<PinnedDb> Pin();
 
   // Command handlers (commands.cc).
+  StatusOr<std::string> CommitMutations(const std::vector<MutationOp>& ops);
   StatusOr<std::string> ExecuteHypo(std::string_view rest);
   StatusOr<std::string> ExecuteVisit(const std::string& entity);
   StatusOr<std::string> ExecuteBackForward(bool back);

@@ -1,5 +1,7 @@
 #include "server/shared_store.h"
 
+#include <algorithm>
+
 #include "util/failpoint.h"
 
 namespace lsd {
@@ -13,38 +15,166 @@ SharedStore::SharedStore(const LooseDbOptions& options)
   published_ = std::make_shared<const Epoch>(std::move(db), 0);
 }
 
+Status SharedStore::OpenDurable(const std::string& path_prefix,
+                                const SharedStoreDurability& durability) {
+  if (wal_.is_open()) {
+    return Status::FailedPrecondition("store is already durable");
+  }
+  // Recover into a fresh bootstrap epoch. The epoch must never own the
+  // log (epochs are immutable and short-lived; the store outlives them
+  // all), so recovery runs attach-less and the store opens the Wal
+  // itself at the recovered generation.
+  auto db = std::make_unique<LooseDb>(options_);
+  LSD_RETURN_IF_ERROR(db->Recover(path_prefix));
+  last_recovery_ = db->last_recovery();
+  LSD_RETURN_IF_ERROR(db->Warm());
+  {
+    std::unique_lock<std::shared_mutex> tip_lock(tip_mu_);
+    published_ = std::make_shared<const Epoch>(std::move(db), 0);
+  }
+  save_prefix_ = path_prefix;
+  checkpoint_bytes_ = durability.checkpoint_bytes;
+  WalOptions wal_options{durability.sync, durability.segment_bytes};
+  return wal_.Open(path_prefix + ".wal", wal_options,
+                   last_recovery_.generation);
+}
+
 StatusOr<EpochPtr> SharedStore::Commit(
     const std::function<Status(LooseDb&)>& mutate) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
   // A failure here models the commit dying before any work: readers
-  // keep the old tip, nothing is half-published.
+  // keep the old tip, nothing is half-published, no slot is enqueued.
   LSD_FAILPOINT_RETURN_IF_SET(store.commit.begin);
+
+  CommitSlot slot;
+  slot.mutate = &mutate;
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_.push_back(&slot);
+  if (leader_active_) {
+    // Follower: a leader is already draining the queue and will pick
+    // this slot up in its next group. Wait for the verdict; the leader
+    // writes result/epoch before setting done under queue_mu_, so the
+    // reads below are ordered.
+    queue_cv_.wait(lock, [&slot] { return slot.done; });
+  } else {
+    // Leader: drain groups until the queue is empty, then abdicate.
+    // The first group contains our own slot; later groups are slots
+    // that arrived while we worked.
+    leader_active_ = true;
+    while (!queue_.empty()) {
+      std::vector<CommitSlot*> group(queue_.begin(), queue_.end());
+      queue_.clear();
+      lock.unlock();
+      ProcessGroup(group);
+      lock.lock();
+      for (CommitSlot* s : group) s->done = true;
+      queue_cv_.notify_all();
+    }
+    leader_active_ = false;
+  }
+  lock.unlock();
+
+  if (!slot.result.ok()) return slot.result;
+  return slot.epoch;
+}
+
+bool SharedStore::ApplySlots(std::vector<CommitSlot*>* slots,
+                             std::unique_ptr<LooseDb>* out_db,
+                             std::vector<WalRecord>* out_records,
+                             EpochPtr* out_tip) {
   EpochPtr tip = snapshot();
 
-  // Clone the tip into a private working copy. The clone must start
-  // with clean containers; the tip's facts already include any standard
-  // seed facts, so the copy skips re-seeding.
+  // Clone the tip into a private working copy — ONCE for the whole
+  // group. The clone must start with clean containers; the tip's facts
+  // already include any standard seed facts, so the copy skips
+  // re-seeding.
   LooseDbOptions clone_options = options_;
   clone_options.standard_rules = false;
   auto next = std::make_unique<LooseDb>(clone_options);
-  LSD_RETURN_IF_ERROR(tip->db().CloneInto(next.get()));
+  Status cloned = tip->db().CloneInto(next.get());
+  if (!cloned.ok()) {
+    // Environmental, not a slot's fault: the whole group fails.
+    for (CommitSlot* s : *slots) s->result = cloned;
+    slots->clear();
+    return false;
+  }
 
-  const uint64_t store_before = next->store_version();
-  const uint64_t rules_before = next->rules_version();
-  const size_t defs_before = next->definitions().all().size();
-  LSD_RETURN_IF_ERROR(mutate(*next));
-  if (next->store_version() == store_before &&
-      next->rules_version() == rules_before &&
-      next->definitions().all().size() == defs_before) {
-    return tip;  // no-op commit: nothing to publish
+  out_records->clear();
+  if (wal_.is_open()) next->set_mutation_capture(out_records);
+  for (size_t i = 0; i < slots->size(); ++i) {
+    Status applied = (*(*slots)[i]->mutate)(*next);
+    if (!applied.ok()) {
+      // The clone may hold this slot's partial mutations (and its WAL
+      // records); poison only the slot, then replay the survivors on a
+      // fresh clone so each still gets all-or-nothing semantics.
+      (*slots)[i]->result = applied;
+      slots->erase(slots->begin() + i);
+      next->set_mutation_capture(nullptr);
+      return false;
+    }
+  }
+  next->set_mutation_capture(nullptr);
+
+  *out_db = std::move(next);
+  *out_tip = std::move(tip);
+  return true;
+}
+
+void SharedStore::ProcessGroup(std::vector<CommitSlot*> group) {
+  const uint64_t group_size = group.size();
+  groups_.fetch_add(1, std::memory_order_relaxed);
+  if (group_size > max_group_.load(std::memory_order_relaxed)) {
+    max_group_.store(group_size, std::memory_order_relaxed);
+  }
+
+  // `group` shrinks as slots fail; each shrink replays the remainder
+  // on a fresh clone (failures are rare — the common path clones once).
+  std::unique_ptr<LooseDb> next;
+  std::vector<WalRecord> records;
+  EpochPtr tip;
+  while (!group.empty()) {
+    if (ApplySlots(&group, &next, &records, &tip)) break;
+  }
+  slots_rejected_.fetch_add(group_size - group.size(),
+                            std::memory_order_relaxed);
+  if (group.empty()) return;  // every slot failed; results already set
+
+  // No-op group: nothing to log, warm, or publish.
+  if (next->store_version() == tip->db().store_version() &&
+      next->rules_version() == tip->db().rules_version() &&
+      next->definitions().all().size() ==
+          tip->db().definitions().all().size()) {
+    for (CommitSlot* s : group) {
+      s->result = Status::OK();
+      s->epoch = tip;
+    }
+    slots_acked_.fetch_add(group.size(), std::memory_order_relaxed);
+    return;
   }
 
   // Publish barrier: materialize every cache before readers can see the
   // epoch, so their const reads never write. A crash or failure
   // injected here proves the mutated clone is invisible until the
   // published_ swap below.
-  LSD_FAILPOINT_RETURN_IF_SET(store.commit.publish);
-  LSD_RETURN_IF_ERROR(next->Warm());
+  LSD_FAILPOINT_HIT(store.commit.publish, fp_publish);
+  Status publish = fp_publish.action == failpoint::Action::kError
+                       ? Status::IoError("injected commit-publish failure")
+                       : next->Warm();
+
+  // Durability barrier: the whole group's records under one
+  // fflush+fsync. Only after AppendBatch returns may any follower be
+  // acked; a failure (or crash) here fails the group wholesale and
+  // publishes nothing — no client ever saw these writes.
+  if (publish.ok() && wal_.is_open()) {
+    publish = wal_.AppendBatch(records);
+    if (!publish.ok()) {
+      std::lock_guard<std::mutex> error_lock(wal_error_mu_);
+      if (wal_error_.ok()) wal_error_ = publish;
+    }
+  }
+  if (!publish.ok()) {
+    for (CommitSlot* s : group) s->result = publish;
+    return;
+  }
 
   auto epoch =
       std::make_shared<const Epoch>(std::move(next), tip->sequence() + 1);
@@ -53,7 +183,55 @@ StatusOr<EpochPtr> SharedStore::Commit(
     published_ = epoch;
   }
   commits_.fetch_add(1);
-  return epoch;
+  slots_acked_.fetch_add(group.size(), std::memory_order_relaxed);
+  for (CommitSlot* s : group) {
+    s->result = Status::OK();
+    s->epoch = epoch;
+  }
+  MaybeCheckpoint(epoch);
+}
+
+void SharedStore::MaybeCheckpoint(const EpochPtr& tip) {
+  if (checkpoint_bytes_ == 0 || !wal_.is_open() ||
+      wal_.generation_bytes() < checkpoint_bytes_) {
+    return;
+  }
+  // The LooseDb::Save checkpoint sequence, leader-side: publish the
+  // tip's snapshot stamped G+1 (atomic rename), then swap the log to a
+  // fresh G+1 segment and drop the old ones. Each step is individually
+  // crash-safe; a failure only delays the next checkpoint attempt.
+  const uint64_t next_generation = wal_.generation() + 1;
+  Status s = SaveSnapshotAtomic(save_prefix_ + ".snap", tip->db().store(),
+                                tip->db().rules(), next_generation);
+  if (s.ok()) {
+    LSD_FAILPOINT(checkpoint.swap);
+    s = wal_.BeginGeneration(next_generation);
+  }
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> error_lock(wal_error_mu_);
+    if (wal_error_.ok()) wal_error_ = s;
+  }
+}
+
+GroupCommitStats SharedStore::group_stats() const {
+  GroupCommitStats stats;
+  stats.groups = groups_.load(std::memory_order_relaxed);
+  stats.slots_acked = slots_acked_.load(std::memory_order_relaxed);
+  stats.slots_rejected = slots_rejected_.load(std::memory_order_relaxed);
+  stats.max_group = max_group_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stats.queue_depth = queue_.size();
+  }
+  stats.wal_records = wal_.appended_records();
+  stats.wal_batches = wal_.append_batches();
+  stats.fsyncs = wal_.fsyncs();
+  return stats;
+}
+
+Status SharedStore::wal_status() const {
+  std::lock_guard<std::mutex> lock(wal_error_mu_);
+  return wal_error_;
 }
 
 }  // namespace lsd

@@ -2,8 +2,8 @@
 //
 // The paper's browsing modes are per-user and hypothetical, but the
 // database they browse is shared. SharedStore gives many concurrent
-// browsers one base: writers funnel through a single-writer commit path
-// that publishes immutable *epochs*; readers pin the current epoch with
+// browsers one base: writers funnel through a group-commit path that
+// publishes immutable *epochs*; readers pin the current epoch with
 // one shared_ptr copy under a briefly-held shared lock and then run the
 // whole request lock-free on the pinned epoch — a commit publishing
 // epoch N+1 never disturbs a reader still working on epoch N.
@@ -24,18 +24,44 @@
 // PR-2 (store, rules) version pair; the commit path reuses that pair to
 // detect and skip no-op commits.
 //
-// Commit = clone-the-tip: copy the newest epoch's facts/rules (O(n)),
-// apply the mutation batch to the copy, warm it, publish it. Mutation
-// failure discards the copy, so commits are all-or-nothing. Batch
-// several mutations into one Commit call to amortize the clone.
+// Commit = GROUP commit (the rocksdb WriteBatch leader/follower shape).
+// Every epoch costs a full clone of the tip (O(n)), a warm, and — when
+// the store is durable — a WAL append and possibly an fsync; paying
+// that per writer caps throughput at 1/(clone+warm+fsync). Instead,
+// concurrent Commit callers enqueue their mutation closures as *slots*;
+// the first arrival becomes the group leader, drains the whole queue,
+// applies every pending slot to ONE clone, logs all of their WAL
+// records under ONE fflush+fsync (Wal::AppendBatch), warms ONCE, and
+// publishes ONE epoch. Followers just block until the leader marks
+// their slot done. N concurrent writers therefore cost ~1 writer, and
+// acked-writes/sec scales with the group size (bench_server
+// --write-pct measures exactly this).
+//
+// Slot independence: a slot whose closure fails must not sink its
+// group. The leader drops the failed slot and replays the remaining
+// slots on a fresh clone, so every surviving slot still gets
+// all-or-nothing semantics and a failing writer only fails itself.
+// Because of replay, mutation closures may be invoked more than once —
+// they must be idempotent in their side effects on captured state
+// (write-only output strings, as commands.cc does, are fine).
+//
+// Ack rule: a follower is released (Commit returns) only after its
+// group's WAL batch has returned from fsync AND the epoch is published.
+// A crash before the group's fsync may lose the whole group — but no
+// client was ever told those writes existed, so the acked-floor
+// invariant the torture harness checks still holds.
 #ifndef LSD_SERVER_SHARED_STORE_H_
 #define LSD_SERVER_SHARED_STORE_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
+#include <vector>
 
 #include "core/loose_db.h"
 #include "util/status.h"
@@ -73,6 +99,35 @@ class Epoch {
 
 using EpochPtr = std::shared_ptr<const Epoch>;
 
+// Durability knobs for SharedStore::OpenDurable.
+struct SharedStoreDurability {
+  WalSync sync = WalSync::kFsync;
+  // WAL segment rotation threshold (0 disables rotation).
+  uint64_t segment_bytes = 4ull << 20;
+  // Leader-side auto-checkpoint: once this many bytes of WAL records
+  // accumulate since the last checkpoint, the leader snapshots the tip
+  // and swaps the log to a fresh generation. 0 disables.
+  uint64_t checkpoint_bytes = 0;
+};
+
+// A point-in-time sample of the group-commit machinery (the `stats`
+// verb's group-commit block).
+struct GroupCommitStats {
+  uint64_t groups = 0;          // commit groups processed
+  uint64_t slots_acked = 0;     // mutation slots acked OK
+  uint64_t slots_rejected = 0;  // slots failed by their own closure
+  uint64_t max_group = 0;       // largest group of slots
+  uint64_t queue_depth = 0;     // slots waiting right now
+  uint64_t wal_records = 0;     // records batch-appended to the WAL
+  uint64_t wal_batches = 0;     // AppendBatch calls (fsync opportunities)
+  uint64_t fsyncs = 0;          // fsyncs actually issued
+  double mean_group() const {
+    return groups == 0 ? 0.0
+                       : static_cast<double>(slots_acked + slots_rejected) /
+                             static_cast<double>(groups);
+  }
+};
+
 class SharedStore {
  public:
   // Publishes an empty (or standard-rules) epoch 0 immediately. Options
@@ -82,6 +137,15 @@ class SharedStore {
   SharedStore(const SharedStore&) = delete;
   SharedStore& operator=(const SharedStore&) = delete;
 
+  // Attaches durability: recovers <prefix>.snap + <prefix>.wal.NNNNNN
+  // into a fresh bootstrap epoch (replacing the constructor's), then
+  // opens the store-owned WAL at the recovered generation. Every
+  // subsequent commit group is batch-appended to that log before its
+  // epoch publishes. Call once, before any concurrent use. Operator
+  // definitions are not persisted (the LooseDb::Open limitation).
+  Status OpenDurable(const std::string& path_prefix,
+                     const SharedStoreDurability& durability = {});
+
   // Pins the current epoch: one shared_ptr copy under a shared lock
   // held for nanoseconds — never across any query work. Hold the
   // returned pointer for the duration of the request.
@@ -90,27 +154,81 @@ class SharedStore {
     return published_;
   }
 
-  // The single-writer commit path. Applies `mutate` to a private clone
-  // of the newest epoch, warms it, publishes it, and returns the new
-  // epoch. Serialized internally; safe to call from any thread. If
-  // `mutate` fails the clone is discarded and nothing is published. If
-  // `mutate` changes nothing (the (store, rules) version key pair is
+  // The group-commit path. Applies `mutate` — possibly together with
+  // other callers' mutations — to a private clone of the newest epoch,
+  // warms it, publishes it, and returns the new epoch. Safe to call
+  // from any thread. If `mutate` fails, its changes are discarded (the
+  // rest of its group survives) and nothing of it is published. If the
+  // whole group changes nothing (the (store, rules) version key pair is
   // unchanged), publication is skipped and the current epoch returned.
+  // `mutate` may run more than once (group replay after another slot
+  // fails); it must tolerate re-invocation.
   StatusOr<EpochPtr> Commit(
       const std::function<Status(LooseDb&)>& mutate);
 
-  // Total successful Commit calls that published a new epoch.
+  // Total commit groups that published a new epoch.
   uint64_t commits() const { return commits_.load(); }
+
+  // Group-commit observability. Cheap; callable from any thread.
+  GroupCommitStats group_stats() const;
+
+  // Durability observability: whether a WAL is attached, what recovery
+  // found, and the first append/checkpoint failure since (if any).
+  bool durable() const { return wal_.is_open(); }
+  const RecoveryStats& last_recovery() const { return last_recovery_; }
+  Status wal_status() const;
 
   // The options every epoch (and session overlay clone) is built with.
   const LooseDbOptions& options() const { return options_; }
 
  private:
+  // One waiting Commit call. Lives on its caller's stack; the leader
+  // fills result/epoch, then marks it done under queue_mu_.
+  struct CommitSlot {
+    const std::function<Status(LooseDb&)>* mutate = nullptr;
+    Status result;
+    EpochPtr epoch;
+    bool done = false;
+  };
+
+  // Leader duties: clone the tip once, apply every slot, batch-log,
+  // warm, publish. Fills every slot's result/epoch. Called without
+  // queue_mu_ held; only one leader runs at a time.
+  void ProcessGroup(std::vector<CommitSlot*> group);
+  // Applies `slots` in order to a fresh clone of the tip. On a slot
+  // failure, fills that slot's result, swaps it out of `slots`, and
+  // returns false (caller re-clones and replays). On success, returns
+  // true with the clone and its captured WAL records in the out-params.
+  bool ApplySlots(std::vector<CommitSlot*>* slots,
+                  std::unique_ptr<LooseDb>* out_db,
+                  std::vector<WalRecord>* out_records, EpochPtr* out_tip);
+  void MaybeCheckpoint(const EpochPtr& tip);
+
   LooseDbOptions options_;
-  std::mutex writer_mu_;             // serializes Commit
   mutable std::shared_mutex tip_mu_;  // guards the published_ pointer only
   EpochPtr published_;
   std::atomic<uint64_t> commits_{0};
+
+  // The commit queue. queue_mu_ guards queue_, leader_active_, and
+  // every slot's done flag; the leader works outside the lock.
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<CommitSlot*> queue_;
+  bool leader_active_ = false;
+
+  // Durability (leader-only once attached; see OpenDurable).
+  Wal wal_;
+  std::string save_prefix_;
+  uint64_t checkpoint_bytes_ = 0;
+  RecoveryStats last_recovery_;
+  mutable std::mutex wal_error_mu_;
+  Status wal_error_;  // first batch-append/checkpoint failure
+
+  // Group-commit counters (leader writes, stats readers sample).
+  std::atomic<uint64_t> groups_{0};
+  std::atomic<uint64_t> slots_acked_{0};
+  std::atomic<uint64_t> slots_rejected_{0};
+  std::atomic<uint64_t> max_group_{0};
 };
 
 }  // namespace lsd

@@ -522,22 +522,12 @@ Status Wal::BeginGeneration(uint64_t generation) {
   return Status::OK();
 }
 
-Status Wal::AppendRecord(uint8_t op,
-                         const std::vector<std::string>& fields) {
-  if (file_ == nullptr) {
-    return Status::FailedPrecondition("WAL is not open");
-  }
-  if (poisoned_) {
-    return Status::FailedPrecondition(
-        "WAL poisoned by an earlier append failure; reopen to salvage");
-  }
-  LSD_RETURN_IF_ERROR(RotateIfNeeded());
-
+Status Wal::WriteRecord(const WalRecord& rec, uint64_t* bytes_written) {
   // Stage the full record: [len][crc over len+payload][payload].
   BufWriter payload;
-  payload.U8(op);
-  payload.U8(static_cast<uint8_t>(fields.size()));
-  for (const std::string& s : fields) payload.Str(s);
+  payload.U8(rec.op);
+  payload.U8(static_cast<uint8_t>(rec.fields.size()));
+  for (const std::string& s : rec.fields) payload.Str(s);
   const uint32_t len = static_cast<uint32_t>(payload.str().size());
   uint32_t crc = Crc32cExtend(0, &len, sizeof(len));
   crc = Crc32cExtend(crc, payload.str().data(), len);
@@ -571,7 +561,40 @@ Status Wal::AppendRecord(uint8_t op,
                            std::to_string(record.size()) + " bytes) at " +
                            base_);
   }
+  *bytes_written += record.size();
+  return Status::OK();
+}
 
+Status Wal::AppendBatch(const std::vector<WalRecord>& records) {
+  if (records.empty()) return Status::OK();
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("WAL is not open");
+  }
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "WAL poisoned by an earlier append failure; reopen to salvage");
+  }
+  // Rotate once, up front: a group never spans segments, so recovery
+  // sees it as a contiguous record run (possibly with a torn suffix —
+  // exactly the shape salvage already handles).
+  LSD_RETURN_IF_ERROR(RotateIfNeeded());
+
+  uint64_t bytes_written = 0;
+  for (const WalRecord& rec : records) {
+    // The mid-group site: a crash here leaves the earlier records of
+    // the group on disk (buffered or flushed) and the rest missing —
+    // the torture harness proves recovery still lands on a valid
+    // prefix and that no ack was released for any of them.
+    LSD_FAILPOINT_HIT(wal.batch.record, fp_rec);
+    if (fp_rec.action == failpoint::Action::kError) {
+      poisoned_ = true;
+      return Status::IoError("injected mid-group append failure at " +
+                             base_);
+    }
+    LSD_RETURN_IF_ERROR(WriteRecord(rec, &bytes_written));
+  }
+
+  // One flush, one (optional) fsync for the whole group.
   LSD_FAILPOINT_HIT(wal.append.flush, fp_flush);
   if (fp_flush.action == failpoint::Action::kError ||
       std::fflush(file_) != 0) {
@@ -579,6 +602,16 @@ Status Wal::AppendRecord(uint8_t op,
     return Status::IoError("WAL flush of " + base_ + " failed");
   }
   if (options_.sync == WalSync::kFsync) {
+    // The group's bytes are in the page cache but not yet durable: the
+    // crash window the acked-floor invariant is about. A crash here
+    // may surface the whole group after recovery (the kernel got the
+    // bytes) or none of it — both are fine, because no follower has
+    // been acked yet.
+    LSD_FAILPOINT_HIT(wal.batch.sync, fp_bsync);
+    if (fp_bsync.action == failpoint::Action::kError) {
+      poisoned_ = true;
+      return Status::IoError("injected pre-fsync failure at " + base_);
+    }
     LSD_FAILPOINT_HIT(wal.fsync, fp_sync);
     if (fp_sync.action == failpoint::Action::kError ||
         ::fsync(::fileno(file_)) != 0) {
@@ -587,32 +620,64 @@ Status Wal::AppendRecord(uint8_t op,
       poisoned_ = true;
       return Status::IoError("WAL fsync of " + base_ + " failed");
     }
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
   }
-  segment_bytes_written_ += record.size();
-  generation_bytes_ += record.size();
+  segment_bytes_written_ += bytes_written;
+  generation_bytes_ += bytes_written;
+  appended_records_.fetch_add(records.size(), std::memory_order_relaxed);
+  append_batches_.fetch_add(1, std::memory_order_relaxed);
+  if (records.size() > max_batch_records_.load(std::memory_order_relaxed)) {
+    max_batch_records_.store(records.size(), std::memory_order_relaxed);
+  }
   return Status::OK();
 }
 
-Status Wal::AppendAssert(const FactStore& store, const Fact& f) {
+Status Wal::AppendRecord(uint8_t op,
+                         const std::vector<std::string>& fields) {
+  return AppendBatch({WalRecord{op, fields}});
+}
+
+WalRecord WalAssertRecord(const FactStore& store, const Fact& f) {
   const EntityTable& e = store.entities();
-  return AppendRecord(
-      kOpAssert, {e.Name(f.source), e.Name(f.relationship), e.Name(f.target)});
+  return WalRecord{
+      kOpAssert,
+      {e.Name(f.source), e.Name(f.relationship), e.Name(f.target)}};
+}
+
+WalRecord WalRetractRecord(const FactStore& store, const Fact& f) {
+  const EntityTable& e = store.entities();
+  return WalRecord{
+      kOpRetract,
+      {e.Name(f.source), e.Name(f.relationship), e.Name(f.target)}};
+}
+
+WalRecord WalRuleRecord(const Rule& rule, const EntityTable& entities) {
+  return WalRecord{kOpRule, {SerializeRule(rule, entities)}};
+}
+
+WalRecord WalRuleEnabledRecord(const std::string& rule_name, bool enabled) {
+  return WalRecord{enabled ? kOpEnableRule : kOpDisableRule, {rule_name}};
+}
+
+Status Wal::AppendAssert(const FactStore& store, const Fact& f) {
+  WalRecord rec = WalAssertRecord(store, f);
+  return AppendRecord(rec.op, rec.fields);
 }
 
 Status Wal::AppendRetract(const FactStore& store, const Fact& f) {
-  const EntityTable& e = store.entities();
-  return AppendRecord(
-      kOpRetract,
-      {e.Name(f.source), e.Name(f.relationship), e.Name(f.target)});
+  WalRecord rec = WalRetractRecord(store, f);
+  return AppendRecord(rec.op, rec.fields);
 }
 
 Status Wal::AppendRule(const Rule& rule, const EntityTable& entities) {
-  return AppendRecord(kOpRule, {SerializeRule(rule, entities)});
+  WalRecord rec = WalRuleRecord(rule, entities);
+  return AppendRecord(rec.op, rec.fields);
 }
 
 Status Wal::AppendSetRuleEnabled(const std::string& rule_name,
                                  bool enabled) {
-  return AppendRecord(enabled ? kOpEnableRule : kOpDisableRule, {rule_name});
+  WalRecord rec = WalRuleEnabledRecord(rule_name, enabled);
+  return AppendRecord(rec.op, rec.fields);
 }
 
 Status Wal::Replay(const std::string& base, FactStore* store,

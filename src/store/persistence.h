@@ -29,11 +29,14 @@
 //
 // Fault injection: the write, flush, fsync, rotate and checkpoint paths
 // carry failpoints (util/failpoint.h) named wal.append.write,
-// wal.append.flush, wal.fsync, wal.rotate, snapshot.write; the
+// wal.append.flush, wal.fsync, wal.rotate, snapshot.write, plus the
+// group-commit sites wal.batch.record (before each record of a group)
+// and wal.batch.sync (after the group's flush, before its fsync); the
 // crash-torture harness kills the process at each of them.
 #ifndef LSD_STORE_PERSISTENCE_H_
 #define LSD_STORE_PERSISTENCE_H_
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -93,6 +96,21 @@ struct RecoveryStats {
   std::string ToString() const;
 };
 
+// One staged WAL record: an opcode plus its name fields, not yet
+// framed. The group-commit leader collects the records of every
+// mutation in a commit group (LooseDb::set_mutation_capture) and hands
+// them to Wal::AppendBatch so the whole group shares one fflush+fsync.
+struct WalRecord {
+  uint8_t op = 0;
+  std::vector<std::string> fields;
+};
+
+// Builders producing the exact records the single-append methods log.
+WalRecord WalAssertRecord(const FactStore& store, const Fact& f);
+WalRecord WalRetractRecord(const FactStore& store, const Fact& f);
+WalRecord WalRuleRecord(const Rule& rule, const EntityTable& entities);
+WalRecord WalRuleEnabledRecord(const std::string& rule_name, bool enabled);
+
 // Append-only mutation log over a family of segment files
 // `<base>.NNNNNN`. Single-writer; Replay is the single reader.
 class Wal {
@@ -131,6 +149,28 @@ class Wal {
   Status AppendRule(const Rule& rule, const EntityTable& entities);
   Status AppendSetRuleEnabled(const std::string& rule_name, bool enabled);
 
+  // Group commit: frames every record of `records`, then flushes (and
+  // at WalSync::kFsync, fsyncs) ONCE for the whole group — the
+  // amortization that makes N concurrent writers pay one platter round
+  // trip instead of N. The group never spans a rotation: the segment is
+  // rotated (if due) before the first record, then the whole group
+  // lands in one segment even if it overshoots segment_bytes (the next
+  // append rotates). Failure semantics match the single-record path:
+  // any write/flush/fsync failure poisons the log and the whole group
+  // must be treated as not durable — callers ack their writers only
+  // after AppendBatch returns OK. An empty group is a no-op.
+  //
+  // The single-record Append* methods above are AppendBatch of one.
+  Status AppendBatch(const std::vector<WalRecord>& records);
+
+  // Lifetime counters for the fsync-amortization story ("fsyncs issued
+  // vs writes acked"). Atomic so a stats reader can sample them while
+  // the (single) writer appends.
+  uint64_t appended_records() const { return appended_records_.load(); }
+  uint64_t append_batches() const { return append_batches_.load(); }
+  uint64_t max_batch_records() const { return max_batch_records_.load(); }
+  uint64_t fsyncs() const { return fsyncs_.load(); }
+
   // The checkpoint swap: starts a fresh segment stamped `generation`,
   // then unlinks every older-generation segment. Call after the
   // matching snapshot has been atomically published.
@@ -150,6 +190,9 @@ class Wal {
 
  private:
   Status AppendRecord(uint8_t op, const std::vector<std::string>& fields);
+  // Frames and fwrites one record (no flush/sync); evaluates the
+  // wal.append.write failpoint and poisons the log on any failure.
+  Status WriteRecord(const WalRecord& record, uint64_t* bytes_written);
   Status OpenSegment(uint64_t seq, uint64_t generation);
   Status RotateIfNeeded();
 
@@ -161,6 +204,10 @@ class Wal {
   uint64_t segment_bytes_written_ = 0;  // active segment size
   uint64_t generation_bytes_ = 0;
   bool poisoned_ = false;
+  std::atomic<uint64_t> appended_records_{0};
+  std::atomic<uint64_t> append_batches_{0};
+  std::atomic<uint64_t> max_batch_records_{0};
+  std::atomic<uint64_t> fsyncs_{0};
 };
 
 }  // namespace lsd

@@ -173,8 +173,9 @@ TEST_F(FailpointTest, ConfigureRejectsBadSpecs) {
 TEST_F(FailpointTest, CanonicalDurabilitySitesExist) {
   const char* kSites[] = {
       "wal.append.write", "wal.append.flush",   "wal.rotate",
-      "snapshot.write",   "snapshot.rename",    "wal.generation.swap",
-      "checkpoint.swap",  "store.commit.begin", "store.commit.publish",
+      "wal.batch.record", "wal.batch.sync",     "snapshot.write",
+      "snapshot.rename",  "wal.generation.swap", "checkpoint.swap",
+      "store.commit.begin", "store.commit.publish",
   };
   // Grepping the sources is out of reach for a unit test; instead,
   // every site must at least be armable and clearable by name without

@@ -11,6 +11,9 @@
 #                          protocol).
 #   BENCH_recovery.json    bench_recovery (cold Open() recovery time vs
 #                          WAL size, with and without checkpoints).
+#   BENCH_wal.json         bench_server write mix (group commit: acked
+#                          writes/sec at fsync-on as concurrent writer
+#                          sessions scale, with group-size stats).
 #
 # Numbers checked into the tree must come from an optimized build, so
 # this script configures and builds its own Release tree (default
@@ -101,6 +104,17 @@ require "$server_bench"
 out="$repo_root/BENCH_server.json"
 "$server_bench" --sessions 1,4,16,64,256,1024,4096,10000 --requests 100 \
   --protocols text,binary --window 16 --json "$out"
+echo "wrote $out"
+
+# BENCH_wal.json: the group-commit write sweep. Every request is a
+# unique assert against a durable store (one real fsync per commit
+# group); the store is preloaded so the serial baseline clones the same
+# tip the concurrent rows do. The interesting ratio is writes_per_sec
+# at N sessions over the sessions=1 row — group commit amortizes the
+# per-group clone + WAL fsync across every writer in the group.
+out="$repo_root/BENCH_wal.json"
+"$server_bench" --sessions 1,4,16,64 --requests 100 --protocols binary \
+  --window 4 --write-pct 100 --sync fsync --json "$out"
 echo "wrote $out"
 
 # BENCH_recovery.json: recovery time vs log size, checkpoints off/on.

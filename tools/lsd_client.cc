@@ -1,7 +1,7 @@
 // lsd_client — interactive (or piped) client for lsd_serve.
 //
 //   lsd_client [--port N] [--host A.B.C.D] [--max-attempts N]
-//              [--binary] [--window N]
+//              [--binary] [--window N] [--retry-writes]
 //
 // Reads command lines from stdin, sends each to the server, and prints
 // the response payload (or "error: ..." on ERR). The same grammar as
@@ -19,6 +19,17 @@
 // both a refused/failed connect and an "ERR server busy" admission
 // rejection are transient (the server sheds load instead of queueing),
 // so the client backs off and tries again up to --max-attempts times.
+//
+// Mid-stream failures (the connection dies with requests un-answered)
+// are retried — reconnect, resend — ONLY when every unanswered request
+// is a read verb. A write (assert/retract/rule/...) that dies after
+// being sent is AMBIGUOUS: the server may have committed it before the
+// connection broke, and blindly resending would apply it twice
+// (re-asserting is harmless, but a retract or a rule definition is
+// not). By default the client refuses to guess and exits with an error
+// naming the verb; --retry-writes opts back into resending everything.
+// Note a retry lands on a fresh session: shared-store state is intact,
+// but session-local state (trail, hypo overlay, limit) starts over.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -26,11 +37,13 @@
 #include <time.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <iostream>
+#include <memory>
 #include <random>
 #include <string>
 
@@ -43,6 +56,27 @@ void SleepMs(long ms) {
   ts.tv_sec = ms / 1000;
   ts.tv_nsec = (ms % 1000) * 1000000L;
   ::nanosleep(&ts, nullptr);
+}
+
+// Does `line` only read? Writes — anything that commits through the
+// shared store, plus session-local mutations whose duplication would be
+// visible (hypo) — are not safe to resend after an ambiguous failure.
+bool IsReadVerb(const std::string& line) {
+  std::string verb;
+  for (char c : line) {
+    if (c == ' ' || c == '\t') break;
+    verb.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  static const char* kWrites[] = {
+      "assert", "retract", "assert*", "retract*", "rule",
+      "integrity", "define", "include", "exclude", "load",
+      "save", "hypo",
+  };
+  for (const char* w : kWrites) {
+    if (verb == w) return false;
+  }
+  return true;
 }
 
 // One connect + greeting exchange. Returns the connected fd, or -1
@@ -84,6 +118,28 @@ int TryConnect(const struct sockaddr_in& addr, bool* transient,
   return fd;
 }
 
+// Full backoff-jitter connect loop; -1 after max_attempts.
+int ConnectWithBackoff(const struct sockaddr_in& addr, int max_attempts,
+                       std::mt19937_64* rng) {
+  std::string error;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    bool transient = false;
+    int fd = TryConnect(addr, &transient, &error);
+    if (fd >= 0) return fd;
+    if (!transient || attempt == max_attempts) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return -1;
+    }
+    long cap_ms = 100L << (attempt - 1 < 5 ? attempt - 1 : 5);
+    long wait_ms = static_cast<long>(
+        std::uniform_int_distribution<long>(0, cap_ms - 1)(*rng));
+    std::fprintf(stderr, "%s; retrying in %ldms (attempt %d/%d)\n",
+                 error.c_str(), wait_ms, attempt, max_attempts);
+    SleepMs(wait_ms);
+  }
+  return -1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,6 +147,7 @@ int main(int argc, char** argv) {
   uint16_t port = 7420;
   int max_attempts = 5;
   bool binary = false;
+  bool retry_writes = false;
   size_t window = 1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -103,6 +160,8 @@ int main(int argc, char** argv) {
       if (max_attempts < 1) max_attempts = 1;
     } else if (arg == "--binary") {
       binary = true;
+    } else if (arg == "--retry-writes") {
+      retry_writes = true;
     } else if (arg == "--window" && i + 1 < argc) {
       long w = std::atol(argv[++i]);
       window = w < 1 ? 1 : static_cast<size_t>(w);
@@ -110,7 +169,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--host A.B.C.D] [--port N] "
-                   "[--max-attempts N] [--binary] [--window N]\n",
+                   "[--max-attempts N] [--binary] [--window N] "
+                   "[--retry-writes]\n",
                    argv[0]);
       return 2;
     }
@@ -131,26 +191,22 @@ int main(int argc, char** argv) {
   std::mt19937_64 rng(
       static_cast<uint64_t>(::getpid()) * 2654435761u ^
       static_cast<uint64_t>(time(nullptr)));
-  int fd = -1;
-  std::string error;
-  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    bool transient = false;
-    fd = TryConnect(addr, &transient, &error);
-    if (fd >= 0) break;
-    if (!transient || attempt == max_attempts) {
-      std::fprintf(stderr, "%s\n", error.c_str());
-      return 1;
-    }
-    long cap_ms = 100L << (attempt - 1 < 5 ? attempt - 1 : 5);
-    long wait_ms = static_cast<long>(
-        std::uniform_int_distribution<long>(0, cap_ms - 1)(rng));
-    std::fprintf(stderr, "%s; retrying in %ldms (attempt %d/%d)\n",
-                 error.c_str(), wait_ms, attempt, max_attempts);
-    SleepMs(wait_ms);
-  }
+  int fd = ConnectWithBackoff(addr, max_attempts, &rng);
+  if (fd < 0) return 1;
 
   bool tty = ::isatty(STDIN_FILENO) != 0;
   if (tty) window = 1;  // keep the prompt in step with replies
+
+  // Are all of `unanswered` safe to resend on a fresh connection?
+  // Returns the offending line when not (and retry-writes is off).
+  auto refusal = [&](const std::deque<std::string>& unanswered)
+      -> const std::string* {
+    if (retry_writes) return nullptr;
+    for (const std::string& l : unanswered) {
+      if (!IsReadVerb(l)) return &l;
+    }
+    return nullptr;
+  };
 
   if (binary) {
     // Pipelined binary mode: keep up to `window` requests in flight,
@@ -158,29 +214,65 @@ int main(int argc, char** argv) {
     lsd::BinaryFrameParser parser;
     uint64_t next_id = 1;
     std::deque<uint64_t> inflight;
-    auto drain_one = [&]() -> bool {
-      auto reply = lsd::ReadFrame(fd, &parser);
-      if (!reply.ok()) {
-        std::fprintf(stderr, "recv: %s\n",
-                     reply.status().ToString().c_str());
-        return false;
+    std::deque<std::string> inflight_lines;  // parallel to inflight
+
+    // Reconnect and resend every unanswered request, oldest first.
+    // Only called once refusal() cleared them.
+    auto recover = [&]() -> bool {
+      ::close(fd);
+      fd = ConnectWithBackoff(addr, max_attempts, &rng);
+      if (fd < 0) return false;
+      parser = lsd::BinaryFrameParser();
+      inflight.clear();
+      for (const std::string& l : inflight_lines) {
+        lsd::Status sent = lsd::WriteAll(
+            fd, lsd::EncodeFrame(lsd::FrameType::kRequest, next_id, l));
+        if (!sent.ok()) {
+          std::fprintf(stderr, "resend: %s\n", sent.ToString().c_str());
+          return false;
+        }
+        inflight.push_back(next_id++);
       }
-      if (inflight.empty() || reply->request_id != inflight.front()) {
-        std::fprintf(stderr, "recv: response id %llu out of order\n",
-                     static_cast<unsigned long long>(reply->request_id));
-        return false;
-      }
-      inflight.pop_front();
-      if (reply->type == lsd::FrameType::kOk) {
-        std::printf("%s", reply->payload.c_str());
-      } else {
-        // ERR payloads carry the one-line error message.
-        std::string msg = reply->payload;
-        while (!msg.empty() && msg.back() == '\n') msg.pop_back();
-        std::printf("error: %s\n", msg.c_str());
-      }
-      std::fflush(stdout);
       return true;
+    };
+    auto drain_one = [&]() -> bool {
+      for (;;) {
+        auto reply = lsd::ReadFrame(fd, &parser);
+        if (!reply.ok()) {
+          const std::string* blocked = refusal(inflight_lines);
+          if (blocked != nullptr) {
+            std::fprintf(stderr,
+                         "recv: %s\nerror: connection lost with '%s' "
+                         "unanswered — a write may or may not have "
+                         "committed; not resending (pass --retry-writes "
+                         "to resend anyway)\n",
+                         reply.status().ToString().c_str(),
+                         blocked->c_str());
+            return false;
+          }
+          std::fprintf(stderr, "recv: %s; reconnecting\n",
+                       reply.status().ToString().c_str());
+          if (!recover()) return false;
+          continue;
+        }
+        if (inflight.empty() || reply->request_id != inflight.front()) {
+          std::fprintf(stderr, "recv: response id %llu out of order\n",
+                       static_cast<unsigned long long>(reply->request_id));
+          return false;
+        }
+        inflight.pop_front();
+        inflight_lines.pop_front();
+        if (reply->type == lsd::FrameType::kOk) {
+          std::printf("%s", reply->payload.c_str());
+        } else {
+          // ERR payloads carry the one-line error message.
+          std::string msg = reply->payload;
+          while (!msg.empty() && msg.back() == '\n') msg.pop_back();
+          std::printf("error: %s\n", msg.c_str());
+        }
+        std::fflush(stdout);
+        return true;
+      }
     };
     std::string line;
     bool quitting = false;
@@ -191,10 +283,25 @@ int main(int argc, char** argv) {
       lsd::Status sent = lsd::WriteAll(
           fd, lsd::EncodeFrame(lsd::FrameType::kRequest, next_id, line));
       if (!sent.ok()) {
-        std::fprintf(stderr, "send: %s\n", sent.ToString().c_str());
-        return 1;
+        // A send failure is ambiguous too: earlier pipelined writes may
+        // still be unanswered. Same policy as recv.
+        const std::string* blocked = refusal(inflight_lines);
+        if (blocked != nullptr) {
+          std::fprintf(stderr,
+                       "send: %s\nerror: connection lost with '%s' "
+                       "unanswered — not resending writes (pass "
+                       "--retry-writes to override)\n",
+                       sent.ToString().c_str(), blocked->c_str());
+          return 1;
+        }
+        inflight_lines.push_back(line);
+        std::fprintf(stderr, "send: %s; reconnecting\n",
+                     sent.ToString().c_str());
+        if (!recover()) return 1;
+      } else {
+        inflight.push_back(next_id++);
+        inflight_lines.push_back(line);
       }
-      inflight.push_back(next_id++);
       quitting = line == "quit" || line == "exit";
       while (inflight.size() >= (quitting ? 1 : window)) {
         if (!drain_one()) return 1;
@@ -208,28 +315,48 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  lsd::LineReader reader(fd);
+  auto reader = std::make_unique<lsd::LineReader>(fd);
   std::string line;
   while ((tty && (std::printf("lsd> "), std::fflush(stdout), true), true) &&
          std::getline(std::cin, line)) {
     if (line.empty()) continue;
-    lsd::Status sent = lsd::WriteAll(fd, line + "\n");
-    if (!sent.ok()) {
-      std::fprintf(stderr, "send: %s\n", sent.ToString().c_str());
-      return 1;
-    }
-    auto response = lsd::ReadResponse(&reader);
-    if (!response.ok()) {
-      std::fprintf(stderr, "recv: %s\n",
+    for (int attempt = 1;; ++attempt) {
+      lsd::Status sent = lsd::WriteAll(fd, line + "\n");
+      lsd::StatusOr<lsd::WireResponse> response =
+          sent.ok() ? lsd::ReadResponse(reader.get())
+                    : lsd::StatusOr<lsd::WireResponse>(sent);
+      if (response.ok()) {
+        if (response->ok) {
+          std::printf("%s", response->payload.c_str());
+        } else {
+          std::printf("error: %s\n", response->error.c_str());
+        }
+        std::fflush(stdout);
+        break;
+      }
+      // The connection died with `line` unanswered. Reads are safe to
+      // replay on a fresh connection; a write may already have
+      // committed, so resending it needs explicit consent.
+      if (!retry_writes && !IsReadVerb(line)) {
+        std::fprintf(stderr,
+                     "recv: %s\nerror: '%s' was sent but not answered — "
+                     "the write may or may not have committed; not "
+                     "resending (pass --retry-writes to resend anyway)\n",
+                     response.status().ToString().c_str(), line.c_str());
+        return 1;
+      }
+      if (attempt >= max_attempts) {
+        std::fprintf(stderr, "recv: %s (gave up after %d attempts)\n",
+                     response.status().ToString().c_str(), attempt);
+        return 1;
+      }
+      std::fprintf(stderr, "recv: %s; reconnecting\n",
                    response.status().ToString().c_str());
-      return 1;
+      ::close(fd);
+      fd = ConnectWithBackoff(addr, max_attempts, &rng);
+      if (fd < 0) return 1;
+      reader = std::make_unique<lsd::LineReader>(fd);
     }
-    if (response->ok) {
-      std::printf("%s", response->payload.c_str());
-    } else {
-      std::printf("error: %s\n", response->error.c_str());
-    }
-    std::fflush(stdout);
     if (line == "quit" || line == "exit") break;
   }
   ::close(fd);

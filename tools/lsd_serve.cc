@@ -8,6 +8,11 @@
 //
 //   lsd_serve [--port N] [--max-sessions N] [--seed campus|music|org]
 //             [--load FILE] [--request-timeout-ms N]
+//             [--db PREFIX] [--sync fsync|flush] [--checkpoint-bytes N]
+//
+// --db attaches durability: <PREFIX>.snap + <PREFIX>.wal.NNNNNN are
+// recovered on startup and every commit group is batch-appended (one
+// fsync per group at --sync fsync) before its epoch publishes.
 //
 // Try it with nc:  printf 'probe (STUDENT, TAKE, MATH)\nquit\n' | nc 127.0.0.1 7420
 
@@ -32,7 +37,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--max-sessions N] "
                "[--seed campus|music|org] [--load FILE] "
-               "[--request-timeout-ms N]\n",
+               "[--request-timeout-ms N] [--db PREFIX] "
+               "[--sync fsync|flush] [--checkpoint-bytes N]\n",
                argv0);
   return 2;
 }
@@ -44,6 +50,8 @@ int main(int argc, char** argv) {
   options.port = 7420;
   std::string seed;
   std::string load_path;
+  std::string db_prefix;
+  lsd::SharedStoreDurability durability;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -70,12 +78,47 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.request_timeout = std::chrono::milliseconds(std::atol(v));
+    } else if (arg == "--db") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      db_prefix = v;
+    } else if (arg == "--sync") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      if (std::strcmp(v, "fsync") == 0) {
+        durability.sync = lsd::WalSync::kFsync;
+      } else if (std::strcmp(v, "flush") == 0) {
+        durability.sync = lsd::WalSync::kFlush;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--checkpoint-bytes") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      durability.checkpoint_bytes = static_cast<uint64_t>(std::atoll(v));
     } else {
       return Usage(argv[0]);
     }
   }
 
   lsd::SharedStore store;
+  if (!db_prefix.empty()) {
+    lsd::Status opened = store.OpenDurable(db_prefix, durability);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   opened.ToString().c_str());
+      return 1;
+    }
+    std::printf("recovered %s: %s\n", db_prefix.c_str(),
+                store.last_recovery().ToString().c_str());
+    // Seed only on the very first boot: a restart must not re-apply
+    // the seed on top of its own snapshot/WAL replay.
+    if (store.last_recovery().snapshot_loaded ||
+        store.last_recovery().records_replayed > 0) {
+      seed.clear();
+      load_path.clear();
+    }
+  }
   if (!seed.empty() || !load_path.empty()) {
     auto seeded = store.Commit([&](lsd::LooseDb& db) -> lsd::Status {
       if (seed == "campus") {

@@ -141,6 +141,19 @@ void DoStats(LooseDb& db) {
                     static_cast<double>(hits + misses));
   }
   std::printf("\n");
+  if (db.wal().is_open()) {
+    std::printf("wal:            %llu records in %llu batches, %llu fsyncs"
+                " (gen %llu, %llu bytes since checkpoint)\n",
+                static_cast<unsigned long long>(db.wal().appended_records()),
+                static_cast<unsigned long long>(db.wal().append_batches()),
+                static_cast<unsigned long long>(db.wal().fsyncs()),
+                static_cast<unsigned long long>(db.wal().generation()),
+                static_cast<unsigned long long>(db.wal().generation_bytes()));
+    if (!db.wal_status().ok()) {
+      std::printf("wal status:     DEGRADED: %s\n",
+                  db.wal_status().ToString().c_str());
+    }
+  }
 }
 
 void Help() {
