@@ -1,0 +1,396 @@
+// bench_replication — WAL shipping: follower catch-up and read fan-out.
+//
+// Two measurements over an in-process primary/follower topology (real
+// loopback TCP between shipper and clients, the same path lsd_serve
+// --follow uses):
+//
+//   * catch-up-from-cold: preload a durable primary with N records,
+//     then start a cold follower and time how long until its replica
+//     provably equals the primary's tip (records/sec, shipped bytes).
+//
+//   * read fan-out: under a continuous fsync-on write load on the
+//     primary, sweep 1/2/4 followers each serving the browsing read
+//     mix through a ServerSession gated by its staleness monitor.
+//     Aggregate follower reads/sec should scale with follower count —
+//     the replicas share nothing — while the write rate and the worst
+//     observed staleness stay flat.
+//
+// Not a google-benchmark suite: the unit of interest is wall-clock
+// convergence and aggregate throughput across several threads and
+// sockets, reported next to the staleness the readers actually saw.
+//
+//   bench_replication [--records 20000] [--followers 1,2,4]
+//                     [--duration-ms 2000] [--json FILE] [--check]
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "replication/log_shipper.h"
+#include "replication/monitor.h"
+#include "replication/replication_client.h"
+#include "server/session.h"
+#include "server/shared_store.h"
+#include "workload/university_domain.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+// The read-mostly browsing mix every follower session cycles through
+// (mirrors bench_server's, minus the entities the synthetic preload
+// does not create).
+const char* kReadMix[] = {
+    "query (TOM, ENROLLED-IN, ?C)",
+    "nav TOM",
+    "query (?S, ENROLLED-IN, MATH101)",
+    "nav CS100",
+    "query (FRESHMAN, LOVE, ?Z)",
+    "probe (STUDENT, LOVE, ?Z) and (?Z, COSTS, FREE)",
+};
+constexpr size_t kReadMixSize = sizeof(kReadMix) / sizeof(kReadMix[0]);
+
+struct Follower {
+  lsd::SharedStore store;
+  std::unique_ptr<lsd::ReplicationMonitor> monitor;
+  std::unique_ptr<lsd::ReplicationClient> client;
+};
+
+std::unique_ptr<Follower> StartFollower(uint16_t port,
+                                        const std::string& scratch) {
+  auto f = std::make_unique<Follower>();
+  f->monitor = std::make_unique<lsd::ReplicationMonitor>();
+  lsd::ReplicationClientOptions options;
+  options.port = port;
+  options.scratch_prefix = scratch;
+  options.backoff_base_ms = 20;
+  f->client = std::make_unique<lsd::ReplicationClient>(
+      &f->store, f->monitor.get(), options);
+  lsd::Status started = f->client->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "follower start failed: %s\n",
+                 started.ToString().c_str());
+    std::exit(1);
+  }
+  return f;
+}
+
+bool Converged(Follower& f, lsd::SharedStore& primary) {
+  const lsd::ReplicationStatus s = f.monitor->Sample();
+  return s.ever_synced && s.lag_bytes == 0 &&
+         s.applied_epoch == primary.snapshot()->sequence();
+}
+
+// Blocks until the follower's replica equals the primary's current tip.
+double WaitConvergedMs(Follower& f, lsd::SharedStore& primary,
+                       int timeout_ms) {
+  auto t0 = Clock::now();
+  auto deadline = t0 + std::chrono::milliseconds(timeout_ms);
+  while (!Converged(f, primary)) {
+    if (Clock::now() > deadline) {
+      std::fprintf(stderr, "follower never converged (lag %llu bytes)\n",
+                   static_cast<unsigned long long>(
+                       f.monitor->Sample().lag_bytes));
+      std::exit(1);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+struct CatchUpResult {
+  size_t records = 0;
+  uint64_t wal_bytes = 0;
+  double catch_up_ms = 0;
+  double records_per_sec = 0;
+  uint64_t snapshots = 0;
+};
+
+struct FanoutResult {
+  int followers = 0;
+  double duration_s = 0;
+  uint64_t reads = 0;
+  double reads_per_sec = 0;
+  uint64_t writes = 0;
+  double writes_per_sec = 0;
+  uint64_t max_lag_ms = 0;
+  uint64_t max_lag_bytes = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t records = 20000;
+  std::vector<int> follower_counts = {1, 2, 4};
+  int duration_ms = 2000;
+  std::string json_path;
+  bool check = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--records" && i + 1 < argc) {
+      records = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--followers" && i + 1 < argc) {
+      follower_counts.clear();
+      std::string list = argv[++i];
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        follower_counts.push_back(
+            std::atoi(list.substr(pos, comma - pos).c_str()));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (arg == "--duration-ms" && i + 1 < argc) {
+      duration_ms = std::atoi(argv[++i]);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--check") {
+      check = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--records N] [--followers 1,2,4] "
+                   "[--duration-ms N] [--json FILE] [--check]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (check) {
+    // Smoke configuration: small, fast, still end-to-end.
+    records = 500;
+    follower_counts = {1};
+    duration_ms = 300;
+  }
+
+  std::error_code ec;
+  fs::path dir = fs::temp_directory_path() /
+                 ("lsd_bench_repl_" + std::to_string(::getpid()));
+  fs::create_directories(dir, ec);
+
+  // ---- Primary: durable, fsync-on, shipping -----------------------------
+  lsd::SharedStore primary;
+  lsd::SharedStoreDurability durability;
+  durability.sync = lsd::WalSync::kFsync;
+  lsd::Status opened =
+      primary.OpenDurable((dir / "primary").string(), durability);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", opened.ToString().c_str());
+    return 1;
+  }
+  auto seeded = primary.Commit([&](lsd::LooseDb& db) {
+    lsd::workload::BuildCampusDomain(&db);
+    return lsd::Status::OK();
+  });
+  if (!seeded.ok()) return 1;
+  // Preload in batches: one record per fact, many facts per fsync.
+  for (size_t done = 0; done < records;) {
+    size_t batch = std::min<size_t>(256, records - done);
+    auto committed = primary.Commit([&](lsd::LooseDb& db) {
+      for (size_t i = 0; i < batch; ++i) {
+        size_t n = done + i;
+        db.Assert("E-" + std::to_string(n),
+                  "REL-" + std::to_string(n % 16),
+                  "V-" + std::to_string(n));
+      }
+      return lsd::Status::OK();
+    });
+    if (!committed.ok()) return 1;
+    done += batch;
+  }
+  uint64_t wal_bytes = 0;
+  for (const lsd::WalSegmentInfo& seg : primary.wal().SegmentInventory()) {
+    wal_bytes += seg.bytes;
+  }
+
+  lsd::LogShipperOptions ship_options;
+  ship_options.heartbeat_ms = 100;
+  lsd::LogShipper shipper(&primary, ship_options);
+  lsd::Status shipping = shipper.Start();
+  if (!shipping.ok()) {
+    std::fprintf(stderr, "shipper start failed: %s\n",
+                 shipping.ToString().c_str());
+    return 1;
+  }
+
+  // ---- Catch-up from cold ----------------------------------------------
+  CatchUpResult catch_up;
+  catch_up.records = records;
+  catch_up.wal_bytes = wal_bytes;
+  {
+    auto cold = StartFollower(shipper.port(), (dir / "cold").string());
+    catch_up.catch_up_ms = WaitConvergedMs(*cold, primary, 120000);
+    catch_up.records_per_sec =
+        1000.0 * static_cast<double>(records) / catch_up.catch_up_ms;
+    catch_up.snapshots = cold->monitor->Sample().snapshots_loaded;
+    if (check) {
+      // The replica must answer the paper's golden probe exactly as
+      // the primary does.
+      lsd::ServerSession on_primary(1, &primary);
+      lsd::ServerSession on_follower(1, &cold->store);
+      on_follower.set_replication(cold->monitor.get());
+      const char* probe = "probe (STUDENT, LOVE, ?Z) and (?Z, COSTS, FREE)";
+      auto a = on_primary.Execute(probe);
+      auto b = on_follower.Execute(probe);
+      if (!a.ok() || !b.ok() || *a != *b) {
+        std::fprintf(stderr, "check failed: golden probe diverged\n");
+        return 1;
+      }
+    }
+    cold->client->Stop();
+  }
+  std::printf("# bench_replication: catch-up-from-cold, then follower "
+              "read fan-out under fsync-on write load\n");
+  std::printf("catch-up: %zu records (%llu WAL bytes) in %.1f ms "
+              "(%.0f records/s, %llu snapshots)\n",
+              catch_up.records,
+              static_cast<unsigned long long>(catch_up.wal_bytes),
+              catch_up.catch_up_ms, catch_up.records_per_sec,
+              static_cast<unsigned long long>(catch_up.snapshots));
+
+  // ---- Read fan-out under write load ------------------------------------
+  std::printf("%9s %12s %13s %12s %13s %10s\n", "followers", "reads",
+              "reads/sec", "writes/sec", "max_lag_ms", "max_lag_B");
+  std::vector<FanoutResult> fanout;
+  for (int count : follower_counts) {
+    std::vector<std::unique_ptr<Follower>> followers;
+    for (int f = 0; f < count; ++f) {
+      followers.push_back(StartFollower(
+          shipper.port(),
+          (dir / ("f" + std::to_string(count) + "-" + std::to_string(f)))
+              .string()));
+      WaitConvergedMs(*followers.back(), primary, 120000);
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> writes{0};
+    std::thread writer([&] {
+      uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::string name = "W" + std::to_string(count) + "-" +
+                           std::to_string(n++);
+        auto committed = primary.Commit([&name](lsd::LooseDb& db) {
+          db.Assert(name, "MARKS", "DONE");
+          return lsd::Status::OK();
+        });
+        if (committed.ok()) {
+          writes.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+
+    std::vector<std::thread> readers;
+    std::vector<uint64_t> read_counts(static_cast<size_t>(count), 0);
+    std::atomic<uint64_t> max_lag_ms{0};
+    std::atomic<uint64_t> max_lag_bytes{0};
+    for (int f = 0; f < count; ++f) {
+      readers.emplace_back([&, f] {
+        Follower& self = *followers[static_cast<size_t>(f)];
+        lsd::ServerSession session(static_cast<uint64_t>(f + 1),
+                                   &self.store);
+        session.set_replication(self.monitor.get());
+        uint64_t n = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          auto result = session.Execute(kReadMix[n % kReadMixSize]);
+          if (result.ok()) ++read_counts[static_cast<size_t>(f)];
+          if (n % 32 == 0) {
+            const lsd::ReplicationStatus s = self.monitor->Sample();
+            uint64_t seen = max_lag_ms.load(std::memory_order_relaxed);
+            while (s.lag_ms > seen &&
+                   !max_lag_ms.compare_exchange_weak(seen, s.lag_ms)) {
+            }
+            seen = max_lag_bytes.load(std::memory_order_relaxed);
+            while (s.lag_bytes > seen &&
+                   !max_lag_bytes.compare_exchange_weak(seen,
+                                                        s.lag_bytes)) {
+            }
+          }
+          ++n;
+        }
+      });
+    }
+
+    auto t0 = Clock::now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+    stop.store(true);
+    for (auto& t : readers) t.join();
+    writer.join();
+    double elapsed_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    FanoutResult r;
+    r.followers = count;
+    r.duration_s = elapsed_s;
+    for (uint64_t c : read_counts) r.reads += c;
+    r.reads_per_sec = static_cast<double>(r.reads) / elapsed_s;
+    r.writes = writes.load();
+    r.writes_per_sec = static_cast<double>(r.writes) / elapsed_s;
+    r.max_lag_ms = max_lag_ms.load();
+    r.max_lag_bytes = max_lag_bytes.load();
+    fanout.push_back(r);
+    std::printf("%9d %12llu %13.0f %12.0f %13llu %10llu\n", r.followers,
+                static_cast<unsigned long long>(r.reads), r.reads_per_sec,
+                r.writes_per_sec,
+                static_cast<unsigned long long>(r.max_lag_ms),
+                static_cast<unsigned long long>(r.max_lag_bytes));
+
+    for (auto& f : followers) f->client->Stop();
+    if (check && (r.reads == 0 || r.writes == 0)) {
+      std::fprintf(stderr, "check failed: no read or write progress\n");
+      return 1;
+    }
+  }
+  shipper.Stop();
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"comment\": \"bench_replication: follower "
+           "catch-up-from-cold (records shipped per second until the "
+           "replica equals the primary tip) and read fan-out (aggregate "
+           "follower reads/sec under a continuous fsync-on write load "
+           "on the primary, 1 reader per follower) with the worst "
+           "staleness any reader observed; regenerate with "
+           "tools/bench_json.sh.\",\n";
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"catch_up\": {\"records\": %zu, \"wal_bytes\": "
+                  "%llu, \"catch_up_ms\": %.1f, \"records_per_sec\": "
+                  "%.0f, \"snapshots\": %llu},\n  \"fanout\": [\n",
+                  catch_up.records,
+                  static_cast<unsigned long long>(catch_up.wal_bytes),
+                  catch_up.catch_up_ms, catch_up.records_per_sec,
+                  static_cast<unsigned long long>(catch_up.snapshots));
+    out << buf;
+    for (size_t i = 0; i < fanout.size(); ++i) {
+      const FanoutResult& r = fanout[i];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"followers\": %d, \"duration_s\": %.2f, \"reads\": "
+          "%llu, \"reads_per_sec\": %.0f, \"writes\": %llu, "
+          "\"writes_per_sec\": %.0f, \"max_lag_ms\": %llu, "
+          "\"max_lag_bytes\": %llu}%s\n",
+          r.followers, r.duration_s,
+          static_cast<unsigned long long>(r.reads), r.reads_per_sec,
+          static_cast<unsigned long long>(r.writes), r.writes_per_sec,
+          static_cast<unsigned long long>(r.max_lag_ms),
+          static_cast<unsigned long long>(r.max_lag_bytes),
+          i + 1 < fanout.size() ? "," : "");
+      out << buf;
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  fs::remove_all(dir, ec);
+  if (check) std::printf("bench_replication --check: ok\n");
+  return 0;
+}

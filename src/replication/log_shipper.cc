@@ -1,0 +1,382 @@
+#include "replication/log_shipper.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
+#include "replication/wire.h"
+#include "server/protocol.h"
+#include "util/failpoint.h"
+
+namespace lsd {
+
+namespace {
+
+// Strict byte order over positions (segment seqs are monotonic across
+// generations, so (seq, offset) totally orders the log).
+bool PosAfter(const WalPosition& a, const WalPosition& b) {
+  return a.segment_seq > b.segment_seq ||
+         (a.segment_seq == b.segment_seq && a.offset > b.offset);
+}
+
+}  // namespace
+
+LogShipper::LogShipper(SharedStore* store, const LogShipperOptions& options)
+    : store_(store), options_(options) {
+  if (options_.chunk_bytes == 0) options_.chunk_bytes = 64 * 1024;
+  // A chunk must fit in one binary frame with its 48-byte header.
+  options_.chunk_bytes =
+      std::min<size_t>(options_.chunk_bytes, kMaxBinaryPayload - 64);
+  if (options_.heartbeat_ms == 0) options_.heartbeat_ms = 500;
+}
+
+LogShipper::~LogShipper() { Stop(); }
+
+Status LogShipper::Start() {
+  if (running_.load()) {
+    return Status::FailedPrecondition("log shipper already running");
+  }
+  if (!store_->durable()) {
+    return Status::FailedPrecondition(
+        "replication needs a durable store (there is no WAL to ship)");
+  }
+  wal_base_ = store_->save_prefix() + ".wal";
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  auto fail = [this](const char* what) {
+    Status s =
+        Status::IoError(std::string(what) + ": " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  };
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+    return fail("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void LogShipper::Stop() {
+  if (!running_.exchange(false)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Join the acceptor FIRST: once it is gone no new follower can
+  // appear, so the shutdown sweep below cannot miss one.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(followers_mu_);
+    for (auto& follower : follower_list_) {
+      if (follower->fd >= 0) ::shutdown(follower->fd, SHUT_RDWR);
+    }
+  }
+  std::lock_guard<std::mutex> lock(followers_mu_);
+  for (auto& follower : follower_list_) {
+    if (follower->thread.joinable()) follower->thread.join();
+    if (follower->fd >= 0) ::close(follower->fd);
+    follower->fd = -1;
+  }
+  follower_list_.clear();
+}
+
+void LogShipper::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Stop() closed the listener
+    }
+    if (!running_.load()) {
+      ::close(fd);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ReapFinished();
+    if (followers_.load() >= options_.max_followers) {
+      (void)WriteAll(fd, EncodeFrame(FrameType::kErr, 0,
+                                     "too many followers"));
+      ::close(fd);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(followers_mu_);
+    auto follower = std::make_unique<Follower>();
+    Follower* raw = follower.get();
+    raw->fd = fd;
+    const uint64_t id = next_follower_id_++;
+    followers_.fetch_add(1);
+    raw->thread = std::thread([this, raw, id] { ServeFollower(raw, id); });
+    follower_list_.push_back(std::move(follower));
+  }
+}
+
+void LogShipper::ReapFinished() {
+  std::lock_guard<std::mutex> lock(followers_mu_);
+  for (auto it = follower_list_.begin(); it != follower_list_.end();) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      if ((*it)->fd >= 0) ::close((*it)->fd);
+      it = follower_list_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LogShipper::ServeFollower(Follower* follower, uint64_t id) {
+  (void)RunFollower(follower->fd, id);
+  // Hang up right away so the follower's blocked read returns and its
+  // reconnect loop starts; the fd itself is closed at the next reap
+  // (Stop() also shuts down, which is idempotent).
+  ::shutdown(follower->fd, SHUT_RDWR);
+  followers_.fetch_sub(1);
+  follower->done.store(true);
+}
+
+Status LogShipper::SendFrame(int fd, FrameType type, uint64_t request_id,
+                             std::string_view payload) {
+  LSD_FAILPOINT_RETURN_IF_SET(repl.ship.send);
+  return WriteAll(fd, EncodeFrame(type, request_id, payload));
+}
+
+uint64_t LogShipper::BehindBytes(const WalPosition& pos,
+                                 const WalPosition& watermark) const {
+  if (!PosAfter(watermark, pos)) return 0;
+  if (pos.segment_seq == watermark.segment_seq) {
+    return watermark.offset - pos.offset;
+  }
+  // Headers are never shipped, so they never count as lag.
+  uint64_t behind = 0;
+  for (const WalSegmentInfo& seg : store_->wal().SegmentInventory()) {
+    if (seg.seq == pos.segment_seq && seg.bytes > pos.offset) {
+      behind += seg.bytes - pos.offset;
+    } else if (seg.seq > pos.segment_seq &&
+               seg.seq < watermark.segment_seq &&
+               seg.bytes > Wal::kSegmentHeaderSize) {
+      behind += seg.bytes - Wal::kSegmentHeaderSize;
+    }
+  }
+  if (watermark.offset > Wal::kSegmentHeaderSize) {
+    behind += watermark.offset - Wal::kSegmentHeaderSize;
+  }
+  return behind;
+}
+
+Status LogShipper::StreamSnapshot(int fd, const EpochPtr& tip,
+                                  uint64_t id) {
+  // Serialize the pinned tip to a scratch file (the snapshot writer
+  // streams; holding a whole serialized store in memory would not).
+  const std::string path =
+      store_->save_prefix() + ".ship" + std::to_string(id) + ".snap";
+  LSD_RETURN_IF_ERROR(SaveSnapshot(path, tip->db().store(),
+                                   tip->db().rules(),
+                                   tip->wal_pos().generation));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::remove(path.c_str());
+    return Status::IoError("cannot reopen snapshot scratch " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const uint64_t total = static_cast<uint64_t>(std::ftell(f));
+  std::fseek(f, 0, SEEK_SET);
+
+  Status result = Status::OK();
+  SnapshotChunk chunk;
+  chunk.total_bytes = total;
+  chunk.primary_epoch = tip->sequence();
+  chunk.primary_epoch_ms = tip->publish_ms();
+  chunk.pos = tip->wal_pos();
+  uint64_t off = 0;
+  do {
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(options_.chunk_bytes, total - off));
+    chunk.data.resize(want);
+    if (want > 0 && std::fread(chunk.data.data(), 1, want, f) != want) {
+      result = Status::IoError("short read from snapshot scratch " + path);
+      break;
+    }
+    chunk.chunk_offset = off;
+    result = SendFrame(fd, FrameType::kSnapshot, 0,
+                       EncodeSnapshotChunk(chunk));
+    off += want;
+  } while (result.ok() && off < total);
+  std::fclose(f);
+  std::remove(path.c_str());
+  if (result.ok()) snapshots_shipped_.fetch_add(1);
+  return result;
+}
+
+Status LogShipper::RunFollower(int fd, uint64_t id) {
+  // Handshake: exactly one kSubscribe, answered with kOk (then a
+  // stream) or kErr (then close).
+  BinaryFrameParser parser;
+  LSD_ASSIGN_OR_RETURN(BinaryFrame frame, ReadFrame(fd, &parser));
+  if (frame.type != FrameType::kSubscribe) {
+    (void)SendFrame(fd, FrameType::kErr, frame.request_id,
+                    "expected a subscribe frame");
+    return Status::InvalidArgument("first frame was not a subscribe");
+  }
+  SubscribeRequest req;
+  Status decoded = DecodeSubscribe(frame.payload, &req);
+  if (!decoded.ok()) {
+    (void)SendFrame(fd, FrameType::kErr, frame.request_id,
+                    decoded.message());
+    return decoded;
+  }
+  LSD_FAILPOINT_HIT(repl.ship.accept, fp_accept);
+  if (fp_accept.action == failpoint::Action::kError) {
+    (void)SendFrame(fd, FrameType::kErr, frame.request_id,
+                    "injected subscribe rejection");
+    return Status::IoError("injected failure at failpoint repl.ship.accept");
+  }
+  subscriptions_.fetch_add(1);
+
+  EpochPtr tip = store_->snapshot();
+  WalPosition watermark = tip->wal_pos();
+  WalPosition pos = req.pos;
+
+  // Resumable = the requested position is a live byte of the log and
+  // not past what this primary has published. Anything else — a cold
+  // follower (unless the full history is still on disk), a position
+  // whose segment a checkpoint dropped, a generation mismatch, or a
+  // position from a divergent history — is served a snapshot of the
+  // tip instead, and streaming continues from the snapshot's position.
+  bool resumable = false;
+  const std::vector<WalSegmentInfo> inventory = Wal::Inventory(wal_base_);
+  if (!pos.IsZero()) {
+    for (const WalSegmentInfo& seg : inventory) {
+      if (seg.seq == pos.segment_seq) {
+        resumable = seg.generation == pos.generation &&
+                    pos.offset >= Wal::kSegmentHeaderSize &&
+                    pos.offset <= seg.bytes;
+        break;
+      }
+    }
+    if (PosAfter(pos, watermark)) resumable = false;
+  } else if (!inventory.empty() && inventory.front().seq == 1 &&
+             inventory.front().generation == 0) {
+    // Cold follower, full history still live: genesis replay.
+    resumable = true;
+    pos = WalPosition{0, 1, Wal::kSegmentHeaderSize};
+  }
+
+  if (resumable) {
+    LSD_RETURN_IF_ERROR(
+        SendFrame(fd, FrameType::kOk, frame.request_id, "resume"));
+  } else {
+    LSD_RETURN_IF_ERROR(
+        SendFrame(fd, FrameType::kOk, frame.request_id, "snapshot"));
+    LSD_RETURN_IF_ERROR(StreamSnapshot(fd, tip, id));
+    pos = watermark;
+  }
+
+  WalTailReader reader(wal_base_);
+  LSD_RETURN_IF_ERROR(reader.Open(pos.segment_seq, pos.offset));
+
+  std::string buf;
+  while (running_.load()) {
+    tip = store_->snapshot();
+    watermark = tip->wal_pos();
+    const bool behind =
+        reader.seq() < watermark.segment_seq ||
+        (reader.seq() == watermark.segment_seq &&
+         reader.offset() < watermark.offset);
+    if (behind) {
+      // Only the watermark segment is length-limited; earlier segments
+      // are rotated (the writer is done with them) and read to EOF.
+      const uint64_t limit = reader.seq() == watermark.segment_seq
+                                 ? watermark.offset
+                                 : UINT64_MAX;
+      LogChunk chunk;
+      chunk.pos =
+          WalPosition{reader.generation(), reader.seq(), reader.offset()};
+      buf.clear();
+      LSD_ASSIGN_OR_RETURN(
+          size_t n, reader.Read(limit, options_.chunk_bytes, &buf));
+      if (n == 0) {
+        // This rotated segment is exhausted; the next byte lives in the
+        // next segment. NotFound there means a checkpoint unlinked it —
+        // the follower must resubscribe (and will get a snapshot).
+        Status next = reader.Open(reader.seq() + 1, 0);
+        if (!next.ok()) {
+          (void)SendFrame(fd, FrameType::kErr, 0,
+                          "log checkpointed away mid-stream; resubscribe");
+          return next;
+        }
+        continue;
+      }
+      chunk.primary_epoch = tip->sequence();
+      chunk.primary_epoch_ms = tip->publish_ms();
+      chunk.behind_bytes = BehindBytes(
+          WalPosition{reader.generation(), reader.seq(), reader.offset()},
+          watermark);
+      chunk.records = std::move(buf);
+      LSD_RETURN_IF_ERROR(
+          SendFrame(fd, FrameType::kLogChunk, 0, EncodeLogChunk(chunk)));
+      buf = std::move(chunk.records);  // reuse the allocation
+      chunks_shipped_.fetch_add(1);
+      bytes_shipped_.fetch_add(n);
+      continue;
+    }
+
+    // Caught up. Sleep on the log's append signal; re-check the tip
+    // first so a publish between the snapshot above and this wait is
+    // never missed.
+    const uint64_t version = store_->wal().position_version();
+    if (store_->snapshot()->wal_pos() != watermark) continue;
+    if (store_->wal().WaitAppend(
+            version, std::chrono::milliseconds(options_.heartbeat_ms))) {
+      // Bytes were appended; the epoch publish trails the append by the
+      // leader's publish step. Poll briefly instead of sleeping a full
+      // heartbeat on a stale watermark.
+      for (int i = 0; i < 100 && running_.load(); ++i) {
+        if (store_->snapshot()->wal_pos() != watermark) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      continue;
+    }
+    Heartbeat hb;
+    hb.primary_epoch = tip->sequence();
+    hb.primary_epoch_ms = tip->publish_ms();
+    hb.behind_bytes = 0;
+    LSD_RETURN_IF_ERROR(
+        SendFrame(fd, FrameType::kHeartbeat, 0, EncodeHeartbeat(hb)));
+    heartbeats_sent_.fetch_add(1);
+  }
+  return Status::OK();
+}
+
+}  // namespace lsd

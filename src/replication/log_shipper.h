@@ -1,0 +1,136 @@
+// The primary's replication endpoint: a listener that ships the WAL to
+// read-only followers.
+//
+// One accept thread plus one thread per follower (followers are few —
+// single digits — unlike browse sessions, so thread-per-connection is
+// the right shape here). A follower connects, sends one kSubscribe
+// frame with its resume position, and from then on only receives:
+//
+//   kOk         subscription accepted (echoes the subscribe request id)
+//   kErr        subscription rejected, or the log was checkpointed out
+//               from under a mid-catch-up follower; the connection
+//               closes and the follower resubscribes
+//   kSnapshot*  cold / unresumable catch-up: the pinned tip epoch,
+//               serialized as a snapshot and streamed in chunks, then
+//               log streaming continues from the snapshot's position
+//   kLogChunk*  raw WAL record bytes, in order
+//   kHeartbeat  idle liveness + staleness stamps
+//
+// The shipping watermark is the PUBLISHED tip epoch's WAL position —
+// never the log's raw durable position. Bytes past the watermark are
+// fsynced but their commit group may still fail before publication
+// (Warm error, injected fault), in which case no client was ever acked;
+// shipping them would let a follower apply writes the primary never
+// acknowledged. Reading up to the watermark also makes chunk stamps
+// exact: everything below it belongs to the published epoch whose
+// (sequence, publish_ms) the chunk carries.
+//
+// Failure matrix (see DESIGN.md "Replication & follower reads"):
+//   follower gone     -> send fails, thread exits, resources reaped
+//   segment vanished  -> kErr + close (checkpoint raced the catch-up);
+//                        the follower reconnects and the unresumable
+//                        position falls back to a snapshot
+//   primary shutdown  -> Stop() closes every socket; followers reconnect
+//                        with backoff until the primary returns
+#ifndef LSD_REPLICATION_LOG_SHIPPER_H_
+#define LSD_REPLICATION_LOG_SHIPPER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.h"
+#include "server/shared_store.h"
+#include "util/status.h"
+
+namespace lsd {
+
+struct LogShipperOptions {
+  // 0 picks an ephemeral port; read it back with port() after Start().
+  uint16_t port = 0;
+  int listen_backlog = 16;
+  // Bytes of WAL records per kLogChunk (also the kSnapshot chunk size).
+  size_t chunk_bytes = 256 * 1024;
+  // Idle heartbeat cadence, and the granularity at which a serving
+  // thread notices Stop().
+  uint64_t heartbeat_ms = 500;
+  // Admission bound on concurrent followers.
+  size_t max_followers = 16;
+};
+
+class LogShipper {
+ public:
+  // `store` must outlive the shipper and must be durable (the WAL is
+  // what gets shipped); Start() enforces it.
+  LogShipper(SharedStore* store, const LogShipperOptions& options = {});
+  ~LogShipper();
+
+  LogShipper(const LogShipper&) = delete;
+  LogShipper& operator=(const LogShipper&) = delete;
+
+  Status Start();
+  // Closes the listener and every follower connection, joins all
+  // threads. Safe to call twice; the destructor calls it.
+  void Stop();
+
+  // The bound port (after Start()).
+  uint16_t port() const { return port_; }
+
+  // Observability (the primary's stats replication block).
+  uint64_t followers() const { return followers_.load(); }
+  uint64_t subscriptions() const { return subscriptions_.load(); }
+  uint64_t snapshots_shipped() const { return snapshots_shipped_.load(); }
+  uint64_t chunks_shipped() const { return chunks_shipped_.load(); }
+  uint64_t bytes_shipped() const { return bytes_shipped_.load(); }
+  uint64_t heartbeats_sent() const { return heartbeats_sent_.load(); }
+
+ private:
+  struct Follower {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeFollower(Follower* follower, uint64_t id);
+  // The subscribe handshake + streaming loop; any error ends the
+  // connection (the follower reconnects).
+  Status RunFollower(int fd, uint64_t id);
+  // Serializes the pinned tip and streams it as kSnapshot frames.
+  Status StreamSnapshot(int fd, const EpochPtr& tip, uint64_t id);
+  Status SendFrame(int fd, FrameType type, uint64_t request_id,
+                   std::string_view payload);
+  // Unshipped record bytes between `pos` and the watermark, from the
+  // live segment inventory (headers excluded; they are never shipped).
+  uint64_t BehindBytes(const WalPosition& pos,
+                       const WalPosition& watermark) const;
+  void ReapFinished();
+
+  SharedStore* store_;
+  LogShipperOptions options_;
+  std::string wal_base_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+
+  std::mutex followers_mu_;
+  std::vector<std::unique_ptr<Follower>> follower_list_;
+  uint64_t next_follower_id_ = 1;
+
+  std::atomic<uint64_t> followers_{0};
+  std::atomic<uint64_t> subscriptions_{0};
+  std::atomic<uint64_t> snapshots_shipped_{0};
+  std::atomic<uint64_t> chunks_shipped_{0};
+  std::atomic<uint64_t> bytes_shipped_{0};
+  std::atomic<uint64_t> heartbeats_sent_{0};
+};
+
+}  // namespace lsd
+
+#endif  // LSD_REPLICATION_LOG_SHIPPER_H_

@@ -1,0 +1,208 @@
+// The bounded-staleness contract between a follower and its readers.
+//
+// A follower serves the paper's read verbs from its replica of the
+// primary's store. Staleness is first-class: the replication client
+// records, on every frame from the primary, how far behind the replica
+// is — in bytes of unshipped log (lag_bytes) and in primary wall-clock
+// milliseconds between the primary's tip epoch and the epoch the
+// replica has fully applied (lag_ms). Both stamps come from the
+// PRIMARY's clock, so lag_ms needs no cross-host clock agreement.
+//
+// Silence is staleness too: a partitioned follower stops receiving
+// stamps, so its computed lag would freeze while its actual staleness
+// grows. Past a heartbeat grace window, the local time since the last
+// frame is added to lag_ms — a follower cut off from its primary goes
+// stale deterministically, bounded by grace + max_lag_ms.
+//
+// The monitor is written by one thread (the replication client) and
+// sampled by many (every server session gating a read, the stats verb):
+// all fields are relaxed atomics; a read gate is a handful of loads.
+#ifndef LSD_REPLICATION_MONITOR_H_
+#define LSD_REPLICATION_MONITOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "store/persistence.h"
+#include "util/status.h"
+
+namespace lsd {
+
+// The follower's staleness bounds (lsd_serve --max-lag-ms /
+// --max-lag-bytes). A zero bound is unbounded; with both zero the
+// follower serves reads no matter how far behind it is.
+struct ReplicationBounds {
+  uint64_t max_lag_ms = 0;
+  uint64_t max_lag_bytes = 0;
+  // Silence allowance: local ms without any frame from the primary
+  // before the silent gap starts counting toward lag_ms. Covers the
+  // normal heartbeat cadence plus scheduling jitter.
+  uint64_t heartbeat_grace_ms = 3000;
+};
+
+// One coherent-enough sample for the stats verb (individual fields are
+// atomically read; the set is not a snapshot, which stats can tolerate).
+struct ReplicationStatus {
+  bool connected = false;
+  bool ever_synced = false;     // at least one frame fully processed
+  uint64_t primary_epoch = 0;   // newest epoch the primary reported
+  uint64_t primary_epoch_ms = 0;
+  uint64_t applied_epoch = 0;   // newest primary epoch fully applied here
+  uint64_t applied_epoch_ms = 0;
+  uint64_t lag_bytes = 0;       // unshipped log bytes at the last frame
+  uint64_t lag_ms = 0;          // epoch-stamp gap + silence past grace
+  uint64_t silence_ms = 0;      // local ms since the last frame
+  WalPosition applied_pos;      // resume coordinate (record boundary)
+  uint64_t chunks_applied = 0;
+  uint64_t records_applied = 0;
+  uint64_t snapshots_loaded = 0;
+  uint64_t reconnects = 0;
+};
+
+class ReplicationMonitor {
+ public:
+  explicit ReplicationMonitor(const ReplicationBounds& bounds = {})
+      : bounds_(bounds) {}
+
+  ReplicationMonitor(const ReplicationMonitor&) = delete;
+  ReplicationMonitor& operator=(const ReplicationMonitor&) = delete;
+
+  const ReplicationBounds& bounds() const { return bounds_; }
+
+  // ---- Writer side (the replication client thread) -----------------------
+
+  void SetConnected(bool connected) {
+    connected_.store(connected, std::memory_order_relaxed);
+  }
+
+  // Every kLogChunk/kHeartbeat carries the primary's tip stamps and the
+  // shipper's behind-bytes accounting; record them and reset silence.
+  void RecordFrame(uint64_t primary_epoch, uint64_t primary_epoch_ms,
+                   uint64_t behind_bytes) {
+    primary_epoch_.store(primary_epoch, std::memory_order_relaxed);
+    primary_epoch_ms_.store(primary_epoch_ms, std::memory_order_relaxed);
+    lag_bytes_.store(behind_bytes, std::memory_order_relaxed);
+    last_frame_ms_.store(NowMs(), std::memory_order_relaxed);
+    ever_synced_.store(true, std::memory_order_relaxed);
+  }
+
+  // The replica's state now equals this primary epoch exactly (a chunk
+  // applied with nothing behind and nothing buffered, an idle
+  // heartbeat, or a completed snapshot load).
+  void RecordApplied(uint64_t epoch, uint64_t epoch_ms) {
+    applied_epoch_.store(epoch, std::memory_order_relaxed);
+    applied_epoch_ms_.store(epoch_ms, std::memory_order_relaxed);
+  }
+
+  void RecordPosition(const WalPosition& pos) {
+    pos_generation_.store(pos.generation, std::memory_order_relaxed);
+    pos_segment_.store(pos.segment_seq, std::memory_order_relaxed);
+    pos_offset_.store(pos.offset, std::memory_order_relaxed);
+  }
+
+  void AddChunk(uint64_t records) {
+    chunks_.fetch_add(1, std::memory_order_relaxed);
+    records_.fetch_add(records, std::memory_order_relaxed);
+  }
+  void AddSnapshot() { snapshots_.fetch_add(1, std::memory_order_relaxed); }
+  void AddReconnect() {
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // ---- Reader side (sessions and stats) ----------------------------------
+
+  ReplicationStatus Sample() const {
+    ReplicationStatus s;
+    s.connected = connected_.load(std::memory_order_relaxed);
+    s.ever_synced = ever_synced_.load(std::memory_order_relaxed);
+    s.primary_epoch = primary_epoch_.load(std::memory_order_relaxed);
+    s.primary_epoch_ms =
+        primary_epoch_ms_.load(std::memory_order_relaxed);
+    s.applied_epoch = applied_epoch_.load(std::memory_order_relaxed);
+    s.applied_epoch_ms =
+        applied_epoch_ms_.load(std::memory_order_relaxed);
+    s.lag_bytes = lag_bytes_.load(std::memory_order_relaxed);
+    s.applied_pos =
+        WalPosition{pos_generation_.load(std::memory_order_relaxed),
+                    pos_segment_.load(std::memory_order_relaxed),
+                    pos_offset_.load(std::memory_order_relaxed)};
+    const uint64_t last = last_frame_ms_.load(std::memory_order_relaxed);
+    if (last != 0) {
+      const uint64_t now = NowMs();
+      s.silence_ms = now > last ? now - last : 0;
+    }
+    s.lag_ms = s.primary_epoch_ms > s.applied_epoch_ms
+                   ? s.primary_epoch_ms - s.applied_epoch_ms
+                   : 0;
+    if (s.silence_ms > bounds_.heartbeat_grace_ms) {
+      s.lag_ms += s.silence_ms - bounds_.heartbeat_grace_ms;
+    }
+    s.chunks_applied = chunks_.load(std::memory_order_relaxed);
+    s.records_applied = records_.load(std::memory_order_relaxed);
+    s.snapshots_loaded = snapshots_.load(std::memory_order_relaxed);
+    s.reconnects = reconnects_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  // The read gate: OK when this replica is fresh enough to serve a
+  // read under its configured bounds. The error message leads with
+  // "stale:" — the marker clients (lsd_client's follower routing) and
+  // tests key on.
+  Status CheckReadable() const {
+    if (bounds_.max_lag_ms == 0 && bounds_.max_lag_bytes == 0) {
+      return Status::OK();
+    }
+    const ReplicationStatus s = Sample();
+    if (!s.ever_synced) {
+      return Status::FailedPrecondition(
+          "stale: follower has not yet heard from its primary");
+    }
+    if (bounds_.max_lag_bytes != 0 && s.lag_bytes > bounds_.max_lag_bytes) {
+      return Status::FailedPrecondition(
+          "stale: follower is " + std::to_string(s.lag_bytes) +
+          " log bytes behind (bound " +
+          std::to_string(bounds_.max_lag_bytes) + ")");
+    }
+    if (bounds_.max_lag_ms != 0 && s.lag_ms > bounds_.max_lag_ms) {
+      return Status::FailedPrecondition(
+          "stale: follower is " + std::to_string(s.lag_ms) +
+          " ms behind (bound " + std::to_string(bounds_.max_lag_ms) +
+          "; applied epoch " + std::to_string(s.applied_epoch) +
+          ", primary epoch " + std::to_string(s.primary_epoch) + ")");
+    }
+    return Status::OK();
+  }
+
+ private:
+  // Local monotonic ms — only differences are used (silence), so the
+  // epoch of this clock never matters.
+  static uint64_t NowMs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  const ReplicationBounds bounds_;
+  std::atomic<bool> connected_{false};
+  std::atomic<bool> ever_synced_{false};
+  std::atomic<uint64_t> primary_epoch_{0};
+  std::atomic<uint64_t> primary_epoch_ms_{0};
+  std::atomic<uint64_t> applied_epoch_{0};
+  std::atomic<uint64_t> applied_epoch_ms_{0};
+  std::atomic<uint64_t> lag_bytes_{0};
+  std::atomic<uint64_t> last_frame_ms_{0};
+  std::atomic<uint64_t> pos_generation_{0};
+  std::atomic<uint64_t> pos_segment_{0};
+  std::atomic<uint64_t> pos_offset_{0};
+  std::atomic<uint64_t> chunks_{0};
+  std::atomic<uint64_t> records_{0};
+  std::atomic<uint64_t> snapshots_{0};
+  std::atomic<uint64_t> reconnects_{0};
+};
+
+}  // namespace lsd
+
+#endif  // LSD_REPLICATION_MONITOR_H_

@@ -1,0 +1,123 @@
+#include "replication/wire.h"
+
+#include <cstring>
+
+namespace lsd {
+
+namespace {
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline uint64_t GetU64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+// Reads `count` u64s from the payload head; false when too short.
+bool TakeU64s(std::string_view payload, size_t count, uint64_t* out) {
+  if (payload.size() < count * 8) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(payload.data());
+  for (size_t i = 0; i < count; ++i) out[i] = GetU64(p + 8 * i);
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeSubscribe(const SubscribeRequest& req) {
+  std::string out;
+  PutU64(&out, req.pos.generation);
+  PutU64(&out, req.pos.segment_seq);
+  PutU64(&out, req.pos.offset);
+  return out;
+}
+
+Status DecodeSubscribe(std::string_view payload, SubscribeRequest* out) {
+  uint64_t v[3];
+  if (!TakeU64s(payload, 3, v) || payload.size() != 24) {
+    return Status::InvalidArgument("subscribe payload must be 24 bytes");
+  }
+  out->pos = WalPosition{v[0], v[1], v[2]};
+  return Status::OK();
+}
+
+std::string EncodeLogChunk(const LogChunk& chunk) {
+  std::string out;
+  out.reserve(48 + chunk.records.size());
+  PutU64(&out, chunk.pos.generation);
+  PutU64(&out, chunk.pos.segment_seq);
+  PutU64(&out, chunk.pos.offset);
+  PutU64(&out, chunk.primary_epoch);
+  PutU64(&out, chunk.primary_epoch_ms);
+  PutU64(&out, chunk.behind_bytes);
+  out.append(chunk.records);
+  return out;
+}
+
+Status DecodeLogChunk(std::string_view payload, LogChunk* out) {
+  uint64_t v[6];
+  if (!TakeU64s(payload, 6, v)) {
+    return Status::InvalidArgument("log-chunk payload shorter than header");
+  }
+  out->pos = WalPosition{v[0], v[1], v[2]};
+  out->primary_epoch = v[3];
+  out->primary_epoch_ms = v[4];
+  out->behind_bytes = v[5];
+  out->records.assign(payload.substr(48));
+  return Status::OK();
+}
+
+std::string EncodeHeartbeat(const Heartbeat& hb) {
+  std::string out;
+  PutU64(&out, hb.primary_epoch);
+  PutU64(&out, hb.primary_epoch_ms);
+  PutU64(&out, hb.behind_bytes);
+  return out;
+}
+
+Status DecodeHeartbeat(std::string_view payload, Heartbeat* out) {
+  uint64_t v[3];
+  if (!TakeU64s(payload, 3, v) || payload.size() != 24) {
+    return Status::InvalidArgument("heartbeat payload must be 24 bytes");
+  }
+  out->primary_epoch = v[0];
+  out->primary_epoch_ms = v[1];
+  out->behind_bytes = v[2];
+  return Status::OK();
+}
+
+std::string EncodeSnapshotChunk(const SnapshotChunk& chunk) {
+  std::string out;
+  out.reserve(56 + chunk.data.size());
+  PutU64(&out, chunk.total_bytes);
+  PutU64(&out, chunk.chunk_offset);
+  PutU64(&out, chunk.primary_epoch);
+  PutU64(&out, chunk.primary_epoch_ms);
+  PutU64(&out, chunk.pos.generation);
+  PutU64(&out, chunk.pos.segment_seq);
+  PutU64(&out, chunk.pos.offset);
+  out.append(chunk.data);
+  return out;
+}
+
+Status DecodeSnapshotChunk(std::string_view payload, SnapshotChunk* out) {
+  uint64_t v[7];
+  if (!TakeU64s(payload, 7, v)) {
+    return Status::InvalidArgument(
+        "snapshot-chunk payload shorter than header");
+  }
+  out->total_bytes = v[0];
+  out->chunk_offset = v[1];
+  out->primary_epoch = v[2];
+  out->primary_epoch_ms = v[3];
+  out->pos = WalPosition{v[4], v[5], v[6]};
+  out->data.assign(payload.substr(56));
+  return Status::OK();
+}
+
+}  // namespace lsd

@@ -1,0 +1,93 @@
+// Payload layouts for the replication frame types (FrameType 4-7 in
+// src/server/protocol.h). The framing — magic, version, type, request
+// id, length — is exactly the binary browse framing; only the payloads
+// are replication-specific. All integers are little-endian u64.
+//
+//   kSubscribe (follower -> primary), 24 bytes:
+//     u64 generation, u64 segment_seq, u64 offset
+//   The follower's resume coordinate: "my state reflects every WAL byte
+//   below this position; continue from here." The zero position asks
+//   for everything (a cold follower). The primary answers with a kOk
+//   frame (echoing the request id), then streams; or a kErr frame with
+//   the reason and closes.
+//
+//   kLogChunk (primary -> follower), 48-byte header + record bytes:
+//     u64 generation, u64 segment_seq, u64 offset   chunk START coordinate
+//     u64 primary_epoch, u64 primary_epoch_ms       tip epoch being shipped
+//     u64 behind_bytes                              log bytes still unshipped
+//                                                   AFTER this chunk
+//     bytes: raw WAL record bytes ([len][crc][payload] framed), cut at
+//     arbitrary byte boundaries — records may span chunks, never
+//     segments. A chunk always stays within one segment.
+//
+//   kHeartbeat (primary -> follower), 24 bytes:
+//     u64 primary_epoch, u64 primary_epoch_ms, u64 behind_bytes
+//   Sent when the follower is idle-caught-up (and periodically), so the
+//   follower can bound its staleness even when no writes flow.
+//
+//   kSnapshot (primary -> follower), 56-byte header + data bytes:
+//     u64 total_bytes, u64 chunk_offset             reassembly coordinates
+//     u64 primary_epoch, u64 primary_epoch_ms       the snapshotted epoch
+//     u64 generation, u64 segment_seq, u64 offset   WAL position of the
+//                                                   snapshot (streaming
+//                                                   resumes here)
+//     bytes: the next chunk of an lsd snapshot file (LSDSNAP2 format)
+//   Sent when the follower's requested position is unavailable (cold
+//   follower, or its segments were checkpointed away): the follower
+//   reassembles the snapshot, loads it as its new base state, and the
+//   primary continues with kLogChunk frames from the embedded position.
+#ifndef LSD_REPLICATION_WIRE_H_
+#define LSD_REPLICATION_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "store/persistence.h"
+#include "util/status.h"
+
+namespace lsd {
+
+struct SubscribeRequest {
+  WalPosition pos;
+};
+
+struct LogChunk {
+  WalPosition pos;  // coordinate of the FIRST byte of `records`
+  uint64_t primary_epoch = 0;
+  uint64_t primary_epoch_ms = 0;  // primary-clock publish stamp
+  uint64_t behind_bytes = 0;      // unshipped log bytes after this chunk
+  std::string records;            // raw WAL record bytes
+};
+
+struct Heartbeat {
+  uint64_t primary_epoch = 0;
+  uint64_t primary_epoch_ms = 0;
+  uint64_t behind_bytes = 0;
+};
+
+struct SnapshotChunk {
+  uint64_t total_bytes = 0;   // whole snapshot size
+  uint64_t chunk_offset = 0;  // where this chunk's data lands
+  uint64_t primary_epoch = 0;
+  uint64_t primary_epoch_ms = 0;
+  WalPosition pos;  // WAL position the snapshot corresponds to
+  std::string data;
+};
+
+std::string EncodeSubscribe(const SubscribeRequest& req);
+std::string EncodeLogChunk(const LogChunk& chunk);
+std::string EncodeHeartbeat(const Heartbeat& hb);
+std::string EncodeSnapshotChunk(const SnapshotChunk& chunk);
+
+// Decoders: InvalidArgument on a truncated payload; `out` unspecified
+// on error. LogChunk/SnapshotChunk adopt the trailing bytes as
+// records/data.
+Status DecodeSubscribe(std::string_view payload, SubscribeRequest* out);
+Status DecodeLogChunk(std::string_view payload, LogChunk* out);
+Status DecodeHeartbeat(std::string_view payload, Heartbeat* out);
+Status DecodeSnapshotChunk(std::string_view payload, SnapshotChunk* out);
+
+}  // namespace lsd
+
+#endif  // LSD_REPLICATION_WIRE_H_

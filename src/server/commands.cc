@@ -18,6 +18,7 @@
 
 #include "browse/dot_export.h"
 #include "query/table_formatter.h"
+#include "replication/monitor.h"
 #include "server/session.h"
 #include "store/text_format.h"
 #include "util/string_util.h"
@@ -49,6 +50,28 @@ std::string RenderProbe(const ProbeResult& probe,
            FormatResult(probe.successes[i].result, entities);
   }
   return out;
+}
+
+// The verbs that mutate the shared store; a read-only follower rejects
+// them. (hypo stays allowed: the overlay is session-local and never
+// reaches the commit path; limit/save likewise.)
+bool IsMutationVerb(const std::string& cmd) {
+  return cmd == "assert" || cmd == "retract" || cmd == "assert*" ||
+         cmd == "retract*" || cmd == "rule" || cmd == "integrity" ||
+         cmd == "define" || cmd == "include" || cmd == "exclude" ||
+         cmd == "load";
+}
+
+// The verbs that read the pinned epoch and therefore fall under the
+// bounded-staleness contract on a follower. Control verbs (ping,
+// session, stats, help, hypo, limit, save) stay answerable even when
+// stale — they are how an operator diagnoses the staleness.
+bool IsGatedReadVerb(const std::string& cmd) {
+  return cmd == "query" || cmd == "call" || cmd == "probe" ||
+         cmd == "nav" || cmd == "visit" || cmd == "back" ||
+         cmd == "forward" || cmd == "assoc" || cmd == "try" ||
+         cmd == "near" || cmd == "dist" || cmd == "relation" ||
+         cmd == "dot" || cmd == "check" || cmd == "rules";
 }
 
 std::string Percent(uint64_t part, uint64_t whole) {
@@ -103,6 +126,10 @@ StatusOr<std::string> ServerSession::CommitMutations(
 StatusOr<std::string> ServerSession::ExecuteBatchMutation(
     std::string_view payload) {
   ++requests_;
+  if (replication_ != nullptr) {
+    return Status::FailedPrecondition(
+        "read-only follower: mutations must go to the primary");
+  }
   std::vector<MutationOp> ops;
   LSD_RETURN_IF_ERROR(DecodeMutationPayload(payload, &ops));
   return CommitMutations(ops);
@@ -245,6 +272,28 @@ StatusOr<std::string> ServerSession::RenderStats() {
            std::to_string(gc.slots_acked) + " writes acked)" +
            (store_->wal_status().ok() ? "" : " [DEGRADED]") + "\n";
   }
+  if (replication_ != nullptr) {
+    const ReplicationStatus rs = replication_->Sample();
+    const ReplicationBounds& rb = replication_->bounds();
+    out += std::string("replication:    follower, ") +
+           (rs.connected ? "connected" : "disconnected") +
+           (rs.ever_synced ? "" : ", never synced") + "\n";
+    out += "repl lag:       " + std::to_string(rs.lag_ms) + " ms / " +
+           std::to_string(rs.lag_bytes) + " bytes (bound " +
+           (rb.max_lag_ms == 0 ? std::string("inf")
+                               : std::to_string(rb.max_lag_ms)) +
+           " ms / " +
+           (rb.max_lag_bytes == 0 ? std::string("inf")
+                                  : std::to_string(rb.max_lag_bytes)) +
+           " bytes, silence " + std::to_string(rs.silence_ms) + " ms)\n";
+    out += "repl epochs:    applied " + std::to_string(rs.applied_epoch) +
+           " / primary " + std::to_string(rs.primary_epoch) + "\n";
+    out += "repl position:  " + rs.applied_pos.ToString() + ", " +
+           std::to_string(rs.chunks_applied) + " chunks, " +
+           std::to_string(rs.records_applied) + " records, " +
+           std::to_string(rs.snapshots_loaded) + " snapshots, " +
+           std::to_string(rs.reconnects) + " reconnects\n";
+  }
   if (registry_ != nullptr) {
     out += "sessions:       " + std::to_string(registry_->live()) +
            " live / " + std::to_string(registry_->total_created()) +
@@ -267,6 +316,19 @@ StatusOr<std::string> ServerSession::Execute(std::string_view line) {
   std::string rest;
   std::getline(in, rest);
   rest = std::string(StripWhitespace(rest));
+
+  // ---- Follower contract -------------------------------------------------
+  // A follower's store is the primary's, replayed: writes belong on the
+  // primary, and reads are only honest within the staleness bound.
+  if (replication_ != nullptr) {
+    if (IsMutationVerb(cmd)) {
+      return Status::FailedPrecondition(
+          "read-only follower: mutations must go to the primary");
+    }
+    if (IsGatedReadVerb(cmd)) {
+      LSD_RETURN_IF_ERROR(replication_->CheckReadable());
+    }
+  }
 
   // ---- Server verbs ------------------------------------------------------
   if (cmd == "ping") return std::string("pong\n");

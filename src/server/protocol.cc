@@ -1,5 +1,6 @@
 #include "server/protocol.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -44,7 +45,13 @@ std::string FrameResponse(const Status& status, std::string_view payload) {
 
 Status WriteAll(int fd, std::string_view data) {
   while (!data.empty()) {
-    ssize_t n = ::write(fd, data.data(), data.size());
+    // MSG_NOSIGNAL: a peer hanging up mid-stream must surface as EPIPE
+    // to the caller, not kill the process (the replication client and
+    // shipper both live in-process with their tests and servers).
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, data.data(), data.size());
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::IoError(std::string("write failed: ") +
@@ -152,7 +159,7 @@ BinaryFrameParser::Result BinaryFrameParser::Next(BinaryFrame* out) {
     error_ = "unsupported frame version " + std::to_string(h[3]);
     return Result::kError;
   }
-  if (h[4] > static_cast<uint8_t>(FrameType::kMutation)) {
+  if (h[4] > kMaxFrameType) {
     error_ = "unknown frame type " + std::to_string(h[4]);
     return Result::kError;
   }

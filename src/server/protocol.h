@@ -27,7 +27,9 @@
 //   2       1     magic2 = 'S'
 //   3       1     version = 1
 //   4       1     type: 0 request, 1 OK response, 2 ERR response,
-//                 3 batch-mutation request
+//                 3 batch-mutation request, 4 subscribe, 5 log chunk,
+//                 6 heartbeat, 7 snapshot chunk (4-7: replication
+//                 port only; see src/replication/wire.h)
 //   5       3     reserved, must be 0
 //   8       8     request id (little-endian u64, chosen by the client)
 //   16      4     payload length (little-endian u32, <= 16 MiB)
@@ -127,7 +129,19 @@ enum class FrameType : uint8_t {
   kOk = 1,
   kErr = 2,
   kMutation = 3,  // batch-mutation request (see payload layout above)
+
+  // Replication frames (src/replication/): the same header framing on
+  // the primary's replication port. The browse port never accepts them
+  // (the server closes the connection), and the parser accepts them
+  // everywhere so one framer serves both endpoints. Payload layouts
+  // live in src/replication/wire.h.
+  kSubscribe = 4,  // follower -> primary: resume from {gen, seg, offset}
+  kLogChunk = 5,   // primary -> follower: raw WAL record bytes + position
+  kHeartbeat = 6,  // primary -> follower: liveness + staleness metadata
+  kSnapshot = 7,   // primary -> follower: snapshot chunk (cold catch-up)
 };
+inline constexpr uint8_t kMaxFrameType =
+    static_cast<uint8_t>(FrameType::kSnapshot);
 
 struct BinaryFrame {
   FrameType type = FrameType::kRequest;

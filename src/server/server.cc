@@ -35,6 +35,7 @@ std::string ErrorLine(const Status& status) {
 
 LsdServer::LsdServer(SharedStore* store, const ServerOptions& options)
     : store_(store), options_(options), registry_(store) {
+  registry_.set_replication(options_.replication);
   if (options_.worker_threads == 0) {
     unsigned hw = std::thread::hardware_concurrency();
     options_.worker_threads = hw == 0 ? 1 : hw;

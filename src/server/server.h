@@ -77,6 +77,10 @@ struct ServerOptions {
   // How long Stop() lets in-flight requests drain and responses flush
   // before closing connections that are still busy.
   std::chrono::milliseconds shutdown_drain{5'000};
+  // Non-null turns this into a read-only follower front end: sessions
+  // reject mutations and gate reads on the monitor's staleness bound
+  // (lsd_serve --follow). Must outlive the server.
+  const ReplicationMonitor* replication = nullptr;
 };
 
 class LsdServer {

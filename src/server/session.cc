@@ -59,6 +59,7 @@ std::shared_ptr<ServerSession> SessionRegistry::Create(size_t max_sessions) {
   uint64_t id = next_id_++;
   auto session = std::make_shared<ServerSession>(id, store_);
   session->set_registry(this);
+  session->set_replication(replication_);
   sessions_.emplace(id, session);
   return session;
 }

@@ -41,6 +41,7 @@ struct NamedFact {
 };
 
 class SessionRegistry;
+class ReplicationMonitor;
 
 class ServerSession {
  public:
@@ -55,6 +56,14 @@ class ServerSession {
   // Lets STATS report the session census; set by SessionRegistry.
   void set_registry(const SessionRegistry* registry) {
     registry_ = registry;
+  }
+
+  // Marks this session as serving on a read-only follower: mutations
+  // are rejected ("read-only follower"), reads gate on the monitor's
+  // staleness bound ("ERR stale" past it), and stats grows a
+  // replication block. Null (the default) means primary semantics.
+  void set_replication(const ReplicationMonitor* replication) {
+    replication_ = replication;
   }
 
   // Executes one command line (the lsd_shell grammar plus the server
@@ -100,6 +109,7 @@ class ServerSession {
   uint64_t id_;
   SharedStore* store_;
   const SessionRegistry* registry_ = nullptr;
+  const ReplicationMonitor* replication_ = nullptr;
   uint64_t requests_ = 0;
   uint64_t last_epoch_sequence_ = 0;
 
@@ -129,6 +139,12 @@ class SessionRegistry {
  public:
   explicit SessionRegistry(SharedStore* store) : store_(store) {}
 
+  // Follower mode: every session created from here on carries the
+  // monitor (see ServerSession::set_replication). Set before Start().
+  void set_replication(const ReplicationMonitor* replication) {
+    replication_ = replication;
+  }
+
   // Creates a session or returns null if `max_sessions` are live
   // (admission control; the caller reports backpressure to the client).
   std::shared_ptr<ServerSession> Create(size_t max_sessions);
@@ -139,6 +155,7 @@ class SessionRegistry {
 
  private:
   SharedStore* store_;
+  const ReplicationMonitor* replication_ = nullptr;
   mutable std::mutex mu_;
   std::map<uint64_t, std::shared_ptr<ServerSession>> sessions_;
   uint64_t next_id_ = 1;

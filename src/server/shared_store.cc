@@ -1,6 +1,7 @@
 #include "server/shared_store.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/failpoint.h"
 
@@ -28,15 +29,36 @@ Status SharedStore::OpenDurable(const std::string& path_prefix,
   LSD_RETURN_IF_ERROR(db->Recover(path_prefix));
   last_recovery_ = db->last_recovery();
   LSD_RETURN_IF_ERROR(db->Warm());
-  {
-    std::unique_lock<std::shared_mutex> tip_lock(tip_mu_);
-    published_ = std::make_shared<const Epoch>(std::move(db), 0);
-  }
   save_prefix_ = path_prefix;
   checkpoint_bytes_ = durability.checkpoint_bytes;
   WalOptions wal_options{durability.sync, durability.segment_bytes};
-  return wal_.Open(path_prefix + ".wal", wal_options,
-                   last_recovery_.generation);
+  // Open the log BEFORE publishing, so the bootstrap epoch carries the
+  // recovered durable position (replication's shipping watermark).
+  LSD_RETURN_IF_ERROR(wal_.Open(path_prefix + ".wal", wal_options,
+                                last_recovery_.generation));
+  {
+    std::unique_lock<std::shared_mutex> tip_lock(tip_mu_);
+    published_ = std::make_shared<const Epoch>(std::move(db), 0, NowMs(),
+                                               wal_.durable_position());
+  }
+  return Status::OK();
+}
+
+uint64_t SharedStore::NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+StatusOr<EpochPtr> SharedStore::ReplaceTip(std::unique_ptr<LooseDb> db,
+                                           const WalPosition& wal_pos) {
+  LSD_RETURN_IF_ERROR(db->Warm());
+  std::unique_lock<std::shared_mutex> tip_lock(tip_mu_);
+  auto epoch = std::make_shared<const Epoch>(
+      std::move(db), published_->sequence() + 1, NowMs(), wal_pos);
+  published_ = epoch;
+  return EpochPtr(epoch);
 }
 
 StatusOr<EpochPtr> SharedStore::Commit(
@@ -176,8 +198,14 @@ void SharedStore::ProcessGroup(std::vector<CommitSlot*> group) {
     return;
   }
 
-  auto epoch =
-      std::make_shared<const Epoch>(std::move(next), tip->sequence() + 1);
+  // Stamp the epoch with NOW and with the log's durable position: the
+  // AppendBatch above has returned, so every byte at or below this
+  // position is both fsynced and folded into `next`. The shipper reads
+  // these stamps off the tip.
+  const WalPosition wal_pos =
+      wal_.is_open() ? wal_.durable_position() : WalPosition{};
+  auto epoch = std::make_shared<const Epoch>(
+      std::move(next), tip->sequence() + 1, NowMs(), wal_pos);
   {
     std::unique_lock<std::shared_mutex> tip_lock(tip_mu_);
     published_ = epoch;

@@ -73,14 +73,31 @@ namespace lsd {
 // however many epochs have been published since.
 class Epoch {
  public:
-  Epoch(std::unique_ptr<LooseDb> db, uint64_t sequence)
-      : db_(std::move(db)), sequence_(sequence) {}
+  Epoch(std::unique_ptr<LooseDb> db, uint64_t sequence,
+        uint64_t publish_ms = 0, WalPosition wal_pos = WalPosition{})
+      : db_(std::move(db)),
+        sequence_(sequence),
+        publish_ms_(publish_ms),
+        wal_pos_(wal_pos) {}
 
   Epoch(const Epoch&) = delete;
   Epoch& operator=(const Epoch&) = delete;
 
   // Monotonic publish counter (0 = the bootstrap epoch).
   uint64_t sequence() const { return sequence_; }
+
+  // Wall-clock publish stamp (ms since the Unix epoch; 0 when the
+  // epoch predates stamping, e.g. the constructor's bootstrap epoch).
+  // Replication ships this stamp with every chunk so a follower can
+  // compute lag_ms entirely in the primary's clock domain.
+  uint64_t publish_ms() const { return publish_ms_; }
+
+  // The durable WAL position this epoch reflects: every record at or
+  // below it is fsynced AND folded into db(). Zero when the store is
+  // not durable. The log shipper treats the tip epoch's position as
+  // its watermark — bytes past it are fsynced but unacked, and must
+  // never reach a follower.
+  const WalPosition& wal_pos() const { return wal_pos_; }
 
   // The epoch's own (store, rules) version key pair — the same keys its
   // internal caches are validated against.
@@ -95,6 +112,8 @@ class Epoch {
  private:
   std::unique_ptr<LooseDb> db_;
   uint64_t sequence_;
+  uint64_t publish_ms_;
+  WalPosition wal_pos_;
 };
 
 using EpochPtr = std::shared_ptr<const Epoch>;
@@ -165,6 +184,32 @@ class SharedStore {
   // fails); it must tolerate re-invocation.
   StatusOr<EpochPtr> Commit(
       const std::function<Status(LooseDb&)>& mutate);
+
+  // Swaps in a whole replacement database as the new tip — the
+  // follower-resync path (src/replication/): a snapshot streamed from
+  // the primary is Recover()ed into `db`, then published here as one
+  // epoch stamped with the snapshot's WAL position. Warms before
+  // publishing. NOT for use concurrently with Commit writers: a commit
+  // group racing this call could publish a clone of the pre-replace
+  // tip afterwards, silently undoing the replacement. Followers are
+  // single-writer (only the replication client mutates), which is the
+  // one place this is called.
+  StatusOr<EpochPtr> ReplaceTip(std::unique_ptr<LooseDb> db,
+                                const WalPosition& wal_pos);
+
+  // Wall-clock now, ms since the Unix epoch — the clock every epoch's
+  // publish_ms is stamped with.
+  static uint64_t NowMs();
+
+  // The store-owned WAL, for replication's read-side APIs (segment
+  // inventory, durable_position, WaitAppend — all thread-safe). Appends
+  // remain leader-only. Check durable() first; the object exists but is
+  // closed on a non-durable store.
+  const Wal& wal() const { return wal_; }
+
+  // The durability path prefix ("" when not durable). The log shipper
+  // derives scratch snapshot paths from it.
+  const std::string& save_prefix() const { return save_prefix_; }
 
   // Total commit groups that published a new epoch.
   uint64_t commits() const { return commits_.load(); }

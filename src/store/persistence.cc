@@ -19,18 +19,18 @@ namespace fs = std::filesystem;
 
 constexpr char kSnapshotMagic[8] = {'L', 'S', 'D', 'S', 'N', 'A', 'P', '2'};
 constexpr char kWalMagic[8] = {'L', 'S', 'D', 'W', 'A', 'L', '0', '2'};
-constexpr size_t kSegmentHeaderBytes = 8 + 8 + 8;  // magic, generation, seq
+constexpr size_t kSegmentHeaderBytes = Wal::kSegmentHeaderSize;
 // A record length beyond this is certainly corruption, not data.
 constexpr uint32_t kMaxRecordBytes = 1u << 28;
 
-// WAL / snapshot record opcodes.
-enum WalOp : uint8_t {
-  kOpAssert = 1,
-  kOpRetract = 2,
-  kOpRule = 3,
-  kOpEnableRule = 4,
-  kOpDisableRule = 5,
-};
+// Short aliases for the public WalOpCode values.
+constexpr uint8_t kOpAssert = static_cast<uint8_t>(WalOpCode::kAssert);
+constexpr uint8_t kOpRetract = static_cast<uint8_t>(WalOpCode::kRetract);
+constexpr uint8_t kOpRule = static_cast<uint8_t>(WalOpCode::kRule);
+constexpr uint8_t kOpEnableRule =
+    static_cast<uint8_t>(WalOpCode::kEnableRule);
+constexpr uint8_t kOpDisableRule =
+    static_cast<uint8_t>(WalOpCode::kDisableRule);
 
 // File writer with a running CRC32C over everything written (the
 // snapshot trailer checks it).
@@ -242,6 +242,11 @@ bool ApplyRecord(uint8_t op, const std::vector<std::string>& fields,
 
 }  // namespace
 
+std::string WalPosition::ToString() const {
+  return "gen " + std::to_string(generation) + ", segment " +
+         std::to_string(segment_seq) + ", offset " + std::to_string(offset);
+}
+
 std::string RecoveryStats::ToString() const {
   std::string out = "recovered";
   out += snapshot_loaded
@@ -408,6 +413,50 @@ Status LoadSnapshot(const std::string& path, FactStore* store,
 
 Wal::~Wal() { Close(); }
 
+std::vector<WalSegmentInfo> Wal::Inventory(const std::string& base) {
+  std::vector<WalSegmentInfo> out;
+  for (const SegmentFile& seg : ListSegments(base)) {
+    FilePtr f(std::fopen(seg.path.c_str(), "rb"));
+    if (f == nullptr) continue;
+    SegmentHeader header;
+    if (!ReadSegmentHeader(f.get(), &header) || header.seq != seg.seq) {
+      continue;  // unreadable header: Replay will drop it
+    }
+    out.push_back(WalSegmentInfo{seg.seq, header.generation,
+                                 FileSizeOrZero(seg.path), seg.path});
+  }
+  return out;
+}
+
+std::vector<WalSegmentInfo> Wal::SegmentInventory() const {
+  return Inventory(base_);
+}
+
+void Wal::PublishPosition() {
+  std::lock_guard<std::mutex> lock(position_mu_);
+  position_ = WalPosition{generation_, segment_seq_, segment_bytes_written_};
+  ++position_version_;
+  position_cv_.notify_all();
+}
+
+WalPosition Wal::durable_position() const {
+  std::lock_guard<std::mutex> lock(position_mu_);
+  return position_;
+}
+
+uint64_t Wal::position_version() const {
+  std::lock_guard<std::mutex> lock(position_mu_);
+  return position_version_;
+}
+
+bool Wal::WaitAppend(uint64_t seen_version,
+                     std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(position_mu_);
+  return position_cv_.wait_for(lock, timeout, [&] {
+    return position_version_ != seen_version;
+  });
+}
+
 Status Wal::OpenSegment(uint64_t seq, uint64_t generation) {
   const std::string path = SegmentPath(base_, seq);
   std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -431,6 +480,7 @@ Status Wal::OpenSegment(uint64_t seq, uint64_t generation) {
   segment_seq_ = seq;
   generation_ = generation;
   segment_bytes_written_ = kSegmentHeaderBytes;
+  PublishPosition();
   return Status::OK();
 }
 
@@ -483,6 +533,7 @@ Status Wal::Open(const std::string& base, const WalOptions& options,
       std::fclose(probe);
     }
   }
+  PublishPosition();
   return Status::OK();
 }
 
@@ -624,6 +675,9 @@ Status Wal::AppendBatch(const std::vector<WalRecord>& records) {
   }
   segment_bytes_written_ += bytes_written;
   generation_bytes_ += bytes_written;
+  // The batch is durable (to this log's sync contract): shippers may
+  // now read up to the new position and followers may be told about it.
+  PublishPosition();
   appended_records_.fetch_add(records.size(), std::memory_order_relaxed);
   append_batches_.fetch_add(1, std::memory_order_relaxed);
   if (records.size() > max_batch_records_.load(std::memory_order_relaxed)) {
@@ -678,6 +732,127 @@ Status Wal::AppendSetRuleEnabled(const std::string& rule_name,
                                  bool enabled) {
   WalRecord rec = WalRuleEnabledRecord(rule_name, enabled);
   return AppendRecord(rec.op, rec.fields);
+}
+
+Status WalTailReader::Open(uint64_t seq, uint64_t offset) {
+  Close();
+  const std::string path = SegmentPath(base_, seq);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("WAL segment " + path + " does not exist");
+  }
+  SegmentHeader header;
+  if (!ReadSegmentHeader(f, &header) || header.seq != seq) {
+    std::fclose(f);
+    return Status::DataLoss("bad segment header in " + path);
+  }
+  if (offset == 0) offset = Wal::kSegmentHeaderSize;
+  if (offset < Wal::kSegmentHeaderSize) {
+    std::fclose(f);
+    return Status::InvalidArgument("offset " + std::to_string(offset) +
+                                   " is inside the segment header");
+  }
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot seek to offset " +
+                           std::to_string(offset) + " of " + path);
+  }
+  file_ = f;
+  seq_ = seq;
+  generation_ = header.generation;
+  offset_ = offset;
+  return Status::OK();
+}
+
+void WalTailReader::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+StatusOr<size_t> WalTailReader::Read(uint64_t limit_offset,
+                                     size_t max_bytes, std::string* out) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("tail reader is not open");
+  }
+  if (limit_offset <= offset_ || max_bytes == 0) return size_t{0};
+  size_t want = static_cast<size_t>(
+      std::min<uint64_t>(limit_offset - offset_, max_bytes));
+  size_t start = out->size();
+  out->resize(start + want);
+  // The writer appends with its own FILE*; clearerr so a previous EOF
+  // (we caught up) does not stick after the segment has grown.
+  std::clearerr(file_);
+  size_t n = std::fread(out->data() + start, 1, want, file_);
+  out->resize(start + n);
+  if (n < want && std::ferror(file_) != 0) {
+    return Status::IoError("read of WAL segment " +
+                           SegmentPath(base_, seq_) + " failed");
+  }
+  offset_ += n;
+  return n;
+}
+
+void WalRecordParser::Feed(std::string_view data) {
+  if (!error_.empty()) return;  // poisoned
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 64 * 1024)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data);
+}
+
+WalRecordParser::Result WalRecordParser::Next(WalRecord* out) {
+  if (!error_.empty()) return Result::kError;
+  if (buf_.size() - pos_ < 8) return Result::kNeedMore;
+  uint32_t len = 0, crc = 0;
+  std::memcpy(&len, buf_.data() + pos_, 4);
+  std::memcpy(&crc, buf_.data() + pos_ + 4, 4);
+  if (len > kMaxRecordBytes) {
+    error_ = "implausible record length " + std::to_string(len);
+    return Result::kError;
+  }
+  if (buf_.size() - pos_ < 8 + static_cast<size_t>(len)) {
+    return Result::kNeedMore;
+  }
+  const char* payload = buf_.data() + pos_ + 8;
+  uint32_t expected = Crc32cExtend(0, &len, sizeof(len));
+  expected = Crc32cExtend(expected, payload, len);
+  if (expected != crc) {
+    error_ = "record checksum mismatch";
+    return Result::kError;
+  }
+  // Decode op, field count, fields out of the verified payload.
+  if (len < 2) {
+    error_ = "record payload shorter than its opcode";
+    return Result::kError;
+  }
+  out->op = static_cast<uint8_t>(payload[0]);
+  size_t nfields = static_cast<uint8_t>(payload[1]);
+  size_t at = 2;
+  out->fields.clear();
+  for (size_t i = 0; i < nfields; ++i) {
+    if (at + 4 > len) {
+      error_ = "record field table truncated";
+      return Result::kError;
+    }
+    uint32_t flen;
+    std::memcpy(&flen, payload + at, 4);
+    at += 4;
+    if (at + flen > len) {
+      error_ = "record field runs past its payload";
+      return Result::kError;
+    }
+    out->fields.emplace_back(payload + at, flen);
+    at += flen;
+  }
+  if (at != len) {
+    error_ = "trailing bytes after record fields";
+    return Result::kError;
+  }
+  pos_ += 8 + len;
+  return Result::kRecord;
 }
 
 Status Wal::Replay(const std::string& base, FactStore* store,

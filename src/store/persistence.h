@@ -37,7 +37,10 @@
 #define LSD_STORE_PERSISTENCE_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -96,6 +99,16 @@ struct RecoveryStats {
   std::string ToString() const;
 };
 
+// WAL record opcodes. Public so readers other than Replay (the
+// replication follower's replay loop) can interpret records.
+enum class WalOpCode : uint8_t {
+  kAssert = 1,
+  kRetract = 2,
+  kRule = 3,
+  kEnableRule = 4,
+  kDisableRule = 5,
+};
+
 // One staged WAL record: an opcode plus its name fields, not yet
 // framed. The group-commit leader collects the records of every
 // mutation in a commit group (LooseDb::set_mutation_capture) and hands
@@ -105,6 +118,36 @@ struct WalRecord {
   std::vector<std::string> fields;
 };
 
+// A byte coordinate in the segmented log: (checkpoint generation,
+// segment sequence number, byte offset within that segment, header
+// included). Replication followers resume from one of these; the
+// zero position means "from the very beginning / send me everything".
+struct WalPosition {
+  uint64_t generation = 0;
+  uint64_t segment_seq = 0;
+  uint64_t offset = 0;
+
+  bool IsZero() const { return segment_seq == 0 && offset == 0; }
+  friend bool operator==(const WalPosition& a, const WalPosition& b) {
+    return a.generation == b.generation &&
+           a.segment_seq == b.segment_seq && a.offset == b.offset;
+  }
+  friend bool operator!=(const WalPosition& a, const WalPosition& b) {
+    return !(a == b);
+  }
+  std::string ToString() const;
+};
+
+// One on-disk segment as the inventory API reports it (the
+// `Wal::TailReader` satellite: replication and the shell read the log
+// through this instead of poking at files).
+struct WalSegmentInfo {
+  uint64_t seq = 0;
+  uint64_t generation = 0;
+  uint64_t bytes = 0;  // file size, segment header included
+  std::string path;
+};
+
 // Builders producing the exact records the single-append methods log.
 WalRecord WalAssertRecord(const FactStore& store, const Fact& f);
 WalRecord WalRetractRecord(const FactStore& store, const Fact& f);
@@ -112,9 +155,16 @@ WalRecord WalRuleRecord(const Rule& rule, const EntityTable& entities);
 WalRecord WalRuleEnabledRecord(const std::string& rule_name, bool enabled);
 
 // Append-only mutation log over a family of segment files
-// `<base>.NNNNNN`. Single-writer; Replay is the single reader.
+// `<base>.NNNNNN`. Single-writer; Replay and TailReaders are readers
+// (TailReaders only ever read at or below durable_position(), which the
+// writer publishes after each batch lands).
 class Wal {
  public:
+  // Bytes of segment header (magic, generation, seq) before the first
+  // record; a WalPosition at the start of a segment's records has
+  // offset == kSegmentHeaderSize.
+  static constexpr uint64_t kSegmentHeaderSize = 8 + 8 + 8;
+
   Wal() = default;
   ~Wal();
 
@@ -176,6 +226,29 @@ class Wal {
   // matching snapshot has been atomically published.
   Status BeginGeneration(uint64_t generation);
 
+  // ---- Segment inventory & tailing (the replication read side) -----------
+
+  // The on-disk segments of `base`, sorted by sequence number, each with
+  // its generation and size. Segments whose header cannot be read are
+  // omitted. A missing directory is an empty inventory.
+  static std::vector<WalSegmentInfo> Inventory(const std::string& base);
+  // Inventory of this (open) log's base.
+  std::vector<WalSegmentInfo> SegmentInventory() const;
+
+  // The coordinate of the last byte this log has durably landed (at
+  // WalSync::kFlush, "durable" means flushed — the same point at which
+  // writers are acked). Shippers must never read past it: bytes beyond
+  // may belong to a group that will fail its fsync and be truncated by
+  // salvage. Thread-safe.
+  WalPosition durable_position() const;
+  // Monotonic counter bumped on every durable-position change; pair
+  // with WaitAppend to sleep until the log grows.
+  uint64_t position_version() const;
+  // Blocks until position_version() != seen_version or `timeout`
+  // elapses. Returns true when the position moved.
+  bool WaitAppend(uint64_t seen_version,
+                  std::chrono::milliseconds timeout) const;
+
   // Replays every segment of `base` (generation >= min_generation; the
   // snapshot already contains older ones) over the store. Missing
   // segments are an empty log. Replay stops at the first invalid record
@@ -189,6 +262,11 @@ class Wal {
                        uint64_t min_generation = 0);
 
  private:
+  // Publishes the current (generation_, segment_seq_,
+  // segment_bytes_written_) triple as the durable position and wakes
+  // WaitAppend callers.
+  void PublishPosition();
+
   Status AppendRecord(uint8_t op, const std::vector<std::string>& fields);
   // Frames and fwrites one record (no flush/sync); evaluates the
   // wal.append.write failpoint and poisons the log on any failure.
@@ -208,6 +286,75 @@ class Wal {
   std::atomic<uint64_t> append_batches_{0};
   std::atomic<uint64_t> max_batch_records_{0};
   std::atomic<uint64_t> fsyncs_{0};
+
+  // The published durable position (single writer, many readers).
+  mutable std::mutex position_mu_;
+  mutable std::condition_variable position_cv_;
+  WalPosition position_;
+  uint64_t position_version_ = 0;
+};
+
+// Sequential reader over one WAL segment, used by the replication
+// shipper to stream raw record bytes. Open positions it; Read never
+// goes past the caller-supplied limit (the durable position), so a
+// torn or in-flight suffix is never shipped.
+class WalTailReader {
+ public:
+  explicit WalTailReader(std::string base) : base_(std::move(base)) {}
+  ~WalTailReader() { Close(); }
+
+  WalTailReader(const WalTailReader&) = delete;
+  WalTailReader& operator=(const WalTailReader&) = delete;
+
+  // Opens segment `seq` and seeks to `offset` (0 means the first record
+  // byte, i.e. Wal::kSegmentHeaderSize). Validates the segment header.
+  Status Open(uint64_t seq, uint64_t offset);
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+
+  uint64_t seq() const { return seq_; }
+  uint64_t generation() const { return generation_; }
+  uint64_t offset() const { return offset_; }
+
+  // Appends up to max_bytes from the current position — never past
+  // byte `limit_offset` of this segment — to *out, advancing offset().
+  // Returns the number of bytes read (0: nothing available below the
+  // limit). IoError if the file shrank or a read fails.
+  StatusOr<size_t> Read(uint64_t limit_offset, size_t max_bytes,
+                        std::string* out);
+
+ private:
+  std::string base_;
+  std::FILE* file_ = nullptr;
+  uint64_t seq_ = 0;
+  uint64_t generation_ = 0;
+  uint64_t offset_ = 0;
+};
+
+// Incremental decoder for the WAL record framing
+// ([u32 len][u32 crc][payload]); the follower-side replay loop feeds it
+// shipped chunk bytes and pulls whole records out. CRC-validated: a
+// mismatch poisons the parser (the stream cannot be trusted past it).
+class WalRecordParser {
+ public:
+  enum class Result {
+    kRecord,    // *out filled with the next complete record
+    kNeedMore,  // no complete record buffered yet
+    kError,     // corrupt framing; see error()
+  };
+
+  void Feed(std::string_view data);
+  Result Next(WalRecord* out);
+
+  const std::string& error() const { return error_; }
+  // Bytes fed but not yet consumed by complete records. When this is 0
+  // the stream is at a record boundary — the only safe resume point.
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;
+  std::string error_;
 };
 
 }  // namespace lsd

@@ -1,0 +1,406 @@
+// End-to-end tests for the replication subsystem: a durable primary
+// shipping its WAL through a LogShipper, a follower SharedStore kept
+// converged by a ReplicationClient, and the bounded-staleness contract
+// browse sessions enforce on top.
+//
+// The golden invariant (the acceptance bar): a follower that has
+// caught up serves the paper's Sec 5.2 browsing menu BIT-IDENTICALLY
+// to its primary — same probe menus, same query tables, same rule
+// listings — because it replays the same log through the same commit
+// machinery.
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "replication/log_shipper.h"
+#include "replication/monitor.h"
+#include "replication/replication_client.h"
+#include "server/session.h"
+#include "server/shared_store.h"
+#include "util/failpoint.h"
+#include "workload/university_domain.h"
+
+namespace lsd {
+namespace {
+
+// The paper's Sec 5.2 browsing menu plus the rest of the read grammar:
+// replayed verbatim against primary and follower sessions and compared
+// byte for byte.
+const char* const kGoldenSuite[] = {
+    "probe (STUDENT, LOVE, ?Z) and (?Z, COSTS, FREE)",
+    "query (?S, TAKE, ?C)",
+    "query (STUDENT, LOVE, ?Z)",
+    "nav STUDENT",
+    "assoc TOM HARRY",
+    "near STUDENT 2",
+    "rules",
+    "check",
+};
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lsd_repl_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    if (client_ != nullptr) client_->Stop();
+    if (shipper_ != nullptr) shipper_->Stop();
+    failpoint::ClearAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  void StartPrimary(uint64_t checkpoint_bytes = 0) {
+    primary_ = std::make_unique<SharedStore>();
+    SharedStoreDurability durability;
+    durability.checkpoint_bytes = checkpoint_bytes;
+    Status opened = primary_->OpenDurable(Path("primary"), durability);
+    ASSERT_TRUE(opened.ok()) << opened.ToString();
+    LogShipperOptions options;
+    options.heartbeat_ms = 50;  // keep convergence waits short
+    shipper_ = std::make_unique<LogShipper>(primary_.get(), options);
+    Status started = shipper_->Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+  }
+
+  void StartFollower(const ReplicationBounds& bounds = {}) {
+    follower_ = std::make_unique<SharedStore>();
+    monitor_ = std::make_unique<ReplicationMonitor>(bounds);
+    ReplicationClientOptions options;
+    options.port = shipper_->port();
+    options.scratch_prefix = Path("scratch");
+    options.backoff_base_ms = 20;
+    options.backoff_max_ms = 200;
+    client_ = std::make_unique<ReplicationClient>(follower_.get(),
+                                                  monitor_.get(), options);
+    Status started = client_->Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+  }
+
+  // The replica provably equals the primary's published tip.
+  bool Converged() {
+    const ReplicationStatus s = monitor_->Sample();
+    return s.ever_synced && s.lag_bytes == 0 &&
+           s.applied_epoch == primary_->snapshot()->sequence();
+  }
+
+  bool WaitUntil(const std::function<bool()>& pred,
+                 int timeout_ms = 10'000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return pred();
+  }
+
+  void SeedCampus() {
+    auto seeded = primary_->Commit([](LooseDb& db) {
+      workload::BuildCampusDomain(&db);
+      return Status::OK();
+    });
+    ASSERT_TRUE(seeded.ok()) << seeded.status().ToString();
+  }
+
+  // Runs `line` on a fresh single-use session over `store`.
+  static StatusOr<std::string> Run(SharedStore* store, std::string_view line,
+                                   const ReplicationMonitor* monitor) {
+    ServerSession session(1, store);
+    if (monitor != nullptr) session.set_replication(monitor);
+    return session.Execute(line);
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<SharedStore> primary_;
+  std::unique_ptr<LogShipper> shipper_;
+  std::unique_ptr<SharedStore> follower_;
+  std::unique_ptr<ReplicationMonitor> monitor_;
+  std::unique_ptr<ReplicationClient> client_;
+};
+
+TEST_F(ReplicationTest, ColdFollowerCatchesUpAndServesTheMenuBitIdentically) {
+  StartPrimary();
+  SeedCampus();
+  auto rule = primary_->Commit([](LooseDb& db) {
+    return db.DefineRule(
+        "thrift: (?X, COSTS, FREE) => (?X, IS, AFFORDABLE)");
+  });
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+
+  StartFollower();
+  ASSERT_TRUE(WaitUntil([&] { return Converged(); }))
+      << "follower never converged";
+
+  for (const char* line : kGoldenSuite) {
+    auto on_primary = Run(primary_.get(), line, nullptr);
+    auto on_follower = Run(follower_.get(), line, monitor_.get());
+    ASSERT_TRUE(on_primary.ok()) << line << ": "
+                                 << on_primary.status().ToString();
+    ASSERT_TRUE(on_follower.ok()) << line << ": "
+                                  << on_follower.status().ToString();
+    EXPECT_EQ(*on_primary, *on_follower) << line;
+  }
+}
+
+TEST_F(ReplicationTest, FollowerTailsLiveCommits) {
+  StartPrimary();
+  SeedCampus();
+  StartFollower();
+  ASSERT_TRUE(WaitUntil([&] { return Converged(); }));
+
+  auto committed = primary_->Commit([](LooseDb& db) {
+    db.Assert("FRESH", "ARRIVES", "LIVE");
+    return Status::OK();
+  });
+  ASSERT_TRUE(committed.ok());
+  ASSERT_TRUE(WaitUntil([&] { return Converged(); }));
+
+  auto result = Run(follower_.get(), "query (FRESH, ARRIVES, ?X)",
+                    monitor_.get());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->find("LIVE"), std::string::npos);
+  EXPECT_GE(monitor_->Sample().chunks_applied, 1u);
+  // Applied stamps came from the primary's clock via the chunk frames.
+  EXPECT_GT(monitor_->Sample().applied_epoch_ms, 0u);
+}
+
+TEST_F(ReplicationTest, FollowerRejectsEveryMutationVerb) {
+  StartPrimary();
+  SeedCampus();
+  StartFollower();
+  ASSERT_TRUE(WaitUntil([&] { return Converged(); }));
+
+  const char* const mutations[] = {
+      "assert (A, B, C)",
+      "retract (STUDENT, LOVE, ADVANCED-COURSES)",
+      "assert* (A, B, C) (D, E, F)",
+      "retract* (A, B, C)",
+      "rule r1: (?X, A, B) => (?X, C, D)",
+      "integrity r2: (?X, A, B) => (?X, C, D)",
+      "define pair(?A) := (?A, TAKE, ?C)",
+      "include thrift",
+      "exclude thrift",
+      "load /nonexistent.lsd",
+  };
+  for (const char* line : mutations) {
+    auto result = Run(follower_.get(), line, monitor_.get());
+    ASSERT_FALSE(result.ok()) << line;
+    EXPECT_NE(result.status().ToString().find("read-only follower"),
+              std::string::npos)
+        << line << " -> " << result.status().ToString();
+  }
+  // The binary mutation path hits the same wall.
+  ServerSession session(1, follower_.get());
+  session.set_replication(monitor_.get());
+  auto batch = session.ExecuteBatchMutation("anything");
+  ASSERT_FALSE(batch.ok());
+  EXPECT_NE(batch.status().ToString().find("read-only follower"),
+            std::string::npos);
+
+  // Session-local verbs stay available: the overlay never commits.
+  EXPECT_TRUE(Run(follower_.get(), "ping", monitor_.get()).ok());
+  EXPECT_TRUE(
+      Run(follower_.get(), "hypo assert (X, Y, Z)", monitor_.get()).ok());
+  auto stats = Run(follower_.get(), "stats", monitor_.get());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("replication:    follower"), std::string::npos);
+  EXPECT_NE(stats->find("repl lag:"), std::string::npos);
+}
+
+TEST_F(ReplicationTest, StalenessBoundGatesReads) {
+  StartPrimary();
+  SeedCampus();
+
+  // Bounded but never connected: reads refuse with the stale marker.
+  ReplicationBounds bounds;
+  bounds.max_lag_ms = 60'000;
+  ReplicationMonitor unsynced(bounds);
+  auto blocked = Run(primary_.get(), "query (?S, TAKE, ?C)", &unsynced);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_NE(blocked.status().ToString().find("stale:"), std::string::npos);
+
+  // A converged follower under a generous bound serves reads.
+  StartFollower(bounds);
+  ASSERT_TRUE(WaitUntil([&] { return Converged(); }));
+  EXPECT_TRUE(
+      Run(follower_.get(), "query (?S, TAKE, ?C)", monitor_.get()).ok());
+
+  // Primary silence past grace + bound makes the follower stale: stop
+  // shipping and watch the gate close deterministically.
+  ReplicationBounds tight;
+  tight.max_lag_ms = 50;
+  tight.heartbeat_grace_ms = 50;
+  ReplicationMonitor tight_monitor(tight);
+  const ReplicationStatus synced = monitor_->Sample();
+  tight_monitor.RecordFrame(synced.primary_epoch, synced.primary_epoch_ms,
+                            0);
+  tight_monitor.RecordApplied(synced.primary_epoch,
+                              synced.primary_epoch_ms);
+  EXPECT_TRUE(tight_monitor.CheckReadable().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  Status gate = tight_monitor.CheckReadable();
+  ASSERT_FALSE(gate.ok());
+  EXPECT_NE(gate.ToString().find("stale:"), std::string::npos);
+}
+
+TEST_F(ReplicationTest, ResumesFromOffsetAcrossShipperRestart) {
+  StartPrimary();
+  SeedCampus();
+  StartFollower();
+  ASSERT_TRUE(WaitUntil([&] { return Converged(); }));
+
+  // Take the primary's replication endpoint down, keep committing.
+  const uint16_t port = shipper_->port();
+  shipper_->Stop();
+  shipper_ = nullptr;
+  for (int i = 0; i < 5; ++i) {
+    auto committed = primary_->Commit([i](LooseDb& db) {
+      db.Assert("OFFLINE" + std::to_string(i), "WRITTEN", "WHILE-DOWN");
+      return Status::OK();
+    });
+    ASSERT_TRUE(committed.ok());
+  }
+
+  // Bring shipping back on the same port; the follower's backoff loop
+  // resubscribes from its last applied offset — no snapshot involved.
+  LogShipperOptions options;
+  options.port = port;
+  options.heartbeat_ms = 50;
+  shipper_ = std::make_unique<LogShipper>(primary_.get(), options);
+  Status restarted = shipper_->Start();
+  ASSERT_TRUE(restarted.ok()) << restarted.ToString();
+
+  ASSERT_TRUE(WaitUntil([&] { return Converged(); }))
+      << "follower never re-converged";
+  const ReplicationStatus s = monitor_->Sample();
+  EXPECT_GE(s.reconnects, 1u);
+  EXPECT_EQ(s.snapshots_loaded, 0u) << "resume must not need a snapshot";
+  auto result = Run(follower_.get(), "query (OFFLINE4, WRITTEN, ?X)",
+                    monitor_.get());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->find("WHILE-DOWN"), std::string::npos);
+}
+
+TEST_F(ReplicationTest, CheckpointedAwayLogFallsBackToSnapshotCatchUp) {
+  // A tiny checkpoint threshold retires the genesis segment almost
+  // immediately, so a cold follower cannot replay from offset zero.
+  StartPrimary(/*checkpoint_bytes=*/64);
+  SeedCampus();
+  for (int i = 0; i < 4; ++i) {
+    auto committed = primary_->Commit([i](LooseDb& db) {
+      db.Assert("CKPT" + std::to_string(i), "FORCES", "ROTATION");
+      return Status::OK();
+    });
+    ASSERT_TRUE(committed.ok());
+  }
+  const auto inventory = primary_->wal().SegmentInventory();
+  ASSERT_FALSE(inventory.empty());
+  ASSERT_TRUE(inventory.front().seq > 1 ||
+              inventory.front().generation > 0)
+      << "checkpoint should have retired the genesis segment";
+
+  StartFollower();
+  ASSERT_TRUE(WaitUntil([&] { return Converged(); }))
+      << "snapshot catch-up never converged";
+  EXPECT_GE(monitor_->Sample().snapshots_loaded, 1u);
+  auto result =
+      Run(follower_.get(), "query (CKPT3, FORCES, ?X)", monitor_.get());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->find("ROTATION"), std::string::npos);
+
+  // And the snapshot-derived state still matches the primary verbatim.
+  for (const char* line : kGoldenSuite) {
+    auto on_primary = Run(primary_.get(), line, nullptr);
+    auto on_follower = Run(follower_.get(), line, monitor_.get());
+    ASSERT_TRUE(on_primary.ok()) << line;
+    ASSERT_TRUE(on_follower.ok()) << line;
+    EXPECT_EQ(*on_primary, *on_follower) << line;
+  }
+}
+
+#if LSD_FAILPOINTS_ENABLED
+
+TEST_F(ReplicationTest, InjectedApplyFaultReconnectsAndRecovers) {
+  StartPrimary();
+  SeedCampus();
+  StartFollower();
+  ASSERT_TRUE(WaitUntil([&] { return Converged(); }));
+
+  // The next chunk apply fails once; the client must tear down,
+  // resubscribe from its last good offset, and land the write anyway.
+  failpoint::Policy fail_once;
+  fail_once.action = failpoint::Action::kError;
+  fail_once.max_fires = 1;
+  failpoint::Scoped scoped("repl.client.apply", fail_once);
+
+  auto committed = primary_->Commit([](LooseDb& db) {
+    db.Assert("FAULT", "CANNOT-STOP", "REPLICATION");
+    return Status::OK();
+  });
+  ASSERT_TRUE(committed.ok());
+
+  ASSERT_TRUE(WaitUntil([&] {
+    auto result = Run(follower_.get(), "query (FAULT, CANNOT-STOP, ?X)",
+                      monitor_.get());
+    return result.ok() && result->find("REPLICATION") != std::string::npos;
+  }));
+  EXPECT_GE(monitor_->Sample().reconnects, 1u);
+}
+
+TEST_F(ReplicationTest, InjectedSendFaultsOnlyDelayTheSubscription) {
+  StartPrimary();
+  SeedCampus();
+
+  failpoint::Policy fail_twice;
+  fail_twice.action = failpoint::Action::kError;
+  fail_twice.max_fires = 2;
+  failpoint::Scoped scoped("repl.client.send", fail_twice);
+
+  StartFollower();
+  ASSERT_TRUE(WaitUntil([&] { return Converged(); }))
+      << "client should retry past injected subscribe failures";
+}
+
+TEST_F(ReplicationTest, ShipperSendFaultDropsFollowerWhoReconnects) {
+  StartPrimary();
+  SeedCampus();
+  StartFollower();
+  ASSERT_TRUE(WaitUntil([&] { return Converged(); }));
+
+  {
+    failpoint::Policy fail_once;
+    fail_once.action = failpoint::Action::kError;
+    fail_once.max_fires = 1;
+    failpoint::Scoped scoped("repl.ship.send", fail_once);
+    auto committed = primary_->Commit([](LooseDb& db) {
+      db.Assert("SHIP", "FAULTS", "TOO");
+      return Status::OK();
+    });
+    ASSERT_TRUE(committed.ok());
+    ASSERT_TRUE(WaitUntil([&] {
+      auto result =
+          Run(follower_.get(), "query (SHIP, FAULTS, ?X)", monitor_.get());
+      return result.ok() && result->find("TOO") != std::string::npos;
+    }));
+  }
+  EXPECT_GE(monitor_->Sample().reconnects, 1u);
+}
+
+#endif  // LSD_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace lsd

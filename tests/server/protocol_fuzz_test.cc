@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "replication/wire.h"
 #include "server/protocol.h"
 #include "server/server.h"
 #include "server/shared_store.h"
@@ -150,7 +151,8 @@ TEST(BinaryFramerTest, MalformedHeadersArePermanentErrors) {
   const Case cases[] = {
       {0, 'Z', "bad magic0"},    {1, 'z', "bad magic1"},
       {2, 'z', "bad magic2"},    {3, 9, "unknown version"},
-      {4, 7, "unknown type"},    {5, 1, "reserved byte 5"},
+      {4, kMaxFrameType + 1, "unknown type"},
+      {5, 1, "reserved byte 5"},
       {6, 1, "reserved byte 6"}, {7, 1, "reserved byte 7"},
   };
   for (const Case& c : cases) {
@@ -165,6 +167,120 @@ TEST(BinaryFramerTest, MalformedHeadersArePermanentErrors) {
     parser.Feed(good);
     EXPECT_EQ(parser.Next(&frame), BinaryFrameParser::Result::kError)
         << c.name << " should stay poisoned";
+  }
+}
+
+// ---- Replication frames --------------------------------------------------
+// The framing layer accepts the replication types (kSubscribe,
+// kLogChunk, kHeartbeat, kSnapshot) everywhere — validity is a port
+// policy, not a parser policy — so they get the same chunking and
+// truncation abuse as the browse frames.
+
+TEST(ReplicationWireTest, FramedPayloadsRoundTripUnderDribble) {
+  SubscribeRequest sub;
+  sub.pos = WalPosition{3, 7, 4096};
+  LogChunk chunk;
+  chunk.pos = WalPosition{1, 2, 24};
+  chunk.primary_epoch = 41;
+  chunk.primary_epoch_ms = 1'700'000'000'123ull;
+  chunk.behind_bytes = 99;
+  chunk.records = std::string("\x01\x02raw record bytes\x00with nul", 27);
+  Heartbeat hb;
+  hb.primary_epoch = 42;
+  hb.primary_epoch_ms = 1'700'000'000'456ull;
+  hb.behind_bytes = 0;
+  SnapshotChunk snap;
+  snap.total_bytes = 1 << 20;
+  snap.chunk_offset = 512;
+  snap.primary_epoch = 43;
+  snap.primary_epoch_ms = 7;
+  snap.pos = WalPosition{2, 5, 24};
+  snap.data = std::string(777, 's');
+
+  const std::string wire =
+      EncodeFrame(FrameType::kSubscribe, 1, EncodeSubscribe(sub)) +
+      EncodeFrame(FrameType::kLogChunk, 0, EncodeLogChunk(chunk)) +
+      EncodeFrame(FrameType::kHeartbeat, 0, EncodeHeartbeat(hb)) +
+      EncodeFrame(FrameType::kSnapshot, 0, EncodeSnapshotChunk(snap));
+
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    BinaryFrameParser parser;
+    std::vector<BinaryFrame> frames;
+    size_t pos = 0;
+    while (pos < wire.size()) {
+      const size_t n = std::min(wire.size() - pos,
+                                static_cast<size_t>(1 + rng.Uniform(61)));
+      parser.Feed(std::string_view(wire).substr(pos, n));
+      pos += n;
+      BinaryFrame f;
+      while (parser.Next(&f) == BinaryFrameParser::Result::kFrame) {
+        frames.push_back(f);
+      }
+      ASSERT_TRUE(parser.error().empty()) << parser.error();
+    }
+    ASSERT_EQ(frames.size(), 4u);
+
+    SubscribeRequest sub2;
+    ASSERT_TRUE(DecodeSubscribe(frames[0].payload, &sub2).ok());
+    EXPECT_EQ(sub2.pos, sub.pos);
+    LogChunk chunk2;
+    ASSERT_TRUE(DecodeLogChunk(frames[1].payload, &chunk2).ok());
+    EXPECT_EQ(chunk2.pos, chunk.pos);
+    EXPECT_EQ(chunk2.primary_epoch, chunk.primary_epoch);
+    EXPECT_EQ(chunk2.primary_epoch_ms, chunk.primary_epoch_ms);
+    EXPECT_EQ(chunk2.behind_bytes, chunk.behind_bytes);
+    EXPECT_EQ(chunk2.records, chunk.records);
+    Heartbeat hb2;
+    ASSERT_TRUE(DecodeHeartbeat(frames[2].payload, &hb2).ok());
+    EXPECT_EQ(hb2.primary_epoch, hb.primary_epoch);
+    EXPECT_EQ(hb2.behind_bytes, hb.behind_bytes);
+    SnapshotChunk snap2;
+    ASSERT_TRUE(DecodeSnapshotChunk(frames[3].payload, &snap2).ok());
+    EXPECT_EQ(snap2.total_bytes, snap.total_bytes);
+    EXPECT_EQ(snap2.chunk_offset, snap.chunk_offset);
+    EXPECT_EQ(snap2.pos, snap.pos);
+    EXPECT_EQ(snap2.data, snap.data);
+  }
+}
+
+TEST(ReplicationWireTest, TruncatedPayloadsAreErrorsNotCrashes) {
+  SubscribeRequest sub;
+  sub.pos = WalPosition{1, 1, 24};
+  const std::string sub_wire = EncodeSubscribe(sub);
+  for (size_t cut = 0; cut < sub_wire.size(); ++cut) {
+    SubscribeRequest out;
+    EXPECT_FALSE(DecodeSubscribe(sub_wire.substr(0, cut), &out).ok());
+  }
+  // A trailing byte is as malformed as a missing one (exact-size
+  // payloads catch frame/payload confusion).
+  SubscribeRequest out;
+  EXPECT_FALSE(DecodeSubscribe(sub_wire + "x", &out).ok());
+
+  Heartbeat hb;
+  const std::string hb_wire = EncodeHeartbeat(hb);
+  for (size_t cut = 0; cut < hb_wire.size(); ++cut) {
+    Heartbeat hout;
+    EXPECT_FALSE(DecodeHeartbeat(hb_wire.substr(0, cut), &hout).ok());
+  }
+
+  // Variable-length payloads: everything below the fixed header is an
+  // error; at or past it, the tail is the record/data bytes.
+  LogChunk chunk;
+  chunk.records = "rr";
+  const std::string chunk_wire = EncodeLogChunk(chunk);
+  const size_t chunk_header = chunk_wire.size() - chunk.records.size();
+  for (size_t cut = 0; cut < chunk_header; ++cut) {
+    LogChunk cout_;
+    EXPECT_FALSE(DecodeLogChunk(chunk_wire.substr(0, cut), &cout_).ok());
+  }
+  SnapshotChunk snap;
+  snap.data = "dd";
+  const std::string snap_wire = EncodeSnapshotChunk(snap);
+  const size_t snap_header = snap_wire.size() - snap.data.size();
+  for (size_t cut = 0; cut < snap_header; ++cut) {
+    SnapshotChunk sout;
+    EXPECT_FALSE(DecodeSnapshotChunk(snap_wire.substr(0, cut), &sout).ok());
   }
 }
 
@@ -243,6 +359,22 @@ TEST_F(ProtocolTortureTest, MalformedBinaryFrameClosesTheConnection) {
     auto second = client.ReadReply();
     EXPECT_FALSE(second.ok());
   }
+}
+
+TEST_F(ProtocolTortureTest, ReplicationFrameOnBrowsePortClosesTheConnection) {
+  StartServer();
+  BinaryClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Greeting().ok());
+  // kSubscribe parses fine but only the replication port honors it;
+  // the browse port treats it like any other non-request frame.
+  SubscribeRequest sub;
+  ASSERT_TRUE(
+      WriteAll(client.fd(), EncodeFrame(FrameType::kSubscribe, 1,
+                                        EncodeSubscribe(sub)))
+          .ok());
+  auto reply = client.ReadReply();
+  EXPECT_FALSE(reply.ok());
 }
 
 TEST_F(ProtocolTortureTest, NonRequestFrameClosesTheConnection) {

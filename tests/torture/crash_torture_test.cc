@@ -29,6 +29,9 @@
 #include <gtest/gtest.h>
 
 #include "core/loose_db.h"
+#include "replication/log_shipper.h"
+#include "replication/monitor.h"
+#include "replication/replication_client.h"
 #include "server/shared_store.h"
 #include "util/failpoint.h"
 #include "util/random.h"
@@ -455,6 +458,177 @@ TEST_F(CrashTortureTest, GroupCommitCrashKeepsEveryAckedWrite) {
     // The salvaged log still accepts appends after recovery.
     db.Assert("POST-RECOVERY", "MARKS", "DONE");
     ASSERT_TRUE(db.wal_status().ok()) << db.wal_status().ToString();
+  }
+}
+
+// ---- Replication under a primary kill ---------------------------------
+//
+// The primary runs in a forked child — durable store, log shipper,
+// concurrent group-committing writers — and is killed mid-group by a
+// batch failpoint while a follower in the parent tails its WAL. The
+// follower only ever receives published (fsynced-and-acked) bytes, so
+// its state is always a committed prefix. The parent then recovers the
+// primary's files in-process and reships on the same port: the
+// follower's reconnect loop must resume and converge to the recovered
+// tip, which (durability invariant) contains every acked write — and
+// the converged replica must match the recovered primary fact-for-fact.
+TEST_F(CrashTortureTest, FollowerConvergesToAckedPrefixAfterPrimaryKill) {
+  constexpr int kThreads = 4;
+  constexpr int kCommitsPerThread = 30;
+  const char* kTrials[] = {
+      "wal.batch.record=crash@13",  // torn mid-batch-append
+      "wal.batch.sync=crash@5",     // after flush, before the group fsync
+  };
+  int trial_index = 0;
+  for (const char* spec : kTrials) {
+    SCOPED_TRACE(spec);
+    const std::string prefix = Prefix("repl" + std::to_string(trial_index));
+    const std::string ack = Prefix("rack" + std::to_string(trial_index));
+    const std::string port_path =
+        Prefix("rport" + std::to_string(trial_index));
+    const std::string scratch =
+        Prefix("rscratch" + std::to_string(trial_index));
+    ++trial_index;
+
+    std::fflush(nullptr);
+    pid_t pid = ::fork();
+    if (pid == 0) {
+      if (!failpoint::Configure(spec).ok()) ::_exit(91);
+      SharedStore store;
+      SharedStoreDurability durability;
+      durability.sync = WalSync::kFsync;
+      durability.segment_bytes = 400;
+      durability.checkpoint_bytes = 1200;
+      if (!store.OpenDurable(prefix, durability).ok()) ::_exit(92);
+      LogShipperOptions ship_options;
+      ship_options.heartbeat_ms = 25;
+      LogShipper shipper(&store, ship_options);
+      if (!shipper.Start().ok()) ::_exit(96);
+      {
+        // Publish the ephemeral port for the parent's follower.
+        std::FILE* f = std::fopen(port_path.c_str(), "w");
+        if (f == nullptr) ::_exit(97);
+        std::fprintf(f, "%u\n", shipper.port());
+        std::fclose(f);
+      }
+      int ack_fd = ::open(ack.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (ack_fd < 0) ::_exit(93);
+      std::vector<std::thread> writers;
+      for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&store, ack_fd, t] {
+          for (int i = 0; i < kCommitsPerThread; ++i) {
+            std::string name =
+                "T" + std::to_string(t) + "-N" + std::to_string(i);
+            auto committed = store.Commit([&name](LooseDb& db) {
+              db.Assert(name, "MARKS", "DONE");
+              return Status::OK();
+            });
+            if (!committed.ok()) ::_exit(94);
+            std::string line = name + "\n";
+            if (::write(ack_fd, line.data(), line.size()) !=
+                static_cast<ssize_t>(line.size())) {
+              ::_exit(95);
+            }
+          }
+        });
+      }
+      for (auto& t : writers) t.join();
+      ::_exit(0);
+    }
+
+    // Tail the child while it lives (and retry once it is dead).
+    uint16_t port = 0;
+    for (int i = 0; i < 2000 && port == 0; ++i) {
+      std::FILE* f = std::fopen(port_path.c_str(), "r");
+      if (f != nullptr) {
+        unsigned p = 0;
+        if (std::fscanf(f, "%u", &p) == 1 && p != 0) {
+          port = static_cast<uint16_t>(p);
+        }
+        std::fclose(f);
+      }
+      if (port == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    ASSERT_NE(port, 0) << "child never published its replication port";
+    SharedStore follower;
+    ReplicationMonitor monitor;
+    ReplicationClientOptions follow_options;
+    follow_options.port = port;
+    follow_options.scratch_prefix = scratch;
+    follow_options.backoff_base_ms = 20;
+    follow_options.backoff_max_ms = 200;
+    ReplicationClient client(&follower, &monitor, follow_options);
+    ASSERT_TRUE(client.Start().ok());
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "child did not exit cleanly";
+    ASSERT_EQ(WEXITSTATUS(status), failpoint::kCrashExitStatus)
+        << "site never fired (exit " << WEXITSTATUS(status) << ")";
+    failpoint::ClearAll();  // the spec must not arm the parent's recovery
+
+    std::set<std::string> acked;
+    {
+      std::string bytes;
+      std::FILE* f = std::fopen(ack.c_str(), "rb");
+      if (f != nullptr) {
+        char buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+          bytes.append(buf, n);
+        }
+        std::fclose(f);
+      }
+      size_t start = 0, nl;
+      while ((nl = bytes.find('\n', start)) != std::string::npos) {
+        acked.insert(bytes.substr(start, nl - start));
+        start = nl + 1;
+      }
+    }
+
+    // Recover the primary in-process and reship on the same port; the
+    // follower resumes from its last applied offset (or falls back to
+    // a snapshot if recovery checkpointed the log away).
+    SharedStore recovered;
+    SharedStoreDurability durability;
+    durability.sync = WalSync::kFsync;
+    durability.segment_bytes = 400;
+    durability.checkpoint_bytes = 1200;
+    ASSERT_TRUE(recovered.OpenDurable(prefix, durability).ok());
+    LogShipperOptions ship_options;
+    ship_options.port = port;
+    ship_options.heartbeat_ms = 25;
+    LogShipper shipper(&recovered, ship_options);
+    ASSERT_TRUE(shipper.Start().ok());
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    auto converged = [&] {
+      const ReplicationStatus s = monitor.Sample();
+      return s.ever_synced && s.lag_bytes == 0 &&
+             s.applied_epoch == recovered.snapshot()->sequence();
+    };
+    while (!converged() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_TRUE(converged())
+        << "follower never converged after the primary kill ("
+        << monitor.Sample().reconnects << " reconnects)";
+    client.Stop();
+    shipper.Stop();
+
+    // Floor: every acknowledged write reached the replica.
+    EpochPtr replica = follower.snapshot();
+    std::set<std::string> replica_facts = DumpFacts(replica->db());
+    for (const std::string& name : acked) {
+      EXPECT_TRUE(replica_facts.count(Key(name, "MARKS", "DONE")) > 0)
+          << "acked write " << name << " missing on the follower ("
+          << acked.size() << " acked)";
+    }
+    // And the replica IS the recovered primary, fact for fact.
+    EXPECT_EQ(replica_facts, DumpFacts(recovered.snapshot()->db()));
   }
 }
 

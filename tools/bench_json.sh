@@ -14,6 +14,10 @@
 #   BENCH_wal.json         bench_server write mix (group commit: acked
 #                          writes/sec at fsync-on as concurrent writer
 #                          sessions scale, with group-size stats).
+#   BENCH_replication.json bench_replication (follower catch-up-from-
+#                          cold and aggregate follower reads/sec at 1/2/4
+#                          followers under an fsync-on primary write
+#                          load, with worst observed staleness).
 #
 # Numbers checked into the tree must come from an optimized build, so
 # this script configures and builds its own Release tree (default
@@ -36,7 +40,7 @@ cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
   > /dev/null
 cmake --build "$build_dir" -j "$(nproc)" --target \
   bench_closure bench_join_order bench_probing bench_server \
-  bench_recovery > /dev/null
+  bench_recovery bench_replication > /dev/null
 
 require() {
   if [ ! -x "$1" ]; then
@@ -123,4 +127,16 @@ recovery_bench="$build_dir/bench/bench_recovery"
 require "$recovery_bench"
 out="$repo_root/BENCH_recovery.json"
 "$recovery_bench" --json "$out"
+echo "wrote $out"
+
+# BENCH_replication.json: follower catch-up-from-cold plus read fan-out
+# at 1/2/4 followers under a continuous fsync-on write load on the
+# primary. Aggregate follower reads/sec should scale with follower
+# count (the replicas share nothing); max_lag_* is the worst staleness
+# any reader observed. Also direct JSON (wall-clock convergence, not
+# iteration throughput).
+repl_bench="$build_dir/bench/bench_replication"
+require "$repl_bench"
+out="$repo_root/BENCH_replication.json"
+"$repl_bench" --followers 1,2,4 --json "$out"
 echo "wrote $out"

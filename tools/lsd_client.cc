@@ -2,6 +2,17 @@
 //
 //   lsd_client [--port N] [--host A.B.C.D] [--max-attempts N]
 //              [--binary] [--window N] [--retry-writes]
+//              [--follower A.B.C.D:PORT]
+//
+// --follower splits the session across a primary/follower pair: read
+// verbs go to the follower (a read-only replica), everything else —
+// mutations, but also session-local verbs like hypo/limit/save whose
+// state should live in one place — goes to the primary at
+// --host:--port. A follower past its staleness bound answers reads
+// with "error: FailedPrecondition: stale: ..."; that is the contract,
+// not a client-side retry condition. Text mode only (the two
+// connections are separate sessions, so pipelined request ids cannot
+// interleave): --binary/--window are rejected with --follower.
 //
 // Reads command lines from stdin, sends each to the server, and prints
 // the response payload (or "error: ..." on ERR). The same grammar as
@@ -149,6 +160,7 @@ int main(int argc, char** argv) {
   bool binary = false;
   bool retry_writes = false;
   size_t window = 1;
+  std::string follower_spec;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
@@ -166,14 +178,22 @@ int main(int argc, char** argv) {
       long w = std::atol(argv[++i]);
       window = w < 1 ? 1 : static_cast<size_t>(w);
       binary = true;  // pipelining needs request ids
+    } else if (arg == "--follower" && i + 1 < argc) {
+      follower_spec = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--host A.B.C.D] [--port N] "
                    "[--max-attempts N] [--binary] [--window N] "
-                   "[--retry-writes]\n",
+                   "[--retry-writes] [--follower A.B.C.D:PORT]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (!follower_spec.empty() && binary) {
+    std::fprintf(stderr,
+                 "--follower routes per line over two text sessions; it "
+                 "excludes --binary/--window\n");
+    return 2;
   }
 
   struct sockaddr_in addr;
@@ -183,6 +203,24 @@ int main(int argc, char** argv) {
   if (::inet_pton(AF_INET, host, &addr.sin_addr) != 1) {
     std::fprintf(stderr, "bad host: %s\n", host);
     return 1;
+  }
+  struct sockaddr_in follower_addr;
+  std::memset(&follower_addr, 0, sizeof(follower_addr));
+  if (!follower_spec.empty()) {
+    size_t colon = follower_spec.rfind(':');
+    long fport = colon == std::string::npos
+                     ? 0
+                     : std::atol(follower_spec.c_str() + colon + 1);
+    std::string fhost =
+        colon == std::string::npos ? "" : follower_spec.substr(0, colon);
+    follower_addr.sin_family = AF_INET;
+    follower_addr.sin_port = htons(static_cast<uint16_t>(fport));
+    if (fhost.empty() || fport <= 0 || fport > 65535 ||
+        ::inet_pton(AF_INET, fhost.c_str(), &follower_addr.sin_addr) != 1) {
+      std::fprintf(stderr, "bad --follower spec: %s\n",
+                   follower_spec.c_str());
+      return 1;
+    }
   }
 
   // Exponential backoff with full jitter: 100ms base doubling to a 3.2s
@@ -315,15 +353,40 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  auto reader = std::make_unique<lsd::LineReader>(fd);
+  // Text mode runs over one or two endpoints: the primary, plus (with
+  // --follower) a replica that read verbs route to. Each endpoint is
+  // its own connection/session and reconnects independently.
+  struct Endpoint {
+    const struct sockaddr_in* addr = nullptr;
+    int fd = -1;
+    std::unique_ptr<lsd::LineReader> reader;
+  };
+  Endpoint primary;
+  primary.addr = &addr;
+  primary.fd = fd;
+  primary.reader = std::make_unique<lsd::LineReader>(fd);
+  Endpoint follower;
+  follower.addr = &follower_addr;
+  if (!follower_spec.empty()) {
+    follower.fd = ConnectWithBackoff(follower_addr, max_attempts, &rng);
+    if (follower.fd < 0) return 1;
+    follower.reader = std::make_unique<lsd::LineReader>(follower.fd);
+  }
+
   std::string line;
   while ((tty && (std::printf("lsd> "), std::fflush(stdout), true), true) &&
          std::getline(std::cin, line)) {
     if (line.empty()) continue;
+    // Reads go to the follower when one is configured; writes — and
+    // the session-local verbs IsReadVerb treats as writes — go to the
+    // primary, preserving the read-verb-only auto-resend discipline on
+    // both connections.
+    Endpoint& ep =
+        (!follower_spec.empty() && IsReadVerb(line)) ? follower : primary;
     for (int attempt = 1;; ++attempt) {
-      lsd::Status sent = lsd::WriteAll(fd, line + "\n");
+      lsd::Status sent = lsd::WriteAll(ep.fd, line + "\n");
       lsd::StatusOr<lsd::WireResponse> response =
-          sent.ok() ? lsd::ReadResponse(reader.get())
+          sent.ok() ? lsd::ReadResponse(ep.reader.get())
                     : lsd::StatusOr<lsd::WireResponse>(sent);
       if (response.ok()) {
         if (response->ok) {
@@ -352,13 +415,14 @@ int main(int argc, char** argv) {
       }
       std::fprintf(stderr, "recv: %s; reconnecting\n",
                    response.status().ToString().c_str());
-      ::close(fd);
-      fd = ConnectWithBackoff(addr, max_attempts, &rng);
-      if (fd < 0) return 1;
-      reader = std::make_unique<lsd::LineReader>(fd);
+      ::close(ep.fd);
+      ep.fd = ConnectWithBackoff(*ep.addr, max_attempts, &rng);
+      if (ep.fd < 0) return 1;
+      ep.reader = std::make_unique<lsd::LineReader>(ep.fd);
     }
     if (line == "quit" || line == "exit") break;
   }
-  ::close(fd);
+  ::close(primary.fd);
+  if (follower.fd >= 0) ::close(follower.fd);
   return 0;
 }

@@ -9,10 +9,19 @@
 //   lsd_serve [--port N] [--max-sessions N] [--seed campus|music|org]
 //             [--load FILE] [--request-timeout-ms N]
 //             [--db PREFIX] [--sync fsync|flush] [--checkpoint-bytes N]
+//             [--repl-port N]
+//             [--follow HOST:PORT] [--scratch PREFIX]
+//             [--max-lag-ms N] [--max-lag-bytes N]
 //
 // --db attaches durability: <PREFIX>.snap + <PREFIX>.wal.NNNNNN are
 // recovered on startup and every commit group is batch-appended (one
 // fsync per group at --sync fsync) before its epoch publishes.
+//
+// --repl-port makes a durable primary ship its WAL to followers on
+// that port. --follow runs this server as a read-only follower of the
+// primary's replication port: reads serve from the replica (rejected
+// with "ERR stale" past --max-lag-ms/--max-lag-bytes; 0 = unbounded),
+// mutations are rejected, and staleness shows up under `stats`.
 //
 // Try it with nc:  printf 'probe (STUDENT, TAKE, MATH)\nquit\n' | nc 127.0.0.1 7420
 
@@ -20,8 +29,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include <unistd.h>
+
+#include "replication/log_shipper.h"
+#include "replication/monitor.h"
+#include "replication/replication_client.h"
 #include "server/server.h"
 #include "server/shared_store.h"
 #include "workload/music_domain.h"
@@ -38,9 +53,26 @@ int Usage(const char* argv0) {
                "usage: %s [--port N] [--max-sessions N] "
                "[--seed campus|music|org] [--load FILE] "
                "[--request-timeout-ms N] [--db PREFIX] "
-               "[--sync fsync|flush] [--checkpoint-bytes N]\n",
+               "[--sync fsync|flush] [--checkpoint-bytes N] "
+               "[--repl-port N] [--follow HOST:PORT] [--scratch PREFIX] "
+               "[--max-lag-ms N] [--max-lag-bytes N]\n",
                argv0);
   return 2;
+}
+
+// "HOST:PORT" -> (host, port); false on malformed input.
+bool ParseHostPort(const std::string& spec, std::string* host,
+                   uint16_t* port) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return false;
+  }
+  long p = std::atol(spec.c_str() + colon + 1);
+  if (p <= 0 || p > 65535) return false;
+  *host = spec.substr(0, colon);
+  *port = static_cast<uint16_t>(p);
+  return true;
 }
 
 }  // namespace
@@ -52,6 +84,11 @@ int main(int argc, char** argv) {
   std::string load_path;
   std::string db_prefix;
   lsd::SharedStoreDurability durability;
+  uint16_t repl_port = 0;
+  bool ship = false;
+  std::string follow_spec;
+  std::string scratch_prefix;
+  lsd::ReplicationBounds bounds;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -96,9 +133,44 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       durability.checkpoint_bytes = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--repl-port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      repl_port = static_cast<uint16_t>(std::atoi(v));
+      ship = true;  // port 0 = ephemeral, still ships
+    } else if (arg == "--follow") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      follow_spec = v;
+    } else if (arg == "--scratch") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      scratch_prefix = v;
+    } else if (arg == "--max-lag-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      bounds.max_lag_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--max-lag-bytes") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      bounds.max_lag_bytes = static_cast<uint64_t>(std::atoll(v));
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  const bool follower = !follow_spec.empty();
+  if (follower && (!db_prefix.empty() || ship || !seed.empty() ||
+                   !load_path.empty())) {
+    // A follower's state is the primary's, replayed — local durability,
+    // shipping, or seeding would fork it.
+    std::fprintf(stderr,
+                 "--follow excludes --db/--repl-port/--seed/--load\n");
+    return 2;
+  }
+  if (ship && db_prefix.empty()) {
+    std::fprintf(stderr, "--repl-port needs --db (the WAL is what ships)\n");
+    return 2;
   }
 
   lsd::SharedStore store;
@@ -142,6 +214,50 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Primary side: ship the WAL to followers.
+  lsd::LogShipperOptions ship_options;
+  ship_options.port = repl_port;
+  lsd::LogShipper shipper(&store, ship_options);
+  if (ship) {
+    lsd::Status shipping = shipper.Start();
+    if (!shipping.ok()) {
+      std::fprintf(stderr, "replication start failed: %s\n",
+                   shipping.ToString().c_str());
+      return 1;
+    }
+    std::printf("shipping WAL on 127.0.0.1:%u\n", shipper.port());
+  }
+
+  // Follower side: replay the primary's log, gate reads on staleness.
+  lsd::ReplicationMonitor monitor(bounds);
+  lsd::ReplicationClientOptions follow_options;
+  std::unique_ptr<lsd::ReplicationClient> follow_client;
+  if (follower) {
+    if (!ParseHostPort(follow_spec, &follow_options.host,
+                       &follow_options.port)) {
+      std::fprintf(stderr, "bad --follow spec: %s\n", follow_spec.c_str());
+      return 2;
+    }
+    follow_options.scratch_prefix =
+        scratch_prefix.empty()
+            ? "/tmp/lsd_follower." + std::to_string(::getpid())
+            : scratch_prefix;
+    follow_client = std::make_unique<lsd::ReplicationClient>(
+        &store, &monitor, follow_options);
+    lsd::Status following = follow_client->Start();
+    if (!following.ok()) {
+      std::fprintf(stderr, "follow failed: %s\n",
+                   following.ToString().c_str());
+      return 1;
+    }
+    options.replication = &monitor;
+    std::printf("following %s:%u (max lag %llu ms / %llu bytes; 0 = "
+                "unbounded)\n",
+                follow_options.host.c_str(), follow_options.port,
+                static_cast<unsigned long long>(bounds.max_lag_ms),
+                static_cast<unsigned long long>(bounds.max_lag_bytes));
+  }
+
   lsd::LsdServer server(&store, options);
   lsd::Status started = server.Start();
   if (!started.ok()) {
@@ -164,5 +280,7 @@ int main(int argc, char** argv) {
   std::printf("shutting down (%llu requests served)\n",
               static_cast<unsigned long long>(server.requests_served()));
   server.Stop();
+  if (follow_client != nullptr) follow_client->Stop();
+  if (ship) shipper.Stop();
   return 0;
 }

@@ -27,6 +27,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "browse/dot_export.h"
 #include "browse/session.h"
@@ -39,6 +40,7 @@ namespace {
 
 using lsd::LooseDb;
 using lsd::Status;
+using lsd::WalSegmentInfo;
 
 void PrintStatus(const Status& s) {
   if (!s.ok()) std::printf("! %s\n", s.ToString().c_str());
@@ -152,6 +154,20 @@ void DoStats(LooseDb& db) {
     if (!db.wal_status().ok()) {
       std::printf("wal status:     DEGRADED: %s\n",
                   db.wal_status().ToString().c_str());
+    }
+    // The on-disk segment inventory: what a crash would recover from,
+    // and what a replication subscriber can still resume from.
+    const std::vector<WalSegmentInfo> segments = db.wal().SegmentInventory();
+    uint64_t total = 0;
+    for (const WalSegmentInfo& seg : segments) total += seg.bytes;
+    std::printf("wal segments:   %zu live, %llu bytes on disk\n",
+                segments.size(), static_cast<unsigned long long>(total));
+    for (const WalSegmentInfo& seg : segments) {
+      std::printf("  seg %06llu    gen %llu, %llu bytes (%s)\n",
+                  static_cast<unsigned long long>(seg.seq),
+                  static_cast<unsigned long long>(seg.generation),
+                  static_cast<unsigned long long>(seg.bytes),
+                  seg.path.c_str());
     }
   }
 }
