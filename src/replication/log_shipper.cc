@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -83,7 +84,10 @@ Status LogShipper::Start() {
   port_ = ntohs(addr.sin_port);
 
   running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  // The thread gets its own copy of the fd: Stop() scribbles the
+  // member (close + -1) while the acceptor is still blocked on it.
+  accept_thread_ =
+      std::thread([this, fd = listen_fd_] { AcceptLoop(fd); });
   return Status::OK();
 }
 
@@ -112,9 +116,9 @@ void LogShipper::Stop() {
   follower_list_.clear();
 }
 
-void LogShipper::AcceptLoop() {
+void LogShipper::AcceptLoop(int listen_fd) {
   while (running_.load()) {
-    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // Stop() closed the listener
@@ -241,9 +245,25 @@ Status LogShipper::StreamSnapshot(int fd, const EpochPtr& tip,
 
 Status LogShipper::RunFollower(int fd, uint64_t id) {
   // Handshake: exactly one kSubscribe, answered with kOk (then a
-  // stream) or kErr (then close).
+  // stream) or kErr (then close). The subscribe must arrive within the
+  // handshake deadline — this slot already counts toward
+  // max_followers, and a silent peer must not hold it until Stop().
+  // A timed-out read surfaces as EAGAIN, which ReadFrame reports as an
+  // IoError and ends the connection.
+  if (options_.handshake_timeout_ms > 0) {
+    struct timeval tv;
+    tv.tv_sec = static_cast<time_t>(options_.handshake_timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (options_.handshake_timeout_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
   BinaryFrameParser parser;
   LSD_ASSIGN_OR_RETURN(BinaryFrame frame, ReadFrame(fd, &parser));
+  if (options_.handshake_timeout_ms > 0) {
+    struct timeval tv;
+    std::memset(&tv, 0, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
   if (frame.type != FrameType::kSubscribe) {
     (void)SendFrame(fd, FrameType::kErr, frame.request_id,
                     "expected a subscribe frame");

@@ -60,6 +60,11 @@ struct LogShipperOptions {
   uint64_t heartbeat_ms = 500;
   // Admission bound on concurrent followers.
   size_t max_followers = 16;
+  // How long an accepted connection may dawdle before its kSubscribe
+  // arrives. A peer that connects and sends nothing would otherwise
+  // pin a follower slot (and its thread) until Stop(), starving
+  // admission for real followers. 0 disables the deadline.
+  uint64_t handshake_timeout_ms = 5000;
 };
 
 class LogShipper {
@@ -95,7 +100,7 @@ class LogShipper {
     std::atomic<bool> done{false};
   };
 
-  void AcceptLoop();
+  void AcceptLoop(int listen_fd);
   void ServeFollower(Follower* follower, uint64_t id);
   // The subscribe handshake + streaming loop; any error ends the
   // connection (the follower reconnects).

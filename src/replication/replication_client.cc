@@ -141,6 +141,19 @@ void ReplicationClient::FinishSnapshotFile() {
 }
 
 Status ReplicationClient::Serve(int fd) {
+  // A new connection restarts the stream at resume_pos_: the primary
+  // re-sends everything past that record boundary, so partial-record
+  // bytes buffered from the previous connection must be dropped and
+  // the continuity check re-anchored at the position actually being
+  // resubscribed from (stale fed_pos_ would reject the re-sent
+  // boundary bytes as a gap, forever). A half-assembled snapshot is
+  // equally dead — the primary either resumes the log or restarts the
+  // snapshot from chunk offset zero.
+  record_parser_ = WalRecordParser();
+  fed_pos_ = resume_pos_;
+  have_stream_ = !resume_pos_.IsZero();
+  FinishSnapshotFile();
+
   BinaryFrameParser parser;
   SubscribeRequest req;
   req.pos = resume_pos_;
@@ -224,6 +237,16 @@ Status ReplicationClient::HandleLogChunk(const std::string& payload) {
         return Status::DataLoss(
             "segment boundary arrived mid-record at " +
             fed_pos_.ToString());
+      }
+      // Seqs are consecutive across rotations (and a rotated middle
+      // segment is never empty), so the only contiguous successor is
+      // seq + 1; generations only ever grow.
+      if (chunk.pos.segment_seq != fed_pos_.segment_seq + 1 ||
+          chunk.pos.generation < fed_pos_.generation) {
+        return Status::DataLoss("log stream skipped segments: expected seq " +
+                                std::to_string(fed_pos_.segment_seq + 1) +
+                                " after " + fed_pos_.ToString() + ", got " +
+                                chunk.pos.ToString());
       }
       if (chunk.pos.offset != Wal::kSegmentHeaderSize) {
         return Status::DataLoss(

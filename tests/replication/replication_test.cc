@@ -8,9 +8,13 @@
 // to its primary — same probe menus, same query tables, same rule
 // listings — because it replays the same log through the same commit
 // machinery.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <functional>
 #include <memory>
@@ -63,15 +67,20 @@ class ReplicationTest : public ::testing::Test {
 
   std::string Path(const std::string& name) { return (dir_ / name).string(); }
 
-  void StartPrimary(uint64_t checkpoint_bytes = 0) {
+  static LogShipperOptions TestShipperOptions() {
+    LogShipperOptions options;
+    options.heartbeat_ms = 50;  // keep convergence waits short
+    return options;
+  }
+
+  void StartPrimary(uint64_t checkpoint_bytes = 0,
+                    const LogShipperOptions& ship = TestShipperOptions()) {
     primary_ = std::make_unique<SharedStore>();
     SharedStoreDurability durability;
     durability.checkpoint_bytes = checkpoint_bytes;
     Status opened = primary_->OpenDurable(Path("primary"), durability);
     ASSERT_TRUE(opened.ok()) << opened.ToString();
-    LogShipperOptions options;
-    options.heartbeat_ms = 50;  // keep convergence waits short
-    shipper_ = std::make_unique<LogShipper>(primary_.get(), options);
+    shipper_ = std::make_unique<LogShipper>(primary_.get(), ship);
     Status started = shipper_->Start();
     ASSERT_TRUE(started.ok()) << started.ToString();
   }
@@ -332,6 +341,36 @@ TEST_F(ReplicationTest, CheckpointedAwayLogFallsBackToSnapshotCatchUp) {
   }
 }
 
+TEST_F(ReplicationTest, SilentConnectionIsEvictedAtTheHandshakeDeadline) {
+  // One slot, short deadline: a peer that connects and never sends its
+  // kSubscribe must not pin admission until Stop().
+  LogShipperOptions ship = TestShipperOptions();
+  ship.max_followers = 1;
+  ship.handshake_timeout_ms = 100;
+  StartPrimary(/*checkpoint_bytes=*/0, ship);
+  SeedCampus();
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(shipper_->port());
+  int silent = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(silent, 0);
+  ASSERT_EQ(::connect(silent, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ASSERT_TRUE(WaitUntil([&] { return shipper_->followers() == 1; }));
+
+  // The real follower gets "too many followers" until the deadline
+  // frees the slot, then subscribes and converges.
+  StartFollower();
+  ASSERT_TRUE(WaitUntil([&] { return Converged(); }))
+      << "silent peer starved the real follower: "
+      << client_->last_error().ToString();
+  ::close(silent);
+}
+
 #if LSD_FAILPOINTS_ENABLED
 
 TEST_F(ReplicationTest, InjectedApplyFaultReconnectsAndRecovers) {
@@ -359,6 +398,46 @@ TEST_F(ReplicationTest, InjectedApplyFaultReconnectsAndRecovers) {
     return result.ok() && result->find("REPLICATION") != std::string::npos;
   }));
   EXPECT_GE(monitor_->Sample().reconnects, 1u);
+}
+
+TEST_F(ReplicationTest, ReconnectMidRecordResumesFromTheBoundary) {
+  // Tiny chunks force every record to span several frames, so the
+  // injected failure below lands while the client holds buffered
+  // partial-record bytes. The reconnect must drop them and re-anchor
+  // its continuity check at the resubscribed boundary — stale parser
+  // state would reject the re-sent boundary bytes as a "log stream
+  // gap" on every reconnect, a permanent livelock.
+  LogShipperOptions ship = TestShipperOptions();
+  ship.chunk_bytes = 16;
+  StartPrimary(/*checkpoint_bytes=*/0, ship);
+  SeedCampus();
+  StartFollower();
+  ASSERT_TRUE(WaitUntil([&] { return Converged(); }));
+
+  // Let the first 16-byte sliver of the next record through, then
+  // fail: the connection dies mid-record, with bytes buffered.
+  failpoint::Policy fail_second;
+  fail_second.action = failpoint::Action::kError;
+  fail_second.skip = 1;
+  fail_second.max_fires = 1;
+  failpoint::Scoped scoped("repl.client.apply", fail_second);
+
+  auto committed = primary_->Commit([](LooseDb& db) {
+    db.Assert("A-RECORD-LONGER-THAN-ONE-CHUNK", "MUST-SURVIVE",
+              "A-MID-RECORD-DISCONNECT");
+    return Status::OK();
+  });
+  ASSERT_TRUE(committed.ok());
+
+  ASSERT_TRUE(WaitUntil([&] { return Converged(); }))
+      << "client wedged after a mid-record disconnect: "
+      << client_->last_error().ToString();
+  EXPECT_GE(monitor_->Sample().reconnects, 1u);
+  auto result = Run(follower_.get(),
+                    "query (A-RECORD-LONGER-THAN-ONE-CHUNK, MUST-SURVIVE, ?X)",
+                    monitor_.get());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->find("A-MID-RECORD-DISCONNECT"), std::string::npos);
 }
 
 TEST_F(ReplicationTest, InjectedSendFaultsOnlyDelayTheSubscription) {
