@@ -54,7 +54,7 @@ void RunNeighborhood(benchmark::State& state,
 
   size_t groups = 0, neighbors = 0;
   for (auto _ : state) {
-    lsd::NeighborhoodView view = navigator.Neighborhood(entity);
+    lsd::NeighborhoodView view = *navigator.Neighborhood(entity);
     groups = view.outgoing.size() + view.incoming.size();
     neighbors = 0;
     for (const auto& g : view.outgoing) neighbors += g.entities.size();

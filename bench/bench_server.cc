@@ -30,9 +30,22 @@
 // sweeps raise worker_threads to the largest session count instead of
 // defaulting to hardware_concurrency.
 //
+// Hostile mix: --hostile-pct P replaces P% of each session's mix with
+// a poison query — a three-atom chain join over a layered bipartite
+// graph seeded for the purpose, engineered so the planner has no cheap
+// atom to start from and the merge join never engages (every order
+// enumerates ~layer³ candidates) yet the result set is empty (no
+// three-edge path exists in a three-layer DAG), so the burn is pure
+// CPU with O(depth) memory. The server's request deadline
+// (--timeout-ms, default 150 when hostile) kills each poison with a
+// typed ERR; the client counts those as `cancelled`, not errors, and
+// reports the surviving cheap requests' tail (p99.9) so the sweep
+// shows what hostile load does to well-behaved sessions.
+//
 //   bench_server [--sessions 1,4,16,64,256,1024] [--requests N]
 //                [--protocols text,binary] [--window N] [--json FILE]
 //                [--write-pct P] [--sync fsync|none]
+//                [--hostile-pct P] [--timeout-ms N]
 //                [--fail-writes P] [--check]
 
 #include <arpa/inet.h>
@@ -85,6 +98,27 @@ const char* kMix[] = {
 };
 constexpr size_t kMixSize = sizeof(kMix) / sizeof(kMix[0]);
 
+// The poison request (--hostile-pct): a chain join whose every atom
+// matches the whole FEEDS edge set (2·kPoisonLayer² facts, equal
+// estimates, so the planner cannot pick a selective start) and whose
+// middle expansion fans out kPoisonLayer ways before the third atom
+// kills each candidate — ~kPoisonLayer³ enumerations, zero rows. The
+// deadline is expected to fire long before it finishes.
+const char* kPoisonQuery =
+    "query (?A, FEEDS, ?B) and (?B, FEEDS, ?C) and (?C, FEEDS, ?D)";
+constexpr int kPoisonLayer = 256;
+
+// Does this error text carry one of the governance codes? Those are
+// expected kills under a hostile mix (deadline, shed, step budget),
+// not benchmark failures. Works on both wire shapes: the text status
+// line ("ERR DeadlineExceeded: ...") and the binary kErr payload
+// ("DeadlineExceeded: ...").
+bool IsCancelText(std::string_view text) {
+  return text.find("DeadlineExceeded") != std::string_view::npos ||
+         text.find("ResourceExhausted") != std::string_view::npos ||
+         text.find("Cancelled") != std::string_view::npos;
+}
+
 enum class Protocol { kText, kBinary };
 
 const char* ProtocolName(Protocol p) {
@@ -121,8 +155,9 @@ struct SweepSpec {
   int window = 1;  // in-flight requests per connection (binary only)
   int sessions = 1;
   int requests_per_session = 200;
-  int write_pct = 0;  // % of the mix replaced by unique asserts
-  int tag = 0;        // uniquifies write facts across sweeps
+  int write_pct = 0;    // % of the mix replaced by unique asserts
+  int hostile_pct = 0;  // % of the mix replaced by poison queries
+  int tag = 0;          // uniquifies write facts across sweeps
 };
 
 struct SweepResult {
@@ -136,6 +171,14 @@ struct SweepResult {
   double throughput_rps = 0;
   double p50_us = 0;
   double p99_us = 0;
+  // Hostile-mix extras (zero when --hostile-pct 0). Percentiles above
+  // exclude hostile requests either way: `cancelled` counts requests
+  // the server killed with a governance-typed error (expected under a
+  // hostile mix), and p999_us is the cheap requests' p99.9 — the tail
+  // the poison load inflates.
+  size_t hostile = 0;    // poison requests resolved (killed or finished)
+  size_t cancelled = 0;  // governance-typed ERR replies
+  double p999_us = 0;
   // Write-mix extras (zero when --write-pct 0).
   size_t writes = 0;  // asserts acked OK
   double writes_per_sec = 0;
@@ -162,6 +205,7 @@ struct PendingRequest {
   Clock::time_point sent_at;
   bool resent = false;
   bool write = false;
+  bool hostile = false;
 };
 
 // One benchmark session: a connection plus its protocol state machine.
@@ -186,9 +230,12 @@ struct Conn {
   size_t scan_pos = 0;
   bool at_status_line = true;
   bool cur_err = false;
+  bool cur_cancel = false;
 
   size_t errors = 0;
   size_t retries = 0;
+  size_t cancelled = 0;
+  size_t hostile_done = 0;
   std::vector<int64_t> latencies;
   std::vector<int64_t> write_latencies;
   bool gave_up = false;
@@ -287,6 +334,7 @@ class Driver {
       c.scan_pos = 0;
       c.at_status_line = true;
       c.cur_err = false;
+      c.cur_cancel = false;
       return true;
     }
     return false;
@@ -311,9 +359,21 @@ class Driver {
     return (ordinal + 1) * p / 100 > ordinal * p / 100;
   }
 
+  // Same deterministic interleave for the poison queries, phase-shifted
+  // by the session index so concurrent sessions don't fire their poison
+  // in lockstep. Hostile wins over write on an ordinal both claim.
+  bool IsHostile(uint64_t ordinal, int session_index) const {
+    const uint64_t p = static_cast<uint64_t>(spec_.hostile_pct);
+    const uint64_t o = ordinal + static_cast<uint64_t>(session_index);
+    return (o + 1) * p / 100 > o * p / 100;
+  }
+
   void AppendRequest(Conn& c, PendingRequest req) {
     std::string line;
-    if (spec_.write_pct > 0 && IsWrite(req.ordinal)) {
+    if (spec_.hostile_pct > 0 && IsHostile(req.ordinal, c.index)) {
+      req.hostile = true;
+      line = kPoisonQuery;
+    } else if (spec_.write_pct > 0 && IsWrite(req.ordinal)) {
       // Unique per (sweep, session, ordinal): never a no-op commit, so
       // every acked write really paid for clone + WAL append (+fsync).
       req.write = true;
@@ -361,13 +421,21 @@ class Driver {
     return true;
   }
 
-  void Complete(Conn& c, bool is_error) {
+  void Complete(Conn& c, bool is_error, bool is_cancel) {
     const PendingRequest req = c.pending.front();
     c.pending.pop_front();
     ++c.done;
-    if (is_error) {
+    if (req.hostile) ++c.hostile_done;
+    if (is_error && is_cancel) {
+      // A governance kill (deadline / shed / budget) is the expected
+      // fate of a poison query, not a benchmark failure.
+      ++c.cancelled;
+    } else if (is_error) {
       ++c.errors;
-    } else {
+    } else if (!req.hostile) {
+      // A hostile request that beats the deadline is dropped from the
+      // percentiles either way: the cheap requests' latency is the
+      // figure of merit under a hostile mix.
       int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                        Clock::now() - req.sent_at)
                        .count();
@@ -393,7 +461,8 @@ class Driver {
           frame.request_id != c.pending.front().ordinal) {
         return false;
       }
-      Complete(c, frame.type != lsd::FrameType::kOk);
+      Complete(c, frame.type != lsd::FrameType::kOk,
+               frame.type == lsd::FrameType::kErr && IsCancelText(frame.payload));
     }
   }
 
@@ -407,10 +476,11 @@ class Driver {
       c.scan_pos = nl + 1;
       if (c.at_status_line) {
         c.cur_err = line.rfind("ERR", 0) == 0;
+        c.cur_cancel = c.cur_err && IsCancelText(line);
         c.at_status_line = false;
       } else if (line == ".") {
         if (c.pending.empty()) return false;
-        Complete(c, c.cur_err);
+        Complete(c, c.cur_err, c.cur_cancel);
         c.at_status_line = true;
       }
     }
@@ -517,12 +587,15 @@ SweepResult RunSweep(uint16_t port, const SweepSpec& spec,
                   c.write_latencies.end());
     result.errors += c.errors;
     result.retries += c.retries;
+    result.cancelled += c.cancelled;
+    result.hostile += c.hostile_done;
   }
   result.requests = all.size();
   result.throughput_rps =
       seconds > 0 ? static_cast<double>(all.size()) / seconds : 0;
   result.p50_us = PercentileUs(all, 0.50);
   result.p99_us = PercentileUs(all, 0.99);
+  result.p999_us = PercentileUs(all, 0.999);
   result.writes = writes.size();
   result.writes_per_sec =
       seconds > 0 ? static_cast<double>(writes.size()) / seconds : 0;
@@ -566,6 +639,8 @@ int main(int argc, char** argv) {
   std::string json_path;
   double fail_writes = 0.0;
   int write_pct = 0;
+  int hostile_pct = 0;
+  int timeout_ms = -1;  // -1: server default, or 150 when hostile
   bool sync_fsync = false;
   int preload = -1;  // -1: pick a default once write_pct is known
   bool check = false;
@@ -576,6 +651,10 @@ int main(int argc, char** argv) {
       fail_writes = std::atof(argv[++i]);
     } else if (arg == "--write-pct" && i + 1 < argc) {
       write_pct = std::clamp(std::atoi(argv[++i]), 0, 100);
+    } else if (arg == "--hostile-pct" && i + 1 < argc) {
+      hostile_pct = std::clamp(std::atoi(argv[++i]), 0, 100);
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      timeout_ms = std::max(0, std::atoi(argv[++i]));
     } else if (arg == "--preload" && i + 1 < argc) {
       preload = std::max(0, std::atoi(argv[++i]));
     } else if (arg == "--sync" && i + 1 < argc) {
@@ -630,6 +709,7 @@ int main(int argc, char** argv) {
                    "usage: %s [--sessions 1,4,16,64,256,1024] "
                    "[--requests N] [--protocols text,binary] [--window N] "
                    "[--json FILE] [--write-pct P] [--sync fsync|none] "
+                   "[--hostile-pct P] [--timeout-ms N] "
                    "[--preload N] [--fail-writes P] [--check]\n",
                    argv[0]);
       return 2;
@@ -686,6 +766,34 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Hostile mix: seed the poison graph — a three-layer DAG with
+  // complete bipartite FEEDS edges between consecutive layers. Every
+  // atom of kPoisonQuery estimates the full edge set, the chain fans
+  // out kPoisonLayer ways in the middle, and no three-edge path exists,
+  // so the query burns ~kPoisonLayer³ enumerations and returns nothing.
+  // Disconnected from the campus domain: the cheap mix never touches it.
+  if (hostile_pct > 0) {
+    auto poisoned = store.Commit([](lsd::LooseDb& db) {
+      const char* layers[] = {"HX", "HY", "HZ"};
+      for (int l = 0; l < 2; ++l) {
+        for (int i = 0; i < kPoisonLayer; ++i) {
+          for (int j = 0; j < kPoisonLayer; ++j) {
+            char a[32], b[32];
+            std::snprintf(a, sizeof(a), "%s%d", layers[l], i);
+            std::snprintf(b, sizeof(b), "%s%d", layers[l + 1], j);
+            (void)db.Assert(a, "FEEDS", b);
+          }
+        }
+      }
+      return lsd::Status::OK();
+    });
+    if (!poisoned.ok()) {
+      std::fprintf(stderr, "poison seed failed: %s\n",
+                   poisoned.status().ToString().c_str());
+      return 1;
+    }
+  }
+
   // Pre-grow the store before write sweeps. A commit clones the tip, so
   // the per-group fixed cost (clone + warm + fsync) scales with store
   // size; without a preload the serial baseline would run against a
@@ -716,6 +824,12 @@ int main(int argc, char** argv) {
   lsd::ServerOptions options;
   options.port = 0;
   options.max_sessions = static_cast<size_t>(max_sessions_requested) + 4;
+  // A hostile sweep needs a deadline far below the poison's natural
+  // runtime or every poison request occupies a worker for seconds.
+  if (timeout_ms < 0 && hostile_pct > 0) timeout_ms = 150;
+  if (timeout_ms >= 0) {
+    options.request_timeout = std::chrono::milliseconds(timeout_ms);
+  }
   if (write_pct > 0) {
     // A commit group can only be as large as the number of workers
     // concurrently blocked in Commit; the default pool (one thread per
@@ -723,6 +837,17 @@ int main(int argc, char** argv) {
     // writer sessions the sweep opens.
     options.worker_threads = static_cast<size_t>(
         std::min(max_sessions_requested, 128));
+  }
+  if (hostile_pct > 0) {
+    // Poison queries occupy a worker until the deadline fires. On a
+    // small default pool (one per core) a handful of them serializes
+    // every cheap request behind a 150 ms burn; real deployments run
+    // more workers than cores precisely because requests block. Give
+    // the cheap mix a fighting chance so the tail columns measure
+    // governance, not a starved pool.
+    options.worker_threads =
+        std::max(options.worker_threads,
+                 static_cast<size_t>(std::min(max_sessions_requested, 32)));
   }
   lsd::LsdServer server(&store, options);
   lsd::Status started = server.Start();
@@ -754,12 +879,21 @@ int main(int argc, char** argv) {
                 "(clients reconnect and resend)\n",
                 fail_writes);
   }
+  if (hostile_pct > 0) {
+    std::printf("# hostile mix: %d%% poison queries (~%d^3 enumerations "
+                "each), request deadline %d ms; percentiles cover cheap "
+                "requests only\n",
+                hostile_pct, kPoisonLayer, timeout_ms);
+  }
   std::printf("%8s %7s %9s %10s %12s %10s %10s %8s %8s", "protocol",
               "window", "sessions", "requests", "thruput_rps", "p50_us",
               "p99_us", "errors", "retries");
   if (write_pct > 0) {
     std::printf(" %8s %9s %9s %8s %8s %7s", "writes", "w_rps", "wp50_us",
                 "groups", "grp_mean", "fsyncs");
+  }
+  if (hostile_pct > 0) {
+    std::printf(" %8s %9s %10s", "hostile", "cancelled", "p999_us");
   }
   std::printf("\n");
 
@@ -798,6 +932,7 @@ int main(int argc, char** argv) {
       spec.sessions = sessions;
       spec.requests_per_session = requests_per_session;
       spec.write_pct = write_pct;
+      spec.hostile_pct = hostile_pct;
       spec.tag = ++sweep_tag;
       SweepResult r = RunSweep(server.port(), spec, &store);
       results.push_back(r);
@@ -810,6 +945,9 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(r.groups), r.mean_group,
                     static_cast<unsigned long long>(r.fsyncs));
       }
+      if (hostile_pct > 0) {
+        std::printf(" %8zu %9zu %10.1f", r.hostile, r.cancelled, r.p999_us);
+      }
       std::printf("\n");
       std::fflush(stdout);
     }
@@ -818,7 +956,17 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     const char* comment =
-        write_pct > 0
+        hostile_pct > 0
+            ? "bench_server hostile mix: hostile_pct of each session's "
+              "requests are poison queries (a chain join with no "
+              "selective atom over a seeded layered graph; empty result, "
+              "~256^3 enumerations) that the request deadline kills with "
+              "a typed error. `cancelled` counts those governance kills "
+              "(expected; not errors), `hostile` the poison requests "
+              "resolved, and p50/p99/p999 cover only the surviving cheap "
+              "requests — the tail shows what hostile load does to "
+              "well-behaved sessions. Regenerate with tools/bench_json.sh."
+        : write_pct > 0
             ? "bench_server write mix: every counted request is a unique "
               "assert, committed through the group-commit queue "
               "(sync=fsync means one real WAL fsync per commit group "
@@ -844,10 +992,12 @@ int main(int argc, char** argv) {
         << ",\n  \"write_pct\": " << write_pct << ",\n  \"sync\": \""
         << (sync_fsync ? "fsync" : "none") << "\""
         << ",\n  \"preload\": " << preload
+        << ",\n  \"hostile_pct\": " << hostile_pct
+        << ",\n  \"timeout_ms\": " << options.request_timeout.count()
         << ",\n  \"fail_writes\": " << fail_writes << ",\n  \"sweeps\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
       const SweepResult& r = results[i];
-      char buf[512];
+      char buf[640];
       std::snprintf(buf, sizeof(buf),
                     "    {\"protocol\": \"%s\", \"window\": %d, "
                     "\"sessions\": %d, \"requests\": %zu, "
@@ -856,13 +1006,16 @@ int main(int argc, char** argv) {
                     "\"retries\": %zu, \"writes\": %zu, "
                     "\"writes_per_sec\": %.0f, \"wp50_us\": %.1f, "
                     "\"groups\": %llu, \"mean_group\": %.2f, "
-                    "\"max_group\": %llu, \"fsyncs\": %llu}%s\n",
+                    "\"max_group\": %llu, \"fsyncs\": %llu, "
+                    "\"hostile\": %zu, \"cancelled\": %zu, "
+                    "\"p999_us\": %.1f}%s\n",
                     ProtocolName(r.protocol), r.window, r.sessions,
                     r.requests, r.throughput_rps, r.p50_us, r.p99_us,
                     r.errors, r.retries, r.writes, r.writes_per_sec,
                     r.wp50_us, static_cast<unsigned long long>(r.groups),
                     r.mean_group, static_cast<unsigned long long>(r.max_group),
                     static_cast<unsigned long long>(r.fsyncs),
+                    r.hostile, r.cancelled, r.p999_us,
                     i + 1 < results.size() ? "," : "");
       out << buf;
     }
@@ -888,16 +1041,36 @@ int main(int argc, char** argv) {
   }
 
   if (check) {
-    size_t errors = 0, retries = 0;
+    size_t errors = 0, retries = 0, cancelled = 0, hostile = 0;
     for (const SweepResult& r : results) {
       errors += r.errors;
       retries += r.retries;
+      cancelled += r.cancelled;
+      hostile += r.hostile;
     }
     if (errors > 0 || (fail_writes == 0 && retries > 0)) {
       std::fprintf(stderr,
                    "--check failed: %zu errors, %zu retries across the "
                    "sweep\n",
                    errors, retries);
+      return 1;
+    }
+    // Hostile mode must actually exercise the governance path: poison
+    // queries that all finish under the deadline mean the mix is not
+    // hostile at all (mis-sized graph or deadline), and cancellations
+    // without a hostile mix mean healthy requests are being killed.
+    if (hostile_pct > 0 && cancelled == 0) {
+      std::fprintf(stderr,
+                   "--check failed: hostile mix (%zu poison requests) "
+                   "produced no cancellations\n",
+                   hostile);
+      return 1;
+    }
+    if (hostile_pct == 0 && cancelled > 0) {
+      std::fprintf(stderr,
+                   "--check failed: %zu requests cancelled without a "
+                   "hostile mix\n",
+                   cancelled);
       return 1;
     }
   }

@@ -20,13 +20,20 @@ std::string JoinNames(const EntityTable& entities,
 
 }  // namespace
 
-NeighborhoodView Navigator::Neighborhood(EntityId entity) const {
+StatusOr<NeighborhoodView> Navigator::Neighborhood(
+    EntityId entity, const QueryBudget* budget) const {
   NeighborhoodView out;
   out.entity = entity;
+  BudgetTicker ticker(budget);
+  Status budget_status = Status::OK();
 
   std::map<EntityId, std::vector<EntityId>> outgoing;
   view_->ForEach(Pattern(entity, kAnyEntity, kAnyEntity),
                  [&](const Fact& f) {
+                   if (!ticker.TickOk()) {
+                     budget_status = ticker.trip();
+                     return false;
+                   }
                    if (f.relationship == kEntIn) {
                      out.classes.push_back(f.target);
                    } else if (f.relationship == kEntIsa) {
@@ -38,15 +45,21 @@ NeighborhoodView Navigator::Neighborhood(EntityId entity) const {
                    }
                    return true;
                  });
+  LSD_RETURN_IF_ERROR(budget_status);
   std::map<EntityId, std::vector<EntityId>> incoming;
   view_->ForEach(Pattern(kAnyEntity, kAnyEntity, entity),
                  [&](const Fact& f) {
+                   if (!ticker.TickOk()) {
+                     budget_status = ticker.trip();
+                     return false;
+                   }
                    if (f.relationship == kEntIn || f.relationship == kEntIsa) {
                      return true;  // shown from the member's side
                    }
                    incoming[f.relationship].push_back(f.source);
                    return true;
                  });
+  LSD_RETURN_IF_ERROR(budget_status);
 
   std::sort(out.classes.begin(), out.classes.end());
   std::sort(out.generalizations.begin(), out.generalizations.end());
@@ -92,10 +105,17 @@ StatusOr<std::vector<Association>> Navigator::Associations(
     EntityId source, EntityId target,
     const CompositionOptions& options) const {
   std::vector<Association> out;
+  BudgetTicker ticker(options.budget);
+  Status budget_status = Status::OK();
   view_->ForEach(Pattern(source, kAnyEntity, target), [&](const Fact& f) {
+    if (!ticker.TickOk()) {
+      budget_status = ticker.trip();
+      return false;
+    }
     out.push_back(Association{f.relationship, {f}});
     return true;
   });
+  LSD_RETURN_IF_ERROR(budget_status);
   LSD_ASSIGN_OR_RETURN(
       std::vector<ComposedFact> composed,
       composer_.PathsBetween(*view_, source, target, options));

@@ -56,7 +56,10 @@ class Navigator {
   Navigator(const ClosureView* view, EntityTable* entities)
       : view_(view), entities_(entities), composer_(entities) {}
 
-  NeighborhoodView Neighborhood(EntityId entity) const;
+  // `budget` (optional) is ticked per scanned fact; a tripped budget
+  // aborts the scan with its typed error.
+  StatusOr<NeighborhoodView> Neighborhood(
+      EntityId entity, const QueryBudget* budget = nullptr) const;
 
   // All associations between two entities: direct facts (s, r, t) plus
   // simple-path compositions within `options.limit`.

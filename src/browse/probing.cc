@@ -263,6 +263,7 @@ StatusOr<ProbeResult> Prober::Probe(const Query& query,
   eval_options.max_rows = options.max_rows_per_result;
   eval_options.join_order = options.join_order;
   eval_options.planner = planner_;
+  eval_options.budget = options.budget;
 
   // Diagnosis: constants of the original query unknown to the database.
   std::set<EntityId> unknown;
@@ -333,6 +334,9 @@ StatusOr<ProbeResult> Prober::Probe(const Query& query,
     probe_options.max_rows = 1;
     auto probe_range = [&](size_t begin, size_t count) {
       for (size_t i = begin; i < begin + count; ++i) {
+        // A tripped budget sticks on the shared token; stop burning
+        // candidates (the wave-boundary Check below surfaces the error).
+        if (options.budget != nullptr && options.budget->cancelled()) break;
         auto evaluated = evaluator.Evaluate(next[i].query, probe_options);
         // Unsafe variants are skipped.
         succeeded[i] = evaluated.ok() && evaluated->Success() ? 1 : 0;
@@ -360,11 +364,23 @@ StatusOr<ProbeResult> Prober::Probe(const Query& query,
       for (std::thread& t : threads) t.join();
     }
 
+    // Wave boundary: surface a budget trip as the probe's own error —
+    // the per-candidate evaluations above swallow eval failures (unsafe
+    // variants are skipped), which must not hide a cancellation.
+    if (options.budget != nullptr) {
+      LSD_RETURN_IF_ERROR(options.budget->Check());
+    }
+
     // Materialize full results only for the successes (typically a
     // handful per wave), sequentially and in candidate order.
     for (size_t i = 0; i < allowed; ++i) {
       if (!succeeded[i]) continue;
       auto evaluated = evaluator.Evaluate(next[i].query, eval_options);
+      if (!evaluated.ok() && (evaluated.status().IsDeadlineExceeded() ||
+                              evaluated.status().IsCancelled() ||
+                              evaluated.status().IsResourceExhausted())) {
+        return evaluated.status();
+      }
       if (!evaluated.ok() || !evaluated->Success()) continue;
       ProbeSuccess s;
       s.query = next[i].query.Clone();

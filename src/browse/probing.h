@@ -87,6 +87,12 @@ struct ProbeOptions {
   // existence checks; they are probed in parallel and the results merged
   // in candidate order, so the menu is identical at any thread count.
   unsigned num_threads = 1;
+
+  // Optional cooperative cancellation / deadline token. Borrowed; must
+  // outlive the Probe call. Threaded into every candidate evaluation and
+  // checked between candidates and at wave boundaries; a tripped budget
+  // aborts the probe with its typed error.
+  const QueryBudget* budget = nullptr;
 };
 
 struct ProbeSuccess {

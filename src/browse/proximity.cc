@@ -32,6 +32,8 @@ Status Bfs(const ClosureView& view, EntityId center, int radius,
   std::unordered_map<EntityId, int> dist{{center, 0}};
   std::deque<EntityId> queue{center};
   bool stopped = false;
+  BudgetTicker ticker(options.budget);
+  Status budget_status = Status::OK();
   while (!queue.empty() && !stopped) {
     EntityId at = queue.front();
     queue.pop_front();
@@ -39,6 +41,13 @@ Status Bfs(const ClosureView& view, EntityId center, int radius,
     if (d >= radius) continue;
     auto expand = [&](EntityId next, EntityId rel) {
       if (stopped) return false;
+      // Tick per scanned fact: a high-degree hub can pour millions of
+      // edges through here before the frontier ever grows.
+      if (!ticker.TickOk()) {
+        budget_status = ticker.trip();
+        stopped = true;
+        return false;
+      }
       if (!EdgeAllowed(view, rel, options)) return true;
       if (dist.count(next)) return true;
       dist[next] = d + 1;
@@ -64,6 +73,7 @@ Status Bfs(const ClosureView& view, EntityId center, int radius,
                    });
     }
   }
+  LSD_RETURN_IF_ERROR(budget_status);
   if (dist.size() > options.max_visited) {
     return Status::OutOfRange("proximity search exceeded max_visited");
   }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "rules/closure_view.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace lsd {
@@ -30,6 +31,10 @@ struct ProximityOptions {
   bool include_meta_relationships = false;
   // Safety valve on BFS size.
   size_t max_visited = 1'000'000;
+  // Optional cooperative cancellation / deadline token. Borrowed; ticked
+  // per scanned fact during frontier expansion; a tripped budget aborts
+  // the search with its typed error.
+  const QueryBudget* budget = nullptr;
 };
 
 // Shortest chain length between two entities, or nullopt if they are

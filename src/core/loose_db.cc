@@ -219,7 +219,11 @@ StatusOr<const ClosureView*> LooseDb::View() const {
   }
   if (closure_ == nullptr || closure_store_version_ != store_.version() ||
       closure_rules_version_ != rules_version_) {
-    auto closure = engine_.ComputeClosure(rules_, options_.closure);
+    ClosureOptions closure_options = options_.closure;
+    if (closure_options.budget == nullptr) {
+      closure_options.budget = read_budget_;
+    }
+    auto closure = engine_.ComputeClosure(rules_, closure_options);
     if (!closure.ok()) return closure.status();
     closure_ = std::move(*closure);
     closure_store_version_ = store_.version();
@@ -352,18 +356,20 @@ StatusOr<ResultSet> LooseDb::Call(std::string_view call_text,
   return Run(query, options);
 }
 
-StatusOr<NeighborhoodView> LooseDb::Navigate(std::string_view entity) const {
+StatusOr<NeighborhoodView> LooseDb::Navigate(std::string_view entity,
+                                             const QueryBudget* budget) const {
   auto id = store_.entities().Lookup(entity);
   if (!id.has_value()) {
     return Status::NotFound("unknown entity: " + std::string(entity));
   }
   LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
   Navigator navigator(view, const_cast<EntityTable*>(&store_.entities()));
-  return navigator.Neighborhood(*id);
+  return navigator.Neighborhood(*id, budget);
 }
 
 StatusOr<std::vector<Association>> LooseDb::Associations(
-    std::string_view source, std::string_view target) {
+    std::string_view source, std::string_view target,
+    const QueryBudget* budget) {
   Status status;
   EntityId s = MustLookup(source, &status);
   EntityId t = MustLookup(target, &status);
@@ -372,17 +378,19 @@ StatusOr<std::vector<Association>> LooseDb::Associations(
   Navigator navigator(view, &store_.entities());
   CompositionOptions options;
   options.limit = composition_limit_;
+  options.budget = budget;
   return navigator.Associations(s, t, options);
 }
 
 StatusOr<std::string> LooseDb::RenderAssociations(std::string_view source,
-                                                  std::string_view target) {
+                                                  std::string_view target,
+                                                  const QueryBudget* budget) {
   Status status;
   EntityId s = MustLookup(source, &status);
   EntityId t = MustLookup(target, &status);
   if (!status.ok()) return status;
   LSD_ASSIGN_OR_RETURN(std::vector<Association> assocs,
-                       Associations(source, target));
+                       Associations(source, target, budget));
   LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
   Navigator navigator(view, &store_.entities());
   return navigator.RenderAssociations(s, t, assocs);
@@ -403,22 +411,27 @@ StatusOr<ProbeResult> LooseDb::Probe(const lsd::Query& query,
 }
 
 StatusOr<std::optional<int>> LooseDb::SemanticDistance(
-    std::string_view a, std::string_view b, int max_radius) const {
+    std::string_view a, std::string_view b, int max_radius,
+    const QueryBudget* budget) const {
   Status status;
   EntityId ea = MustLookup(a, &status);
   EntityId eb = MustLookup(b, &status);
   if (!status.ok()) return status;
   LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
-  return lsd::SemanticDistance(*view, ea, eb, max_radius);
+  ProximityOptions options;
+  options.budget = budget;
+  return lsd::SemanticDistance(*view, ea, eb, max_radius, options);
 }
 
 StatusOr<std::vector<NearbyEntity>> LooseDb::Nearby(
-    std::string_view entity, int radius) const {
+    std::string_view entity, int radius, const QueryBudget* budget) const {
   Status status;
   EntityId e = MustLookup(entity, &status);
   if (!status.ok()) return status;
   LSD_ASSIGN_OR_RETURN(const ClosureView* view, View());
-  return lsd::Nearby(*view, e, radius);
+  ProximityOptions options;
+  options.budget = budget;
+  return lsd::Nearby(*view, e, radius, options);
 }
 
 StatusOr<std::string> LooseDb::Try(std::string_view entity) const {

@@ -178,14 +178,20 @@ class LooseDb {
   const DefinitionRegistry& definitions() const { return definitions_; }
 
   // ---- Browsing ----------------------------------------------------------
+  // Browsing entry points take an optional borrowed QueryBudget; a
+  // tripped budget aborts the operation with its typed error. Query/Run/
+  // Probe carry theirs inside EvalOptions/ProbeOptions instead.
 
   // Navigation (Sec 4.1).
-  StatusOr<NeighborhoodView> Navigate(std::string_view entity) const;
+  StatusOr<NeighborhoodView> Navigate(
+      std::string_view entity, const QueryBudget* budget = nullptr) const;
   // Non-const: composed relationship entities are interned on demand.
-  StatusOr<std::vector<Association>> Associations(std::string_view source,
-                                                  std::string_view target);
-  StatusOr<std::string> RenderAssociations(std::string_view source,
-                                           std::string_view target);
+  StatusOr<std::vector<Association>> Associations(
+      std::string_view source, std::string_view target,
+      const QueryBudget* budget = nullptr);
+  StatusOr<std::string> RenderAssociations(
+      std::string_view source, std::string_view target,
+      const QueryBudget* budget = nullptr);
 
   // Probing (Sec 5).
   StatusOr<ProbeResult> Probe(std::string_view query_text,
@@ -195,12 +201,13 @@ class LooseDb {
 
   // Semantic distance (Sec 6.1): shortest fact-chain length between two
   // entities within `max_radius`, or nullopt if unconnected.
-  StatusOr<std::optional<int>> SemanticDistance(std::string_view a,
-                                                std::string_view b,
-                                                int max_radius = 4) const;
+  StatusOr<std::optional<int>> SemanticDistance(
+      std::string_view a, std::string_view b, int max_radius = 4,
+      const QueryBudget* budget = nullptr) const;
   // All entities within `radius` associations of `entity`.
-  StatusOr<std::vector<NearbyEntity>> Nearby(std::string_view entity,
-                                             int radius = 2) const;
+  StatusOr<std::vector<NearbyEntity>> Nearby(
+      std::string_view entity, int radius = 2,
+      const QueryBudget* budget = nullptr) const;
 
   // Operators (Sec 6.1).
   StatusOr<std::string> Try(std::string_view entity) const;
@@ -262,6 +269,16 @@ class LooseDb {
   // the dropped durability so shells and servers can warn.
   const Status& wal_status() const { return wal_error_; }
 
+  // Governs the lazy closure recompute inside View(): while set, a
+  // rebuild runs under `budget` and a trip makes View() fail with the
+  // budget's typed error (the stale closure cache is left untouched and
+  // the next View() simply retries). ONLY safe on a database owned by a
+  // single thread — the serving layer sets it on session-private overlay
+  // clones, never on shared epochs (whose closures are Warm()ed before
+  // publish and thus never recompute under readers).
+  void set_read_budget(const QueryBudget* budget) { read_budget_ = budget; }
+  const QueryBudget* read_budget() const { return read_budget_; }
+
  private:
   EntityId MustLookup(std::string_view name, Status* status) const;
   void Invalidate();
@@ -286,6 +303,7 @@ class LooseDb {
   Status wal_error_;              // first append failure, if any
   RecoveryStats last_recovery_;
   bool in_checkpoint_ = false;    // re-entrancy guard for auto-checkpoint
+  const QueryBudget* read_budget_ = nullptr;  // governs View() rebuilds
 
   // Closure cache, keyed by (store version, rules version).
   mutable std::unique_ptr<Closure> closure_;

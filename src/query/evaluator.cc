@@ -14,12 +14,14 @@ namespace {
 class EvalContext {
  public:
   EvalContext(const FactSource& view, const EntityTable& entities,
-              JoinOrder join_order, PlannerCache* planner, bool merge_join)
+              JoinOrder join_order, PlannerCache* planner, bool merge_join,
+              const QueryBudget* budget)
       : view_(view),
         entities_(entities),
         join_order_(join_order),
         planner_(planner),
-        merge_join_(merge_join) {}
+        merge_join_(merge_join),
+        budget_(budget) {}
 
   // Enumerates extensions of `b` satisfying `node`. `emit` returns false
   // to stop; `stopped` distinguishes early stop from exhaustion.
@@ -53,7 +55,7 @@ class EvalContext {
           }
           return true;
         },
-        join_order_, planner_, merge_join_);
+        join_order_, planner_, merge_join_, budget_);
     return status;
   }
 
@@ -98,7 +100,7 @@ class EvalContext {
     Status match_status = MatchConjunction(
         view_, atoms, b, nullptr,
         [&](const Binding&) { return chain(0, b); }, join_order_, planner_,
-        merge_join_);
+        merge_join_, budget_);
     if (!match_status.ok()) return match_status;
     return status;
   }
@@ -174,7 +176,13 @@ class EvalContext {
 
     bool holds_for_all = true;
     const size_t n = entities_.size();
+    BudgetTicker ticker(budget_);
     for (EntityId e = 0; e < n && holds_for_all; ++e) {
+      if (!ticker.TickOk()) {
+        b.Unset(qvar);
+        if (was_bound) b.Set(qvar, old_value);
+        return ticker.trip();
+      }
       if (entities_.Kind(e) != EntityKind::kRegular) continue;
       b.Unset(qvar);
       b.Set(qvar, e);
@@ -206,6 +214,7 @@ class EvalContext {
   JoinOrder join_order_;
   PlannerCache* planner_;
   bool merge_join_;
+  const QueryBudget* budget_;
 };
 
 }  // namespace
@@ -225,7 +234,7 @@ StatusOr<ResultSet> Evaluator::Evaluate(const Query& query,
   Binding binding(query.num_vars());
   bool stopped = false;
   EvalContext ctx(*view_, *entities_, options.join_order, options.planner,
-                  options.merge_join);
+                  options.merge_join, options.budget);
   Status status = ctx.Eval(
       *query.root(), binding,
       [&](const Binding& b) {

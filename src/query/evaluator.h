@@ -52,6 +52,13 @@ struct EvalOptions {
   // evaluating many same-shaped queries against one closure snapshot
   // (e.g. a probing wave) should share one cache.
   PlannerCache* planner = nullptr;
+
+  // Optional cooperative cancellation / deadline token. Borrowed; must
+  // outlive the Evaluate call. Ticked per enumerated fact inside the
+  // matcher and per candidate entity in universal quantification; a
+  // tripped budget aborts evaluation with its typed error
+  // (DeadlineExceeded / ResourceExhausted / Cancelled).
+  const QueryBudget* budget = nullptr;
 };
 
 struct ResultSet {

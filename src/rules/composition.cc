@@ -50,11 +50,19 @@ StatusOr<std::vector<ComposedFact>> CompositionEngine::PathsBetween(
 
   std::vector<Fact> chain;
   std::unordered_set<EntityId> visited{source};
+  BudgetTicker ticker(options.budget);
+  Status budget_status = Status::OK();
 
-  // Depth-first enumeration of simple paths source -> target.
-  std::function<void(EntityId)> dfs = [&](EntityId at) {
-    if (static_cast<int>(chain.size()) >= options.limit) return;
-    view.ForEach(Pattern(at, kAnyEntity, kAnyEntity), [&](const Fact& f) {
+  // Depth-first enumeration of simple paths source -> target. The dfs
+  // returns false (and unwinds) once the budget trips.
+  std::function<bool(EntityId)> dfs = [&](EntityId at) -> bool {
+    if (static_cast<int>(chain.size()) >= options.limit) return true;
+    return view.ForEach(Pattern(at, kAnyEntity, kAnyEntity),
+                        [&](const Fact& f) {
+      if (!ticker.TickOk()) {
+        budget_status = ticker.trip();
+        return false;
+      }
       if (!LinkAllowed(f, options)) return true;
       if (f.target == target) {
         if (chain.size() + 1 >= 2) {
@@ -72,13 +80,14 @@ StatusOr<std::vector<ComposedFact>> CompositionEngine::PathsBetween(
       if (visited.count(f.target)) return true;
       chain.push_back(f);
       visited.insert(f.target);
-      dfs(f.target);
+      const bool keep_going = dfs(f.target);
       visited.erase(f.target);
       chain.pop_back();
-      return true;
+      return keep_going;
     });
   };
   dfs(source);
+  LSD_RETURN_IF_ERROR(budget_status);
   return out;
 }
 
@@ -96,6 +105,7 @@ StatusOr<std::vector<ComposedFact>> CompositionEngine::MaterializeAll(
   });
 
   Status overflow = Status::OK();
+  BudgetTicker ticker(options.budget);
   for (EntityId start : sources) {
     std::vector<Fact> chain;
     std::unordered_set<EntityId> visited{start};
@@ -103,6 +113,10 @@ StatusOr<std::vector<ComposedFact>> CompositionEngine::MaterializeAll(
       if (static_cast<int>(chain.size()) >= options.limit) return true;
       return view.ForEach(
           Pattern(at, kAnyEntity, kAnyEntity), [&](const Fact& f) {
+            if (!ticker.TickOk()) {
+              overflow = ticker.trip();
+              return false;
+            }
             if (!LinkAllowed(f, options)) return true;
             if (visited.count(f.target)) return true;
             chain.push_back(f);

@@ -24,6 +24,7 @@
 
 #include "store/entity_table.h"
 #include "store/fact_store.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace lsd {
@@ -45,6 +46,11 @@ struct CompositionOptions {
 
   // Safety valve for MaterializeAll.
   size_t max_results = 1'000'000;
+
+  // Optional cooperative cancellation / deadline token. Borrowed; ticked
+  // per scanned fact during the simple-path DFS; a tripped budget aborts
+  // enumeration with its typed error.
+  const QueryBudget* budget = nullptr;
 };
 
 class CompositionEngine {

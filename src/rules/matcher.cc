@@ -21,7 +21,7 @@ Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
                 const VarFilter& var_filter, const BindingVisitor& visit,
                 JoinOrder order, const uint32_t* rank,
                 const uint64_t* merge_partners, uint64_t pending,
-                bool& stopped);
+                bool& stopped, BudgetTicker& ticker);
 
 uint64_t ClearBit(uint64_t mask, size_t i) {
   return i < 64 ? (mask & ~(uint64_t{1} << i)) : mask;
@@ -127,7 +127,8 @@ bool TryMergeJoin(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
                   Binding& binding, const VarFilter& var_filter,
                   const BindingVisitor& visit, JoinOrder order,
                   const uint32_t* rank, const uint64_t* merge_partners,
-                  uint64_t pending, bool& stopped, Status& status) {
+                  uint64_t pending, bool& stopped, Status& status,
+                  BudgetTicker& ticker) {
   // One AND decides most nodes: no statically-possible partner of the
   // chosen atom is still pending.
   const uint64_t mask = merge_partners[best] & ClearBit(pending, best);
@@ -173,6 +174,10 @@ bool TryMergeJoin(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
     const EntityId* pb = b.data;
     const EntityId* eb = b.data + b.size;
     while (pa < ea && pb < eb && status.ok() && !stopped) {
+      if (!ticker.TickOk()) {
+        status = ticker.trip();
+        break;
+      }
       if (*pa < *pb) {
         pa = GallopLower(pa, ea, *pb);
       } else if (*pb < *pa) {
@@ -183,7 +188,8 @@ bool TryMergeJoin(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
           binding.Set(v, value);
           status = MatchRec(atoms, done, remaining - 2, binding, var_filter,
                             visit, order, rank, merge_partners,
-                            ClearBit(ClearBit(pending, best), j), stopped);
+                            ClearBit(ClearBit(pending, best), j), stopped,
+                            ticker);
           binding.Unset(v);
         }
         ++pa;
@@ -206,7 +212,7 @@ Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
                 const VarFilter& var_filter, const BindingVisitor& visit,
                 JoinOrder order, const uint32_t* rank,
                 const uint64_t* merge_partners, uint64_t pending,
-                bool& stopped) {
+                bool& stopped, BudgetTicker& ticker) {
   if (remaining == 0) {
     if (!visit(binding)) stopped = true;
     return Status::OK();
@@ -258,7 +264,7 @@ Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
     Status mj_status = Status::OK();
     if (TryMergeJoin(atoms, done, remaining, static_cast<size_t>(best),
                      p_best, binding, var_filter, visit, order, rank,
-                     merge_partners, pending, stopped, mj_status)) {
+                     merge_partners, pending, stopped, mj_status, ticker)) {
       return mj_status;
     }
   }
@@ -273,6 +279,13 @@ Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
 
   Status status = Status::OK();
   atom.source->ForEach(p_best, [&](const Fact& f) {
+    // Budget tick per enumerated fact: facts that fail Unify below never
+    // reach deeper recursion, so an entry-only check would let a huge
+    // no-match scan run unchecked.
+    if (!ticker.TickOk()) {
+      status = ticker.trip();
+      return false;
+    }
     // Remember which vars were unbound before unification.
     VarId newly_bound[3];
     size_t num_newly_bound = 0;
@@ -296,7 +309,7 @@ Status MatchRec(const std::vector<AtomSpec>& atoms, std::vector<bool>& done,
       status = MatchRec(atoms, done, remaining - 1, binding, var_filter,
                         visit, order, rank, merge_partners,
                         ClearBit(pending, static_cast<size_t>(best)),
-                        stopped);
+                        stopped, ticker);
     }
     for (size_t i = 0; i < num_newly_bound; ++i) {
       binding.Unset(newly_bound[i]);
@@ -512,7 +525,8 @@ uint64_t PlannerCache::misses() const {
 Status MatchConjunction(const std::vector<AtomSpec>& atoms, Binding& binding,
                         const VarFilter& var_filter,
                         const BindingVisitor& visit, JoinOrder order,
-                        PlannerCache* planner, bool merge_join) {
+                        PlannerCache* planner, bool merge_join,
+                        const QueryBudget* budget) {
   for (const AtomSpec& a : atoms) {
     assert(a.source != nullptr);
     (void)a;
@@ -536,22 +550,24 @@ Status MatchConjunction(const std::vector<AtomSpec>& atoms, Binding& binding,
   const uint64_t pending = atoms.size() >= 64
                                ? ~uint64_t{0}
                                : (uint64_t{1} << atoms.size()) - 1;
+  BudgetTicker ticker(budget);
   return MatchRec(atoms, done, atoms.size(), binding, var_filter, visit,
                   order, rank,
                   merge_partners.empty() ? nullptr : merge_partners.data(),
-                  pending, stopped);
+                  pending, stopped, ticker);
 }
 
 Status MatchConjunction(const FactSource& source,
                         const std::vector<Template>& atoms,
                         Binding& binding, const VarFilter& var_filter,
                         const BindingVisitor& visit, JoinOrder order,
-                        PlannerCache* planner, bool merge_join) {
+                        PlannerCache* planner, bool merge_join,
+                        const QueryBudget* budget) {
   std::vector<AtomSpec> specs;
   specs.reserve(atoms.size());
   for (const Template& t : atoms) specs.push_back(AtomSpec{t, &source});
   return MatchConjunction(specs, binding, var_filter, visit, order, planner,
-                          merge_join);
+                          merge_join, budget);
 }
 
 }  // namespace lsd

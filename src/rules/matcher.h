@@ -44,6 +44,7 @@
 
 #include "rules/template.h"
 #include "store/fact_store.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace lsd {
@@ -168,12 +169,17 @@ class PlannerCache {
 // galloping instead of enumerating one side and probing per candidate.
 // An execution strategy, not an ordering policy: the visited binding set
 // is identical either way, under every JoinOrder.
+//
+// `budget` (optional) is ticked once per enumerated fact and per
+// merge-join intersection step through a stride-amortized BudgetTicker;
+// a tripped budget unwinds the whole search with its typed error.
 Status MatchConjunction(const std::vector<AtomSpec>& atoms, Binding& binding,
                         const VarFilter& var_filter,
                         const BindingVisitor& visit,
                         JoinOrder order = JoinOrder::kEstimatedCost,
                         PlannerCache* planner = nullptr,
-                        bool merge_join = true);
+                        bool merge_join = true,
+                        const QueryBudget* budget = nullptr);
 
 // Convenience overload: all atoms against one source.
 Status MatchConjunction(const FactSource& source,
@@ -182,7 +188,8 @@ Status MatchConjunction(const FactSource& source,
                         const BindingVisitor& visit,
                         JoinOrder order = JoinOrder::kEstimatedCost,
                         PlannerCache* planner = nullptr,
-                        bool merge_join = true);
+                        bool merge_join = true,
+                        const QueryBudget* budget = nullptr);
 
 }  // namespace lsd
 

@@ -52,6 +52,10 @@ struct RoundContext {
   // array beats a tree lookup into the store's node-based index. No new
   // entities are interned during a fixpoint, so the snapshot stays valid.
   const std::vector<uint8_t>* class_rel;
+  // Shared cancellation token (may be null). Each worker amortizes it
+  // through its own BudgetTicker; the step counter is atomic, so the cap
+  // holds across threads.
+  const QueryBudget* budget = nullptr;
 };
 
 // Output buffer of one worker (or of the sequential path). Candidates
@@ -141,7 +145,8 @@ Status MatchFullRule(const RoundContext& ctx, const Rule& rule,
   // bound-count pick is already optimal there and skips the planner's
   // estimation step.
   return MatchConjunction(full, rule.body, binding, vf, derive,
-                          JoinOrder::kBoundCount);
+                          JoinOrder::kBoundCount, /*planner=*/nullptr,
+                          /*merge_join=*/true, ctx.budget);
 }
 
 // Joins the single remaining body atom against its source under the
@@ -151,7 +156,7 @@ Status MatchFullRule(const RoundContext& ctx, const Rule& rule,
 // allocation-free per seed.
 Status MatchSingleRest(const AtomSpec& atom, bool always_enumerable,
                        Binding& binding, const FilterFn& filter,
-                       const DeriveFn& derive) {
+                       const DeriveFn& derive, BudgetTicker& ticker) {
   const Pattern p = atom.tmpl.Bind(binding);
   if (!always_enumerable && p.BoundCount() < 3 &&
       !atom.source->Enumerable(p)) {
@@ -161,7 +166,12 @@ Status MatchSingleRest(const AtomSpec& atom, bool always_enumerable,
   }
   VarId atom_vars[3];
   const size_t num_atom_vars = atom.tmpl.CollectVars(atom_vars);
+  Status budget_status = Status::OK();
   atom.source->ForEach(p, [&](const Fact& g) {
+    if (!ticker.TickOk()) {
+      budget_status = ticker.trip();
+      return false;
+    }
     VarId newly_bound[3];
     size_t num_newly_bound = 0;
     for (size_t i = 0; i < num_atom_vars; ++i) {
@@ -186,7 +196,7 @@ Status MatchSingleRest(const AtomSpec& atom, bool always_enumerable,
     }
     return true;
   });
-  return Status::OK();
+  return budget_status;
 }
 
 // Seed-first semi-naive match of one contiguous slice of the round's
@@ -195,6 +205,7 @@ Status MatchSingleRest(const AtomSpec& atom, bool always_enumerable,
 // snapshot; writes only into `out`, so slices run concurrently.
 void MatchDeltaSlice(const RoundContext& ctx, const Fact* facts, size_t n,
                      WorkerResult* out) {
+  BudgetTicker ticker(ctx.budget);
   for (const PinnedRule& pr : *ctx.prules) {
     const Rule& rule = *pr.rule;
     FilterFn filter = MakeFilterFn(ctx, rule);
@@ -210,6 +221,10 @@ void MatchDeltaSlice(const RoundContext& ctx, const Fact* facts, size_t n,
       const size_t num_pin_vars = pin.CollectVars(pin_vars);
       Binding binding(rule.num_vars());
       for (size_t fi = 0; fi < n; ++fi) {
+        if (!ticker.TickOk()) {
+          out->status = ticker.trip();
+          return;
+        }
         if (!pin.Unify(facts[fi], binding)) continue;
         bool admissible = true;
         if (filter.active) {
@@ -227,7 +242,7 @@ void MatchDeltaSlice(const RoundContext& ctx, const Fact* facts, size_t n,
             derive(binding);
           } else if (rest.size() == 1) {
             s = MatchSingleRest(rest[0], pr.rest_enumerable[k] != 0,
-                                binding, filter, derive);
+                                binding, filter, derive, ticker);
           } else {
             if (!bv) {
               bv = BindingVisitor(derive);
@@ -236,7 +251,8 @@ void MatchDeltaSlice(const RoundContext& ctx, const Fact* facts, size_t n,
             // Per-delta-fact residual joins: planning each one would
             // cost more than the dynamic bound-count pick saves.
             s = MatchConjunction(rest, binding, vf, bv,
-                                 JoinOrder::kBoundCount);
+                                 JoinOrder::kBoundCount, /*planner=*/nullptr,
+                                 /*merge_join=*/true, ctx.budget);
           }
           if (!s.ok()) {
             out->status = s;
@@ -278,7 +294,8 @@ StatusOr<std::unique_ptr<Closure>> RuleEngine::ComputeClosure(
   for (EntityId e = 0; e < class_rel.size(); ++e) {
     class_rel[e] = store_->IsClassRelationship(e) ? 1 : 0;
   }
-  RoundContext ctx{nullptr, store_, math_, &base, &derived, &class_rel};
+  RoundContext ctx{nullptr,  store_,     math_,         &base,
+                   &derived, &class_rel, options.budget};
 
   // Prepare the seed-first plans; rules with no pinnable atom fire (at
   // most) once, in round 1.
@@ -322,6 +339,11 @@ StatusOr<std::unique_ptr<Closure>> RuleEngine::ComputeClosure(
     if (++stats.rounds > options.max_rounds) {
       return Status::FailedPrecondition(
           "closure did not converge within max_rounds");
+    }
+    // Round boundary: re-check the shared token even when the round's
+    // delta is too small for the per-fact tickers to settle a stride.
+    if (options.budget != nullptr) {
+      LSD_RETURN_IF_ERROR(options.budget->Check());
     }
 
     WorkerResult seq;

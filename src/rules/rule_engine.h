@@ -30,6 +30,7 @@
 #include "rules/rule.h"
 #include "store/delta_index.h"
 #include "store/fact_store.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace lsd {
@@ -46,6 +47,13 @@ struct ClosureOptions {
   // hardware_concurrency. The result is the same for any value; small
   // rounds stay on the calling thread regardless.
   unsigned num_threads = 0;
+
+  // Optional cooperative cancellation / deadline token. Borrowed; must
+  // outlive the ComputeClosure call. Checked at every round boundary and
+  // (stride-amortized) per delta fact inside each worker; a tripped
+  // budget aborts the fixpoint with its typed error. Each worker thread
+  // gets its own ticker over the shared token.
+  const QueryBudget* budget = nullptr;
 };
 
 struct ClosureStats {

@@ -83,7 +83,102 @@ std::string Percent(uint64_t part, uint64_t whole) {
   return buf;
 }
 
+uint64_t SaturatingMul(uint64_t a, uint64_t b) {
+  if (a != 0 && b > UINT64_MAX / a) return UINT64_MAX;
+  return a * b;
+}
+
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  return b > UINT64_MAX - a ? UINT64_MAX : a + b;
+}
+
+// Join-cost upper bound of a formula against a closure: per-atom
+// candidate estimates, multiplied across conjunctions and summed across
+// disjunctions (shared-variable selectivity is ignored — this is a shed
+// heuristic, not a plan). A single bound probe prices at its handful of
+// index hits; an unbound join saturates.
+uint64_t EstimateFormula(const ClosureView& view, const AstNode* node,
+                         const Binding& unbound) {
+  switch (node->kind) {
+    case NodeKind::kAtom:
+      return view.EstimateMatches(node->atom.Bind(unbound));
+    case NodeKind::kAnd: {
+      uint64_t cost = 1;
+      for (const auto& child : node->children) {
+        cost = SaturatingMul(cost,
+                             EstimateFormula(view, child.get(), unbound));
+      }
+      return cost;
+    }
+    case NodeKind::kOr: {
+      uint64_t cost = 0;
+      for (const auto& child : node->children) {
+        cost = SaturatingAdd(cost,
+                             EstimateFormula(view, child.get(), unbound));
+      }
+      return cost;
+    }
+    case NodeKind::kExists:
+    case NodeKind::kForall:
+      return EstimateFormula(view, node->children[0].get(), unbound);
+  }
+  return 0;
+}
+
 }  // namespace
+
+// The shed-policy price of one request, in estimated candidate
+// enumerations, computed against the shared snapshot (never the
+// overlay — building the overlay can itself be the expensive part, and
+// a pending rebuild is priced in explicitly). Verbs we can see inside
+// (query/probe) are priced by the planner's per-atom estimates;
+// unbounded searches (assoc/near/dist/check/dot and operator calls,
+// whose expansion we do not pre-resolve) are priced at one full closure
+// scan; navigation at the entity's degree; control verbs and point
+// mutations at zero.
+uint64_t ServerSession::EstimateCost(const std::string& cmd,
+                                     const std::string& rest) {
+  EpochPtr epoch = store_->snapshot();
+  LooseDb& db = epoch->db();
+  uint64_t cost = 0;
+  if (overlay_size() > 0 &&
+      (overlay_db_ == nullptr ||
+       overlay_epoch_sequence_ != epoch->sequence() ||
+       overlay_built_version_ != overlay_version_)) {
+    // A stale overlay means this request starts with a clone + full
+    // closure recompute, whatever the verb.
+    cost = db.store().size();
+  }
+  auto view = db.View();
+  if (!view.ok()) return cost;  // unwarmed epoch: price what we know
+  const ClosureView& v = **view;
+  const uint64_t full_scan = v.EstimateMatches(Pattern());
+  if (cmd == "query" || cmd == "probe") {
+    auto q = ParseQuery(rest, &db.entities());
+    // A malformed query is cheap: Execute will reject it at parse time.
+    if (!q.ok()) return cost;
+    return SaturatingAdd(
+        cost, EstimateFormula(v, q->root(), Binding(q->num_vars())));
+  }
+  if (cmd == "call" || cmd == "assoc" || cmd == "near" || cmd == "dist" ||
+      cmd == "check" || cmd == "dot" || cmd == "relation") {
+    return SaturatingAdd(cost, full_scan);
+  }
+  if (cmd == "nav" || cmd == "visit" || cmd == "back" || cmd == "forward") {
+    std::string entity = rest.substr(0, rest.find(' '));
+    if (cmd == "back" || cmd == "forward") {
+      entity = trail_.empty() ? std::string() : trail_[trail_pos_];
+    }
+    auto id = db.entities().Lookup(entity);
+    if (!id.has_value()) return cost;
+    return SaturatingAdd(
+        cost,
+        SaturatingAdd(
+            v.EstimateMatches(Pattern(*id, kAnyEntity, kAnyEntity)),
+            v.EstimateMatches(Pattern(kAnyEntity, kAnyEntity, *id))));
+  }
+  return cost;
+}
 
 // The shared landing strip for both batched-mutation front ends (the
 // text assert*/retract* verbs and the binary kMutation frame): every op
@@ -94,6 +189,10 @@ std::string Percent(uint64_t part, uint64_t whole) {
 StatusOr<std::string> ServerSession::CommitMutations(
     const std::vector<MutationOp>& ops) {
   if (ops.empty()) return std::string("empty batch\n");
+  // Pre-enqueue cancellation point: abort here and nothing mutated;
+  // past Commit() the slot is in its group and the cancel waits for
+  // the ack (see the commit-path comment in Execute()).
+  LSD_RETURN_IF_ERROR(CheckBudget());
   size_t added = 0, present = 0, removed = 0, missing = 0;
   auto epoch = store_->Commit([&](LooseDb& db) -> Status {
     added = present = removed = missing = 0;
@@ -197,8 +296,10 @@ StatusOr<std::string> ServerSession::ExecuteVisit(
   if (!id.has_value()) {
     return Status::NotFound("unknown entity: " + entity);
   }
+  // Navigate before touching the trail: a cancelled visit must leave
+  // the trail exactly as if it never ran.
   LSD_ASSIGN_OR_RETURN(NeighborhoodView hood,
-                       pinned.db->Navigate(entity));
+                       pinned.db->Navigate(entity, budget_));
   trail_.resize(trail_.empty() ? 0 : trail_pos_ + 1);
   trail_.push_back(pinned.db->entities().Name(*id));
   trail_pos_ = trail_.size() - 1;
@@ -212,10 +313,13 @@ StatusOr<std::string> ServerSession::ExecuteBackForward(bool back) {
   if (!back && (trail_.empty() || trail_pos_ + 1 >= trail_.size())) {
     return Status::FailedPrecondition("nothing to go forward to");
   }
-  trail_pos_ += back ? -1 : 1;
+  // Move the cursor only after the navigation succeeds: a cancelled
+  // back/forward leaves the trail position exactly where it was.
+  const size_t new_pos = trail_pos_ + (back ? -1 : 1);
   LSD_ASSIGN_OR_RETURN(PinnedDb pinned, Pin());
   LSD_ASSIGN_OR_RETURN(NeighborhoodView hood,
-                       pinned.db->Navigate(trail_[trail_pos_]));
+                       pinned.db->Navigate(trail_[new_pos], budget_));
+  trail_pos_ = new_pos;
   return Breadcrumbs() + "\n" + hood.Render(pinned.db->entities());
 }
 
@@ -299,9 +403,31 @@ StatusOr<std::string> ServerSession::RenderStats() {
            " live / " + std::to_string(registry_->total_created()) +
            " total\n";
   }
+  if (governance_ != nullptr) {
+    const bool degraded = governance_->degraded.load();
+    out += std::string("governance:     ") +
+           (degraded ? "DEGRADED (queue depth " +
+                           std::to_string(governance_->queue_depth.load()) +
+                           ")"
+                     : "normal") +
+           ", " + std::to_string(governance_->degrade_entries.load()) +
+           " episode(s), shed threshold " +
+           std::to_string(governance_->shed_cost_threshold) + "\n";
+    out += "cancelled:      " + std::to_string(governance_->total_cancelled()) +
+           " (deadline " +
+           std::to_string(governance_->cancelled_deadline.load()) +
+           ", budget " + std::to_string(governance_->cancelled_budget.load()) +
+           ", disconnect " +
+           std::to_string(governance_->cancelled_disconnect.load()) +
+           ", shed " + std::to_string(governance_->cancelled_shed.load()) +
+           ")\n";
+    out += "worst request:  " +
+           std::to_string(governance_->worst_request_ms.load()) + " ms\n";
+  }
   out += "session:        #" + std::to_string(id_) + ", " +
          std::to_string(requests_) + " request(s), overlay " +
-         std::to_string(overlay_size()) + "\n";
+         std::to_string(overlay_size()) + ", " +
+         std::to_string(steps_used_) + " steps\n";
   return out;
 }
 
@@ -330,6 +456,37 @@ StatusOr<std::string> ServerSession::Execute(std::string_view line) {
     }
   }
 
+  // ---- Resource governance -----------------------------------------------
+  // Control verbs (ping, session, stats, hypo, ...) are never shed or
+  // budget-gated: they are how a client observes the very overload that
+  // is rejecting its queries.
+  const bool governed = IsMutationVerb(cmd) || IsGatedReadVerb(cmd);
+  if (governance_ != nullptr && governed) {
+    if (governance_->session_step_budget > 0 &&
+        steps_used_ >= governance_->session_step_budget) {
+      governance_->CountCancel(CancelReason::kBudget);
+      return Status::ResourceExhausted(
+          "session step budget exhausted (" + std::to_string(steps_used_) +
+          " steps used)");
+    }
+    // Graceful degradation: while overloaded, shed only requests the
+    // planner prices as expensive — cheap probes keep flowing, and
+    // point mutations (priced at zero unless they drag an overlay
+    // rebuild) keep committing.
+    if (governance_->degraded.load(std::memory_order_relaxed) &&
+        EstimateCost(cmd, rest) > governance_->shed_cost_threshold) {
+      governance_->CountCancel(CancelReason::kShed);
+      return QueryBudget::CancelStatus(CancelReason::kShed);
+    }
+  }
+  // Operation-boundary check: a request arriving already cancelled (or
+  // past its deadline after queue wait) is refused before any work —
+  // the in-loop tickers only settle every kStride iterations, so a
+  // small read could otherwise slip through an expired budget.
+  if (governed) {
+    LSD_RETURN_IF_ERROR(CheckBudget());
+  }
+
   // ---- Server verbs ------------------------------------------------------
   if (cmd == "ping") return std::string("pong\n");
   if (cmd == "hypo") return ExecuteHypo(rest);
@@ -338,6 +495,7 @@ StatusOr<std::string> ServerSession::Execute(std::string_view line) {
     out += "requests:  " + std::to_string(requests_) + "\n";
     out += "overlay:   " + std::to_string(overlay_size()) +
            " hypothetical(s)\n";
+    out += "steps:     " + std::to_string(steps_used_) + "\n";
     out += "epoch:     " + std::to_string(last_epoch_sequence_) + "\n";
     if (!trail_.empty()) out += "trail:     " + Breadcrumbs() + "\n";
     return out;
@@ -357,6 +515,13 @@ StatusOr<std::string> ServerSession::Execute(std::string_view line) {
   }
 
   // ---- Shared writes (commit path) ---------------------------------------
+  // Cancellation composes with group commit: this is the last budget
+  // check before a slot enqueues, which is the point of no return —
+  // once Commit() is called the slot rides its group to the ack, so a
+  // deadline or disconnect that fires mid-commit waits for the ack
+  // rather than tearing a half-applied mutation. (CommitMutations
+  // re-checks for the batched paths.)
+  if (IsMutationVerb(cmd)) LSD_RETURN_IF_ERROR(CheckBudget());
   if (cmd == "assert*" || cmd == "retract*") {
     // Batched form: many facts, one commit slot. Names are resolved
     // against the pinned tip (interning there is safe — hypo does the
@@ -443,20 +608,24 @@ StatusOr<std::string> ServerSession::Execute(std::string_view line) {
   LSD_ASSIGN_OR_RETURN(PinnedDb pinned, Pin());
   LooseDb& db = *pinned.db;
 
+  EvalOptions eval_options;
+  eval_options.budget = budget_;
   if (cmd == "query") {
-    LSD_ASSIGN_OR_RETURN(ResultSet r, db.Query(rest));
+    LSD_ASSIGN_OR_RETURN(ResultSet r, db.Query(rest, eval_options));
     return FormatResult(r, db.entities());
   }
   if (cmd == "call") {
-    LSD_ASSIGN_OR_RETURN(ResultSet r, db.Call(rest));
+    LSD_ASSIGN_OR_RETURN(ResultSet r, db.Call(rest, eval_options));
     return FormatResult(r, db.entities());
   }
   if (cmd == "probe") {
-    LSD_ASSIGN_OR_RETURN(ProbeResult probe, db.Probe(rest));
+    ProbeOptions probe_options;
+    probe_options.budget = budget_;
+    LSD_ASSIGN_OR_RETURN(ProbeResult probe, db.Probe(rest, probe_options));
     return RenderProbe(probe, db.entities());
   }
   if (cmd == "nav") {
-    LSD_ASSIGN_OR_RETURN(NeighborhoodView hood, db.Navigate(rest));
+    LSD_ASSIGN_OR_RETURN(NeighborhoodView hood, db.Navigate(rest, budget_));
     return hood.Render(db.entities());
   }
   if (cmd == "visit") return ExecuteVisit(rest);
@@ -475,6 +644,7 @@ StatusOr<std::string> ServerSession::Execute(std::string_view line) {
     LSD_ASSIGN_OR_RETURN(const ClosureView* view, db.View());
     Navigator navigator(view, &db.entities());
     CompositionOptions options;
+    options.budget = budget_;
     options.limit = composition_limit_ >= 0 ? composition_limit_
                                             : db.composition_limit();
     LSD_ASSIGN_OR_RETURN(std::vector<Association> assocs,
@@ -490,7 +660,7 @@ StatusOr<std::string> ServerSession::Execute(std::string_view line) {
     int radius = 2;
     args >> entity >> radius;
     LSD_ASSIGN_OR_RETURN(std::vector<NearbyEntity> nearby,
-                         db.Nearby(entity, radius));
+                         db.Nearby(entity, radius, budget_));
     std::string out;
     for (const NearbyEntity& n : nearby) {
       out += "  " + std::to_string(n.distance) + "  " +
@@ -502,7 +672,9 @@ StatusOr<std::string> ServerSession::Execute(std::string_view line) {
     std::istringstream args(rest);
     std::string a, b;
     args >> a >> b;
-    LSD_ASSIGN_OR_RETURN(std::optional<int> d, db.SemanticDistance(a, b));
+    LSD_ASSIGN_OR_RETURN(std::optional<int> d,
+                         db.SemanticDistance(a, b, /*max_radius=*/4,
+                                             budget_));
     if (d.has_value()) {
       return "semantic distance " + std::to_string(*d) + "\n";
     }

@@ -1,0 +1,87 @@
+// Shared resource-governance state: the overload monitor's DEGRADED
+// flag plus the cancellation counters every session folds into STATS.
+//
+// One GovernanceState is owned by the server and shared read/write with
+// every session (like the SessionRegistry pointer): the reactor updates
+// the overload flag from queue depth, workers record per-request
+// outcomes, and sessions consult the flag for the shed decision and
+// bump the shed counter themselves. Everything mutable is atomic — no
+// lock is ever taken on this struct.
+#ifndef LSD_SERVER_GOVERNANCE_H_
+#define LSD_SERVER_GOVERNANCE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/budget.h"
+
+namespace lsd {
+
+struct GovernanceState {
+  // ---- Config (set before Start(), read-only afterwards) -----------------
+
+  // Planner cost estimate (estimated candidate enumerations) above which
+  // a request is shed while the server is DEGRADED. Cheap probes — a
+  // bound pattern enumerating a handful of facts — stay far below this;
+  // unbound joins and whole-closure walks blow past it.
+  uint64_t shed_cost_threshold = 1 << 16;
+  // Cumulative step allowance across one session's lifetime (0 =
+  // unlimited). A session that spends it gets typed budget errors for
+  // further reads/writes; control verbs keep working.
+  uint64_t session_step_budget = 0;
+
+  // ---- Overload monitor ---------------------------------------------------
+
+  // Set by the reactor with hysteresis on the pending-request queue
+  // depth (enter at >= 1/2 max_queued_requests, leave at <= 1/4), so
+  // the flag does not flap at the boundary.
+  std::atomic<bool> degraded{false};
+  std::atomic<uint64_t> degrade_entries{0};  // times DEGRADED was entered
+  std::atomic<size_t> queue_depth{0};        // last observed depth
+
+  // ---- Outcome counters ---------------------------------------------------
+
+  std::atomic<uint64_t> cancelled_deadline{0};
+  std::atomic<uint64_t> cancelled_budget{0};
+  std::atomic<uint64_t> cancelled_disconnect{0};
+  std::atomic<uint64_t> cancelled_shed{0};
+  // Worst single-request execution time observed since start.
+  std::atomic<uint64_t> worst_request_ms{0};
+
+  void CountCancel(CancelReason reason, uint64_t n = 1) {
+    switch (reason) {
+      case CancelReason::kDeadline:
+        cancelled_deadline.fetch_add(n, std::memory_order_relaxed);
+        break;
+      case CancelReason::kBudget:
+        cancelled_budget.fetch_add(n, std::memory_order_relaxed);
+        break;
+      case CancelReason::kDisconnect:
+        cancelled_disconnect.fetch_add(n, std::memory_order_relaxed);
+        break;
+      case CancelReason::kShed:
+        cancelled_shed.fetch_add(n, std::memory_order_relaxed);
+        break;
+      case CancelReason::kNone:
+        break;
+    }
+  }
+
+  uint64_t total_cancelled() const {
+    return cancelled_deadline.load(std::memory_order_relaxed) +
+           cancelled_budget.load(std::memory_order_relaxed) +
+           cancelled_disconnect.load(std::memory_order_relaxed) +
+           cancelled_shed.load(std::memory_order_relaxed);
+  }
+
+  void RecordElapsedMs(uint64_t ms) {
+    uint64_t cur = worst_request_ms.load(std::memory_order_relaxed);
+    while (ms > cur && !worst_request_ms.compare_exchange_weak(
+                           cur, ms, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+}  // namespace lsd
+
+#endif  // LSD_SERVER_GOVERNANCE_H_

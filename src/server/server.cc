@@ -36,6 +36,9 @@ std::string ErrorLine(const Status& status) {
 LsdServer::LsdServer(SharedStore* store, const ServerOptions& options)
     : store_(store), options_(options), registry_(store) {
   registry_.set_replication(options_.replication);
+  governance_.shed_cost_threshold = options_.shed_cost_threshold;
+  governance_.session_step_budget = options_.session_step_budget;
+  registry_.set_governance(&governance_);
   if (options_.worker_threads == 0) {
     unsigned hw = std::thread::hardware_concurrency();
     options_.worker_threads = hw == 0 ? 1 : hw;
@@ -179,6 +182,7 @@ void LsdServer::ReactorLoop() {
     DrainWakeList();
     ResumePaused();
     IdleSweep();
+    UpdateDegraded();
 
     if (shutting_down_.load() && !shutdown_started.has_value()) {
       // Graceful drain: stop accepting, stop reading, keep executing
@@ -485,7 +489,16 @@ void LsdServer::CloseConnection(const ConnPtr& conn) {
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     conn->dead = true;
+    // Nobody is waiting for the answers anymore: cancel the request a
+    // worker is executing right now (it unwinds at its next budget
+    // check) and drop everything still queued, counting both as
+    // disconnect cancellations.
+    if (conn->active_budget != nullptr) {
+      conn->active_budget->Cancel(CancelReason::kDisconnect);
+    }
     if (!conn->pending.empty()) {
+      governance_.CountCancel(CancelReason::kDisconnect,
+                              conn->pending.size());
       queued_requests_.fetch_sub(conn->pending.size());
       conn->inflight -= conn->pending.size();
       conn->pending.clear();
@@ -558,6 +571,27 @@ void LsdServer::IdleSweep() {
     if (!busy) idle.push_back(conn);
   }
   for (const ConnPtr& conn : idle) CloseConnection(conn);
+}
+
+// Overload monitor (reactor thread): flips the DEGRADED flag on the
+// pending-queue depth with hysteresis — enter at >= 1/2
+// max_queued_requests, leave at <= 1/4 — so the flag cannot flap at a
+// single boundary. While DEGRADED, sessions shed requests whose planner
+// cost estimate exceeds the shed threshold (see commands.cc); cheap
+// requests keep flowing, which is what drains the queue.
+void LsdServer::UpdateDegraded() {
+  const size_t depth = queued_requests_.load(std::memory_order_relaxed);
+  governance_.queue_depth.store(depth, std::memory_order_relaxed);
+  const size_t enter = options_.max_queued_requests / 2;
+  const size_t leave = options_.max_queued_requests / 4;
+  if (!governance_.degraded.load(std::memory_order_relaxed)) {
+    if (enter > 0 && depth >= enter) {
+      governance_.degraded.store(true, std::memory_order_relaxed);
+      governance_.degrade_entries.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (depth <= leave) {
+    governance_.degraded.store(false, std::memory_order_relaxed);
+  }
 }
 
 bool LsdServer::Drained() {
@@ -658,23 +692,52 @@ void LsdServer::ExecuteOne(const ConnPtr& conn, PendingRequest request) {
                   /*hangup=*/true);
     return;
   }
+  // Hard per-request deadline + step cap, enforced cooperatively: the
+  // budget is threaded through every eval loop and the worker unwinds
+  // with a typed error at the next check. Published under conn->mu so
+  // CloseConnection can cancel it (kDisconnect) from the reactor.
+  std::shared_ptr<QueryBudget> budget;
+  if (options_.request_timeout.count() > 0 ||
+      options_.max_steps_per_request > 0) {
+    const auto deadline =
+        options_.request_timeout.count() > 0
+            ? QueryBudget::Clock::now() + options_.request_timeout
+            : QueryBudget::Clock::time_point::max();
+    budget = std::make_shared<QueryBudget>(deadline,
+                                           options_.max_steps_per_request);
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->dead) {
+      // The peer is already gone; let the request die at its first
+      // budget check instead of running to completion for nobody.
+      budget->Cancel(CancelReason::kDisconnect);
+    } else {
+      conn->active_budget = budget;
+    }
+  }
+  session->set_request_budget(budget.get());
   auto start = Clock::now();
   StatusOr<std::string> result =
       request.mutation ? session->ExecuteBatchMutation(request.command)
                        : session->Execute(request.command);
   auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
       Clock::now() - start);
+  session->set_request_budget(nullptr);
+  if (budget != nullptr) {
+    session->AccumulateSteps(budget->steps());
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->active_budget.reset();
+  }
   requests_served_.fetch_add(1);
-  if (options_.request_timeout.count() > 0 &&
-      elapsed > options_.request_timeout) {
-    // Runaway-query protection: the (late) reply is an error, the
-    // connection closes, and pipelined requests behind it are dropped.
-    QueueResponse(conn, request,
-                  Status::FailedPrecondition(
-                      "request deadline exceeded (" +
-                      std::to_string(elapsed.count()) + "ms)"),
-                  "", /*hangup=*/true);
-    return;
+  governance_.RecordElapsedMs(static_cast<uint64_t>(elapsed.count()));
+  // A budget-typed failure counts under its cancel reason. Unlike the
+  // old soft deadline there is no hangup: the worker unwound cleanly,
+  // session state is intact, and cheap pipelined requests behind the
+  // poisoned one still deserve their answers.
+  if (!result.ok() && budget != nullptr && budget->cancelled() &&
+      (result.status().IsDeadlineExceeded() ||
+       result.status().IsCancelled() ||
+       result.status().IsResourceExhausted())) {
+    governance_.CountCancel(budget->cancel_reason());
   }
   // An injected write failure drops the response on the floor and
   // hangs up, exactly like a send-buffer error would: the client sees

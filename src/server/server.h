@@ -35,9 +35,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include "server/governance.h"
 #include "server/protocol.h"
 #include "server/session.h"
 #include "server/shared_store.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace lsd {
@@ -51,17 +53,38 @@ struct ServerOptions {
   // for thousands of browsers, not dozens.
   size_t max_sessions = 4096;
   int listen_backlog = 1024;
-  // Soft per-request execution deadline; 0 disables. A request that
-  // overruns still gets its (late) error reply, then the connection
-  // closes and any pipelined requests behind it are dropped.
+  // Hard per-request execution deadline; 0 disables. Enforced
+  // cooperatively via a QueryBudget threaded through every long eval
+  // loop: the worker unwinds with a typed "DeadlineExceeded" error,
+  // session state (trail, overlay) is untouched, and — unlike the old
+  // soft deadline — the connection stays open, so cheap pipelined
+  // requests behind a poisoned one still get served.
   std::chrono::milliseconds request_timeout{10'000};
+  // Per-request step cap charged through the same budget (0 =
+  // unlimited): total facts enumerated/joined across all eval loops.
+  uint64_t max_steps_per_request = 0;
+  // Cumulative step allowance for one session's whole lifetime (0 =
+  // unlimited). Spent sessions get typed budget errors on reads/writes.
+  uint64_t session_step_budget = 0;
+  // While DEGRADED (pending queue >= 1/2 max_queued_requests, with
+  // hysteresis), requests whose planner cost estimate exceeds this are
+  // shed with a typed error; cheap probes keep flowing.
+  uint64_t shed_cost_threshold = 1 << 16;
   // Idle receive budget: a connection that sends no bytes for
   // io_timeout * (io_retries + 1) while nothing of its is queued or
   // executing is declared dead and closed. 0 disables. (The two-knob
   // shape is kept from the blocking front end: io_timeout is the poll
   // granularity, io_retries the zero-progress tolerance; any received
   // byte resets the budget.)
-  std::chrono::milliseconds io_timeout{0};
+  //
+  // Default 15s * (4+1) = 75s idle allowance. Non-zero by default
+  // because an idle-connection flood would otherwise hold all
+  // max_sessions admission slots forever; the trade-off is that a
+  // genuinely quiet interactive browser is disconnected after ~75
+  // silent seconds and must reconnect (lsd_client retries transparently
+  // but loses session-local state: trail, hypotheticals, limit). Deploy
+  // with 0 only behind a front end that polices idleness itself.
+  std::chrono::milliseconds io_timeout{15'000};
   int io_retries = 4;
   // Worker pool size; 0 means hardware_concurrency (min 1).
   size_t worker_threads = 0;
@@ -102,6 +125,8 @@ class LsdServer {
   uint16_t port() const { return port_; }
 
   const SessionRegistry& registry() const { return registry_; }
+  // Overload / cancellation observability (also folded into STATS).
+  const GovernanceState& governance() const { return governance_; }
   uint64_t requests_served() const { return requests_served_.load(); }
   uint64_t rejected_connections() const { return rejected_.load(); }
   size_t worker_count() const { return workers_.size(); }
@@ -135,6 +160,10 @@ class LsdServer {
     std::deque<PendingRequest> pending;
     bool scheduled = false;     // queued for / owned by a worker
     size_t inflight = 0;        // pending + currently executing
+    // The budget of the request this connection is executing right now;
+    // CloseConnection cancels it (kDisconnect) so a dead peer's query
+    // stops burning a worker.
+    std::shared_ptr<QueryBudget> active_budget;
     std::string out;            // response bytes awaiting write
     size_t out_pos = 0;
     bool close_after_out = false;  // hang up once `out` drains
@@ -157,6 +186,7 @@ class LsdServer {
   void DrainWakeList();
   void ResumePaused();
   void IdleSweep();
+  void UpdateDegraded();
   bool Drained();
 
   // Worker-side helpers.
@@ -169,6 +199,7 @@ class LsdServer {
   SharedStore* store_;
   ServerOptions options_;
   SessionRegistry registry_;
+  GovernanceState governance_;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

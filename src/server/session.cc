@@ -34,7 +34,12 @@ StatusOr<ServerSession::PinnedDb> ServerSession::Pin() {
     overlay_built_version_ = overlay_version_;
   }
   // No Warm(): the overlay db is private to this session's thread, so
-  // its caches may fill lazily like any single-user LooseDb.
+  // its caches may fill lazily like any single-user LooseDb. That lazy
+  // fill (a whole-closure rebuild) is exactly the expensive read the
+  // request budget must govern — safe here precisely because the clone
+  // is single-thread-owned (a tripped rebuild leaves the stale cache
+  // untouched; the next request's View() simply retries).
+  overlay_db_->set_read_budget(budget_);
   pinned.db = overlay_db_.get();
   pinned.overlaid = true;
   return pinned;
@@ -60,6 +65,7 @@ std::shared_ptr<ServerSession> SessionRegistry::Create(size_t max_sessions) {
   auto session = std::make_shared<ServerSession>(id, store_);
   session->set_registry(this);
   session->set_replication(replication_);
+  session->set_governance(governance_);
   sessions_.emplace(id, session);
   return session;
 }

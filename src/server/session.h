@@ -28,8 +28,10 @@
 #include <string_view>
 #include <vector>
 
+#include "server/governance.h"
 #include "server/protocol.h"
 #include "server/shared_store.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace lsd {
@@ -66,6 +68,29 @@ class ServerSession {
     replication_ = replication;
   }
 
+  // Shared governance state (overload flag, shed threshold, counters);
+  // set by SessionRegistry like the registry pointer. Null means
+  // ungoverned (library/test use).
+  void set_governance(GovernanceState* governance) {
+    governance_ = governance;
+  }
+
+  // The budget of the request currently executing, set by the worker
+  // around Execute()/ExecuteBatchMutation() and cleared after. Threaded
+  // into every read verb's eval options and checked before any commit
+  // slot enqueues; also governs the session-private overlay's lazy
+  // closure rebuild (see Pin()).
+  void set_request_budget(const QueryBudget* budget) {
+    budget_ = budget;
+    if (overlay_db_ != nullptr) overlay_db_->set_read_budget(budget);
+  }
+
+  // Folds one finished request's charged steps into the session's
+  // cumulative tally (per-session budgets; see
+  // ServerOptions::session_step_budget).
+  void AccumulateSteps(uint64_t steps) { steps_used_ += steps; }
+  uint64_t steps_used() const { return steps_used_; }
+
   // Executes one command line (the lsd_shell grammar plus the server
   // verbs: hypo, session, ping) and returns the rendered output. An
   // error Status carries the message the protocol layer reports as ERR.
@@ -98,6 +123,15 @@ class ServerSession {
   };
   StatusOr<PinnedDb> Pin();
 
+  // Last budget check before a mutation enqueues its commit slot (the
+  // point of no return — after enqueue, a cancel waits for the ack).
+  Status CheckBudget() const {
+    return budget_ == nullptr ? Status::OK() : budget_->Check();
+  }
+  // Planner-style cost estimate (candidate enumerations) for the shed
+  // decision; computed against the shared snapshot, never the overlay.
+  uint64_t EstimateCost(const std::string& cmd, const std::string& rest);
+
   // Command handlers (commands.cc).
   StatusOr<std::string> CommitMutations(const std::vector<MutationOp>& ops);
   StatusOr<std::string> ExecuteHypo(std::string_view rest);
@@ -110,6 +144,9 @@ class ServerSession {
   SharedStore* store_;
   const SessionRegistry* registry_ = nullptr;
   const ReplicationMonitor* replication_ = nullptr;
+  GovernanceState* governance_ = nullptr;
+  const QueryBudget* budget_ = nullptr;  // current request's, or null
+  uint64_t steps_used_ = 0;  // cumulative charged steps, all requests
   uint64_t requests_ = 0;
   uint64_t last_epoch_sequence_ = 0;
 
@@ -145,6 +182,12 @@ class SessionRegistry {
     replication_ = replication;
   }
 
+  // Governance plumbing: every session created from here on shares the
+  // server's overload/cancellation state. Set before Start().
+  void set_governance(GovernanceState* governance) {
+    governance_ = governance;
+  }
+
   // Creates a session or returns null if `max_sessions` are live
   // (admission control; the caller reports backpressure to the client).
   std::shared_ptr<ServerSession> Create(size_t max_sessions);
@@ -156,6 +199,7 @@ class SessionRegistry {
  private:
   SharedStore* store_;
   const ReplicationMonitor* replication_ = nullptr;
+  GovernanceState* governance_ = nullptr;
   mutable std::mutex mu_;
   std::map<uint64_t, std::shared_ptr<ServerSession>> sessions_;
   uint64_t next_id_ = 1;

@@ -1,0 +1,38 @@
+#include "util/budget.h"
+
+namespace lsd {
+
+std::string_view CancelReasonName(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kDeadline:
+      return "deadline";
+    case CancelReason::kBudget:
+      return "budget";
+    case CancelReason::kDisconnect:
+      return "disconnect";
+    case CancelReason::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+Status QueryBudget::CancelStatus(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kDeadline:
+      return Status::DeadlineExceeded("request deadline exceeded");
+    case CancelReason::kBudget:
+      return Status::ResourceExhausted("step budget exceeded");
+    case CancelReason::kDisconnect:
+      return Status::Cancelled("cancelled: client disconnected");
+    case CancelReason::kShed:
+      return Status::ResourceExhausted(
+          "shed: server overloaded, expensive query rejected");
+    case CancelReason::kNone:
+      break;
+  }
+  return Status::Cancelled("cancelled");
+}
+
+}  // namespace lsd

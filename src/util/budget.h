@@ -1,0 +1,157 @@
+// Cooperative cancellation and resource budgets for long-running
+// evaluation. A QueryBudget is a shared token carrying a hard deadline,
+// a step cap, and an atomic cancel flag; every long loop in the stack
+// (matcher enumeration, merge joins, closure rounds, probing waves,
+// proximity BFS, composition DFS, navigation scans) holds a pointer to
+// one and checks it at coarse boundaries.
+//
+// Cost model: the per-iteration fast path must be nearly free, so loops
+// do not call QueryBudget::Charge directly — they go through a local
+// BudgetTicker whose Tick() is a plain decrement that only falls through
+// to the shared token (atomic add + clock read) once every kStride
+// iterations. Each thread of a parallel phase gets its own ticker over
+// the shared budget; the step counter is atomic, so caps are enforced
+// across threads.
+//
+// A null budget pointer means "ungoverned" everywhere and costs one
+// branch per stride at most; all existing single-user paths (lsd_shell,
+// library embedding) pass nullptr and behave exactly as before.
+#ifndef LSD_UTIL_BUDGET_H_
+#define LSD_UTIL_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace lsd {
+
+// Why a request was cancelled; stamped into the token by the canceller
+// and folded into the typed Status the worker unwinds with.
+enum class CancelReason : uint8_t {
+  kNone = 0,
+  kDeadline,    // hard per-request deadline passed
+  kBudget,      // cumulative step budget spent
+  kDisconnect,  // peer went away; nobody is waiting for the answer
+  kShed,        // overload monitor shed this query before/while running
+};
+
+std::string_view CancelReasonName(CancelReason reason);
+
+class QueryBudget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  QueryBudget() = default;
+  // deadline: absolute point after which Charge() fails (no deadline if
+  // omitted). max_steps: cap on total charged steps, 0 = unlimited.
+  explicit QueryBudget(Clock::time_point deadline, uint64_t max_steps = 0)
+      : deadline_(deadline), has_deadline_(true), max_steps_(max_steps) {}
+  explicit QueryBudget(std::chrono::milliseconds timeout,
+                       uint64_t max_steps = 0)
+      : QueryBudget(Clock::now() + timeout, max_steps) {}
+
+  QueryBudget(const QueryBudget&) = delete;
+  QueryBudget& operator=(const QueryBudget&) = delete;
+
+  // Stamps the cancel flag. Safe from any thread; first reason wins so a
+  // late disconnect does not relabel a deadline kill.
+  void Cancel(CancelReason reason) const {
+    uint8_t expected = 0;
+    cancelled_.compare_exchange_strong(expected,
+                                       static_cast<uint8_t>(reason),
+                                       std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed) != 0;
+  }
+  CancelReason cancel_reason() const {
+    return static_cast<CancelReason>(
+        cancelled_.load(std::memory_order_relaxed));
+  }
+
+  uint64_t steps() const { return steps_.load(std::memory_order_relaxed); }
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  // Charges `n` steps and reports whether evaluation may continue. The
+  // typed error names what tripped: cancel flag > deadline > step cap.
+  // Members are mutable so a `const QueryBudget*` threads through const
+  // read paths; Charge is logically const (it only advances accounting).
+  Status Charge(uint64_t n) const {
+    const uint8_t flag = cancelled_.load(std::memory_order_relaxed);
+    if (flag != 0) return CancelStatus(static_cast<CancelReason>(flag));
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      Cancel(CancelReason::kDeadline);
+      return CancelStatus(CancelReason::kDeadline);
+    }
+    const uint64_t used = steps_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (max_steps_ != 0 && used > max_steps_) {
+      Cancel(CancelReason::kBudget);
+      return CancelStatus(CancelReason::kBudget);
+    }
+    return Status::OK();
+  }
+
+  // Charge(0): re-checks flag/deadline without consuming budget. Use at
+  // phase boundaries (wave end, round start, pre-commit).
+  Status Check() const { return Charge(0); }
+
+  // The typed Status a tripped budget unwinds with; also used by the
+  // server to classify replies without string matching.
+  static Status CancelStatus(CancelReason reason);
+
+ private:
+  mutable std::atomic<uint8_t> cancelled_{0};
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  uint64_t max_steps_ = 0;
+  mutable std::atomic<uint64_t> steps_{0};
+};
+
+// Per-thread amortizer over a shared QueryBudget. Tick() costs one
+// decrement + branch until the stride is spent, then settles the whole
+// stride against the shared token (one atomic add, one clock read).
+class BudgetTicker {
+ public:
+  // One clock read / atomic settle per this many Tick()s. Chosen so even
+  // ~100ns/iteration loops check the clock every ~100µs — far inside any
+  // practical deadline grace — while keeping overhead under measurement
+  // noise (bench-verified ≤2%).
+  static constexpr uint32_t kStride = 1024;
+
+  explicit BudgetTicker(const QueryBudget* budget)
+      : budget_(budget), countdown_(kStride) {}
+
+  // Per-iteration fast path: true while evaluation may continue. Returns
+  // bool, not Status — constructing even an OK Status per enumerated
+  // fact (its empty message string) is measurable in the matcher's
+  // tightest loop. On false the trip's typed status is in trip().
+  bool TickOk() {
+    if (budget_ == nullptr || --countdown_ != 0) return true;
+    countdown_ = kStride;
+    trip_ = budget_->Charge(kStride);
+    return trip_.ok();
+  }
+
+  // Status-returning convenience for call sites outside per-fact loops.
+  Status Tick() { return TickOk() ? Status::OK() : trip_; }
+
+  // The typed error of the settle that tripped; OK until TickOk() has
+  // returned false.
+  const Status& trip() const { return trip_; }
+
+  const QueryBudget* budget() const { return budget_; }
+
+ private:
+  const QueryBudget* budget_;
+  uint32_t countdown_;
+  Status trip_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_UTIL_BUDGET_H_

@@ -26,6 +26,9 @@ enum class StatusCode {
   kIntegrityViolation,  // closure contains contradictory facts
   kParseError,          // query / fact-file syntax error
   kIoError,
+  kDeadlineExceeded,    // request overran its hard deadline
+  kCancelled,           // caller abandoned the request (disconnect etc.)
+  kResourceExhausted,   // step/row budget spent, or load shed
 };
 
 // Returns the canonical name for a code, e.g. "InvalidArgument".
@@ -77,6 +80,15 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -86,6 +98,13 @@ class Status {
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsIntegrityViolation() const {
     return code_ == StatusCode::kIntegrityViolation;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
   }
 
   // "OK" or "<CodeName>: <message>".

@@ -1,0 +1,121 @@
+// QueryBudget / BudgetTicker unit tests: typed trips (deadline, step
+// cap, explicit cancel), first-reason-wins stamping, the ticker's
+// stride amortization, and cross-thread cap enforcement.
+#include "util/budget.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lsd {
+namespace {
+
+TEST(QueryBudgetTest, DefaultIsUngoverned) {
+  QueryBudget budget;
+  EXPECT_FALSE(budget.has_deadline());
+  EXPECT_FALSE(budget.cancelled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(budget.Charge(1'000'000).ok());
+  }
+}
+
+TEST(QueryBudgetTest, DeadlineTripsWithTypedStatus) {
+  QueryBudget budget(QueryBudget::Clock::now() -
+                     std::chrono::milliseconds(1));
+  Status st = budget.Check();
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+  EXPECT_TRUE(budget.cancelled());
+  EXPECT_EQ(budget.cancel_reason(), CancelReason::kDeadline);
+  // Once tripped, every subsequent charge reports the same reason.
+  EXPECT_TRUE(budget.Charge(1).IsDeadlineExceeded());
+}
+
+TEST(QueryBudgetTest, StepCapTripsWithTypedStatus) {
+  QueryBudget budget(QueryBudget::Clock::now() + std::chrono::hours(1),
+                     /*max_steps=*/100);
+  EXPECT_TRUE(budget.Charge(100).ok());
+  Status st = budget.Charge(1);
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+  EXPECT_EQ(budget.cancel_reason(), CancelReason::kBudget);
+}
+
+TEST(QueryBudgetTest, ExplicitCancelWinsOverLaterTrips) {
+  QueryBudget budget(std::chrono::hours(1));
+  budget.Cancel(CancelReason::kDisconnect);
+  Status st = budget.Check();
+  EXPECT_TRUE(st.IsCancelled()) << st.ToString();
+  // First reason wins: a later deadline self-cancel must not relabel.
+  budget.Cancel(CancelReason::kDeadline);
+  EXPECT_EQ(budget.cancel_reason(), CancelReason::kDisconnect);
+}
+
+TEST(QueryBudgetTest, ShedMapsToResourceExhausted) {
+  Status st = QueryBudget::CancelStatus(CancelReason::kShed);
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+}
+
+TEST(QueryBudgetTest, CheckDoesNotConsumeSteps) {
+  QueryBudget budget(QueryBudget::Clock::now() + std::chrono::hours(1),
+                     /*max_steps=*/10);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(budget.Check().ok());
+  }
+  EXPECT_EQ(budget.steps(), 0u);
+}
+
+TEST(QueryBudgetTest, CapEnforcedAcrossThreads) {
+  QueryBudget budget(QueryBudget::Clock::now() + std::chrono::hours(1),
+                     /*max_steps=*/100'000);
+  std::vector<std::thread> threads;
+  std::atomic<int> tripped{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&budget, &tripped] {
+      for (int i = 0; i < 1'000'000; ++i) {
+        if (!budget.Charge(1).ok()) {
+          tripped.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tripped.load(), 4);
+  EXPECT_EQ(budget.cancel_reason(), CancelReason::kBudget);
+}
+
+TEST(BudgetTickerTest, NullBudgetIsFree) {
+  BudgetTicker ticker(nullptr);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_TRUE(ticker.Tick().ok());
+  }
+}
+
+TEST(BudgetTickerTest, SettlesWholeStrideAgainstToken) {
+  QueryBudget budget(QueryBudget::Clock::now() + std::chrono::hours(1));
+  BudgetTicker ticker(&budget);
+  for (uint32_t i = 0; i < BudgetTicker::kStride - 1; ++i) {
+    ASSERT_TRUE(ticker.Tick().ok());
+  }
+  EXPECT_EQ(budget.steps(), 0u);  // not yet settled
+  ASSERT_TRUE(ticker.Tick().ok());
+  EXPECT_EQ(budget.steps(), BudgetTicker::kStride);
+}
+
+TEST(BudgetTickerTest, ReportsTripAtStrideBoundary) {
+  QueryBudget budget(QueryBudget::Clock::now() + std::chrono::hours(1),
+                     /*max_steps=*/1);
+  BudgetTicker ticker(&budget);
+  Status st = Status::OK();
+  uint64_t ticks = 0;
+  while (st.ok() && ticks < 10 * BudgetTicker::kStride) {
+    ++ticks;
+    st = ticker.Tick();
+  }
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+  EXPECT_EQ(ticks, static_cast<uint64_t>(BudgetTicker::kStride));
+}
+
+}  // namespace
+}  // namespace lsd

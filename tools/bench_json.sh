@@ -106,8 +106,26 @@ echo "wrote $out"
 server_bench="$build_dir/bench/bench_server"
 require "$server_bench"
 out="$repo_root/BENCH_server.json"
+tmp_browse=$(mktemp)
+tmp_hostile=$(mktemp)
+trap 'rm -f "$tmp_join" "$tmp_probe" "$tmp_browse" "$tmp_hostile"' EXIT
 "$server_bench" --sessions 1,4,16,64,256,1024,4096,10000 --requests 100 \
-  --protocols text,binary --window 16 --json "$out"
+  --protocols text,binary --window 16 --json "$tmp_browse"
+# Hostile governance sweep: a slice of each session's requests is a
+# poison query the request deadline kills with a typed error. The
+# `cancelled` column counts those kills and p50/p99/p999 cover only the
+# surviving cheap requests, so the section shows what hostile load does
+# to well-behaved sessions. Merged under "hostile" so the top-level keys
+# (the no-hostile browsing sweep) stay comparable across revisions.
+"$server_bench" --sessions 4,16,64 --requests 100 \
+  --protocols text,binary --window 16 --hostile-pct 12 \
+  --json "$tmp_hostile" --check
+{
+  sed '$d' "$tmp_browse"
+  printf ',\n  "hostile":\n'
+  cat "$tmp_hostile"
+  printf '}\n'
+} > "$out"
 echo "wrote $out"
 
 # BENCH_wal.json: the group-commit write sweep. Every request is a

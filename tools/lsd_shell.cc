@@ -23,8 +23,10 @@
 //   save PREFIX                       snapshot + attach WAL
 //   stats                             store/closure statistics
 //   help, quit
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -34,6 +36,7 @@
 #include "core/loose_db.h"
 #include "query/table_formatter.h"
 #include "store/text_format.h"
+#include "util/budget.h"
 #include "util/string_util.h"
 
 namespace {
@@ -41,6 +44,16 @@ namespace {
 using lsd::LooseDb;
 using lsd::Status;
 using lsd::WalSegmentInfo;
+
+// Shell-local governance: `timeout N` arms a per-command deadline
+// (same QueryBudget machinery the server threads through requests),
+// and `stats` reports what it killed.
+struct ShellGovernance {
+  int timeout_ms = 0;  // 0 = ungoverned
+  uint64_t cancelled_deadline = 0;
+  uint64_t cancelled_budget = 0;
+  uint64_t worst_command_ms = 0;
+};
 
 void PrintStatus(const Status& s) {
   if (!s.ok()) std::printf("! %s\n", s.ToString().c_str());
@@ -58,8 +71,11 @@ lsd::StatusOr<lsd::Fact> ParseGroundFact(LooseDb& db,
   return q->root()->atom.Substitute(lsd::Binding(0));
 }
 
-void DoQuery(LooseDb& db, const std::string& text) {
-  auto r = db.Query(text);
+void DoQuery(LooseDb& db, const std::string& text,
+             const lsd::QueryBudget* budget) {
+  lsd::EvalOptions options;
+  options.budget = budget;
+  auto r = db.Query(text, options);
   if (!r.ok()) {
     PrintStatus(r.status());
     return;
@@ -67,8 +83,11 @@ void DoQuery(LooseDb& db, const std::string& text) {
   std::printf("%s", lsd::FormatResult(*r, db.entities()).c_str());
 }
 
-void DoProbe(LooseDb& db, const std::string& text) {
-  auto probe = db.Probe(text);
+void DoProbe(LooseDb& db, const std::string& text,
+             const lsd::QueryBudget* budget) {
+  lsd::ProbeOptions options;
+  options.budget = budget;
+  auto probe = db.Probe(text, options);
   if (!probe.ok()) {
     PrintStatus(probe.status());
     return;
@@ -108,7 +127,7 @@ void DoRelation(LooseDb& db, std::istringstream& args) {
   std::printf("%s", table->Render(db.entities()).c_str());
 }
 
-void DoStats(LooseDb& db) {
+void DoStats(LooseDb& db, const ShellGovernance& gov) {
   std::printf("entities:       %zu\n", db.entities().size());
   std::printf("asserted facts: %zu\n", db.store().size());
   auto view = db.View();
@@ -129,6 +148,18 @@ void DoStats(LooseDb& db) {
   }
   std::printf("rules:          %zu\n", db.rules().size());
   std::printf("limit(n):       %d\n", db.composition_limit());
+  if (gov.timeout_ms > 0) {
+    std::printf("governance:     timeout %d ms\n", gov.timeout_ms);
+  } else {
+    std::printf("governance:     ungoverned (set with 'timeout N')\n");
+  }
+  std::printf("cancelled:      %llu (deadline %llu, budget %llu)\n",
+              static_cast<unsigned long long>(gov.cancelled_deadline +
+                                              gov.cancelled_budget),
+              static_cast<unsigned long long>(gov.cancelled_deadline),
+              static_cast<unsigned long long>(gov.cancelled_budget));
+  std::printf("worst command:  %llu ms\n",
+              static_cast<unsigned long long>(gov.worst_command_ms));
   std::printf("store version:  %llu\n",
               static_cast<unsigned long long>(db.store_version()));
   std::printf("rules version:  %llu\n",
@@ -181,7 +212,7 @@ void Help() {
       "          relation CLASS R T [R T..] · limit N · include/exclude"
       " NAME\n"
       "          rules · check · load FILE · save PREFIX · checkpoint\n"
-      "          stats · quit\n");
+      "          timeout N · stats · quit\n");
 }
 
 }  // namespace
@@ -200,6 +231,7 @@ int main(int argc, char** argv) {
   }
   std::printf("lsd shell — type 'help' for commands\n");
   lsd::BrowseSession session(&db);
+  ShellGovernance gov;
 
   std::string line;
   while (std::printf("lsd> "), std::fflush(stdout),
@@ -215,6 +247,18 @@ int main(int argc, char** argv) {
     rest = std::string(lsd::StripWhitespace(rest));
 
     if (cmd == "quit" || cmd == "exit") break;
+
+    // Arm this command's budget (if `timeout N` is set). The shell is
+    // single-threaded, so handing the budget to the db's lazy closure
+    // rebuild (set_read_budget) is safe.
+    std::unique_ptr<lsd::QueryBudget> command_budget;
+    if (gov.timeout_ms > 0) {
+      command_budget = std::make_unique<lsd::QueryBudget>(
+          std::chrono::milliseconds(gov.timeout_ms));
+    }
+    const lsd::QueryBudget* budget = command_budget.get();
+    db.set_read_budget(budget);
+    const auto command_start = std::chrono::steady_clock::now();
     if (cmd == "help") {
       Help();
     } else if (cmd == "assert") {
@@ -236,22 +280,25 @@ int main(int argc, char** argv) {
                                           ? lsd::RuleKind::kInference
                                           : lsd::RuleKind::kIntegrity));
     } else if (cmd == "query") {
-      DoQuery(db, rest);
+      DoQuery(db, rest, budget);
     } else if (cmd == "define") {
       PrintStatus(db.DefineOperator(rest));
     } else if (cmd == "call") {
-      auto r = db.Call(rest);
+      lsd::EvalOptions call_options;
+      call_options.budget = budget;
+      auto r = db.Call(rest, call_options);
       if (!r.ok()) {
         PrintStatus(r.status());
       } else {
         std::printf("%s", lsd::FormatResult(*r, db.entities()).c_str());
       }
     } else if (cmd == "probe") {
-      DoProbe(db, rest);
+      DoProbe(db, rest, budget);
     } else if (cmd == "nav" || cmd == "visit") {
       // visit/back/forward keep a browsing trail (Sec 4.1's iterative
       // process); nav is the stateless variant.
-      auto hood = cmd == "nav" ? db.Navigate(rest) : session.Visit(rest);
+      auto hood =
+          cmd == "nav" ? db.Navigate(rest, budget) : session.Visit(rest);
       if (!hood.ok()) {
         PrintStatus(hood.status());
       } else {
@@ -296,7 +343,7 @@ int main(int argc, char** argv) {
       std::istringstream args(rest);
       std::string s, t;
       args >> s >> t;
-      auto table = db.RenderAssociations(s, t);
+      auto table = db.RenderAssociations(s, t, budget);
       if (!table.ok()) {
         PrintStatus(table.status());
       } else {
@@ -307,7 +354,7 @@ int main(int argc, char** argv) {
       std::string entity;
       int radius = 2;
       args >> entity >> radius;
-      auto nearby = db.Nearby(entity, radius);
+      auto nearby = db.Nearby(entity, radius, budget);
       if (!nearby.ok()) {
         PrintStatus(nearby.status());
       } else {
@@ -320,7 +367,7 @@ int main(int argc, char** argv) {
       std::istringstream args(rest);
       std::string a, b;
       args >> a >> b;
-      auto d = db.SemanticDistance(a, b);
+      auto d = db.SemanticDistance(a, b, /*max_radius=*/4, budget);
       if (!d.ok()) {
         PrintStatus(d.status());
       } else if (d->has_value()) {
@@ -371,10 +418,38 @@ int main(int argc, char** argv) {
       PrintStatus(db.Save(rest));
     } else if (cmd == "checkpoint") {
       PrintStatus(db.Checkpoint());
+    } else if (cmd == "timeout") {
+      int n = 0;
+      if (std::istringstream(rest) >> n && n >= 0) {
+        gov.timeout_ms = n;
+        if (n > 0) {
+          std::printf("timeout %d ms\n", n);
+        } else {
+          std::printf("timeout disabled\n");
+        }
+      } else {
+        std::printf("usage: timeout MILLISECONDS (0 disables)\n");
+      }
     } else if (cmd == "stats") {
-      DoStats(db);
+      DoStats(db, gov);
     } else {
       std::printf("unknown command '%s'; try 'help'\n", cmd.c_str());
+    }
+
+    db.set_read_budget(nullptr);
+    const auto command_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - command_start)
+            .count();
+    if (static_cast<uint64_t>(command_ms) > gov.worst_command_ms) {
+      gov.worst_command_ms = static_cast<uint64_t>(command_ms);
+    }
+    if (command_budget != nullptr && command_budget->cancelled()) {
+      if (command_budget->cancel_reason() == lsd::CancelReason::kDeadline) {
+        ++gov.cancelled_deadline;
+      } else {
+        ++gov.cancelled_budget;
+      }
     }
   }
   return 0;
