@@ -1,0 +1,388 @@
+// bench_compaction — steady-state churn: mixed read/write throughput
+// with and without background compaction (E16).
+//
+// The workload preloads a small linked CHURN graph (one bulk commit, so
+// it lands as a merged CSR generation), then churns a FRESH relation in
+// small batches — 64 facts, far below the L0 run threshold, so without
+// compaction every batch accumulates in the node-based overlay forever.
+// A warmup phase drives the churn to the shape's target volume, then
+// the measured window runs writer threads (more churn batches) against
+// reader threads that browse the FRESH relation on pinned snapshots.
+//
+// The "off" rows are the overlay-accumulating configuration the tree
+// had before the background compactor: every browse walks tens of
+// thousands of overlay tree nodes, and every commit deep-copies them
+// all into the clone. The "on" rows run the Compactor, which folds the
+// overlay into frozen CSR generations off the commit path, so browses
+// stream columnar segments and clones share them by pointer.
+//
+// Reported per {shape, mode}: writes/sec, reads/sec, combined ops/sec,
+// read and commit latency percentiles (a merge must never stall a
+// pinned reader — read_max should not spike in the "on" rows), and the
+// compactor's own counters.
+//
+//   bench_compaction [--preload 10000] [--shapes 100,400,1600]
+//                    [--batch 64] [--readers 3] [--writers 2]
+//                    [--duration-ms 2000] [--json FILE] [--check]
+//
+// --shapes counts warmup batches: churn volume = shape * batch facts.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/shared_store.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  size_t preload = 0;
+  size_t warmup_batches = 0;
+  size_t batch = 0;
+  size_t churn_start = 0;  // FRESH facts when the window opens
+  bool compaction = false;
+  double duration_s = 0;
+  uint64_t writes = 0;  // committed batches
+  uint64_t facts = 0;   // facts asserted by those batches
+  uint64_t reads = 0;   // FRESH browses
+  double writes_per_sec = 0;
+  double reads_per_sec = 0;
+  double ops_per_sec = 0;  // browses + batch commits
+  double write_p50_ms = 0, write_p99_ms = 0, write_max_ms = 0;
+  double read_p50_ms = 0, read_p99_ms = 0, read_max_ms = 0;
+  uint64_t merges = 0;
+  uint64_t merge_aborts = 0;
+  uint64_t bytes_merged = 0;
+  uint64_t backpressure_hits = 0;
+  double last_merge_ms = 0;
+  size_t end_runs = 0;
+  size_t end_overlay_bytes = 0;
+  size_t end_frozen_bytes = 0;
+};
+
+double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  size_t k = static_cast<size_t>(p * (v.size() - 1));
+  std::nth_element(v.begin(), v.begin() + k, v.end());
+  return v[k];
+}
+
+std::string ChurnName(size_t i) { return "CHURN-" + std::to_string(i); }
+
+// One churn run at a fixed shape. Entities beyond the preload are minted
+// by the churn batches themselves; each batch links fresh sources back
+// into the preloaded graph, so browses read real data.
+Row RunShape(size_t preload, size_t warmup_batches, size_t batch,
+             int readers, int writers, int duration_ms, bool compaction) {
+  Row row;
+  row.preload = preload;
+  row.warmup_batches = warmup_batches;
+  row.batch = batch;
+  row.compaction = compaction;
+
+  lsd::SharedStore store;
+  auto seeded = store.Commit([&](lsd::LooseDb& db) {
+    for (size_t i = 0; i < preload; ++i) {
+      db.Assert(ChurnName(i), "LINKS", ChurnName((i * 7 + 1) % preload));
+    }
+    return lsd::Status::OK();
+  });
+  if (!seeded.ok()) {
+    std::fprintf(stderr, "preload failed: %s\n",
+                 seeded.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (compaction) {
+    lsd::CompactionOptions options;
+    // Merge whenever the overlay tops 128 KiB: frequent enough that the
+    // measured window reads mostly CSR, coarse enough that the merge
+    // thread is not spinning on every commit.
+    options.overlay_ratio = 0.0;
+    options.min_overlay_bytes = 128 * 1024;
+    options.poll_ms = 5;
+    lsd::Status enabled = store.EnableCompaction(options);
+    if (!enabled.ok()) {
+      std::fprintf(stderr, "EnableCompaction failed: %s\n",
+                   enabled.ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  std::atomic<size_t> next_entity{preload};
+  auto commit_batch = [&]() -> double {
+    const size_t base = next_entity.fetch_add(batch);
+    auto t0 = Clock::now();
+    auto committed = store.Commit([&](lsd::LooseDb& db) {
+      for (size_t i = 0; i < batch; ++i) {
+        db.Assert(ChurnName(base + i), "FRESH",
+                  ChurnName((base + i) % preload));
+      }
+      return lsd::Status::OK();
+    });
+    if (!committed.ok()) {
+      std::fprintf(stderr, "commit failed: %s\n",
+                   committed.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+  };
+
+  // Warmup: drive the churn to the shape's volume. Without compaction
+  // this is exactly the overlay the measured window inherits.
+  for (size_t i = 0; i < warmup_batches; ++i) commit_batch();
+  row.churn_start = next_entity.load() - preload;
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> read_errors{0};
+  std::vector<std::vector<double>> write_lat(writers);
+  std::vector<std::vector<double>> read_lat(readers);
+  std::vector<std::thread> threads;
+
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        write_lat[w].push_back(commit_batch());
+      }
+    });
+  }
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Browse the churned relation on a pinned snapshot: stream
+        // every FRESH fact. This is the read the paper's browser makes
+        // when it fans out from a relation, and it is exactly where
+        // merged CSR generations beat an ever-growing node overlay.
+        lsd::EpochPtr pinned = store.snapshot();
+        auto t0 = Clock::now();
+        auto view = pinned->db().View();
+        if (!view.ok()) {
+          ++read_errors;
+          continue;
+        }
+        auto fresh = pinned->db().entities().Lookup("FRESH");
+        size_t seen = 0;
+        (*view)->ForEach(
+            lsd::Pattern(lsd::kAnyEntity, *fresh, lsd::kAnyEntity),
+            [&](const lsd::Fact&) {
+              ++seen;
+              return true;
+            });
+        double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count();
+        if (seen == 0) {
+          ++read_errors;
+        } else {
+          read_lat[r].push_back(ms);
+        }
+      }
+    });
+  }
+
+  auto t0 = Clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  row.duration_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  if (read_errors.load() != 0) {
+    std::fprintf(stderr, "%llu read errors\n",
+                 static_cast<unsigned long long>(read_errors.load()));
+    std::exit(1);
+  }
+
+  std::vector<double> wl, rl;
+  for (auto& v : write_lat) wl.insert(wl.end(), v.begin(), v.end());
+  for (auto& v : read_lat) rl.insert(rl.end(), v.begin(), v.end());
+  row.writes = wl.size();
+  row.facts = static_cast<uint64_t>(wl.size()) * batch;
+  row.reads = rl.size();
+  row.writes_per_sec = row.writes / row.duration_s;
+  row.reads_per_sec = row.reads / row.duration_s;
+  row.ops_per_sec = (row.writes + row.reads) / row.duration_s;
+  row.write_max_ms = wl.empty() ? 0 : *std::max_element(wl.begin(), wl.end());
+  row.read_max_ms = rl.empty() ? 0 : *std::max_element(rl.begin(), rl.end());
+  row.write_p50_ms = Percentile(wl, 0.5);
+  row.write_p99_ms = Percentile(wl, 0.99);
+  row.read_p50_ms = Percentile(rl, 0.5);
+  row.read_p99_ms = Percentile(rl, 0.99);
+
+  const lsd::CompactionStats cs = store.compaction_stats();
+  row.merges = cs.merges;
+  row.merge_aborts = cs.aborted;
+  row.bytes_merged = cs.bytes_merged;
+  row.backpressure_hits = cs.backpressure_hits;
+  row.last_merge_ms = static_cast<double>(cs.last_merge_ms);
+  const lsd::CompactionShape shape = store.SampleShape();
+  row.end_runs = shape.runs;
+  row.end_overlay_bytes = shape.overlay_bytes;
+  row.end_frozen_bytes = shape.frozen_bytes;
+  store.StopCompaction();
+  return row;
+}
+
+void WriteJson(std::FILE* out, const std::vector<Row>& rows) {
+  std::fprintf(out,
+               "{\n  \"comment\": \"bench_compaction churn sweep (E16): "
+               "mixed read/write throughput with and without background "
+               "compaction; regenerate with tools/bench_json.sh\",\n");
+#ifdef NDEBUG
+  std::fprintf(out, "  \"library_build_type\": \"release\",\n");
+#else
+  std::fprintf(out, "  \"library_build_type\": \"debug\",\n");
+#endif
+  std::fprintf(out, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        out,
+        "    {\"preload\": %zu, \"warmup_batches\": %zu, \"batch\": %zu, "
+        "\"churn_start\": %zu, \"compaction\": %s,\n"
+        "     \"duration_s\": %.3f, \"writes\": %llu, \"facts\": %llu, "
+        "\"reads\": %llu,\n"
+        "     \"writes_per_sec\": %.1f, \"reads_per_sec\": %.1f, "
+        "\"ops_per_sec\": %.1f,\n"
+        "     \"write_p50_ms\": %.3f, \"write_p99_ms\": %.3f, "
+        "\"write_max_ms\": %.3f,\n"
+        "     \"read_p50_ms\": %.3f, \"read_p99_ms\": %.3f, "
+        "\"read_max_ms\": %.3f,\n"
+        "     \"merges\": %llu, \"merge_aborts\": %llu, "
+        "\"bytes_merged\": %llu, \"backpressure_hits\": %llu, "
+        "\"last_merge_ms\": %.1f,\n"
+        "     \"end_runs\": %zu, \"end_overlay_bytes\": %zu, "
+        "\"end_frozen_bytes\": %zu}%s\n",
+        r.preload, r.warmup_batches, r.batch, r.churn_start,
+        r.compaction ? "true" : "false", r.duration_s,
+        static_cast<unsigned long long>(r.writes),
+        static_cast<unsigned long long>(r.facts),
+        static_cast<unsigned long long>(r.reads), r.writes_per_sec,
+        r.reads_per_sec, r.ops_per_sec, r.write_p50_ms, r.write_p99_ms,
+        r.write_max_ms, r.read_p50_ms, r.read_p99_ms, r.read_max_ms,
+        static_cast<unsigned long long>(r.merges),
+        static_cast<unsigned long long>(r.merge_aborts),
+        static_cast<unsigned long long>(r.bytes_merged),
+        static_cast<unsigned long long>(r.backpressure_hits),
+        r.last_merge_ms, r.end_runs, r.end_overlay_bytes,
+        r.end_frozen_bytes, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t preload = 10000;
+  std::vector<size_t> shapes = {100, 400, 1600};
+  size_t batch = 64;
+  int readers = 3;
+  int writers = 2;
+  int duration_ms = 2000;
+  std::string json_path;
+  bool check = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--preload" && i + 1 < argc) {
+      preload = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--shapes" && i + 1 < argc) {
+      shapes.clear();
+      std::string list = argv[++i];
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        shapes.push_back(static_cast<size_t>(
+            std::atoll(list.substr(pos, comma - pos).c_str())));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--readers" && i + 1 < argc) {
+      readers = std::atoi(argv[++i]);
+    } else if (arg == "--writers" && i + 1 < argc) {
+      writers = std::atoi(argv[++i]);
+    } else if (arg == "--duration-ms" && i + 1 < argc) {
+      duration_ms = std::atoi(argv[++i]);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--check") {
+      check = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--preload N] [--shapes 100,400,1600] "
+                   "[--batch N] [--readers N] [--writers N] "
+                   "[--duration-ms N] [--json FILE] [--check]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (check) {
+    // Smoke configuration: small and fast, still both modes end to end
+    // with enough warmup churn to trip the 128 KiB merge trigger.
+    preload = 2000;
+    shapes = {60};
+    duration_ms = 400;
+  }
+
+  std::vector<Row> rows;
+  for (size_t shape : shapes) {
+    for (bool compaction : {false, true}) {
+      Row row = RunShape(preload, shape, batch, readers, writers,
+                         duration_ms, compaction);
+      std::fprintf(stderr,
+                   "shape=%zu (churn %zu) compaction=%s: %.0f ops/s "
+                   "(%.0f browses/s, %.0f commits/s), read p99 %.2f ms "
+                   "max %.2f ms, %llu merges\n",
+                   shape, row.churn_start, compaction ? "on" : "off",
+                   row.ops_per_sec, row.reads_per_sec, row.writes_per_sec,
+                   row.read_p99_ms, row.read_max_ms,
+                   static_cast<unsigned long long>(row.merges));
+      rows.push_back(row);
+    }
+  }
+
+  if (check) {
+    size_t errors = 0;
+    for (const Row& r : rows) {
+      if (r.reads == 0 || r.writes == 0) {
+        std::fprintf(stderr,
+                     "--check failed: empty row (shape=%zu compaction=%d)\n",
+                     r.warmup_batches, (int)r.compaction);
+        ++errors;
+      }
+      if (r.compaction && r.merges == 0) {
+        std::fprintf(stderr, "--check failed: compactor never merged\n");
+        ++errors;
+      }
+      if (!r.compaction && r.merges != 0) {
+        std::fprintf(stderr,
+                     "--check failed: merges counted with compaction off\n");
+        ++errors;
+      }
+    }
+    if (errors != 0) return 1;
+    std::fprintf(stderr, "--check passed: %zu rows\n", rows.size());
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    WriteJson(out, rows);
+    std::fclose(out);
+  } else {
+    WriteJson(stdout, rows);
+  }
+  return 0;
+}

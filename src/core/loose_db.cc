@@ -1,5 +1,7 @@
 #include "core/loose_db.h"
 
+#include <algorithm>
+
 #include "rules/builtin_rules.h"
 #include "store/text_format.h"
 #include "util/failpoint.h"
@@ -110,6 +112,14 @@ bool LooseDb::Assert(const Fact& f) {
     // in wal_error_ and the poisoned log refuses further appends.
     (void)LogAssert(f);
     MaintainIncremental(f, /*asserted=*/true);
+    if (f.relationship == kEntIn && f.target == kEntClassRel) {
+      // Marking a class relationship changes which old facts pass the
+      // rules' VarConstraints, so the closure is not merely extended by
+      // this fact — force the full recompute.
+      closure_extension_ok_ = false;
+    } else if (closure_extension_ok_) {
+      closure_delta_.push_back(f);
+    }
   }
   return inserted;
 }
@@ -119,6 +129,10 @@ bool LooseDb::Retract(const Fact& f) {
   if (erased) {
     (void)LogRetract(f);
     MaintainIncremental(f, /*asserted=*/false);
+    // The closure is only monotone under addition; a retraction may
+    // invalidate derived facts, so the extension shortcut is off until
+    // the next full recompute.
+    closure_extension_ok_ = false;
   }
   return erased;
 }
@@ -223,11 +237,52 @@ StatusOr<const ClosureView*> LooseDb::View() const {
     if (closure_options.budget == nullptr) {
       closure_options.budget = read_budget_;
     }
-    auto closure = engine_.ComputeClosure(rules_, closure_options);
-    if (!closure.ok()) return closure.status();
-    closure_ = std::move(*closure);
+    // Incremental extension (the serving path's common case): when the
+    // only change since the cached closure is a known list of asserted
+    // facts, seed a semi-naive fixpoint with exactly that delta on
+    // clones of the cached tiers instead of recomputing from scratch.
+    // The version arithmetic proves the delta is complete; mutations
+    // that bypass Assert bump the version without growing the delta and
+    // fail the check. A failed attempt leaves `closure_` untouched (the
+    // extension ran on clones), so falling back is safe.
+    bool extended = false;
+    if (closure_ != nullptr && closure_extension_ok_ &&
+        closure_rules_version_ == rules_version_ &&
+        !closure_delta_.empty() &&
+        store_.version() == closure_store_version_ + closure_delta_.size() &&
+        closure_options.strategy == ClosureOptions::Strategy::kSemiNaive) {
+      std::vector<Fact> delta = closure_delta_;
+      std::sort(delta.begin(), delta.end(), OrderSrt());
+      delta.erase(std::unique(delta.begin(), delta.end()), delta.end());
+      // A newly asserted fact that the seed closure had *derived* would
+      // end up in both tiers (base gains it, derived keeps it), breaking
+      // their disjointness; recompute instead.
+      bool collision = false;
+      for (const Fact& f : delta) {
+        if (closure_->derived().Contains(f)) {
+          collision = true;
+          break;
+        }
+      }
+      if (!collision) {
+        auto ext = engine_.ExtendClosure(
+            rules_, closure_->base().Clone(), closure_->derived().Clone(),
+            closure_->stats(), std::move(delta), closure_options);
+        if (ext.ok()) {
+          closure_ = std::move(*ext);
+          extended = true;
+        }
+      }
+    }
+    if (!extended) {
+      auto closure = engine_.ComputeClosure(rules_, closure_options);
+      if (!closure.ok()) return closure.status();
+      closure_ = std::move(*closure);
+    }
     closure_store_version_ = store_.version();
     closure_rules_version_ = rules_version_;
+    closure_delta_.clear();
+    closure_extension_ok_ = true;
   }
   return &closure_->view();
 }
@@ -301,6 +356,11 @@ Status LooseDb::CloneInto(LooseDb* out) const {
     out->store_.Assert(f);
     return true;
   });
+  // The replay above counted only inserts; adopt the source's full
+  // mutation clock (inserts + retracts) or an assert following a
+  // retract could land the clone back on the source's version and be
+  // mistaken for a no-op by the commit path.
+  out->store_.set_version(store_.version());
   out->rules_ = rules_;
   ++out->rules_version_;
   out->composition_limit_ = composition_limit_;
@@ -311,6 +371,89 @@ Status LooseDb::CloneInto(LooseDb* out) const {
     copy.body = d.body.Clone();
     LSD_RETURN_IF_ERROR(out->definitions_.Add(std::move(copy)));
   }
+  out->storage_generation_ = storage_generation_;
+  // Transplant the closure when it is current: the frozen segments
+  // travel by shared pointer and the overlays by deep copy, so the
+  // commit path inherits the seed closure instead of recomputing it —
+  // View() on the clone then extends it with just the commit's new
+  // facts. Skipped when either side maintains incrementally (different
+  // derived representation) or the closure is stale (the clone would
+  // inherit a wrong cache).
+  if (!options_.incremental_maintenance &&
+      !out->options_.incremental_maintenance && closure_ != nullptr &&
+      closure_store_version_ == store_.version() &&
+      closure_rules_version_ == rules_version_) {
+    out->closure_ = std::make_unique<Closure>(
+        &out->store_, &out->math_, closure_->base().Clone(),
+        closure_->derived().Clone(), closure_->stats());
+    out->closure_store_version_ = out->store_.version();
+    out->closure_rules_version_ = out->rules_version_;
+    out->closure_delta_.clear();
+    out->closure_extension_ok_ = true;
+  }
+  return Status::OK();
+}
+
+StatusOr<LooseDb::CompactionPlan> LooseDb::BuildCompactionPlan() const {
+  if (options_.incremental_maintenance) {
+    return Status::FailedPrecondition(
+        "compaction requires the batch (non-incremental) closure");
+  }
+  LSD_RETURN_IF_ERROR(View().status());
+  CompactionPlan plan;
+  auto build = [](const DeltaIndex& tier, TierPlan* tp) {
+    // One segment and no overlay is already fully compacted.
+    if (tier.segment_count() <= 1 && tier.overlay_size() == 0) return;
+    tp->old_segments = tier.segments();
+    FrozenIndex merged = tier.BuildMerged();
+    if (merged.size() != 0) {
+      tp->merged =
+          std::make_shared<const FrozenIndex>(std::move(merged));
+    }
+  };
+  build(closure_->base(), &plan.base);
+  build(closure_->derived(), &plan.derived);
+  return plan;
+}
+
+Status LooseDb::InstallCompactedTiers(const CompactionPlan& plan) {
+  if (options_.incremental_maintenance) {
+    return Status::FailedPrecondition(
+        "compaction requires the batch (non-incremental) closure");
+  }
+  if (plan.empty()) return Status::OK();
+  LSD_RETURN_IF_ERROR(View().status());
+  // Validate both tiers before mutating either, so a stale plan aborts
+  // with the closure fully intact — the swap below can then no longer
+  // fail halfway.
+  auto prefix_current = [](const TierPlan& tp, const DeltaIndex& tier) {
+    if (tp.trivial()) return true;
+    const auto& segs = tier.segments();
+    if (tp.old_segments.size() > segs.size()) return false;
+    for (size_t i = 0; i < tp.old_segments.size(); ++i) {
+      if (segs[i].get() != tp.old_segments[i].get()) return false;
+    }
+    return true;
+  };
+  if (!prefix_current(plan.base, closure_->base()) ||
+      !prefix_current(plan.derived, closure_->derived())) {
+    return Status::Aborted(
+        "compaction plan is stale: tier generations changed since the pin");
+  }
+  auto apply = [](const TierPlan& tp, DeltaIndex* tier) -> Status {
+    if (tp.trivial()) return Status::OK();
+    if (!tier->SwapMergedPrefix(tp.old_segments, tp.merged)) {
+      return Status::Internal("compaction swap failed after validation");
+    }
+    return Status::OK();
+  };
+  LSD_RETURN_IF_ERROR(apply(plan.base, closure_->mutable_base()));
+  // Crash window between the two tier swaps: this runs on an unpublished
+  // commit clone and writes no WAL records, so recovery (crash-torture's
+  // compact.swap trials) must never see the half-swapped state.
+  LSD_FAILPOINT(compact.swap);
+  LSD_RETURN_IF_ERROR(apply(plan.derived, closure_->mutable_derived()));
+  ++storage_generation_;
   return Status::OK();
 }
 

@@ -149,12 +149,46 @@ class LooseDb {
   // In incremental-maintenance mode the derived tier is a plain triple
   // index; its bytes are reported as overlay bytes with no frozen run.
   struct StorageMemory {
-    FrozenIndex::Memory base;     // frozen columnar snapshot of asserted
-                                  // facts (run + permutations + offsets)
-    DeltaIndex::Memory derived;   // derived tier: frozen run + overlays
+    DeltaIndex::Memory base;      // generational snapshot of the asserted
+                                  // facts (segments + overlay)
+    DeltaIndex::Memory derived;   // derived tier, same shape
     size_t total() const { return base.total() + derived.total(); }
   };
   StatusOr<StorageMemory> MemoryUsage() const;
+
+  // ---- Background compaction ---------------------------------------------
+  // A serving tip extends its closure tiers across epochs (see View()),
+  // so frozen segments and overlay facts accumulate; the background
+  // compactor (store/compactor.h, driven by the serving layer) folds them
+  // into one CSR generation per tier. The protocol is pin → build → swap:
+  // BuildCompactionPlan reads an immutable, warmed epoch's tiers and
+  // merges them off the commit path; InstallCompactedTiers, run inside a
+  // later commit's mutation on the unpublished clone, validates that the
+  // planned segments are still the tiers' prefix (shared_ptr identity —
+  // they travel across epochs by pointer) and swaps the merged generation
+  // in. A stale plan (a foreground tail-merge consumed a pinned segment
+  // meanwhile) returns Aborted and the caller retries against the current
+  // tip. Compaction writes no WAL records: it is a storage-layout change
+  // with no logical content, so it is a durability no-op and shipped WAL
+  // bytes are unchanged for replication.
+  struct TierPlan {
+    // The segment prefix the merge was built from (empty = overlay-only
+    // fold) and its single-segment replacement (null when the tier had
+    // nothing to fold).
+    std::vector<std::shared_ptr<const FrozenIndex>> old_segments;
+    std::shared_ptr<const FrozenIndex> merged;
+    bool trivial() const { return old_segments.empty() && merged == nullptr; }
+  };
+  struct CompactionPlan {
+    TierPlan base;
+    TierPlan derived;
+    bool empty() const { return base.trivial() && derived.trivial(); }
+  };
+  StatusOr<CompactionPlan> BuildCompactionPlan() const;
+  Status InstallCompactedTiers(const CompactionPlan& plan);
+  // Bumped by every InstallCompactedTiers: lets the serving layer tell a
+  // compaction-only commit (must publish) from a true no-op (skipped).
+  uint64_t storage_generation() const { return storage_generation_; }
 
   // Sec 2.6: valid databases have contradiction-free closures.
   Status CheckIntegrity() const;
@@ -309,6 +343,21 @@ class LooseDb {
   mutable std::unique_ptr<Closure> closure_;
   mutable uint64_t closure_store_version_ = 0;
   mutable uint64_t closure_rules_version_ = 0;
+
+  // Monotone delta since the cached closure was fixed: the facts
+  // asserted through Assert() with no intervening retraction or
+  // class-relationship marking. View() extends the cached closure with
+  // exactly these (RuleEngine::ExtendClosure) instead of recomputing,
+  // provided the version arithmetic proves the list is complete: every
+  // store-version bump since the closure was keyed must correspond to
+  // one captured fact (mutations that bypass Assert — LoadText,
+  // Recover, MarkClassRelationship — bump the version without growing
+  // the delta and thus force the full recompute).
+  mutable std::vector<Fact> closure_delta_;
+  mutable bool closure_extension_ok_ = true;
+  // Bumped by InstallCompactedTiers (storage layout changed with no
+  // logical change); copied by CloneInto.
+  uint64_t storage_generation_ = 0;
 
   // Generalization lattice cache, keyed the same way. Rebuilding the
   // lattice is a full closure scan, and probing needs it on every call.

@@ -6,14 +6,14 @@ namespace lsd {
 
 ClosureView::ClosureView(const FactStore* store, const FactSource* derived,
                          const MathProvider* math,
-                         const FrozenIndex* frozen_base)
+                         const DeltaIndex* base_index)
     : store_(store),
       derived_(derived),
       math_(math),
-      frozen_base_(frozen_base) {}
+      base_index_(base_index) {}
 
 bool ClosureView::StoredContains(const Fact& f) const {
-  const bool in_base = frozen_base_ != nullptr ? frozen_base_->Contains(f)
+  const bool in_base = base_index_ != nullptr ? base_index_->Contains(f)
                                                : store_->Contains(f);
   if (in_base) return true;
   return derived_ != nullptr && derived_->Contains(f);
@@ -24,8 +24,8 @@ bool ClosureView::ForEachStored(const Pattern& p,
   // Base and derived are disjoint by construction (the rule engine never
   // re-derives an asserted fact), so plain concatenation is duplicate
   // free.
-  if (frozen_base_ != nullptr) {
-    if (!frozen_base_->ForEach(p, visit)) return false;
+  if (base_index_ != nullptr) {
+    if (!base_index_->ForEach(p, visit)) return false;
   } else {
     if (!store_->base().ForEach(p, visit)) return false;
   }
@@ -186,8 +186,8 @@ bool ClosureView::SortedFreeValues(const Pattern& p,
     return false;
   }
   if (derived_ == nullptr) {
-    return frozen_base_ != nullptr
-               ? frozen_base_->SortedFreeValues(p, scratch, out)
+    return base_index_ != nullptr
+               ? base_index_->SortedFreeValues(p, scratch, out)
                : store_->base().SortedFreeValues(p, scratch, out);
   }
   // The base run goes into the caller's scratch so that when the derived
@@ -197,8 +197,8 @@ bool ClosureView::SortedFreeValues(const Pattern& p,
   // another copy.
   SortedIdSpan base_vals;
   const bool base_ok =
-      frozen_base_ != nullptr
-          ? frozen_base_->SortedFreeValues(p, scratch, &base_vals)
+      base_index_ != nullptr
+          ? base_index_->SortedFreeValues(p, scratch, &base_vals)
           : store_->base().SortedFreeValues(p, scratch, &base_vals);
   if (!base_ok) return false;
   std::vector<EntityId> derived_scratch;
@@ -252,8 +252,8 @@ bool ClosureView::Enumerable(const Pattern& p) const {
 double ClosureView::EstimateMatchesBound(const Pattern& p,
                                          uint8_t bound_mask) const {
   auto stored = [&](const Pattern& q) {
-    double n = frozen_base_ != nullptr
-                   ? frozen_base_->EstimateMatchesBound(q, bound_mask)
+    double n = base_index_ != nullptr
+                   ? base_index_->EstimateMatchesBound(q, bound_mask)
                    : store_->base_source().EstimateMatchesBound(q, bound_mask);
     if (derived_ != nullptr) {
       n += derived_->EstimateMatchesBound(q, bound_mask);
@@ -299,7 +299,7 @@ double ClosureView::EstimateMatchesBound(const Pattern& p,
 }
 
 size_t ClosureView::EstimateMatches(const Pattern& p) const {
-  size_t n = frozen_base_ != nullptr ? frozen_base_->CountMatches(p)
+  size_t n = base_index_ != nullptr ? base_index_->CountMatches(p)
                                      : store_->base().CountMatches(p);
   if (derived_ != nullptr) n += derived_->EstimateMatches(p);
   if (p.RelationshipBound() && MathProvider::IsComparator(p.relationship)) {

@@ -21,6 +21,7 @@
 #define LSD_RULES_CLOSURE_VIEW_H_
 
 #include "rules/math_provider.h"
+#include "store/delta_index.h"
 #include "store/fact_store.h"
 #include "store/frozen_index.h"
 #include "store/triple_index.h"
@@ -30,16 +31,16 @@ namespace lsd {
 class ClosureView final : public FactSource {
  public:
   // All pointers are borrowed and must outlive the view. `derived` is any
-  // FactSource holding the rule engine's output (the two-tier DeltaIndex
-  // for batch closures, an IndexSource for the incremental engine); it
-  // may be null (no rules applied). `frozen_base`, when non-null, is a
-  // columnar snapshot of exactly the store's asserted facts: the view
-  // then serves the base layer from its contiguous slices instead of the
-  // store's node-based index. Pass null when the store may mutate under
-  // the view (the incremental engine).
+  // FactSource holding the rule engine's output (the generational
+  // DeltaIndex for batch closures, an IndexSource for the incremental
+  // engine); it may be null (no rules applied). `base_index`, when
+  // non-null, is a generational snapshot of exactly the store's asserted
+  // facts: the view then serves the base layer from its columnar
+  // segments instead of the store's node-based index. Pass null when the
+  // store may mutate under the view (the incremental engine).
   ClosureView(const FactStore* store, const FactSource* derived,
               const MathProvider* math,
-              const FrozenIndex* frozen_base = nullptr);
+              const DeltaIndex* base_index = nullptr);
 
   bool Contains(const Fact& f) const override;
   bool ForEach(const Pattern& p, const FactVisitor& visit) const override;
@@ -79,7 +80,7 @@ class ClosureView final : public FactSource {
   const FactStore* store_;
   const FactSource* derived_;
   const MathProvider* math_;
-  const FrozenIndex* frozen_base_;
+  const DeltaIndex* base_index_;
 };
 
 }  // namespace lsd

@@ -45,7 +45,7 @@ struct RoundContext {
   const std::vector<PinnedRule>* prules;
   const FactStore* store;
   const MathProvider* math;
-  const FrozenIndex* base;
+  const DeltaIndex* base;
   const DeltaIndex* derived;
   // class_rel[e] caches store->IsClassRelationship(e) for every interned
   // entity: the var filter probes it per candidate binding, and a flat
@@ -105,7 +105,7 @@ FilterFn MakeFilterFn(const RoundContext& ctx, const Rule& rule) {
 // and the Substitute/Contains chain inlines into the join loops.
 struct DeriveFn {
   const MathProvider* math;
-  const FrozenIndex* base;
+  const DeltaIndex* base;
   const DeltaIndex* derived;
   const Rule* rule;
   WorkerResult* out;
@@ -275,7 +275,45 @@ StatusOr<std::unique_ptr<Closure>> RuleEngine::ComputeClosure(
     if (!rule.enabled) continue;
     LSD_RETURN_IF_ERROR(rule.Validate());
   }
+  // Read-only generational snapshot of the asserted facts: the store
+  // cannot change during the fixpoint, and frozen segments are much
+  // faster to probe than the store's node-based index.
+  DeltaIndex base(FrozenIndex::FromTripleIndex(store_->base()));
+  std::vector<Fact> delta_facts;
+  if (options.strategy == ClosureOptions::Strategy::kSemiNaive) {
+    // Round 1 treats every asserted fact as new.
+    delta_facts = base.Materialize();
+  }
+  return RunFixpoint(rules, options, std::move(base), DeltaIndex(),
+                     ClosureStats(), std::move(delta_facts),
+                     /*fire_virtual_only=*/true);
+}
 
+StatusOr<std::unique_ptr<Closure>> RuleEngine::ExtendClosure(
+    const std::vector<Rule>& rules, DeltaIndex base, DeltaIndex derived,
+    ClosureStats stats, std::vector<Fact> new_facts,
+    const ClosureOptions& options) const {
+  if (options.strategy != ClosureOptions::Strategy::kSemiNaive) {
+    return Status::InvalidArgument(
+        "ExtendClosure requires the semi-naive strategy");
+  }
+  for (const Rule& rule : rules) {
+    if (!rule.enabled) continue;
+    LSD_RETURN_IF_ERROR(rule.Validate());
+  }
+  // The new facts join the base tier, then seed the first semi-naive
+  // round. Virtual-only rules are skipped: they fired when the seed
+  // closure was computed, and nothing they read has changed.
+  base.InsertRun(new_facts);
+  return RunFixpoint(rules, options, std::move(base), std::move(derived),
+                     stats, std::move(new_facts),
+                     /*fire_virtual_only=*/false);
+}
+
+StatusOr<std::unique_ptr<Closure>> RuleEngine::RunFixpoint(
+    const std::vector<Rule>& rules, const ClosureOptions& options,
+    DeltaIndex base, DeltaIndex derived, ClosureStats stats,
+    std::vector<Fact> delta_facts, bool fire_virtual_only) const {
   const bool semi_naive =
       options.strategy == ClosureOptions::Strategy::kSemiNaive;
   size_t num_threads = options.num_threads;
@@ -283,12 +321,6 @@ StatusOr<std::unique_ptr<Closure>> RuleEngine::ComputeClosure(
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
 
-  // Read-only snapshot of the asserted facts: the store cannot change
-  // during the fixpoint, and a frozen run is much faster to probe than
-  // the store's node-based index. Derived facts accumulate in a
-  // two-tier index that is compacted into frozen runs as it grows.
-  FrozenIndex base = FrozenIndex::FromTripleIndex(store_->base());
-  DeltaIndex derived;
   UnionSource full({&base, &derived, math_});
   std::vector<uint8_t> class_rel(store_->entities().size());
   for (EntityId e = 0; e < class_rel.size(); ++e) {
@@ -329,14 +361,13 @@ StatusOr<std::unique_ptr<Closure>> RuleEngine::ComputeClosure(
   }
   ctx.prules = &prules;
 
-  ClosureStats stats;
-  // Round 1 treats every asserted fact as new.
-  std::vector<Fact> delta_facts =
-      semi_naive ? base.Materialize() : std::vector<Fact>();
-
   bool first_round = true;
+  // `stats.rounds` accumulates across a seed closure and its extensions;
+  // the convergence valve bounds only this run.
+  size_t rounds_this_run = 0;
   for (;;) {
-    if (++stats.rounds > options.max_rounds) {
+    ++stats.rounds;
+    if (++rounds_this_run > options.max_rounds) {
       return Status::FailedPrecondition(
           "closure did not converge within max_rounds");
     }
@@ -356,7 +387,7 @@ StatusOr<std::unique_ptr<Closure>> RuleEngine::ComputeClosure(
       stats.candidate_facts += seq.candidate_facts;
       merged = std::move(seq.candidates);
     } else {
-      if (first_round) {
+      if (first_round && fire_virtual_only) {
         for (const Rule* rule : virtual_only) {
           LSD_RETURN_IF_ERROR(MatchFullRule(ctx, *rule, full, &seq));
         }
@@ -402,6 +433,10 @@ StatusOr<std::unique_ptr<Closure>> RuleEngine::ComputeClosure(
     std::sort(merged.begin(), merged.end(), OrderSrt());
     merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
     if (merged.empty()) break;
+    // InsertRun appends an L0 segment (or overlay facts) plus a bounded
+    // geometric tail-merge — never a full rebuild, so the commit path no
+    // longer stalls when the derived set crosses a size threshold;
+    // merging generations down is the background compactor's job.
     derived.InsertRun(merged);
     if (derived.size() > options.max_derived_facts) {
       return Status::OutOfRange(
@@ -409,7 +444,6 @@ StatusOr<std::unique_ptr<Closure>> RuleEngine::ComputeClosure(
           std::to_string(options.max_derived_facts) +
           "); consider excluding rules or raising the limit");
     }
-    derived.MaybeCompact();
     delta_facts = std::move(merged);
     first_round = false;
   }

@@ -63,16 +63,20 @@ struct ClosureStats {
   size_t candidate_facts = 0;
 };
 
-// The materialized closure. Owns the derived fact index, plus the frozen
-// columnar snapshot of the asserted facts the fixpoint ran against, and
-// exposes the queryable view (base ∪ derived ∪ virtual layers). The view
-// serves the base layer from the frozen snapshot — valid because any
-// store mutation bumps the store version and invalidates the whole
-// closure.
+// The materialized closure. Owns two generational tiers — the columnar
+// snapshot of the asserted facts the fixpoint ran against (base) and the
+// derived fact index — and exposes the queryable view (base ∪ derived ∪
+// virtual layers). The view serves the base layer from the snapshot —
+// valid because any store mutation bumps the store version and
+// invalidates the whole closure. Both tiers are DeltaIndexes, so a
+// serving tip can extend them across epochs (RuleEngine::ExtendClosure)
+// and the background compactor can fold their accumulated segments
+// (LooseDb::InstallCompactedTiers, which uses the mutable accessors —
+// only ever on a private, unpublished clone).
 class Closure {
  public:
   Closure(const FactStore* store, const MathProvider* math,
-          FrozenIndex base, DeltaIndex derived, ClosureStats stats)
+          DeltaIndex base, DeltaIndex derived, ClosureStats stats)
       : base_(std::move(base)),
         derived_(std::move(derived)),
         stats_(stats),
@@ -81,13 +85,20 @@ class Closure {
   Closure(const Closure&) = delete;
   Closure& operator=(const Closure&) = delete;
 
-  const FrozenIndex& base() const { return base_; }
+  const DeltaIndex& base() const { return base_; }
   const DeltaIndex& derived() const { return derived_; }
   const ClosureView& view() const { return view_; }
   const ClosureStats& stats() const { return stats_; }
 
+  // In-place tier surgery for the compaction swap. The view holds stable
+  // pointers to both tiers, so swapping their segment lists under it is
+  // safe — but only while no reader can see this closure (a commit
+  // clone before publication).
+  DeltaIndex* mutable_base() { return &base_; }
+  DeltaIndex* mutable_derived() { return &derived_; }
+
  private:
-  FrozenIndex base_;
+  DeltaIndex base_;
   DeltaIndex derived_;
   ClosureStats stats_;
   ClosureView view_;
@@ -106,7 +117,33 @@ class RuleEngine {
       const std::vector<Rule>& rules,
       const ClosureOptions& options = ClosureOptions()) const;
 
+  // Extends a previously computed closure with `new_facts` — the facts
+  // asserted since `base`/`derived` were fixed — by running semi-naive
+  // rounds whose first delta is exactly the new facts. Because the
+  // closure is monotone in the asserted facts (the caller guarantees no
+  // retraction, no rule change, and no class-relationship re-marking
+  // happened since), every derivation involving at least one new fact is
+  // found and everything else is already present, so the result equals
+  // ComputeClosure from scratch. Preconditions (caller-checked):
+  // `new_facts` is SRT-sorted, duplicate-free, disjoint from both tiers,
+  // and the strategy is kSemiNaive. `stats` is the seed closure's stats,
+  // accumulated into. Virtual-only rules are skipped (they fired when
+  // the seed was computed).
+  StatusOr<std::unique_ptr<Closure>> ExtendClosure(
+      const std::vector<Rule>& rules, DeltaIndex base, DeltaIndex derived,
+      ClosureStats stats, std::vector<Fact> new_facts,
+      const ClosureOptions& options = ClosureOptions()) const;
+
  private:
+  // Shared fixpoint driver: seeds the first round with `delta_facts`
+  // and loops until no new fact is derived. `fire_virtual_only` controls
+  // whether rules with no pinnable atom fire in round 1 (fresh closures
+  // yes, extensions no).
+  StatusOr<std::unique_ptr<Closure>> RunFixpoint(
+      const std::vector<Rule>& rules, const ClosureOptions& options,
+      DeltaIndex base, DeltaIndex derived, ClosureStats stats,
+      std::vector<Fact> delta_facts, bool fire_virtual_only) const;
+
   const FactStore* store_;
   const MathProvider* math_;
 };

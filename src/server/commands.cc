@@ -341,13 +341,15 @@ StatusOr<std::string> ServerSession::RenderStats() {
   }
   auto mem = db.MemoryUsage();
   if (mem.ok()) {
-    out += "frozen tier:    " + std::to_string(mem->base.total()) +
-           " bytes (run " + std::to_string(mem->base.run_bytes) +
-           ", perms " + std::to_string(mem->base.perm_bytes) +
-           ", offsets " + std::to_string(mem->base.offset_bytes) + ")\n";
+    out += "base tier:      " + std::to_string(mem->base.total()) +
+           " bytes (frozen " + std::to_string(mem->base.frozen.total()) +
+           " in " + std::to_string(mem->base.runs) + " segments, overlay " +
+           std::to_string(mem->base.overlay_bytes) + ")\n";
     out += "derived tier:   " + std::to_string(mem->derived.total()) +
            " bytes (frozen " + std::to_string(mem->derived.frozen.total()) +
-           ", overlay " + std::to_string(mem->derived.overlay_bytes) + ")\n";
+           " in " + std::to_string(mem->derived.runs) +
+           " segments, overlay " +
+           std::to_string(mem->derived.overlay_bytes) + ")\n";
   }
   out += "rules:          " + std::to_string(db.rules().size()) + "\n";
   const uint64_t hits = db.planner_hits();
@@ -375,6 +377,23 @@ StatusOr<std::string> ServerSession::RenderStats() {
            " batches, " + std::to_string(gc.fsyncs) + " fsyncs (" +
            std::to_string(gc.slots_acked) + " writes acked)" +
            (store_->wal_status().ok() ? "" : " [DEGRADED]") + "\n";
+  }
+  if (store_->compaction_enabled()) {
+    const CompactionStats cs = store_->compaction_stats();
+    out += std::string("compaction:     ") +
+           (cs.merging ? "merging" : (cs.running ? "idle" : "stopped")) +
+           ", " + std::to_string(cs.merges) + " merges (" +
+           std::to_string(cs.aborted) + " aborted, " +
+           std::to_string(cs.failures) + " failed)\n";
+    out += "  generations:  " + std::to_string(cs.shape.runs) +
+           " runs pending, frozen " +
+           std::to_string(cs.shape.frozen_bytes) + " bytes, overlay " +
+           std::to_string(cs.shape.overlay_bytes) + " bytes\n";
+    out += "  merged:       " + std::to_string(cs.facts_merged) +
+           " facts / " + std::to_string(cs.bytes_merged) +
+           " bytes, last merge " + std::to_string(cs.last_merge_ms) +
+           " ms, backpressure hits " +
+           std::to_string(cs.backpressure_hits) + "\n";
   }
   if (replication_ != nullptr) {
     const ReplicationStatus rs = replication_->Sample();

@@ -16,6 +16,8 @@ SharedStore::SharedStore(const LooseDbOptions& options)
   published_ = std::make_shared<const Epoch>(std::move(db), 0);
 }
 
+SharedStore::~SharedStore() { StopCompaction(); }
+
 Status SharedStore::OpenDurable(const std::string& path_prefix,
                                 const SharedStoreDurability& durability) {
   if (wal_.is_open()) {
@@ -62,6 +64,17 @@ StatusOr<EpochPtr> SharedStore::ReplaceTip(std::unique_ptr<LooseDb> db,
 }
 
 StatusOr<EpochPtr> SharedStore::Commit(
+    const std::function<Status(LooseDb&)>& mutate) {
+  // Writer backpressure: when the tip's segment backlog runs far ahead
+  // of the merger, slow this writer down before it enqueues — never a
+  // reader, which pins whatever epoch is already published.
+  if (compactor_ != nullptr) {
+    compactor_->MaybeBackpressure(SampleShape());
+  }
+  return CommitInternal(mutate);
+}
+
+StatusOr<EpochPtr> SharedStore::CommitInternal(
     const std::function<Status(LooseDb&)>& mutate) {
   // A failure here models the commit dying before any work: readers
   // keep the old tip, nothing is half-published, no slot is enqueued.
@@ -160,11 +173,17 @@ void SharedStore::ProcessGroup(std::vector<CommitSlot*> group) {
                             std::memory_order_relaxed);
   if (group.empty()) return;  // every slot failed; results already set
 
-  // No-op group: nothing to log, warm, or publish.
-  if (next->store_version() == tip->db().store_version() &&
+  // No-op group: nothing to log, warm, or publish. A compaction-only
+  // group changes no logical content but DOES bump the storage
+  // generation — it must still publish, or the merged tiers would be
+  // lost with the clone.
+  const bool logical_noop =
+      next->store_version() == tip->db().store_version() &&
       next->rules_version() == tip->db().rules_version() &&
       next->definitions().all().size() ==
-          tip->db().definitions().all().size()) {
+          tip->db().definitions().all().size();
+  if (logical_noop &&
+      next->storage_generation() == tip->db().storage_generation()) {
     for (CommitSlot* s : group) {
       s->result = Status::OK();
       s->epoch = tip;
@@ -208,6 +227,22 @@ void SharedStore::ProcessGroup(std::vector<CommitSlot*> group) {
       std::move(next), tip->sequence() + 1, NowMs(), wal_pos);
   {
     std::unique_lock<std::shared_mutex> tip_lock(tip_mu_);
+    // A logical no-op (compaction-only) publish must not clobber a tip
+    // that changed under it: on a follower, ReplaceTip (snapshot resync)
+    // bypasses the commit queue, and publishing a clone of the
+    // pre-replace tip would silently undo the replacement. Logical
+    // groups cannot race this way (followers are single-writer), so
+    // only the storage-only publish pays the check; the compactor
+    // simply retries against the new tip.
+    if (logical_noop && published_ != tip) {
+      tip_lock.unlock();
+      for (CommitSlot* s : group) {
+        s->result = Status::Aborted(
+            "tip replaced during a storage-only publish");
+      }
+      slots_rejected_.fetch_add(group.size(), std::memory_order_relaxed);
+      return;
+    }
     published_ = epoch;
   }
   commits_.fetch_add(1);
@@ -216,6 +251,7 @@ void SharedStore::ProcessGroup(std::vector<CommitSlot*> group) {
     s->result = Status::OK();
     s->epoch = epoch;
   }
+  if (compactor_ != nullptr) compactor_->Notify();
   MaybeCheckpoint(epoch);
 }
 
@@ -239,6 +275,89 @@ void SharedStore::MaybeCheckpoint(const EpochPtr& tip) {
     std::lock_guard<std::mutex> error_lock(wal_error_mu_);
     if (wal_error_.ok()) wal_error_ = s;
   }
+}
+
+Status SharedStore::EnableCompaction(const CompactionOptions& options) {
+  if (options_.incremental_maintenance) {
+    return Status::FailedPrecondition(
+        "background compaction requires the batch (non-incremental) "
+        "closure");
+  }
+  if (compactor_ != nullptr) {
+    return Status::FailedPrecondition("compaction is already enabled");
+  }
+  compactor_ = std::make_unique<Compactor>(
+      options, [this] { return SampleShape(); },
+      [this](uint64_t* bytes, uint64_t* facts) {
+        return CompactOnce(bytes, facts);
+      });
+  compactor_->Start();
+  return Status::OK();
+}
+
+void SharedStore::StopCompaction() {
+  if (compactor_ == nullptr) return;
+  compactor_->Stop();
+  compactor_.reset();  // EnableCompaction may be called again
+}
+
+CompactionStats SharedStore::compaction_stats() const {
+  return compactor_ == nullptr ? CompactionStats{} : compactor_->Sample();
+}
+
+CompactionShape SharedStore::SampleShape() const {
+  EpochPtr tip = snapshot();
+  auto mem = tip->db().MemoryUsage();
+  CompactionShape shape;
+  if (!mem.ok()) return shape;  // cold/failed closure: nothing to fold
+  shape.runs = std::max(mem->base.runs, mem->derived.runs);
+  shape.frozen_bytes = mem->base.frozen.total() + mem->derived.frozen.total();
+  shape.overlay_bytes = mem->base.overlay_bytes + mem->derived.overlay_bytes;
+  return shape;
+}
+
+Status SharedStore::CompactOnce(uint64_t* bytes_merged,
+                                uint64_t* facts_merged) {
+  // The pin → build → swap cycle. Building the merged generations is
+  // the expensive part and runs entirely against the pinned, immutable
+  // epoch — no lock held, readers and writers undisturbed. The swap
+  // goes through the ordinary commit path, whose clone transplants the
+  // tip's tiers by shared pointer; if commits that landed meanwhile
+  // tail-merged one of the pinned segments away, the install aborts and
+  // the cycle retries from the fresh tip (bounded: under sustained
+  // hostile interleaving the backlog keeps growing and the NEXT cycle
+  // picks it up — compaction is an optimization, never load-bearing).
+  static constexpr int kMaxAttempts = 4;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    EpochPtr pin = snapshot();
+    // Crash window while merging off-thread: nothing of the merge is
+    // visible anywhere — recovery must find every acked write and no
+    // trace of the half-built generation.
+    LSD_FAILPOINT(compact.merge);
+    auto plan_or = pin->db().BuildCompactionPlan();
+    if (!plan_or.ok()) return plan_or.status();
+    if (plan_or->empty()) return Status::OK();
+    const LooseDb::CompactionPlan& plan = *plan_or;
+    uint64_t bytes = 0;
+    uint64_t facts = 0;
+    for (const LooseDb::TierPlan* tp : {&plan.base, &plan.derived}) {
+      if (tp->merged != nullptr) {
+        bytes += tp->merged->MemoryUsage().total();
+        facts += tp->merged->size();
+      }
+    }
+    auto published = CommitInternal(
+        [&plan](LooseDb& db) { return db.InstallCompactedTiers(plan); });
+    if (published.ok()) {
+      if (bytes_merged != nullptr) *bytes_merged += bytes;
+      if (facts_merged != nullptr) *facts_merged += facts;
+      return Status::OK();
+    }
+    last = published.status();
+    if (!last.IsAborted()) return last;
+  }
+  return last;
 }
 
 GroupCommitStats SharedStore::group_stats() const {

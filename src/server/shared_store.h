@@ -64,6 +64,7 @@
 #include <vector>
 
 #include "core/loose_db.h"
+#include "store/compactor.h"
 #include "util/status.h"
 
 namespace lsd {
@@ -152,6 +153,7 @@ class SharedStore {
   // Publishes an empty (or standard-rules) epoch 0 immediately. Options
   // apply to every epoch (closure threads, composition limit, ...).
   explicit SharedStore(const LooseDbOptions& options = LooseDbOptions());
+  ~SharedStore();  // stops the background compactor, if any
 
   SharedStore(const SharedStore&) = delete;
   SharedStore& operator=(const SharedStore&) = delete;
@@ -226,6 +228,33 @@ class SharedStore {
   // The options every epoch (and session overlay clone) is built with.
   const LooseDbOptions& options() const { return options_; }
 
+  // ---- Background compaction ---------------------------------------------
+  // Starts the merge thread: it watches the tip's tier shape and, when
+  // the trigger policy fires, folds the accumulated closure segments +
+  // overlays into one CSR generation per tier, publishing the swap as an
+  // ordinary (record-free) commit. Works on primaries and followers
+  // alike — compaction writes no WAL records, so shipped bytes are
+  // unchanged and each side compacts independently. FailedPrecondition
+  // on incremental-maintenance stores (different derived representation).
+  Status EnableCompaction(const CompactionOptions& options = {});
+  // Stops and joins the merge thread (idempotent; also run by ~SharedStore).
+  void StopCompaction();
+  bool compaction_enabled() const { return compactor_ != nullptr; }
+  // Zeroed stats when compaction was never enabled.
+  CompactionStats compaction_stats() const;
+
+  // One synchronous pin → build → swap cycle with bounded retries
+  // against the publish race; what the merge thread runs per trigger,
+  // public so tests and torture harnesses can drive compaction
+  // deterministically. Accumulates the merged generations' sizes into
+  // the out-params (which may be null). Returns OK when the tip was
+  // already compact.
+  Status CompactOnce(uint64_t* bytes_merged = nullptr,
+                     uint64_t* facts_merged = nullptr);
+
+  // The tip's tier geometry (the compaction trigger's input).
+  CompactionShape SampleShape() const;
+
  private:
   // One waiting Commit call. Lives on its caller's stack; the leader
   // fills result/epoch, then marks it done under queue_mu_.
@@ -235,6 +264,11 @@ class SharedStore {
     EpochPtr epoch;
     bool done = false;
   };
+
+  // Commit minus the writer backpressure — the compactor's own publishes
+  // must never be throttled by the backlog they are draining.
+  StatusOr<EpochPtr> CommitInternal(
+      const std::function<Status(LooseDb&)>& mutate);
 
   // Leader duties: clone the tip once, apply every slot, batch-log,
   // warm, publish. Fills every slot's result/epoch. Called without
@@ -274,6 +308,10 @@ class SharedStore {
   std::atomic<uint64_t> slots_acked_{0};
   std::atomic<uint64_t> slots_rejected_{0};
   std::atomic<uint64_t> max_group_{0};
+
+  // Background compaction (EnableCompaction). Created once, then only
+  // read concurrently; destroyed by ~SharedStore after Stop().
+  std::unique_ptr<Compactor> compactor_;
 };
 
 }  // namespace lsd

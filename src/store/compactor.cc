@@ -1,0 +1,136 @@
+#include "store/compactor.h"
+
+#include <chrono>
+#include <utility>
+
+namespace lsd {
+
+Compactor::Compactor(const CompactionOptions& options, SampleFn sample,
+                     CompactFn compact)
+    : options_(options),
+      sample_(std::move(sample)),
+      compact_(std::move(compact)) {}
+
+Compactor::~Compactor() { Stop(); }
+
+void Compactor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  notified_ = false;
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Compactor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // joinable() is the "started" flag; reset so Start() can rearm.
+    thread_ = std::thread();
+  }
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void Compactor::Notify() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    notified_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Compactor::ShouldCompact(const CompactionOptions& options,
+                              const CompactionShape& shape) {
+  if (shape.runs == 0 && shape.overlay_bytes == 0) return false;
+  if (options.min_runs != 0 && shape.runs >= options.min_runs) return true;
+  if (shape.overlay_bytes >= options.min_overlay_bytes &&
+      static_cast<double>(shape.overlay_bytes) >=
+          options.overlay_ratio * static_cast<double>(shape.frozen_bytes)) {
+    return true;
+  }
+  return false;
+}
+
+bool Compactor::MaybeBackpressure(const CompactionShape& shape) {
+  if (options_.backpressure_runs == 0 ||
+      shape.runs < options_.backpressure_runs) {
+    return false;
+  }
+  backpressure_hits_.fetch_add(1, std::memory_order_relaxed);
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(options_.backpressure_sleep_ms));
+  return true;
+}
+
+void Compactor::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_ms),
+                 [this] { return stop_ || notified_; });
+    notified_ = false;
+    if (stop_) break;
+    lock.unlock();
+
+    const CompactionShape shape = sample_();
+    shape_runs_.store(shape.runs, std::memory_order_relaxed);
+    shape_frozen_.store(shape.frozen_bytes, std::memory_order_relaxed);
+    shape_overlay_.store(shape.overlay_bytes, std::memory_order_relaxed);
+    if (ShouldCompact(options_, shape)) {
+      merging_.store(true, std::memory_order_relaxed);
+      const auto start = std::chrono::steady_clock::now();
+      uint64_t bytes = 0;
+      uint64_t facts = 0;
+      Status s = compact_(&bytes, &facts);
+      merging_.store(false, std::memory_order_relaxed);
+      if (s.ok()) {
+        if (bytes != 0 || facts != 0) {
+          merges_.fetch_add(1, std::memory_order_relaxed);
+          bytes_merged_.fetch_add(bytes, std::memory_order_relaxed);
+          facts_merged_.fetch_add(facts, std::memory_order_relaxed);
+          last_merge_ms_.store(
+              static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count()),
+              std::memory_order_relaxed);
+        }
+      } else if (s.IsAborted()) {
+        // Lost the publish race after the bounded in-cycle retries; the
+        // next tick starts over from the fresh tip.
+        aborted_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // A real failure (e.g. a budget-tripped closure). The thread
+        // stays up: compaction is an optimization, never load-bearing.
+        failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    lock.lock();
+  }
+}
+
+CompactionStats Compactor::Sample() const {
+  CompactionStats s;
+  s.running = running_.load(std::memory_order_relaxed);
+  s.merging = merging_.load(std::memory_order_relaxed);
+  s.merges = merges_.load(std::memory_order_relaxed);
+  s.aborted = aborted_.load(std::memory_order_relaxed);
+  s.failures = failures_.load(std::memory_order_relaxed);
+  s.bytes_merged = bytes_merged_.load(std::memory_order_relaxed);
+  s.facts_merged = facts_merged_.load(std::memory_order_relaxed);
+  s.last_merge_ms = last_merge_ms_.load(std::memory_order_relaxed);
+  s.backpressure_hits = backpressure_hits_.load(std::memory_order_relaxed);
+  s.shape.runs = shape_runs_.load(std::memory_order_relaxed);
+  s.shape.frozen_bytes = shape_frozen_.load(std::memory_order_relaxed);
+  s.shape.overlay_bytes = shape_overlay_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace lsd

@@ -6,107 +6,232 @@
 
 namespace lsd {
 
+DeltaIndex DeltaIndex::Clone() const {
+  DeltaIndex copy;
+  copy.segments_ = segments_;  // immutable, shared by pointer
+  copy.frozen_count_ = frozen_count_;
+  copy.overlay_.CopyFrom(overlay_);
+  copy.overlay_hash_ = overlay_hash_;
+  return copy;
+}
+
 bool DeltaIndex::Insert(const Fact& f) {
-  if (frozen_.Contains(f)) return false;
+  for (const auto& seg : segments_) {
+    if (seg->Contains(f)) return false;
+  }
   if (!overlay_.Insert(f)) return false;
   overlay_hash_.insert(f);
   return true;
 }
 
+void DeltaIndex::AppendMissingAll(const std::vector<Fact>& run,
+                                  std::vector<Fact>* out) const {
+  // Batched dedup: one lockstep walk of the run against each segment's
+  // sorted rows (see FrozenIndex::AppendMissing) instead of a binary
+  // search per fact, then the overlay's hash probe for whatever survived.
+  if (segments_.empty()) {
+    out->insert(out->end(), run.begin(), run.end());
+  } else {
+    std::vector<Fact> cur = run;
+    std::vector<Fact> next;
+    for (size_t i = 0; i + 1 < segments_.size(); ++i) {
+      next.clear();
+      next.reserve(cur.size());
+      segments_[i]->AppendMissing(cur, &next);
+      cur.swap(next);
+      if (cur.empty()) break;
+    }
+    segments_.back()->AppendMissing(cur, out);
+  }
+  if (!overlay_hash_.empty() && !out->empty()) {
+    out->erase(std::remove_if(out->begin(), out->end(),
+                              [this](const Fact& f) {
+                                return overlay_hash_.count(f) != 0;
+                              }),
+               out->end());
+  }
+}
+
 size_t DeltaIndex::InsertRun(const std::vector<Fact>& run) {
-  // Batched dedup: one lockstep walk of the run against the frozen
-  // tier's sorted rows (see FrozenIndex::AppendMissing) instead of a
-  // binary search per fact, then the overlay's hash probe for whatever
-  // survived — usually everything, the overlay being empty right after a
-  // compaction.
   std::vector<Fact> fresh;
   fresh.reserve(run.size());
-  if (overlay_hash_.empty()) {
-    frozen_.AppendMissing(run, &fresh);
-  } else {
-    std::vector<Fact> not_frozen;
-    not_frozen.reserve(run.size());
-    frozen_.AppendMissing(run, &not_frozen);
-    for (const Fact& f : not_frozen) {
-      if (overlay_hash_.count(f) == 0) fresh.push_back(f);
-    }
-  }
+  AppendMissingAll(run, &fresh);
   if (fresh.empty()) return 0;
   const size_t added = fresh.size();
-  if (added < kCompactMinOverlay) {
+  if (added < kL0MinRun) {
     for (const Fact& f : fresh) {
       overlay_.Insert(f);
       overlay_hash_.insert(f);
     }
-  } else {
-    // Fold any overlay first so the frozen tier stays the single sorted
-    // run; then merge the round in linearly.
-    if (!overlay_.empty()) Compact();
-    frozen_ = FrozenIndex::Merged(frozen_, std::move(fresh));
+    return added;
+  }
+  // A new L0 segment. The overlay is left alone: folding it belongs to
+  // the background compactor, not the insert path.
+  frozen_count_ += added;
+  segments_.push_back(
+      std::make_shared<const FrozenIndex>(FrozenIndex(std::move(fresh))));
+  // Geometric tail-merge (the logarithmic method): keep segment sizes
+  // decreasing by at least 2x oldest-to-newest, so the list stays
+  // O(log n) deep while each merge touches only runs comparable to the
+  // one just inserted — never the whole index.
+  while (segments_.size() >= 2 &&
+         segments_.back()->size() * 2 >=
+             segments_[segments_.size() - 2]->size()) {
+    const FrozenIndex& a = *segments_[segments_.size() - 2];
+    const FrozenIndex& b = *segments_.back();
+    std::vector<Fact> both = a.Materialize();
+    const size_t mid = both.size();
+    std::vector<Fact> newer = b.Materialize();
+    both.insert(both.end(), newer.begin(), newer.end());
+    std::inplace_merge(both.begin(), both.begin() + mid, both.end(),
+                       OrderSrt());
+    segments_.pop_back();
+    segments_.back() =
+        std::make_shared<const FrozenIndex>(FrozenIndex(std::move(both)));
   }
   return added;
 }
 
 bool DeltaIndex::ForEach(const Pattern& p, const FactVisitor& visit) const {
-  if (!frozen_.ForEach(p, visit)) return false;
+  for (const auto& seg : segments_) {
+    if (!seg->ForEach(p, visit)) return false;
+  }
   return overlay_.ForEach(p, visit);
 }
 
 size_t DeltaIndex::CountMatches(const Pattern& p) const {
-  return frozen_.CountMatches(p) + overlay_.CountMatches(p);
+  size_t n = overlay_.CountMatches(p);
+  for (const auto& seg : segments_) n += seg->CountMatches(p);
+  return n;
 }
 
-void DeltaIndex::Compact() {
-  if (overlay_.empty()) return;
-  // Both tiers stream in SRT order, so the concatenation is two sorted
-  // runs; the rebuild's sort is nearly free on such input.
+double DeltaIndex::EstimateMatchesBound(const Pattern& p,
+                                        uint8_t bound_mask) const {
+  double n = ScaleByDistinct(static_cast<double>(overlay_.CountMatches(p)),
+                             bound_mask, overlay_.DistinctSources(),
+                             overlay_.DistinctRelationships(),
+                             overlay_.DistinctTargets());
+  for (const auto& seg : segments_) {
+    n += seg->EstimateMatchesBound(p, bound_mask);
+  }
+  return n;
+}
+
+std::vector<Fact> DeltaIndex::Materialize() const {
+  // Every tier streams in SRT order; successive inplace_merge of sorted
+  // blocks keeps this near-linear for the common few-segment shapes.
   std::vector<Fact> all;
   all.reserve(size());
-  frozen_.ForEach(Pattern(), [&all](const Fact& f) {
-    all.push_back(f);
-    return true;
-  });
-  const auto mid = all.size();
+  for (const auto& seg : segments_) {
+    const size_t mid = all.size();
+    std::vector<Fact> run = seg->Materialize();
+    all.insert(all.end(), run.begin(), run.end());
+    if (mid != 0) {
+      std::inplace_merge(all.begin(), all.begin() + mid, all.end(),
+                         OrderSrt());
+    }
+  }
+  const size_t mid = all.size();
   overlay_.ForEach(Pattern(), [&all](const Fact& f) {
     all.push_back(f);
     return true;
   });
-  std::inplace_merge(all.begin(), all.begin() + mid, all.end(), OrderSrt());
-  frozen_ = FrozenIndex(std::move(all));
+  if (mid != 0 && mid != all.size()) {
+    std::inplace_merge(all.begin(), all.begin() + mid, all.end(),
+                       OrderSrt());
+  }
+  return all;
+}
+
+FrozenIndex DeltaIndex::BuildMerged() const {
+  return FrozenIndex(Materialize());
+}
+
+void DeltaIndex::Compact() {
+  if (segments_.size() <= 1 && overlay_.empty()) return;
+  FrozenIndex merged = BuildMerged();
+  frozen_count_ = merged.size();
+  segments_.clear();
+  if (merged.size() != 0) {
+    segments_.push_back(
+        std::make_shared<const FrozenIndex>(std::move(merged)));
+  }
   overlay_.Clear();
   overlay_hash_.clear();
+}
+
+bool DeltaIndex::SwapMergedPrefix(
+    const std::vector<std::shared_ptr<const FrozenIndex>>& old_segments,
+    std::shared_ptr<const FrozenIndex> merged) {
+  if (old_segments.size() > segments_.size()) return false;
+  for (size_t i = 0; i < old_segments.size(); ++i) {
+    if (segments_[i].get() != old_segments[i].get()) return false;
+  }
+  std::vector<std::shared_ptr<const FrozenIndex>> next;
+  next.reserve(segments_.size() - old_segments.size() + 1);
+  if (merged != nullptr && merged->size() != 0) next.push_back(merged);
+  next.insert(next.end(), segments_.begin() + old_segments.size(),
+              segments_.end());
+  segments_.swap(next);
+  // Rebuild the overlay without the facts the merge folded in. Facts
+  // inserted after the pin are not in `merged` and survive; suffix
+  // segments are disjoint from the overlay by the insert-time invariant,
+  // so `merged` is the only subtraction needed.
+  if (!overlay_.empty() && merged != nullptr) {
+    std::vector<Fact> keep;
+    keep.reserve(overlay_.size());
+    overlay_.ForEach(Pattern(), [&](const Fact& f) {
+      if (!merged->Contains(f)) keep.push_back(f);
+      return true;
+    });
+    if (keep.size() != overlay_.size()) {
+      overlay_.Clear();
+      overlay_hash_.clear();
+      for (const Fact& f : keep) {
+        overlay_.Insert(f);
+        overlay_hash_.insert(f);
+      }
+    }
+  }
+  frozen_count_ = 0;
+  for (const auto& seg : segments_) frozen_count_ += seg->size();
+  return true;
 }
 
 bool DeltaIndex::SortedFreeValues(const Pattern& p,
                                   std::vector<EntityId>* scratch,
                                   SortedIdSpan* out) const {
-  if (overlay_.empty()) return frozen_.SortedFreeValues(p, scratch, out);
-  // The frozen run goes into the caller's scratch so that when the
-  // overlay contributes nothing to this pattern — the common case for a
-  // compacted index — the frozen span (possibly a zero-copy column
-  // slice) passes through without another copy.
-  SortedIdSpan frozen_vals;
-  if (!frozen_.SortedFreeValues(p, scratch, &frozen_vals)) {
-    return false;
+  // Fast paths: a single tier answers alone (zero copy when it is a
+  // frozen column slice), which is the common post-compaction state.
+  if (segments_.empty()) return overlay_.SortedFreeValues(p, scratch, out);
+  if (segments_.size() == 1 && overlay_.empty()) {
+    return segments_[0]->SortedFreeValues(p, scratch, out);
   }
-  std::vector<EntityId> overlay_scratch;
-  SortedIdSpan overlay_vals;
-  if (!overlay_.SortedFreeValues(p, &overlay_scratch, &overlay_vals)) {
-    return false;
+  bool have = false;
+  std::vector<EntityId> acc;
+  std::vector<EntityId> tier_scratch;
+  auto fold = [&](const SortedIdSpan& vals) {
+    if (vals.size == 0) return;
+    if (!have) {
+      acc.assign(vals.data, vals.data + vals.size);
+      have = true;
+      return;
+    }
+    std::vector<EntityId> merged;
+    MergeSortedIds(SortedIdSpan{acc.data(), acc.size()}, vals, &merged);
+    acc.swap(merged);
+  };
+  for (const auto& seg : segments_) {
+    SortedIdSpan vals;
+    if (!seg->SortedFreeValues(p, &tier_scratch, &vals)) return false;
+    fold(vals);
   }
-  if (overlay_vals.size == 0) {
-    *out = frozen_vals;
-    return true;
+  if (!overlay_.empty()) {
+    SortedIdSpan vals;
+    if (!overlay_.SortedFreeValues(p, &tier_scratch, &vals)) return false;
+    fold(vals);
   }
-  if (frozen_vals.size == 0) {
-    scratch->assign(overlay_vals.data, overlay_vals.data + overlay_vals.size);
-    out->data = scratch->data();
-    out->size = scratch->size();
-    return true;
-  }
-  std::vector<EntityId> merged;
-  MergeSortedIds(frozen_vals, overlay_vals, &merged);
-  scratch->swap(merged);
+  scratch->swap(acc);
   out->data = scratch->data();
   out->size = scratch->size();
   return true;
@@ -114,19 +239,18 @@ bool DeltaIndex::SortedFreeValues(const Pattern& p,
 
 DeltaIndex::Memory DeltaIndex::MemoryUsage() const {
   Memory m;
-  m.frozen = frozen_.MemoryUsage();
+  for (const auto& seg : segments_) {
+    const FrozenIndex::Memory sm = seg->MemoryUsage();
+    m.frozen.run_bytes += sm.run_bytes;
+    m.frozen.perm_bytes += sm.perm_bytes;
+    m.frozen.offset_bytes += sm.offset_bytes;
+  }
   m.overlay_bytes =
       overlay_.MemoryUsage() +
       overlay_hash_.bucket_count() * sizeof(void*) +
       overlay_hash_.size() * (sizeof(Fact) + 2 * sizeof(void*));
+  m.runs = segments_.size();
   return m;
-}
-
-bool DeltaIndex::MaybeCompact() {
-  if (overlay_.size() < kCompactMinOverlay) return false;
-  if (overlay_.size() * 4 < frozen_.size()) return false;
-  Compact();
-  return true;
 }
 
 }  // namespace lsd

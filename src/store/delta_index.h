@@ -1,24 +1,39 @@
-// Two-tier triple index: an immutable FrozenIndex run (sorted arrays,
-// binary-search ranges) plus a small mutable TripleIndex overlay, in the
-// spirit of an LSM tree's frozen-memtable/active-memtable split. Inserts
-// go to the overlay; reads fan out to both tiers. The tiers are kept
-// disjoint at Insert time, so concatenating their streams is
-// duplicate-free. Compact() folds the overlay into a new frozen run.
+// Generational triple index: a small list of immutable FrozenIndex
+// *segments* (sorted CSR runs, binary-search ranges) plus a small mutable
+// TripleIndex overlay, in the spirit of an LSM tree's levels. Inserts go
+// to the overlay; bulk runs become new L0 segments; reads fan out to
+// every tier. All tiers are kept disjoint at insert time, so
+// concatenating their streams is duplicate-free.
 //
-// This is the rule engine's "all derived facts" container: a closure
-// fixpoint is read-mostly (every round probes the accumulated closure
-// while writing only the per-round delta), so with periodic compaction
-// almost all probes hit the cache-friendly sorted arrays instead of a
-// large node-based std::set.
+// This is both the rule engine's "all derived facts" container and (since
+// the generational rewrite) its asserted-base snapshot: a closure
+// fixpoint is read-mostly, and a long-lived serving tip extends the same
+// tiers across epochs, so probes should hit cache-friendly sorted arrays
+// instead of a large node-based std::set.
+//
+// Lifecycle (LSM-style):
+//  - InsertRun appends a new frozen segment per bulk round, then applies
+//    a geometric tail-merge (merge the newest two segments while the
+//    newest is at least half the previous one). Foreground cost is
+//    therefore proportional to the run being folded, never to the whole
+//    index — the old "overlay >= frozen/4 => rebuild everything" stall is
+//    gone (ISSUE 10 satellite 1); the merge-everything step now belongs
+//    to the background compactor.
+//  - Segments are held by shared_ptr, so Clone() shares them across
+//    epochs for free and a background compactor can pin them, build one
+//    merged CSR generation off-thread, and SwapMergedPrefix it in with an
+//    identity-checked CAS (see store/compactor.h).
 //
 // Erase is intentionally absent: the closure is monotone, and removing
-// from the frozen tier would need tombstones this use case never pays
+// from a frozen segment would need tombstones this use case never pays
 // for.
 #ifndef LSD_STORE_DELTA_INDEX_H_
 #define LSD_STORE_DELTA_INDEX_H_
 
 #include <cstddef>
+#include <memory>
 #include <unordered_set>
+#include <vector>
 
 #include "store/fact.h"
 #include "store/fact_store.h"
@@ -29,48 +44,64 @@ namespace lsd {
 
 class DeltaIndex final : public FactSource {
  public:
-  // Resident bytes per tier, for the `stats` surfaces and E9.
+  // Resident bytes per tier, for the `stats` surfaces and E9/E16.
   struct Memory {
-    FrozenIndex::Memory frozen;
-    size_t overlay_bytes = 0;  // overlay trees + the shadow hash set
+    FrozenIndex::Memory frozen;  // summed over all segments
+    size_t overlay_bytes = 0;    // overlay trees + the shadow hash set
+    size_t runs = 0;             // number of frozen segments (generations)
     size_t total() const { return frozen.total() + overlay_bytes; }
   };
 
-  // Starts with both tiers empty.
+  // Starts with all tiers empty.
   DeltaIndex() = default;
 
-  // Starts from an existing frozen run.
-  explicit DeltaIndex(FrozenIndex base) : frozen_(std::move(base)) {}
+  // Starts from an existing frozen run (one segment).
+  explicit DeltaIndex(FrozenIndex base) {
+    if (base.size() != 0) {
+      frozen_count_ = base.size();
+      segments_.push_back(
+          std::make_shared<const FrozenIndex>(std::move(base)));
+    }
+  }
 
   DeltaIndex(DeltaIndex&&) = default;
   DeltaIndex& operator=(DeltaIndex&&) = default;
 
-  // Inserts into the overlay. Returns true if the fact was in neither
-  // tier.
+  // Explicit copy: segments are immutable and shared by pointer (O(1)
+  // per segment); the overlay trees and shadow hash are deep-copied.
+  // This is how closure tiers travel across epochs (LooseDb::CloneInto)
+  // and how a seed survives a failed extension attempt.
+  DeltaIndex Clone() const;
+
+  // Inserts into the overlay. Returns true if the fact was in no tier.
   bool Insert(const Fact& f);
 
   // Bulk-inserts an SRT-sorted, duplicate-free run (facts already present
   // are skipped). Small runs go to the overlay like Insert; runs of at
-  // least kCompactMinOverlay new facts fold straight into the frozen tier
-  // with a linear merge, bypassing the overlay's tree inserts — this is
-  // how the rule engine installs a whole closure round. Returns the
-  // number of facts actually added.
+  // least kL0MinRun new facts become a new frozen segment, followed by a
+  // geometric tail-merge (newest two segments merge while the newest is
+  // at least half the previous), so the segment list stays logarithmic in
+  // the total size while no single insert rebuilds old generations.
+  // Returns the number of facts actually added.
   size_t InsertRun(const std::vector<Fact>& run);
 
-  // O(log frozen) + O(1): overlay membership is answered by a hash set
-  // shadowing the overlay, not by walking its tree nodes. Contains is the
-  // engine's per-candidate dedup probe, so this path stays flat.
+  // O(segments * log deg) + O(1): overlay membership is answered by a
+  // hash set shadowing the overlay; each segment is one packed binary
+  // search over the source's row slice. The background compactor exists
+  // precisely to keep the segment count small on this hot path.
   bool Contains(const Fact& f) const override {
-    return frozen_.Contains(f) || overlay_hash_.count(f) != 0;
+    for (const auto& seg : segments_) {
+      if (seg->Contains(f)) return true;
+    }
+    return overlay_hash_.count(f) != 0;
   }
 
-  // Streams the frozen tier, then the overlay. Within each tier the
-  // permutation order applies, but there is no global order across tiers
-  // (the FactSource contract promises no order anyway).
+  // Streams every segment (oldest first), then the overlay. Within each
+  // tier the permutation order applies, but there is no global order
+  // across tiers (the FactSource contract promises no order anyway).
   bool ForEach(const Pattern& p, const FactVisitor& visit) const override;
 
-  // Exact: the tiers are disjoint, so counts add. O(log frozen) plus the
-  // overlay's range walk, which compaction keeps small.
+  // Exact: the tiers are disjoint, so counts add.
   size_t CountMatches(const Pattern& p) const;
   size_t EstimateMatches(const Pattern& p) const override {
     return CountMatches(p);
@@ -79,17 +110,11 @@ class DeltaIndex final : public FactSource {
   // Planner estimate: disjoint tiers, so each tier's uniformity-scaled
   // estimate (against its own distinct-value statistics) adds.
   double EstimateMatchesBound(const Pattern& p,
-                              uint8_t bound_mask) const override {
-    return frozen_.EstimateMatchesBound(p, bound_mask) +
-           ScaleByDistinct(static_cast<double>(overlay_.CountMatches(p)),
-                           bound_mask, overlay_.DistinctSources(),
-                           overlay_.DistinctRelationships(),
-                           overlay_.DistinctTargets());
-  }
+                              uint8_t bound_mask) const override;
 
-  // Sorted free-position values of a two-bound pattern: the frozen tier's
-  // run (zero copy when the overlay is empty, the common post-compaction
-  // state) merged with the overlay's.
+  // Sorted free-position values of a two-bound pattern: the segments'
+  // runs (zero copy when a single segment answers alone, the common
+  // post-compaction state) merged with the overlay's.
   bool SortedFreeValues(const Pattern& p, std::vector<EntityId>* scratch,
                         SortedIdSpan* out) const override;
   bool CanSortFreeValues(const Pattern& p) const override {
@@ -98,27 +123,57 @@ class DeltaIndex final : public FactSource {
 
   Memory MemoryUsage() const;
 
-  // Merges the overlay into a new frozen run; the overlay becomes empty.
+  // All facts across every tier, in SRT order.
+  std::vector<Fact> Materialize() const;
+
+  // Builds the single-segment merge of every tier WITHOUT mutating this
+  // index: the background compactor runs this on a pinned (immutable)
+  // epoch's tiers, off the commit path.
+  FrozenIndex BuildMerged() const;
+
+  // Foreground full merge: every segment plus the overlay folds into one
+  // segment. Kept for tools, tests, and cold loads; the serving path
+  // uses BuildMerged + SwapMergedPrefix instead.
   void Compact();
 
-  // Compacts when the overlay has outgrown the frozen tier enough that
-  // rebuilding the run amortizes (geometric policy: overlay at least
-  // kCompactMinOverlay facts and at least a quarter of the frozen size).
-  // Returns true if it compacted.
-  bool MaybeCompact();
+  // The compactor's publish step. If this index's segment list still
+  // starts with exactly `old_segments` (shared_ptr identity — the
+  // generations the merge was built from), replaces that prefix with
+  // `merged`, drops overlay facts now covered by `merged`, and returns
+  // true. Returns false (index untouched) when the prefix diverged —
+  // i.e. a foreground tail-merge consumed one of the pinned generations
+  // since the plan was made — in which case the caller retries against
+  // the current tiers. Segments appended after the pin survive as the
+  // suffix; overlay facts inserted after the pin survive the rebuild
+  // (they are not in `merged`).
+  bool SwapMergedPrefix(
+      const std::vector<std::shared_ptr<const FrozenIndex>>& old_segments,
+      std::shared_ptr<const FrozenIndex> merged);
 
-  size_t size() const { return frozen_.size() + overlay_.size(); }
+  size_t size() const { return frozen_count_ + overlay_.size(); }
   bool empty() const { return size() == 0; }
-  size_t frozen_size() const { return frozen_.size(); }
+  size_t frozen_size() const { return frozen_count_; }
   size_t overlay_size() const { return overlay_.size(); }
+  size_t segment_count() const { return segments_.size(); }
 
-  const FrozenIndex& frozen() const { return frozen_; }
+  const std::vector<std::shared_ptr<const FrozenIndex>>& segments() const {
+    return segments_;
+  }
   const TripleIndex& overlay() const { return overlay_; }
 
-  static constexpr size_t kCompactMinOverlay = 256;
+  // Runs below this many new facts go to the overlay; larger runs become
+  // L0 segments.
+  static constexpr size_t kL0MinRun = 256;
 
  private:
-  FrozenIndex frozen_;
+  // Appends the facts of `run` (SRT-sorted, duplicate-free) present in
+  // no tier onto `out`, preserving order: AppendMissing chained across
+  // the segments, then the overlay's hash probe.
+  void AppendMissingAll(const std::vector<Fact>& run,
+                        std::vector<Fact>* out) const;
+
+  std::vector<std::shared_ptr<const FrozenIndex>> segments_;
+  size_t frozen_count_ = 0;  // sum of segment sizes
   TripleIndex overlay_;
   // Mirrors the overlay's contents for O(1) membership probes.
   std::unordered_set<Fact, FactHash> overlay_hash_;

@@ -207,6 +207,13 @@ class FactStore {
   // Monotonically increasing counter bumped on every Assert/Retract;
   // closures cache against it.
   uint64_t version() const { return version_; }
+  // Adopts another store's mutation clock. Only for cloning: a clone
+  // built by replaying facts has counted the inserts but not the
+  // retracts, so two logically different states can share a count
+  // (assert-after-retract lands back on the source's number). Adopting
+  // the source clock keeps version comparisons meaningful across
+  // clones.
+  void set_version(uint64_t version) { version_ = version; }
 
  private:
   EntityTable entities_;

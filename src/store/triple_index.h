@@ -33,6 +33,18 @@ class TripleIndex {
   TripleIndex(TripleIndex&&) = default;
   TripleIndex& operator=(TripleIndex&&) = default;
 
+  // Explicit deep copy (copy construction stays deleted so accidental
+  // copies cannot sneak into hot paths). DeltaIndex::Clone uses this to
+  // duplicate its overlay when transplanting closure tiers.
+  void CopyFrom(const TripleIndex& other) {
+    srt_ = other.srt_;
+    rts_ = other.rts_;
+    tsr_ = other.tsr_;
+    distinct_sources_ = other.distinct_sources_;
+    distinct_rels_ = other.distinct_rels_;
+    distinct_targets_ = other.distinct_targets_;
+  }
+
   // Inserts a fact. Returns true if it was new.
   bool Insert(const Fact& f);
 

@@ -34,6 +34,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

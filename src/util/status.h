@@ -29,6 +29,7 @@ enum class StatusCode {
   kDeadlineExceeded,    // request overran its hard deadline
   kCancelled,           // caller abandoned the request (disconnect etc.)
   kResourceExhausted,   // step/row budget spent, or load shed
+  kAborted,             // optimistic-concurrency conflict; safe to retry
 };
 
 // Returns the canonical name for a code, e.g. "InvalidArgument".
@@ -89,6 +90,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -103,6 +107,7 @@ class Status {
     return code_ == StatusCode::kDeadlineExceeded;
   }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }

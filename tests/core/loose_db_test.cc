@@ -175,9 +175,9 @@ TEST(LooseDbMemoryTest, ReportsPerTierBytes) {
   ASSERT_TRUE(mem.ok());
   // The frozen base tier holds the asserted snapshot: columns,
   // permutations, and offset tables are all live.
-  EXPECT_GT(mem->base.run_bytes, 0u);
-  EXPECT_GT(mem->base.perm_bytes, 0u);
-  EXPECT_GT(mem->base.offset_bytes, 0u);
+  EXPECT_GT(mem->base.frozen.run_bytes, 0u);
+  EXPECT_GT(mem->base.frozen.perm_bytes, 0u);
+  EXPECT_GT(mem->base.frozen.offset_bytes, 0u);
   // The standard rules derive facts, so the derived tier is non-empty.
   EXPECT_GT(mem->derived.total(), 0u);
   EXPECT_EQ(mem->total(), mem->base.total() + mem->derived.total());

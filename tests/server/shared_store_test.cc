@@ -89,6 +89,34 @@ TEST(SharedStoreTest, FailedMutationPublishesNothing) {
   EXPECT_FALSE(store.snapshot()->db().entities().Lookup("A").has_value());
 }
 
+TEST(SharedStoreTest, AssertAfterRetractStillPublishes) {
+  // Clones are built by replaying facts, so their insert count alone
+  // can collide with the tip's mutation clock after a retract; the
+  // no-op check must not mistake such a commit for "nothing changed".
+  SharedStore store;
+  ASSERT_TRUE(store
+                  .Commit([](LooseDb& db) {
+                    db.Assert("A", "R", "B");
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_TRUE(store
+                  .Commit([](LooseDb& db) {
+                    return db.Retract("A", "R", "B");
+                  })
+                  .ok());
+  const uint64_t seq = store.snapshot()->sequence();
+  auto committed = store.Commit([](LooseDb& db) {
+    db.Assert("C", "R", "D");
+    return Status::OK();
+  });
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ((*committed)->sequence(), seq + 1);
+  auto r = store.snapshot()->db().Query("(C, R, ?X)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
 TEST(SharedStoreTest, NoOpCommitSkipsPublication) {
   SharedStore store;
   ASSERT_TRUE(store

@@ -47,21 +47,24 @@ TEST(DeltaIndexTest, CompactPreservesContents) {
   });
 }
 
-TEST(DeltaIndexTest, InsertRunSmallGoesToOverlayLargeToFrozen) {
+TEST(DeltaIndexTest, InsertRunSmallGoesToOverlayLargeToSegment) {
   DeltaIndex idx;
-  // Small run: below kCompactMinOverlay, lands in the overlay.
+  // Small run: below kL0MinRun, lands in the overlay.
   std::vector<Fact> small = {Fact(1, 1, 1), Fact(2, 2, 2)};
   EXPECT_EQ(idx.InsertRun(small), 2u);
   EXPECT_EQ(idx.overlay_size(), 2u);
+  EXPECT_EQ(idx.segment_count(), 0u);
 
-  // Large run: bulk-merges into the frozen tier and folds the overlay.
+  // Large run: becomes an L0 frozen segment. The overlay is NOT folded
+  // in — that is the background compactor's job, not the insert path's.
   std::vector<Fact> large;
-  for (EntityId i = 0; i < DeltaIndex::kCompactMinOverlay + 10; ++i) {
+  for (EntityId i = 0; i < DeltaIndex::kL0MinRun + 10; ++i) {
     large.push_back(Fact(i + 10, 0, 0));
   }
   std::sort(large.begin(), large.end(), OrderSrt());
   EXPECT_EQ(idx.InsertRun(large), large.size());
-  EXPECT_EQ(idx.overlay_size(), 0u);
+  EXPECT_EQ(idx.overlay_size(), 2u);
+  EXPECT_EQ(idx.segment_count(), 1u);
   EXPECT_EQ(idx.size(), 2u + large.size());
   EXPECT_TRUE(idx.Contains(Fact(1, 1, 1)));
   EXPECT_TRUE(idx.Contains(large.front()));
@@ -72,19 +75,109 @@ TEST(DeltaIndexTest, InsertRunSmallGoesToOverlayLargeToFrozen) {
   EXPECT_EQ(idx.size(), 2u + large.size());
 }
 
-TEST(DeltaIndexTest, MaybeCompactUsesGeometricPolicy) {
+TEST(DeltaIndexTest, InsertRunKeepsSegmentSizesGeometric) {
+  // Equal-sized runs trip the tail-merge every time (the newest segment
+  // is at least half the previous), so the list stays logarithmic in
+  // the total size instead of growing one segment per run.
   DeltaIndex idx;
-  // Tiny overlay: stays put.
-  idx.Insert(Fact(1, 1, 1));
-  EXPECT_FALSE(idx.MaybeCompact());
-  EXPECT_EQ(idx.overlay_size(), 1u);
-  // Past the minimum with an empty frozen tier: compacts.
-  for (EntityId i = 0; i < DeltaIndex::kCompactMinOverlay; ++i) {
-    idx.Insert(Fact(i, 2, 3));
+  const size_t n = DeltaIndex::kL0MinRun;
+  for (int round = 0; round < 16; ++round) {
+    std::vector<Fact> run;
+    for (size_t i = 0; i < n; ++i) {
+      run.push_back(Fact(static_cast<EntityId>(round * n + i), 1, 2));
+    }
+    EXPECT_EQ(idx.InsertRun(run), n);
   }
-  EXPECT_TRUE(idx.MaybeCompact());
-  EXPECT_EQ(idx.overlay_size(), 0u);
-  EXPECT_GT(idx.frozen_size(), DeltaIndex::kCompactMinOverlay);
+  EXPECT_EQ(idx.size(), 16 * n);
+  EXPECT_LE(idx.segment_count(), 5u);  // ~log2(16) + slack, not 16
+  // Oldest-to-newest the segments must shrink by at least 2x.
+  const auto& segs = idx.segments();
+  for (size_t i = 0; i + 1 < segs.size(); ++i) {
+    EXPECT_GT(segs[i]->size(), 2 * segs[i + 1]->size() - 2);
+  }
+}
+
+// ISSUE 10 satellite 1: inserting a modest run next to a large frozen
+// generation must not rebuild the large generation (the old
+// "overlay >= frozen/4 => fold everything" stall). The big segment must
+// survive by pointer identity and the insert only appends after it.
+TEST(DeltaIndexTest, InsertRunNeverRebuildsLargeOldGenerations) {
+  std::vector<Fact> big;
+  for (EntityId i = 0; i < 20'000; ++i) big.push_back(Fact(i, 1, 2));
+  DeltaIndex idx(FrozenIndex(std::move(big)));
+  ASSERT_EQ(idx.segment_count(), 1u);
+  const FrozenIndex* big_segment = idx.segments()[0].get();
+
+  // A run a quarter the frozen size — exactly the shape that used to
+  // trigger the monolithic rebuild.
+  std::vector<Fact> run;
+  for (EntityId i = 0; i < 5'000; ++i) run.push_back(Fact(i, 3, 4));
+  EXPECT_EQ(idx.InsertRun(run), run.size());
+
+  ASSERT_GE(idx.segment_count(), 2u);
+  EXPECT_EQ(idx.segments()[0].get(), big_segment)
+      << "the old generation was rebuilt on the insert path";
+  EXPECT_EQ(idx.size(), 25'000u);
+}
+
+TEST(DeltaIndexTest, CloneSharesSegmentsAndForksOverlay) {
+  DeltaIndex idx;
+  std::vector<Fact> run;
+  for (EntityId i = 0; i < DeltaIndex::kL0MinRun; ++i) {
+    run.push_back(Fact(i, 1, 2));
+  }
+  idx.InsertRun(run);
+  idx.Insert(Fact(9000, 1, 2));
+  DeltaIndex copy = idx.Clone();
+  ASSERT_EQ(copy.segment_count(), idx.segment_count());
+  EXPECT_EQ(copy.segments()[0].get(), idx.segments()[0].get());  // shared
+  // Overlays are independent.
+  EXPECT_TRUE(copy.Insert(Fact(9001, 1, 2)));
+  EXPECT_FALSE(idx.Contains(Fact(9001, 1, 2)));
+  EXPECT_TRUE(copy.Contains(Fact(9000, 1, 2)));
+  EXPECT_EQ(idx.size() + 1, copy.size());
+}
+
+TEST(DeltaIndexTest, SwapMergedPrefixInstallsAndDetectsStaleness) {
+  DeltaIndex idx;
+  // 4x the later run so the post-pin InsertRun below stays its own
+  // segment instead of tail-merging into (and so invalidating) the
+  // pinned one.
+  std::vector<Fact> run;
+  for (EntityId i = 0; i < 4 * DeltaIndex::kL0MinRun; ++i) {
+    run.push_back(Fact(i, 1, 2));
+  }
+  idx.InsertRun(run);
+  idx.Insert(Fact(9000, 1, 2));  // overlay fact, pinned
+  // Pin the tiers (what the compactor does off-thread)...
+  auto pinned = idx.segments();
+  auto merged = std::make_shared<const FrozenIndex>(idx.BuildMerged());
+  // ...then mutate past the pin: these must survive the swap.
+  idx.Insert(Fact(9001, 1, 2));
+  std::vector<Fact> late;
+  for (EntityId i = 0; i < DeltaIndex::kL0MinRun; ++i) {
+    late.push_back(Fact(20'000 + i, 1, 2));
+  }
+  std::sort(late.begin(), late.end(), OrderSrt());
+  idx.InsertRun(late);
+
+  const size_t before = idx.size();
+  ASSERT_TRUE(idx.SwapMergedPrefix(pinned, merged));
+  EXPECT_EQ(idx.size(), before);  // nothing lost, nothing duplicated
+  EXPECT_TRUE(idx.Contains(Fact(0, 1, 2)));
+  EXPECT_TRUE(idx.Contains(Fact(9000, 1, 2)));  // folded into `merged`
+  EXPECT_TRUE(idx.Contains(Fact(9001, 1, 2)));  // post-pin overlay fact
+  EXPECT_TRUE(idx.Contains(late.front()));      // post-pin segment
+  EXPECT_EQ(idx.segments()[0].get(), merged.get());
+  // The pinned overlay fact moved into the merged generation.
+  EXPECT_EQ(idx.overlay_size(), 1u);
+
+  // A second swap against the consumed prefix is stale: the index must
+  // refuse and stay untouched.
+  const size_t segments_now = idx.segment_count();
+  EXPECT_FALSE(idx.SwapMergedPrefix(pinned, merged));
+  EXPECT_EQ(idx.segment_count(), segments_now);
+  EXPECT_EQ(idx.size(), before);
 }
 
 TEST(DeltaIndexTest, ForEachStopsEarlyAcrossTiers) {

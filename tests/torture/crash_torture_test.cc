@@ -632,6 +632,153 @@ TEST_F(CrashTortureTest, FollowerConvergesToAckedPrefixAfterPrimaryKill) {
   }
 }
 
+// ---- Background compaction under crashes ------------------------------
+//
+// Compaction is a durability no-op: a merge writes no WAL records and
+// publishes through the same epoch machinery as ordinary commits, so
+// killing the process mid-merge (compact.merge, on the merge thread
+// between the pin and the plan) or between the two tier swaps
+// (compact.swap, inside the install commit) must lose nothing. The
+// recovered store is exactly the acked floor plus possibly-unacked
+// issued writes — never an invented fact, never a half-swapped tier —
+// and compaction can be re-enabled on the recovered store.
+TEST_F(CrashTortureTest, CompactionCrashIsADurabilityNoOp) {
+  constexpr int kThreads = 3;
+  constexpr int kCommitsPerThread = 40;
+  const char* kTrials[] = {
+      "compact.merge=crash@0", "compact.merge=crash@3",
+      "compact.swap=crash@0",  "compact.swap=crash@2",
+  };
+  int trial_index = 0;
+  for (const char* spec : kTrials) {
+    SCOPED_TRACE(spec);
+    const std::string prefix = Prefix("cmp" + std::to_string(trial_index));
+    const std::string ack = Prefix("cack" + std::to_string(trial_index));
+    ++trial_index;
+
+    std::fflush(nullptr);
+    pid_t pid = ::fork();
+    if (pid == 0) {
+      if (!failpoint::Configure(spec).ok()) ::_exit(91);
+      SharedStore store;
+      SharedStoreDurability durability;
+      durability.sync = WalSync::kFsync;
+      durability.segment_bytes = 400;     // rotate under compaction
+      durability.checkpoint_bytes = 1200; // checkpoints interleave merges
+      if (!store.OpenDurable(prefix, durability).ok()) ::_exit(92);
+      CompactionOptions aggressive;
+      aggressive.min_runs = 1;
+      aggressive.overlay_ratio = 0.0;
+      aggressive.min_overlay_bytes = 1;
+      aggressive.poll_ms = 1;
+      aggressive.backpressure_runs = 0;
+      if (!store.EnableCompaction(aggressive).ok()) ::_exit(96);
+      int ack_fd =
+          ::open(ack.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (ack_fd < 0) ::_exit(93);
+      auto acked_commit = [&store, ack_fd](const std::string& name) {
+        auto committed = store.Commit([&name](LooseDb& db) {
+          db.Assert(name, "MARKS", "DONE");
+          return Status::OK();
+        });
+        if (!committed.ok()) ::_exit(94);
+        std::string line = name + "\n";
+        if (::write(ack_fd, line.data(), line.size()) !=
+            static_cast<ssize_t>(line.size())) {
+          ::_exit(95);
+        }
+      };
+      std::vector<std::thread> writers;
+      for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&acked_commit, t] {
+          for (int i = 0; i < kCommitsPerThread; ++i) {
+            acked_commit("T" + std::to_string(t) + "-N" + std::to_string(i));
+          }
+        });
+      }
+      for (auto& t : writers) t.join();
+      // The background thread may not have reached the armed site yet;
+      // pump foreground merges (each with fresh overlay, so the plan is
+      // never trivially empty) until the failpoint kills us.
+      for (int i = 0; i < 1000; ++i) {
+        acked_commit("PUMP-" + std::to_string(i));
+        if (!store.CompactOnce().ok()) ::_exit(97);
+      }
+      ::_exit(0);  // site never fired: the parent will fail the trial
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "child did not exit cleanly";
+    ASSERT_EQ(WEXITSTATUS(status), failpoint::kCrashExitStatus)
+        << "site never fired (exit " << WEXITSTATUS(status) << ")";
+
+    std::set<std::string> acked;
+    {
+      std::string bytes;
+      std::FILE* f = std::fopen(ack.c_str(), "rb");
+      if (f != nullptr) {
+        char buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+          bytes.append(buf, n);
+        }
+        std::fclose(f);
+      }
+      size_t start = 0, nl;
+      while ((nl = bytes.find('\n', start)) != std::string::npos) {
+        acked.insert(bytes.substr(start, nl - start));
+        start = nl + 1;
+      }
+    }
+
+    // Recover as a durable SharedStore (the serving configuration).
+    SharedStore recovered;
+    SharedStoreDurability durability;
+    durability.sync = WalSync::kFsync;
+    durability.segment_bytes = 400;
+    durability.checkpoint_bytes = 1200;
+    ASSERT_TRUE(recovered.OpenDurable(prefix, durability).ok());
+
+    // Floor: every acknowledged write survived, whatever the merge
+    // thread was doing when the process died.
+    LooseDb& db = recovered.snapshot()->db();
+    std::set<std::string> facts = DumpFacts(db);
+    for (const std::string& name : acked) {
+      EXPECT_TRUE(facts.count(Key(name, "MARKS", "DONE")) > 0)
+          << "acked write " << name << " lost to a compaction crash ("
+          << acked.size() << " acked)";
+    }
+    // Ceiling: nothing recovered that was never issued — a torn merge
+    // or half-swapped tier must not resurface as invented facts.
+    const Baseline& base = GetBaseline();
+    for (const std::string& key : facts) {
+      if (base.facts.count(key) > 0) continue;
+      size_t bar = key.find('|');
+      std::string name = key.substr(0, bar);
+      EXPECT_TRUE((name.rfind("T", 0) == 0 || name.rfind("PUMP-", 0) == 0) &&
+                  key.substr(bar) == "|MARKS|DONE")
+          << "recovered fact " << key << " was never issued";
+    }
+    // The recovered store serves, compacts, and keeps committing.
+    auto q = recovered.snapshot()->db().Query("(?W, MARKS, DONE)");
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    EXPECT_GE(q->rows.size(), acked.size());
+    ASSERT_TRUE(recovered.EnableCompaction().ok());
+    ASSERT_TRUE(recovered
+                    .Commit([](LooseDb& db2) {
+                      db2.Assert("POST-RECOVERY", "MARKS", "DONE");
+                      return Status::OK();
+                    })
+                    .ok());
+    Status merged = recovered.CompactOnce();
+    ASSERT_TRUE(merged.ok()) << merged.ToString();
+    auto q2 = recovered.snapshot()->db().Query("(POST-RECOVERY, MARKS, ?X)");
+    ASSERT_TRUE(q2.ok());
+    EXPECT_TRUE(q2->Success());
+    recovered.StopCompaction();
+  }
+}
+
 // A writer with no failpoints armed must complete and recover whole.
 TEST_F(CrashTortureTest, CleanRunRecoversEverything) {
   const std::string prefix = Prefix("clean");

@@ -18,6 +18,10 @@
 #                          cold and aggregate follower reads/sec at 1/2/4
 #                          followers under an fsync-on primary write
 #                          load, with worst observed staleness).
+#   BENCH_compaction.json  bench_compaction (E16 churn sweep: mixed
+#                          read/write throughput and latency with and
+#                          without background compaction as the churned
+#                          overlay grows).
 #
 # Numbers checked into the tree must come from an optimized build, so
 # this script configures and builds its own Release tree (default
@@ -40,7 +44,7 @@ cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
   > /dev/null
 cmake --build "$build_dir" -j "$(nproc)" --target \
   bench_closure bench_join_order bench_probing bench_server \
-  bench_recovery bench_replication > /dev/null
+  bench_recovery bench_replication bench_compaction > /dev/null
 
 require() {
   if [ ! -x "$1" ]; then
@@ -157,4 +161,18 @@ repl_bench="$build_dir/bench/bench_replication"
 require "$repl_bench"
 out="$repo_root/BENCH_replication.json"
 "$repl_bench" --followers 1,2,4 --json "$out"
+echo "wrote $out"
+
+# BENCH_compaction.json: the E16 churn sweep. Reader threads browse the
+# churned relation on pinned snapshots while writer threads keep
+# committing sub-threshold batches; each shape is measured with the
+# background compactor off (the overlay-accumulating configuration) and
+# on. The interesting ratio is ops_per_sec on/off at the largest shape;
+# read_max_ms in the "on" rows shows merges never stall pinned readers.
+# Direct JSON again, stamped with the tree's own build type.
+compaction_bench="$build_dir/bench/bench_compaction"
+require "$compaction_bench"
+out="$repo_root/BENCH_compaction.json"
+"$compaction_bench" --json "$out"
+check_release "$out"
 echo "wrote $out"

@@ -12,10 +12,21 @@
 //             [--repl-port N]
 //             [--follow HOST:PORT] [--scratch PREFIX]
 //             [--max-lag-ms N] [--max-lag-bytes N]
+//             [--compact-off] [--compact-min-runs N]
+//             [--compact-ratio F] [--compact-min-overlay-bytes N]
+//             [--compact-poll-ms N] [--compact-backpressure-runs N]
 //
 // --db attaches durability: <PREFIX>.snap + <PREFIX>.wal.NNNNNN are
 // recovered on startup and every commit group is batch-appended (one
 // fsync per group at --sync fsync) before its epoch publishes.
+//
+// Background compaction is ON by default (primaries and followers both
+// compact their own tiers; compaction ships no WAL bytes): a merge
+// thread folds the closure's accumulated segments into one CSR
+// generation per tier whenever --compact-min-runs segments pile up or
+// the overlay outgrows --compact-ratio of the frozen bytes. Readers are
+// never stalled; writers see at most --compact-backpressure-runs-deep
+// backlogs before brief commit-side sleeps. --compact-off disables.
 //
 // --repl-port makes a durable primary ship its WAL to followers on
 // that port. --follow runs this server as a read-only follower of the
@@ -55,7 +66,10 @@ int Usage(const char* argv0) {
                "[--request-timeout-ms N] [--db PREFIX] "
                "[--sync fsync|flush] [--checkpoint-bytes N] "
                "[--repl-port N] [--follow HOST:PORT] [--scratch PREFIX] "
-               "[--max-lag-ms N] [--max-lag-bytes N]\n",
+               "[--max-lag-ms N] [--max-lag-bytes N] "
+               "[--compact-off] [--compact-min-runs N] [--compact-ratio F] "
+               "[--compact-min-overlay-bytes N] [--compact-poll-ms N] "
+               "[--compact-backpressure-runs N]\n",
                argv0);
   return 2;
 }
@@ -89,6 +103,8 @@ int main(int argc, char** argv) {
   std::string follow_spec;
   std::string scratch_prefix;
   lsd::ReplicationBounds bounds;
+  bool compact = true;
+  lsd::CompactionOptions compaction;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -154,6 +170,28 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       bounds.max_lag_bytes = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--compact-off") {
+      compact = false;
+    } else if (arg == "--compact-min-runs") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      compaction.min_runs = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--compact-ratio") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      compaction.overlay_ratio = std::atof(v);
+    } else if (arg == "--compact-min-overlay-bytes") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      compaction.min_overlay_bytes = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--compact-poll-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      compaction.poll_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--compact-backpressure-runs") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      compaction.backpressure_runs = static_cast<size_t>(std::atol(v));
     } else {
       return Usage(argv[0]);
     }
@@ -256,6 +294,17 @@ int main(int argc, char** argv) {
                 follow_options.host.c_str(), follow_options.port,
                 static_cast<unsigned long long>(bounds.max_lag_ms),
                 static_cast<unsigned long long>(bounds.max_lag_bytes));
+  }
+
+  if (compact) {
+    // Primaries and followers alike: compaction is local storage
+    // maintenance and never touches the WAL stream.
+    lsd::Status compacting = store.EnableCompaction(compaction);
+    if (!compacting.ok()) {
+      std::fprintf(stderr, "compaction start failed: %s\n",
+                   compacting.ToString().c_str());
+      return 1;
+    }
   }
 
   lsd::LsdServer server(&store, options);

@@ -138,13 +138,14 @@ void DoStats(LooseDb& db, const ShellGovernance& gov) {
   }
   auto mem = db.MemoryUsage();
   if (mem.ok()) {
-    std::printf("frozen tier:    %zu bytes (run %zu, perms %zu, offsets"
-                " %zu)\n",
-                mem->base.total(), mem->base.run_bytes,
-                mem->base.perm_bytes, mem->base.offset_bytes);
-    std::printf("derived tier:   %zu bytes (frozen %zu, overlay %zu)\n",
+    std::printf("base tier:      %zu bytes (frozen %zu in %zu segments, "
+                "overlay %zu)\n",
+                mem->base.total(), mem->base.frozen.total(),
+                mem->base.runs, mem->base.overlay_bytes);
+    std::printf("derived tier:   %zu bytes (frozen %zu in %zu segments, "
+                "overlay %zu)\n",
                 mem->derived.total(), mem->derived.frozen.total(),
-                mem->derived.overlay_bytes);
+                mem->derived.runs, mem->derived.overlay_bytes);
   }
   std::printf("rules:          %zu\n", db.rules().size());
   std::printf("limit(n):       %d\n", db.composition_limit());
